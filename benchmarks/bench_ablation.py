@@ -1,0 +1,92 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. spurious-mode: secondary effect variables (paper scheme (2)) vs
+   identifying the effect variable with the function's arrow effect
+   (scheme (3)) — Section 5 discusses both as implementation choices;
+2. type minimization on/off (Section 4.2) — its effect on the number of
+   spurious functions;
+3. multiplicity analysis on/off — finite (stack) regions vs everything
+   infinite;
+4. plain vs generational collection (the Elsman-Hallenberg [16,17]
+   integration);
+5. heap-to-live ratio sweep — collections vs peak memory.
+"""
+
+import pytest
+
+from repro import CompilerFlags, SpuriousMode, Strategy, compile_program
+from repro.bench.registry import BENCHMARKS, benchmark_source
+from repro.runtime.values import show_value
+
+SUBJECT = "msort"          # region-friendly, allocation-heavy
+GC_SUBJECT = "logic"       # gc-essential
+
+
+@pytest.mark.parametrize("mode", list(SpuriousMode), ids=lambda m: m.value)
+def test_ablation_spurious_mode(benchmark, mode):
+    flags = CompilerFlags(spurious_mode=mode, strategy=Strategy.RG)
+    prog = compile_program(benchmark_source(SUBJECT), flags=flags)
+    assert prog.verification_error is None
+    result = benchmark.pedantic(prog.run, rounds=2, iterations=1, warmup_rounds=0)
+    assert show_value(result.value) == BENCHMARKS[SUBJECT].expected
+    benchmark.extra_info["peak_words"] = result.stats.peak_words
+
+
+@pytest.mark.parametrize("minimize", [True, False], ids=["minimize", "no-minimize"])
+def test_ablation_type_minimization(benchmark, minimize):
+    flags = CompilerFlags(minimize_types=minimize, strategy=Strategy.RG)
+    src = benchmark_source("simple")
+
+    def compile_and_run():
+        prog = compile_program(src, flags=flags)
+        return prog, prog.run()
+
+    prog, result = benchmark.pedantic(
+        compile_and_run, rounds=2, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["spurious_fcns"] = prog.spurious.spurious_functions
+    assert show_value(result.value) == BENCHMARKS["simple"].expected
+
+
+@pytest.mark.parametrize("multiplicity", [True, False], ids=["finite-regions", "all-infinite"])
+def test_ablation_multiplicity(benchmark, multiplicity):
+    flags = CompilerFlags(multiplicity=multiplicity, strategy=Strategy.RG)
+    prog = compile_program(benchmark_source(SUBJECT), flags=flags)
+    result = benchmark.pedantic(prog.run, rounds=2, iterations=1, warmup_rounds=0)
+    assert show_value(result.value) == BENCHMARKS[SUBJECT].expected
+    benchmark.extra_info["finite_allocations"] = result.stats.finite_allocations
+    benchmark.extra_info["peak_words"] = result.stats.peak_words
+
+
+@pytest.mark.parametrize("generational", [False, True], ids=["plain", "generational"])
+def test_ablation_generational(benchmark, compiled, generational):
+    prog = compiled(GC_SUBJECT, Strategy.RG)
+
+    def run():
+        return prog.run(generational=generational, initial_threshold=1024)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert show_value(result.value) == BENCHMARKS[GC_SUBJECT].expected
+    benchmark.extra_info["major"] = result.stats.gc_count
+    benchmark.extra_info["minor"] = result.stats.gc_minor_count
+
+
+@pytest.mark.parametrize("ratio", [1.5, 3.0, 6.0], ids=["h2l=1.5", "h2l=3", "h2l=6"])
+def test_ablation_heap_to_live(benchmark, compiled, ratio):
+    prog = compiled(GC_SUBJECT, Strategy.RG)
+
+    def run():
+        return prog.run(heap_to_live=ratio, initial_threshold=512)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["gc_count"] = result.stats.gc_count
+    benchmark.extra_info["peak_words"] = result.stats.peak_words
+
+
+def test_ablation_drop_regions(benchmark, compiled):
+    """Region-parameter dropping is a pure runtime optimization: count the
+    skipped passes on a call-heavy program."""
+    prog = compiled("msort", Strategy.RG)
+    result = benchmark.pedantic(prog.run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["dropped_passes"] = result.stats.dropped_region_passes
+    assert result.stats.dropped_region_passes > 0

@@ -1,0 +1,65 @@
+"""Figure 9 regenerated as a pytest-benchmark suite.
+
+``pytest benchmarks/bench_figure9.py --benchmark-only`` times every
+benchmark program under the paper's ``rg`` strategy (the headline
+column), with each benchmark's ``extra_info`` carrying the remaining
+Figure 9 columns: peak heap words (the rss analogue), gc count,
+letregions, allocation counts, and the static spurious-function counts.
+
+The strategy-comparison columns (rg vs rg- vs r vs ml) are timed on a
+representative subset — running all four strategies on all 23 programs
+belongs to the standalone driver: ``python -m repro.bench.figure9``.
+Every timed run's output is asserted against the registry oracle.
+"""
+
+import pytest
+
+from repro import Strategy
+from repro.bench.registry import BENCHMARKS
+from repro.runtime.values import show_value
+
+ALL_PROGRAMS = sorted(BENCHMARKS)
+
+#: Programs covering the paper's behaviour classes: stack-only (fib),
+#: region-friendly sorting (msort), GC-essential (zebra, logic), and the
+#: spurious-heavy float program (simple).
+REPRESENTATIVE = ["fib", "msort", "zebra", "logic", "simple"]
+
+STRATEGIES = [Strategy.RG, Strategy.RG_MINUS, Strategy.R, Strategy.ML]
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+def test_figure9_rg(benchmark, compiled, name):
+    """The rg column: region inference + tracing GC (the paper's system)."""
+    prog = compiled(name, Strategy.RG)
+    result = benchmark.pedantic(prog.run, rounds=2, iterations=1, warmup_rounds=0)
+    assert show_value(result.value) == BENCHMARKS[name].expected
+    s = result.stats
+    benchmark.extra_info.update(
+        {
+            "peak_words": s.peak_words,
+            "gc_count": s.gc_count,
+            "letregions": s.letregions,
+            "allocations": s.allocations,
+            "steps": s.steps,
+            "spurious_fcns": prog.spurious.spurious_functions,
+            "total_fcns": prog.spurious.total_functions,
+            "verified": prog.verification_error is None,
+        }
+    )
+    assert prog.verification_error is None  # rg must always verify
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+def test_figure9_strategies(benchmark, compiled, name, strategy):
+    """The per-strategy time columns on the representative subset."""
+    prog = compiled(name, strategy)
+    result = benchmark.pedantic(prog.run, rounds=2, iterations=1, warmup_rounds=0)
+    assert show_value(result.value) == BENCHMARKS[name].expected
+    benchmark.extra_info.update(
+        {
+            "peak_words": result.stats.peak_words,
+            "gc_count": result.stats.gc_count,
+        }
+    )

@@ -1,0 +1,77 @@
+"""Benchmarks for the paper's in-text figures: the Figure 1/2 soundness
+program and the Figure 8 transitive-spuriousness program.
+
+These time the *sound* execution under ``rg`` with a collection at every
+allocation (the harshest schedule) and assert the headline behaviours:
+``rg`` survives, ``rg-`` crashes with a dangling pointer, ``r``
+tolerates the dangling pointer because nothing traces it.
+"""
+
+import pytest
+
+from repro import DanglingPointerError, Strategy, compile_program
+
+FIGURE_1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200     (* trigger gc *)
+  in h ()
+  end
+val it = run ()
+"""
+
+FIGURE_8 = """
+fun g (f : unit -> 'a) : unit -> unit =
+  op o (let val x = f ()
+        in (fn x => (), fn () => x)
+        end)
+fun work n = if n = 0 then nil else n :: work (n - 1)
+val h = g (fn () => "oh" ^ "no")
+val _ = work 200
+val it = h ()
+"""
+
+
+@pytest.mark.parametrize("figure,src", [("fig1", FIGURE_1), ("fig8", FIGURE_8)])
+def test_figures_rg_survives_gc_every_alloc(benchmark, figure, src):
+    prog = compile_program(src, strategy=Strategy.RG)
+    assert prog.verification_error is None
+
+    def run():
+        return prog.run(gc_every_alloc=True)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["gc_count"] = result.stats.gc_count
+    assert result.stats.gc_count > 0
+
+
+@pytest.mark.parametrize("figure,src", [("fig1", FIGURE_1), ("fig8", FIGURE_8)])
+def test_figures_rg_minus_dangles(benchmark, figure, src):
+    """Time-to-crash of the unsound strategy (and assert that it crashes)."""
+    prog = compile_program(src, strategy=Strategy.RG_MINUS)
+    assert prog.verification_error is not None
+
+    def run():
+        try:
+            prog.run(gc_every_alloc=True)
+        except DanglingPointerError:
+            return "dangled"
+        return "survived"
+
+    outcome = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert outcome == "dangled"
+
+
+@pytest.mark.parametrize("figure,src", [("fig1", FIGURE_1), ("fig8", FIGURE_8)])
+def test_figures_r_tolerates_dangling(benchmark, figure, src):
+    prog = compile_program(src, strategy=Strategy.R)
+
+    def run():
+        return prog.run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert result.stats.gc_count == 0

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite: compile each program once per
+session and strategy."""
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program
+from repro.bench.registry import BENCHMARKS, benchmark_source
+
+_cache: dict = {}
+
+
+@pytest.fixture(scope="session")
+def compiled():
+    """compiled(name, strategy) -> CompiledProgram, memoized."""
+
+    def get(name: str, strategy: Strategy):
+        key = (name, strategy)
+        if key not in _cache:
+            _cache[key] = compile_program(
+                benchmark_source(name), strategy=strategy
+            )
+        return _cache[key]
+
+    return get

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Section 4.4: type variables in exception types.
+
+A local ``exception E of 'a`` lets a constructed value escape the scope
+of the function that created it (by being raised).  The paper treats such
+type variables as spurious and pins them to a *top-level* effect variable,
+forcing every region in the instantiated payload type to be global — so a
+collection running while the exception value is in flight (or parked in a
+handler) never meets a dangling pointer.
+
+Run:  python examples/exception_escape.py
+"""
+
+from repro import Strategy, compile_program
+from repro.runtime.values import show_value
+
+FIND = """
+(* first-match search that returns early by raising the hit *)
+fun find (p : 'a -> bool) (xs : 'a list) =
+  let exception Found of 'a
+      fun go ys = if null ys then nil
+                  else if p (hd ys) then raise Found (hd ys)
+                  else go (tl ys)
+  in go xs handle Found v => v :: nil end
+
+fun work n = if n = 0 then nil else n :: work (n - 1)
+
+val words = ["a", "bb", "ccc", "dddd"]
+val hit = find (fn s => size s > 2) words
+val _ = work 100            (* collections while `hit` holds the payload *)
+val it = hd hit
+"""
+
+
+def main() -> None:
+    print(__doc__)
+    prog = compile_program(FIND, strategy=Strategy.RG)
+    print(f"verified: {prog.verification_error is None}")
+    result = prog.run(gc_every_alloc=True)
+    print(f"result: {show_value(result.value)}")
+    print(f"collections survived: {result.stats.gc_count}")
+    print()
+    print("The payload type's regions were pinned to the global region by")
+    print("region inference, so the raised string is never region-deallocated")
+    print("while reachable — Section 4.4's guarantee.")
+
+
+if __name__ == "__main__":
+    main()

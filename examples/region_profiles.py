@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Region/GC memory profiles: how the strategies differ on workloads with
+different memory behaviours (the qualitative story behind Figure 9's rss
+and gc# columns).
+
+Three workloads:
+
+* *region-friendly*: a loop whose per-iteration garbage sits in regions
+  that are deallocated on every iteration — regions alone reclaim
+  everything; the collector has little to do;
+* *gc-essential*: a long-lived structure is repeatedly rebuilt so the
+  garbage's lifetime is dynamic — region inference must keep one region
+  alive and only the collector can reclaim within it (the paper's
+  barnes-hut/logic/zebra pattern);
+* *stack-only*: pure arithmetic recursion (the fib/tak pattern) — almost
+  no heap at all.
+
+Run:  python examples/region_profiles.py
+"""
+
+from repro import Strategy, compile_program
+
+REGION_FRIENDLY = """
+fun iter n =
+  if n = 0 then 0
+  else let val tmp = tabulate (50, fn i => i * n)   (* dies each round *)
+       in (foldl (fn (a, b) => a + b) 0 tmp + iter (n - 1)) mod 1000
+       end
+val it = iter 60
+"""
+
+GC_ESSENTIAL = """
+fun rebuild (xs, n) =
+  if n = 0 then xs
+  else rebuild (map (fn x => x + 1) xs, n - 1)   (* old list becomes garbage
+                                                    inside a live region *)
+val it = hd (rebuild (tabulate (60, fn i => i), 60))
+"""
+
+STACK_ONLY = """
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+val it = fib 17
+"""
+
+WORKLOADS = [
+    ("region-friendly", REGION_FRIENDLY),
+    ("gc-essential", GC_ESSENTIAL),
+    ("stack-only", STACK_ONLY),
+]
+
+
+def main() -> None:
+    print(__doc__)
+    for name, src in WORKLOADS:
+        print(f"=== {name} ===")
+        header = (
+            f"{'strategy':9s} {'peak words':>10s} {'alloc words':>11s} "
+            f"{'gc #':>5s} {'reclaimed':>10s} {'letregions':>10s}"
+        )
+        print(header)
+        for strategy in (Strategy.R, Strategy.RG, Strategy.ML):
+            prog = compile_program(src, strategy=strategy)
+            res = prog.run(initial_threshold=512)
+            s = res.stats
+            print(
+                f"{strategy.value:9s} {s.peak_words:>10d} {s.allocated_words:>11d} "
+                f"{s.gc_count:>5d} {s.gc_reclaimed_words:>10d} {s.letregions:>10d}"
+            )
+        print()
+    print(
+        "Reading the table: on the region-friendly workload `r` matches `rg`\n"
+        "without any collections (the paper's msort/fib pattern); on the\n"
+        "gc-essential workload `r` retains far more than `rg` (the paper's\n"
+        "barnes-hut/logic/zebra rows, where reference tracing is essential);\n"
+        "the `ml` column shows a conventional collector doing all the work."
+    )
+
+
+if __name__ == "__main__":
+    main()

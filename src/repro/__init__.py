@@ -1,0 +1,57 @@
+"""repro — a reproduction of *Garbage-Collection Safety for Region-Based
+Type-Polymorphic Programs* (Martin Elsman, PLDI 2023).
+
+The package implements, from scratch:
+
+* a MiniML (Standard-ML-like) frontend with Hindley-Milner inference,
+* the paper's GC-safe region type system (Section 3) as immutable data
+  plus an executable checker of the Figure 4 typing rules,
+* region inference with spurious-type-variable tracking (Section 4),
+* a region-heap abstract machine with a reference-tracing (optionally
+  generational) copying collector that detects dangling pointers,
+* the paper's evaluation harness (Figure 9) over MiniML ports of the
+  benchmark programs.
+
+Quickstart::
+
+    from repro import compile_program, Strategy
+
+    prog = compile_program("fun double x = x + x val it = double 21")
+    print(prog.pretty())            # the region-annotated program
+    result = prog.run()
+    print(result.value, result.stats.gc_count)
+"""
+
+from .config import CompilerFlags, SpuriousMode, Strategy
+from .core.errors import (
+    CoverageError,
+    DanglingPointerError,
+    MLExceptionError,
+    ParseError,
+    RegionInferenceError,
+    RegionTypeError,
+    ReproError,
+    TypeError_,
+)
+from .pipeline import CompiledProgram, RunResult, compile_program, run_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerFlags",
+    "CoverageError",
+    "DanglingPointerError",
+    "MLExceptionError",
+    "ParseError",
+    "RegionInferenceError",
+    "RegionTypeError",
+    "ReproError",
+    "RunResult",
+    "SpuriousMode",
+    "Strategy",
+    "TypeError_",
+    "compile_program",
+    "run_source",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""The Figure 9 benchmark harness: the 23 benchmark programs, the
+per-strategy measurement machinery, and the table drivers."""
+
+from .registry import BENCHMARKS, Benchmark, benchmark_source
+from .harness import Figure9Row, measure, static_counts, figure9_row
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "Figure9Row",
+    "benchmark_source",
+    "figure9_row",
+    "measure",
+    "static_counts",
+]

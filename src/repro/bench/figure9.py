@@ -1,0 +1,92 @@
+"""Regenerate the paper's Figure 9 as a text table.
+
+Usage::
+
+    python -m repro.bench.figure9 [--repeat N] [--only name,name] [--fast]
+
+Columns mirror the paper: program, loc, fcns (spurious/total functions),
+inst (spurious-boxed/total instantiations), diff, then per-strategy real
+time (seconds), rss analogue (peak heap words) and gc counts.  ``ml`` is
+our MLton stand-in (same interpreter, one conventional GC'd heap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import Strategy
+from .harness import Figure9Row, figure9_row
+from .registry import BENCHMARKS
+
+__all__ = ["main", "render_rows"]
+
+_STRATS = (Strategy.RG, Strategy.RG_MINUS, Strategy.R, Strategy.ML)
+
+
+def render_rows(rows: list, file=sys.stdout) -> None:
+    header = (
+        f"{'program':11s} {'loc':>4s} {'fcns':>8s} {'inst':>9s} {'diff':>4s} |"
+        f" {'rg(s)':>7s} {'rg-(s)':>7s} {'r(s)':>7s} {'ml(s)':>7s} |"
+        f" {'rg rss':>8s} {'rg- rss':>8s} {'r rss':>8s} |"
+        f" {'rg gc':>5s} {'rg- gc':>6s} | ok"
+    )
+    print(header, file=file)
+    print("-" * len(header), file=file)
+    for row in rows:
+        cells = {s.value: row.measurements.get(s.value) for s in _STRATS}
+
+        def t(k):
+            m = cells.get(k)
+            return f"{m.seconds:7.3f}" if m else "      -"
+
+        def w(k):
+            m = cells.get(k)
+            return f"{m.peak_words:8d}" if m else "       -"
+
+        def g(k):
+            m = cells.get(k)
+            return f"{m.gc_count:5d}" if m else "    -"
+
+        print(
+            f"{row.name:11s} {row.loc:>4d} "
+            f"{row.spurious_fcns:>3d}/{row.total_fcns:<4d} "
+            f"{row.spurious_boxed_inst:>3d}/{row.total_inst:<5d} "
+            f"{'yes' if row.diff else 'no':>4s} |"
+            f" {t('rg')} {t('rg-')} {t('r')} {t('ml')} |"
+            f" {w('rg')} {w('rg-')} {w('r')} |"
+            f" {g('rg')} {g('rg-'):>6s} | {'yes' if row.correct else 'NO'}",
+            file=file,
+        )
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timed runs per cell (best-of)")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated benchmark names")
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the ml column")
+    args = parser.parse_args(argv)
+
+    names = [n for n in args.only.split(",") if n] or sorted(BENCHMARKS)
+    strategies = _STRATS[:-1] if args.fast else _STRATS
+
+    rows: list[Figure9Row] = []
+    for name in names:
+        if name not in BENCHMARKS:
+            print(f"unknown benchmark {name!r}", file=sys.stderr)
+            return 2
+        print(f"running {name} ...", file=sys.stderr)
+        rows.append(figure9_row(name, strategies=strategies, repeat=args.repeat))
+    render_rows(rows)
+    bad = [r.name for r in rows if not r.correct]
+    if bad:
+        print(f"OUTPUT MISMATCH in: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

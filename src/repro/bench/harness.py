@@ -1,0 +1,220 @@
+"""Measurement machinery for Figure 9.
+
+Per program and per strategy we collect the analogues of the paper's
+columns:
+
+* ``real time``  — wall-clock seconds of interpretation (plus a
+  deterministic step count, since a Python interpreter's wall clock is
+  noisy);
+* ``rss``        — peak live heap words of the simulated region heap;
+* ``gc #``       — number of collections;
+
+and the static columns:
+
+* ``loc``  — lines of the MiniML port (excluding the prelude, like the
+  paper excludes the Basis);
+* ``fcns`` — spurious functions / total functions;
+* ``inst`` — spurious-boxed instantiations / total tracked
+  instantiations;
+* ``diff`` — whether the ``rg`` and ``rg-`` region annotations differ.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import CompilerFlags, Strategy
+from ..pipeline import CompiledProgram, compile_program
+from ..runtime.values import show_value
+from .registry import BENCHMARKS, benchmark_source
+
+__all__ = ["Measurement", "Figure9Row", "measure", "static_counts", "figure9_row", "loc_of"]
+
+
+@dataclass
+class Measurement:
+    strategy: Strategy
+    value: str
+    seconds: float
+    steps: int
+    peak_words: int
+    gc_count: int
+    letregions: int
+    allocations: int
+
+
+@dataclass
+class Figure9Row:
+    name: str
+    loc: int
+    spurious_fcns: int
+    total_fcns: int
+    spurious_boxed_inst: int
+    total_inst: int
+    diff: bool
+    measurements: dict = field(default_factory=dict)  # strategy value -> Measurement
+    expected: str = ""
+    correct: bool = True
+
+    def cell(self, strategy: Strategy) -> Measurement:
+        return self.measurements[strategy.value]
+
+
+def loc_of(source: str) -> int:
+    """Lines of code, excluding blanks and pure comment lines."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("(*") and stripped.endswith("*)"):
+            continue
+        count += 1
+    return count
+
+
+def measure(
+    source: str,
+    strategy: Strategy,
+    repeat: int = 1,
+    flags: Optional[CompilerFlags] = None,
+) -> Measurement:
+    """Compile once, run ``repeat`` times, report the best wall time."""
+    flags = (flags or CompilerFlags()).with_strategy(strategy)
+    prog = compile_program(source, flags=flags)
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = prog.run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    return Measurement(
+        strategy=strategy,
+        value=show_value(result.value),
+        seconds=elapsed,
+        steps=result.stats.steps,
+        peak_words=result.stats.peak_words,
+        gc_count=result.stats.gc_count,
+        letregions=result.stats.letregions,
+        allocations=result.stats.allocations,
+    )
+
+
+import re as _re
+
+
+def _prelude_names() -> list:
+    from ..frontend import ast as A
+    from ..frontend.builtins import PRELUDE_SOURCE
+    from ..frontend.parser import parse_program
+
+    names = []
+    for dec in parse_program(PRELUDE_SOURCE).decs:
+        if isinstance(dec, A.FunDec):
+            names.append(dec.name)
+        elif isinstance(dec, A.ValDec) and isinstance(dec.pat, A.PVar):
+            names.append(dec.pat.name)
+    return names
+
+
+def _program_part(term):
+    """Strip the prelude's leading Let chain (and any wrapping letregion)
+    so diffs compare only the user program, as the paper excludes the
+    Basis."""
+    from ..core import terms as T
+
+    prelude = set(_prelude_names())
+    while True:
+        if isinstance(term, T.Letregion):
+            term = term.body
+            continue
+        if isinstance(term, T.Let) and term.name in prelude:
+            prelude.discard(term.name)
+            term = term.body
+            continue
+        return term
+
+
+def _canonical(term) -> str:
+    """Pretty-print with region/effect/tyvar idents renamed by first
+    occurrence, so the rg/rg- comparison ignores fresh-variable
+    numbering differences."""
+    from ..regions.pretty import pretty_program
+
+    text = pretty_program(term, schemes=True)
+    mapping: dict = {}
+
+    def rename(match) -> str:
+        token = match.group(0)
+        if token not in mapping:
+            kind = "r" if token[0] == "r" else ("e" if token[0] == "e" else "'t")
+            mapping[token] = f"{kind}#{len(mapping)}"
+        return mapping[token]
+
+    return _re.sub(r"\b[re]\d+\b|'t\d+", rename, text)
+
+
+def _fingerprint(prog: CompiledProgram) -> tuple:
+    """A semantic fingerprint of the generated code's region behaviour:
+    region live ranges show up as peak words and letregion/allocation
+    counts.  The paper's `diff` column marks programs whose generated
+    code differs between rg and rg- "in terms of longer region live
+    ranges" — this is the executable form of that comparison."""
+    result = prog.run()
+    s = result.stats
+    return (s.letregions, s.allocations, s.region_apps, s.peak_words, s.steps)
+
+
+def static_counts(source: str, flags: Optional[CompilerFlags] = None) -> tuple:
+    """(spurious fcns, total fcns, spurious-boxed inst, total inst, diff)
+    for the user program, prelude excluded (as the paper excludes the
+    Basis library from its counts)."""
+    base = flags or CompilerFlags()
+    rg = compile_program(source, flags=base.with_strategy(Strategy.RG))
+    rg_minus = compile_program(source, flags=base.with_strategy(Strategy.RG_MINUS))
+    baseline = compile_program("val it = 0", flags=base.with_strategy(Strategy.RG))
+    try:
+        diff = _fingerprint(rg) != _fingerprint(rg_minus)
+    except Exception:
+        # rg- may crash on the very programs where the difference matters.
+        diff = True
+    s, b = rg.spurious, baseline.spurious
+    return (
+        s.spurious_functions - b.spurious_functions,
+        s.total_functions - b.total_functions,
+        s.spurious_boxed_instantiations - b.spurious_boxed_instantiations,
+        s.total_tyvar_instantiations - b.total_tyvar_instantiations,
+        diff,
+    )
+
+
+def figure9_row(
+    name: str,
+    strategies: tuple = (Strategy.RG, Strategy.RG_MINUS, Strategy.R, Strategy.ML),
+    repeat: int = 1,
+    flags: Optional[CompilerFlags] = None,
+) -> Figure9Row:
+    """Produce one full row of Figure 9 for a registered benchmark."""
+    bench = BENCHMARKS[name]
+    source = benchmark_source(name)
+    spur, total, sb_inst, t_inst, diff = static_counts(source, flags)
+    row = Figure9Row(
+        name=name,
+        loc=loc_of(source),
+        spurious_fcns=spur,
+        total_fcns=total,
+        spurious_boxed_inst=sb_inst,
+        total_inst=t_inst,
+        diff=diff,
+        expected=bench.expected,
+    )
+    for strategy in strategies:
+        m = measure(source, strategy, repeat=repeat, flags=flags)
+        row.measurements[strategy.value] = m
+        if m.value != bench.expected:
+            row.correct = False
+    return row

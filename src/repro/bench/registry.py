@@ -1,0 +1,69 @@
+"""The benchmark registry: the 23 programs of the paper's Figure 9, as
+MiniML ports (see DESIGN.md for the per-program mapping and scaling
+notes), each with its expected result for correctness checking and its
+paper-reported characteristics for EXPERIMENTS.md comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Benchmark", "BENCHMARKS", "benchmark_source", "PROGRAMS_DIR"]
+
+PROGRAMS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "programs"
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One Figure 9 row.
+
+    ``expected`` is the rendered value of ``it`` (an output-correctness
+    oracle shared by all strategies).  ``paper_loc`` is the size of the
+    original SML program; ``paper_spurious`` the paper's `fcns` numerator;
+    ``paper_diff`` the paper's `diff` column; ``gc_essential`` marks the
+    rows where the paper's rss column shows reference tracing is
+    essential (r much worse than rg)."""
+
+    name: str
+    expected: str
+    paper_loc: int
+    paper_spurious: int
+    paper_total_fcns: int
+    paper_diff: bool
+    gc_essential: bool = False
+    stack_only: bool = False
+
+
+BENCHMARKS: dict[str, Benchmark] = {
+    b.name: b
+    for b in [
+        Benchmark("dlx", "25840", 2841, 2, 149, True),
+        Benchmark("barnes_hut", "162", 1245, 2, 140, True, gc_essential=True),
+        Benchmark("fft", "1", 73, 0, 19, False),
+        Benchmark("fib", "2584", 7, 0, 1, False, stack_only=True),
+        Benchmark("kbc", "700", 679, 1, 90, True),
+        Benchmark("lexgen", "12012", 1322, 0, 108, False),
+        Benchmark("life", "9", 202, 0, 35, False),
+        Benchmark("logic", "25", 351, 0, 22, False, gc_essential=True),
+        Benchmark("mandelbrot", "67", 62, 0, 5, False),
+        Benchmark("mlyacc", "~4455", 7385, 10, 966, True),
+        Benchmark("mpuz", "6", 124, 0, 13, False),
+        Benchmark("msort_rf", "31", 119, 0, 14, False),
+        Benchmark("msort", "31", 113, 0, 13, False),
+        Benchmark("nucleic", "2970", 3215, 1, 40, False, gc_essential=True),
+        Benchmark("professor", "84", 282, 0, 57, False),
+        Benchmark("ratio", "7", 620, 0, 54, False),
+        Benchmark("ray", "176", 529, 1, 48, False),
+        Benchmark("simple", "496", 1053, 15, 327, True),
+        Benchmark("tak", "1", 12, 0, 2, False, stack_only=True),
+        Benchmark("tsp", "310", 493, 0, 26, False),
+        Benchmark("vliw", "180", 3681, 5, 563, True),
+        Benchmark("zebra", "3", 313, 2, 50, True, gc_essential=True),
+        Benchmark("zern", "~129", 605, 3, 103, True),
+    ]
+}
+
+
+def benchmark_source(name: str) -> str:
+    """Read a benchmark program's MiniML source."""
+    return (PROGRAMS_DIR / f"{name}.mml").read_text()

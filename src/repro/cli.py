@@ -1,0 +1,99 @@
+"""Command-line interface: compile and run MiniML programs.
+
+Usage::
+
+    repro-run program.mml [--strategy rg|rg-|r|trivial|ml]
+                          [--pretty] [--stats] [--gc-every-alloc]
+                          [--no-verify] [--no-prelude]
+
+Prints the program's ``print`` output, then the value of ``it``.
+``--pretty`` shows the region-annotated program instead of running it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import CompilerFlags, Strategy
+from .core.errors import ReproError
+from .pipeline import compile_program
+from .runtime.values import show_value
+
+__all__ = ["main"]
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-run", description=__doc__)
+    parser.add_argument("file", help="MiniML source file (or - for stdin)")
+    parser.add_argument(
+        "--strategy",
+        default="rg",
+        choices=[s.value for s in Strategy],
+        help="compilation strategy (default: rg, the paper's sound system)",
+    )
+    parser.add_argument("--pretty", action="store_true",
+                        help="print the region-annotated program and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print execution statistics")
+    parser.add_argument("--gc-every-alloc", action="store_true",
+                        help="run a collection at every allocation")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the Figure 4 type-checker pass")
+    parser.add_argument("--no-prelude", action="store_true",
+                        help="compile without the Basis-excerpt prelude")
+    args = parser.parse_args(argv)
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+
+    flags = CompilerFlags(
+        strategy=Strategy(args.strategy),
+        verify=not args.no_verify,
+        with_prelude=not args.no_prelude,
+    )
+    try:
+        prog = compile_program(source, flags=flags)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if prog.verification_error is not None:
+        print(
+            f"warning: the region annotation violates the Figure 4 rules "
+            f"(expected under {flags.strategy.value}):\n  {prog.verification_error}",
+            file=sys.stderr,
+        )
+    if args.pretty:
+        print(prog.pretty())
+        return 0
+
+    try:
+        result = prog.run(gc_every_alloc=args.gc_every_alloc)
+    except ReproError as exc:
+        print(f"runtime error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+    if result.output:
+        sys.stdout.write(result.output)
+        if not result.output.endswith("\n"):
+            sys.stdout.write("\n")
+    print(f"val it = {show_value(result.value)}")
+    if args.stats:
+        s = result.stats
+        print(
+            f"[stats] wall={result.wall_seconds:.3f}s steps={s.steps} "
+            f"allocs={s.allocations} alloc_words={s.allocated_words} "
+            f"peak_words={s.peak_words} gc={s.gc_count} "
+            f"(minor {s.gc_minor_count}) letregions={s.letregions} "
+            f"region_stack_max={s.max_region_stack}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

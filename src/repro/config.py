@@ -1,0 +1,124 @@
+"""Compilation strategies and flags (paper Section 5).
+
+The paper compares three MLKit compilation strategies plus MLton:
+
+* ``rg``  — region inference **with** spurious-type-variable tracking,
+  combined with reference-tracing garbage collection.  This is the sound
+  system the paper contributes.
+* ``rg-`` — like ``rg`` but *without* taking spurious type variables into
+  account.  Unsound: the collector can meet dangling pointers.
+* ``r``   — region inference alone, no collector.  Dangling pointers are
+  permitted (and harmless, since the mutator never dereferences them).
+* MLton   — a conventional whole-program compiler with a tracing collector
+  and no regions.  Our stand-in is the ``ml`` strategy: the same
+  interpreter with a single garbage-collected heap and no region
+  management at all.
+
+``trivial`` implements the trivial region-inference algorithm of
+Section 4.1 (everything in one global region, every arrow effect is the
+global arrow effect): useful as a baseline and as a differential-testing
+oracle, since it is sound by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Strategy", "SpuriousMode", "CompilerFlags", "RuntimeFlags"]
+
+
+class Strategy(enum.Enum):
+    """Top-level compilation strategy (the Figure 9 columns)."""
+
+    RG = "rg"
+    RG_MINUS = "rg-"
+    R = "r"
+    TRIVIAL = "trivial"
+    ML = "ml"
+
+    @property
+    def uses_regions(self) -> bool:
+        return self is not Strategy.ML
+
+    @property
+    def uses_gc(self) -> bool:
+        return self in (Strategy.RG, Strategy.RG_MINUS, Strategy.ML, Strategy.TRIVIAL)
+
+    @property
+    def tracks_spurious(self) -> bool:
+        """``rg`` is the paper's sound system; ``trivial`` and ``ml`` are
+        vacuously safe (everything is global) and keep tracking on so
+        their annotations verify.  ``rg-`` and ``r`` reproduce the
+        pre-paper inference: no spurious-type-variable tracking."""
+        return self in (Strategy.RG, Strategy.TRIVIAL, Strategy.ML)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.value
+
+
+class SpuriousMode(enum.Enum):
+    """How the arrow effect of a spurious type variable is chosen
+    (Section 2, type schemes (2) vs (3)).
+
+    ``SECONDARY``: each spurious type variable gets its own fresh
+    (secondary) effect variable, added to the latent effect of the
+    function arrow — type scheme (2).
+
+    ``IDENTIFY``: the spurious type variable's effect variable is
+    identified with the arrow effect of the function type in which the
+    variable appears free in the type of a free identifier — type scheme
+    (3).  No secondary effect variables, but potentially larger region
+    live ranges (the ablation of Section 5 / our bench_ablation).
+    """
+
+    SECONDARY = "secondary"
+    IDENTIFY = "identify"
+
+
+@dataclass(frozen=True)
+class RuntimeFlags:
+    """Knobs of the region abstract machine."""
+
+    #: Words per region page (the MLKit uses 1-4 KiB pages; our unit is
+    #: an abstract 8-byte word).
+    page_words: int = 256
+    #: Trigger a collection when the heap grows beyond ``heap_to_live``
+    #: times the live data retained by the previous collection.
+    heap_to_live: float = 3.0
+    #: Initial collection threshold in words.
+    initial_threshold: int = 4096
+    #: Use a two-generation collector (minor collections of young pages).
+    generational: bool = False
+    #: Crash-test mode: run a collection at *every* allocation.  Slow;
+    #: used by the property tests to hunt dangling pointers aggressively.
+    gc_every_alloc: bool = False
+    #: Hard bounds so runaway programs fail fast in tests.
+    max_steps: int | None = None
+    max_depth: int = 40_000
+
+
+@dataclass(frozen=True)
+class CompilerFlags:
+    """Everything the pipeline needs to know."""
+
+    strategy: Strategy = Strategy.RG
+    spurious_mode: SpuriousMode = SpuriousMode.SECONDARY
+    #: Run Bjorner-style type minimization before region inference
+    #: (Section 4.2: reduces the number of spurious type variables).
+    minimize_types: bool = True
+    #: Run the multiplicity analysis that turns single-put regions into
+    #: stack-allocated finite regions.
+    multiplicity: bool = True
+    #: Drop region parameters that a function never stores into.
+    drop_regions: bool = True
+    #: Verify the region-annotated output against the Figure 4 rules.
+    #: For ``rg`` this must always succeed; for ``rg-`` a failure is
+    #: recorded on the compiled program instead of raised.
+    verify: bool = True
+    #: Include the MiniML prelude (the Basis-library excerpt).
+    with_prelude: bool = True
+    runtime: RuntimeFlags = field(default_factory=RuntimeFlags)
+
+    def with_strategy(self, strategy: Strategy) -> "CompilerFlags":
+        return replace(self, strategy=strategy)

@@ -1,0 +1,74 @@
+"""The paper's formal system (Section 3): regions, effects, region types,
+substitutions, containment, instantiation, GC safety, the region-annotated
+term language, and the Figure 4 typing rules as an executable checker."""
+
+from .effects import (
+    ARROW_TOP,
+    ArrowEffect,
+    EffectBasis,
+    EffectVar,
+    EMPTY_EFFECT,
+    EPS_TOP,
+    RegionVar,
+    RHO_TOP,
+    VarSupply,
+    effect,
+    show_effect,
+)
+from .errors import (
+    CoverageError,
+    DanglingPointerError,
+    LexError,
+    MLExceptionError,
+    ParseError,
+    RegionInferenceError,
+    RegionTypeError,
+    ReproError,
+    RuntimeFault,
+    TypeError_,
+    UseAfterFreeError,
+)
+from .rtypes import (
+    EMPTY_CTX,
+    MU_BOOL,
+    MU_INT,
+    MU_UNIT,
+    Mu,
+    MuBase,
+    MuBoxed,
+    MuVar,
+    Pi,
+    PiScheme,
+    Scheme,
+    TAU_EXN,
+    TAU_REAL,
+    TAU_STRING,
+    TauArrow,
+    TauList,
+    TauPair,
+    TauRef,
+    TyCtx,
+    TyVar,
+    arrow_mu,
+    frev,
+    frv,
+    ftv,
+    show_mu,
+    show_pi,
+    show_scheme,
+    show_tau,
+)
+from .substitution import EMPTY_SUBST, Subst, rename_scheme
+from .containment import (
+    check_coverage,
+    contained_mu,
+    contained_pi,
+    is_covered,
+    required_effect_mu,
+    required_effect_pi,
+)
+from .instantiation import check_instance, instantiate
+from .gcsafety import context_contained, expr_contained, gc_safe, value_contained
+from .typecheck import CheckResult, RegionTypeChecker, typecheck
+
+__all__ = [name for name in dir() if not name.startswith("_")]

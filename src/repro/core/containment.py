@@ -1,0 +1,278 @@
+"""Type containment and substitution coverage (paper Sections 3.2-3.3).
+
+*Type containment* ``Omega |- mu : phi`` says all free region and effect
+variables of ``mu`` — including, via ``Omega``, the arrow effects of the
+type variables occurring in ``mu`` — are in the effect ``phi``.  It extends
+to type schemes by discharging the bound variables.
+
+Two implementations are provided and tested against each other:
+
+* :func:`contained_mu` / :func:`contained_pi` — direct transcriptions of
+  the inference rules, returning a boolean;
+* :func:`required_effect_mu` / :func:`required_effect_pi` — the *minimal*
+  effect in which the object is contained, exploiting the observation
+  (Propositions 1-2 plus effect extensibility) that
+  ``Omega |- o : phi  iff  required_effect(Omega, o) subseteq phi``.
+
+The paper's formal system puts every quantified type variable in the
+type-variable context; its implementation (Section 4) only associates
+arrow effects with *spurious* type variables — those that occur in the
+type of a captured identifier but not in the function's own type.  Type
+variables that do occur in the function's own type are safe without
+tracking, because their instances remain visible in instantiated types
+and region inference keeps visible regions alive.  The ``lenient``
+parameter expresses this: type variables in ``lenient`` that lack an
+``Omega`` entry are treated as contained.  The GC-safety check passes
+``lenient = ftv(function type)``; the *coverage* check passes the empty
+set — so a type variable occurring in a type instantiated for a spurious
+type variable must itself be tracked, which is exactly the paper's
+transitive spuriousness rule (Section 4.3).
+
+*Substitution coverage* ``Omega |- St : Delta`` (Section 3.3) is the key
+device of the paper: a type substitution is covered when, for every
+``alpha`` in its domain with an arrow effect, the substituted type is
+contained in the effect ``frev(Delta(alpha))``.  Coverage is what makes
+type containment — and with it the whole type system — closed under type
+substitution (Proposition 5), and it is precisely the check the unsound
+``rg-`` configuration omits.
+"""
+
+from __future__ import annotations
+
+from .effects import Effect, EMPTY_EFFECT, show_effect
+from .errors import CoverageError, RegionTypeError
+from .rtypes import (
+    Mu,
+    MuBase,
+    MuBoxed,
+    MuVar,
+    Pi,
+    PiScheme,
+    Scheme,
+    Tau,
+    TauArrow,
+    TauData,
+    TauExn,
+    TauList,
+    TauPair,
+    TauReal,
+    TauRef,
+    TauString,
+    TyCtx,
+    frev,
+)
+from .substitution import Subst
+
+__all__ = [
+    "contained_mu",
+    "contained_tau_at",
+    "contained_pi",
+    "required_effect_mu",
+    "required_effect_pi",
+    "check_coverage",
+    "is_covered",
+]
+
+_NO_TYVARS: frozenset = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Rule-based containment (direct transcription of the figure)
+# ---------------------------------------------------------------------------
+
+
+def contained_mu(omega: TyCtx, mu: Mu, phi: Effect, lenient: frozenset = _NO_TYVARS) -> bool:
+    """``Omega |- mu : phi`` per the type-containment rules."""
+    if isinstance(mu, MuVar):
+        if mu.alpha in lenient:
+            # Visible in the relevant type: its instances stay visible in
+            # instantiated types, no effect tracking needed (Section 4).
+            return True
+        ae = omega.get(mu.alpha)
+        if ae is None:
+            return False
+        return ae.frev() <= phi
+    if isinstance(mu, MuBase):
+        return True
+    if isinstance(mu, MuBoxed):
+        return mu.rho in phi and contained_tau_at(omega, mu.tau, phi, lenient)
+    raise TypeError(f"contained_mu: {mu!r}")
+
+
+def contained_tau_at(
+    omega: TyCtx, tau: Tau, phi: Effect, lenient: frozenset = _NO_TYVARS
+) -> bool:
+    """Containment conditions contributed by the boxed constructor itself
+    (its place has already been checked by the caller)."""
+    if isinstance(tau, TauPair):
+        return contained_mu(omega, tau.fst, phi, lenient) and contained_mu(
+            omega, tau.snd, phi, lenient
+        )
+    if isinstance(tau, TauArrow):
+        return (
+            contained_mu(omega, tau.dom, phi, lenient)
+            and contained_mu(omega, tau.cod, phi, lenient)
+            and tau.arrow.latent <= phi
+            and tau.arrow.handle in phi
+        )
+    if isinstance(tau, (TauString, TauReal, TauExn)):
+        return True
+    if isinstance(tau, TauList):
+        return contained_mu(omega, tau.elem, phi, lenient)
+    if isinstance(tau, TauRef):
+        return contained_mu(omega, tau.content, phi, lenient)
+    if isinstance(tau, TauData):
+        return all(contained_mu(omega, a, phi, lenient) for a in tau.targs)
+    raise TypeError(f"contained_tau_at: {tau!r}")
+
+
+def contained_pi(
+    omega: TyCtx, pi: Pi, phi: Effect, lenient: frozenset = _NO_TYVARS
+) -> bool:
+    """``Omega |- pi : phi`` — type-scheme containment.
+
+    For ``(all rvec evec alphavec Delta.tau, rho)`` the rules require the
+    body to be contained (under ``Omega + Delta``) in ``phi`` extended with
+    the bound region/effect variables, ``rho in phi``, the bound variables
+    disjoint from ``frev(Omega, rho)``, and ``dom(Delta)`` disjoint from
+    ``dom(Omega)``.
+    """
+    if not isinstance(pi, PiScheme):
+        return contained_mu(omega, pi, phi, lenient)
+    sigma = pi.scheme
+    bound = sigma.bound_atoms()
+    if bound & frev(omega, pi.rho):
+        return False
+    if set(sigma.delta) & set(omega):
+        return False
+    inner_omega = omega.extend(sigma.delta)
+    inner_phi = phi | bound
+    inner_lenient = lenient | frozenset(sigma.tvars)
+    return pi.rho in phi and contained_mu(
+        inner_omega, MuBoxed(sigma.body, pi.rho), inner_phi | {pi.rho}, inner_lenient
+    )
+
+
+# ---------------------------------------------------------------------------
+# Minimal required effects (closed form)
+# ---------------------------------------------------------------------------
+
+
+def required_effect_mu(
+    omega: TyCtx, mu: Mu, lenient: frozenset = _NO_TYVARS
+) -> Effect:
+    """The least ``phi`` with ``Omega |- mu : phi``.
+
+    For a type variable that is neither bound in ``Omega`` nor lenient
+    there is no such effect; :class:`RegionTypeError` is raised so misuse
+    is loud.
+    """
+    out: set = set()
+    _collect_mu(omega, mu, out, lenient)
+    return frozenset(out)
+
+
+def _collect_mu(omega: TyCtx, mu: Mu, out: set, lenient: frozenset) -> None:
+    if isinstance(mu, MuVar):
+        if mu.alpha in lenient:
+            return
+        ae = omega.get(mu.alpha)
+        if ae is None:
+            raise RegionTypeError(
+                f"type variable {mu.alpha.display()} is neither tracked in the "
+                "type-variable context nor visible in the function type — an "
+                "untracked spurious type variable"
+            )
+        out |= ae.frev()
+    elif isinstance(mu, MuBase):
+        pass
+    elif isinstance(mu, MuBoxed):
+        out.add(mu.rho)
+        _collect_tau(omega, mu.tau, out, lenient)
+    else:
+        raise TypeError(f"required_effect_mu: {mu!r}")
+
+
+def _collect_tau(omega: TyCtx, tau: Tau, out: set, lenient: frozenset) -> None:
+    if isinstance(tau, TauPair):
+        _collect_mu(omega, tau.fst, out, lenient)
+        _collect_mu(omega, tau.snd, out, lenient)
+    elif isinstance(tau, TauArrow):
+        out.add(tau.arrow.handle)
+        out |= tau.arrow.latent
+        _collect_mu(omega, tau.dom, out, lenient)
+        _collect_mu(omega, tau.cod, out, lenient)
+    elif isinstance(tau, (TauString, TauReal, TauExn)):
+        pass
+    elif isinstance(tau, TauList):
+        _collect_mu(omega, tau.elem, out, lenient)
+    elif isinstance(tau, TauRef):
+        _collect_mu(omega, tau.content, out, lenient)
+    elif isinstance(tau, TauData):
+        for a in tau.targs:
+            _collect_mu(omega, a, out, lenient)
+    else:
+        raise TypeError(f"required_effect_tau: {tau!r}")
+
+
+def required_effect_pi(
+    omega: TyCtx, pi: Pi, lenient: frozenset = _NO_TYVARS
+) -> Effect:
+    """The least ``phi`` with ``Omega |- pi : phi`` (see
+    :func:`required_effect_mu`)."""
+    if not isinstance(pi, PiScheme):
+        return required_effect_mu(omega, pi, lenient)
+    sigma = pi.scheme
+    inner_omega = omega.extend(sigma.delta)
+    inner_lenient = lenient | frozenset(sigma.tvars)
+    inner = set(
+        required_effect_mu(inner_omega, MuBoxed(sigma.body, pi.rho), inner_lenient)
+    )
+    inner -= sigma.bound_atoms()
+    inner.add(pi.rho)
+    return frozenset(inner)
+
+
+# ---------------------------------------------------------------------------
+# Substitution coverage  Omega |- St : Delta
+# ---------------------------------------------------------------------------
+
+
+def check_coverage(omega: TyCtx, subst: Subst, delta: TyCtx) -> None:
+    """Check ``Omega |- St : Delta``; raise :class:`CoverageError` otherwise.
+
+    Requires ``dom(Delta) subseteq dom(St)`` and, for every tracked
+    ``alpha``, ``Omega |- St(alpha) : frev(Delta(alpha))``.  Coverage is
+    *strict* about type variables: a type variable occurring in
+    ``St(alpha)`` must itself be tracked in ``Omega`` (the transitive
+    spuriousness rule of Section 4.3).
+    """
+    missing = set(delta) - set(subst.ty)
+    if missing:
+        raise CoverageError(
+            "substitution does not instantiate the tracked type variables "
+            f"{sorted(a.display() for a in missing)}"
+        )
+    for alpha, ae in delta.items():
+        target = subst.ty[alpha]
+        budget = ae.frev()
+        try:
+            need = required_effect_mu(omega, target)
+        except RegionTypeError as exc:
+            raise CoverageError(str(exc)) from exc
+        if not need <= budget:
+            diff = need - budget
+            raise CoverageError(
+                f"type instantiated for {alpha.display()} mentions "
+                f"{show_effect(diff)} not covered by its arrow effect "
+                f"{ae.display()} — a dangling pointer could escape"
+            )
+
+
+def is_covered(omega: TyCtx, subst: Subst, delta: TyCtx) -> bool:
+    """Boolean form of :func:`check_coverage`."""
+    try:
+        check_coverage(omega, subst, delta)
+    except CoverageError:
+        return False
+    return True

@@ -1,0 +1,267 @@
+"""Regions, effects, and arrow effects (paper Section 3.1 and 3.5).
+
+The vocabulary of the region type system:
+
+* *region variables* ``rho`` (:class:`RegionVar`),
+* *effect variables* ``eps`` (:class:`EffectVar`),
+* *atomic effects* ``eta`` — either of the above,
+* *effects* ``phi`` — finite sets of atomic effects (plain ``frozenset``),
+* *arrow effects* ``eps.phi`` (:class:`ArrowEffect`) — a pair of an effect
+  variable (the *handle*) and an effect (its *latent* effect).
+
+Function types are annotated with arrow effects rather than bare effects so
+that effects can *grow* under substitution and so that unification-based
+region inference has unifiers (Section 3.5).
+
+An :class:`EffectBasis` records the denotation of every effect variable in
+a derivation and enforces the two consistency conditions from Section 3.5:
+the basis is *functional* (``eps = eps'`` implies ``phi = phi'``) and
+*transitive* (``eps' in phi`` implies ``phi' subseteq phi``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+__all__ = [
+    "RegionVar",
+    "EffectVar",
+    "Atom",
+    "Effect",
+    "ArrowEffect",
+    "EMPTY_EFFECT",
+    "RHO_TOP",
+    "EPS_TOP",
+    "ARROW_TOP",
+    "effect",
+    "is_region",
+    "is_effectvar",
+    "regions_of",
+    "effectvars_of",
+    "VarSupply",
+    "EffectBasis",
+    "show_effect",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RegionVar:
+    """A region variable ``rho``.
+
+    Identity is the numeric ``ident``; ``name`` is for display only.
+    ``top`` marks global (top-level) regions, which are never deallocated
+    and therefore can never be the target of a dangling pointer.
+    """
+
+    ident: int
+    name: str = field(default="", compare=False)
+    top: bool = field(default=False, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.display()
+
+    def display(self) -> str:
+        if self.name:
+            return self.name
+        return f"r{self.ident}"
+
+
+@dataclass(frozen=True, slots=True)
+class EffectVar:
+    """An effect variable ``eps``.  Identity is the numeric ``ident``."""
+
+    ident: int
+    name: str = field(default="", compare=False)
+    top: bool = field(default=False, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.display()
+
+    def display(self) -> str:
+        if self.name:
+            return self.name
+        return f"e{self.ident}"
+
+
+Atom = Union[RegionVar, EffectVar]
+Effect = frozenset  # an effect ``phi`` is a frozenset of Atom
+
+EMPTY_EFFECT: Effect = frozenset()
+
+#: The distinguished global region: top-level values (string literals that
+#: escape, exception values, ...) live here.  It is pre-allocated and never
+#: deallocated by the runtime.
+RHO_TOP = RegionVar(0, "rtop", top=True)
+
+#: The distinguished global effect variable used by the trivial region
+#: inference algorithm of Section 4.1 and for exception type variables
+#: (Section 4.4).
+EPS_TOP = EffectVar(0, "etop", top=True)
+
+
+def effect(*atoms: Atom) -> Effect:
+    """Build an effect from atomic effects."""
+    return frozenset(atoms)
+
+
+def is_region(atom: Atom) -> bool:
+    return isinstance(atom, RegionVar)
+
+
+def is_effectvar(atom: Atom) -> bool:
+    return isinstance(atom, EffectVar)
+
+
+def regions_of(phi: Iterable[Atom]) -> frozenset:
+    """The region variables of an effect."""
+    return frozenset(a for a in phi if isinstance(a, RegionVar))
+
+
+def effectvars_of(phi: Iterable[Atom]) -> frozenset:
+    """The effect variables of an effect."""
+    return frozenset(a for a in phi if isinstance(a, EffectVar))
+
+
+@dataclass(frozen=True, slots=True)
+class ArrowEffect:
+    """An arrow effect ``eps.phi``: an effect-variable handle plus its
+    latent effect."""
+
+    handle: EffectVar
+    latent: Effect = EMPTY_EFFECT
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.handle, EffectVar):
+            raise TypeError(f"arrow-effect handle must be an EffectVar, got {self.handle!r}")
+        if not isinstance(self.latent, frozenset):
+            object.__setattr__(self, "latent", frozenset(self.latent))
+
+    def frev(self) -> Effect:
+        """``frev(eps.phi) = {eps} | phi`` — all free region and effect
+        variables of the arrow effect."""
+        return self.latent | {self.handle}
+
+    def widen(self, extra: Iterable[Atom]) -> "ArrowEffect":
+        """The arrow effect with ``extra`` atoms added to the latent set."""
+        return ArrowEffect(self.handle, self.latent | frozenset(extra))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.display()
+
+    def display(self) -> str:
+        return f"{self.handle.display()}.{show_effect(self.latent)}"
+
+
+#: The arrow effect assigned by the trivial inference algorithm.
+ARROW_TOP = ArrowEffect(EPS_TOP, effect(RHO_TOP))
+
+
+def show_effect(phi: Iterable[Atom]) -> str:
+    """Render an effect as ``{r1,e2,...}`` deterministically."""
+    atoms = sorted(phi, key=lambda a: (isinstance(a, EffectVar), a.ident))
+    inner = ",".join(a.display() for a in atoms)
+    return "{" + inner + "}"
+
+
+class VarSupply:
+    """A supply of fresh region, effect, and type variable identifiers.
+
+    Identifier 0 is reserved for the global ``RHO_TOP`` / ``EPS_TOP``
+    variables, so supplies start at 1 (or at a caller-provided floor, which
+    lets a pass continue numbering where a previous pass stopped).
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(max(1, start))
+
+    def next_ident(self) -> int:
+        return next(self._counter)
+
+    def fresh_region(self, name: str = "") -> RegionVar:
+        ident = self.next_ident()
+        return RegionVar(ident, name or f"r{ident}")
+
+    def fresh_effectvar(self, name: str = "") -> EffectVar:
+        ident = self.next_ident()
+        return EffectVar(ident, name or f"e{ident}")
+
+    def fresh_arrow(self, latent: Iterable[Atom] = ()) -> ArrowEffect:
+        return ArrowEffect(self.fresh_effectvar(), frozenset(latent))
+
+
+class EffectBasis:
+    """The denotations of effect variables appearing in a derivation.
+
+    Section 3.5: rather than threading an external effect basis through the
+    typing rules, the paper annotates arrows with full arrow effects.  The
+    basis is still a useful *validation* device: collecting every arrow
+    effect of a program into a basis and checking functionality and
+    transitivity catches inconsistent annotations early.
+    """
+
+    def __init__(self) -> None:
+        self._map: dict[EffectVar, Effect] = {}
+
+    def __contains__(self, eps: EffectVar) -> bool:
+        return eps in self._map
+
+    def __getitem__(self, eps: EffectVar) -> Effect:
+        return self._map[eps]
+
+    def __iter__(self) -> Iterator[EffectVar]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def record(self, arrow: ArrowEffect) -> None:
+        """Record ``arrow`` in the basis.
+
+        Raises ``ValueError`` if the basis would stop being functional
+        (same handle, different latent effect).
+        """
+        existing = self._map.get(arrow.handle)
+        if existing is None:
+            self._map[arrow.handle] = arrow.latent
+        elif existing != arrow.latent:
+            raise ValueError(
+                f"effect basis not functional at {arrow.handle.display()}: "
+                f"{show_effect(existing)} vs {show_effect(arrow.latent)}"
+            )
+
+    def check_transitive(self) -> list[str]:
+        """Return a list of transitivity violations (empty when consistent).
+
+        Transitivity: if ``eps' in phi`` and both are in the basis then
+        ``phi' subseteq phi``.
+        """
+        problems: list[str] = []
+        for eps, phi in self._map.items():
+            for atom in phi:
+                if isinstance(atom, EffectVar) and atom in self._map:
+                    inner = self._map[atom]
+                    if not inner <= phi:
+                        missing = inner - phi
+                        problems.append(
+                            f"{eps.display()} contains {atom.display()} but misses "
+                            f"{show_effect(missing)} from its denotation"
+                        )
+        return problems
+
+    def closure(self, phi: Effect) -> Effect:
+        """The transitive closure of ``phi`` through the basis: add the
+        denotation of every effect variable reachable from ``phi``."""
+        seen: set = set()
+        work = list(phi)
+        out: set = set(phi)
+        while work:
+            atom = work.pop()
+            if isinstance(atom, EffectVar) and atom not in seen:
+                seen.add(atom)
+                for inner in self._map.get(atom, EMPTY_EFFECT):
+                    if inner not in out:
+                        out.add(inner)
+                        work.append(inner)
+        return frozenset(out)

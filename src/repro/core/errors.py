@@ -1,0 +1,101 @@
+"""Exception hierarchy shared by the whole repro package.
+
+Every error raised by the compiler pipeline or the runtime derives from
+:class:`ReproError`, so callers can catch one type.  The distinction that
+matters for the paper is :class:`DanglingPointerError`: it is raised when
+the reference-tracing collector traces a pointer into a deallocated region,
+i.e. exactly the failure mode that the GC-safe region type system rules
+out (Section 1 and Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(ReproError):
+    """Raised by the MiniML lexer on malformed input."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class ParseError(ReproError):
+    """Raised by the MiniML parser on a syntax error."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class TypeError_(ReproError):
+    """Raised by Hindley-Milner type inference on an ill-typed program.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class RegionTypeError(ReproError):
+    """Raised by the region type checker when a region-annotated program
+    violates the typing rules of Figure 4 (including the GC-safety side
+    conditions and the substitution-coverage requirement)."""
+
+
+class CoverageError(RegionTypeError):
+    """A type substitution failed the coverage requirement ``Omega |- S : Delta``.
+
+    This is the specific check that the unsound ``rg-`` strategy omits: a
+    type instantiated for a spurious type variable mentions regions that do
+    not appear in the arrow effect associated with that variable.
+    """
+
+
+class RegionInferenceError(ReproError):
+    """Raised when region inference cannot produce an annotation (a bug, or
+    the bounded polymorphic-recursion fixpoint failed to converge and no
+    monomorphic fallback applied)."""
+
+
+class RuntimeFault(ReproError):
+    """Base class for faults of the region abstract machine."""
+
+
+class DanglingPointerError(RuntimeFault):
+    """The collector traced a pointer into a deallocated region.
+
+    This is the observable unsoundness the paper fixes: under the ``rg-``
+    strategy the program of Figure 1 deallocates the region holding the
+    string ``"ohno"`` while a live closure still points to it; the next
+    collection stumbles over the dangling pointer and raises this error.
+    """
+
+    def __init__(self, message: str, region_id: int | None = None) -> None:
+        super().__init__(message)
+        self.region_id = region_id
+
+
+class UseAfterFreeError(RuntimeFault):
+    """The *program itself* dereferenced a value in a deallocated region.
+
+    Distinct from :class:`DanglingPointerError`: region inference guarantees
+    this never happens in any strategy (soundness of region inference
+    proper); it is detected so tests can assert its absence.
+    """
+
+
+class MLExceptionError(RuntimeFault):
+    """An uncaught MiniML exception escaped to top level."""
+
+    def __init__(self, exn_name: str, payload: object = None) -> None:
+        super().__init__(f"uncaught exception {exn_name}")
+        self.exn_name = exn_name
+        self.payload = payload
+
+
+class InterpreterLimit(RuntimeFault):
+    """The interpreter hit a configured resource bound (steps or depth)."""

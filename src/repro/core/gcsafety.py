@@ -1,0 +1,191 @@
+"""Value containment, context containment, and the GC-safety relation
+(paper Section 3.7, Figures 3 and 7).
+
+*Value containment* ``phi |= v`` / ``phi |=v e`` says every value embedded
+in a term lives in a region in ``phi`` (and that regions bound by inner
+``letregion``/``fun`` binders are suitably fresh).  *Context containment*
+``phi |=c e`` extends this through an evaluation context, adding the
+regions bound by the ``letregion``s that surround the hole — Theorem 2
+states it is preserved by evaluation, which is what makes interleaving a
+reference-tracing collector with evaluation safe.
+
+The *GC-safety relation*
+
+.. code-block:: text
+
+    G(Omega, Gamma, e, X, pi) =  frv(pi) |=v e
+                              and forall y in fpv(e)\\X.
+                                    Omega |- Gamma(y) : frev(pi)
+
+is the side condition on the typing rules for functions ([TeLam], [TeFun])
+that rules dangling pointers out: every free variable of a function body
+must have a type contained in the free region/effect variables of the
+function's own type, so that whatever the closure keeps alive is visible
+in the function's type (and hence kept alive by region inference).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .containment import contained_pi
+from .effects import Effect, RegionVar
+from .rtypes import Pi, PiScheme, TyCtx, frev, frv, ftv
+from . import terms as T
+
+__all__ = [
+    "value_contained",
+    "expr_contained",
+    "context_contained",
+    "gc_safe",
+    "gc_safety_failures",
+]
+
+
+def value_contained(phi: Effect, v: T.Value) -> bool:
+    """``phi |= v`` (Figure 3, values)."""
+    if isinstance(v, (T.VInt, T.VBool, T.VUnit, T.VNil)):
+        return True
+    if isinstance(v, (T.VStr, T.VReal)):
+        return v.rho in phi
+    if isinstance(v, (T.VPair, T.VCons)):
+        return (
+            v.rho in phi
+            and value_contained(phi, v.fst if isinstance(v, T.VPair) else v.head)
+            and value_contained(phi, v.snd if isinstance(v, T.VPair) else v.tail)
+        )
+    if isinstance(v, T.VClos):
+        return v.rho in phi and expr_contained(phi, v.body)
+    if isinstance(v, T.VFunClos):
+        return (
+            v.rho in phi
+            and expr_contained(phi, v.body)
+            and not (set(v.rparams) & phi)
+        )
+    raise TypeError(f"value_contained: {v!r}")
+
+
+def expr_contained(phi: Effect, e: T.Term) -> bool:
+    """``phi |=v e`` (Figure 3, expressions)."""
+    if isinstance(e, T.Value):
+        return value_contained(phi, e)
+    if isinstance(e, T.Letregion):
+        return not (set(e.rhos) & phi) and expr_contained(phi, e.body)
+    if isinstance(e, T.FunDef):
+        return not (set(e.rparams) & phi) and expr_contained(phi, e.body)
+    return all(expr_contained(phi, c) for c in T.iter_children(e))
+
+
+def context_contained(phi: Effect, e: T.Term) -> bool:
+    """``phi |=c e`` (Figure 7).
+
+    Containment through the spine of the term viewed as an evaluation
+    context: descending through a ``letregion rho`` *adds* ``rho`` to the
+    containing set (the region is on the region stack), while sub-terms off
+    the evaluation spine are checked with plain value containment.
+    """
+    if isinstance(e, T.Var):
+        return True
+    if isinstance(e, T.Value):
+        return value_contained(phi, e)
+    if isinstance(e, T.Letregion):
+        if set(e.rhos) & phi:
+            return False
+        return context_contained(phi | set(e.rhos), e.body)
+    if isinstance(e, T.Let):
+        return context_contained(phi, e.rhs) and expr_contained(phi, e.body)
+    if isinstance(e, T.App):
+        if isinstance(e.fn, T.Value):
+            return value_contained(phi, e.fn) and context_contained(phi, e.arg)
+        return context_contained(phi, e.fn) and expr_contained(phi, e.arg)
+    if isinstance(e, T.RApp):
+        return context_contained(phi, e.fn)
+    if isinstance(e, T.Pair):
+        if isinstance(e.fst, T.Value):
+            return value_contained(phi, e.fst) and context_contained(phi, e.snd)
+        return context_contained(phi, e.fst) and expr_contained(phi, e.snd)
+    if isinstance(e, T.Cons):
+        if isinstance(e.head, T.Value):
+            return value_contained(phi, e.head) and context_contained(phi, e.tail)
+        return context_contained(phi, e.head) and expr_contained(phi, e.tail)
+    if isinstance(e, T.Select):
+        return context_contained(phi, e.pair)
+    if isinstance(e, T.If):
+        return (
+            context_contained(phi, e.cond)
+            and expr_contained(phi, e.then)
+            and expr_contained(phi, e.els)
+        )
+    if isinstance(e, T.Prim):
+        # left-to-right evaluation: values before the first non-value are
+        # on the stack; the first non-value is the active sub-context.
+        active_seen = False
+        for a in e.args:
+            if not active_seen and isinstance(a, T.Value):
+                if not value_contained(phi, a):
+                    return False
+            elif not active_seen:
+                active_seen = True
+                if not context_contained(phi, a):
+                    return False
+            else:
+                if not expr_contained(phi, a):
+                    return False
+        return True
+    # Remaining extension forms: treat the whole node as off-spine.
+    return expr_contained(phi, e)
+
+
+def gc_safe(
+    omega: TyCtx,
+    gamma: Mapping[str, Pi],
+    body: T.Term,
+    params: frozenset,
+    pi: Pi,
+) -> bool:
+    """The relation ``G(Omega, Gamma, e, X, pi)`` — equation (4)."""
+    return not gc_safety_failures(omega, gamma, body, params, pi)
+
+
+def gc_safety_failures(
+    omega: TyCtx,
+    gamma: Mapping[str, Pi],
+    body: T.Term,
+    params: frozenset,
+    pi: Pi,
+) -> list[str]:
+    """Diagnose violations of ``G``; empty list means GC-safe.
+
+    Used by the region type checker to produce actionable error messages
+    for the unsound ``rg-`` output.
+    """
+    problems: list[str] = []
+    pi_frv = frv(pi)
+    pi_frev = frev(pi)
+    # Type variables visible in the function's own type need no tracking:
+    # their instances remain visible in instantiated types (Section 4).
+    lenient = ftv(pi)
+    if not expr_contained(pi_frv, body):
+        problems.append(
+            "a value embedded in the function body lives outside the regions "
+            "of the function's type"
+        )
+    for y in sorted(T.fpv(body) - params):
+        pi_y = gamma.get(y)
+        if pi_y is None:
+            problems.append(f"free variable {y} unbound in the environment")
+            continue
+        if not contained_pi(omega, pi_y, pi_frev, lenient):
+            problems.append(
+                f"free variable {y} : {_show_pi(pi_y)} is not contained in "
+                f"frev of the function type (a region or untracked spurious "
+                f"type variable reachable from the closure is invisible in "
+                f"the function's type)"
+            )
+    return problems
+
+
+def _show_pi(pi: Pi) -> str:
+    from .rtypes import show_pi
+
+    return show_pi(pi)

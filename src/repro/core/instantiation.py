@@ -1,0 +1,72 @@
+"""The instance-of relation ``Omega |- sigma >= tau via S`` (Section 3.4).
+
+Given a scheme ``sigma = all rvec evec Delta . tau'`` and a substitution
+``S = (St, Sr, Se)``:
+
+1. ``dom(Sr) = {rvec}`` and ``dom(Se) = {evec}``;
+2. ``Omega |- Se(Sr(sigma')) >= tau via St`` where ``sigma' = all Delta.tau'``,
+   which unfolds to  ``Omega |- St : Delta''`` (substitution coverage,
+   with ``Delta'' = Se(Sr(Delta))``) and ``St(Se(Sr(tau'))) = tau``.
+
+The checker either *verifies* a recorded substitution against an expected
+result type, or *computes* the instance type from the substitution.  The
+coverage step is the paper's crucial addition: it is what forces regions
+occurring in types instantiated for spurious type variables into effects
+that remain visible in the result type.
+"""
+
+from __future__ import annotations
+
+from .containment import check_coverage
+from .errors import RegionTypeError
+from .rtypes import Scheme, Tau, TyCtx
+from .substitution import Subst
+
+__all__ = ["instantiate", "check_instance"]
+
+
+def _split(subst: Subst) -> tuple[Subst, Subst]:
+    """Split ``S`` into its region-effect part and its type part."""
+    return Subst(rgn=subst.rgn, eff=subst.eff), Subst(ty=subst.ty)
+
+
+def instantiate(omega: TyCtx, sigma: Scheme, subst: Subst) -> Tau:
+    """Compute ``tau`` with ``Omega |- sigma >= tau via subst``.
+
+    Raises :class:`RegionTypeError` when the domain conditions fail, or
+    :class:`~repro.core.errors.CoverageError` when coverage fails.
+    """
+    if set(subst.rgn) != set(sigma.rvars):
+        raise RegionTypeError(
+            f"region-substitution domain {sorted(r.display() for r in subst.rgn)} "
+            f"differs from bound regions {sorted(r.display() for r in sigma.rvars)}"
+        )
+    if set(subst.eff) != set(sigma.evars):
+        raise RegionTypeError(
+            f"effect-substitution domain {sorted(e.display() for e in subst.eff)} "
+            f"differs from bound effect variables "
+            f"{sorted(e.display() for e in sigma.evars)}"
+        )
+    expected_tyvars = set(sigma.tvars) | set(sigma.delta)
+    if set(subst.ty) != expected_tyvars:
+        raise RegionTypeError(
+            f"type-substitution domain {sorted(a.display() for a in subst.ty)} "
+            f"differs from bound type variables "
+            f"{sorted(a.display() for a in expected_tyvars)}"
+        )
+    re_part, ty_part = _split(subst)
+    delta2 = re_part.ctx(sigma.delta)
+    body2 = re_part.tau(sigma.body)
+    check_coverage(omega, ty_part, delta2)
+    return ty_part.tau(body2)
+
+
+def check_instance(omega: TyCtx, sigma: Scheme, tau: Tau, subst: Subst) -> None:
+    """Verify ``Omega |- sigma >= tau via subst``; raise on failure."""
+    got = instantiate(omega, sigma, subst)
+    if got != tau:
+        from .rtypes import show_tau
+
+        raise RegionTypeError(
+            f"instance mismatch:\n  expected {show_tau(tau)}\n  got      {show_tau(got)}"
+        )

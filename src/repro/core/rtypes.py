@@ -1,0 +1,490 @@
+"""Region-annotated types and type schemes (paper Section 3.2).
+
+Grammar (extended beyond the paper's minimal pairs-and-functions calculus
+with the constructors the MLKit — and our MiniML — actually needs):
+
+.. code-block:: text
+
+    mu  ::= alpha | int | bool | unit | (tau, rho)          type and place
+    tau ::= mu1 * mu2 | mu1 -eps.phi-> mu2                   paper core
+          | string | real | mu list | mu ref | exn           extensions
+    sigma ::= all rvec evec Delta . tau                      type scheme
+    pi  ::= (sigma, rho) | mu                                scheme and place
+
+A *type-variable context* ``Omega`` (or ``Delta``) maps type variables to
+arrow effects — this is the paper's central novelty: a quantified type
+variable ``alpha : eps'.phi'`` carries an arrow effect, and instantiation
+demands that the regions of the type substituted for ``alpha`` are covered
+by ``eps'``'s effect (substitution coverage, Section 3.3).
+
+All structures here are immutable; region inference works on a separate
+mutable union-find layer (:mod:`repro.regions.nodes`) and *freezes* its
+result into these types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Union
+
+from .effects import (
+    ArrowEffect,
+    Atom,
+    Effect,
+    EffectVar,
+    EMPTY_EFFECT,
+    RegionVar,
+    show_effect,
+)
+
+__all__ = [
+    "TyVar",
+    "Mu",
+    "MuVar",
+    "MuBase",
+    "MU_INT",
+    "MU_BOOL",
+    "MU_UNIT",
+    "MuBoxed",
+    "Tau",
+    "TauPair",
+    "TauArrow",
+    "TauString",
+    "TauReal",
+    "TauList",
+    "TauRef",
+    "TauExn",
+    "TauData",
+    "TAU_STRING",
+    "TAU_REAL",
+    "TAU_EXN",
+    "TyCtx",
+    "EMPTY_CTX",
+    "Scheme",
+    "PiScheme",
+    "Pi",
+    "frv",
+    "frev",
+    "ftv",
+    "fev",
+    "show_mu",
+    "show_tau",
+    "show_scheme",
+    "show_pi",
+    "arrow_mu",
+    "scheme_of_mu",
+    "pi_of_mu",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TyVar:
+    """A type variable ``alpha``.  Identity is the numeric ``ident``."""
+
+    ident: int
+    name: str = field(default="", compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.display()
+
+    def display(self) -> str:
+        return self.name or f"'a{self.ident}"
+
+
+# ---------------------------------------------------------------------------
+# mu — type and place
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MuVar:
+    """A type variable used as a type-and-place."""
+
+    alpha: TyVar
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.alpha.display()
+
+
+@dataclass(frozen=True, slots=True)
+class MuBase:
+    """An unboxed base type (``int``, ``bool``, or ``unit``): no place."""
+
+    kind: str  # "int" | "bool" | "unit"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.kind
+
+
+MU_INT = MuBase("int")
+MU_BOOL = MuBase("bool")
+MU_UNIT = MuBase("unit")
+
+
+@dataclass(frozen=True, slots=True)
+class MuBoxed:
+    """A boxed type with a place: ``(tau, rho)``."""
+
+    tau: "Tau"
+    rho: RegionVar
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return show_mu(self)
+
+
+Mu = Union[MuVar, MuBase, MuBoxed]
+
+
+# ---------------------------------------------------------------------------
+# tau — the boxed type constructors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TauPair:
+    """Product type ``mu1 * mu2``.  Wider tuples desugar to nested pairs."""
+
+    fst: Mu
+    snd: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class TauArrow:
+    """Function type ``mu1 -eps.phi-> mu2`` with an arrow effect."""
+
+    dom: Mu
+    arrow: ArrowEffect
+    cod: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class TauString:
+    """Strings are boxed (string concatenation allocates ``at rho``)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TauReal:
+    """Reals are boxed, as in the MLKit (tag-free 64-bit float boxes)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TauList:
+    """List spine type; all cons cells of the list live in the place of
+    the enclosing :class:`MuBoxed` (the MLKit's uniform list regions,
+    simplified to a single spine region)."""
+
+    elem: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class TauRef:
+    """Mutable reference cell."""
+
+    content: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class TauExn:
+    """The exception type.  Exception values are boxed and always live in
+    the global region (Section 4.4)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TauData:
+    """A user datatype with the MLKit-style *uniform* representation: the
+    whole constructor tree (spine and concrete boxed components) lives in
+    the place of the enclosing :class:`MuBoxed`; only values of the type
+    *parameters* keep their own regions, through ``targs``."""
+
+    name: str
+    targs: tuple[Mu, ...]
+
+
+TAU_STRING = TauString()
+TAU_REAL = TauReal()
+TAU_EXN = TauExn()
+
+Tau = Union[TauPair, TauArrow, TauString, TauReal, TauList, TauRef, TauExn, TauData]
+
+
+def arrow_mu(dom: Mu, arrow: ArrowEffect, cod: Mu, rho: RegionVar) -> MuBoxed:
+    """Convenience constructor for ``(mu1 -eps.phi-> mu2, rho)``."""
+    return MuBoxed(TauArrow(dom, arrow, cod), rho)
+
+
+# ---------------------------------------------------------------------------
+# Type-variable contexts and schemes
+# ---------------------------------------------------------------------------
+
+
+class TyCtx(Mapping[TyVar, ArrowEffect]):
+    """An immutable, insertion-ordered type-variable context Omega/Delta."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, items: Mapping[TyVar, ArrowEffect] | Iterable[tuple[TyVar, ArrowEffect]] = ()):
+        if isinstance(items, Mapping):
+            self._map = dict(items)
+        else:
+            self._map = dict(items)
+
+    def __getitem__(self, alpha: TyVar) -> ArrowEffect:
+        return self._map[alpha]
+
+    def __iter__(self) -> Iterator[TyVar]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TyCtx):
+            return self._map == other._map
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.display()
+
+    def extend(self, other: "TyCtx | Mapping[TyVar, ArrowEffect]") -> "TyCtx":
+        """``Omega + Delta``: right-biased union (paper Section 3.1)."""
+        merged = dict(self._map)
+        merged.update(other)
+        return TyCtx(merged)
+
+    def display(self) -> str:
+        inner = ",".join(f"{a.display()}:{ae.display()}" for a, ae in self._map.items())
+        return "{" + inner + "}"
+
+
+EMPTY_CTX = TyCtx()
+
+
+@dataclass(frozen=True, slots=True)
+class Scheme:
+    """A region type scheme ``all rvec evec alphavec Delta . tau``.
+
+    ``rvars``/``evars`` are the bound region and effect variables;
+    ``tvars`` are the *plain* bound type variables (non-spurious: they
+    occur in the scheme body, so their instances stay visible in
+    instantiated types); ``delta`` is the bound type-variable context —
+    the *spurious* type variables, each with its arrow effect, which is
+    the paper's central addition (Section 4: "only spurious type
+    variables need to be associated with arrow effects in type variable
+    contexts").  ``body`` is the underlying ``tau`` (in practice always
+    an arrow type for function schemes).
+    """
+
+    rvars: tuple[RegionVar, ...]
+    evars: tuple[EffectVar, ...]
+    tvars: tuple[TyVar, ...]
+    delta: TyCtx
+    body: Tau
+
+    def bound_atoms(self) -> frozenset:
+        return frozenset(self.rvars) | frozenset(self.evars)
+
+    def bound_tyvars(self) -> frozenset:
+        return frozenset(self.tvars) | frozenset(self.delta.keys())
+
+    def is_monotype(self) -> bool:
+        return not self.rvars and not self.evars and not self.tvars and not self.delta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return show_scheme(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PiScheme:
+    """A type scheme and place ``(sigma, rho)``."""
+
+    scheme: Scheme
+    rho: RegionVar
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return show_pi(self)
+
+
+#: ``pi ::= (sigma, rho) | mu``
+Pi = Union[PiScheme, MuVar, MuBase, MuBoxed]
+
+
+def scheme_of_mu(mu: Mu) -> Scheme | None:
+    """View a boxed mu as a degenerate (mono) scheme; ``None`` for unboxed."""
+    if isinstance(mu, MuBoxed):
+        return Scheme((), (), (), EMPTY_CTX, mu.tau)
+    return None
+
+
+def pi_of_mu(mu: Mu) -> Pi:
+    """A mu *is* a pi."""
+    return mu
+
+
+# ---------------------------------------------------------------------------
+# Free variables:  frv / frev / ftv
+# ---------------------------------------------------------------------------
+
+
+def _walk(obj: object, rvs: set, evs: set, tvs: set) -> None:
+    """Accumulate free region / effect / type variables of a type-level
+    object into the three sets.  Binding structure of schemes is honoured."""
+    if obj is None:
+        return
+    if isinstance(obj, RegionVar):
+        rvs.add(obj)
+    elif isinstance(obj, EffectVar):
+        evs.add(obj)
+    elif isinstance(obj, TyVar):
+        tvs.add(obj)
+    elif isinstance(obj, frozenset):
+        for atom in obj:
+            _walk(atom, rvs, evs, tvs)
+    elif isinstance(obj, ArrowEffect):
+        evs.add(obj.handle)
+        _walk(obj.latent, rvs, evs, tvs)
+    elif isinstance(obj, MuVar):
+        tvs.add(obj.alpha)
+    elif isinstance(obj, MuBase):
+        pass
+    elif isinstance(obj, MuBoxed):
+        _walk(obj.tau, rvs, evs, tvs)
+        rvs.add(obj.rho)
+    elif isinstance(obj, TauPair):
+        _walk(obj.fst, rvs, evs, tvs)
+        _walk(obj.snd, rvs, evs, tvs)
+    elif isinstance(obj, TauArrow):
+        _walk(obj.dom, rvs, evs, tvs)
+        _walk(obj.arrow, rvs, evs, tvs)
+        _walk(obj.cod, rvs, evs, tvs)
+    elif isinstance(obj, (TauString, TauReal, TauExn)):
+        pass
+    elif isinstance(obj, TauList):
+        _walk(obj.elem, rvs, evs, tvs)
+    elif isinstance(obj, TauRef):
+        _walk(obj.content, rvs, evs, tvs)
+    elif isinstance(obj, TauData):
+        for targ in obj.targs:
+            _walk(targ, rvs, evs, tvs)
+    elif isinstance(obj, TyCtx):
+        for alpha, arrow in obj.items():
+            tvs.add(alpha)
+            _walk(arrow, rvs, evs, tvs)
+    elif isinstance(obj, Scheme):
+        inner_r: set = set()
+        inner_e: set = set()
+        inner_t: set = set()
+        _walk(obj.body, inner_r, inner_e, inner_t)
+        _walk(obj.delta, inner_r, inner_e, inner_t)
+        inner_r -= set(obj.rvars)
+        inner_e -= set(obj.evars)
+        inner_t -= set(obj.delta.keys()) | set(obj.tvars)
+        rvs |= inner_r
+        evs |= inner_e
+        tvs |= inner_t
+    elif isinstance(obj, PiScheme):
+        _walk(obj.scheme, rvs, evs, tvs)
+        rvs.add(obj.rho)
+    elif isinstance(obj, (tuple, list)):
+        for item in obj:
+            _walk(item, rvs, evs, tvs)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            _walk(item, rvs, evs, tvs)
+    else:
+        raise TypeError(f"frv/frev/ftv: unknown object {obj!r}")
+
+
+def frv(*objs: object) -> frozenset:
+    """Free region variables."""
+    rvs: set = set()
+    evs: set = set()
+    tvs: set = set()
+    for obj in objs:
+        _walk(obj, rvs, evs, tvs)
+    return frozenset(rvs)
+
+
+def frev(*objs: object) -> Effect:
+    """Free region *and* effect variables (an effect)."""
+    rvs: set = set()
+    evs: set = set()
+    tvs: set = set()
+    for obj in objs:
+        _walk(obj, rvs, evs, tvs)
+    return frozenset(rvs | evs)
+
+
+def ftv(*objs: object) -> frozenset:
+    """Free type variables."""
+    rvs: set = set()
+    evs: set = set()
+    tvs: set = set()
+    for obj in objs:
+        _walk(obj, rvs, evs, tvs)
+    return frozenset(tvs)
+
+
+def fev(*objs: object) -> frozenset:
+    """Free effect variables only."""
+    rvs: set = set()
+    evs: set = set()
+    tvs: set = set()
+    for obj in objs:
+        _walk(obj, rvs, evs, tvs)
+    return frozenset(evs)
+
+
+# ---------------------------------------------------------------------------
+# Pretty printing (the paper's notation, ASCII-fied)
+# ---------------------------------------------------------------------------
+
+
+def show_mu(mu: Mu) -> str:
+    if isinstance(mu, MuVar):
+        return mu.alpha.display()
+    if isinstance(mu, MuBase):
+        return mu.kind
+    if isinstance(mu, MuBoxed):
+        return f"({show_tau(mu.tau)},{mu.rho.display()})"
+    raise TypeError(f"show_mu: {mu!r}")
+
+
+def show_tau(tau: Tau) -> str:
+    if isinstance(tau, TauPair):
+        return f"{show_mu(tau.fst)}*{show_mu(tau.snd)}"
+    if isinstance(tau, TauArrow):
+        return f"{show_mu(tau.dom)} -{tau.arrow.display()}-> {show_mu(tau.cod)}"
+    if isinstance(tau, TauString):
+        return "string"
+    if isinstance(tau, TauReal):
+        return "real"
+    if isinstance(tau, TauList):
+        return f"{show_mu(tau.elem)} list"
+    if isinstance(tau, TauRef):
+        return f"{show_mu(tau.content)} ref"
+    if isinstance(tau, TauExn):
+        return "exn"
+    if isinstance(tau, TauData):
+        if not tau.targs:
+            return tau.name
+        inner = ",".join(show_mu(t) for t in tau.targs)
+        return f"({inner}) {tau.name}"
+    raise TypeError(f"show_tau: {tau!r}")
+
+
+def show_scheme(sigma: Scheme) -> str:
+    binders = [rv.display() for rv in sigma.rvars]
+    binders += [ev.display() for ev in sigma.evars]
+    binders += [tv.display() for tv in sigma.tvars]
+    binders += [f"({a.display()}:{ae.display()})" for a, ae in sigma.delta.items()]
+    prefix = f"all {' '.join(binders)}." if binders else ""
+    return f"{prefix}{show_tau(sigma.body)}"
+
+
+def show_pi(pi: Pi) -> str:
+    if isinstance(pi, PiScheme):
+        return f"({show_scheme(pi.scheme)},{pi.rho.display()})"
+    return show_mu(pi)

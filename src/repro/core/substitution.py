@@ -1,0 +1,224 @@
+"""Substitutions (paper Section 3.3).
+
+A substitution is a triple ``(St, Sr, Se)`` of
+
+* a *type substitution* ``St`` : type variables -> type-and-places,
+* a *region substitution* ``Sr`` : region variables -> region variables,
+* an *effect substitution* ``Se`` : effect variables -> arrow effects,
+
+applied simultaneously.  The two defining equations from the paper:
+
+.. code-block:: text
+
+    S(phi)     = { Sr(rho) | rho in phi }
+                 union { eta | exists eps. eps in phi and eta in frev(Se(eps)) }
+    S(eps.phi) = eps'.(phi' union S(phi))      where Se(eps) = eps'.phi'
+
+Substitution on effects is *monotone* (Proposition 3) and satisfies the
+arrow-effect-substitution interchange property
+``frev(S(eps.phi)) = S({eps} union phi)``; both are exercised by the
+property-based tests.
+
+Scheme application assumes bound variables have been renamed apart from the
+substitution's domain and range (capture avoidance); :func:`rename_scheme`
+produces such a renaming with fresh variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .effects import (
+    ArrowEffect,
+    Effect,
+    EffectVar,
+    EMPTY_EFFECT,
+    RegionVar,
+    VarSupply,
+)
+from .rtypes import (
+    Mu,
+    MuBase,
+    MuBoxed,
+    MuVar,
+    PiScheme,
+    Pi,
+    Scheme,
+    Tau,
+    TauArrow,
+    TauData,
+    TauExn,
+    TauList,
+    TauPair,
+    TauReal,
+    TauRef,
+    TauString,
+    TyCtx,
+    TyVar,
+    frev,
+)
+
+__all__ = ["Subst", "EMPTY_SUBST", "rename_scheme"]
+
+
+@dataclass(frozen=True)
+class Subst:
+    """An immutable substitution triple ``(St, Sr, Se)``."""
+
+    ty: Mapping[TyVar, Mu] = field(default_factory=dict)
+    rgn: Mapping[RegionVar, RegionVar] = field(default_factory=dict)
+    eff: Mapping[EffectVar, ArrowEffect] = field(default_factory=dict)
+
+    # -- variables ---------------------------------------------------------
+
+    def region(self, rho: RegionVar) -> RegionVar:
+        return self.rgn.get(rho, rho)
+
+    def arrow_of(self, eps: EffectVar) -> ArrowEffect:
+        """``Se(eps)``, extended as the identity ``eps.{}`` off-domain."""
+        return self.eff.get(eps, ArrowEffect(eps, EMPTY_EFFECT))
+
+    def is_region_effect(self) -> bool:
+        """True when ``dom(St)`` is empty (a region-effect substitution)."""
+        return not self.ty
+
+    def domain_atoms(self) -> frozenset:
+        return frozenset(self.ty) | frozenset(self.rgn) | frozenset(self.eff)
+
+    # -- effects -----------------------------------------------------------
+
+    def effect(self, phi: Effect) -> Effect:
+        """Apply the substitution to an effect (first paper equation)."""
+        out: set = set()
+        for atom in phi:
+            if isinstance(atom, RegionVar):
+                out.add(self.region(atom))
+            else:
+                out |= self.arrow_of(atom).frev()
+        return frozenset(out)
+
+    def arrow(self, ae: ArrowEffect) -> ArrowEffect:
+        """Apply the substitution to an arrow effect (second equation)."""
+        target = self.arrow_of(ae.handle)
+        return ArrowEffect(target.handle, target.latent | self.effect(ae.latent))
+
+    # -- types -------------------------------------------------------------
+
+    def mu(self, m: Mu) -> Mu:
+        if isinstance(m, MuVar):
+            return self.ty.get(m.alpha, m)
+        if isinstance(m, MuBase):
+            return m
+        if isinstance(m, MuBoxed):
+            return MuBoxed(self.tau(m.tau), self.region(m.rho))
+        raise TypeError(f"Subst.mu: {m!r}")
+
+    def tau(self, t: Tau) -> Tau:
+        if isinstance(t, TauPair):
+            return TauPair(self.mu(t.fst), self.mu(t.snd))
+        if isinstance(t, TauArrow):
+            return TauArrow(self.mu(t.dom), self.arrow(t.arrow), self.mu(t.cod))
+        if isinstance(t, (TauString, TauReal, TauExn)):
+            return t
+        if isinstance(t, TauList):
+            return TauList(self.mu(t.elem))
+        if isinstance(t, TauRef):
+            return TauRef(self.mu(t.content))
+        if isinstance(t, TauData):
+            return TauData(t.name, tuple(self.mu(a) for a in t.targs))
+        raise TypeError(f"Subst.tau: {t!r}")
+
+    # -- contexts and schemes ------------------------------------------------
+
+    def ctx(self, delta: TyCtx) -> TyCtx:
+        """Apply to a type-variable context.
+
+        Defined only when ``dom(S) cap dom(Delta)`` is empty (the paper's
+        side condition); violating it is a programming error here.
+        """
+        overlap = set(self.ty) & set(delta)
+        if overlap:
+            raise ValueError(f"substitution domain overlaps Delta: {overlap}")
+        return TyCtx({alpha: self.arrow(ae) for alpha, ae in delta.items()})
+
+    def scheme(self, sigma: Scheme) -> Scheme:
+        """Apply to a scheme, assuming bound variables are disjoint from the
+        substitution (rename first with :func:`rename_scheme` otherwise)."""
+        clash = (
+            (set(sigma.rvars) | set(sigma.evars)) & self.domain_atoms()
+            or sigma.bound_tyvars() & set(self.ty)
+        )
+        if clash:
+            raise ValueError(f"substitution captures bound variables: {clash}")
+        return Scheme(sigma.rvars, sigma.evars, sigma.tvars,
+                      self.ctx(sigma.delta), self.tau(sigma.body))
+
+    def pi(self, p: Pi) -> Pi:
+        if isinstance(p, PiScheme):
+            return PiScheme(self.scheme(p.scheme), self.region(p.rho))
+        return self.mu(p)
+
+    # -- composition ---------------------------------------------------------
+
+    def then(self, outer: "Subst") -> "Subst":
+        """``outer compose self`` restricted to ``dom(self)``, extended with
+        ``outer`` off that domain: the usual substitution composition."""
+        ty = {a: outer.mu(m) for a, m in self.ty.items()}
+        rgn = {r: outer.region(r2) for r, r2 in self.rgn.items()}
+        eff = {e: outer.arrow(ae) for e, ae in self.eff.items()}
+        for a, m in outer.ty.items():
+            ty.setdefault(a, m)
+        for r, r2 in outer.rgn.items():
+            rgn.setdefault(r, r2)
+        for e, ae in outer.eff.items():
+            eff.setdefault(e, ae)
+        return Subst(ty, rgn, eff)
+
+    def restrict(self, atoms: frozenset) -> "Subst":
+        """Restriction ``S | atoms`` (used by Propositions 6-7)."""
+        return Subst(
+            {a: m for a, m in self.ty.items() if a in atoms},
+            {r: r2 for r, r2 in self.rgn.items() if r in atoms},
+            {e: ae for e, ae in self.eff.items() if e in atoms},
+        )
+
+    def display(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for a, m in self.ty.items():
+            parts.append(f"{a.display()}:={m!r}")
+        for r, r2 in self.rgn.items():
+            parts.append(f"{r.display()}:={r2.display()}")
+        for e, ae in self.eff.items():
+            parts.append(f"{e.display()}:={ae.display()}")
+        return "[" + ", ".join(parts) + "]"
+
+
+EMPTY_SUBST = Subst()
+
+
+def rename_scheme(sigma: Scheme, supply: VarSupply) -> tuple[Scheme, Subst]:
+    """Rename the bound variables of ``sigma`` to fresh ones.
+
+    Returns the renamed scheme together with the renaming (a substitution
+    from old bound variables to the fresh ones) — the renaming is what an
+    instantiation then composes with.
+    """
+    rmap = {rv: supply.fresh_region() for rv in sigma.rvars}
+    emap = {ev: supply.fresh_effectvar() for ev in sigma.evars}
+    tmap = {alpha: TyVar(supply.next_ident()) for alpha in sigma.bound_tyvars()}
+
+    ren = Subst(
+        ty={a: MuVar(b) for a, b in tmap.items()},
+        rgn=rmap,
+        eff={e: ArrowEffect(e2, EMPTY_EFFECT) for e, e2 in emap.items()},
+    )
+    new_delta = TyCtx({tmap[a]: ren.arrow(ae) for a, ae in sigma.delta.items()})
+    renamed = Scheme(
+        tuple(rmap[rv] for rv in sigma.rvars),
+        tuple(emap[ev] for ev in sigma.evars),
+        tuple(tmap[tv] for tv in sigma.tvars),
+        new_delta,
+        ren.tau(sigma.body),
+    )
+    return renamed, ren

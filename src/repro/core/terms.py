@@ -1,0 +1,732 @@
+"""The region-annotated term language (paper Section 3.6).
+
+This is the *target* language of region inference and the language the
+region type checker (Figure 4), the small-step semantics (Figure 6), and
+the big-step region interpreter all operate on.
+
+The paper's core calculus has integers, pairs, (recursive, region- and
+effect-polymorphic) functions, ``let``, ``letregion``, and region
+application.  We extend it with the constructors our MiniML frontend needs
+— strings, reals, booleans, lists, references, exceptions, conditionals
+and primitives — each following the same ``at rho`` discipline.  The
+formal-subset nodes are exactly the paper's; the extensions are marked.
+
+Terms carry the annotations that make checking syntax-directed:
+
+* a :class:`Lam` carries its full ``(mu1 -eps.phi-> mu2, rho)`` type,
+* a :class:`FunDef` carries its type scheme and place ``pi``,
+* a :class:`RApp` carries the *instantiation substitution* it was elaborated
+  with, so the checker can verify the instance-of relation including the
+  coverage requirement ``Omega |- St : Delta``.
+
+Value forms (used by the small-step semantics, which substitutes values
+into terms) are the classes with a ``rho`` superscript mirroring the
+paper's ``<v1,v2>^rho`` notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .effects import RegionVar
+from .rtypes import Mu, MuBoxed, PiScheme, TyVar
+from .substitution import Subst
+
+__all__ = [
+    "Term",
+    "Var",
+    "IntLit",
+    "BoolLit",
+    "UnitLit",
+    "StringLit",
+    "RealLit",
+    "NilLit",
+    "Lam",
+    "FunDef",
+    "RApp",
+    "App",
+    "Let",
+    "Letregion",
+    "Pair",
+    "Select",
+    "Cons",
+    "If",
+    "Prim",
+    "MkRef",
+    "Deref",
+    "Assign",
+    "LetData",
+    "DataCon",
+    "CaseBranchT",
+    "Case",
+    "LetExn",
+    "Con",
+    "Raise",
+    "Handle",
+    "Value",
+    "VInt",
+    "VBool",
+    "VUnit",
+    "VNil",
+    "VStr",
+    "VReal",
+    "VPair",
+    "VCons",
+    "VClos",
+    "VFunClos",
+    "is_value",
+    "fpv",
+    "subst_value",
+    "apply_subst_term",
+    "iter_children",
+    "term_size",
+]
+
+
+class Term:
+    """Base class for region-annotated terms."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# The paper's core language
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit(Term):
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Lam(Term):
+    """``fn x => e at rho`` — annotated with its full type ``mu``."""
+
+    param: str
+    body: Term
+    rho: RegionVar
+    mu: MuBoxed  # (dom -eps.phi-> cod, rho)
+
+
+@dataclass(frozen=True, slots=True)
+class FunDef(Term):
+    """``fun f [rvec] x = e at rho`` — a region/effect/type-polymorphic,
+    possibly recursive function, annotated with its scheme-and-place."""
+
+    fname: str
+    rparams: tuple[RegionVar, ...]
+    param: str
+    body: Term
+    rho: RegionVar
+    pi: PiScheme
+
+
+@dataclass(frozen=True, slots=True)
+class RApp(Term):
+    """``e [rvec] at rho`` — region application / scheme instantiation.
+
+    ``inst`` is the full substitution ``(St, Sr, Se)`` the elaborator used;
+    ``rargs`` duplicates ``rng(Sr)`` in parameter order for the runtime.
+    """
+
+    fn: Term
+    rargs: tuple[RegionVar, ...]
+    rho: RegionVar
+    inst: Subst = field(default_factory=Subst)
+
+
+@dataclass(frozen=True, slots=True)
+class App(Term):
+    fn: Term
+    arg: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Let(Term):
+    """``let x = e1 in e2`` — monomorphic, per the paper."""
+
+    name: str
+    rhs: Term
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Letregion(Term):
+    """``letregion rho1,...,rhon in e`` (n >= 1)."""
+
+    rhos: tuple[RegionVar, ...]
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Pair(Term):
+    fst: Term
+    snd: Term
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Term):
+    """``#i e`` with ``i`` in {1, 2}."""
+
+    index: int
+    pair: Term
+
+
+# ---------------------------------------------------------------------------
+# Extensions beyond the formal core (MiniML features)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit(Term):
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class UnitLit(Term):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class StringLit(Term):
+    """A string literal allocated ``at rho``."""
+
+    value: str
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class RealLit(Term):
+    """A (boxed) real literal allocated ``at rho``."""
+
+    value: float
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class NilLit(Term):
+    """The empty list.  Unboxed at runtime, but its type mentions the spine
+    region, so the annotation records the full ``mu``."""
+
+    mu: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class Cons(Term):
+    """``e1 :: e2`` with the cons cell allocated ``at rho``."""
+
+    head: Term
+    tail: Term
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class If(Term):
+    cond: Term
+    then: Term
+    els: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Prim(Term):
+    """A primitive operation.
+
+    ``rho`` is the destination region for allocating primitives (string
+    concatenation, int-to-string, real arithmetic, ...) and ``None`` for
+    non-allocating ones.  The typing of each primitive lives in the
+    checker's primitive table.
+    """
+
+    op: str
+    args: tuple[Term, ...]
+    rho: Optional[RegionVar] = None
+
+
+@dataclass(frozen=True, slots=True)
+class MkRef(Term):
+    """``ref e at rho``."""
+
+    init: Term
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class Deref(Term):
+    ref: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Term):
+    ref: Term
+    value: Term
+
+
+@dataclass(frozen=True, slots=True)
+class LetData(Term):
+    """``datatype (a1,...,an) name = C1 of mu | ... in e``.
+
+    ``params`` are the bound type variables of the declaration;
+    ``self_rho`` is the placeholder region standing for "this value's
+    region" inside the constructor payload templates (the uniform
+    representation: every boxed component of a payload has place
+    ``self_rho``; recursive occurrences are ``(TauData(name, params),
+    self_rho)``).  Constructor application and case analysis instantiate
+    templates with ``params -> targs`` and ``self_rho -> rho``.
+    """
+
+    name: str
+    params: tuple[TyVar, ...]
+    self_rho: RegionVar
+    constructors: tuple[tuple[str, Optional[Mu]], ...]
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class DataCon(Term):
+    """``C e at rho`` — build a datatype value at ``rho``."""
+
+    dataname: str
+    conname: str
+    targs: tuple[Mu, ...]
+    arg: Optional[Term]
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class CaseBranchT:
+    """One branch of a ``case``: a constructor branch (``conname`` set,
+    ``binder`` binds the payload when the constructor has one) or a
+    catch-all (``conname`` None; ``binder`` optionally binds the
+    scrutinee)."""
+
+    conname: Optional[str]
+    binder: Optional[str]
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Case(Term):
+    """``case e of C1 x => e1 | ... | _ => en``."""
+
+    scrutinee: Term
+    branches: tuple[CaseBranchT, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class LetExn(Term):
+    """``exception E of mu in e`` — a generative exception declaration.
+
+    ``payload`` is ``None`` for nullary exceptions.  GC safety requires
+    every region in ``payload`` to be a top-level region (Section 4.4).
+    """
+
+    exname: str
+    payload: Optional[Mu]
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Con(Term):
+    """``E e at rho`` — build an exception value (``rho`` is global)."""
+
+    exname: str
+    arg: Optional[Term]
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class Raise(Term):
+    """``raise e`` — annotated with the type the context expects."""
+
+    exn: Term
+    mu: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class Handle(Term):
+    """``e handle E x => h`` — single-constructor handler; other
+    exceptions re-raise."""
+
+    body: Term
+    exname: str
+    binder: Optional[str]
+    handler: Term
+
+
+# ---------------------------------------------------------------------------
+# Value forms (small-step semantics substitutes these into terms)
+# ---------------------------------------------------------------------------
+
+
+class Value(Term):
+    """Base class for value forms ``v``."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class VInt(Value):
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class VBool(Value):
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class VUnit(Value):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class VNil(Value):
+    mu: Mu
+
+
+@dataclass(frozen=True, slots=True)
+class VStr(Value):
+    value: str
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class VReal(Value):
+    value: float
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class VPair(Value):
+    """``<v1, v2>^rho``."""
+
+    fst: Value
+    snd: Value
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class VCons(Value):
+    head: Value
+    tail: Value
+    rho: RegionVar
+
+
+@dataclass(frozen=True, slots=True)
+class VClos(Value):
+    """``<fn x => e>^rho``."""
+
+    param: str
+    body: Term
+    rho: RegionVar
+    mu: MuBoxed
+
+
+@dataclass(frozen=True, slots=True)
+class VFunClos(Value):
+    """``<fun f [rvec] x = e>^rho``."""
+
+    fname: str
+    rparams: tuple[RegionVar, ...]
+    param: str
+    body: Term
+    rho: RegionVar
+    pi: PiScheme
+
+
+def is_value(term: Term) -> bool:
+    return isinstance(term, Value)
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+
+
+def iter_children(term: Term) -> tuple[Term, ...]:
+    """The direct sub-terms of a term (binding structure ignored)."""
+    if isinstance(term, (Var, IntLit, BoolLit, UnitLit, StringLit, RealLit, NilLit,
+                         VInt, VBool, VUnit, VNil, VStr, VReal)):
+        return ()
+    if isinstance(term, (Lam, VClos)):
+        return (term.body,)
+    if isinstance(term, (FunDef, VFunClos)):
+        return (term.body,)
+    if isinstance(term, RApp):
+        return (term.fn,)
+    if isinstance(term, App):
+        return (term.fn, term.arg)
+    if isinstance(term, Let):
+        return (term.rhs, term.body)
+    if isinstance(term, Letregion):
+        return (term.body,)
+    if isinstance(term, Pair):
+        return (term.fst, term.snd)
+    if isinstance(term, VPair):
+        return (term.fst, term.snd)
+    if isinstance(term, Select):
+        return (term.pair,)
+    if isinstance(term, Cons):
+        return (term.head, term.tail)
+    if isinstance(term, VCons):
+        return (term.head, term.tail)
+    if isinstance(term, If):
+        return (term.cond, term.then, term.els)
+    if isinstance(term, Prim):
+        return term.args
+    if isinstance(term, MkRef):
+        return (term.init,)
+    if isinstance(term, Deref):
+        return (term.ref,)
+    if isinstance(term, Assign):
+        return (term.ref, term.value)
+    if isinstance(term, LetData):
+        return (term.body,)
+    if isinstance(term, DataCon):
+        return (term.arg,) if term.arg is not None else ()
+    if isinstance(term, Case):
+        return (term.scrutinee,) + tuple(br.body for br in term.branches)
+    if isinstance(term, LetExn):
+        return (term.body,)
+    if isinstance(term, Con):
+        return (term.arg,) if term.arg is not None else ()
+    if isinstance(term, Raise):
+        return (term.exn,)
+    if isinstance(term, Handle):
+        return (term.body, term.handler)
+    raise TypeError(f"iter_children: {term!r}")
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes — handy for tests and reporting."""
+    return 1 + sum(term_size(c) for c in iter_children(term))
+
+
+def fpv(term: Term) -> frozenset:
+    """Free program variables of a term."""
+    out: set = set()
+    _fpv(term, frozenset(), out)
+    return frozenset(out)
+
+
+def _fpv(term: Term, bound: frozenset, out: set) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound:
+            out.add(term.name)
+    elif isinstance(term, (Lam, VClos)):
+        _fpv(term.body, bound | {term.param}, out)
+    elif isinstance(term, (FunDef, VFunClos)):
+        _fpv(term.body, bound | {term.fname, term.param}, out)
+    elif isinstance(term, Let):
+        _fpv(term.rhs, bound, out)
+        _fpv(term.body, bound | {term.name}, out)
+    elif isinstance(term, Handle):
+        _fpv(term.body, bound, out)
+        inner = bound | {term.binder} if term.binder else bound
+        _fpv(term.handler, inner, out)
+    elif isinstance(term, Case):
+        _fpv(term.scrutinee, bound, out)
+        for br in term.branches:
+            inner = bound | {br.binder} if br.binder else bound
+            _fpv(br.body, inner, out)
+    else:
+        for child in iter_children(term):
+            _fpv(child, bound, out)
+
+
+def subst_value(term: Term, name: str, value: Value) -> Term:
+    """Capture-free value substitution ``term[value/name]``.
+
+    Well-typed values are closed (Proposition 15), so substituting them
+    under binders cannot capture.
+    """
+    if isinstance(term, Var):
+        return value if term.name == name else term
+    if isinstance(term, (Lam, VClos)):
+        if term.param == name:
+            return term
+        cls = type(term)
+        return cls(term.param, subst_value(term.body, name, value), term.rho, term.mu)
+    if isinstance(term, (FunDef, VFunClos)):
+        if name in (term.fname, term.param):
+            return term
+        cls = type(term)
+        return cls(term.fname, term.rparams, term.param,
+                   subst_value(term.body, name, value), term.rho, term.pi)
+    if isinstance(term, Let):
+        rhs = subst_value(term.rhs, name, value)
+        body = term.body if term.name == name else subst_value(term.body, name, value)
+        return Let(term.name, rhs, body)
+    if isinstance(term, Handle):
+        body = subst_value(term.body, name, value)
+        if term.binder == name:
+            handler = term.handler
+        else:
+            handler = subst_value(term.handler, name, value)
+        return Handle(body, term.exname, term.binder, handler)
+    if isinstance(term, Case):
+        scrut = subst_value(term.scrutinee, name, value)
+        branches = tuple(
+            br if br.binder == name
+            else CaseBranchT(br.conname, br.binder, subst_value(br.body, name, value))
+            for br in term.branches
+        )
+        return Case(scrut, branches)
+    return _rebuild(term, tuple(subst_value(c, name, value) for c in iter_children(term)))
+
+
+def _rebuild(term: Term, children: tuple[Term, ...]) -> Term:
+    """Rebuild a node with new children in `iter_children` order."""
+    if not children and not iter_children(term):
+        return term
+    if isinstance(term, RApp):
+        return RApp(children[0], term.rargs, term.rho, term.inst)
+    if isinstance(term, App):
+        return App(children[0], children[1])
+    if isinstance(term, Letregion):
+        return Letregion(term.rhos, children[0])
+    if isinstance(term, Pair):
+        return Pair(children[0], children[1], term.rho)
+    if isinstance(term, VPair):
+        return VPair(children[0], children[1], term.rho)
+    if isinstance(term, Select):
+        return Select(term.index, children[0])
+    if isinstance(term, Cons):
+        return Cons(children[0], children[1], term.rho)
+    if isinstance(term, VCons):
+        return VCons(children[0], children[1], term.rho)
+    if isinstance(term, If):
+        return If(children[0], children[1], children[2])
+    if isinstance(term, Prim):
+        return Prim(term.op, children, term.rho)
+    if isinstance(term, MkRef):
+        return MkRef(children[0], term.rho)
+    if isinstance(term, Deref):
+        return Deref(children[0])
+    if isinstance(term, Assign):
+        return Assign(children[0], children[1])
+    if isinstance(term, LetExn):
+        return LetExn(term.exname, term.payload, children[0])
+    if isinstance(term, LetData):
+        return LetData(term.name, term.params, term.self_rho,
+                       term.constructors, children[0])
+    if isinstance(term, DataCon):
+        return DataCon(term.dataname, term.conname, term.targs,
+                       children[0] if children else None, term.rho)
+    if isinstance(term, Con):
+        return Con(term.exname, children[0] if children else None, term.rho)
+    if isinstance(term, Raise):
+        return Raise(children[0], term.mu)
+    raise TypeError(f"_rebuild: {term!r}")
+
+
+def apply_subst_term(subst: Subst, term: Term) -> Term:
+    """Apply a substitution to a term: region annotations, type
+    annotations, and recorded instantiations are all rewritten.
+
+    Used by the small-step [Rapp] rule, which specialises a polymorphic
+    function body with the instantiating substitution, and by the freezing
+    phase of region inference.
+    """
+    s = subst
+    if isinstance(term, Var):
+        return term
+    if isinstance(term, (IntLit, BoolLit, UnitLit, VInt, VBool, VUnit)):
+        return term
+    if isinstance(term, StringLit):
+        return StringLit(term.value, s.region(term.rho))
+    if isinstance(term, RealLit):
+        return RealLit(term.value, s.region(term.rho))
+    if isinstance(term, NilLit):
+        return NilLit(s.mu(term.mu))
+    if isinstance(term, VStr):
+        return VStr(term.value, s.region(term.rho))
+    if isinstance(term, VReal):
+        return VReal(term.value, s.region(term.rho))
+    if isinstance(term, VNil):
+        return VNil(s.mu(term.mu))
+    if isinstance(term, (Lam, VClos)):
+        cls = type(term)
+        return cls(term.param, apply_subst_term(s, term.body),
+                   s.region(term.rho), s.mu(term.mu))
+    if isinstance(term, (FunDef, VFunClos)):
+        # Bound region parameters are renamed apart by construction; the
+        # substitution must not capture them.
+        cls = type(term)
+        return cls(term.fname, term.rparams, term.param,
+                   apply_subst_term(s, term.body), s.region(term.rho),
+                   s.pi(term.pi))
+    if isinstance(term, RApp):
+        return RApp(apply_subst_term(s, term.fn),
+                    tuple(s.region(r) for r in term.rargs),
+                    s.region(term.rho),
+                    term.inst.then(s))
+    if isinstance(term, App):
+        return App(apply_subst_term(s, term.fn), apply_subst_term(s, term.arg))
+    if isinstance(term, Let):
+        return Let(term.name, apply_subst_term(s, term.rhs), apply_subst_term(s, term.body))
+    if isinstance(term, Letregion):
+        return Letregion(term.rhos, apply_subst_term(s, term.body))
+    if isinstance(term, Pair):
+        return Pair(apply_subst_term(s, term.fst), apply_subst_term(s, term.snd),
+                    s.region(term.rho))
+    if isinstance(term, VPair):
+        return VPair(apply_subst_term(s, term.fst), apply_subst_term(s, term.snd),
+                     s.region(term.rho))
+    if isinstance(term, Select):
+        return Select(term.index, apply_subst_term(s, term.pair))
+    if isinstance(term, Cons):
+        return Cons(apply_subst_term(s, term.head), apply_subst_term(s, term.tail),
+                    s.region(term.rho))
+    if isinstance(term, VCons):
+        return VCons(apply_subst_term(s, term.head), apply_subst_term(s, term.tail),
+                     s.region(term.rho))
+    if isinstance(term, If):
+        return If(apply_subst_term(s, term.cond), apply_subst_term(s, term.then),
+                  apply_subst_term(s, term.els))
+    if isinstance(term, Prim):
+        return Prim(term.op, tuple(apply_subst_term(s, a) for a in term.args),
+                    s.region(term.rho) if term.rho is not None else None)
+    if isinstance(term, MkRef):
+        return MkRef(apply_subst_term(s, term.init), s.region(term.rho))
+    if isinstance(term, Deref):
+        return Deref(apply_subst_term(s, term.ref))
+    if isinstance(term, Assign):
+        return Assign(apply_subst_term(s, term.ref), apply_subst_term(s, term.value))
+    if isinstance(term, LetData):
+        # params and self_rho are binders: the substitution must avoid them
+        cons = tuple(
+            (c, s.mu(m) if m is not None else None) for c, m in term.constructors
+        )
+        return LetData(term.name, term.params, term.self_rho, cons,
+                       apply_subst_term(s, term.body))
+    if isinstance(term, DataCon):
+        arg = apply_subst_term(s, term.arg) if term.arg is not None else None
+        return DataCon(term.dataname, term.conname,
+                       tuple(s.mu(t) for t in term.targs), arg, s.region(term.rho))
+    if isinstance(term, Case):
+        return Case(
+            apply_subst_term(s, term.scrutinee),
+            tuple(CaseBranchT(br.conname, br.binder, apply_subst_term(s, br.body))
+                  for br in term.branches),
+        )
+    if isinstance(term, LetExn):
+        payload = s.mu(term.payload) if term.payload is not None else None
+        return LetExn(term.exname, payload, apply_subst_term(s, term.body))
+    if isinstance(term, Con):
+        arg = apply_subst_term(s, term.arg) if term.arg is not None else None
+        return Con(term.exname, arg, s.region(term.rho))
+    if isinstance(term, Raise):
+        return Raise(apply_subst_term(s, term.exn), s.mu(term.mu))
+    if isinstance(term, Handle):
+        return Handle(apply_subst_term(s, term.body), term.exname, term.binder,
+                      apply_subst_term(s, term.handler))
+    raise TypeError(f"apply_subst_term: {term!r}")

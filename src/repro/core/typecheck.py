@@ -1,0 +1,810 @@
+"""The region type checker — the typing rules of Figure 4, executable.
+
+``typecheck(term)`` computes a type-scheme-and-place ``pi`` and a minimal
+effect ``phi`` for a region-annotated term, verifying every side condition
+of the rules:
+
+* well-formedness of annotations (``Omega |- mu``),
+* the GC-safety relation ``G`` on [TeLam]/[TeFun] (Section 3.7),
+* the instance-of relation — including *substitution coverage*
+  ``Omega |- St : Delta`` — on region application [TeRapp] (Section 3.4),
+* the freshness side conditions of [TeReg]/[TeFun],
+* for the exception extension, the Section 4.4 requirement that exception
+  payload types only mention top-level regions.
+
+Because every rule's effect premise has the form ``phi_body subseteq
+phi_declared``, checking with *minimal* effects is complete: [TeSub] never
+needs to be guessed.
+
+The checker is the referee of the whole reproduction: the ``rg`` strategy's
+output must always pass it, and the ``rg-`` strategy's output fails it on
+exactly the programs where spurious type variables matter (the paper's
+Figures 1 and 8), mirroring the runtime dangling-pointer fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .containment import required_effect_mu
+from .effects import EMPTY_EFFECT, Effect, RegionVar, show_effect
+from .errors import RegionTypeError
+from .gcsafety import gc_safety_failures
+from .instantiation import instantiate
+from .substitution import Subst
+from .rtypes import (
+    EMPTY_CTX,
+    MU_BOOL,
+    MU_INT,
+    MU_UNIT,
+    Mu,
+    MuBase,
+    MuBoxed,
+    MuVar,
+    Pi,
+    PiScheme,
+    Scheme,
+    TAU_EXN,
+    TAU_REAL,
+    TAU_STRING,
+    TauArrow,
+    TauList,
+    TauPair,
+    TauRef,
+    TyCtx,
+    frev,
+    ftv,
+    show_mu,
+    show_pi,
+)
+from . import terms as T
+
+__all__ = ["CheckResult", "RegionTypeChecker", "typecheck"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of checking a closed program."""
+
+    pi: Pi
+    effect: Effect
+
+
+def _is_mu(pi: Pi) -> bool:
+    return not isinstance(pi, PiScheme)
+
+
+def well_formed_mu(omega: TyCtx, mu: Mu) -> bool:
+    """``Omega |- mu``.
+
+    The paper's well-formedness demands every type variable be in
+    ``dom(Omega)``; our implementation variant also admits *plain* bound
+    type variables (non-spurious ones, which carry no arrow effect), whose
+    scoping is guaranteed by Hindley-Milner inference upstream.  The
+    checker therefore does not re-verify type-variable scoping here; the
+    region-relevant side conditions (containment, coverage, GC safety)
+    are checked where they matter.
+    """
+    return True
+
+
+class RegionTypeChecker:
+    """Syntax-directed checker for the Figure 4 rules.
+
+    Parameters
+    ----------
+    strict_exceptions:
+        enforce the Section 4.4 side condition that exception payload types
+        mention only top-level regions (on by default; disabled only to
+        demonstrate the resulting unsoundness in tests).
+    """
+
+    def __init__(self, strict_exceptions: bool = True) -> None:
+        self.strict_exceptions = strict_exceptions
+
+    # -- entry points -------------------------------------------------------
+
+    def check_program(self, term: T.Term) -> CheckResult:
+        """Check a closed program."""
+        pi, phi = self.check(EMPTY_CTX, {}, {}, term)
+        return CheckResult(pi, phi)
+
+    # -- main dispatch ------------------------------------------------------
+
+    def check(
+        self,
+        omega: TyCtx,
+        gamma: Mapping[str, Pi],
+        exnenv: Mapping[str, Optional[Mu]],
+        e: T.Term,
+    ) -> tuple[Pi, Effect]:
+        """``Omega, Gamma |- e : pi, phi`` with minimal ``phi``."""
+        method = getattr(self, f"_check_{type(e).__name__}", None)
+        if method is None:
+            raise RegionTypeError(f"no typing rule for {type(e).__name__}")
+        return method(omega, gamma, exnenv, e)
+
+    def check_mu(
+        self,
+        omega: TyCtx,
+        gamma: Mapping[str, Pi],
+        exnenv: Mapping[str, Optional[Mu]],
+        e: T.Term,
+    ) -> tuple[Mu, Effect]:
+        """Like :meth:`check` but requires the result to be a ``mu``."""
+        pi, phi = self.check(omega, gamma, exnenv, e)
+        if isinstance(pi, PiScheme):
+            if pi.scheme.is_monotype():
+                return MuBoxed(pi.scheme.body, pi.rho), phi
+            raise RegionTypeError(
+                f"expected a type-and-place, got the polymorphic {show_pi(pi)} "
+                "(a region application is missing)"
+            )
+        return pi, phi
+
+    # -- variables and literals ---------------------------------------------
+
+    def _check_Var(self, omega, gamma, exnenv, e: T.Var):
+        pi = gamma.get(e.name)
+        if pi is None:
+            raise RegionTypeError(f"unbound variable {e.name}")
+        return pi, EMPTY_EFFECT
+
+    def _check_IntLit(self, omega, gamma, exnenv, e: T.IntLit):
+        return MU_INT, EMPTY_EFFECT
+
+    def _check_BoolLit(self, omega, gamma, exnenv, e: T.BoolLit):
+        return MU_BOOL, EMPTY_EFFECT
+
+    def _check_UnitLit(self, omega, gamma, exnenv, e: T.UnitLit):
+        return MU_UNIT, EMPTY_EFFECT
+
+    def _check_StringLit(self, omega, gamma, exnenv, e: T.StringLit):
+        return MuBoxed(TAU_STRING, e.rho), frozenset({e.rho})
+
+    def _check_RealLit(self, omega, gamma, exnenv, e: T.RealLit):
+        return MuBoxed(TAU_REAL, e.rho), frozenset({e.rho})
+
+    def _check_NilLit(self, omega, gamma, exnenv, e: T.NilLit):
+        mu = e.mu
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauList)):
+            raise RegionTypeError(f"nil annotated with a non-list type {show_mu(mu)}")
+        if not well_formed_mu(omega, mu):
+            raise RegionTypeError(f"nil annotation {show_mu(mu)} is not well-formed")
+        return mu, EMPTY_EFFECT
+
+    # -- functions -----------------------------------------------------------
+
+    def _check_Lam(self, omega, gamma, exnenv, e: T.Lam):
+        mu = e.mu
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauArrow)):
+            raise RegionTypeError("lambda annotated with a non-arrow type")
+        if mu.rho != e.rho:
+            raise RegionTypeError(
+                f"lambda allocated at {e.rho.display()} but typed at {mu.rho.display()}"
+            )
+        if not well_formed_mu(omega, mu):
+            raise RegionTypeError(f"lambda type {show_mu(mu)} is not well-formed")
+        arrow = mu.tau.arrow
+        inner_gamma = dict(gamma)
+        inner_gamma[e.param] = mu.tau.dom
+        cod, phi_body = self.check_mu(omega, inner_gamma, exnenv, e.body)
+        if cod != mu.tau.cod:
+            raise RegionTypeError(
+                f"lambda body has type {show_mu(cod)}, annotation says {show_mu(mu.tau.cod)}"
+            )
+        if not phi_body <= arrow.latent:
+            raise RegionTypeError(
+                f"lambda body effect {show_effect(phi_body - arrow.latent)} "
+                f"exceeds the latent effect {arrow.display()}"
+            )
+        restricted = _restrict(gamma, T.fpv(e.body) - {e.param})
+        failures = gc_safety_failures(omega, restricted, e.body, frozenset({e.param}), mu)
+        if failures:
+            raise RegionTypeError("GC-safety violation in fn: " + "; ".join(failures))
+        return mu, frozenset({e.rho})
+
+    def _check_FunDef(self, omega, gamma, exnenv, e: T.FunDef):
+        pi = e.pi
+        sigma = pi.scheme
+        if pi.rho != e.rho:
+            raise RegionTypeError("fun allocated at a region different from its scheme place")
+        if tuple(sigma.rvars) != tuple(e.rparams):
+            raise RegionTypeError("fun region parameters differ from the scheme's bound regions")
+        body_tau = sigma.body
+        if not isinstance(body_tau, TauArrow):
+            raise RegionTypeError("fun scheme body is not an arrow type")
+        arrow = body_tau.arrow
+        bound = sigma.bound_atoms()
+        delta = sigma.delta
+
+        free_names = T.fpv(e)
+        restricted = _restrict(gamma, free_names)
+        # (dom(Delta) | frev(rvec, evec)) disjoint from fv(Omega, Gamma, rho)
+        outer_fv = frev(omega, _pis(restricted), e.rho) | ftv(omega, _pis(restricted))
+        clash = (bound | sigma.bound_tyvars()) & outer_fv
+        if clash:
+            raise RegionTypeError(
+                f"bound variables of fun {e.fname} occur free in the context: "
+                f"{sorted(str(c) for c in clash)}"
+            )
+        if set(delta) & set(omega):
+            raise RegionTypeError("Delta overlaps the enclosing type-variable context")
+
+        recursive = e.fname in T.fpv(e.body)
+        if recursive and bound & frev(delta):
+            raise RegionTypeError(
+                f"fun {e.fname}: polymorphic recursion may not quantify over "
+                "variables appearing in the type-variable context Delta"
+            )
+
+        inner_omega = omega.extend(delta)
+        inner_gamma = dict(gamma)
+        if recursive:
+            rec_scheme = Scheme(sigma.rvars, sigma.evars, (), EMPTY_CTX, body_tau)
+            inner_gamma[e.fname] = PiScheme(rec_scheme, e.rho)
+        inner_gamma[e.param] = body_tau.dom
+
+        cod, phi_body = self.check_mu(inner_omega, inner_gamma, exnenv, e.body)
+        if cod != body_tau.cod:
+            raise RegionTypeError(
+                f"fun {e.fname} body has type {show_mu(cod)}, "
+                f"scheme says {show_mu(body_tau.cod)}"
+            )
+        if not phi_body <= arrow.latent:
+            raise RegionTypeError(
+                f"fun {e.fname} body effect {show_effect(phi_body - arrow.latent)} "
+                f"exceeds the latent effect {arrow.display()}"
+            )
+        failures = gc_safety_failures(
+            omega, restricted, e.body, frozenset({e.fname, e.param}), pi
+        )
+        if failures:
+            raise RegionTypeError(
+                f"GC-safety violation in fun {e.fname}: " + "; ".join(failures)
+            )
+        return pi, frozenset({e.rho})
+
+    def _check_RApp(self, omega, gamma, exnenv, e: T.RApp):
+        pi_fn, phi = self.check(omega, gamma, exnenv, e.fn)
+        if not isinstance(pi_fn, PiScheme):
+            raise RegionTypeError("region application of a non-polymorphic value")
+        sigma = pi_fn.scheme
+        if tuple(e.inst.rgn.get(r, r) for r in sigma.rvars) != tuple(e.rargs):
+            raise RegionTypeError(
+                "region arguments disagree with the recorded instantiation"
+            )
+        tau = instantiate(omega, sigma, e.inst)
+        result = MuBoxed(tau, e.rho)
+        if not well_formed_mu(omega, result):
+            raise RegionTypeError("instance type is not well-formed")
+        return result, phi | {e.rho, pi_fn.rho}
+
+    def _check_App(self, omega, gamma, exnenv, e: T.App):
+        mu_fn, phi1 = self.check_mu(omega, gamma, exnenv, e.fn)
+        if not (isinstance(mu_fn, MuBoxed) and isinstance(mu_fn.tau, TauArrow)):
+            raise RegionTypeError(f"application of a non-function: {show_mu(mu_fn)}")
+        mu_arg, phi2 = self.check_mu(omega, gamma, exnenv, e.arg)
+        if mu_arg != mu_fn.tau.dom:
+            raise RegionTypeError(
+                f"argument type {show_mu(mu_arg)} differs from domain "
+                f"{show_mu(mu_fn.tau.dom)}"
+            )
+        arrow = mu_fn.tau.arrow
+        return (
+            mu_fn.tau.cod,
+            arrow.latent | phi1 | phi2 | {arrow.handle, mu_fn.rho},
+        )
+
+    # -- binding forms --------------------------------------------------------
+
+    def _check_Let(self, omega, gamma, exnenv, e: T.Let):
+        pi1, phi1 = self.check(omega, gamma, exnenv, e.rhs)
+        inner = dict(gamma)
+        inner[e.name] = pi1
+        mu, phi2 = self.check_mu(omega, inner, exnenv, e.body)
+        return mu, phi1 | phi2
+
+    def _check_Letregion(self, omega, gamma, exnenv, e: T.Letregion):
+        mu, phi = self.check_mu(omega, gamma, exnenv, e.body)
+        restricted = _restrict(gamma, T.fpv(e.body))
+        outside = frev(omega, _pis(restricted), mu)
+        bound = frozenset(e.rhos)
+        if bound & outside:
+            raise RegionTypeError(
+                f"letregion-bound {show_effect(bound & outside)} escapes "
+                "into the context or the result type"
+            )
+        for rho in e.rhos:
+            if rho.top:
+                raise RegionTypeError("letregion may not bind a global region")
+        # Discharge the bound regions plus any effect variables local to e.
+        local_evars = frozenset(
+            a for a in phi if not isinstance(a, RegionVar) and a not in outside and not a.top
+        )
+        return mu, phi - bound - local_evars
+
+    # -- data ------------------------------------------------------------------
+
+    def _check_Pair(self, omega, gamma, exnenv, e: T.Pair):
+        mu1, phi1 = self.check_mu(omega, gamma, exnenv, e.fst)
+        mu2, phi2 = self.check_mu(omega, gamma, exnenv, e.snd)
+        return MuBoxed(TauPair(mu1, mu2), e.rho), phi1 | phi2 | {e.rho}
+
+    def _check_Select(self, omega, gamma, exnenv, e: T.Select):
+        mu, phi = self.check_mu(omega, gamma, exnenv, e.pair)
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauPair)):
+            raise RegionTypeError(f"# {e.index} of a non-pair: {show_mu(mu)}")
+        if e.index not in (1, 2):
+            raise RegionTypeError(f"pair projection index {e.index}")
+        out = mu.tau.fst if e.index == 1 else mu.tau.snd
+        return out, phi | {mu.rho}
+
+    def _check_Cons(self, omega, gamma, exnenv, e: T.Cons):
+        mu_h, phi1 = self.check_mu(omega, gamma, exnenv, e.head)
+        mu_t, phi2 = self.check_mu(omega, gamma, exnenv, e.tail)
+        if not (isinstance(mu_t, MuBoxed) and isinstance(mu_t.tau, TauList)):
+            raise RegionTypeError(f":: onto a non-list {show_mu(mu_t)}")
+        if mu_t.tau.elem != mu_h:
+            raise RegionTypeError(
+                f":: element type {show_mu(mu_h)} differs from list "
+                f"element type {show_mu(mu_t.tau.elem)}"
+            )
+        if mu_t.rho != e.rho:
+            raise RegionTypeError(
+                f":: allocates at {e.rho.display()} but the spine lives in "
+                f"{mu_t.rho.display()}"
+            )
+        return mu_t, phi1 | phi2 | {e.rho}
+
+    def _check_If(self, omega, gamma, exnenv, e: T.If):
+        mu_c, phi0 = self.check_mu(omega, gamma, exnenv, e.cond)
+        if mu_c != MU_BOOL:
+            raise RegionTypeError(f"if-condition has type {show_mu(mu_c)}")
+        mu1, phi1 = self.check_mu(omega, gamma, exnenv, e.then)
+        mu2, phi2 = self.check_mu(omega, gamma, exnenv, e.els)
+        if mu1 != mu2:
+            raise RegionTypeError(
+                f"if-branches disagree: {show_mu(mu1)} vs {show_mu(mu2)}"
+            )
+        return mu1, phi0 | phi1 | phi2
+
+    # -- primitives -------------------------------------------------------------
+
+    def _check_Prim(self, omega, gamma, exnenv, e: T.Prim):
+        arg_results = [self.check_mu(omega, gamma, exnenv, a) for a in e.args]
+        mus = [mu for mu, _ in arg_results]
+        phi = frozenset().union(*(p for _, p in arg_results)) if arg_results else EMPTY_EFFECT
+        mu_out, extra = _prim_type(e.op, mus, e.rho)
+        return mu_out, phi | extra
+
+    # -- references ---------------------------------------------------------------
+
+    def _check_MkRef(self, omega, gamma, exnenv, e: T.MkRef):
+        mu, phi = self.check_mu(omega, gamma, exnenv, e.init)
+        return MuBoxed(TauRef(mu), e.rho), phi | {e.rho}
+
+    def _check_Deref(self, omega, gamma, exnenv, e: T.Deref):
+        mu, phi = self.check_mu(omega, gamma, exnenv, e.ref)
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauRef)):
+            raise RegionTypeError(f"! of a non-ref {show_mu(mu)}")
+        return mu.tau.content, phi | {mu.rho}
+
+    def _check_Assign(self, omega, gamma, exnenv, e: T.Assign):
+        mu_r, phi1 = self.check_mu(omega, gamma, exnenv, e.ref)
+        if not (isinstance(mu_r, MuBoxed) and isinstance(mu_r.tau, TauRef)):
+            raise RegionTypeError(f":= into a non-ref {show_mu(mu_r)}")
+        mu_v, phi2 = self.check_mu(omega, gamma, exnenv, e.value)
+        if mu_v != mu_r.tau.content:
+            raise RegionTypeError(
+                f":= stores {show_mu(mu_v)} into a {show_mu(mu_r)} cell"
+            )
+        return MU_UNIT, phi1 | phi2 | {mu_r.rho}
+
+    # -- datatypes -------------------------------------------------------------------
+
+    def _check_LetData(self, omega, gamma, exnenv, e: T.LetData):
+        from .rtypes import TauData
+
+        for conname, template in e.constructors:
+            if template is None:
+                continue
+            # Uniform representation: every place in a payload template is
+            # the declaration's self region.
+            for rho in _template_places(template):
+                if rho != e.self_rho:
+                    raise RegionTypeError(
+                        f"constructor {conname} of {e.name}: payload component "
+                        f"at {rho.display()} violates the uniform "
+                        f"single-region representation"
+                    )
+            if _template_has_arrow(template):
+                raise RegionTypeError(
+                    f"constructor {conname} of {e.name}: function types in "
+                    "constructor payloads are not supported (wrap them in a "
+                    "type parameter)"
+                )
+        inner = dict(exnenv)
+        inner[f"data:{e.name}"] = e
+        return self.check(omega, gamma, inner, e.body)
+
+    def _data_decl(self, exnenv, dataname: str) -> T.LetData:
+        decl = exnenv.get(f"data:{dataname}")
+        if decl is None:
+            raise RegionTypeError(f"unknown datatype {dataname}")
+        return decl
+
+    def _con_payload(
+        self, decl: T.LetData, conname: str, targs: tuple, rho: RegionVar
+    ) -> Optional[Mu]:
+        """Instantiate a constructor's payload template at (targs, rho)."""
+        for cname, template in decl.constructors:
+            if cname == conname:
+                if template is None:
+                    return None
+                if len(targs) != len(decl.params):
+                    raise RegionTypeError(
+                        f"{decl.name} expects {len(decl.params)} type "
+                        f"argument(s), got {len(targs)}"
+                    )
+                subst = Subst(
+                    ty=dict(zip(decl.params, targs)),
+                    rgn={decl.self_rho: rho},
+                )
+                return subst.mu(template)
+        raise RegionTypeError(f"{conname} is not a constructor of {decl.name}")
+
+    def _check_DataCon(self, omega, gamma, exnenv, e: T.DataCon):
+        from .rtypes import TauData
+
+        decl = self._data_decl(exnenv, e.dataname)
+        payload = self._con_payload(decl, e.conname, e.targs, e.rho)
+        phi: Effect = frozenset({e.rho})
+        if (payload is None) != (e.arg is None):
+            raise RegionTypeError(f"arity mismatch for constructor {e.conname}")
+        if e.arg is not None:
+            mu, phi_arg = self.check_mu(omega, gamma, exnenv, e.arg)
+            if mu != payload:
+                raise RegionTypeError(
+                    f"constructor {e.conname} expects {show_mu(payload)}, "
+                    f"got {show_mu(mu)}"
+                )
+            phi = phi | phi_arg
+        return MuBoxed(TauData(e.dataname, e.targs), e.rho), phi
+
+    def _check_Case(self, omega, gamma, exnenv, e: T.Case):
+        from .rtypes import TauData
+
+        mu_s, phi = self.check_mu(omega, gamma, exnenv, e.scrutinee)
+        if not (isinstance(mu_s, MuBoxed) and isinstance(mu_s.tau, TauData)):
+            # `case v of x => ...` over a non-datatype value is a binding
+            # form (SML allows irrefutable patterns): only catch-all
+            # branches may appear.
+            if any(br.conname is not None for br in e.branches):
+                raise RegionTypeError(
+                    f"case on a non-datatype value {show_mu(mu_s)}"
+                )
+            decl = None
+        else:
+            decl = self._data_decl(exnenv, mu_s.tau.name)
+            phi = phi | {mu_s.rho}
+        result: Optional[Mu] = None
+        for br in e.branches:
+            inner = dict(gamma)
+            if br.conname is not None:
+                payload = self._con_payload(
+                    decl, br.conname, mu_s.tau.targs, mu_s.rho
+                )
+                if (payload is None) and br.binder is not None:
+                    raise RegionTypeError(
+                        f"{br.conname} is nullary but the branch binds a payload"
+                    )
+                if payload is not None:
+                    if br.binder is None:
+                        raise RegionTypeError(
+                            f"{br.conname} carries a payload the branch ignores "
+                            "without binding"
+                        )
+                    inner[br.binder] = payload
+            elif br.binder is not None:
+                inner[br.binder] = mu_s
+            mu_b, phi_b = self.check_mu(omega, inner, exnenv, br.body)
+            phi = phi | phi_b
+            if result is None:
+                result = mu_b
+            elif mu_b != result:
+                raise RegionTypeError(
+                    f"case branches disagree: {show_mu(result)} vs {show_mu(mu_b)}"
+                )
+        if result is None:
+            raise RegionTypeError("case with no branches")
+        return result, phi
+
+    # -- exceptions ------------------------------------------------------------------
+
+    def _check_LetExn(self, omega, gamma, exnenv, e: T.LetExn):
+        if e.payload is not None:
+            if not well_formed_mu(omega, e.payload):
+                raise RegionTypeError(
+                    f"exception {e.exname}: payload type is not well-formed"
+                )
+            if self.strict_exceptions:
+                bad = [r for r in required_effect_mu(omega, e.payload)
+                       if isinstance(r, RegionVar) and not r.top]
+                if bad:
+                    raise RegionTypeError(
+                        f"exception {e.exname}: payload type mentions non-global "
+                        f"regions {show_effect(frozenset(bad))} (Section 4.4: a "
+                        "raised value may escape; all its regions must be "
+                        "top-level)"
+                    )
+        inner = dict(exnenv)
+        inner[e.exname] = e.payload
+        return self.check(omega, gamma, inner, e.body)
+
+    def _check_Con(self, omega, gamma, exnenv, e: T.Con):
+        if e.exname not in exnenv:
+            raise RegionTypeError(f"unknown exception constructor {e.exname}")
+        payload = exnenv[e.exname]
+        phi: Effect = frozenset({e.rho})
+        if self.strict_exceptions and not e.rho.top:
+            raise RegionTypeError(
+                f"exception value allocated in non-global region {e.rho.display()}"
+            )
+        if (payload is None) != (e.arg is None):
+            raise RegionTypeError(f"arity mismatch for exception {e.exname}")
+        if e.arg is not None:
+            mu, phi_arg = self.check_mu(omega, gamma, exnenv, e.arg)
+            if mu != payload:
+                raise RegionTypeError(
+                    f"exception {e.exname} expects {show_mu(payload)}, got {show_mu(mu)}"
+                )
+            phi |= phi_arg
+        return MuBoxed(TAU_EXN, e.rho), phi
+
+    def _check_Raise(self, omega, gamma, exnenv, e: T.Raise):
+        mu, phi = self.check_mu(omega, gamma, exnenv, e.exn)
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, type(TAU_EXN))):
+            raise RegionTypeError(f"raise of a non-exception {show_mu(mu)}")
+        if not well_formed_mu(omega, e.mu):
+            raise RegionTypeError("raise annotated with an ill-formed type")
+        return e.mu, phi | {mu.rho}
+
+    def _check_Handle(self, omega, gamma, exnenv, e: T.Handle):
+        mu, phi1 = self.check_mu(omega, gamma, exnenv, e.body)
+        if e.exname not in exnenv:
+            raise RegionTypeError(f"handler for unknown exception {e.exname}")
+        payload = exnenv[e.exname]
+        inner = dict(gamma)
+        if e.binder is not None:
+            if payload is None:
+                raise RegionTypeError(
+                    f"handler binds a payload but {e.exname} is nullary"
+                )
+            inner[e.binder] = payload
+        mu_h, phi2 = self.check_mu(omega, inner, exnenv, e.handler)
+        if mu_h != mu:
+            raise RegionTypeError(
+                f"handler type {show_mu(mu_h)} differs from body type {show_mu(mu)}"
+            )
+        return mu, phi1 | phi2
+
+    # -- values (for small-step preservation tests) ------------------------------------
+
+    def _check_VInt(self, omega, gamma, exnenv, e: T.VInt):
+        return MU_INT, EMPTY_EFFECT
+
+    def _check_VBool(self, omega, gamma, exnenv, e: T.VBool):
+        return MU_BOOL, EMPTY_EFFECT
+
+    def _check_VUnit(self, omega, gamma, exnenv, e: T.VUnit):
+        return MU_UNIT, EMPTY_EFFECT
+
+    def _check_VNil(self, omega, gamma, exnenv, e: T.VNil):
+        return self._check_NilLit(omega, gamma, exnenv, T.NilLit(e.mu))
+
+    def _check_VStr(self, omega, gamma, exnenv, e: T.VStr):
+        return MuBoxed(TAU_STRING, e.rho), EMPTY_EFFECT
+
+    def _check_VReal(self, omega, gamma, exnenv, e: T.VReal):
+        return MuBoxed(TAU_REAL, e.rho), EMPTY_EFFECT
+
+    def _check_VPair(self, omega, gamma, exnenv, e: T.VPair):
+        mu1, _ = self.check(omega, {}, exnenv, e.fst)
+        mu2, _ = self.check(omega, {}, exnenv, e.snd)
+        return MuBoxed(TauPair(mu1, mu2), e.rho), EMPTY_EFFECT
+
+    def _check_VCons(self, omega, gamma, exnenv, e: T.VCons):
+        mu_h, _ = self.check(omega, {}, exnenv, e.head)
+        mu_t, _ = self.check(omega, {}, exnenv, e.tail)
+        if not (isinstance(mu_t, MuBoxed) and isinstance(mu_t.tau, TauList)):
+            raise RegionTypeError("cons value with a non-list tail")
+        if mu_t.rho != e.rho or mu_t.tau.elem != mu_h:
+            raise RegionTypeError("ill-typed cons value")
+        return mu_t, EMPTY_EFFECT
+
+    def _check_VClos(self, omega, gamma, exnenv, e: T.VClos):
+        # [TvLam]: the body is checked in an empty environment; values are
+        # closed (Proposition 15); values have no effect.
+        mu, _phi = self._check_Lam(
+            omega, {}, exnenv, T.Lam(e.param, e.body, e.rho, e.mu)
+        )
+        return mu, EMPTY_EFFECT
+
+    def _check_VFunClos(self, omega, gamma, exnenv, e: T.VFunClos):
+        pi, _phi = self._check_FunDef(
+            omega, {}, exnenv,
+            T.FunDef(e.fname, e.rparams, e.param, e.body, e.rho, e.pi),
+        )
+        return pi, EMPTY_EFFECT
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _template_places(mu: Mu) -> set:
+    from .rtypes import frv
+
+    return set(frv(mu))
+
+
+def _template_has_arrow(mu: Mu) -> bool:
+    from .rtypes import TauData
+
+    if isinstance(mu, MuBoxed):
+        tau = mu.tau
+        if isinstance(tau, TauArrow):
+            return True
+        if isinstance(tau, TauPair):
+            return _template_has_arrow(tau.fst) or _template_has_arrow(tau.snd)
+        if isinstance(tau, TauList):
+            return _template_has_arrow(tau.elem)
+        if isinstance(tau, TauRef):
+            return _template_has_arrow(tau.content)
+        if isinstance(tau, TauData):
+            return any(_template_has_arrow(a) for a in tau.targs)
+    return False
+
+
+def _restrict(gamma: Mapping[str, Pi], names: frozenset) -> dict[str, Pi]:
+    return {x: pi for x, pi in gamma.items() if x in names}
+
+
+def _pis(gamma: Mapping[str, Pi]) -> tuple[Pi, ...]:
+    return tuple(gamma.values())
+
+
+def _erase(mu: Mu) -> str:
+    """The ML erasure of a type-and-place, for region-polymorphic
+    comparisons (only base-ish types compare, so a shallow tag works)."""
+    if isinstance(mu, MuBoxed):
+        return type(mu.tau).__name__
+    if isinstance(mu, MuBase):
+        return mu.kind
+    return "tyvar"
+
+
+def _prim_type(op: str, mus: list[Mu], rho: Optional[RegionVar]) -> tuple[Mu, Effect]:
+    """Typing of primitive operations.
+
+    Returns the result type and the *extra* effect contributed by the
+    primitive itself (argument effects are the caller's business): a get
+    effect on every boxed argument and a put effect on ``rho`` when the
+    primitive allocates.
+    """
+    get: set = set()
+    for mu in mus:
+        if isinstance(mu, MuBoxed):
+            get.add(mu.rho)
+
+    def want(n: int) -> None:
+        if len(mus) != n:
+            raise RegionTypeError(f"primitive {op} expects {n} arguments, got {len(mus)}")
+
+    def boxed(i: int, tau_cls) -> MuBoxed:
+        mu = mus[i]
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, tau_cls)):
+            raise RegionTypeError(
+                f"primitive {op}: argument {i + 1} has type {show_mu(mu)}"
+            )
+        return mu
+
+    def put() -> RegionVar:
+        if rho is None:
+            raise RegionTypeError(f"allocating primitive {op} lacks a destination region")
+        get.add(rho)
+        return rho
+
+    if op in ("add", "sub", "mul", "div", "mod"):
+        want(2)
+        for i in range(2):
+            if mus[i] != MU_INT:
+                raise RegionTypeError(f"{op}: int expected, got {show_mu(mus[i])}")
+        return MU_INT, frozenset(get)
+    if op == "neg":
+        want(1)
+        if mus[0] != MU_INT:
+            raise RegionTypeError(f"neg: int expected, got {show_mu(mus[0])}")
+        return MU_INT, frozenset(get)
+    if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+        want(2)
+        # Comparison is region-polymorphic: the operands may live in
+        # different regions (both are read — the get effects cover them);
+        # only the underlying (erased) types must agree.
+        if _erase(mus[0]) != _erase(mus[1]):
+            raise RegionTypeError(
+                f"{op}: operand types differ: {show_mu(mus[0])} vs {show_mu(mus[1])}"
+            )
+        ok = mus[0] in (MU_INT, MU_BOOL, MU_UNIT) or (
+            isinstance(mus[0], MuBoxed)
+            and isinstance(mus[0].tau, (type(TAU_STRING), type(TAU_REAL)))
+        )
+        if not ok:
+            raise RegionTypeError(f"{op}: not an equality/ordered type: {show_mu(mus[0])}")
+        return MU_BOOL, frozenset(get)
+    if op in ("radd", "rsub", "rmul", "rdiv"):
+        want(2)
+        boxed(0, type(TAU_REAL))
+        boxed(1, type(TAU_REAL))
+        return MuBoxed(TAU_REAL, put()), frozenset(get)
+    if op in ("rneg", "sqrt", "rsin", "rcos", "ratan", "rexp", "rln", "rabs"):
+        want(1)
+        boxed(0, type(TAU_REAL))
+        return MuBoxed(TAU_REAL, put()), frozenset(get)
+    if op == "real":  # int -> real
+        want(1)
+        if mus[0] != MU_INT:
+            raise RegionTypeError("real: int expected")
+        return MuBoxed(TAU_REAL, put()), frozenset(get)
+    if op in ("floor", "round", "trunc"):
+        want(1)
+        boxed(0, type(TAU_REAL))
+        return MU_INT, frozenset(get)
+    if op == "concat":
+        want(2)
+        boxed(0, type(TAU_STRING))
+        boxed(1, type(TAU_STRING))
+        return MuBoxed(TAU_STRING, put()), frozenset(get)
+    if op == "size":
+        want(1)
+        boxed(0, type(TAU_STRING))
+        return MU_INT, frozenset(get)
+    if op == "int_to_string":
+        want(1)
+        if mus[0] != MU_INT:
+            raise RegionTypeError("int_to_string: int expected")
+        return MuBoxed(TAU_STRING, put()), frozenset(get)
+    if op == "real_to_string":
+        want(1)
+        boxed(0, type(TAU_REAL))
+        return MuBoxed(TAU_STRING, put()), frozenset(get)
+    if op == "print":
+        want(1)
+        boxed(0, type(TAU_STRING))
+        return MU_UNIT, frozenset(get)
+    if op == "not":
+        want(1)
+        if mus[0] != MU_BOOL:
+            raise RegionTypeError("not: bool expected")
+        return MU_BOOL, frozenset(get)
+    if op == "null":
+        want(1)
+        boxed(0, TauList)
+        return MU_BOOL, frozenset(get)
+    if op == "hd":
+        want(1)
+        mu = boxed(0, TauList)
+        return mu.tau.elem, frozenset(get)
+    if op == "tl":
+        want(1)
+        mu = boxed(0, TauList)
+        return mu, frozenset(get)
+    raise RegionTypeError(f"unknown primitive {op}")
+
+
+def typecheck(term: T.Term, strict_exceptions: bool = True) -> CheckResult:
+    """Check a closed region-annotated program; raise on any violation."""
+    return RegionTypeChecker(strict_exceptions).check_program(term)

@@ -1,0 +1,10 @@
+"""The MiniML frontend: lexer, parser, surface AST, and Hindley-Milner
+type inference (algorithm W) with per-occurrence instantiation recording —
+the substrate the paper's region inference consumes."""
+
+from .ast import Program
+from .infer import InferenceResult, infer_program
+from .lexer import tokenize
+from .parser import parse_program
+
+__all__ = ["Program", "InferenceResult", "infer_program", "parse_program", "tokenize"]

@@ -1,0 +1,306 @@
+"""Surface abstract syntax for MiniML.
+
+Nodes are *identity-hashed* (``eq=False``): the inference pass records
+per-occurrence information (instantiations, resolved overloads, inferred
+types) in side tables keyed by node identity, which region inference
+consumes.
+
+Desugarings performed by the parser:
+
+* n-tuples become right-nested pairs (``(a,b,c)`` = ``(a,(b,c))``),
+* list literals become ``::`` chains ending in ``nil``,
+* ``andalso`` / ``orelse`` become ``if``,
+* ``e1; e2`` becomes ``let val _ = e1 in e2 end``,
+* ``val f = fn p => e`` is treated as ``fun f p = e`` by inference (so
+  that value-restriction generalization happens exactly for syntactic
+  functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Node", "Ty", "TyVarS", "TyConS", "TyArrowS", "TyTupleS",
+    "Pat", "PVar", "PWild", "PTuple",
+    "Exp", "EInt", "EReal", "EString", "EBool", "EUnit", "ENil", "EVar",
+    "EApp", "EFn", "ELet", "EIf", "EPair", "EBinOp", "EUnOp", "ESelect",
+    "ERaise", "EHandle", "EAnnot", "ECon",
+    "Dec", "ValDec", "FunDec", "ExnDec",
+    "Program",
+]
+
+
+@dataclass(eq=False)
+class Node:
+    """Base class; ``line``/``col`` point at the source."""
+
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+    def pos(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+# ---------------------------------------------------------------------------
+# Surface types (annotations)
+# ---------------------------------------------------------------------------
+
+
+class Ty(Node):
+    pass
+
+
+@dataclass(eq=False)
+class TyVarS(Ty):
+    name: str  # includes the quote: "'a"
+
+
+@dataclass(eq=False)
+class TyConS(Ty):
+    name: str                 # int | real | string | bool | unit | exn | list | ref
+    args: tuple[Ty, ...] = ()
+
+
+@dataclass(eq=False)
+class TyArrowS(Ty):
+    dom: Ty
+    cod: Ty
+
+
+@dataclass(eq=False)
+class TyTupleS(Ty):
+    elems: tuple[Ty, ...]
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Pat(Node):
+    pass
+
+
+@dataclass(eq=False)
+class PVar(Pat):
+    name: str
+    ann: Optional[Ty] = None
+
+
+@dataclass(eq=False)
+class PWild(Pat):
+    ann: Optional[Ty] = None
+
+
+@dataclass(eq=False)
+class PTuple(Pat):
+    """The empty tuple is the unit pattern ``()``."""
+
+    elems: tuple[Pat, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Exp(Node):
+    pass
+
+
+@dataclass(eq=False)
+class EInt(Exp):
+    value: int
+
+
+@dataclass(eq=False)
+class EReal(Exp):
+    value: float
+
+
+@dataclass(eq=False)
+class EString(Exp):
+    value: str
+
+
+@dataclass(eq=False)
+class EBool(Exp):
+    value: bool
+
+
+@dataclass(eq=False)
+class EUnit(Exp):
+    pass
+
+
+@dataclass(eq=False)
+class ENil(Exp):
+    pass
+
+
+@dataclass(eq=False)
+class EVar(Exp):
+    name: str
+
+
+@dataclass(eq=False)
+class EApp(Exp):
+    fn: Exp
+    arg: Exp
+
+
+@dataclass(eq=False)
+class EFn(Exp):
+    param: Pat
+    body: Exp
+
+
+@dataclass(eq=False)
+class ELet(Exp):
+    decs: tuple["Dec", ...]
+    body: Exp
+
+
+@dataclass(eq=False)
+class EIf(Exp):
+    cond: Exp
+    then: Exp
+    els: Exp
+
+
+@dataclass(eq=False)
+class EPair(Exp):
+    fst: Exp
+    snd: Exp
+
+
+@dataclass(eq=False)
+class EBinOp(Exp):
+    """op in { + - * / div mod ^ = <> < <= > >= :: o := }."""
+
+    op: str
+    lhs: Exp
+    rhs: Exp
+
+
+@dataclass(eq=False)
+class EUnOp(Exp):
+    """op in { ~ ! not }."""
+
+    op: str
+    operand: Exp
+
+
+@dataclass(eq=False)
+class ESelect(Exp):
+    """``#i e``; indices beyond 2 navigate the nested-pair desugaring."""
+
+    index: int
+    tuple_: Exp
+
+
+@dataclass(eq=False)
+class ERaise(Exp):
+    exn: Exp
+
+
+@dataclass(eq=False)
+class EHandle(Exp):
+    """``e handle E p => h`` (single constructor; others re-raise)."""
+
+    body: Exp
+    exname: str
+    pat: Optional[Pat]
+    handler: Exp
+
+
+@dataclass(eq=False)
+class EAnnot(Exp):
+    exp: Exp
+    ann: Ty
+
+
+@dataclass(eq=False)
+class ECon(Exp):
+    """An exception-constructor application ``E e`` (or bare ``E``)."""
+
+    exname: str
+    arg: Optional[Exp]
+
+
+# ---------------------------------------------------------------------------
+# Declarations and programs
+# ---------------------------------------------------------------------------
+
+
+class Dec(Node):
+    pass
+
+
+@dataclass(eq=False)
+class ValDec(Dec):
+    pat: Pat
+    rhs: Exp
+
+
+@dataclass(eq=False)
+class FunDec(Dec):
+    """``fun f p1 ... pn (: ty)? = body`` — curried, recursive."""
+
+    name: str
+    params: tuple[Pat, ...]
+    result_ann: Optional[Ty]
+    body: Exp
+
+
+@dataclass(eq=False)
+class ExnDec(Dec):
+    name: str
+    payload: Optional[Ty]
+
+
+@dataclass(eq=False)
+class ConDef(Node):
+    """One constructor of a datatype: ``Name`` or ``Name of ty``."""
+
+    name: str
+    payload: Optional[Ty]
+
+
+@dataclass(eq=False)
+class DatatypeDec(Dec):
+    """``datatype ('a, 'b) name = C1 of ty | C2 | ...``."""
+
+    name: str
+    params: tuple[str, ...]          # tyvar names, with quotes
+    constructors: tuple[ConDef, ...]
+
+
+@dataclass(eq=False)
+class CaseBranch(Node):
+    """``Con p => e`` / ``Con => e`` / ``x => e`` / ``_ => e``.
+
+    ``conname`` is None for a variable/wildcard catch-all branch (whose
+    pattern is in ``pat``); for constructor branches ``pat`` binds the
+    payload (None for nullary constructors).
+    """
+
+    conname: Optional[str]
+    pat: Optional[Pat]
+    body: Exp
+
+
+@dataclass(eq=False)
+class ECase(Exp):
+    scrutinee: Exp
+    branches: tuple[CaseBranch, ...]
+
+
+@dataclass(eq=False)
+class Program(Node):
+    """A sequence of declarations; the value of a program is the value of
+    the last ``val it = ...``-style binding (or unit)."""
+
+    decs: tuple[Dec, ...]

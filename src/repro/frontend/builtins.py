@@ -1,0 +1,168 @@
+"""Built-in primitives and the MiniML prelude (our Basis-library excerpt).
+
+Built-ins are identifiers with fixed type schemes that elaborate to
+:class:`repro.core.terms.Prim` nodes when fully applied (and are
+eta-expanded otherwise).  The *prelude* is ordinary MiniML source that the
+pipeline prepends to every program (unless disabled); it plays the role of
+the Standard ML Basis Library in the paper's measurements.
+
+Section 4.2 reports that the MLKit's Basis implementation contains exactly
+three spurious functions: ``o``, ``Option.compose`` and
+``Option.mapPartial``.  Our prelude reproduces that count with the same
+shapes (options are modelled as 0/1-element lists):
+
+* ``o`` — the composition function, the paper's running example;
+* ``composeOpt`` — ``Option.compose``: the returned closure captures the
+  pair whose type mentions ``'b``, but the closure's own type does not;
+* ``mapPartialOpt`` — ``Option.mapPartial``, written (as in the Basis)
+  with an internal helper ``check : 'a -> bool`` that captures ``f`` and
+  hides ``'b``.
+
+``app`` is written with the explicit type constraint that Section 4.2
+recommends (``f : 'a -> unit``), so it is *not* spurious here; the test
+suite also checks the unconstrained variant, which is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mltypes import (
+    MLScheme,
+    MLType,
+    T_BOOL,
+    T_INT,
+    T_REAL,
+    T_STRING,
+    T_UNIT,
+    TVar,
+    arrow,
+    list_of,
+    pair,
+    ref_of,
+)
+
+__all__ = ["Builtin", "BUILTINS", "PRELUDE_SOURCE"]
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A built-in identifier.
+
+    ``prim`` names the :class:`~repro.core.terms.Prim` operation the
+    application elaborates to (``"__ref"`` marks the special ``ref``
+    constructor, which elaborates to :class:`~repro.core.terms.MkRef`).
+    ``allocates`` says whether the elaborated primitive needs a
+    destination region.
+    """
+
+    name: str
+    scheme: MLScheme
+    prim: str
+    allocates: bool = False
+
+
+def _mono(t: MLType) -> MLScheme:
+    return MLScheme((), t)
+
+
+def _poly1(make) -> MLScheme:
+    a = TVar(level=0)
+    return MLScheme((a,), make(a))
+
+
+def _builtins() -> dict[str, Builtin]:
+    table = [
+        Builtin("hd", _poly1(lambda a: arrow(list_of(a), a)), "hd"),
+        Builtin("tl", _poly1(lambda a: arrow(list_of(a), list_of(a))), "tl"),
+        Builtin("null", _poly1(lambda a: arrow(list_of(a), T_BOOL)), "null"),
+        Builtin("not", _mono(arrow(T_BOOL, T_BOOL)), "not"),
+        Builtin("print", _mono(arrow(T_STRING, T_UNIT)), "print"),
+        Builtin("size", _mono(arrow(T_STRING, T_INT)), "size"),
+        Builtin("itos", _mono(arrow(T_INT, T_STRING)), "int_to_string", allocates=True),
+        Builtin("rtos", _mono(arrow(T_REAL, T_STRING)), "real_to_string", allocates=True),
+        Builtin("real", _mono(arrow(T_INT, T_REAL)), "real", allocates=True),
+        Builtin("floor", _mono(arrow(T_REAL, T_INT)), "floor"),
+        Builtin("round", _mono(arrow(T_REAL, T_INT)), "round"),
+        Builtin("trunc", _mono(arrow(T_REAL, T_INT)), "trunc"),
+        Builtin("sqrt", _mono(arrow(T_REAL, T_REAL)), "sqrt", allocates=True),
+        Builtin("sin", _mono(arrow(T_REAL, T_REAL)), "rsin", allocates=True),
+        Builtin("cos", _mono(arrow(T_REAL, T_REAL)), "rcos", allocates=True),
+        Builtin("atan", _mono(arrow(T_REAL, T_REAL)), "ratan", allocates=True),
+        Builtin("exp", _mono(arrow(T_REAL, T_REAL)), "rexp", allocates=True),
+        Builtin("ln", _mono(arrow(T_REAL, T_REAL)), "rln", allocates=True),
+        Builtin("rabs", _mono(arrow(T_REAL, T_REAL)), "rabs", allocates=True),
+        Builtin("ref", _poly1(lambda a: arrow(a, ref_of(a))), "__ref", allocates=True),
+    ]
+    return {b.name: b for b in table}
+
+
+BUILTINS: dict[str, Builtin] = _builtins()
+
+
+PRELUDE_SOURCE = r"""
+(* ------------------------------------------------------------------ *)
+(* MiniML prelude: the Basis-library excerpt used by the benchmarks.  *)
+(* ------------------------------------------------------------------ *)
+
+(* The composition function: the paper's running example, and one of   *)
+(* the three spurious functions of the Basis (Section 4.2).  Written   *)
+(* with a destructuring pattern so the returned closure captures the   *)
+(* two functions, not the argument pair — giving exactly the paper's   *)
+(* type scheme (2).                                                    *)
+fun o (f, g) = fn x => f (g x)
+
+fun id x = x
+fun ignore x = ()
+fun fst p = #1 p
+fun snd p = #2 p
+
+fun abs x = if x < 0 then 0 - x else x
+fun min (a, b) = if a < b then a else b
+fun max (a, b) = if a > b then a else b
+
+fun length xs = if null xs then 0 else 1 + length (tl xs)
+fun append (xs, ys) = if null xs then ys else hd xs :: append (tl xs, ys)
+fun rev xs =
+    let fun go (ys, acc) = if null ys then acc else go (tl ys, hd ys :: acc)
+    in go (xs, nil)
+    end
+fun map f xs = if null xs then nil else f (hd xs) :: map f (tl xs)
+fun app (f : 'a -> unit) xs =
+    if null xs then () else (f (hd xs); app f (tl xs))
+fun foldl f acc xs = if null xs then acc else foldl f (f (hd xs, acc)) (tl xs)
+fun foldr f acc xs = if null xs then acc else f (hd xs, foldr f acc xs)
+fun filter p xs =
+    if null xs then nil
+    else if p (hd xs) then hd xs :: filter p (tl xs)
+    else filter p (tl xs)
+fun exists p xs = if null xs then false else p (hd xs) orelse exists p (tl xs)
+fun all p xs = if null xs then true else p (hd xs) andalso all p (tl xs)
+fun nth (xs, n) = if n = 0 then hd xs else nth (tl xs, n - 1)
+fun take (xs, n) = if n = 0 then nil else hd xs :: take (tl xs, n - 1)
+fun drop (xs, n) = if n = 0 then xs else drop (tl xs, n - 1)
+fun tabulate (n, f) =
+    let fun go i = if i >= n then nil else f i :: go (i + 1)
+    in go 0
+    end
+fun concatLists xss = if null xss then nil else append (hd xss, concatLists (tl xss))
+
+(* Options modelled as 0/1-element lists: NONE = nil, SOME v = [v].    *)
+fun isSome v = not (null v)
+fun valOf v = hd v
+
+(* Option.compose — the second spurious Basis function: the closure    *)
+(* captures p whose type mentions 'b, invisible in the closure's type. *)
+fun composeOpt p =
+    fn x => let val r = (#2 p) x
+            in if null r then nil else ((#1 p) (hd r)) :: nil
+            end
+
+(* Option.mapPartial — the third spurious Basis function: the local    *)
+(* helper check : 'a -> bool captures f and hides 'b.                  *)
+fun mapPartialOpt f =
+    let fun check x = null (f x)
+        fun go x = if check x then nil else f x
+    in go
+    end
+"""

@@ -1,0 +1,605 @@
+"""Hindley-Milner type inference (algorithm W) for MiniML.
+
+Beyond checking the program, inference records everything region
+inference needs, keyed by node identity:
+
+* ``node_type``    — the type of every expression node,
+* ``var_instance`` — for each occurrence of a polymorphic variable (or
+  built-in), which binder it refers to and the types instantiated for
+  its quantified variables; this is the ``St`` part of the paper's
+  instantiating substitutions,
+* ``binding_scheme`` / ``binder_of`` — the scheme of each generalizing
+  binder and the resolution of every occurrence to its binder,
+* ``con_use`` — occurrences that are exception constructors,
+* ``recursive`` — whether a ``fun`` binding actually recurses.
+
+Generalization follows the value restriction, narrowed (as announced in
+DESIGN.md) to *syntactic functions*: ``fun`` declarations and ``val``
+declarations whose right-hand side is a ``fn``.  This matches what the
+paper's region language can express (its ``let`` rule does not
+generalize; ``fun`` is the scheme-introducing binder).
+
+Overloaded arithmetic (``+ - * < <= > >= = <>``) uses overload-class
+type variables defaulting to ``int`` at generalization time, as in SML.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..core.errors import TypeError_
+from . import ast as A
+from .builtins import BUILTINS, Builtin
+from .mltypes import (
+    MLScheme,
+    MLType,
+    T_BOOL,
+    T_EXN,
+    T_INT,
+    T_REAL,
+    T_STRING,
+    T_UNIT,
+    TCon,
+    TVar,
+    arrow,
+    free_tvars,
+    fresh_tvar,
+    list_of,
+    pair,
+    prune,
+    ref_of,
+    show_type,
+    unify,
+    zonk,
+)
+
+__all__ = ["InferenceResult", "VarInstance", "infer_program", "Binder"]
+
+
+@dataclass(frozen=True)
+class Binder:
+    """A generalizing binder: a top-level/let `fun` or `val ... = fn`."""
+
+    name: str
+    node: Union[A.FunDec, A.ValDec, None]  # None for built-ins
+    builtin: Optional[Builtin] = None
+
+
+@dataclass(frozen=True)
+class VarInstance:
+    """The instantiation taken at one occurrence of a polymorphic name."""
+
+    binder: Binder
+    scheme: MLScheme
+    #: qvar-ident -> the (mutable, zonk-at-read) type instantiated for it.
+    mapping: dict
+
+
+@dataclass
+class InferenceResult:
+    program: A.Program
+    node_type: dict[int, MLType] = field(default_factory=dict)
+    var_instance: dict[int, VarInstance] = field(default_factory=dict)
+    binding_scheme: dict[int, MLScheme] = field(default_factory=dict)
+    binder_of: dict[int, Binder] = field(default_factory=dict)
+    con_use: dict[int, str] = field(default_factory=dict)
+    recursive: set = field(default_factory=set)
+    exn_payload: dict[int, Optional[MLType]] = field(default_factory=dict)
+    top_env: dict[str, MLScheme] = field(default_factory=dict)
+    #: datatype name -> DataInfo (declaration-keyed views also available)
+    datatypes: dict[str, "DataInfo"] = field(default_factory=dict)
+    #: EVar occurrences that are datatype constructors:
+    #: id(node) -> (DataInfo, conname, instance mapping qvar-ident -> MLType)
+    data_con_use: dict[int, tuple] = field(default_factory=dict)
+    #: id(CaseBranch) -> (DataInfo, conname, instance mapping) for
+    #: constructor branches; absent for catch-all branches
+    case_branch: dict[int, tuple] = field(default_factory=dict)
+
+    def type_of(self, node: A.Node) -> MLType:
+        return zonk(self.node_type[id(node)])
+
+    def scheme_of(self, dec: A.Dec) -> MLScheme:
+        return self.binding_scheme[id(dec)]
+
+
+# Environment entries -------------------------------------------------------
+
+
+@dataclass
+class _VarEntry:
+    scheme: MLScheme
+    binder: Binder
+
+
+@dataclass
+class _ExnEntry:
+    payload: Optional[MLType]
+    dec: A.ExnDec
+
+
+@dataclass
+class DataInfo:
+    """A datatype declaration: its parameters and constructors.
+
+    ``constructors`` maps constructor name -> payload MLType (over the
+    ``params`` type variables) or None for nullary constructors.
+    """
+
+    name: str
+    params: tuple
+    constructors: dict
+    order: tuple  # constructor names in declaration order
+
+
+@dataclass
+class _ConEntry:
+    """A datatype constructor in the environment."""
+
+    data: DataInfo
+    conname: str
+    scheme: MLScheme  # forall params. payload -> t   (or forall params. t)
+
+
+_Entry = Union[_VarEntry, _ExnEntry, _ConEntry]
+
+
+class _Inferencer:
+    def __init__(self) -> None:
+        self.result: Optional[InferenceResult] = None
+        self.level = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def fresh(self, overload: Optional[str] = None) -> TVar:
+        return fresh_tvar(self.level, overload)
+
+    def record(self, node: A.Exp, t: MLType) -> MLType:
+        self.result.node_type[id(node)] = t
+        return t
+
+    def error(self, node: A.Node, message: str) -> TypeError_:
+        return TypeError_(f"{node.pos()}: {message}")
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self, program: A.Program) -> InferenceResult:
+        self.result = InferenceResult(program)
+        env: dict[str, _Entry] = {}
+        for name, builtin in BUILTINS.items():
+            env[name] = _VarEntry(builtin.scheme, Binder(name, None, builtin))
+        tyvar_scope: dict[str, TVar] = {}
+        for dec in program.decs:
+            env = self.dec(dec, env)
+        for name, entry in env.items():
+            if isinstance(entry, _VarEntry) and entry.binder.builtin is None:
+                self.result.top_env[name] = entry.scheme
+        return self.result
+
+    # -- declarations ------------------------------------------------------------
+
+    def dec(self, dec: A.Dec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+        if isinstance(dec, A.ValDec):
+            return self._val_dec(dec, env)
+        if isinstance(dec, A.FunDec):
+            return self._fun_dec(dec, env)
+        if isinstance(dec, A.ExnDec):
+            return self._exn_dec(dec, env)
+        if isinstance(dec, A.DatatypeDec):
+            return self._datatype_dec(dec, env)
+        raise TypeError(f"unknown declaration {dec!r}")
+
+    def _datatype_dec(self, dec: A.DatatypeDec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+        if len(set(dec.params)) != len(dec.params):
+            raise self.error(dec, f"duplicate type parameters in datatype {dec.name}")
+        params = tuple(TVar(0, user_name=p) for p in dec.params)
+        scope = dict(zip(dec.params, params))
+        info = DataInfo(dec.name, params, {}, tuple(c.name for c in dec.constructors))
+        # Register before converting payloads: constructors may recurse.
+        self.result.datatypes[dec.name] = info
+        data_ty = TCon(dec.name, params)
+        new_env = dict(env)
+        for con in dec.constructors:
+            payload = None
+            if con.payload is not None:
+                payload = self.surface_type(con.payload, scope)
+            info.constructors[con.name] = payload
+            scheme_body = data_ty if payload is None else arrow(payload, data_ty)
+            new_env[con.name] = _ConEntry(info, con.name, MLScheme(params, scheme_body))
+        return new_env
+
+    def _val_dec(self, dec: A.ValDec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+        rhs = dec.rhs
+        is_fn = isinstance(_strip_annot(rhs), A.EFn)
+        if is_fn and isinstance(dec.pat, A.PVar):
+            # `val f = fn ...` generalizes like `fun f ...` (non-recursive).
+            self.level += 1
+            tyvar_scope: dict[str, TVar] = {}
+            t = self.exp(rhs, env, tyvar_scope)
+            if dec.pat.ann is not None:
+                unify(t, self.surface_type(dec.pat.ann, tyvar_scope), "val annotation")
+            self.level -= 1
+            scheme = self._generalize(t)
+            binder = Binder(dec.pat.name, dec)
+            self.result.binding_scheme[id(dec)] = scheme
+            new_env = dict(env)
+            new_env[dec.pat.name] = _VarEntry(scheme, binder)
+            return new_env
+        # Monomorphic val binding with (possibly) a destructuring pattern.
+        self.level += 1
+        tyvar_scope = {}
+        t = self.exp(rhs, env, tyvar_scope)
+        self.level -= 1
+        new_env = dict(env)
+        self._bind_pattern(dec.pat, t, new_env, tyvar_scope, dec)
+        self.result.binding_scheme[id(dec)] = MLScheme((), t)
+        return new_env
+
+    def _fun_dec(self, dec: A.FunDec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+        self.level += 1
+        tyvar_scope: dict[str, TVar] = {}
+        f_type = self.fresh()
+        binder = Binder(dec.name, dec)
+        inner_env = dict(env)
+        inner_env[dec.name] = _VarEntry(MLScheme((), f_type), binder)
+        param_types: list[MLType] = []
+        for p in dec.params:
+            pt = self.fresh()
+            self._bind_pattern(p, pt, inner_env, tyvar_scope, dec)
+            param_types.append(pt)
+        body_t = self.exp(dec.body, inner_env, tyvar_scope)
+        if dec.result_ann is not None:
+            unify(body_t, self.surface_type(dec.result_ann, tyvar_scope),
+                  f"result annotation of {dec.name}")
+        whole = body_t
+        for pt in reversed(param_types):
+            whole = arrow(pt, whole)
+        unify(f_type, whole, f"recursive uses of {dec.name}")
+        self.level -= 1
+        scheme = self._generalize(whole)
+        self.result.binding_scheme[id(dec)] = scheme
+        new_env = dict(env)
+        new_env[dec.name] = _VarEntry(scheme, binder)
+        return new_env
+
+    def _exn_dec(self, dec: A.ExnDec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+        payload = None
+        if dec.payload is not None:
+            payload = self.surface_type(dec.payload, {})
+        self.result.exn_payload[id(dec)] = payload
+        new_env = dict(env)
+        new_env[dec.name] = _ExnEntry(payload, dec)
+        return new_env
+
+    def _generalize(self, t: MLType) -> MLScheme:
+        qvars: list[TVar] = []
+        for v in free_tvars(t):
+            if v.level > self.level:
+                if v.overload is not None:
+                    # SML-style defaulting at the declaration.
+                    v.instance = T_INT
+                    v.overload = None
+                else:
+                    qvars.append(v)
+        return MLScheme(tuple(qvars), t)
+
+    def _bind_pattern(
+        self,
+        pat: A.Pat,
+        t: MLType,
+        env: dict[str, _Entry],
+        tyvar_scope: dict[str, TVar],
+        owner: A.Dec,
+    ) -> None:
+        if isinstance(pat, A.PVar):
+            if pat.ann is not None:
+                unify(t, self.surface_type(pat.ann, tyvar_scope),
+                      f"annotation on {pat.name}")
+            env[pat.name] = _VarEntry(MLScheme((), t), Binder(pat.name, owner))
+        elif isinstance(pat, A.PWild):
+            if pat.ann is not None:
+                unify(t, self.surface_type(pat.ann, tyvar_scope), "annotation on _")
+        elif isinstance(pat, A.PTuple):
+            if not pat.elems:
+                unify(t, T_UNIT, "unit pattern")
+                return
+            if len(pat.elems) == 1:
+                self._bind_pattern(pat.elems[0], t, env, tyvar_scope, owner)
+                return
+            a, b = self.fresh(), self.fresh()
+            unify(t, pair(a, b), "tuple pattern")
+            self._bind_pattern(pat.elems[0], a, env, tyvar_scope, owner)
+            self._bind_pattern(
+                A.PTuple(pat.elems[1:], line=pat.line, col=pat.col),
+                b, env, tyvar_scope, owner,
+            )
+        else:
+            raise TypeError(f"unknown pattern {pat!r}")
+
+    # -- surface types ----------------------------------------------------------------
+
+    def surface_type(self, ty: A.Ty, scope: dict[str, TVar]) -> MLType:
+        if isinstance(ty, A.TyVarS):
+            if ty.name not in scope:
+                scope[ty.name] = TVar(self.level, user_name=ty.name)
+            return scope[ty.name]
+        if isinstance(ty, A.TyConS):
+            base = {"int": T_INT, "real": T_REAL, "string": T_STRING,
+                    "bool": T_BOOL, "unit": T_UNIT, "exn": T_EXN}
+            if ty.name in base:
+                return base[ty.name]
+            if ty.name == "list":
+                return list_of(self.surface_type(ty.args[0], scope))
+            if ty.name == "ref":
+                return ref_of(self.surface_type(ty.args[0], scope))
+            info = self.result.datatypes.get(ty.name)
+            if info is not None:
+                if len(ty.args) != len(info.params):
+                    raise self.error(
+                        ty, f"datatype {ty.name} expects {len(info.params)} "
+                        f"argument(s), got {len(ty.args)}"
+                    )
+                return TCon(ty.name, tuple(self.surface_type(a, scope) for a in ty.args))
+            raise self.error(ty, f"unknown type constructor {ty.name}")
+        if isinstance(ty, A.TyArrowS):
+            return arrow(self.surface_type(ty.dom, scope), self.surface_type(ty.cod, scope))
+        if isinstance(ty, A.TyTupleS):
+            elems = [self.surface_type(t, scope) for t in ty.elems]
+            out = elems[-1]
+            for e in reversed(elems[:-1]):
+                out = pair(e, out)
+            return out
+        raise TypeError(f"unknown surface type {ty!r}")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def exp(self, e: A.Exp, env: dict[str, _Entry], scope: dict[str, TVar]) -> MLType:
+        t = self._exp(e, env, scope)
+        return self.record(e, t)
+
+    def _exp(self, e: A.Exp, env: dict[str, _Entry], scope: dict[str, TVar]) -> MLType:
+        if isinstance(e, A.EInt):
+            return T_INT
+        if isinstance(e, A.EReal):
+            return T_REAL
+        if isinstance(e, A.EString):
+            return T_STRING
+        if isinstance(e, A.EBool):
+            return T_BOOL
+        if isinstance(e, A.EUnit):
+            return T_UNIT
+        if isinstance(e, A.ENil):
+            return list_of(self.fresh())
+        if isinstance(e, A.EVar):
+            entry = env.get(e.name)
+            if entry is None:
+                raise self.error(e, f"unbound variable {e.name}")
+            if isinstance(entry, _ExnEntry):
+                # Bare exception constructor: a nullary one is an exn value;
+                # a unary one used as a value has type payload -> exn.
+                self.result.con_use[id(e)] = e.name
+                if entry.payload is None:
+                    return T_EXN
+                return arrow(entry.payload, T_EXN)
+            if isinstance(entry, _ConEntry):
+                inst, mapping = entry.scheme.instantiate(self.level)
+                self.result.data_con_use[id(e)] = (entry.data, entry.conname, mapping)
+                return inst
+            inst, mapping = entry.scheme.instantiate(self.level)
+            self.result.var_instance[id(e)] = VarInstance(
+                entry.binder, entry.scheme, mapping
+            )
+            self.result.binder_of[id(e)] = entry.binder
+            return inst
+        if isinstance(e, A.EApp):
+            fn_t = self.exp(e.fn, env, scope)
+            arg_t = self.exp(e.arg, env, scope)
+            res = self.fresh()
+            try:
+                unify(fn_t, arrow(arg_t, res), "application")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            return res
+        if isinstance(e, A.EFn):
+            pt = self.fresh()
+            inner = dict(env)
+            self._bind_pattern(e.param, pt, inner, scope, _FN_OWNER)
+            body_t = self.exp(e.body, inner, scope)
+            return arrow(pt, body_t)
+        if isinstance(e, A.ELet):
+            inner = env
+            for d in e.decs:
+                inner = self.dec(d, inner)
+            return self.exp(e.body, inner, scope)
+        if isinstance(e, A.EIf):
+            ct = self.exp(e.cond, env, scope)
+            try:
+                unify(ct, T_BOOL, "if condition")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            tt = self.exp(e.then, env, scope)
+            et = self.exp(e.els, env, scope)
+            try:
+                unify(tt, et, "if branches")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            return tt
+        if isinstance(e, A.EPair):
+            return pair(self.exp(e.fst, env, scope), self.exp(e.snd, env, scope))
+        if isinstance(e, A.EBinOp):
+            return self._binop(e, env, scope)
+        if isinstance(e, A.EUnOp):
+            return self._unop(e, env, scope)
+        if isinstance(e, A.ESelect):
+            if e.index not in (1, 2):
+                raise self.error(
+                    e, f"#{e.index}: only #1 and #2 are supported; use a "
+                    "tuple pattern for wider tuples"
+                )
+            a, b = self.fresh(), self.fresh()
+            t = self.exp(e.tuple_, env, scope)
+            try:
+                unify(t, pair(a, b), "projection")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            return a if e.index == 1 else b
+        if isinstance(e, A.ERaise):
+            t = self.exp(e.exn, env, scope)
+            try:
+                unify(t, T_EXN, "raise")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            return self.fresh()
+        if isinstance(e, A.EHandle):
+            body_t = self.exp(e.body, env, scope)
+            entry = env.get(e.exname)
+            if not isinstance(entry, _ExnEntry):
+                raise self.error(e, f"handle: {e.exname} is not an exception")
+            inner = dict(env)
+            if e.pat is not None:
+                if entry.payload is None:
+                    raise self.error(e, f"exception {e.exname} carries no payload")
+                self._bind_pattern(e.pat, entry.payload, inner, scope, _FN_OWNER)
+            self.result.con_use[id(e)] = e.exname
+            handler_t = self.exp(e.handler, inner, scope)
+            try:
+                unify(body_t, handler_t, "handler")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            return body_t
+        if isinstance(e, A.EAnnot):
+            t = self.exp(e.exp, env, scope)
+            try:
+                unify(t, self.surface_type(e.ann, scope), "type annotation")
+            except TypeError_ as exc:
+                raise self.error(e, str(exc)) from exc
+            return t
+        if isinstance(e, A.ECase):
+            return self._case(e, env, scope)
+        if isinstance(e, A.ECon):
+            raise AssertionError("ECon is produced by elaboration, not parsing")
+        raise TypeError(f"unknown expression {e!r}")
+
+    def _case(self, e: A.ECase, env: dict[str, _Entry], scope: dict[str, TVar]) -> MLType:
+        scrut_t = self.exp(e.scrutinee, env, scope)
+        result_t = self.fresh()
+        for br in e.branches:
+            inner = dict(env)
+            if br.conname is not None:
+                entry = env.get(br.conname)
+                if isinstance(entry, _ConEntry):
+                    inst, mapping = entry.scheme.instantiate(self.level)
+                    payload_decl = entry.data.constructors[entry.conname]
+                    if payload_decl is None:
+                        if br.pat is not None:
+                            raise self.error(
+                                br, f"{entry.conname} is a nullary constructor"
+                            )
+                        try:
+                            unify(scrut_t, inst, "case scrutinee")
+                        except TypeError_ as exc:
+                            raise self.error(br, str(exc)) from exc
+                    else:
+                        assert isinstance(inst, TCon) and inst.name == "->"
+                        payload_t, data_t = inst.args
+                        try:
+                            unify(scrut_t, data_t, "case scrutinee")
+                        except TypeError_ as exc:
+                            raise self.error(br, str(exc)) from exc
+                        if br.pat is None:
+                            raise self.error(
+                                br, f"constructor {entry.conname} carries a payload"
+                            )
+                        self._bind_pattern(br.pat, payload_t, inner, scope, _FN_OWNER)
+                    self.result.case_branch[id(br)] = (
+                        entry.data, entry.conname, mapping
+                    )
+                else:
+                    # Not a constructor in scope: a variable catch-all.
+                    if br.pat is not None:
+                        raise self.error(br, f"{br.conname} is not a constructor")
+                    inner[br.conname] = _VarEntry(
+                        MLScheme((), scrut_t), Binder(br.conname, _FN_OWNER)
+                    )
+            else:
+                self._bind_pattern(br.pat, scrut_t, inner, scope, _FN_OWNER)
+            bt = self.exp(br.body, inner, scope)
+            try:
+                unify(result_t, bt, "case branches")
+            except TypeError_ as exc:
+                raise self.error(br, str(exc)) from exc
+        return result_t
+
+    def _binop(self, e: A.EBinOp, env: dict[str, _Entry], scope: dict[str, TVar]) -> MLType:
+        lt = self.exp(e.lhs, env, scope)
+        rt = self.exp(e.rhs, env, scope)
+        op = e.op
+        try:
+            if op in ("+", "-", "*"):
+                v = self.fresh("num")
+                unify(lt, v, op)
+                unify(rt, v, op)
+                return v
+            if op == "/":
+                unify(lt, T_REAL, op)
+                unify(rt, T_REAL, op)
+                return T_REAL
+            if op in ("div", "mod"):
+                unify(lt, T_INT, op)
+                unify(rt, T_INT, op)
+                return T_INT
+            if op == "^":
+                unify(lt, T_STRING, op)
+                unify(rt, T_STRING, op)
+                return T_STRING
+            if op in ("<", "<=", ">", ">="):
+                v = self.fresh("ord")
+                unify(lt, v, op)
+                unify(rt, v, op)
+                return T_BOOL
+            if op in ("=", "<>"):
+                v = self.fresh("eq")
+                unify(lt, v, op)
+                unify(rt, v, op)
+                return T_BOOL
+            if op == "::":
+                unify(rt, list_of(lt), op)
+                return rt
+            if op == ":=":
+                unify(lt, ref_of(rt), op)
+                return T_UNIT
+        except TypeError_ as exc:
+            raise self.error(e, str(exc)) from exc
+        raise TypeError(f"unknown operator {op}")
+
+    def _unop(self, e: A.EUnOp, env: dict[str, _Entry], scope: dict[str, TVar]) -> MLType:
+        t = self.exp(e.operand, env, scope)
+        try:
+            if e.op == "~":
+                v = self.fresh("num")
+                unify(t, v, "~")
+                return v
+            if e.op == "!":
+                v = self.fresh()
+                unify(t, ref_of(v), "!")
+                return v
+        except TypeError_ as exc:
+            raise self.error(e, str(exc)) from exc
+        raise TypeError(f"unknown unary operator {e.op}")
+
+
+def _strip_annot(e: A.Exp) -> A.Exp:
+    while isinstance(e, A.EAnnot):
+        e = e.exp
+    return e
+
+
+#: Placeholder owner for pattern bindings inside fn / handle.
+_FN_OWNER = A.ValDec(A.PWild(), A.EUnit())
+
+
+def infer_program(program: A.Program) -> InferenceResult:
+    """Infer types for a whole program; raises
+    :class:`~repro.core.errors.TypeError_` on failure."""
+    return _Inferencer().run(program)

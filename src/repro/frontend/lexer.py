@@ -1,0 +1,167 @@
+"""Lexer for MiniML, the Standard-ML-like source language.
+
+Token kinds: keywords, identifiers, type variables (``'a``), integer /
+real / string literals, and symbolic operators.  SML conventions are
+followed where they matter for the benchmarks: ``~`` is unary minus,
+``(* ... *)`` comments nest, real literals require a digit on both sides
+of the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "val", "fun", "fn", "let", "in", "end", "if", "then", "else",
+        "true", "false", "andalso", "orelse", "raise", "handle",
+        "exception", "of", "nil", "not", "ref", "div", "mod", "rec", "op",
+        "and", "datatype", "case",
+    }
+)
+
+_SYMBOLS = [
+    # longest first
+    "=>", "->", "::", ":=", "<>", "<=", ">=",
+    "(", ")", "[", "]", ",", ";", "=", "<", ">", "+", "-", "*", "/",
+    "^", "~", "!", ":", "_", "#", "@", "|",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str       # "kw", "id", "tyvar", "int", "real", "string", "sym", "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on malformed input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("(*", i):
+            depth = 1
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and depth:
+                if source.startswith("(*", i):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance(1)
+            if depth:
+                raise LexError("unterminated comment", start_line, start_col)
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            buf: list[str] = []
+            while i < n and source[i] != '"':
+                c = source[i]
+                if c == "\\":
+                    advance(1)
+                    if i >= n:
+                        break
+                    esc = source[i]
+                    mapping = {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}
+                    if esc not in mapping:
+                        raise LexError(f"bad escape \\{esc}", line, col)
+                    buf.append(mapping[esc])
+                    advance(1)
+                elif c == "\n":
+                    raise LexError("newline in string literal", line, col)
+                else:
+                    buf.append(c)
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string", start_line, start_col)
+            advance(1)  # closing quote
+            tokens.append(Token("string", "".join(buf), start_line, start_col))
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_real = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_real = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "~-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_real = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("real" if is_real else "int", text, start_line, start_col))
+            continue
+        if ch == "'":
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise LexError("lone quote", line, col)
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("tyvar", text, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_" and i + 1 < n and (source[i + 1].isalnum() or source[i + 1] == "_"):
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        matched = False
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("sym", sym, line, col))
+                advance(len(sym))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,121 @@
+"""Type minimization (paper Section 4.2, after Bjorner 1994).
+
+Algorithm W can over-generalize: ``List.app``'s internal ``loop`` gives
+``app`` the scheme ``forall 'a 'b. ('a -> 'b) -> 'a list -> unit`` where
+``'b`` is gratuitous — nothing in the observable behaviour depends on it,
+yet it becomes a *spurious* type variable for region inference.  Bjorner's
+minimal-typing-derivation idea shrinks such schemes.
+
+Our implementation performs the specific minimization the paper relies
+on: a quantified type variable that occurs in the scheme *only* in the
+codomain position of an argument-function type whose result is discarded
+(i.e. it appears exactly once in the whole scheme) can be replaced by
+``unit`` without changing typability of any use site — every instance
+type for it is simply forced to ``unit``... which is only sound when all
+instantiations are unconstrained.  We therefore minimize conservatively:
+a singleton-occurrence quantified variable is *kept* unless every
+recorded instantiation of it in the program is itself an unconstrained
+variable; in that case the variable is instantiated to ``unit``
+everywhere and dropped from the scheme.
+
+The pass mutates the inference result in place (destructive unification
+on the recorded instance types) before region inference reads it, and
+reports what it removed.  Disable with
+``CompilerFlags(minimize_types=False)`` — the ``bench_ablation``
+benchmark measures the difference in spurious-function counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast as A
+from .infer import InferenceResult
+from .mltypes import MLScheme, T_UNIT, TVar, free_tvars, prune
+
+__all__ = ["MinimizeReport", "minimize_types"]
+
+
+@dataclass
+class MinimizeReport:
+    removed: int = 0
+    bindings: list = field(default_factory=list)
+
+
+def minimize_types(program: A.Program, infres: InferenceResult) -> MinimizeReport:
+    """Minimize the schemes of generalizing binders in place."""
+    report = MinimizeReport()
+
+    # Type variables quantified by *any* scheme: an instantiation target
+    # resolving to one of these belongs to a still-polymorphic binder and
+    # must never be pinned.
+    all_qvars = {
+        q.ident
+        for scheme in infres.binding_scheme.values()
+        for q in scheme.qvars
+    }
+
+    # Count occurrences of each qvar in each scheme body.
+    for dec_id, scheme in list(infres.binding_scheme.items()):
+        if not scheme.qvars:
+            continue
+        occurrences: dict[int, int] = {}
+        _count(scheme.body, occurrences)
+        removable: list[TVar] = []
+        for q in scheme.qvars:
+            if occurrences.get(q.ident, 0) != 1:
+                continue
+            if _all_instances_unconstrained(infres, q, all_qvars):
+                removable.append(q)
+        if not removable:
+            continue
+        for q in removable:
+            # Resolve the variable to unit everywhere (scheme body and all
+            # recorded instances observe it through pruning).
+            q.instance = T_UNIT
+            for inst in infres.var_instance.values():
+                target = inst.mapping.get(q.ident)
+                if target is not None:
+                    t = prune(target)
+                    if isinstance(t, TVar):
+                        t.instance = T_UNIT
+        kept = tuple(q for q in scheme.qvars if q not in removable)
+        new_scheme = MLScheme(kept, scheme.body)
+        infres.binding_scheme[dec_id] = new_scheme
+        report.removed += len(removable)
+        report.bindings.append(dec_id)
+
+    # Top-level env mirrors binding schemes.
+    for name, scheme in list(infres.top_env.items()):
+        if scheme.qvars:
+            kept = tuple(q for q in scheme.qvars if prune(q) is q)
+            if len(kept) != len(scheme.qvars):
+                infres.top_env[name] = MLScheme(kept, scheme.body)
+    return report
+
+
+def _count(t, occurrences: dict) -> None:
+    t = prune(t)
+    if isinstance(t, TVar):
+        occurrences[t.ident] = occurrences.get(t.ident, 0) + 1
+        return
+    for a in t.args:
+        _count(a, occurrences)
+
+
+def _all_instances_unconstrained(
+    infres: InferenceResult, q: TVar, all_qvars: set
+) -> bool:
+    """True when every recorded instantiation of ``q`` is an unresolved
+    type variable owned by no scheme (so pinning it to unit cannot break
+    any use site)."""
+    for inst in infres.var_instance.values():
+        target = inst.mapping.get(q.ident)
+        if target is None:
+            continue
+        t = prune(target)
+        if not isinstance(t, TVar):
+            return False
+        if t.ident in all_qvars:
+            return False
+    return True

@@ -1,0 +1,353 @@
+"""ML types, type schemes, and unification for the MiniML frontend.
+
+Classic destructive-unification Hindley-Milner machinery with:
+
+* *levels* (Remy-style) for efficient generalization,
+* *overload classes* for SML-style arithmetic/comparison overloading
+  (``num`` = {int, real}, ``ord`` = {int, real, string},
+  ``eq`` = {int, bool, unit, string, real}), defaulting to ``int``
+  (or ``real`` when only reals qualify) at the end of inference,
+* a ``weak`` marker for type variables that may not be generalized
+  (the value restriction: only syntactic functions generalize here).
+
+These are the *source* types; region inference later "spreads" them into
+region-annotated types (:mod:`repro.core.rtypes`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..core.errors import TypeError_
+
+__all__ = [
+    "MLType",
+    "TVar",
+    "TCon",
+    "T_INT",
+    "T_REAL",
+    "T_STRING",
+    "T_BOOL",
+    "T_UNIT",
+    "T_EXN",
+    "arrow",
+    "pair",
+    "tuple_type",
+    "list_of",
+    "ref_of",
+    "MLScheme",
+    "prune",
+    "zonk",
+    "unify",
+    "free_tvars",
+    "occurs_in",
+    "fresh_tvar",
+    "reset_tvar_names",
+    "show_type",
+    "show_scheme",
+    "OVERLOAD_CLASSES",
+    "default_overloads",
+]
+
+
+OVERLOAD_CLASSES: dict[str, frozenset] = {
+    "num": frozenset({"int", "real"}),
+    "ord": frozenset({"int", "real", "string"}),
+    "eq": frozenset({"int", "bool", "unit", "string", "real"}),
+}
+
+_counter = itertools.count(1)
+
+
+class MLType:
+    """Base class for source types."""
+
+    __slots__ = ()
+
+
+class TVar(MLType):
+    """A unification variable.
+
+    ``instance`` is the union-find link; ``level`` the binding depth used
+    for generalization; ``overload`` an optional overload-class name;
+    ``user_name`` is set for programmer-written type variables (``'a``)
+    from annotations, which unify like ordinary variables but display
+    with their source name.
+    """
+
+    __slots__ = ("ident", "instance", "level", "overload", "user_name")
+
+    def __init__(
+        self,
+        level: int,
+        overload: Optional[str] = None,
+        user_name: Optional[str] = None,
+    ) -> None:
+        self.ident = next(_counter)
+        self.instance: Optional[MLType] = None
+        self.level = level
+        self.overload = overload
+        self.user_name = user_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return show_type(self)
+
+
+class TCon(MLType):
+    """A type constructor application: ``int``, ``t1 -> t2``, ``t1 * t2``,
+    ``t list``, ``t ref``, ``exn``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: tuple[MLType, ...] = ()) -> None:
+        self.name = name
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return show_type(self)
+
+
+T_INT = TCon("int")
+T_REAL = TCon("real")
+T_STRING = TCon("string")
+T_BOOL = TCon("bool")
+T_UNIT = TCon("unit")
+T_EXN = TCon("exn")
+
+
+def arrow(dom: MLType, cod: MLType) -> TCon:
+    return TCon("->", (dom, cod))
+
+
+def pair(fst: MLType, snd: MLType) -> TCon:
+    return TCon("*", (fst, snd))
+
+
+def tuple_type(elems: list[MLType]) -> MLType:
+    """n-tuples desugar to right-nested pairs; the 0-tuple is unit."""
+    if not elems:
+        return T_UNIT
+    if len(elems) == 1:
+        return elems[0]
+    return pair(elems[0], tuple_type(elems[1:]))
+
+
+def list_of(elem: MLType) -> TCon:
+    return TCon("list", (elem,))
+
+
+def ref_of(content: MLType) -> TCon:
+    return TCon("ref", (content,))
+
+
+def fresh_tvar(level: int, overload: Optional[str] = None) -> TVar:
+    return TVar(level, overload)
+
+
+def prune(t: MLType) -> MLType:
+    """Follow instance links, path-compressing."""
+    if isinstance(t, TVar) and t.instance is not None:
+        t.instance = prune(t.instance)
+        return t.instance
+    return t
+
+
+def zonk(t: MLType) -> MLType:
+    """Fully resolve a type (pruning through constructors)."""
+    t = prune(t)
+    if isinstance(t, TCon) and t.args:
+        return TCon(t.name, tuple(zonk(a) for a in t.args))
+    return t
+
+
+def occurs_in(var: TVar, t: MLType) -> bool:
+    t = prune(t)
+    if t is var:
+        return True
+    if isinstance(t, TCon):
+        return any(occurs_in(var, a) for a in t.args)
+    return False
+
+
+def _merge_overloads(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    inter = OVERLOAD_CLASSES[a] & OVERLOAD_CLASSES[b]
+    for name, members in OVERLOAD_CLASSES.items():
+        if members == inter:
+            return name
+    if not inter:
+        raise TypeError_(f"incompatible overload classes {a} and {b}")
+    # Pick the smaller class containing the intersection.
+    best = min(
+        (name for name, members in OVERLOAD_CLASSES.items() if inter <= members),
+        key=lambda n: len(OVERLOAD_CLASSES[n]),
+    )
+    return best
+
+
+def unify(t1: MLType, t2: MLType, where: str = "") -> None:
+    """Destructive unification; raises :class:`TypeError_` on mismatch."""
+    t1, t2 = prune(t1), prune(t2)
+    if t1 is t2:
+        return
+    if isinstance(t1, TVar):
+        if occurs_in(t1, t2):
+            raise TypeError_(f"occurs check: circular type{_ctx(where)}")
+        if isinstance(t2, TVar):
+            t2.level = min(t1.level, t2.level)
+            t2.overload = _merge_overloads(t1.overload, t2.overload)
+        else:
+            if t1.overload is not None:
+                if not (isinstance(t2, TCon) and not t2.args
+                        and t2.name in OVERLOAD_CLASSES[t1.overload]):
+                    raise TypeError_(
+                        f"type {show_type(t2)} is not in overload class "
+                        f"{t1.overload}{_ctx(where)}"
+                    )
+            _demote_levels(t2, t1.level)
+        t1.instance = t2
+        return
+    if isinstance(t2, TVar):
+        unify(t2, t1, where)
+        return
+    assert isinstance(t1, TCon) and isinstance(t2, TCon)
+    if t1.name != t2.name or len(t1.args) != len(t2.args):
+        raise TypeError_(
+            f"cannot unify {show_type(t1)} with {show_type(t2)}{_ctx(where)}"
+        )
+    for a, b in zip(t1.args, t2.args):
+        unify(a, b, where)
+
+
+def _ctx(where: str) -> str:
+    return f" ({where})" if where else ""
+
+
+def _demote_levels(t: MLType, level: int) -> None:
+    """Lower every variable in ``t`` to at most ``level`` (generalization
+    must not capture variables that leaked into an outer type)."""
+    t = prune(t)
+    if isinstance(t, TVar):
+        t.level = min(t.level, level)
+        return
+    for a in t.args:  # type: ignore[union-attr]
+        _demote_levels(a, level)
+
+
+def free_tvars(t: MLType) -> list[TVar]:
+    """The free type variables of ``t``, in first-occurrence order."""
+    out: list[TVar] = []
+    seen: set[int] = set()
+
+    def go(u: MLType) -> None:
+        u = prune(u)
+        if isinstance(u, TVar):
+            if u.ident not in seen:
+                seen.add(u.ident)
+                out.append(u)
+        else:
+            for a in u.args:  # type: ignore[union-attr]
+                go(a)
+
+    go(t)
+    return out
+
+
+class MLScheme:
+    """A source type scheme ``forall qvars. body``."""
+
+    __slots__ = ("qvars", "body")
+
+    def __init__(self, qvars: tuple[TVar, ...], body: MLType) -> None:
+        self.qvars = qvars
+        self.body = body
+
+    def instantiate(self, level: int) -> tuple[MLType, dict[int, MLType]]:
+        """A fresh instance; returns the type and the map qvar-ident ->
+        fresh type (recorded by inference for region elaboration)."""
+        mapping: dict[int, MLType] = {
+            q.ident: fresh_tvar(level, q.overload) for q in self.qvars
+        }
+        return _subst(self.body, mapping), mapping
+
+    def is_mono(self) -> bool:
+        return not self.qvars
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return show_scheme(self)
+
+
+def _subst(t: MLType, mapping: dict[int, MLType]) -> MLType:
+    t = prune(t)
+    if isinstance(t, TVar):
+        return mapping.get(t.ident, t)
+    if t.args:
+        return TCon(t.name, tuple(_subst(a, mapping) for a in t.args))
+    return t
+
+
+def default_overloads(t: MLType) -> None:
+    """Resolve any remaining overloaded variables in ``t`` (int wins,
+    matching SML defaulting)."""
+    t = prune(t)
+    if isinstance(t, TVar):
+        if t.overload is not None:
+            t.instance = T_INT
+            t.overload = None
+        return
+    for a in t.args:
+        default_overloads(a)
+
+
+# ---------------------------------------------------------------------------
+# Display
+# ---------------------------------------------------------------------------
+
+_display_names: dict[int, str] = {}
+
+
+def reset_tvar_names() -> None:
+    _display_names.clear()
+
+
+def _tvar_name(v: TVar) -> str:
+    if v.user_name:
+        return v.user_name
+    if v.ident not in _display_names:
+        letter = chr(ord("a") + len(_display_names) % 26)
+        suffix = len(_display_names) // 26
+        _display_names[v.ident] = f"'{letter}{suffix if suffix else ''}"
+    return _display_names[v.ident]
+
+
+def show_type(t: MLType, prec: int = 0) -> str:
+    t = prune(t)
+    if isinstance(t, TVar):
+        base = _tvar_name(t)
+        return f"{base}#{t.overload}" if t.overload else base
+    assert isinstance(t, TCon)
+    if t.name == "->":
+        inner = f"{show_type(t.args[0], 2)} -> {show_type(t.args[1], 1)}"
+        return f"({inner})" if prec >= 2 else inner
+    if t.name == "*":
+        inner = f"{show_type(t.args[0], 3)} * {show_type(t.args[1], 2)}"
+        return f"({inner})" if prec >= 3 else inner
+    if t.name in ("list", "ref"):
+        return f"{show_type(t.args[0], 3)} {t.name}"
+    if t.args:  # a user datatype
+        if len(t.args) == 1:
+            return f"{show_type(t.args[0], 3)} {t.name}"
+        inner = ", ".join(show_type(a) for a in t.args)
+        return f"({inner}) {t.name}"
+    return t.name
+
+
+def show_scheme(s: MLScheme) -> str:
+    if not s.qvars:
+        return show_type(s.body)
+    qs = " ".join(_tvar_name(q) for q in s.qvars)
+    return f"forall {qs}. {show_type(s.body)}"

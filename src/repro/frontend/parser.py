@@ -1,0 +1,611 @@
+"""Recursive-descent parser for MiniML with SML-compatible operator
+precedence.
+
+Infix levels (SML's default fixities)::
+
+    1  orelse                (desugared to if)
+    2  andalso               (desugared to if)
+    3  :=   o                (o is the composition function, applied to
+                              the pair of its operands, as in the paper)
+    4  =  <>  <  <=  >  >=
+    5  ::  @                 (right associative; @ applies `append`)
+    6  +  -  ^
+    7  *  /  div  mod
+
+``handle`` binds loosest of all; ``raise`` extends to the end of the
+expression; application binds tighter than any infix; the prefixes ``~``
+(negation), ``!`` (dereference) and the selector ``#i`` bind tightest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import ParseError
+from . import ast as A
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expression", "Parser"]
+
+
+_INFIX_LEVELS: dict[str, tuple[int, str]] = {
+    # op -> (binding power, associativity)
+    "orelse": (1, "right"),
+    "andalso": (2, "right"),
+    ":=": (3, "left"),
+    "o": (3, "left"),
+    "=": (4, "left"),
+    "<>": (4, "left"),
+    "<": (4, "left"),
+    "<=": (4, "left"),
+    ">": (4, "left"),
+    ">=": (4, "left"),
+    "::": (5, "right"),
+    "@": (5, "right"),
+    "+": (6, "left"),
+    "-": (6, "left"),
+    "^": (6, "left"),
+    "*": (7, "left"),
+    "/": (7, "left"),
+    "div": (7, "left"),
+    "mod": (7, "left"),
+}
+
+#: Tokens that can never start an atomic expression — used to stop the
+#: application loop.
+_EXP_STOPPERS = frozenset(
+    {
+        "then", "else", "in", "end", "of", "=>", ")", "]", ",", ";",
+        "val", "fun", "exception", "handle", "and", "eof", ":",
+    }
+    | set(_INFIX_LEVELS)
+)
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.text == text and tok.kind in ("kw", "sym", "id")
+
+    def eat(self, text: str) -> Token:
+        tok = self.peek()
+        if not self.at(text):
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.col)
+        return self.next()
+
+    def _err(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"{message} (found {tok.text!r})", tok.line, tok.col)
+
+    # -- programs and declarations --------------------------------------------
+
+    def program(self) -> A.Program:
+        decs: list[A.Dec] = []
+        while self.peek().kind != "eof":
+            decs.append(self.dec())
+        return A.Program(tuple(decs))
+
+    def dec(self) -> A.Dec:
+        tok = self.peek()
+        if self.at("val"):
+            self.next()
+            pat = self.pattern()
+            ann = None
+            if self.at(":"):
+                self.next()
+                ann = self.type_()
+            self.eat("=")
+            rhs = self.expression()
+            if ann is not None:
+                rhs = A.EAnnot(rhs, ann, line=tok.line, col=tok.col)
+            return A.ValDec(pat, rhs, line=tok.line, col=tok.col)
+        if self.at("fun"):
+            self.next()
+            name_tok = self.peek()
+            if name_tok.kind != "id":
+                raise self._err("expected function name")
+            self.next()
+            params: list[A.Pat] = []
+            while not self.at("=") and not self.at(":"):
+                params.append(self.atomic_pattern())
+            if not params:
+                raise self._err(f"fun {name_tok.text} needs at least one parameter")
+            result_ann = None
+            if self.at(":"):
+                self.next()
+                result_ann = self.type_()
+            self.eat("=")
+            body = self.expression()
+            if self.at("and"):
+                raise self._err("mutually recursive 'and' declarations are not supported; nest the functions instead")
+            return A.FunDec(
+                name_tok.text, tuple(params), result_ann, body,
+                line=tok.line, col=tok.col,
+            )
+        if self.at("exception"):
+            self.next()
+            name_tok = self.peek()
+            if name_tok.kind != "id":
+                raise self._err("expected exception name")
+            self.next()
+            payload = None
+            if self.at("of"):
+                self.next()
+                payload = self.type_()
+            return A.ExnDec(name_tok.text, payload, line=tok.line, col=tok.col)
+        if self.at("datatype"):
+            return self._datatype_dec()
+        raise self._err("expected a declaration (val, fun, exception, or datatype)")
+
+    def _datatype_dec(self) -> A.DatatypeDec:
+        tok = self.eat("datatype")
+        params: list[str] = []
+        if self.peek().kind == "tyvar":
+            params.append(self.next().text)
+        elif self.at("("):
+            self.next()
+            while True:
+                tv = self.peek()
+                if tv.kind != "tyvar":
+                    raise self._err("expected a type variable")
+                params.append(self.next().text)
+                if self.at(","):
+                    self.next()
+                    continue
+                break
+            self.eat(")")
+        name_tok = self.peek()
+        if name_tok.kind != "id":
+            raise self._err("expected datatype name")
+        self.next()
+        self.eat("=")
+        constructors: list[A.ConDef] = []
+        while True:
+            con_tok = self.peek()
+            if con_tok.kind != "id":
+                raise self._err("expected constructor name")
+            self.next()
+            payload = None
+            if self.at("of"):
+                self.next()
+                payload = self.type_()
+            constructors.append(
+                A.ConDef(con_tok.text, payload, line=con_tok.line, col=con_tok.col)
+            )
+            if self.at("|"):
+                self.next()
+                continue
+            break
+        if self.at("and"):
+            raise self._err("mutually recursive datatypes are not supported")
+        return A.DatatypeDec(
+            name_tok.text, tuple(params), tuple(constructors),
+            line=tok.line, col=tok.col,
+        )
+
+    # -- expressions ------------------------------------------------------------
+
+    def expression(self) -> A.Exp:
+        exp = self._exp_no_handle()
+        while self.at("handle"):
+            tok = self.next()
+            exname_tok = self.peek()
+            if exname_tok.kind != "id":
+                raise self._err("expected exception name after handle")
+            self.next()
+            pat: Optional[A.Pat] = None
+            if not self.at("=>"):
+                pat = self.atomic_pattern()
+            self.eat("=>")
+            handler = self._exp_no_handle()
+            exp = A.EHandle(exp, exname_tok.text, pat, handler, line=tok.line, col=tok.col)
+        return exp
+
+    def _exp_no_handle(self) -> A.Exp:
+        tok = self.peek()
+        if self.at("if"):
+            self.next()
+            cond = self.expression()
+            self.eat("then")
+            then = self.expression()
+            self.eat("else")
+            els = self.expression()
+            return A.EIf(cond, then, els, line=tok.line, col=tok.col)
+        if self.at("fn"):
+            self.next()
+            pat = self.atomic_pattern()
+            self.eat("=>")
+            body = self.expression()
+            return A.EFn(pat, body, line=tok.line, col=tok.col)
+        if self.at("let"):
+            self.next()
+            decs = [self.dec()]
+            while not self.at("in"):
+                decs.append(self.dec())
+            self.eat("in")
+            body = self._expseq("end")
+            self.eat("end")
+            return A.ELet(tuple(decs), body, line=tok.line, col=tok.col)
+        if self.at("raise"):
+            self.next()
+            return A.ERaise(self._exp_no_handle(), line=tok.line, col=tok.col)
+        if self.at("case"):
+            return self._case()
+        return self._infix(0)
+
+    def _case(self) -> A.Exp:
+        tok = self.eat("case")
+        scrutinee = self.expression()
+        self.eat("of")
+        branches: list[A.CaseBranch] = []
+        while True:
+            branches.append(self._case_branch())
+            if self.at("|"):
+                self.next()
+                continue
+            break
+        return A.ECase(scrutinee, tuple(branches), line=tok.line, col=tok.col)
+
+    def _case_branch(self) -> A.CaseBranch:
+        tok = self.peek()
+        if self.at("_"):
+            self.next()
+            self.eat("=>")
+            return A.CaseBranch(None, A.PWild(line=tok.line, col=tok.col),
+                                self._exp_no_handle(), line=tok.line, col=tok.col)
+        if tok.kind == "id":
+            self.next()
+            if self.at("=>"):
+                # `Name => e`: a nullary constructor or a variable binding;
+                # inference disambiguates by looking Name up.
+                self.next()
+                return A.CaseBranch(tok.text, None, self._exp_no_handle(),
+                                    line=tok.line, col=tok.col)
+            pat = self.atomic_pattern()
+            self.eat("=>")
+            return A.CaseBranch(tok.text, pat, self._exp_no_handle(),
+                                line=tok.line, col=tok.col)
+        if self.at("("):
+            pat = self.atomic_pattern()
+            self.eat("=>")
+            return A.CaseBranch(None, pat, self._exp_no_handle(),
+                                line=tok.line, col=tok.col)
+        raise self._err("expected a case branch pattern")
+
+    def _expseq(self, stop: str) -> A.Exp:
+        """``e1; e2; ...`` — desugars to lets discarding all but the last."""
+        exps = [self.expression()]
+        while self.at(";"):
+            self.next()
+            exps.append(self.expression())
+        out = exps[-1]
+        for e in reversed(exps[:-1]):
+            out = A.ELet(
+                (A.ValDec(A.PWild(line=e.line, col=e.col), e, line=e.line, col=e.col),),
+                out,
+                line=e.line,
+                col=e.col,
+            )
+        return out
+
+    def _infix(self, min_power: int) -> A.Exp:
+        lhs = self.application()
+        while True:
+            tok = self.peek()
+            op = tok.text
+            if tok.kind not in ("sym", "kw", "id") or op not in _INFIX_LEVELS:
+                break
+            if op == "o" and tok.kind != "id":
+                break
+            power, assoc = _INFIX_LEVELS[op]
+            if power < min_power:
+                break
+            self.next()
+            next_min = power + 1 if assoc == "left" else power
+            rhs = self._infix(next_min)
+            lhs = self._mk_infix(op, lhs, rhs, tok)
+        return lhs
+
+    def _mk_infix(self, op: str, lhs: A.Exp, rhs: A.Exp, tok: Token) -> A.Exp:
+        pos = {"line": tok.line, "col": tok.col}
+        if op == "andalso":
+            return A.EIf(lhs, rhs, A.EBool(False, **pos), **pos)
+        if op == "orelse":
+            return A.EIf(lhs, A.EBool(True, **pos), rhs, **pos)
+        if op == "o":
+            return A.EApp(A.EVar("o", **pos), A.EPair(lhs, rhs, **pos), **pos)
+        if op == "@":
+            return A.EApp(A.EVar("append", **pos), A.EPair(lhs, rhs, **pos), **pos)
+        return A.EBinOp(op, lhs, rhs, **pos)
+
+    def application(self) -> A.Exp:
+        exp = self.atomic()
+        while True:
+            tok = self.peek()
+            if tok.kind in ("eof",):
+                break
+            if tok.text in _EXP_STOPPERS and not (tok.kind == "string"):
+                # `o` only stops application when it is an infix occurrence,
+                # which _EXP_STOPPERS already covers (it is in the table).
+                break
+            if tok.kind in ("int", "real", "string", "id", "tyvar") or tok.text in (
+                "(", "[", "#", "~", "!", "true", "false", "nil", "not",
+                "ref", "let", "fn", "if", "op",
+            ):
+                if tok.kind == "tyvar":
+                    break
+                arg = self.atomic()
+                exp = A.EApp(exp, arg, line=tok.line, col=tok.col)
+                continue
+            break
+        return exp
+
+    def atomic(self) -> A.Exp:
+        tok = self.peek()
+        pos = {"line": tok.line, "col": tok.col}
+        if tok.kind == "int":
+            self.next()
+            return A.EInt(int(tok.text), **pos)
+        if tok.kind == "real":
+            self.next()
+            return A.EReal(float(tok.text.replace("~", "-")), **pos)
+        if tok.kind == "string":
+            self.next()
+            return A.EString(tok.text, **pos)
+        if self.at("true") or self.at("false"):
+            self.next()
+            return A.EBool(tok.text == "true", **pos)
+        if self.at("nil"):
+            self.next()
+            return A.ENil(**pos)
+        if self.at("not"):
+            self.next()
+            return A.EVar("not", **pos)
+        if self.at("ref"):
+            self.next()
+            return A.EVar("ref", **pos)
+        if self.at("op"):
+            self.next()
+            op_tok = self.next()
+            return self._op_section(op_tok)
+        if tok.kind == "id":
+            self.next()
+            return A.EVar(tok.text, **pos)
+        if self.at("~"):
+            self.next()
+            nxt = self.peek()
+            if nxt.kind == "int":
+                self.next()
+                return A.EInt(-int(nxt.text), **pos)
+            if nxt.kind == "real":
+                self.next()
+                return A.EReal(-float(nxt.text.replace("~", "-")), **pos)
+            return A.EUnOp("~", self.atomic(), **pos)
+        if self.at("!"):
+            self.next()
+            return A.EUnOp("!", self.atomic(), **pos)
+        if self.at("#"):
+            self.next()
+            idx_tok = self.peek()
+            if idx_tok.kind != "int":
+                raise self._err("expected an index after #")
+            self.next()
+            return A.ESelect(int(idx_tok.text), self.atomic(), **pos)
+        if self.at("("):
+            self.next()
+            if self.at(")"):
+                self.next()
+                return A.EUnit(**pos)
+            first = self.expression()
+            if self.at(","):
+                elems = [first]
+                while self.at(","):
+                    self.next()
+                    elems.append(self.expression())
+                self.eat(")")
+                return self._tuple(elems, pos)
+            if self.at(";"):
+                exps = [first]
+                while self.at(";"):
+                    self.next()
+                    exps.append(self.expression())
+                self.eat(")")
+                out = exps[-1]
+                for e in reversed(exps[:-1]):
+                    out = A.ELet(
+                        (A.ValDec(A.PWild(**pos), e, **pos),), out, **pos
+                    )
+                return out
+            if self.at(":"):
+                self.next()
+                ann = self.type_()
+                self.eat(")")
+                return A.EAnnot(first, ann, **pos)
+            self.eat(")")
+            return first
+        if self.at("["):
+            self.next()
+            elems = []
+            if not self.at("]"):
+                elems.append(self.expression())
+                while self.at(","):
+                    self.next()
+                    elems.append(self.expression())
+            self.eat("]")
+            out: A.Exp = A.ENil(**pos)
+            for e in reversed(elems):
+                out = A.EBinOp("::", e, out, **pos)
+            return out
+        if self.at("let") or self.at("fn") or self.at("if"):
+            return self._exp_no_handle()
+        raise self._err("expected an expression")
+
+    def _tuple(self, elems: list[A.Exp], pos: dict) -> A.Exp:
+        if len(elems) == 1:
+            return elems[0]
+        return A.EPair(elems[0], self._tuple(elems[1:], pos), **pos)
+
+    def _op_section(self, op_tok: Token) -> A.Exp:
+        """``op <infix>`` as a first-class function over the operand pair."""
+        pos = {"line": op_tok.line, "col": op_tok.col}
+        op = op_tok.text
+        if op == "o":
+            return A.EVar("o", **pos)
+        if op == "@":
+            return A.EVar("append", **pos)
+        if op not in _INFIX_LEVELS:
+            raise ParseError(f"op applied to non-infix {op!r}", op_tok.line, op_tok.col)
+        p = A.PTuple(
+            (A.PVar("__opl", **pos), A.PVar("__opr", **pos)), **pos
+        )
+        if op == "::":
+            body: A.Exp = A.EBinOp("::", A.EVar("__opl", **pos), A.EVar("__opr", **pos), **pos)
+        else:
+            body = self._mk_infix(op, A.EVar("__opl", **pos), A.EVar("__opr", **pos), op_tok)
+        return A.EFn(p, body, **pos)
+
+    # -- patterns -----------------------------------------------------------------
+
+    def pattern(self) -> A.Pat:
+        return self.atomic_pattern()
+
+    def atomic_pattern(self) -> A.Pat:
+        tok = self.peek()
+        pos = {"line": tok.line, "col": tok.col}
+        if self.at("_"):
+            self.next()
+            return A.PWild(**pos)
+        if tok.kind == "id":
+            self.next()
+            return A.PVar(tok.text, **pos)
+        if self.at("("):
+            self.next()
+            if self.at(")"):
+                self.next()
+                return A.PTuple((), **pos)
+            first = self._annotated_pattern()
+            if self.at(","):
+                elems = [first]
+                while self.at(","):
+                    self.next()
+                    elems.append(self._annotated_pattern())
+                self.eat(")")
+                return self._tuple_pat(elems, pos)
+            self.eat(")")
+            return first
+        raise self._err("expected a pattern")
+
+    def _annotated_pattern(self) -> A.Pat:
+        """A pattern with an optional ``: ty`` annotation (inside parens)."""
+        pat = self.atomic_pattern()
+        if self.at(":"):
+            self.next()
+            ann = self.type_()
+            if isinstance(pat, (A.PVar, A.PWild)):
+                pat.ann = ann
+            else:
+                raise self._err("type annotation on a tuple pattern")
+        return pat
+
+    def _tuple_pat(self, elems: list[A.Pat], pos: dict) -> A.Pat:
+        if len(elems) == 1:
+            return elems[0]
+        return A.PTuple((elems[0], self._tuple_pat(elems[1:], pos)), **pos)
+
+    # -- types -----------------------------------------------------------------------
+
+    def type_(self) -> A.Ty:
+        left = self._type_tuple()
+        if self.at("->"):
+            tok = self.next()
+            right = self.type_()
+            return A.TyArrowS(left, right, line=tok.line, col=tok.col)
+        return left
+
+    def _type_tuple(self) -> A.Ty:
+        parts = [self._type_postfix()]
+        while self.at("*"):
+            self.next()
+            parts.append(self._type_postfix())
+        if len(parts) == 1:
+            return parts[0]
+        return A.TyTupleS(tuple(parts), line=parts[0].line, col=parts[0].col)
+
+    _BASE_TYPES = frozenset({"int", "real", "string", "bool", "unit", "exn"})
+
+    def _type_postfix(self) -> A.Ty:
+        args, ty = self._type_atom()
+        if args is not None:
+            # `(t1, t2) name`: a multi-parameter type constructor.
+            tok = self.peek()
+            if tok.kind != "id":
+                raise self._err("expected a type constructor after the argument list")
+            self.next()
+            ty = A.TyConS(tok.text, tuple(args), line=tok.line, col=tok.col)
+        while True:
+            tok = self.peek()
+            # postfix application: `int list`, `int tree`, ... (base type
+            # names cannot be applied)
+            if tok.kind == "id" and tok.text not in self._BASE_TYPES:
+                self.next()
+                ty = A.TyConS(tok.text, (ty,), line=tok.line, col=tok.col)
+            else:
+                break
+        return ty
+
+    def _type_atom(self) -> tuple:
+        """Returns ``(args, ty)``: ``args`` is a list when a parenthesized
+        type-argument tuple was read (awaiting a constructor name),
+        otherwise ``None`` with the single type."""
+        tok = self.peek()
+        pos = {"line": tok.line, "col": tok.col}
+        if tok.kind == "tyvar":
+            self.next()
+            return None, A.TyVarS(tok.text, **pos)
+        if tok.kind == "id":
+            self.next()
+            return None, A.TyConS(tok.text, (), **pos)
+        if self.at("("):
+            self.next()
+            ty = self.type_()
+            if self.at(","):
+                args = [ty]
+                while self.at(","):
+                    self.next()
+                    args.append(self.type_())
+                self.eat(")")
+                return args, None
+            self.eat(")")
+            return None, ty
+        raise self._err("expected a type")
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse a MiniML program (a sequence of declarations)."""
+    parser = Parser(tokenize(source))
+    return parser.program()
+
+
+def parse_expression(source: str) -> A.Exp:
+    """Parse a single MiniML expression (handy in tests)."""
+    parser = Parser(tokenize(source))
+    exp = parser.expression()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.col)
+    return exp

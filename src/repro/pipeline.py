@@ -1,0 +1,149 @@
+"""The compilation pipeline: source -> tokens -> AST -> HM types ->
+region inference -> freezing -> analyses -> verified region-annotated
+program -> runnable.
+
+``compile_program`` is the package's main entry point.  The produced
+:class:`CompiledProgram` carries the region-annotated term, the static
+reports (spurious statistics, multiplicity, drop-regions, verification
+outcome) and can be executed on the region abstract machine with
+:meth:`CompiledProgram.run`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .config import CompilerFlags, Strategy
+from .core import terms as T
+from .core.errors import RegionTypeError
+from .core.typecheck import CheckResult, typecheck
+from .frontend.builtins import PRELUDE_SOURCE
+from .frontend.infer import InferenceResult, infer_program
+from .frontend.minimize import minimize_types
+from .frontend.parser import parse_program
+from .regions.dropregions import DropRegionsReport, analyse_drop_regions
+from .regions.freeze import freeze_program
+from .regions.infer import SpuriousStats, infer_regions
+from .regions.multiplicity import MultiplicityReport, analyse_multiplicity
+from .regions.pretty import pretty_program
+
+__all__ = ["CompiledProgram", "RunResult", "compile_program", "run_source"]
+
+
+@dataclass
+class RunResult:
+    """The outcome of executing a compiled program."""
+
+    value: object
+    output: str
+    stats: "object"  # repro.runtime.stats.RunStats
+    wall_seconds: float
+
+
+@dataclass
+class CompiledProgram:
+    source: str
+    flags: CompilerFlags
+    term: T.Term
+    inference: InferenceResult
+    spurious: SpuriousStats
+    multiplicity: MultiplicityReport
+    drop_regions: DropRegionsReport
+    #: Outcome of re-checking against the Figure 4 rules.  Always ``None``
+    #: (= passed) for ``rg``; for ``rg-`` it records the violation that
+    #: makes the annotation unsound, mirroring the runtime fault.
+    verification_error: Optional[RegionTypeError] = None
+    check_result: Optional[CheckResult] = None
+    compile_seconds: float = 0.0
+
+    def pretty(self, schemes: bool = True) -> str:
+        """The region-annotated program in the paper's notation."""
+        return pretty_program(self.term, schemes)
+
+    def run(self, **overrides) -> RunResult:
+        """Execute on the region abstract machine.
+
+        Keyword overrides are applied to the runtime flags (e.g.
+        ``gc_every_alloc=True``, ``heap_to_live=2.0``).
+        """
+        from dataclasses import replace
+
+        from .runtime.interp import run_term
+
+        runtime = replace(self.flags.runtime, **overrides) if overrides else self.flags.runtime
+        start = time.perf_counter()
+        value, output, stats = run_term(
+            self.term,
+            strategy=self.flags.strategy,
+            runtime=runtime,
+            multiplicity=self.multiplicity if self.flags.multiplicity else None,
+            drop_regions=self.drop_regions if self.flags.drop_regions else None,
+        )
+        wall = time.perf_counter() - start
+        return RunResult(value, output, stats, wall)
+
+
+def compile_program(
+    source: str,
+    flags: CompilerFlags | None = None,
+    strategy: Strategy | None = None,
+) -> CompiledProgram:
+    """Compile MiniML source down to a region-annotated program.
+
+    ``strategy`` is a convenience shortcut for
+    ``flags.with_strategy(...)``.
+    """
+    if flags is None:
+        flags = CompilerFlags()
+    if strategy is not None:
+        flags = flags.with_strategy(strategy)
+
+    start = time.perf_counter()
+    full_source = (PRELUDE_SOURCE + "\n" + source) if flags.with_prelude else source
+    ast = parse_program(full_source)
+    inference = infer_program(ast)
+    if flags.minimize_types:
+        minimize_types(ast, inference)
+
+    region_out = infer_regions(inference, flags)
+    term, _freezer = freeze_program(region_out)
+
+    multiplicity = analyse_multiplicity(term)
+    drop = analyse_drop_regions(term)
+
+    verification_error: Optional[RegionTypeError] = None
+    check_result: Optional[CheckResult] = None
+    if flags.verify:
+        try:
+            check_result = typecheck(term)
+        except RegionTypeError as exc:
+            if flags.strategy in (Strategy.RG, Strategy.TRIVIAL):
+                # The sound strategies must always verify.
+                raise
+            verification_error = exc
+
+    compiled = CompiledProgram(
+        source=source,
+        flags=flags,
+        term=term,
+        inference=inference,
+        spurious=region_out.stats,
+        multiplicity=multiplicity,
+        drop_regions=drop,
+        verification_error=verification_error,
+        check_result=check_result,
+        compile_seconds=time.perf_counter() - start,
+    )
+    return compiled
+
+
+def run_source(
+    source: str,
+    flags: CompilerFlags | None = None,
+    strategy: Strategy | None = None,
+    **overrides,
+) -> RunResult:
+    """Compile and run in one call."""
+    return compile_program(source, flags, strategy).run(**overrides)

@@ -1,0 +1,17 @@
+"""Region inference (paper Section 4): spreading, unification on region
+and effect nodes, spurious-type-variable tracking, generalization,
+letregion insertion, and freezing into the core term language — plus the
+region-representation analyses (multiplicity, drop-regions)."""
+
+from .infer import RegionInferenceOutput, infer_regions
+from .multiplicity import MultiplicityReport, analyse_multiplicity
+from .dropregions import DropRegionsReport, analyse_drop_regions
+
+__all__ = [
+    "RegionInferenceOutput",
+    "infer_regions",
+    "MultiplicityReport",
+    "analyse_multiplicity",
+    "DropRegionsReport",
+    "analyse_drop_regions",
+]

@@ -1,0 +1,161 @@
+"""Drop-regions analysis (paper Section 4.2: "dropping of quantified
+parameter regions that are not stored into by a function").
+
+A region parameter of a ``fun`` needs to exist at run time only if the
+function (or a callee it passes the region to) may *allocate* into it.
+Parameters that are only read through can be dropped: the runtime then
+skips passing them at every region application.
+
+We keep the type schemes intact (the checker is oblivious to dropping —
+it is a pure runtime-representation optimization, as in the MLKit) and
+report, per ``FunDef`` *node*, the indices of the droppable parameters;
+the runtime attaches the set to each function closure it builds.
+
+The analysis is an interprocedural fixpoint with lexical resolution of
+call targets: a parameter is *put into* when it is the target of an
+allocation in the body, or when it is passed (via a region application
+of a lexically known function) into a parameter position that is itself
+put into.  Unknown or higher-order flows are over-approximated: a
+parameter that is captured in an inner function's scheme, or passed to a
+region application whose target is not a lexically visible ``fun``, is
+kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import terms as T
+from ..core.effects import RegionVar
+from ..core.rtypes import frv
+
+__all__ = ["DropRegionsReport", "analyse_drop_regions"]
+
+
+@dataclass
+class DropRegionsReport:
+    """``dropped[id(fundef)]`` is the frozenset of parameter *indices*
+    never stored into."""
+
+    dropped: dict = field(default_factory=dict)
+    names: dict = field(default_factory=dict)  # id -> fname, for reporting
+    total_params: int = 0
+    dropped_params: int = 0
+
+    def dropped_indices_for(self, fundef_id: int) -> frozenset:
+        return self.dropped.get(fundef_id, frozenset())
+
+    def summary(self) -> str:
+        return f"dropped {self.dropped_params}/{self.total_params} region parameters"
+
+
+def analyse_drop_regions(program: T.Term) -> DropRegionsReport:
+    report = DropRegionsReport()
+
+    fundefs: dict[int, T.FunDef] = {}
+    #: call sites: (caller id | None for toplevel, callee id, rargs)
+    calls: list[tuple[int | None, int, tuple]] = []
+    #: put[fid]: parameter RegionVars of fid stored into
+    put: dict[int, set] = {}
+    #: escaped[fid]: parameters that flow somewhere we cannot track
+    escaped: dict[int, set] = {}
+
+    def walk(term: T.Term, scope: dict, owner: int | None) -> None:
+        """``scope`` maps lexically visible fun names to fundef ids."""
+        if isinstance(term, (T.FunDef, T.VFunClos)):
+            fid = id(term)
+            fundefs[fid] = term
+            put[fid] = set()
+            escaped[fid] = set()
+            inner_scope = dict(scope)
+            inner_scope[term.fname] = fid
+            walk(term.body, inner_scope, fid)
+            return
+        if isinstance(term, T.Let) and isinstance(term.rhs, (T.FunDef, T.VFunClos)):
+            walk(term.rhs, scope, owner)
+            inner_scope = dict(scope)
+            inner_scope[term.name] = id(term.rhs)
+            walk(term.body, inner_scope, owner)
+            return
+        if isinstance(term, T.Let):
+            walk(term.rhs, scope, owner)
+            inner_scope = dict(scope)
+            inner_scope.pop(term.name, None)  # shadowed by a non-fun
+            walk(term.body, inner_scope, owner)
+            return
+        if isinstance(term, T.RApp) and isinstance(term.fn, T.Var):
+            callee = scope.get(term.fn.name)
+            if callee is not None:
+                calls.append((owner, callee, term.rargs))
+            else:
+                # Unknown target: every passed region may be stored into.
+                if owner is not None:
+                    escaped[owner].update(term.rargs)
+            walk(term.fn, scope, owner)
+            return
+        if isinstance(term, (T.Lam, T.VClos)):
+            walk(term.body, scope, owner)
+            return
+        for child in T.iter_children(term):
+            walk(child, scope, owner)
+
+    walk(program, {}, None)
+
+    # Direct puts.
+    for fid, fd in fundefs.items():
+        params = set(fd.rparams)
+
+        def direct(term: T.Term) -> None:
+            target = _direct_alloc_target(term)
+            if target is not None and target in params:
+                put[fid].add(target)
+            if isinstance(term, (T.FunDef, T.VFunClos)) and id(term) != fid:
+                # A parameter captured in an inner function's scheme may be
+                # stored into after this call returns: keep it.
+                put[fid].update(params & frv(term.pi))
+                return  # inner fun analysed separately
+            if isinstance(term, (T.Lam, T.VClos)):
+                put[fid].update(params & frv(term.mu))
+            for child in T.iter_children(term):
+                direct(child)
+
+        direct(fd.body)
+        put[fid] |= params & escaped.get(fid, set())
+
+    # Interprocedural fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for owner, callee, rargs in calls:
+            if owner is None:
+                continue
+            caller_params = set(fundefs[owner].rparams)
+            callee_fd = fundefs[callee]
+            for idx, formal in enumerate(callee_fd.rparams):
+                if idx >= len(rargs):
+                    continue
+                if formal in put[callee]:
+                    actual = rargs[idx]
+                    if actual in caller_params and actual not in put[owner]:
+                        put[owner].add(actual)
+                        changed = True
+
+    for fid, fd in fundefs.items():
+        dropped = frozenset(i for i, r in enumerate(fd.rparams) if r not in put[fid])
+        report.total_params += len(fd.rparams)
+        report.dropped_params += len(dropped)
+        if dropped:
+            report.dropped[fid] = dropped
+        report.names[fid] = fd.fname
+    return report
+
+
+def _direct_alloc_target(term: T.Term) -> RegionVar | None:
+    if isinstance(term, (T.Pair, T.Cons, T.StringLit, T.RealLit, T.Lam,
+                         T.FunDef, T.MkRef, T.Con, T.DataCon)):
+        return term.rho
+    if isinstance(term, T.RApp):
+        return term.rho
+    if isinstance(term, T.Prim) and term.rho is not None:
+        return term.rho
+    return None

@@ -1,0 +1,412 @@
+"""Freezing: from mutable inference nodes to the immutable core language.
+
+After pass 1 (:mod:`repro.regions.infer`) all unification is done and all
+letregion decisions are recorded on the use-level terms.  Freezing:
+
+* maps every canonical region/effect node to a
+  :class:`~repro.core.effects.RegionVar`/:class:`~repro.core.effects.EffectVar`;
+* computes each effect variable's *closed* latent set (the transitive
+  effect basis of Section 3.5), which becomes its
+  :class:`~repro.core.effects.ArrowEffect`;
+* converts node types to core types (unconstrained phantom type
+  variables default to ``int``);
+* emits ``letregion`` for the discharged atoms recorded during pass 1
+  (a node with only effect variables to discharge becomes an empty
+  ``letregion``, which the type checker uses to drop local effect
+  variables and the runtime ignores);
+* builds the instantiation substitutions recorded on every region
+  application, which is what lets the Figure 4 checker re-verify the
+  instance-of relation (including coverage) downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import terms as T
+from ..core.effects import ArrowEffect, EffectVar, RegionVar
+from ..core.errors import RegionInferenceError
+from ..core.rtypes import (
+    MU_BOOL,
+    MU_INT,
+    MU_UNIT,
+    Mu,
+    MuBoxed,
+    MuVar,
+    PiScheme,
+    Scheme,
+    TAU_EXN,
+    TAU_REAL,
+    TAU_STRING,
+    TauArrow,
+    TauList,
+    TauPair,
+    TauRef,
+    TyCtx,
+    TyVar,
+)
+from ..core.substitution import Subst
+from ..frontend.mltypes import prune
+from .nodes import EpsNode, RhoNode, closure_of
+from .ntypes import (
+    NArrow,
+    NBase,
+    NBoxed,
+    NData,
+    NExn,
+    NList,
+    NMu,
+    NPair,
+    NReal,
+    NRef,
+    NString,
+    NVar,
+)
+from . import infer as I
+
+__all__ = ["Freezer", "freeze_program"]
+
+
+class Freezer:
+    def __init__(self, output: I.RegionInferenceOutput) -> None:
+        self.out = output
+        self._rho: dict[RhoNode, RegionVar] = {}
+        self._eps: dict[EpsNode, EffectVar] = {}
+        self._tyvar: dict[int, TyVar] = {}
+        self._closed: dict[EpsNode, frozenset] = {}
+        self._pi: dict[int, PiScheme] = {}
+
+    # -- variables ------------------------------------------------------------
+
+    def rho(self, node: RhoNode) -> RegionVar:
+        node = node.find()
+        var = self._rho.get(node)
+        if var is None:
+            if node.top or not (node.letbound or node.generalized):
+                # A region bound by no letregion and quantified by no
+                # scheme is global: top-level values (the program result,
+                # module-level bindings) live in the global region, as in
+                # the MLKit.  Region substitution closure (Prop. 11) makes
+                # the merge sound for the checker.
+                var = RegionVar(0, "rtop", top=True)
+            else:
+                var = RegionVar(node.ident, f"r{node.ident}", top=node.top)
+            self._rho[node] = var
+        return var
+
+    def eps(self, node: EpsNode) -> EffectVar:
+        node = node.find()
+        var = self._eps.get(node)
+        if var is None:
+            var = EffectVar(node.ident, f"e{node.ident}", top=node.top)
+            self._eps[node] = var
+        return var
+
+    def atom(self, node):
+        return self.rho(node) if isinstance(node, RhoNode) else self.eps(node)
+
+    def closed_latent(self, node: EpsNode) -> frozenset:
+        """The transitively closed latent set of an effect node, as core
+        atoms.  The handle itself stays in the set when it is reachable
+        from its own latent contents — the self-referential arrow effects
+        that recursive functions produce (their bodies apply the arrow
+        they are annotated with)."""
+        node = node.find()
+        cached = self._closed.get(node)
+        if cached is None:
+            atoms = closure_of(node.latent)
+            cached = frozenset(self.atom(a) for a in atoms)
+            self._closed[node] = cached
+        return cached
+
+    def arrow_effect(self, node: EpsNode) -> ArrowEffect:
+        return ArrowEffect(self.eps(node), self.closed_latent(node))
+
+    def tyvar(self, ml_ident: int) -> TyVar:
+        tv = self._tyvar.get(ml_ident)
+        if tv is None:
+            tv = TyVar(ml_ident, f"'t{ml_ident}")
+            self._tyvar[ml_ident] = tv
+        return tv
+
+    # -- types ----------------------------------------------------------------
+
+    def mu(self, nmu: NMu) -> Mu:
+        if isinstance(nmu, NVar):
+            t = prune(nmu.tvar)
+            if hasattr(t, "ident") and t.ident in self._tyvar:
+                return MuVar(self._tyvar[t.ident])
+            # A phantom: unconstrained by the whole program, safely int.
+            return MU_INT
+        if isinstance(nmu, NBase):
+            return {"int": MU_INT, "bool": MU_BOOL, "unit": MU_UNIT}[nmu.kind]
+        assert isinstance(nmu, NBoxed)
+        tau = nmu.tau
+        if isinstance(tau, NPair):
+            out = TauPair(self.mu(tau.fst), self.mu(tau.snd))
+        elif isinstance(tau, NArrow):
+            out = TauArrow(self.mu(tau.dom), self.arrow_effect(tau.eps), self.mu(tau.cod))
+        elif isinstance(tau, NString):
+            out = TAU_STRING
+        elif isinstance(tau, NReal):
+            out = TAU_REAL
+        elif isinstance(tau, NList):
+            out = TauList(self.mu(tau.elem))
+        elif isinstance(tau, NRef):
+            out = TauRef(self.mu(tau.content))
+        elif isinstance(tau, NExn):
+            out = TAU_EXN
+        elif isinstance(tau, NData):
+            from ..core.rtypes import TauData
+
+            out = TauData(tau.name, tuple(self.mu(a) for a in tau.targs))
+        else:
+            raise RegionInferenceError(f"freeze: unknown tau {tau!r}")
+        return MuBoxed(out, self.rho(nmu.rho))
+
+    # -- schemes -----------------------------------------------------------------
+
+    def pi_of(self, info: I.FunInfo) -> PiScheme:
+        cached = self._pi.get(id(info))
+        if cached is not None:
+            return cached
+        # Register bound type variables before freezing the body type.
+        tvars = tuple(
+            self.tyvar(tv.ident) for tv in sorted(info.tvars, key=lambda v: v.ident)
+        )
+        delta_items = []
+        for tv, eps in sorted(info.delta.items(), key=lambda kv: kv[0].ident):
+            delta_items.append((self.tyvar(tv.ident), self.arrow_effect(eps)))
+        body_mu = self.mu(info.arrow)
+        assert isinstance(body_mu, MuBoxed) and isinstance(body_mu.tau, TauArrow)
+        scheme = Scheme(
+            rvars=tuple(self.rho(r) for r in info.rvars),
+            evars=tuple(self.eps(e) for e in info.evars),
+            tvars=tvars,
+            delta=TyCtx(delta_items),
+            body=body_mu.tau,
+        )
+        pi = PiScheme(scheme, self.rho(info.rho))
+        self._pi[id(info)] = pi
+        return pi
+
+    # -- terms ----------------------------------------------------------------------
+
+    def term(self, u: I.UTerm) -> T.Term:
+        inner = self._term(u)
+        if u.local_atoms:
+            rhos = tuple(
+                self.rho(a)
+                for a in sorted(
+                    (x for x in u.local_atoms if isinstance(x, RhoNode)),
+                    key=lambda n: n.ident,
+                )
+            )
+            # An empty letregion still discharges local effect variables.
+            inner = T.Letregion(rhos, inner)
+        return inner
+
+    def _term(self, u: I.UTerm) -> T.Term:
+        if isinstance(u, I.UVar):
+            return T.Var(u.name)
+        if isinstance(u, I.URecUse):
+            return self._rec_use(u)
+        if isinstance(u, I.UPolyUse):
+            return self._poly_use(u)
+        if isinstance(u, I.UInt):
+            return T.IntLit(u.value)
+        if isinstance(u, I.UBool):
+            return T.BoolLit(u.value)
+        if isinstance(u, I.UUnit):
+            return T.UnitLit()
+        if isinstance(u, I.UString):
+            return T.StringLit(u.value, self.rho(u.rho))
+        if isinstance(u, I.UReal):
+            return T.RealLit(u.value, self.rho(u.rho))
+        if isinstance(u, I.UNil):
+            return T.NilLit(self.mu(u.nmu))
+        if isinstance(u, I.ULam):
+            mu = self.mu(u.nmu)
+            assert isinstance(mu, MuBoxed)
+            return T.Lam(u.param, self.term(u.body), self.rho(u.rho), mu)
+        if isinstance(u, I.UFunDef):
+            return self._fundef(u.info)
+        if isinstance(u, I.UApp):
+            return T.App(self.term(u.fn), self.term(u.arg))
+        if isinstance(u, I.ULet):
+            return T.Let(u.name, self.term(u.rhs), self.term(u.body))
+        if isinstance(u, I.UPair):
+            return T.Pair(self.term(u.fst), self.term(u.snd), self.rho(u.rho))
+        if isinstance(u, I.USelect):
+            return T.Select(u.index, self.term(u.pair))
+        if isinstance(u, I.UCons):
+            return T.Cons(self.term(u.head), self.term(u.tail), self.rho(u.rho))
+        if isinstance(u, I.UIf):
+            return T.If(self.term(u.cond), self.term(u.then), self.term(u.els))
+        if isinstance(u, I.UPrim):
+            rho = self.rho(u.rho) if u.rho is not None else None
+            return T.Prim(u.op, tuple(self.term(a) for a in u.args), rho)
+        if isinstance(u, I.URef):
+            return T.MkRef(self.term(u.init), self.rho(u.rho))
+        if isinstance(u, I.UDeref):
+            return T.Deref(self.term(u.ref))
+        if isinstance(u, I.UAssign):
+            return T.Assign(self.term(u.ref), self.term(u.value))
+        if isinstance(u, I.ULetData):
+            return self._letdata(u)
+        if isinstance(u, I.UDataCon):
+            arg = self.term(u.arg) if u.arg is not None else None
+            return T.DataCon(
+                u.dataname, u.conname,
+                tuple(self.mu(t) for t in u.targs), arg, self.rho(u.rho),
+            )
+        if isinstance(u, I.UCase):
+            return T.Case(
+                self.term(u.scrutinee),
+                tuple(
+                    T.CaseBranchT(conname, binder, self.term(body))
+                    for conname, binder, body in u.branches
+                ),
+            )
+        if isinstance(u, I.ULetExn):
+            payload = self.mu(u.payload) if u.payload is not None else None
+            return T.LetExn(u.exname, payload, self.term(u.body))
+        if isinstance(u, I.UCon):
+            arg = self.term(u.arg) if u.arg is not None else None
+            return T.Con(u.exname, arg, self.rho(u.rho))
+        if isinstance(u, I.URaise):
+            return T.Raise(self.term(u.exn), self.mu(u.nmu))
+        if isinstance(u, I.UHandle):
+            return T.Handle(self.term(u.body), u.exname, u.binder, self.term(u.handler))
+        raise RegionInferenceError(f"freeze: unknown use-term {type(u).__name__}")
+
+    def _fundef(self, info: I.FunInfo) -> T.FunDef:
+        pi = self.pi_of(info)
+        body = self.term(info.body)
+        return T.FunDef(
+            info.fname,
+            tuple(self.rho(r) for r in info.rvars),
+            info.param,
+            body,
+            self.rho(info.rho),
+            pi,
+        )
+
+    def _poly_use(self, u: I.UPolyUse) -> T.RApp:
+        info = u.use.info
+        self.pi_of(info)  # ensure bound tyvars are registered
+        ty = {}
+        for tv in list(info.tvars) + list(info.delta.keys()):
+            inst_nmu = u.use.ty_map.get(tv)
+            if inst_nmu is None:
+                raise RegionInferenceError(
+                    f"freeze: missing type instance for {tv!r} at a use of {info.fname}"
+                )
+            ty[self.tyvar(tv.ident)] = self.mu(inst_nmu)
+        rgn = {}
+        rargs = []
+        for r in info.rvars:
+            target = u.use.rho_map.get(r.find())
+            if target is None:
+                raise RegionInferenceError(
+                    f"freeze: missing region instance at a use of {info.fname}"
+                )
+            var = self.rho(target)
+            rgn[self.rho(r)] = var
+            rargs.append(var)
+        eff = {}
+        for e in info.evars:
+            target = u.use.eps_map.get(e.find())
+            if target is None:
+                raise RegionInferenceError(
+                    f"freeze: missing effect instance at a use of {info.fname}"
+                )
+            eff[self.eps(e)] = self.arrow_effect(target)
+        return T.RApp(
+            T.Var(u.name),
+            tuple(rargs),
+            self.rho(u.use.rho_use),
+            Subst(ty=ty, rgn=rgn, eff=eff),
+        )
+
+    def _letdata(self, u: I.ULetData) -> T.LetData:
+        """Build the core datatype declaration: per-constructor payload
+        *templates* over the bound parameters and a placeholder self
+        region (the uniform representation)."""
+        from ..frontend.mltypes import TCon as MLTCon, TVar as MLTVar, prune as mlprune
+        from ..core.rtypes import (
+            MU_BOOL as _B, MU_INT as _I, MU_UNIT as _U, TauData,
+        )
+
+        info = u.info
+        params_core = tuple(self.tyvar(p.ident) for p in info.params)
+        param_mu = {
+            mlprune(p).ident: MuVar(core)
+            for p, core in zip(info.params, params_core)
+        }
+        if not hasattr(self, "_template_ids"):
+            import itertools
+
+            self._template_ids = itertools.count(10_000_000)
+        self_rho = RegionVar(next(self._template_ids), f"rself_{info.name}")
+
+        def conv(t):
+            t = mlprune(t)
+            if isinstance(t, MLTVar):
+                return param_mu.get(t.ident, MU_INT)
+            assert isinstance(t, MLTCon)
+            if t.name == "int":
+                return _I
+            if t.name == "bool":
+                return _B
+            if t.name == "unit":
+                return _U
+            if t.name == "string":
+                return MuBoxed(TAU_STRING, self_rho)
+            if t.name == "real":
+                return MuBoxed(TAU_REAL, self_rho)
+            if t.name == "*":
+                return MuBoxed(TauPair(conv(t.args[0]), conv(t.args[1])), self_rho)
+            if t.name == "list":
+                return MuBoxed(TauList(conv(t.args[0])), self_rho)
+            if t.name == "ref":
+                return MuBoxed(TauRef(conv(t.args[0])), self_rho)
+            if t.name == info.name:
+                return MuBoxed(
+                    TauData(info.name, tuple(param_mu[mlprune(p).ident]
+                                             for p in info.params)),
+                    self_rho,
+                )
+            # another datatype, inlined at the same place
+            return MuBoxed(
+                TauData(t.name, tuple(conv(a) for a in t.args)), self_rho
+            )
+
+        constructors = []
+        for cname in info.order:
+            payload_ml = info.constructors[cname]
+            template = conv(payload_ml) if payload_ml is not None else None
+            constructors.append((cname, template))
+        return T.LetData(
+            info.name, params_core, self_rho, tuple(constructors),
+            self.term(u.body),
+        )
+
+    def _rec_use(self, u: I.URecUse) -> T.RApp:
+        info = u.info
+        rargs = tuple(self.rho(r) for r in info.rvars)
+        rgn = {self.rho(r): self.rho(r) for r in info.rvars}
+        eff = {self.eps(e): self.arrow_effect(e) for e in info.evars}
+        return T.RApp(
+            T.Var(u.name),
+            rargs,
+            self.rho(info.rho),
+            Subst(ty={}, rgn=rgn, eff=eff),
+        )
+
+
+def freeze_program(output: I.RegionInferenceOutput) -> tuple[T.Term, Freezer]:
+    """Freeze pass-1 output into a closed core term."""
+    freezer = Freezer(output)
+    term = freezer.term(output.root)
+    return term, freezer

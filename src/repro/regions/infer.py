@@ -1,0 +1,1656 @@
+"""Region inference (paper Sections 4.1-4.3).
+
+One elaboration pass over the Hindley-Milner-typed MiniML AST:
+
+* **spreading** — every ML type occurrence is spread into a node-level
+  region type with fresh region/effect nodes;
+* **unification** — term constraints (application, branches, recursion)
+  unify nodes; effects only grow;
+* **GC-safety closure** — at every ``fn``/``fun``, the free region and
+  effect variables of the types of captured identifiers are added to the
+  function's arrow effect (the relation ``G``); type variables occurring
+  in captured types but *not* in the function's own type are *spurious*
+  and are associated with arrow effects (the paper's central mechanism);
+* **generalization** — at ``fun`` (and ``val f = fn``) binders, nodes
+  private to the function's type are quantified, together with the plain
+  and spurious type variables of its HM scheme;
+* **instantiation** — each polymorphic occurrence copies the scheme with
+  fresh nodes and, for spurious type variables, adds the *coverage*
+  constraint: all region/effect nodes of the instance type flow into the
+  (copied) arrow effect of the variable — transitively registering type
+  variables occurring in the instance as spurious themselves
+  (Section 4.3, Figure 8).
+
+The strategies differ here exactly as in the paper: ``rg-`` skips the
+spurious-type-variable machinery (no ``Delta``, no coverage constraints),
+``trivial`` allocates everything in the global region, and ``r``/``rg``
+share the sound inference.
+
+The pass produces a tree of *use-level* terms (``U``-nodes, defined here)
+that reference mutable nodes; :mod:`repro.regions.freeze` converts them
+into checked :mod:`repro.core.terms` with ``letregion`` placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..config import CompilerFlags, SpuriousMode, Strategy
+from ..core.errors import RegionInferenceError
+from ..frontend import ast as A
+from ..frontend.builtins import BUILTINS, Builtin
+from ..frontend.infer import InferenceResult, VarInstance
+from ..frontend.mltypes import MLType, TCon, TVar, prune, zonk
+from .nodes import EpsNode, NodeSupply, RhoNode, closure_of, unify_eps, unify_rho
+from .ntypes import (
+    NArrow,
+    NBase,
+    NBoxed,
+    NExn,
+    NList,
+    NMu,
+    NPair,
+    NReal,
+    NRef,
+    NString,
+    NVar,
+    copy_nmu,
+    frev_nodes,
+    spread,
+    tyvars_of_nmu,
+    unify_nmu,
+)
+
+__all__ = [
+    "RegionInferenceOutput",
+    "infer_regions",
+    "FunInfo",
+    "UseInfo",
+    "SpuriousStats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Use-level terms (the elaboration IR)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class UTerm:
+    nmu: Optional[NMu] = field(default=None, init=False)
+    eff: set = field(default_factory=set, init=False)
+    #: region/effect nodes discharged (letregion-bound) right above this
+    #: term — decided at scope exits during pass 1 (see ``_discharge``).
+    local_atoms: set = field(default_factory=set, init=False)
+
+
+@dataclass(eq=False)
+class UVar(UTerm):
+    name: str
+
+
+@dataclass(eq=False)
+class URecUse(UTerm):
+    """A recursive occurrence of the function currently being inferred."""
+
+    name: str
+    info: "FunInfo"
+
+
+@dataclass(eq=False)
+class UPolyUse(UTerm):
+    """An occurrence of a region-polymorphic binding: becomes an RApp."""
+
+    name: str
+    use: "UseInfo"
+
+
+@dataclass(eq=False)
+class UInt(UTerm):
+    value: int
+
+
+@dataclass(eq=False)
+class UBool(UTerm):
+    value: bool
+
+
+@dataclass(eq=False)
+class UUnit(UTerm):
+    pass
+
+
+@dataclass(eq=False)
+class UString(UTerm):
+    value: str
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class UReal(UTerm):
+    value: float
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class UNil(UTerm):
+    pass  # nmu carries the list type
+
+
+@dataclass(eq=False)
+class ULam(UTerm):
+    param: str
+    body: UTerm
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class UFunDef(UTerm):
+    info: "FunInfo"
+
+
+@dataclass(eq=False)
+class UApp(UTerm):
+    fn: UTerm
+    arg: UTerm
+
+
+@dataclass(eq=False)
+class ULet(UTerm):
+    name: str
+    rhs: UTerm
+    body: UTerm
+
+
+@dataclass(eq=False)
+class UPair(UTerm):
+    fst: UTerm
+    snd: UTerm
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class USelect(UTerm):
+    index: int
+    pair: UTerm
+
+
+@dataclass(eq=False)
+class UCons(UTerm):
+    head: UTerm
+    tail: UTerm
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class UIf(UTerm):
+    cond: UTerm
+    then: UTerm
+    els: UTerm
+
+
+@dataclass(eq=False)
+class UPrim(UTerm):
+    op: str
+    args: tuple
+    rho: Optional[RhoNode] = None
+
+
+@dataclass(eq=False)
+class URef(UTerm):
+    init: UTerm
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class UDeref(UTerm):
+    ref: UTerm
+
+
+@dataclass(eq=False)
+class UAssign(UTerm):
+    ref: UTerm
+    value: UTerm
+
+
+@dataclass(eq=False)
+class ULetData(UTerm):
+    """A datatype declaration in scope for ``body``; ``info`` is the
+    frontend's DataInfo (name, params, constructor payload ML types)."""
+
+    info: object
+    body: UTerm
+
+
+@dataclass(eq=False)
+class UDataCon(UTerm):
+    dataname: str
+    conname: str
+    targs: tuple  # NMu instances for the datatype parameters
+    arg: Optional[UTerm]
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class UCase(UTerm):
+    scrutinee: UTerm
+    #: (conname | None, binder | None, body UTerm)
+    branches: tuple
+
+
+@dataclass(eq=False)
+class ULetExn(UTerm):
+    exname: str
+    payload: Optional[NMu]
+    body: UTerm
+
+
+@dataclass(eq=False)
+class UCon(UTerm):
+    exname: str
+    arg: Optional[UTerm]
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class URaise(UTerm):
+    exn: UTerm
+
+
+@dataclass(eq=False)
+class UHandle(UTerm):
+    body: UTerm
+    exname: str
+    binder: Optional[str]
+    handler: UTerm
+
+
+def u_fpv(t: UTerm, bound: frozenset = frozenset(), out: Optional[set] = None) -> set:
+    """Free program variables of a use-level term."""
+    if out is None:
+        out = set()
+    if isinstance(t, (UVar, URecUse, UPolyUse)):
+        if t.name not in bound:
+            out.add(t.name)
+    elif isinstance(t, ULam):
+        u_fpv(t.body, bound | {t.param}, out)
+    elif isinstance(t, UFunDef):
+        u_fpv(t.info.body, bound | {t.info.fname, t.info.param}, out)
+    elif isinstance(t, ULet):
+        u_fpv(t.rhs, bound, out)
+        u_fpv(t.body, bound | {t.name}, out)
+    elif isinstance(t, UApp):
+        u_fpv(t.fn, bound, out)
+        u_fpv(t.arg, bound, out)
+    elif isinstance(t, UPair):
+        u_fpv(t.fst, bound, out)
+        u_fpv(t.snd, bound, out)
+    elif isinstance(t, USelect):
+        u_fpv(t.pair, bound, out)
+    elif isinstance(t, UCons):
+        u_fpv(t.head, bound, out)
+        u_fpv(t.tail, bound, out)
+    elif isinstance(t, UIf):
+        u_fpv(t.cond, bound, out)
+        u_fpv(t.then, bound, out)
+        u_fpv(t.els, bound, out)
+    elif isinstance(t, UPrim):
+        for a in t.args:
+            u_fpv(a, bound, out)
+    elif isinstance(t, URef):
+        u_fpv(t.init, bound, out)
+    elif isinstance(t, UDeref):
+        u_fpv(t.ref, bound, out)
+    elif isinstance(t, UAssign):
+        u_fpv(t.ref, bound, out)
+        u_fpv(t.value, bound, out)
+    elif isinstance(t, ULetData):
+        u_fpv(t.body, bound, out)
+    elif isinstance(t, UDataCon):
+        if t.arg is not None:
+            u_fpv(t.arg, bound, out)
+    elif isinstance(t, UCase):
+        u_fpv(t.scrutinee, bound, out)
+        for conname, binder, body in t.branches:
+            inner = bound | {binder} if binder else bound
+            u_fpv(body, inner, out)
+    elif isinstance(t, ULetExn):
+        u_fpv(t.body, bound, out)
+    elif isinstance(t, UCon):
+        if t.arg is not None:
+            u_fpv(t.arg, bound, out)
+    elif isinstance(t, URaise):
+        u_fpv(t.exn, bound, out)
+    elif isinstance(t, UHandle):
+        u_fpv(t.body, bound, out)
+        inner = bound | {t.binder} if t.binder else bound
+        u_fpv(t.handler, inner, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scheme-level bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class FunInfo:
+    """Everything region inference knows about one function binder."""
+
+    fname: str
+    param: str
+    rho: RhoNode                       # where the closure lives
+    arrow: NBoxed                      # the (mono) arrow type; scheme body
+    body: UTerm = None                 # set after body inference
+    rvars: list = field(default_factory=list)   # generalized RhoNodes
+    evars: list = field(default_factory=list)   # generalized EpsNodes
+    tvars: list = field(default_factory=list)   # plain bound ML TVars
+    delta: dict = field(default_factory=dict)   # spurious: TVar -> EpsNode
+    hm_qvars: tuple = ()
+    recursive: bool = False
+
+    @property
+    def eps_arrow(self) -> EpsNode:
+        return self.arrow.tau.eps
+
+    def is_poly(self) -> bool:
+        return bool(self.rvars or self.evars or self.tvars or self.delta)
+
+
+@dataclass(eq=False)
+class UseInfo:
+    """One instantiation of a polymorphic binding (becomes an RApp)."""
+
+    info: FunInfo
+    rho_use: RhoNode                   # where the instantiated closure lives
+    rho_map: dict                      # bound RhoNode -> fresh RhoNode
+    eps_map: dict                      # bound EpsNode -> fresh EpsNode
+    ty_map: dict                       # ML TVar -> instance NMu
+    arrow: NBoxed                      # the instantiated arrow (at rho_use)
+
+
+@dataclass
+class SpuriousStats:
+    """The static counters behind Figure 9's `fcns` and `inst` columns."""
+
+    total_functions: int = 0
+    spurious_functions: int = 0
+    total_tyvar_instantiations: int = 0
+    spurious_boxed_instantiations: int = 0
+    spurious_tyvars: int = 0
+    spurious_function_names: list = field(default_factory=list)
+
+
+# Environment entries: a plain (mono) binding, the function being
+# inferred (recursion), a generalized function, or an exception.
+@dataclass(eq=False)
+class MonoBind:
+    nmu: NMu
+
+
+@dataclass(eq=False)
+class RecBind:
+    info: FunInfo
+
+
+@dataclass(eq=False)
+class PolyBind:
+    info: FunInfo
+
+
+@dataclass(eq=False)
+class ExnBind:
+    payload: Optional[NMu]
+
+
+EnvEntry = Union[MonoBind, RecBind, PolyBind, ExnBind]
+
+
+@dataclass
+class RegionInferenceOutput:
+    """Pass-1 output handed to the freezing phase."""
+
+    root: UTerm
+    supply: NodeSupply
+    flags: CompilerFlags
+    stats: SpuriousStats
+    top_bindings: dict  # name -> EnvEntry (for examples/pretty printing)
+
+
+# ---------------------------------------------------------------------------
+# The inference engine
+# ---------------------------------------------------------------------------
+
+
+class _RegionInferencer:
+    def __init__(self, infres: InferenceResult, flags: CompilerFlags) -> None:
+        self.infres = infres
+        self.flags = flags
+        self.track_spurious = flags.strategy.tracks_spurious
+        # The ML stand-in ignores regions at run time, so the trivial
+        # annotation (everything global) is the honest one for it too.
+        self.supply = NodeSupply(
+            trivial=flags.strategy in (Strategy.TRIVIAL, Strategy.ML)
+        )
+        self.level = 0
+        self.stats = SpuriousStats()
+        #: spurious registry: ML TVar -> its arrow-effect node
+        self.spurious_eps: dict = {}
+        #: HM qvar -> the level at which its binder generalizes
+        self.qvar_level: dict = {}
+        #: HM qvar -> IDENTIFY-mode effect node (the enclosing lambda's arrow)
+        self._warned = []
+        self._tmp_counter = 0
+
+    # -- type plumbing ----------------------------------------------------------
+
+    def type_of(self, node: A.Exp) -> MLType:
+        return zonk(self.infres.node_type[id(node)])
+
+    def spread_type(self, t: MLType) -> NMu:
+        return spread(t, self.supply, self.level)
+
+    def spread_node(self, node: A.Exp) -> NMu:
+        return self.spread_type(self.type_of(node))
+
+    # -- scoping and letregion discharge ------------------------------------------
+
+    def _in_scope(self, env: dict, extra_nmus: tuple, fn) -> UTerm:
+        """Run ``fn`` one scope level deeper, then discharge the region and
+        effect nodes that are private to the resulting sub-term (the
+        letregion-insertion decision of Section 4.1's fixpoint phase)."""
+        entry_level = self.level
+        self.level += 1
+        term = fn()
+        self.level -= 1
+        self._discharge(term, env, extra_nmus, entry_level)
+        # Whatever escapes the scope (through the result type or the
+        # residual effect) now belongs to the enclosing level: without
+        # this demotion a later binder could quantify a node that is
+        # still visible in the environment.
+        escaping = set(closure_of(frev_nodes(term.nmu))) if term.nmu is not None else set()
+        escaping |= set(closure_of(term.eff))
+        for atom in escaping:
+            atom.level = min(atom.level, entry_level)
+        return term
+
+    def _discharge(self, term: UTerm, env: dict, extra_nmus: tuple, entry_level: int) -> None:
+        visible_roots: set = set()
+        for name in u_fpv(term):
+            entry = env.get(name)
+            if entry is None or isinstance(entry, ExnBind):
+                continue
+            if isinstance(entry, MonoBind):
+                visible_roots |= frev_nodes(entry.nmu)
+            else:
+                fi = entry.info
+                visible_roots |= frev_nodes(fi.arrow)
+                visible_roots.add(fi.rho.find())
+                for eps in fi.delta.values():
+                    visible_roots.add(eps.find())
+        if term.nmu is not None:
+            visible_roots |= frev_nodes(term.nmu)
+        for nm in extra_nmus:
+            if nm is not None:
+                visible_roots |= frev_nodes(nm)
+        visible = closure_of(visible_roots)
+        local: set = set()
+        for atom in closure_of(term.eff):
+            a = atom.find()
+            if a.top or a.generalized or a.letbound:
+                continue
+            if a.level <= entry_level:
+                continue
+            if a in visible:
+                continue
+            local.add(a)
+        for a in local:
+            a.letbound = True
+        if local:
+            term.local_atoms |= local
+            term.eff = set(closure_of(term.eff)) - local
+
+    # -- entry -------------------------------------------------------------------
+
+    def run(self) -> RegionInferenceOutput:
+        env: dict[str, EnvEntry] = {}
+        box: dict = {}
+
+        def top() -> UTerm:
+            root, out_env = self._decs(self.infres.program.decs, env)
+            box["env"] = out_env
+            return root
+
+        root = self._in_scope(env, (), top)
+        return RegionInferenceOutput(root, self.supply, self.flags, self.stats, box["env"])
+
+    def _decs(self, decs: tuple, env: dict) -> tuple[UTerm, dict]:
+        """Elaborate a declaration sequence into nested lets whose body is
+        the final `it` binding (or unit)."""
+        if not decs:
+            result = UVar("it") if "it" in env else UUnit()
+            if isinstance(result, UVar):
+                entry = env["it"]
+                if isinstance(entry, MonoBind):
+                    result.nmu = entry.nmu
+                else:
+                    # `it` bound to a function: reference via use.
+                    return self._final_it(env), env
+            else:
+                result.nmu = NBase("unit")
+            return result, env
+        head, rest = decs[0], decs[1:]
+        if isinstance(head, A.ValDec):
+            return self._val_dec(head, rest, env)
+        if isinstance(head, A.FunDec):
+            return self._fun_dec(head, rest, env)
+        if isinstance(head, A.ExnDec):
+            return self._exn_dec(head, rest, env)
+        if isinstance(head, A.DatatypeDec):
+            box: dict = {}
+
+            def rest_fn():
+                body, out_env = self._decs(rest, env)
+                box["env"] = out_env
+                return body
+
+            term = self._datatype_dec_u(head, rest_fn)
+            return term, box["env"]
+        raise RegionInferenceError(f"unknown declaration {head!r}")
+
+    def _final_it(self, env: dict) -> UTerm:
+        entry = env["it"]
+        assert isinstance(entry, (PolyBind, RecBind))
+        term = self._use_binding("it", entry)
+        return term
+
+    # -- declarations ----------------------------------------------------------------
+
+    def _val_dec(self, dec: A.ValDec, rest: tuple, env: dict) -> tuple[UTerm, dict]:
+        rhs_ast = _strip_annot(dec.rhs)
+        if isinstance(rhs_ast, A.EFn) and isinstance(dec.pat, A.PVar):
+            scheme = self.infres.binding_scheme[id(dec)]
+            if scheme.qvars or True:
+                # Treat like a (non-recursive) fun binding: region-generalize.
+                return self._function_binding(
+                    dec.pat.name, rhs_ast.param, rhs_ast.body, dec, rest, env,
+                    recursive_name=None,
+                )
+        rhs = self._in_scope(env, (), lambda: self.exp(dec.rhs, env))
+        return self._bind_pattern_let(dec.pat, rhs, rest, env)
+
+    def _fun_dec(self, dec: A.FunDec, rest: tuple, env: dict) -> tuple[UTerm, dict]:
+        # Curried parameters: fun f p1 p2 ... = e  ==  fun f p1 = fn p2 => e
+        body: A.Exp = dec.body
+        for p in reversed(dec.params[1:]):
+            fn = A.EFn(p, body, line=dec.line, col=dec.col)
+            # The inner lambdas need recorded types: reconstruct from the
+            # function's ML type by peeling arrows.
+            self._synthesize_fn_type(fn, dec, len(dec.params))
+            body = fn
+        return self._function_binding(
+            dec.name, dec.params[0], body, dec, rest, env, recursive_name=dec.name
+        )
+
+    def _synthesize_fn_type(self, fn: A.EFn, dec: A.FunDec, arity: int) -> None:
+        # Types for synthesized curried lambdas are filled in lazily in
+        # `exp` via _curried_types; nothing to do here (placeholder kept
+        # for clarity).
+        return None
+
+    def _payload_nmu(self, info, conname: str, targ_map: dict, instance) -> Optional[NMu]:
+        """The node-level payload type of ``conname`` at a datatype
+        instance: the uniform representation puts every concrete boxed
+        component in the instance's region; parameters map through
+        ``targ_map``; recursive occurrences are the instance itself."""
+        from .ntypes import NData
+
+        payload_ml = info.constructors[conname]
+        if payload_ml is None:
+            return None
+        spine = instance.rho
+
+        def conv(t: MLType) -> NMu:
+            t = prune(t)
+            if isinstance(t, TVar):
+                mapped = targ_map.get(t)
+                return mapped if mapped is not None else NVar(t)
+            assert isinstance(t, TCon)
+            if t.name in ("int", "bool", "unit"):
+                return NBase(t.name)
+            if t.name == "string":
+                return NBoxed(NString(), spine)
+            if t.name == "real":
+                return NBoxed(NReal(), spine)
+            if t.name == "*":
+                return NBoxed(NPair(conv(t.args[0]), conv(t.args[1])), spine)
+            if t.name == "list":
+                return NBoxed(NList(conv(t.args[0])), spine)
+            if t.name == "ref":
+                return NBoxed(NRef(conv(t.args[0])), spine)
+            if t.name in ("->", "exn"):
+                raise RegionInferenceError(
+                    f"constructor {conname} of {info.name}: {t.name} types in "
+                    "constructor payloads are not supported (wrap them in a "
+                    "type parameter)"
+                )
+            if t.name == info.name:
+                # regular recursion: the args must be exactly the params
+                for arg, param in zip(t.args, info.params):
+                    if prune(arg) is not prune(param):
+                        raise RegionInferenceError(
+                            f"datatype {info.name}: non-regular recursion is "
+                            "not supported"
+                        )
+                return instance
+            return NBoxed(
+                NData(t.name, tuple(conv(a) for a in t.args)), spine
+            )
+
+        return conv(payload_ml)
+
+    def _datatype_dec_u(self, dec: "A.DatatypeDec", rest_fn) -> UTerm:
+        info = self.infres.datatypes[dec.name]
+        body = rest_fn()
+        t = ULetData(info, body)
+        t.nmu = body.nmu
+        t.eff = set(body.eff)
+        return t
+
+    def _data_con_value(self, e: A.EVar, env: dict) -> UTerm:
+        """A datatype constructor used as a value."""
+        from .ntypes import NData
+
+        info, conname, _mapping = self.infres.data_con_use[id(e)]
+        nmu = self.spread_node(e)
+        if info.constructors[conname] is None:
+            # nullary: the node type is the datatype instance itself
+            assert isinstance(nmu, NBoxed) and isinstance(nmu.tau, NData)
+            t = UDataCon(info.name, conname, nmu.tau.targs, None, nmu.rho)
+            t.nmu = nmu
+            t.eff = {nmu.rho.find()}
+            return t
+        # unary constructor as a first-class function: eta-expand
+        assert isinstance(nmu, NBoxed) and isinstance(nmu.tau, NArrow)
+        data_inst = nmu.tau.cod
+        assert isinstance(data_inst, NBoxed) and isinstance(data_inst.tau, NData)
+        targ_map = dict(zip(info.params, data_inst.tau.targs))
+        payload = self._payload_nmu(info, conname, targ_map, data_inst)
+        unify_nmu(nmu.tau.dom, payload)
+        x = self._fresh_name("k")
+        arg = _var(x, payload)
+        con = UDataCon(info.name, conname, data_inst.tau.targs, arg, data_inst.rho)
+        con.nmu = data_inst
+        con.eff = {data_inst.rho.find()}
+        nmu.tau.eps.add(con.eff)
+        lam = ULam(x, con, nmu.rho)
+        lam.nmu = nmu
+        lam.eff = {nmu.rho.find()}
+        return lam
+
+    def _data_con_apply(self, e: A.EApp, fn_ast: A.EVar, env: dict) -> UTerm:
+        from .ntypes import NData
+
+        info, conname, _mapping = self.infres.data_con_use[id(fn_ast)]
+        arg = self.exp(e.arg, env)
+        result = self.spread_node(e)
+        assert isinstance(result, NBoxed) and isinstance(result.tau, NData)
+        targ_map = dict(zip(info.params, result.tau.targs))
+        payload = self._payload_nmu(info, conname, targ_map, result)
+        unify_nmu(arg.nmu, payload)
+        t = UDataCon(info.name, conname, result.tau.targs, arg, result.rho)
+        t.nmu = result
+        t.eff = arg.eff | {result.rho.find()}
+        return t
+
+    def _case_u(self, e: "A.ECase", env: dict) -> UTerm:
+        from .ntypes import NData
+
+        scrut = self.exp(e.scrutinee, env)
+        result_nmu = self.spread_node(e)
+        branches = []
+        eff = set(scrut.eff)
+        if isinstance(scrut.nmu, NBoxed):
+            eff.add(scrut.nmu.rho.find())
+        for br in e.branches:
+            inner_env = dict(env)
+            rec = self.infres.case_branch.get(id(br))
+            binder: Optional[str] = None
+            wrap = None
+            if rec is not None:
+                info, conname, _mapping = rec
+                if not (isinstance(scrut.nmu, NBoxed)
+                        and isinstance(scrut.nmu.tau, NData)):
+                    raise RegionInferenceError("case on a non-datatype value")
+                targ_map = dict(zip(info.params, scrut.nmu.tau.targs))
+                payload = self._payload_nmu(info, conname, targ_map, scrut.nmu)
+                if payload is not None:
+                    binder, wrap = self._pattern_binder(br.pat, payload, inner_env)
+            else:
+                conname = None
+                if br.conname is not None:
+                    binder = br.conname
+                    inner_env[binder] = MonoBind(scrut.nmu)
+                elif isinstance(br.pat, A.PVar):
+                    binder = br.pat.name
+                    inner_env[binder] = MonoBind(scrut.nmu)
+                elif br.pat is not None and not isinstance(br.pat, A.PWild):
+                    binder, wrap = self._pattern_binder(br.pat, scrut.nmu, inner_env)
+
+            def body_fn(br=br, inner_env=inner_env, wrap=wrap):
+                b = self.exp(br.body, inner_env)
+                return b
+
+            body = self._in_scope(inner_env, (), body_fn)
+            if wrap is not None:
+                body = wrap(body)
+            unify_nmu(body.nmu, result_nmu)
+            eff |= body.eff
+            branches.append((conname, binder, body))
+        t = UCase(scrut, tuple(branches))
+        t.nmu = result_nmu
+        t.eff = eff
+        return t
+
+    def _exn_dec(self, dec: A.ExnDec, rest: tuple, env: dict) -> tuple[UTerm, dict]:
+        payload_ml = self.infres.exn_payload[id(dec)]
+        payload = None
+        if payload_ml is not None:
+            payload = self.spread_type(zonk(payload_ml))
+            self._pin_exception_payload(payload)
+        inner_env = dict(env)
+        inner_env[dec.name] = ExnBind(payload)
+        body, out_env = self._decs(rest, inner_env)
+        term = ULetExn(dec.name, payload, body)
+        term.nmu = body.nmu
+        term.eff = set(body.eff)
+        return term, out_env
+
+    def _pin_exception_payload(self, payload: NMu) -> None:
+        """Section 4.4: every region of an exception payload type must be
+        top-level, and its type variables are spurious, pinned to the
+        global effect.  ``rg-`` skips the type-variable part (that is the
+        unsoundness the section describes); pinning the *regions* is done
+        in all region strategies since exception values escape
+        dynamically."""
+        for atom in frev_nodes(payload):
+            if isinstance(atom, RhoNode):
+                unify_rho(atom, self.supply.rho_top)
+            else:
+                unify_eps(atom, self.supply.eps_top)
+        if self.track_spurious:
+            for tv in tyvars_of_nmu(payload):
+                eps = self._spurious_eps_for(tv)
+                if eps is not None:
+                    unify_eps(eps, self.supply.eps_top)
+
+    # -- function binders --------------------------------------------------------------
+
+    def _generalize(self, info: FunInfo) -> None:
+        """Quantify the region/effect nodes private to the function."""
+        outer = self.level
+        reachable = set(frev_nodes(info.arrow))
+        # Spurious effect nodes of this binder's qvars are part of the
+        # scheme even when unreachable from the type proper.
+        delta: dict = {}
+        tvars: list = []
+        for q in info.hm_qvars:
+            eps = self.spurious_eps.get(q.ident)
+            if eps is not None and self.track_spurious:
+                eps = eps.find()
+                delta[q] = eps
+                reachable |= closure_of([eps])
+                self.stats.spurious_tyvars += 1
+            else:
+                tvars.append(q)
+        # Close through latent sets so bound effects' contents are visible.
+        reachable = set(closure_of(reachable))
+        rvars: list = []
+        evars: list = []
+        for node in sorted(reachable, key=lambda n: n.ident):
+            if node.top or node.generalized or node.letbound:
+                continue
+            if node.level > outer:
+                node.generalized = True
+                if isinstance(node, RhoNode):
+                    rvars.append(node)
+                else:
+                    evars.append(node)
+        info.rvars = rvars
+        info.evars = evars
+        info.tvars = tvars
+        info.delta = delta
+
+    def _gc_closure(
+        self,
+        body: UTerm,
+        params: frozenset,
+        fn_nmu: NBoxed,
+        env: dict,
+        eps_arrow: EpsNode,
+    ) -> None:
+        """Enforce the relation ``G`` of Section 3.7: the type of every
+        captured identifier must be contained in ``frev`` of the
+        function's own type.
+
+        Only the atoms *missing* from the function type are added to its
+        arrow effect — containment is already satisfied for regions that
+        occur in the type proper.  This matches the pre-paper rules of
+        [45, p.50] and [13] exactly, and is precisely why those rules are
+        unsound for polymorphism: a region reachable only through a type
+        variable (Figure 1's ``rho`` inside ``gamma := (string, rho)``)
+        contributes nothing here.  The paper's fix is the type-variable
+        part below: spurious type variables get arrow-effect handles that
+        *are* added to the latent effect, and instantiation coverage
+        later forces the instance regions through them.  ``rg-`` skips
+        that part and is exactly as unsound as its MLKit namesake.
+        """
+        own_visible = closure_of(frev_nodes(fn_nmu))
+        own_tyvars = tyvars_of_nmu(fn_nmu)
+        free = u_fpv(body) - params
+        for y in sorted(free):
+            entry = env.get(y)
+            if entry is None or isinstance(entry, ExnBind):
+                continue
+            if isinstance(entry, MonoBind):
+                ty = entry.nmu
+                atoms = set(frev_nodes(ty))
+                tyvars = tyvars_of_nmu(ty)
+            else:
+                fi = entry.info
+                atoms = {
+                    a for a in frev_nodes(fi.arrow)
+                    if not a.find().generalized
+                } | {fi.rho.find()}
+                tyvars = {
+                    tv for tv in tyvars_of_nmu(fi.arrow)
+                    if tv not in set(fi.tvars) | set(fi.delta)
+                }
+            missing = {
+                a for a in closure_of(atoms)
+                if a not in own_visible and not a.find().generalized
+            }
+            eps_arrow.add(missing)
+            if not self.track_spurious:
+                continue
+            for tv in tyvars:
+                if tv in own_tyvars:
+                    continue  # visible in the function's own type: lenient
+                eps = self._spurious_eps_for(tv)
+                if eps is not None:
+                    eps_arrow.add([eps.find()])
+
+    def _spurious_eps_for(self, tv: TVar) -> Optional[EpsNode]:
+        """The arrow-effect node tracking a spurious type variable,
+        created on demand at its binder's level."""
+        tv = prune(tv)
+        if not isinstance(tv, TVar):
+            return None
+        existing = self.spurious_eps.get(tv.ident)
+        if existing is not None:
+            return existing.find()
+        owner_level = self.qvar_level.get(tv.ident)
+        if owner_level is None:
+            # A phantom or a variable from an outer, already-generalized
+            # binder: pin to the global effect (sound, conservative).
+            owner_level = 0
+        if self.flags.spurious_mode is SpuriousMode.IDENTIFY:
+            # Scheme (3): identify with the nearest enclosing arrow effect.
+            # We approximate the paper's choice by creating the node at the
+            # owner level and unifying it with the arrow it first appears
+            # in; the caller adds it to that arrow's latent set either way.
+            eps = EpsNode(self.supply._counter.__next__(), owner_level)
+        else:
+            eps = EpsNode(self.supply._counter.__next__(), owner_level)
+        if self.supply.trivial:
+            eps = self.supply.eps_top
+        self.spurious_eps[tv.ident] = eps
+        return eps
+
+    # -- pattern binding ----------------------------------------------------------------
+
+    def _fresh_name(self, base: str) -> str:
+        self._tmp_counter += 1
+        return f"__{base}{self._tmp_counter}"
+
+    def _pattern_binder(self, pat: A.Pat, nmu: NMu, env: dict):
+        """Bind ``pat`` against ``nmu`` in ``env``.
+
+        Returns ``(param_name, wrap)`` where ``wrap`` (or ``None``) wraps
+        the function body with the projections a tuple pattern needs.
+        """
+        if isinstance(pat, A.PVar):
+            env[pat.name] = MonoBind(nmu)
+            return pat.name, None
+        if isinstance(pat, A.PWild):
+            return self._fresh_name("w"), None
+        if isinstance(pat, A.PTuple):
+            if not pat.elems:
+                return self._fresh_name("u"), None
+            tmp = self._fresh_name("p")
+            env[tmp] = MonoBind(nmu)
+            bindings: list[tuple[str, UTerm]] = []
+            self._tuple_bindings(pat, UVar(tmp), nmu, env, bindings)
+
+            def wrap(body: UTerm) -> UTerm:
+                out = body
+                for bname, bterm in reversed(bindings):
+                    let = ULet(bname, bterm, out)
+                    let.nmu = out.nmu
+                    let.eff = bterm.eff | out.eff
+                    out = let
+                return out
+
+            return tmp, wrap
+        raise RegionInferenceError(f"unsupported pattern {pat!r}")
+
+    def _tuple_bindings(
+        self, pat: A.Pat, source: UTerm, nmu: NMu, env: dict, out: list
+    ) -> None:
+        """Flatten a tuple pattern into projection bindings."""
+        source.nmu = nmu
+        if isinstance(pat, A.PVar):
+            name = pat.name
+            env[name] = MonoBind(nmu)
+            out.append((name, source))
+            return
+        if isinstance(pat, A.PWild):
+            return
+        assert isinstance(pat, A.PTuple)
+        if not pat.elems:
+            return
+        if len(pat.elems) == 1:
+            self._tuple_bindings(pat.elems[0], source, nmu, env, out)
+            return
+        if not (isinstance(nmu, NBoxed) and isinstance(nmu.tau, NPair)):
+            raise RegionInferenceError("tuple pattern against a non-pair type")
+        rho = nmu.rho.find()
+        # Bind the pair itself to a temp to avoid re-evaluating source.
+        tmp = self._fresh_name("t")
+        env[tmp] = MonoBind(nmu)
+        out.append((tmp, source))
+        fst = USelect(1, _var(tmp, nmu))
+        fst.nmu = nmu.tau.fst
+        fst.eff = {rho}
+        snd = USelect(2, _var(tmp, nmu))
+        snd.nmu = nmu.tau.snd
+        snd.eff = {rho}
+        self._tuple_bindings(pat.elems[0], fst, nmu.tau.fst, env, out)
+        self._tuple_bindings(
+            A.PTuple(pat.elems[1:], line=pat.line, col=pat.col),
+            snd, nmu.tau.snd, env, out,
+        )
+
+    def _bind_pattern_let(
+        self, pat: A.Pat, rhs: UTerm, rest: tuple, env: dict
+    ) -> tuple[UTerm, dict]:
+        inner_env = dict(env)
+        if isinstance(pat, A.PVar):
+            inner_env[pat.name] = MonoBind(rhs.nmu)
+            body, out_env = self._decs(rest, inner_env)
+            let = ULet(pat.name, rhs, body)
+            let.nmu = body.nmu
+            let.eff = rhs.eff | body.eff
+            return let, out_env
+        if isinstance(pat, A.PWild) or (isinstance(pat, A.PTuple) and not pat.elems):
+            body, out_env = self._decs(rest, inner_env)
+            let = ULet(self._fresh_name("w"), rhs, body)
+            let.nmu = body.nmu
+            let.eff = rhs.eff | body.eff
+            return let, out_env
+        assert isinstance(pat, A.PTuple)
+        bindings: list[tuple[str, UTerm]] = []
+        tmp = self._fresh_name("p")
+        inner_env[tmp] = MonoBind(rhs.nmu)
+        self._tuple_bindings(pat, _var(tmp, rhs.nmu), rhs.nmu, inner_env, bindings)
+        # First binding re-binds tmp to itself via `source`; build lets.
+        body, out_env = self._decs(rest, inner_env)
+        out = body
+        for bname, bterm in reversed(bindings):
+            let = ULet(bname, bterm, out)
+            let.nmu = out.nmu
+            let.eff = bterm.eff | out.eff
+            out = let
+        top = ULet(tmp, rhs, out)
+        top.nmu = out.nmu
+        top.eff = rhs.eff | out.eff
+        return top, out_env
+
+    # -- uses of bindings -----------------------------------------------------------------
+
+    def _use_binding(self, name: str, entry: EnvEntry, hm_inst: Optional[VarInstance] = None) -> UTerm:
+        if isinstance(entry, MonoBind):
+            term = UVar(name)
+            term.nmu = entry.nmu
+            return term
+        if isinstance(entry, RecBind):
+            term = URecUse(name, entry.info)
+            term.nmu = entry.info.arrow
+            term.eff = {entry.info.rho.find()}
+            return term
+        assert isinstance(entry, PolyBind)
+        info = entry.info
+        if not info.is_poly():
+            term = UVar(name)
+            term.nmu = info.arrow
+            return term
+        use = self._instantiate(info, hm_inst)
+        term = UPolyUse(name, use)
+        term.nmu = use.arrow
+        term.eff = {use.rho_use.find(), info.rho.find()}
+        return term
+
+    def _instantiate(self, info: FunInfo, hm_inst: Optional[VarInstance]) -> UseInfo:
+        rho_map: dict = {}
+        eps_map: dict = {}
+        ty_map: dict = {}
+        mapping = hm_inst.mapping if hm_inst is not None else {}
+        for q in info.hm_qvars:
+            inst_ml = mapping.get(q.ident)
+            if inst_ml is None:
+                # The occurrence predates generalization (shouldn't happen
+                # for PolyBind) or the variable is phantom: identity.
+                ty_map[q] = NVar(q)
+            else:
+                ty_map[q] = self.spread_type(zonk(inst_ml))
+        arrow = copy_nmu(info.arrow, rho_map, eps_map, ty_map, self.supply, self.level)
+        # Make sure every bound node has a copy (delta nodes may be
+        # unreachable from the type when the spurious variable's effect
+        # only shows up in an inner helper).
+        for eps in info.evars:
+            eps = eps.find()
+            if eps not in eps_map:
+                copy_nmu(NBoxed(NArrow(NBase("unit"), eps, NBase("unit")),
+                                self.supply.rho_top),
+                         rho_map, eps_map, ty_map, self.supply, self.level)
+        for rho in info.rvars:
+            rho = rho.find()
+            if rho not in rho_map:
+                rho_map[rho] = self.supply.fresh_rho(self.level)
+
+        # Every quantified type variable of the scheme counts as one
+        # instantiation (the denominator of Figure 9's `inst` column).
+        self.stats.total_tyvar_instantiations += len(info.hm_qvars)
+
+        # Coverage constraints (the paper's novelty; skipped by rg-).
+        for tv, eps in info.delta.items():
+            eps = eps.find()
+            target = eps_map.get(eps, eps)  # free spurious eps stay shared
+            inst_nmu = ty_map.get(tv)
+            if inst_nmu is None:
+                continue
+            atoms = set(frev_nodes(inst_nmu))
+            for inner_tv in tyvars_of_nmu(inst_nmu):
+                inner_eps = self._spurious_eps_for(inner_tv)
+                if inner_eps is not None:
+                    atoms.add(inner_eps.find())
+            target.add(a.find() for a in atoms)
+            if isinstance(inst_nmu, NBoxed):
+                self.stats.spurious_boxed_instantiations += 1
+
+        assert isinstance(arrow, NBoxed)
+        rho_use = arrow.rho
+        if not rho_map and not eps_map:
+            # Purely type-level instantiation still needs a use region for
+            # the specialised closure.
+            rho_use = self.supply.fresh_rho(self.level)
+            arrow = NBoxed(arrow.tau, rho_use)
+        else:
+            rho_use = self.supply.fresh_rho(self.level)
+            arrow = NBoxed(arrow.tau, rho_use)
+        return UseInfo(info, rho_use, rho_map, eps_map, ty_map, arrow)
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def exp(self, e: A.Exp, env: dict, expected: Optional[NMu] = None) -> UTerm:
+        term = self._exp(e, env, expected)
+        assert term.nmu is not None, f"no nmu for {e!r}"
+        return term
+
+    def _exp(self, e: A.Exp, env: dict, expected: Optional[NMu] = None) -> UTerm:
+        if isinstance(e, A.EAnnot):
+            return self._exp(e.exp, env, expected)
+        if isinstance(e, A.EInt):
+            t = UInt(e.value)
+            t.nmu = NBase("int")
+            return t
+        if isinstance(e, A.EBool):
+            t = UBool(e.value)
+            t.nmu = NBase("bool")
+            return t
+        if isinstance(e, A.EUnit):
+            t = UUnit()
+            t.nmu = NBase("unit")
+            return t
+        if isinstance(e, A.EString):
+            rho = self.supply.fresh_rho(self.level)
+            t = UString(e.value, rho)
+            t.nmu = NBoxed(NString(), rho)
+            t.eff = {rho}
+            return t
+        if isinstance(e, A.EReal):
+            rho = self.supply.fresh_rho(self.level)
+            t = UReal(e.value, rho)
+            t.nmu = NBoxed(NReal(), rho)
+            t.eff = {rho}
+            return t
+        if isinstance(e, A.ENil):
+            t = UNil()
+            t.nmu = self.spread_node(e)
+            return t
+        if isinstance(e, A.EVar):
+            return self._var_use(e, env)
+        if isinstance(e, A.EApp):
+            return self._app(e, env)
+        if isinstance(e, A.EFn):
+            return self._lambda(e, env, expected)
+        if isinstance(e, A.ELet):
+            inner_env = env
+            # Elaborate declarations with the *expression* as continuation.
+            return self._let_exp(e.decs, e.body, inner_env)
+        if isinstance(e, A.EIf):
+            c = self.exp(e.cond, env)
+            th = self._in_scope(env, (), lambda: self.exp(e.then, env))
+            el = self._in_scope(env, (), lambda: self.exp(e.els, env))
+            unify_nmu(th.nmu, el.nmu)
+            t = UIf(c, th, el)
+            t.nmu = th.nmu
+            t.eff = c.eff | th.eff | el.eff
+            return t
+        if isinstance(e, A.EPair):
+            f = self.exp(e.fst, env)
+            s = self.exp(e.snd, env)
+            rho = self.supply.fresh_rho(self.level)
+            t = UPair(f, s, rho)
+            t.nmu = NBoxed(NPair(f.nmu, s.nmu), rho)
+            t.eff = f.eff | s.eff | {rho}
+            return t
+        if isinstance(e, A.ESelect):
+            p = self.exp(e.tuple_, env)
+            if not (isinstance(p.nmu, NBoxed) and isinstance(p.nmu.tau, NPair)):
+                raise RegionInferenceError("#i of a non-pair")
+            t = USelect(e.index, p)
+            t.nmu = p.nmu.tau.fst if e.index == 1 else p.nmu.tau.snd
+            t.eff = p.eff | {p.nmu.rho.find()}
+            return t
+        if isinstance(e, A.EBinOp):
+            return self._binop(e, env)
+        if isinstance(e, A.EUnOp):
+            return self._unop(e, env)
+        if isinstance(e, A.ERaise):
+            exn = self.exp(e.exn, env)
+            t = URaise(exn)
+            t.nmu = self.spread_node(e)
+            rho = exn.nmu.rho.find() if isinstance(exn.nmu, NBoxed) else self.supply.rho_top
+            t.eff = exn.eff | {rho}
+            return t
+        if isinstance(e, A.EHandle):
+            return self._handle(e, env)
+        if isinstance(e, A.ECase):
+            return self._case_u(e, env)
+        raise RegionInferenceError(f"unknown expression {type(e).__name__}")
+
+    def _let_exp(self, decs: tuple, body_ast: A.Exp, env: dict) -> UTerm:
+        if not decs:
+            return self.exp(body_ast, env)
+        head, rest = decs[0], decs[1:]
+        if isinstance(head, A.ValDec):
+            rhs_ast = _strip_annot(head.rhs)
+            if isinstance(rhs_ast, A.EFn) and isinstance(head.pat, A.PVar):
+                return self._function_binding_exp(
+                    head.pat.name, rhs_ast.param, rhs_ast.body, head,
+                    rest, body_ast, env, recursive_name=None,
+                )
+            rhs = self._in_scope(env, (), lambda: self.exp(head.rhs, env))
+            return self._pattern_let_exp(head.pat, rhs, rest, body_ast, env)
+        if isinstance(head, A.FunDec):
+            body: A.Exp = head.body
+            for p in reversed(head.params[1:]):
+                body = A.EFn(p, body, line=head.line, col=head.col)
+            return self._function_binding_exp(
+                head.name, head.params[0], body, head, rest, body_ast, env,
+                recursive_name=head.name,
+            )
+        if isinstance(head, A.DatatypeDec):
+            return self._datatype_dec_u(
+                head, lambda: self._let_exp(rest, body_ast, env)
+            )
+        if isinstance(head, A.ExnDec):
+            payload_ml = self.infres.exn_payload[id(head)]
+            payload = None
+            if payload_ml is not None:
+                payload = self.spread_type(zonk(payload_ml))
+                self._pin_exception_payload(payload)
+            inner_env = dict(env)
+            inner_env[head.name] = ExnBind(payload)
+            inner = self._let_exp(rest, body_ast, inner_env)
+            t = ULetExn(head.name, payload, inner)
+            t.nmu = inner.nmu
+            t.eff = set(inner.eff)
+            return t
+        raise RegionInferenceError(f"unknown let declaration {head!r}")
+
+    def _pattern_let_exp(
+        self, pat: A.Pat, rhs: UTerm, rest: tuple, body_ast: A.Exp, env: dict
+    ) -> UTerm:
+        inner_env = dict(env)
+        if isinstance(pat, A.PVar):
+            inner_env[pat.name] = MonoBind(rhs.nmu)
+            body = self._let_exp(rest, body_ast, inner_env)
+            let = ULet(pat.name, rhs, body)
+            let.nmu = body.nmu
+            let.eff = rhs.eff | body.eff
+            return let
+        if isinstance(pat, A.PWild) or (isinstance(pat, A.PTuple) and not pat.elems):
+            body = self._let_exp(rest, body_ast, inner_env)
+            let = ULet(self._fresh_name("w"), rhs, body)
+            let.nmu = body.nmu
+            let.eff = rhs.eff | body.eff
+            return let
+        assert isinstance(pat, A.PTuple)
+        bindings: list[tuple[str, UTerm]] = []
+        tmp = self._fresh_name("p")
+        inner_env[tmp] = MonoBind(rhs.nmu)
+        self._tuple_bindings(pat, _var(tmp, rhs.nmu), rhs.nmu, inner_env, bindings)
+        body = self._let_exp(rest, body_ast, inner_env)
+        out = body
+        for bname, bterm in reversed(bindings):
+            let = ULet(bname, bterm, out)
+            let.nmu = out.nmu
+            let.eff = bterm.eff | out.eff
+            out = let
+        top = ULet(tmp, rhs, out)
+        top.nmu = out.nmu
+        top.eff = rhs.eff | out.eff
+        return top
+
+    def _function_binding_exp(
+        self,
+        name: str,
+        param_pat: A.Pat,
+        body_ast: A.Exp,
+        dec: A.Dec,
+        rest: tuple,
+        let_body_ast: A.Exp,
+        env: dict,
+        recursive_name: Optional[str],
+    ) -> UTerm:
+        # Reuse _function_binding by packaging the continuation.
+        term, _ = self._function_binding_generic(
+            name, param_pat, body_ast, dec, env, recursive_name,
+            lambda new_env: self._let_exp(rest, let_body_ast, new_env),
+        )
+        return term
+
+    def _function_binding(
+        self, name, param_pat, body_ast, dec, rest, env, recursive_name
+    ):
+        out_env_box: list = []
+
+        def cont(new_env: dict) -> UTerm:
+            body, out_env = self._decs(rest, new_env)
+            out_env_box.append(out_env)
+            return body
+
+        term, new_env = self._function_binding_generic(
+            name, param_pat, body_ast, dec, env, recursive_name, cont
+        )
+        return term, (out_env_box[0] if out_env_box else new_env)
+
+    def _function_binding_generic(
+        self, name, param_pat, body_ast, dec, env, recursive_name, cont
+    ):
+        scheme = self.infres.binding_scheme[id(dec)]
+        outer_level = self.level
+        self.level += 1  # the scheme's own nodes live at this level
+        for q in scheme.qvars:
+            self.qvar_level[q.ident] = self.level
+
+        fun_ml = zonk(scheme.body)
+        arrow_spread = self.spread_type(fun_ml)
+        if not (isinstance(arrow_spread, NBoxed) and isinstance(arrow_spread.tau, NArrow)):
+            raise RegionInferenceError(f"fun {name}: non-arrow type")
+        rho_f = self.supply.fresh_rho(outer_level)
+        arrow_nmu = NBoxed(arrow_spread.tau, rho_f)
+
+        info = FunInfo(
+            fname=name, param="__p", rho=rho_f, arrow=arrow_nmu,
+            hm_qvars=tuple(scheme.qvars),
+        )
+        inner_env = dict(env)
+        if recursive_name is not None:
+            inner_env[recursive_name] = RecBind(info)
+        param_name, wrap = self._pattern_binder(param_pat, arrow_nmu.tau.dom, inner_env)
+        info.param = param_name
+
+        def body_fn() -> UTerm:
+            b = self.exp(body_ast, inner_env, expected=arrow_nmu.tau.cod)
+            unify_nmu(b.nmu, arrow_nmu.tau.cod)
+            return b
+
+        body = self._in_scope(inner_env, (arrow_nmu,), body_fn)
+        if wrap is not None:
+            body = wrap(body)
+        info.body = body
+        info.recursive = (
+            recursive_name is not None
+            and recursive_name in u_fpv(body, frozenset({param_name}))
+        )
+        info.eps_arrow.add(a.find() for a in body.eff)
+        self._gc_closure(
+            body, frozenset({param_name, name}), arrow_nmu, inner_env, info.eps_arrow
+        )
+
+        self.level -= 1
+        self._generalize(info)
+        self.stats.total_functions += 1
+        if info.delta:
+            self.stats.spurious_functions += 1
+            self.stats.spurious_function_names.append(name)
+
+        fun_term = UFunDef(info)
+        fun_term.nmu = arrow_nmu
+        fun_term.eff = {rho_f.find()}
+
+        new_env = dict(env)
+        new_env[name] = PolyBind(info)
+        rest_term = cont(new_env)
+        let = ULet(name, fun_term, rest_term)
+        let.nmu = rest_term.nmu
+        let.eff = fun_term.eff | rest_term.eff
+        return let, new_env
+
+    # -- variable uses, builtins, application -----------------------------------------------
+
+    def _var_use(self, e: A.EVar, env: dict) -> UTerm:
+        if id(e) in self.infres.data_con_use:
+            return self._data_con_value(e, env)
+        if id(e) in self.infres.con_use:
+            # Exception constructor used as a value.
+            return self._con_value(e, env)
+        entry = env.get(e.name)
+        inst = self.infres.var_instance.get(id(e))
+        if entry is None:
+            builtin = BUILTINS.get(e.name)
+            if builtin is not None:
+                return self._builtin_value(e, builtin, env)
+            raise RegionInferenceError(f"unbound variable {e.name}")
+        if isinstance(entry, ExnBind):
+            return self._con_value(e, env)
+        return self._use_binding(e.name, entry, inst)
+
+    def _builtin_value(self, e: A.EVar, builtin: Builtin, env: dict) -> UTerm:
+        """A built-in used as a first-class value: eta-expand."""
+        nmu = self.spread_node(e)  # the instance arrow type
+        assert isinstance(nmu, NBoxed) and isinstance(nmu.tau, NArrow)
+        x = self._fresh_name("b")
+        arg = _var(x, nmu.tau.dom)
+        body = self._prim_call(builtin, arg, nmu.tau.cod)
+        nmu.tau.eps.add(a.find() for a in body.eff)
+        lam = ULam(x, body, nmu.rho)
+        lam.nmu = nmu
+        lam.eff = {nmu.rho.find()}
+        return lam
+
+    def _prim_call(self, builtin: Builtin, arg: UTerm, result_nmu: NMu) -> UTerm:
+        # Structural primitives connect the result type to the argument's
+        # inner structure — unify so regions flow through.
+        if builtin.prim == "hd":
+            if not (isinstance(arg.nmu, NBoxed) and isinstance(arg.nmu.tau, NList)):
+                raise RegionInferenceError("hd of a non-list")
+            unify_nmu(result_nmu, arg.nmu.tau.elem)
+        elif builtin.prim == "tl":
+            unify_nmu(result_nmu, arg.nmu)
+        if builtin.prim == "__ref":
+            if isinstance(result_nmu, NBoxed) and isinstance(result_nmu.tau, NRef):
+                unify_nmu(result_nmu.tau.content, arg.nmu)
+                rho = result_nmu.rho
+            else:
+                rho = self.supply.fresh_rho(self.level)
+            t = URef(arg, rho)
+            t.nmu = result_nmu
+            t.eff = arg.eff | {rho.find()}
+            return t
+        rho = None
+        eff = set(arg.eff)
+        if builtin.allocates:
+            if isinstance(result_nmu, NBoxed):
+                rho = result_nmu.rho
+            else:
+                rho = self.supply.fresh_rho(self.level)
+            eff.add(rho.find())
+        if isinstance(arg.nmu, NBoxed):
+            eff.add(arg.nmu.rho.find())
+        t = UPrim(builtin.prim, (arg,), rho)
+        t.nmu = result_nmu
+        t.eff = eff
+        return t
+
+    def _app(self, e: A.EApp, env: dict) -> UTerm:
+        fn_ast = _strip_annot(e.fn)
+        # Saturated builtin, exception, or datatype constructor applications.
+        if isinstance(fn_ast, A.EVar):
+            if id(fn_ast) in self.infres.data_con_use:
+                return self._data_con_apply(e, fn_ast, env)
+            if id(fn_ast) in self.infres.con_use or isinstance(env.get(fn_ast.name), ExnBind):
+                arg = self.exp(e.arg, env)
+                return self._con_apply(fn_ast.name, arg, env)
+            if fn_ast.name not in env and fn_ast.name in BUILTINS:
+                builtin = BUILTINS[fn_ast.name]
+                arg = self.exp(e.arg, env)
+                result_nmu = self.spread_node(e)
+                term = self._prim_call(builtin, arg, result_nmu)
+                return term
+        fn = self.exp(e.fn, env)
+        arg = self.exp(e.arg, env)
+        if not (isinstance(fn.nmu, NBoxed) and isinstance(fn.nmu.tau, NArrow)):
+            raise RegionInferenceError("application of a non-function")
+        unify_nmu(arg.nmu, fn.nmu.tau.dom)
+        t = UApp(fn, arg)
+        t.nmu = fn.nmu.tau.cod
+        t.eff = fn.eff | arg.eff | {fn.nmu.tau.eps.find(), fn.nmu.rho.find()}
+        return t
+
+    def _con_value(self, e: A.EVar, env: dict) -> UTerm:
+        entry = env.get(e.name)
+        if not isinstance(entry, ExnBind):
+            raise RegionInferenceError(f"{e.name} is not an exception")
+        if entry.payload is None:
+            t = UCon(e.name, None, self.supply.rho_top)
+            t.nmu = NBoxed(NExn(), self.supply.rho_top)
+            t.eff = {self.supply.rho_top}
+            return t
+        # Unary constructor as a value: eta-expand.
+        x = self._fresh_name("c")
+        arg = _var(x, entry.payload)
+        con = UCon(e.name, arg, self.supply.rho_top)
+        con.nmu = NBoxed(NExn(), self.supply.rho_top)
+        con.eff = {self.supply.rho_top}
+        nmu = self.spread_node(e)
+        assert isinstance(nmu, NBoxed) and isinstance(nmu.tau, NArrow)
+        unify_nmu(nmu.tau.dom, entry.payload)
+        unify_nmu(nmu.tau.cod, con.nmu)
+        nmu.tau.eps.add(con.eff)
+        lam = ULam(x, con, nmu.rho)
+        lam.nmu = nmu
+        lam.eff = {nmu.rho.find()}
+        return lam
+
+    def _con_apply(self, name: str, arg: UTerm, env: dict) -> UTerm:
+        entry = env.get(name)
+        if not isinstance(entry, ExnBind) or entry.payload is None:
+            raise RegionInferenceError(f"bad exception application {name}")
+        unify_nmu(arg.nmu, entry.payload)
+        t = UCon(name, arg, self.supply.rho_top)
+        t.nmu = NBoxed(NExn(), self.supply.rho_top)
+        t.eff = arg.eff | {self.supply.rho_top}
+        return t
+
+    def _lambda(self, e: A.EFn, env: dict, expected: Optional[NMu] = None) -> UTerm:
+        ml = self.infres.node_type.get(id(e))
+        if ml is not None:
+            nmu = self.spread_type(zonk(ml))
+        elif expected is not None:
+            # A lambda synthesized by the currying desugaring: its type is
+            # the appropriate suffix of the enclosing function's arrow.
+            nmu = expected
+        else:
+            raise RegionInferenceError("fn without a recorded or expected type")
+        if not (isinstance(nmu, NBoxed) and isinstance(nmu.tau, NArrow)):
+            raise RegionInferenceError("fn with a non-arrow type")
+        inner_env = dict(env)
+        param_name, wrap = self._pattern_binder(e.param, nmu.tau.dom, inner_env)
+
+        def body_fn() -> UTerm:
+            b = self.exp(e.body, inner_env, expected=nmu.tau.cod)
+            unify_nmu(b.nmu, nmu.tau.cod)
+            return b
+
+        body = self._in_scope(inner_env, (nmu,), body_fn)
+        if wrap is not None:
+            body = wrap(body)
+        nmu.tau.eps.add(a.find() for a in body.eff)
+        self._gc_closure(body, frozenset({param_name}), nmu, inner_env, nmu.tau.eps)
+        self.stats.total_functions += 1
+        lam = ULam(param_name, body, nmu.rho)
+        lam.nmu = nmu
+        lam.eff = {nmu.rho.find()}
+        return lam
+
+    def _handle(self, e: A.EHandle, env: dict) -> UTerm:
+        body = self._in_scope(env, (), lambda: self.exp(e.body, env))
+        entry = env.get(e.exname)
+        if not isinstance(entry, ExnBind):
+            raise RegionInferenceError(f"handler for non-exception {e.exname}")
+        inner_env = dict(env)
+        binder = None
+        if e.pat is not None:
+            if entry.payload is None:
+                raise RegionInferenceError(f"{e.exname} carries no payload")
+            if isinstance(e.pat, A.PVar):
+                binder = e.pat.name
+                inner_env[binder] = MonoBind(entry.payload)
+            elif isinstance(e.pat, A.PWild):
+                binder = self._fresh_name("h")
+                inner_env[binder] = MonoBind(entry.payload)
+            else:
+                raise RegionInferenceError("handler patterns must be variables")
+        handler = self._in_scope(inner_env, (), lambda: self.exp(e.handler, inner_env))
+        unify_nmu(body.nmu, handler.nmu)
+        t = UHandle(body, e.exname, binder, handler)
+        t.nmu = body.nmu
+        t.eff = body.eff | handler.eff | {self.supply.rho_top}
+        return t
+
+    # -- operators ------------------------------------------------------------------------
+
+    def _binop(self, e: A.EBinOp, env: dict) -> UTerm:
+        lhs = self.exp(e.lhs, env)
+        rhs = self.exp(e.rhs, env)
+        op = e.op
+        if op == "::":
+            if not (isinstance(rhs.nmu, NBoxed) and isinstance(rhs.nmu.tau, NList)):
+                raise RegionInferenceError(":: onto a non-list")
+            unify_nmu(lhs.nmu, rhs.nmu.tau.elem)
+            rho = rhs.nmu.rho
+            t = UCons(lhs, rhs, rho)
+            t.nmu = rhs.nmu
+            t.eff = lhs.eff | rhs.eff | {rho.find()}
+            return t
+        if op == ":=":
+            if not (isinstance(lhs.nmu, NBoxed) and isinstance(lhs.nmu.tau, NRef)):
+                raise RegionInferenceError(":= into a non-ref")
+            unify_nmu(rhs.nmu, lhs.nmu.tau.content)
+            t = UAssign(lhs, rhs)
+            t.nmu = NBase("unit")
+            t.eff = lhs.eff | rhs.eff | {lhs.nmu.rho.find()}
+            return t
+        lt = self.type_of(e.lhs)
+        is_real = isinstance(lt, TCon) and lt.name == "real"
+        is_string = isinstance(lt, TCon) and lt.name == "string"
+        eff = set(lhs.eff | rhs.eff)
+        for operand in (lhs, rhs):
+            if isinstance(operand.nmu, NBoxed):
+                eff.add(operand.nmu.rho.find())
+        if op in ("+", "-", "*"):
+            if is_real:
+                rho = self.supply.fresh_rho(self.level)
+                name = {"+": "radd", "-": "rsub", "*": "rmul"}[op]
+                t = UPrim(name, (lhs, rhs), rho)
+                t.nmu = NBoxed(NReal(), rho)
+                t.eff = eff | {rho}
+                return t
+            name = {"+": "add", "-": "sub", "*": "mul"}[op]
+            t = UPrim(name, (lhs, rhs))
+            t.nmu = NBase("int")
+            t.eff = eff
+            return t
+        if op == "/":
+            rho = self.supply.fresh_rho(self.level)
+            t = UPrim("rdiv", (lhs, rhs), rho)
+            t.nmu = NBoxed(NReal(), rho)
+            t.eff = eff | {rho}
+            return t
+        if op in ("div", "mod"):
+            t = UPrim({"div": "div", "mod": "mod"}[op], (lhs, rhs))
+            t.nmu = NBase("int")
+            t.eff = eff
+            return t
+        if op == "^":
+            rho = self.supply.fresh_rho(self.level)
+            t = UPrim("concat", (lhs, rhs), rho)
+            t.nmu = NBoxed(NString(), rho)
+            t.eff = eff | {rho}
+            return t
+        if op in ("<", "<=", ">", ">=", "=", "<>"):
+            name = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                    "=": "eq", "<>": "ne"}[op]
+            t = UPrim(name, (lhs, rhs))
+            t.nmu = NBase("bool")
+            t.eff = eff
+            return t
+        raise RegionInferenceError(f"unknown operator {op}")
+
+    def _unop(self, e: A.EUnOp, env: dict) -> UTerm:
+        operand = self.exp(e.operand, env)
+        if e.op == "~":
+            lt = self.type_of(e.operand)
+            eff = set(operand.eff)
+            if isinstance(operand.nmu, NBoxed):
+                eff.add(operand.nmu.rho.find())
+            if isinstance(lt, TCon) and lt.name == "real":
+                rho = self.supply.fresh_rho(self.level)
+                t = UPrim("rneg", (operand,), rho)
+                t.nmu = NBoxed(NReal(), rho)
+                t.eff = eff | {rho}
+                return t
+            t = UPrim("neg", (operand,))
+            t.nmu = NBase("int")
+            t.eff = eff
+            return t
+        if e.op == "!":
+            if not (isinstance(operand.nmu, NBoxed) and isinstance(operand.nmu.tau, NRef)):
+                raise RegionInferenceError("! of a non-ref")
+            t = UDeref(operand)
+            t.nmu = operand.nmu.tau.content
+            t.eff = operand.eff | {operand.nmu.rho.find()}
+            return t
+        raise RegionInferenceError(f"unknown unary operator {e.op}")
+
+
+def _var(name: str, nmu: NMu) -> UVar:
+    v = UVar(name)
+    v.nmu = nmu
+    return v
+
+
+def _strip_annot(e: A.Exp) -> A.Exp:
+    while isinstance(e, A.EAnnot):
+        e = e.exp
+    return e
+
+
+def infer_regions(infres: InferenceResult, flags: CompilerFlags) -> RegionInferenceOutput:
+    """Run region inference over a typed program."""
+    return _RegionInferencer(infres, flags).run()

@@ -1,0 +1,189 @@
+"""The mutable union-find layer of region inference.
+
+Region inference works on *nodes* — unifiable proxies for region and
+effect variables — and on node-level types that mirror
+:mod:`repro.core.rtypes` with nodes at the leaves.  The paper's spreading
+phase (Section 4.1) creates fresh nodes; the fixpoint phase unifies them;
+freezing (:mod:`repro.regions.freeze`) maps canonical nodes to the
+immutable variables of the core type system.
+
+Key invariants:
+
+* union takes the minimum *level* (the generalization discipline: a node
+  that leaks into an outer scope must not be quantified there);
+* unifying two effect nodes merges their latent sets (effects only grow,
+  which is what arrow effects are for — Section 3.5);
+* a node marked ``top`` is a global region/effect: it absorbs unions and
+  is never quantified or letregion-bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Union
+
+from ..core.errors import RegionInferenceError
+
+__all__ = [
+    "RhoNode",
+    "EpsNode",
+    "NodeAtom",
+    "NodeSupply",
+    "unify_rho",
+    "unify_eps",
+    "closure_of",
+]
+
+
+class RhoNode:
+    """A region-variable node."""
+
+    __slots__ = ("ident", "level", "top", "_parent", "_rank", "generalized", "letbound")
+
+    def __init__(self, ident: int, level: int, top: bool = False) -> None:
+        self.ident = ident
+        self.level = level
+        self.top = top
+        self._parent: RhoNode | None = None
+        self._rank = 0
+        self.generalized = False
+        self.letbound = False
+
+    def find(self) -> "RhoNode":
+        node = self
+        while node._parent is not None:
+            node = node._parent
+        # path compression
+        walk = self
+        while walk._parent is not None and walk._parent is not node:
+            nxt = walk._parent
+            walk._parent = node
+            walk = nxt
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        root = self.find()
+        flags = "g" if root.generalized else ""
+        flags += "t" if root.top else ""
+        return f"r{root.ident}{('!' + flags) if flags else ''}"
+
+
+class EpsNode:
+    """An effect-variable node with a mutable latent set of atoms."""
+
+    __slots__ = ("ident", "level", "top", "_parent", "_rank", "latent",
+                 "generalized", "letbound")
+
+    def __init__(self, ident: int, level: int, top: bool = False) -> None:
+        self.ident = ident
+        self.level = level
+        self.top = top
+        self._parent: EpsNode | None = None
+        self._rank = 0
+        self.latent: set = set()
+        self.generalized = False
+        self.letbound = False
+
+    def find(self) -> "EpsNode":
+        node = self
+        while node._parent is not None:
+            node = node._parent
+        walk = self
+        while walk._parent is not None and walk._parent is not node:
+            nxt = walk._parent
+            walk._parent = node
+            walk = nxt
+        return node
+
+    def add(self, atoms: Iterable["NodeAtom"]) -> None:
+        """Grow this effect's latent set."""
+        self.find().latent.update(atoms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        root = self.find()
+        return f"e{root.ident}.{{{len(root.latent)}}}"
+
+
+NodeAtom = Union[RhoNode, EpsNode]
+
+
+class NodeSupply:
+    """Fresh node supply.
+
+    In *trivial* mode (Section 4.1's trivial region-inference algorithm)
+    every request returns the global node, so the whole program ends up in
+    one region with one effect variable.
+    """
+
+    def __init__(self, trivial: bool = False) -> None:
+        self._counter = itertools.count(1)
+        self.trivial = trivial
+        self.rho_top = RhoNode(0, level=0, top=True)
+        self.eps_top = EpsNode(0, level=0, top=True)
+        self.eps_top.latent.add(self.rho_top)
+
+    def fresh_rho(self, level: int) -> RhoNode:
+        if self.trivial:
+            return self.rho_top
+        return RhoNode(next(self._counter), level)
+
+    def fresh_eps(self, level: int) -> EpsNode:
+        if self.trivial:
+            return self.eps_top
+        return EpsNode(next(self._counter), level)
+
+
+def unify_rho(a: RhoNode, b: RhoNode) -> RhoNode:
+    """Union two region nodes; the global node absorbs."""
+    ra, rb = a.find(), b.find()
+    if ra is rb:
+        return ra
+    if ra.generalized or rb.generalized:
+        raise RegionInferenceError(
+            "attempt to unify a generalized region node — instantiation "
+            "should have copied it"
+        )
+    # Global absorbs; otherwise union by rank.
+    if rb.top or (not ra.top and rb._rank > ra._rank):
+        ra, rb = rb, ra
+    rb._parent = ra
+    ra._rank = max(ra._rank, rb._rank + 1)
+    ra.level = min(ra.level, rb.level)
+    ra.top = ra.top or rb.top
+    return ra
+
+
+def unify_eps(a: EpsNode, b: EpsNode) -> EpsNode:
+    """Union two effect nodes, merging latent sets."""
+    ra, rb = a.find(), b.find()
+    if ra is rb:
+        return ra
+    if ra.generalized or rb.generalized:
+        raise RegionInferenceError(
+            "attempt to unify a generalized effect node — instantiation "
+            "should have copied it"
+        )
+    if rb.top or (not ra.top and rb._rank > ra._rank):
+        ra, rb = rb, ra
+    rb._parent = ra
+    ra._rank = max(ra._rank, rb._rank + 1)
+    ra.level = min(ra.level, rb.level)
+    ra.top = ra.top or rb.top
+    ra.latent |= rb.latent
+    rb.latent = set()
+    return ra
+
+
+def closure_of(atoms: Iterable[NodeAtom]) -> frozenset:
+    """The set of canonical atoms reachable from ``atoms`` through effect
+    nodes' latent sets (the transitive effect basis of Section 3.5)."""
+    out: set = set()
+    stack = [a.find() for a in atoms]
+    while stack:
+        node = stack.pop()
+        if node in out:
+            continue
+        out.add(node)
+        if isinstance(node, EpsNode):
+            stack.extend(a.find() for a in node.latent)
+    return frozenset(out)

@@ -1,0 +1,353 @@
+"""Node-level region types: the spreading phase and structural unification.
+
+``spread`` turns a (zonked) ML type into a node-level region type with
+fresh region/effect nodes at every constructor — the paper's spreading
+phase.  ``unify_nmu`` unifies two node types with the same ML erasure
+(which region inference guarantees), merging region and effect nodes.
+``copy_nmu`` implements the region/effect part of scheme instantiation:
+bound (generalized) nodes are replaced by fresh copies, free nodes are
+shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..core.errors import RegionInferenceError
+from ..frontend.mltypes import MLType, TCon, TVar, prune
+from .nodes import EpsNode, NodeSupply, RhoNode, unify_eps, unify_rho
+
+__all__ = [
+    "NMu",
+    "NVar",
+    "NBase",
+    "NBoxed",
+    "NTau",
+    "NPair",
+    "NArrow",
+    "NString",
+    "NReal",
+    "NList",
+    "NRef",
+    "NExn",
+    "NData",
+    "spread",
+    "unify_nmu",
+    "frev_nodes",
+    "rho_nodes",
+    "copy_nmu",
+    "nmu_of_base",
+    "show_nmu",
+]
+
+
+class NMu:
+    __slots__ = ()
+
+
+class NTau:
+    __slots__ = ()
+
+
+@dataclass(eq=False)
+class NVar(NMu):
+    """A type variable leaf, keyed by the ML unification variable."""
+
+    tvar: TVar
+
+
+@dataclass(eq=False)
+class NBase(NMu):
+    kind: str  # int | bool | unit
+
+
+@dataclass(eq=False)
+class NBoxed(NMu):
+    tau: NTau
+    rho: RhoNode
+
+
+@dataclass(eq=False)
+class NPair(NTau):
+    fst: NMu
+    snd: NMu
+
+
+@dataclass(eq=False)
+class NArrow(NTau):
+    dom: NMu
+    eps: EpsNode
+    cod: NMu
+
+
+@dataclass(eq=False)
+class NString(NTau):
+    pass
+
+
+@dataclass(eq=False)
+class NReal(NTau):
+    pass
+
+
+@dataclass(eq=False)
+class NList(NTau):
+    elem: NMu
+
+
+@dataclass(eq=False)
+class NRef(NTau):
+    content: NMu
+
+
+@dataclass(eq=False)
+class NExn(NTau):
+    pass
+
+
+@dataclass(eq=False)
+class NData(NTau):
+    """A user datatype: uniform representation (everything concrete in the
+    enclosing place; parameters through ``targs``)."""
+
+    name: str
+    targs: tuple
+
+
+_N_BASE = {"int": "int", "bool": "bool", "unit": "unit"}
+
+
+def nmu_of_base(kind: str) -> NBase:
+    return NBase(kind)
+
+
+def spread(t: MLType, supply: NodeSupply, level: int) -> NMu:
+    """Spread an ML type into a node-level region type with fresh nodes.
+
+    Unresolved plain type variables (phantoms that inference never
+    constrained, e.g. the element type of an unused ``nil``) stay as
+    :class:`NVar` leaves; freezing defaults them.
+    """
+    t = prune(t)
+    if isinstance(t, TVar):
+        return NVar(t)
+    assert isinstance(t, TCon)
+    if t.name in _N_BASE:
+        return NBase(t.name)
+    if t.name == "string":
+        return NBoxed(NString(), supply.fresh_rho(level))
+    if t.name == "real":
+        return NBoxed(NReal(), supply.fresh_rho(level))
+    if t.name == "exn":
+        # Exception values always live in the global region (Section 4.4).
+        return NBoxed(NExn(), supply.rho_top)
+    if t.name == "->":
+        dom = spread(t.args[0], supply, level)
+        cod = spread(t.args[1], supply, level)
+        return NBoxed(NArrow(dom, supply.fresh_eps(level), cod), supply.fresh_rho(level))
+    if t.name == "*":
+        return NBoxed(
+            NPair(spread(t.args[0], supply, level), spread(t.args[1], supply, level)),
+            supply.fresh_rho(level),
+        )
+    if t.name == "list":
+        return NBoxed(NList(spread(t.args[0], supply, level)), supply.fresh_rho(level))
+    if t.name == "ref":
+        return NBoxed(NRef(spread(t.args[0], supply, level)), supply.fresh_rho(level))
+    # a user datatype
+    return NBoxed(
+        NData(t.name, tuple(spread(a, supply, level) for a in t.args)),
+        supply.fresh_rho(level),
+    )
+
+
+def unify_nmu(a: NMu, b: NMu) -> None:
+    """Unify two node types with the same erasure."""
+    if a is b:
+        return
+    if isinstance(a, NVar) and isinstance(b, NVar):
+        if prune(a.tvar) is prune(b.tvar):
+            return
+        raise RegionInferenceError(
+            "unify_nmu: distinct type variables — erasures differ"
+        )
+    if isinstance(a, NBase) and isinstance(b, NBase) and a.kind == b.kind:
+        return
+    if isinstance(a, NBoxed) and isinstance(b, NBoxed):
+        unify_rho(a.rho, b.rho)
+        ta, tb = a.tau, b.tau
+        if isinstance(ta, NPair) and isinstance(tb, NPair):
+            unify_nmu(ta.fst, tb.fst)
+            unify_nmu(ta.snd, tb.snd)
+            return
+        if isinstance(ta, NArrow) and isinstance(tb, NArrow):
+            unify_eps(ta.eps, tb.eps)
+            unify_nmu(ta.dom, tb.dom)
+            unify_nmu(ta.cod, tb.cod)
+            return
+        if type(ta) is type(tb) and isinstance(ta, (NString, NReal, NExn)):
+            return
+        if isinstance(ta, NList) and isinstance(tb, NList):
+            unify_nmu(ta.elem, tb.elem)
+            return
+        if isinstance(ta, NRef) and isinstance(tb, NRef):
+            unify_nmu(ta.content, tb.content)
+            return
+        if isinstance(ta, NData) and isinstance(tb, NData) and ta.name == tb.name:
+            for x, y in zip(ta.targs, tb.targs):
+                unify_nmu(x, y)
+            return
+    raise RegionInferenceError(
+        f"unify_nmu: erasure mismatch between {show_nmu(a)} and {show_nmu(b)}"
+    )
+
+
+def frev_nodes(mu: NMu, out: Optional[set] = None) -> set:
+    """The canonical region/effect nodes occurring in a node type
+    (non-transitively: effect handles are included, their latent sets are
+    expanded by :func:`repro.regions.nodes.closure_of` when needed)."""
+    if out is None:
+        out = set()
+    if isinstance(mu, (NVar, NBase)):
+        return out
+    assert isinstance(mu, NBoxed)
+    out.add(mu.rho.find())
+    tau = mu.tau
+    if isinstance(tau, NPair):
+        frev_nodes(tau.fst, out)
+        frev_nodes(tau.snd, out)
+    elif isinstance(tau, NArrow):
+        out.add(tau.eps.find())
+        frev_nodes(tau.dom, out)
+        frev_nodes(tau.cod, out)
+    elif isinstance(tau, NList):
+        frev_nodes(tau.elem, out)
+    elif isinstance(tau, NRef):
+        frev_nodes(tau.content, out)
+    elif isinstance(tau, NData):
+        for a in tau.targs:
+            frev_nodes(a, out)
+    return out
+
+
+def rho_nodes(mu: NMu) -> set:
+    return {n for n in frev_nodes(mu) if isinstance(n, RhoNode)}
+
+
+def tyvars_of_nmu(mu: NMu, out: Optional[set] = None) -> set:
+    """The ML type variables at the leaves (pruned)."""
+    if out is None:
+        out = set()
+    if isinstance(mu, NVar):
+        t = prune(mu.tvar)
+        if isinstance(t, TVar):
+            out.add(t)
+        return out
+    if isinstance(mu, NBase):
+        return out
+    assert isinstance(mu, NBoxed)
+    tau = mu.tau
+    if isinstance(tau, NPair):
+        tyvars_of_nmu(tau.fst, out)
+        tyvars_of_nmu(tau.snd, out)
+    elif isinstance(tau, NArrow):
+        tyvars_of_nmu(tau.dom, out)
+        tyvars_of_nmu(tau.cod, out)
+    elif isinstance(tau, (NList, NRef)):
+        tyvars_of_nmu(tau.elem if isinstance(tau, NList) else tau.content, out)
+    elif isinstance(tau, NData):
+        for a in tau.targs:
+            tyvars_of_nmu(a, out)
+    return out
+
+
+def copy_nmu(
+    mu: NMu,
+    rho_map: dict,
+    eps_map: dict,
+    ty_map: dict,
+    supply: NodeSupply,
+    level: int,
+) -> NMu:
+    """Instantiation copy: generalized nodes found in ``rho_map``/``eps_map``
+    are replaced (creating fresh nodes on demand), free nodes are shared.
+    Type-variable leaves are replaced via ``ty_map`` (keyed by pruned ML
+    tyvar) with already-spread instance types.
+    """
+
+    def rho_of(r: RhoNode) -> RhoNode:
+        r = r.find()
+        if r.generalized:
+            if r not in rho_map:
+                rho_map[r] = supply.fresh_rho(level)
+            return rho_map[r]
+        return r
+
+    def eps_of(e: EpsNode) -> EpsNode:
+        e = e.find()
+        if e.generalized:
+            if e not in eps_map:
+                fresh = supply.fresh_eps(level)
+                eps_map[e] = fresh
+                # Copy the latent set, mapping bound atoms recursively.
+                for atom in list(e.latent):
+                    atom = atom.find()
+                    if isinstance(atom, RhoNode):
+                        fresh.latent.add(rho_of(atom))
+                    else:
+                        fresh.latent.add(eps_of(atom))
+            return eps_map[e]
+        return e
+
+    def go(m: NMu) -> NMu:
+        if isinstance(m, NVar):
+            t = prune(m.tvar)
+            if isinstance(t, TVar) and t in ty_map:
+                return ty_map[t]
+            return m
+        if isinstance(m, NBase):
+            return m
+        assert isinstance(m, NBoxed)
+        tau = m.tau
+        if isinstance(tau, NPair):
+            new_tau: NTau = NPair(go(tau.fst), go(tau.snd))
+        elif isinstance(tau, NArrow):
+            new_tau = NArrow(go(tau.dom), eps_of(tau.eps), go(tau.cod))
+        elif isinstance(tau, NList):
+            new_tau = NList(go(tau.elem))
+        elif isinstance(tau, NRef):
+            new_tau = NRef(go(tau.content))
+        elif isinstance(tau, NData):
+            new_tau = NData(tau.name, tuple(go(a) for a in tau.targs))
+        else:
+            new_tau = tau
+        return NBoxed(new_tau, rho_of(m.rho))
+
+    return go(mu)
+
+
+def show_nmu(mu: NMu) -> str:  # pragma: no cover - debugging aid
+    if isinstance(mu, NVar):
+        return f"'{prune(mu.tvar)!r}"
+    if isinstance(mu, NBase):
+        return mu.kind
+    assert isinstance(mu, NBoxed)
+    tau = mu.tau
+    if isinstance(tau, NPair):
+        return f"({show_nmu(tau.fst)}*{show_nmu(tau.snd)},{tau!r})"
+    if isinstance(tau, NArrow):
+        return f"({show_nmu(tau.dom)} -{tau.eps!r}-> {show_nmu(tau.cod)},{mu.rho!r})"
+    if isinstance(tau, NString):
+        return f"(string,{mu.rho!r})"
+    if isinstance(tau, NReal):
+        return f"(real,{mu.rho!r})"
+    if isinstance(tau, NList):
+        return f"({show_nmu(tau.elem)} list,{mu.rho!r})"
+    if isinstance(tau, NRef):
+        return f"({show_nmu(tau.content)} ref,{mu.rho!r})"
+    if isinstance(tau, NExn):
+        return f"(exn,{mu.rho!r})"
+    if isinstance(tau, NData):
+        return f"({tau.name},{mu.rho!r})"
+    return "?"

@@ -1,0 +1,137 @@
+"""Pretty printer for region-annotated programs, in the paper's notation
+(ASCII): ``letregion r1,r2 in e``, ``fn x => e at r3``, ``e [r1,r2] at r0``,
+``("oh" ^ "no") at r`` and so on (Figures 2 and 8)."""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from ..core.rtypes import show_mu, show_pi, show_scheme
+
+__all__ = ["pretty_term", "pretty_program"]
+
+_INDENT = "  "
+
+
+def pretty_program(term: T.Term, schemes: bool = True) -> str:
+    """Render a whole program."""
+    return pretty_term(term, 0, schemes)
+
+
+def pretty_term(e: T.Term, depth: int = 0, schemes: bool = True) -> str:
+    pad = _INDENT * depth
+    inner = _INDENT * (depth + 1)
+    p = lambda t: pretty_term(t, depth, schemes)  # noqa: E731
+    p1 = lambda t: pretty_term(t, depth + 1, schemes)  # noqa: E731
+
+    if isinstance(e, T.Var):
+        return e.name
+    if isinstance(e, T.IntLit):
+        return str(e.value)
+    if isinstance(e, T.BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, T.UnitLit):
+        return "()"
+    if isinstance(e, T.StringLit):
+        return f'"{e.value}" at {e.rho.display()}'
+    if isinstance(e, T.RealLit):
+        return f"{e.value} at {e.rho.display()}"
+    if isinstance(e, T.NilLit):
+        return "nil"
+    if isinstance(e, T.Lam):
+        head = f"fn {e.param} at {e.rho.display()} =>"
+        return f"({head}\n{inner}{p1(e.body)})"
+    if isinstance(e, T.FunDef):
+        rparams = ",".join(r.display() for r in e.rparams)
+        scheme_line = ""
+        if schemes:
+            scheme_line = f"{pad}(* {e.fname} : {show_pi(e.pi)} *)\n"
+        return (
+            f"{scheme_line}fun {e.fname} [{rparams}] {e.param} at "
+            f"{e.rho.display()} =\n{inner}{p1(e.body)}"
+        )
+    if isinstance(e, T.RApp):
+        rargs = ",".join(r.display() for r in e.rargs)
+        return f"{p(e.fn)} [{rargs}] at {e.rho.display()}"
+    if isinstance(e, T.App):
+        return f"({p(e.fn)}) ({p(e.arg)})"
+    if isinstance(e, T.Let):
+        return (
+            f"let val {e.name} = {p1(e.rhs)}\n{pad}in {p1(e.body)}\n{pad}end"
+        )
+    if isinstance(e, T.Letregion):
+        rhos = ",".join(r.display() for r in e.rhos)
+        if not e.rhos:
+            return p(e.body)
+        return f"letregion {rhos}\n{pad}in {p1(e.body)}\n{pad}end"
+    if isinstance(e, T.Pair):
+        return f"({p(e.fst)}, {p(e.snd)}) at {e.rho.display()}"
+    if isinstance(e, T.Select):
+        return f"#{e.index} {p(e.pair)}"
+    if isinstance(e, T.Cons):
+        return f"({p(e.head)} :: {p(e.tail)}) at {e.rho.display()}"
+    if isinstance(e, T.If):
+        return (
+            f"if {p(e.cond)}\n{inner}then {p1(e.then)}\n{inner}else {p1(e.els)}"
+        )
+    if isinstance(e, T.Prim):
+        args = ", ".join(p(a) for a in e.args)
+        at = f" at {e.rho.display()}" if e.rho is not None else ""
+        return f"{e.op}({args}){at}"
+    if isinstance(e, T.MkRef):
+        return f"ref ({p(e.init)}) at {e.rho.display()}"
+    if isinstance(e, T.Deref):
+        return f"!({p(e.ref)})"
+    if isinstance(e, T.Assign):
+        return f"{p(e.ref)} := {p(e.value)}"
+    if isinstance(e, T.LetData):
+        cons = " | ".join(
+            c + (f" of {show_mu(m)}" if m is not None else "")
+            for c, m in e.constructors
+        )
+        params = ",".join(p_.display() for p_ in e.params)
+        head = f"datatype ({params}) {e.name}" if params else f"datatype {e.name}"
+        return f"{head} = {cons}\n{pad}in {p1(e.body)}"
+    if isinstance(e, T.DataCon):
+        arg = f" ({p(e.arg)})" if e.arg is not None else ""
+        return f"{e.conname}{arg} at {e.rho.display()}"
+    if isinstance(e, T.Case):
+        brs = []
+        for br in e.branches:
+            head = br.conname or (br.binder or "_")
+            if br.conname and br.binder:
+                head = f"{br.conname} {br.binder}"
+            brs.append(f"{inner}{head} => {pretty_term(br.body, depth + 2, schemes)}")
+        return f"case {p(e.scrutinee)} of\n" + ("\n" + inner + "| ").join(brs)
+    if isinstance(e, T.LetExn):
+        payload = f" of {show_mu(e.payload)}" if e.payload is not None else ""
+        return f"exception {e.exname}{payload}\n{pad}in {p1(e.body)}"
+    if isinstance(e, T.Con):
+        arg = f" ({p(e.arg)})" if e.arg is not None else ""
+        return f"{e.exname}{arg} at {e.rho.display()}"
+    if isinstance(e, T.Raise):
+        return f"raise {p(e.exn)}"
+    if isinstance(e, T.Handle):
+        binder = f" {e.binder}" if e.binder else ""
+        return f"({p(e.body)}) handle {e.exname}{binder} => {p1(e.handler)}"
+    # Values (shown during small-step traces)
+    if isinstance(e, T.VInt):
+        return str(e.value)
+    if isinstance(e, T.VBool):
+        return "true" if e.value else "false"
+    if isinstance(e, T.VUnit):
+        return "()"
+    if isinstance(e, T.VNil):
+        return "nil"
+    if isinstance(e, T.VStr):
+        return f'<"{e.value}">^{e.rho.display()}'
+    if isinstance(e, T.VReal):
+        return f"<{e.value}>^{e.rho.display()}"
+    if isinstance(e, T.VPair):
+        return f"<{p(e.fst)},{p(e.snd)}>^{e.rho.display()}"
+    if isinstance(e, T.VCons):
+        return f"<{p(e.head)}::{p(e.tail)}>^{e.rho.display()}"
+    if isinstance(e, T.VClos):
+        return f"<fn {e.param} => ...>^{e.rho.display()}"
+    if isinstance(e, T.VFunClos):
+        return f"<fun {e.fname} ...>^{e.rho.display()}"
+    raise TypeError(f"pretty_term: {e!r}")

@@ -1,0 +1,10 @@
+"""The region abstract machine: runtime values, the region heap (regions,
+pages, finite/infinite representation), the reference-tracing copying
+collector with dangling-pointer detection, the big-step interpreter with
+an explicit shadow stack of GC roots, and the paper-faithful small-step
+semantics of Figure 6."""
+
+from .stats import RunStats
+from .interp import run_term
+
+__all__ = ["RunStats", "run_term"]

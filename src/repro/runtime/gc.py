@@ -1,0 +1,155 @@
+"""The reference-tracing copying collector (papers [24], [16], and this
+paper's Sections 1 and 5), simulated word-exactly over the region heap.
+
+A collection traces the root set (the interpreter's shadow stack), visits
+every reachable boxed value, and *evacuates* the live data of each
+infinite region: the region's word count is reset to its live words,
+modelling per-region Cheney copying.  Finite (stack) regions are scanned
+but never compacted — exactly the MLKit's split.
+
+The property this module exists to test: tracing a pointer into a
+**deallocated** region raises :class:`DanglingPointerError`.  Under the
+paper's sound ``rg`` strategy this can never happen (Theorem 2 —
+containment); under ``rg-`` the programs of Figures 1 and 8 make it
+happen.
+
+A simple two-generation mode (after Elsman-Hallenberg [16, 17]) is
+included: minor collections trace only objects allocated since the last
+collection, using a remembered set fed by the write barrier on ``:=``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import DanglingPointerError
+from .heap import FINITE, Heap, INFINITE, Region
+from .values import RBox, RClos, RCons, RData, RExn, RFunClos, RPair, RRef, RStr, is_boxed
+
+__all__ = ["Collector"]
+
+
+class Collector:
+    def __init__(self, heap: Heap, generational: bool = False) -> None:
+        self.heap = heap
+        self.generational = generational
+        #: Write barrier log: old objects that may point to young ones.
+        self.remembered: list = []
+        self._collections_until_major = 4
+
+    # -- write barrier ---------------------------------------------------------
+
+    def note_write(self, ref: RRef) -> None:
+        if self.generational and ref.gen > 0:
+            self.remembered.append(ref)
+
+    # -- collection entry points --------------------------------------------------
+
+    def collect(self, roots: Iterable) -> int:
+        """A full (major) collection.  Returns the live words retained."""
+        stats = self.heap.stats
+        stats.gc_count += 1
+        live_words: dict[Region, int] = {}
+        seen: set = set()
+        self._trace(roots, seen, live_words, minor=False)
+        retained = self._sweep(live_words, seen, minor=False)
+        self.heap.note_collection(retained)
+        self.remembered.clear()
+        return retained
+
+    def collect_minor(self, roots: Iterable) -> int:
+        """A minor collection: traces only the young generation, with the
+        remembered set as extra roots.  Survivors are promoted."""
+        stats = self.heap.stats
+        stats.gc_minor_count += 1
+        live_words: dict[Region, int] = {}
+        seen: set = set()
+        all_roots = list(roots) + list(self.remembered)
+        self._trace(all_roots, seen, live_words, minor=True)
+        retained = self._sweep(live_words, seen, minor=True)
+        self.remembered.clear()
+        return retained
+
+    def collect_auto(self, roots: Iterable) -> int:
+        """Generational policy: several minors per major."""
+        if not self.generational:
+            return self.collect(roots)
+        self._collections_until_major -= 1
+        if self._collections_until_major <= 0:
+            self._collections_until_major = 4
+            return self.collect(roots)
+        return self.collect_minor(roots)
+
+    # -- tracing ---------------------------------------------------------------------
+
+    def _trace(self, roots: Iterable, seen: set, live_words: dict, minor: bool) -> None:
+        stats = self.heap.stats
+        stack: list = [v for v in roots if is_boxed(v)]
+        while stack:
+            obj: RBox = stack.pop()
+            key = id(obj)
+            if key in seen:
+                continue
+            seen.add(key)
+            region = obj.region
+            if not region.alive:
+                raise DanglingPointerError(
+                    f"the collector traced a pointer into deallocated region "
+                    f"{region.name} (object {type(obj).__name__}) — the "
+                    "dangling-pointer fault of Figure 1",
+                    region_id=region.ident,
+                )
+            if not (minor and obj.gen > 0):
+                live_words[region] = live_words.get(region, 0) + obj.words()
+                stats.gc_traced_words += obj.words()
+                if minor:
+                    obj.gen = 1  # promote survivors
+            # Children
+            if isinstance(obj, RPair):
+                if is_boxed(obj.fst):
+                    stack.append(obj.fst)
+                if is_boxed(obj.snd):
+                    stack.append(obj.snd)
+            elif isinstance(obj, RCons):
+                if is_boxed(obj.head):
+                    stack.append(obj.head)
+                if is_boxed(obj.tail):
+                    stack.append(obj.tail)
+            elif isinstance(obj, (RClos, RFunClos)):
+                for v in obj.venv.values():
+                    if is_boxed(v):
+                        stack.append(v)
+            elif isinstance(obj, RRef):
+                if is_boxed(obj.contents):
+                    stack.append(obj.contents)
+            elif isinstance(obj, (RExn, RData)):
+                if is_boxed(obj.payload):
+                    stack.append(obj.payload)
+            # RStr / RReal have no children.
+
+    def _sweep(self, live_words: dict, seen: set, minor: bool) -> int:
+        """Evacuate infinite regions: reset each live region's word count
+        to its live data (minor collections only shrink the young part)."""
+        stats = self.heap.stats
+        retained = 0
+        for region in self.heap.region_stack:
+            if not region.alive:  # pragma: no cover - defensive
+                continue
+            if region.kind == FINITE:
+                retained += region.words
+                continue
+            live = live_words.get(region, 0)
+            if minor:
+                # Only the young suffix is collected: old words persist.
+                old = region.words - region.young_words
+                new_words = old + live
+            else:
+                new_words = live
+            reclaimed = region.words - new_words
+            if reclaimed > 0:
+                stats.gc_reclaimed_words += reclaimed
+                stats.current_words -= reclaimed
+            region.words = new_words
+            region.young_words = 0
+            retained += region.words
+        return retained

@@ -1,0 +1,134 @@
+"""The region heap: region descriptors, pages, the region stack, and
+word-exact accounting (paper Sections 1 and 4.2).
+
+Regions come in two representations, as in the MLKit:
+
+* **finite** regions hold exactly one value of statically known size and
+  live "on the runtime stack" (not collected; their contents are traced
+  as roots but never reclaimed before the region is popped);
+* **infinite** regions are lists of fixed-size pages in the heap and are
+  the ones a reference-tracing collection evacuates.
+
+``letregion`` pushes regions on the region stack and pops (deallocates)
+them on exit.  A deallocated region's descriptor stays around with
+``alive = False`` so the collector can *detect* dangling pointers — the
+observable fault of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..config import RuntimeFlags
+from ..core.errors import UseAfterFreeError
+from .stats import RunStats
+
+__all__ = ["Region", "Heap", "INFINITE", "FINITE"]
+
+INFINITE = "infinite"
+FINITE = "finite"
+
+
+class Region:
+    """A region descriptor."""
+
+    __slots__ = ("ident", "name", "kind", "alive", "words", "capacity", "young_words")
+
+    def __init__(self, ident: int, name: str, kind: str, capacity: Optional[int] = None) -> None:
+        self.ident = ident
+        self.name = name
+        self.kind = kind
+        self.alive = True
+        self.words = 0
+        self.capacity = capacity  # finite regions only
+        self.young_words = 0      # words allocated since the last minor GC
+
+    def pages(self, page_words: int) -> int:
+        if self.kind == FINITE:
+            return 0
+        return -(-self.words // page_words) if self.words else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self.alive else " (dead)"
+        return f"<region {self.name} {self.kind} {self.words}w{state}>"
+
+
+class Heap:
+    """The global region heap with word-exact accounting."""
+
+    def __init__(self, flags: RuntimeFlags, stats: RunStats) -> None:
+        self.flags = flags
+        self.stats = stats
+        self._ids = itertools.count(1)
+        self.global_region = Region(0, "rtop", INFINITE)
+        self.region_stack: list[Region] = [self.global_region]
+        #: words of live data retained by the previous collection — the
+        #: basis of the heap-to-live growth policy.
+        self.live_after_gc = 0
+        self.words_since_gc = 0
+
+    # -- region lifecycle --------------------------------------------------------
+
+    def new_region(self, name: str, kind: str = INFINITE, capacity: Optional[int] = None) -> Region:
+        region = Region(next(self._ids), name, kind, capacity)
+        self.region_stack.append(region)
+        if kind == FINITE:
+            self.stats.finite_regions_created += 1
+        else:
+            self.stats.infinite_regions_created += 1
+        self.stats.max_region_stack = max(self.stats.max_region_stack, len(self.region_stack))
+        return region
+
+    def dealloc_region(self, region: Region) -> None:
+        """Pop a region: its words are reclaimed immediately (the region
+        stack discipline), but the descriptor survives for dangling
+        detection."""
+        assert region.alive, "double deallocation of a region"
+        region.alive = False
+        self.stats.current_words -= region.words
+        region.words = 0
+        if self.region_stack and self.region_stack[-1] is region:
+            self.region_stack.pop()
+        else:  # pragma: no cover - regions are popped LIFO by construction
+            self.region_stack.remove(region)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def alloc(self, region: Region, words: int) -> None:
+        """Account for an allocation of ``words`` into ``region``."""
+        if not region.alive:
+            raise UseAfterFreeError(
+                f"allocation into deallocated region {region.name} — region "
+                "inference soundness violation"
+            )
+        if region.kind == FINITE:
+            self.stats.finite_allocations += 1
+            if region.capacity is not None and region.words + words > region.capacity:
+                # The static size estimate was too small: fall back to an
+                # infinite representation (the MLKit would have chosen
+                # infinite in the first place).
+                region.kind = INFINITE
+        region.words += words
+        region.young_words += words
+        self.stats.allocations += 1
+        self.stats.allocated_words += words
+        self.stats.current_words += words
+        if self.stats.current_words > self.stats.peak_words:
+            self.stats.peak_words = self.stats.current_words
+        self.words_since_gc += words
+
+    # -- GC policy -------------------------------------------------------------------
+
+    def should_collect(self) -> bool:
+        if self.flags.gc_every_alloc:
+            return True
+        threshold = max(
+            self.flags.initial_threshold,
+            int(self.live_after_gc * (self.flags.heap_to_live - 1.0)),
+        )
+        return self.words_since_gc >= threshold
+
+    def note_collection(self, live_words: int) -> None:
+        self.live_after_gc = live_words
+        self.words_since_gc = 0

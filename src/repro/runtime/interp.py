@@ -1,0 +1,759 @@
+"""The big-step region interpreter with an explicit shadow stack of GC
+roots.
+
+Evaluation follows the region-annotated term: ``letregion`` pushes and
+pops regions, ``at rho`` allocations go into the region bound to ``rho``
+in the current region environment, region application specializes a
+region-polymorphic closure with concrete regions.  A collection can be
+triggered at any allocation; the interpreter therefore maintains
+
+* ``env_stack`` — the value environments of all active frames, and
+* ``temps``    — intermediate values that are live across a nested
+  evaluation,
+
+whose union is the collector's root set.  This is the "shadow stack"
+discipline a real collector gets from stack maps.
+
+Two cross-cutting modes:
+
+* ``Strategy.ML`` ignores regions entirely: every allocation goes into
+  one global heap, ``letregion`` is a no-op — the MLton stand-in.
+* the *direct-call* optimization evaluates ``(f [rhos] at r) arg`` without
+  materializing the intermediate specialized closure, which is how the
+  MLKit compiles calls to known functions; the formal [Rapp]+[App] steps
+  are preserved observably (and exactly by the small-step machine in
+  :mod:`repro.runtime.smallstep`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from typing import Optional
+
+from ..config import RuntimeFlags, Strategy
+from ..core import terms as T
+from ..core.errors import (
+    InterpreterLimit,
+    MLExceptionError,
+    ReproError,
+    RuntimeFault,
+)
+from ..core.effects import RegionVar
+from .gc import Collector
+from .heap import FINITE, Heap, INFINITE, Region
+from .stats import RunStats
+from .values import (
+    NIL,
+    Nil,
+    RBox,
+    RClos,
+    RCons,
+    RData,
+    RExn,
+    RFunClos,
+    RPair,
+    RReal,
+    RRef,
+    RStr,
+    UNIT,
+    is_boxed,
+    show_value,
+)
+
+__all__ = ["Interp", "MLRaise", "run_term", "prepare"]
+
+
+class MLRaise(Exception):
+    """A MiniML exception in flight."""
+
+    def __init__(self, value: RExn) -> None:
+        super().__init__(value.name)
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Load-time preparation
+# ---------------------------------------------------------------------------
+
+
+class Prepared:
+    """Per-program tables computed once before evaluation."""
+
+    __slots__ = ("free_vars", "free_regions", "direct_calls")
+
+    def __init__(self) -> None:
+        self.free_vars: dict[int, tuple] = {}
+        self.free_regions: dict[int, tuple] = {}
+        self.direct_calls: set = set()
+
+
+def _exn_key(name: str) -> str:
+    return f"exn:{name}"
+
+
+def prepare(term: T.Term) -> Prepared:
+    """Compute free-variable/free-region tables for closure capture and
+    mark direct-call sites.
+
+    Freeness is *local*: each node's result is the set of names/regions
+    free in that subtree after removing the subtree's own binders, so a
+    closure's capture set correctly includes outer ``let``-bound names
+    and outer ``letregion``-bound regions.
+    """
+    prep = Prepared()
+
+    def fv(t: T.Term) -> tuple[frozenset, frozenset]:
+        """(free program names incl. exception stamps, free region vars)."""
+        if isinstance(t, T.Var):
+            return frozenset({t.name}), frozenset()
+        if isinstance(t, (T.IntLit, T.BoolLit, T.UnitLit, T.NilLit)):
+            return frozenset(), frozenset()
+        if isinstance(t, (T.StringLit, T.RealLit)):
+            return frozenset(), _r({t.rho})
+        if isinstance(t, T.Lam):
+            names, regions = fv(t.body)
+            names -= {t.param}
+            prep.free_vars[id(t)] = tuple(sorted(names))
+            prep.free_regions[id(t)] = tuple(sorted(regions, key=lambda r: r.ident))
+            return names, regions | _r({t.rho})
+        if isinstance(t, T.FunDef):
+            names, regions = fv(t.body)
+            names -= {t.fname, t.param}
+            regions -= set(t.rparams)
+            prep.free_vars[id(t)] = tuple(sorted(names))
+            prep.free_regions[id(t)] = tuple(sorted(regions, key=lambda r: r.ident))
+            return names, regions | _r({t.rho})
+        if isinstance(t, T.RApp):
+            names, regions = fv(t.fn)
+            if isinstance(t.fn, T.Var):
+                pass
+            return names, regions | _r(set(t.rargs) | {t.rho})
+        if isinstance(t, T.App):
+            n1, r1 = fv(t.fn)
+            n2, r2 = fv(t.arg)
+            if isinstance(t.fn, T.RApp) and isinstance(t.fn.fn, T.Var):
+                prep.direct_calls.add(id(t))
+            return n1 | n2, r1 | r2
+        if isinstance(t, T.Let):
+            n1, r1 = fv(t.rhs)
+            n2, r2 = fv(t.body)
+            return n1 | (n2 - {t.name}), r1 | r2
+        if isinstance(t, T.Letregion):
+            names, regions = fv(t.body)
+            return names, regions - set(t.rhos)
+        if isinstance(t, T.Pair):
+            n1, r1 = fv(t.fst)
+            n2, r2 = fv(t.snd)
+            return n1 | n2, r1 | r2 | _r({t.rho})
+        if isinstance(t, T.Select):
+            return fv(t.pair)
+        if isinstance(t, T.Cons):
+            n1, r1 = fv(t.head)
+            n2, r2 = fv(t.tail)
+            return n1 | n2, r1 | r2 | _r({t.rho})
+        if isinstance(t, T.If):
+            n1, r1 = fv(t.cond)
+            n2, r2 = fv(t.then)
+            n3, r3 = fv(t.els)
+            return n1 | n2 | n3, r1 | r2 | r3
+        if isinstance(t, T.Prim):
+            names: frozenset = frozenset()
+            regions: frozenset = frozenset()
+            for a in t.args:
+                n, r = fv(a)
+                names |= n
+                regions |= r
+            if t.rho is not None:
+                regions |= _r({t.rho})
+            return names, regions
+        if isinstance(t, T.MkRef):
+            n, r = fv(t.init)
+            return n, r | _r({t.rho})
+        if isinstance(t, T.Deref):
+            return fv(t.ref)
+        if isinstance(t, T.Assign):
+            n1, r1 = fv(t.ref)
+            n2, r2 = fv(t.value)
+            return n1 | n2, r1 | r2
+        if isinstance(t, T.LetExn):
+            n, r = fv(t.body)
+            return n - {_exn_key(t.exname)}, r
+        if isinstance(t, T.Con):
+            names = frozenset({_exn_key(t.exname)})
+            regions = _r({t.rho})
+            if t.arg is not None:
+                n, r = fv(t.arg)
+                names |= n
+                regions |= r
+            return names, regions
+        if isinstance(t, T.LetData):
+            return fv(t.body)
+        if isinstance(t, T.DataCon):
+            regions = _r({t.rho})
+            if t.arg is None:
+                return frozenset(), regions
+            n, r = fv(t.arg)
+            return n, r | regions
+        if isinstance(t, T.Case):
+            names, regions = fv(t.scrutinee)
+            for br in t.branches:
+                n, r = fv(br.body)
+                if br.binder:
+                    n = n - {br.binder}
+                names |= n
+                regions |= r
+            return names, regions
+        if isinstance(t, T.Raise):
+            return fv(t.exn)
+        if isinstance(t, T.Handle):
+            n1, r1 = fv(t.body)
+            n2, r2 = fv(t.handler)
+            n2 -= frozenset({t.binder} if t.binder else ())
+            return n1 | n2 | {_exn_key(t.exname)}, r1 | r2
+        raise TypeError(f"prepare: unknown term {type(t).__name__}")
+
+    fv(term)
+    return prep
+
+
+def _r(regions: set) -> frozenset:
+    return frozenset(r for r in regions if not r.top)
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+
+class Interp:
+    def __init__(
+        self,
+        term: T.Term,
+        strategy: Strategy,
+        runtime: RuntimeFlags,
+        multiplicity=None,
+        drop_regions=None,
+    ) -> None:
+        self.term = term
+        self.strategy = strategy
+        self.flags = runtime
+        self.stats = RunStats()
+        self.heap = Heap(runtime, self.stats)
+        self.collector = Collector(self.heap, generational=runtime.generational)
+        self.multiplicity = multiplicity
+        self.drop_regions = drop_regions
+        self.prep = prepare(term)
+        self.ml_mode = strategy is Strategy.ML
+        self.use_gc = strategy.uses_gc
+        self.output: list[str] = []
+        self.env_stack: list[dict] = []
+        self.temps: list = []
+        self.depth = 0
+        self._exn_stamps = itertools.count(1)
+
+    # -- roots and GC ------------------------------------------------------------
+
+    def roots(self):
+        for env in self.env_stack:
+            yield from env.values()
+        yield from self.temps
+
+    def maybe_gc(self) -> None:
+        if self.use_gc and self.heap.should_collect():
+            self.collector.collect_auto(self.roots())
+
+    def alloc(self, rho: RegionVar, renv: dict, words: int) -> Region:
+        region = self.resolve(rho, renv)
+        self.heap.alloc(region, words)
+        self.maybe_gc()
+        return region
+
+    def resolve(self, rho: RegionVar, renv: dict) -> Region:
+        if self.ml_mode or rho.top:
+            return self.heap.global_region
+        region = renv.get(rho)
+        if region is None:
+            raise RuntimeFault(f"unbound region variable {rho.display()}")
+        return region
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self):
+        base_env: dict = {}
+        base_renv: dict = {}
+        self.env_stack.append(base_env)
+        try:
+            value = self.ev(self.term, base_env, base_renv)
+        except MLRaise as exc:
+            raise MLExceptionError(exc.value.name, exc.value.payload) from exc
+        finally:
+            self.env_stack.pop()
+        return value
+
+    def ev(self, t: T.Term, env: dict, renv: dict):
+        self.stats.steps += 1
+        if self.flags.max_steps is not None and self.stats.steps > self.flags.max_steps:
+            raise InterpreterLimit(f"step budget exceeded ({self.flags.max_steps})")
+
+        # hot immediates first
+        cls = type(t)
+        if cls is T.Var:
+            return env[t.name]
+        if cls is T.IntLit:
+            return t.value
+        if cls is T.App:
+            return self._app(t, env, renv)
+        if cls is T.Let:
+            value = self.ev(t.rhs, env, renv)
+            saved = env.get(t.name, _MISSING)
+            env[t.name] = value
+            try:
+                return self.ev(t.body, env, renv)
+            finally:
+                if saved is _MISSING:
+                    del env[t.name]
+                else:
+                    env[t.name] = saved
+        if cls is T.If:
+            cond = self.ev(t.cond, env, renv)
+            return self.ev(t.then if cond else t.els, env, renv)
+        if cls is T.Prim:
+            return self._prim(t, env, renv)
+        if cls is T.Letregion:
+            return self._letregion(t, env, renv)
+        if cls is T.RApp:
+            return self._rapp(t, env, renv)
+        if cls is T.BoolLit:
+            return t.value
+        if cls is T.UnitLit:
+            return UNIT
+        if cls is T.NilLit:
+            return NIL
+        if cls is T.StringLit:
+            region = self.alloc(t.rho, renv, 1 + (len(t.value) + 7) // 8)
+            return RStr(t.value, region)
+        if cls is T.RealLit:
+            region = self.alloc(t.rho, renv, 1)
+            return RReal(t.value, region)
+        if cls is T.Lam:
+            return self._close_lam(t, env, renv)
+        if cls is T.FunDef:
+            return self._close_fun(t, env, renv)
+        if cls is T.Pair:
+            fst = self.ev(t.fst, env, renv)
+            self.temps.append(fst)
+            try:
+                snd = self.ev(t.snd, env, renv)
+                self.temps.append(snd)
+                try:
+                    region = self.alloc(t.rho, renv, 2)
+                finally:
+                    self.temps.pop()
+            finally:
+                self.temps.pop()
+            return RPair(fst, snd, region)
+        if cls is T.Select:
+            pair = self.ev(t.pair, env, renv)
+            if not isinstance(pair, RPair):
+                raise RuntimeFault("#i of a non-pair value")
+            return pair.fst if t.index == 1 else pair.snd
+        if cls is T.Cons:
+            head = self.ev(t.head, env, renv)
+            self.temps.append(head)
+            try:
+                tail = self.ev(t.tail, env, renv)
+                self.temps.append(tail)
+                try:
+                    region = self.alloc(t.rho, renv, 2)
+                finally:
+                    self.temps.pop()
+            finally:
+                self.temps.pop()
+            return RCons(head, tail, region)
+        if cls is T.MkRef:
+            init = self.ev(t.init, env, renv)
+            self.temps.append(init)
+            try:
+                region = self.alloc(t.rho, renv, 1)
+            finally:
+                self.temps.pop()
+            return RRef(init, region)
+        if cls is T.Deref:
+            ref = self.ev(t.ref, env, renv)
+            return ref.contents
+        if cls is T.Assign:
+            ref = self.ev(t.ref, env, renv)
+            self.temps.append(ref)
+            try:
+                value = self.ev(t.value, env, renv)
+            finally:
+                self.temps.pop()
+            ref.contents = value
+            self.collector.note_write(ref)
+            return UNIT
+        if cls is T.LetData:
+            return self.ev(t.body, env, renv)
+        if cls is T.DataCon:
+            payload = None
+            if t.arg is not None:
+                payload = self.ev(t.arg, env, renv)
+                self.temps.append(payload)
+            try:
+                region = self.alloc(t.rho, renv, 2)
+            finally:
+                if t.arg is not None:
+                    self.temps.pop()
+            return RData(t.conname, payload, region)
+        if cls is T.Case:
+            scrut = self.ev(t.scrutinee, env, renv)
+            for br in t.branches:
+                if br.conname is not None:
+                    if not isinstance(scrut, RData):
+                        raise RuntimeFault("case on a non-datatype value")
+                    if br.conname != scrut.conname:
+                        continue
+                if br.binder is None:
+                    return self.ev(br.body, env, renv)
+                bound = scrut.payload if br.conname is not None else scrut
+                saved = env.get(br.binder, _MISSING)
+                env[br.binder] = bound
+                try:
+                    return self.ev(br.body, env, renv)
+                finally:
+                    if saved is _MISSING:
+                        del env[br.binder]
+                    else:
+                        env[br.binder] = saved
+            raise RuntimeFault(
+                f"Match: no case branch for constructor {scrut.conname}"
+            )
+        if cls is T.LetExn:
+            stamp = next(self._exn_stamps)
+            key = _exn_key(t.exname)
+            saved = env.get(key, _MISSING)
+            env[key] = stamp
+            try:
+                return self.ev(t.body, env, renv)
+            finally:
+                if saved is _MISSING:
+                    del env[key]
+                else:
+                    env[key] = saved
+        if cls is T.Con:
+            payload = UNIT
+            if t.arg is not None:
+                payload = self.ev(t.arg, env, renv)
+            self.temps.append(payload)
+            try:
+                region = self.alloc(t.rho, renv, 2)
+            finally:
+                self.temps.pop()
+            stamp = env[_exn_key(t.exname)]
+            return RExn(stamp, t.exname, payload, region)
+        if cls is T.Raise:
+            exn = self.ev(t.exn, env, renv)
+            raise MLRaise(exn)
+        if cls is T.Handle:
+            try:
+                return self.ev(t.body, env, renv)
+            except MLRaise as exc:
+                stamp = env[_exn_key(t.exname)]
+                if exc.value.stamp != stamp:
+                    raise
+                if t.binder is None:
+                    return self.ev(t.handler, env, renv)
+                saved = env.get(t.binder, _MISSING)
+                env[t.binder] = exc.value.payload
+                try:
+                    return self.ev(t.handler, env, renv)
+                finally:
+                    if saved is _MISSING:
+                        del env[t.binder]
+                    else:
+                        env[t.binder] = saved
+        raise TypeError(f"ev: unknown term {cls.__name__}")
+
+    # -- closures and calls ------------------------------------------------------------
+
+    def _capture(self, node: T.Term, env: dict, renv: dict) -> tuple[dict, dict]:
+        venv = {}
+        for name in self.prep.free_vars[id(node)]:
+            venv[name] = env[name]
+        crenv = {}
+        if not self.ml_mode:
+            for rho in self.prep.free_regions[id(node)]:
+                crenv[rho] = self.resolve(rho, renv)
+        return venv, crenv
+
+    def _close_lam(self, t: T.Lam, env: dict, renv: dict) -> RClos:
+        venv, crenv = self._capture(t, env, renv)
+        region = self.alloc(t.rho, renv, 1 + len(venv) + len(crenv))
+        return RClos(t.param, t.body, venv, crenv, region)
+
+    def _close_fun(self, t: T.FunDef, env: dict, renv: dict) -> RFunClos:
+        venv, crenv = self._capture(t, env, renv)
+        region = self.alloc(t.rho, renv, 1 + len(venv) + len(crenv))
+        dropped = frozenset()
+        if self.drop_regions is not None:
+            dropped = self.drop_regions.dropped_indices_for(id(t))
+        return RFunClos(t.fname, t.rparams, t.param, t.body, venv, crenv,
+                        region, dropped)
+
+    def _letregion(self, t: T.Letregion, env: dict, renv: dict):
+        if self.ml_mode or not t.rhos:
+            return self.ev(t.body, env, renv)
+        self.stats.letregions += 1
+        created: list[tuple[RegionVar, Region, object]] = []
+        for rho in t.rhos:
+            kind = INFINITE
+            capacity = None
+            if self.multiplicity is not None and self.multiplicity.is_finite(rho):
+                kind = FINITE
+                capacity = self.multiplicity.finite[rho]
+            region = self.heap.new_region(rho.display(), kind, capacity)
+            created.append((rho, region, renv.get(rho, _MISSING)))
+            renv[rho] = region
+        try:
+            return self.ev(t.body, env, renv)
+        finally:
+            for rho, region, saved in reversed(created):
+                self.heap.dealloc_region(region)
+                if saved is _MISSING:
+                    del renv[rho]
+                else:
+                    renv[rho] = saved
+
+    def _rapp(self, t: T.RApp, env: dict, renv: dict) -> RClos:
+        fn = self.ev(t.fn, env, renv)
+        if not isinstance(fn, RFunClos):
+            raise RuntimeFault("region application of a non-fun value")
+        self.stats.region_apps += 1
+        self.temps.append(fn)
+        try:
+            call_renv = self._bind_regions(fn, t.rargs, renv)
+            venv = dict(fn.venv)
+            venv[fn.fname] = fn
+            region = self.alloc(t.rho, renv, 1 + len(venv) + len(call_renv))
+        finally:
+            self.temps.pop()
+        return RClos(fn.param, fn.body, venv, call_renv, region)
+
+    def _bind_regions(self, fn: RFunClos, rargs: tuple, renv: dict) -> dict:
+        call_renv = dict(fn.renv)
+        for idx, (formal, actual) in enumerate(zip(fn.rparams, rargs)):
+            if idx in fn.dropped:
+                self.stats.dropped_region_passes += 1
+                continue
+            call_renv[formal] = self.resolve(actual, renv)
+        return call_renv
+
+    def _app(self, t: T.App, env: dict, renv: dict):
+        if id(t) in self.prep.direct_calls:
+            return self._direct_call(t, env, renv)
+        fn = self.ev(t.fn, env, renv)
+        self.temps.append(fn)
+        try:
+            arg = self.ev(t.arg, env, renv)
+        finally:
+            self.temps.pop()
+        return self._invoke(fn, arg)
+
+    def _direct_call(self, t: T.App, env: dict, renv: dict):
+        """``(f [rhos] at r) arg`` without materializing the intermediate
+        specialized closure."""
+        rapp: T.RApp = t.fn  # type: ignore[assignment]
+        fn = env[rapp.fn.name]  # type: ignore[union-attr]
+        if not isinstance(fn, RFunClos):
+            raise RuntimeFault("region application of a non-fun value")
+        self.stats.direct_calls += 1
+        arg = self.ev(t.arg, env, renv)
+        self.temps.append(arg)
+        try:
+            call_renv = self._bind_regions(fn, rapp.rargs, renv)
+        finally:
+            self.temps.pop()
+        call_env = dict(fn.venv)
+        call_env[fn.fname] = fn
+        call_env[fn.param] = arg
+        return self._enter(fn.body, call_env, call_renv)
+
+    def _invoke(self, fn, arg):
+        if isinstance(fn, RClos):
+            call_env = dict(fn.venv)
+            call_env[fn.param] = arg
+            return self._enter(fn.body, call_env, fn.renv)
+        if isinstance(fn, RFunClos):
+            # A fun used monomorphically (no region parameters).
+            call_env = dict(fn.venv)
+            call_env[fn.fname] = fn
+            call_env[fn.param] = arg
+            return self._enter(fn.body, call_env, fn.renv)
+        raise RuntimeFault("application of a non-function value")
+
+    def _enter(self, body: T.Term, call_env: dict, call_renv: dict):
+        self.depth += 1
+        if self.depth > self.flags.max_depth:
+            self.depth -= 1
+            raise InterpreterLimit(f"call depth exceeded ({self.flags.max_depth})")
+        self.env_stack.append(call_env)
+        try:
+            return self.ev(body, call_env, dict(call_renv))
+        finally:
+            self.env_stack.pop()
+            self.depth -= 1
+
+    # -- primitives --------------------------------------------------------------------
+
+    def _prim(self, t: T.Prim, env: dict, renv: dict):
+        op = t.op
+        args = []
+        pushed = 0
+        try:
+            for a in t.args:
+                v = self.ev(a, env, renv)
+                args.append(v)
+                self.temps.append(v)
+                pushed += 1
+            return self._apply_prim(op, args, t.rho, renv)
+        finally:
+            for _ in range(pushed):
+                self.temps.pop()
+
+    def _apply_prim(self, op: str, args: list, rho: Optional[RegionVar], renv: dict):
+        if op == "add":
+            return args[0] + args[1]
+        if op == "sub":
+            return args[0] - args[1]
+        if op == "mul":
+            return args[0] * args[1]
+        if op == "div":
+            if args[1] == 0:
+                raise RuntimeFault("Div: division by zero")
+            return _sml_div(args[0], args[1])
+        if op == "mod":
+            if args[1] == 0:
+                raise RuntimeFault("Mod: modulo by zero")
+            return args[0] - _sml_div(args[0], args[1]) * args[1]
+        if op == "neg":
+            return -args[0]
+        if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+            a, b = args
+            ka = a.value if isinstance(a, (RStr, RReal)) else a
+            kb = b.value if isinstance(b, (RStr, RReal)) else b
+            if ka is UNIT or kb is UNIT:
+                ka = kb = 0  # unit = unit
+            if op == "lt":
+                return ka < kb
+            if op == "le":
+                return ka <= kb
+            if op == "gt":
+                return ka > kb
+            if op == "ge":
+                return ka >= kb
+            if op == "eq":
+                return ka == kb
+            return ka != kb
+        if op in ("radd", "rsub", "rmul", "rdiv"):
+            a, b = args[0].value, args[1].value
+            if op == "radd":
+                out = a + b
+            elif op == "rsub":
+                out = a - b
+            elif op == "rmul":
+                out = a * b
+            else:
+                if b == 0.0:
+                    raise RuntimeFault("Div: real division by zero")
+                out = a / b
+            region = self.alloc(rho, renv, 1)
+            return RReal(out, region)
+        if op in ("rneg", "sqrt", "rsin", "rcos", "ratan", "rexp", "rln", "rabs"):
+            import math
+
+            x = args[0].value
+            if op == "rneg":
+                out = -x
+            elif op == "sqrt":
+                out = math.sqrt(x)
+            elif op == "rsin":
+                out = math.sin(x)
+            elif op == "rcos":
+                out = math.cos(x)
+            elif op == "ratan":
+                out = math.atan(x)
+            elif op == "rexp":
+                out = math.exp(x)
+            elif op == "rln":
+                out = math.log(x)
+            else:
+                out = abs(x)
+            region = self.alloc(rho, renv, 1)
+            return RReal(out, region)
+        if op == "real":
+            region = self.alloc(rho, renv, 1)
+            return RReal(float(args[0]), region)
+        if op == "floor":
+            import math
+
+            return math.floor(args[0].value)
+        if op == "round":
+            return round(args[0].value)
+        if op == "trunc":
+            return int(args[0].value)
+        if op == "concat":
+            s = args[0].value + args[1].value
+            region = self.alloc(rho, renv, 1 + (len(s) + 7) // 8)
+            return RStr(s, region)
+        if op == "size":
+            return len(args[0].value)
+        if op == "int_to_string":
+            s = str(args[0]) if args[0] >= 0 else f"~{-args[0]}"
+            region = self.alloc(rho, renv, 1 + (len(s) + 7) // 8)
+            return RStr(s, region)
+        if op == "real_to_string":
+            s = repr(args[0].value)
+            region = self.alloc(rho, renv, 1 + (len(s) + 7) // 8)
+            return RStr(s, region)
+        if op == "print":
+            self.output.append(args[0].value)
+            return UNIT
+        if op == "not":
+            return not args[0]
+        if op == "null":
+            return isinstance(args[0], Nil)
+        if op == "hd":
+            if isinstance(args[0], Nil):
+                raise RuntimeFault("Empty: hd of nil")
+            return args[0].head
+        if op == "tl":
+            if isinstance(args[0], Nil):
+                raise RuntimeFault("Empty: tl of nil")
+            return args[0].tail
+        raise RuntimeFault(f"unknown primitive {op}")
+
+
+def _sml_div(a: int, b: int) -> int:
+    """SML div truncates towards negative infinity (like Python)."""
+    return a // b
+
+
+_MISSING = object()
+
+
+def run_term(
+    term: T.Term,
+    strategy: Strategy,
+    runtime: RuntimeFlags,
+    multiplicity=None,
+    drop_regions=None,
+) -> tuple[object, str, RunStats]:
+    """Evaluate a region-annotated program; returns (value, stdout, stats)."""
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(min(1_000_000, runtime.max_depth * 10 + 10_000))
+    try:
+        interp = Interp(term, strategy, runtime, multiplicity, drop_regions)
+        value = interp.run()
+        return value, "".join(interp.output), interp.stats
+    finally:
+        sys.setrecursionlimit(old_limit)

@@ -1,0 +1,270 @@
+"""The paper's small-step contextual dynamic semantics (Figures 5-6),
+executable.
+
+``step(e, phi)`` performs one reduction of a closed region-annotated term
+given the set ``phi`` of currently allocated regions; evaluation contexts
+are realized by recursive descent (the [Ctx] rule), with ``letregion``
+extending ``phi`` for its body exactly as the ``E_phi`` grammar
+prescribes.  Unlike Helsen and Thiemann's semantics, values in
+deallocated regions are not "nulled out": access is ruled out by the
+allocated-region set, and violations raise loudly.
+
+This machine exists to *test the metatheory*:
+
+* type preservation (Proposition 18) — every step preserves ``pi``;
+* progress (Proposition 19) — a well-typed non-value always steps;
+* containment (Theorem 2) — ``phi |=c e`` is preserved, which is the
+  property that makes interleaving a tracing collector with evaluation
+  safe.
+
+It covers the paper's core calculus plus the value-like extensions needed
+by the examples (booleans, strings, conditionals, non-allocating and
+allocating primitives, lists).  References and exceptions are exercised
+by the big-step machine only, as in the paper's formalism.
+
+It is deliberately *slow* (term rewriting with substitution); use
+:mod:`repro.runtime.interp` for anything measured.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core import terms as T
+from ..core.effects import RegionVar, RHO_TOP
+from ..core.errors import RuntimeFault, UseAfterFreeError
+from ..core.substitution import Subst
+
+__all__ = ["step", "evaluate", "trace", "StuckError"]
+
+
+class StuckError(RuntimeFault):
+    """No rule applies: the progress property failed (a bug somewhere)."""
+
+
+def _alloc_guard(rho: RegionVar, phi: frozenset, what: str) -> None:
+    if rho != RHO_TOP and rho not in phi:
+        raise UseAfterFreeError(
+            f"{what} at {rho.display()} outside the allocated set — the "
+            "region is deallocated or was never allocated"
+        )
+
+
+def step(e: T.Term, phi: frozenset) -> Optional[T.Term]:
+    """One reduction step; ``None`` when ``e`` is a value."""
+    if T.is_value(e):
+        return None
+
+    # -- allocation rules ------------------------------------------------------
+    if isinstance(e, T.Lam):
+        _alloc_guard(e.rho, phi, "closure allocation")
+        return T.VClos(e.param, e.body, e.rho, e.mu)
+    if isinstance(e, T.FunDef):
+        _alloc_guard(e.rho, phi, "fun-closure allocation")
+        return T.VFunClos(e.fname, e.rparams, e.param, e.body, e.rho, e.pi)
+    if isinstance(e, T.IntLit):
+        return T.VInt(e.value)
+    if isinstance(e, T.BoolLit):
+        return T.VBool(e.value)
+    if isinstance(e, T.UnitLit):
+        return T.VUnit()
+    if isinstance(e, T.NilLit):
+        return T.VNil(e.mu)
+    if isinstance(e, T.StringLit):
+        _alloc_guard(e.rho, phi, "string allocation")
+        return T.VStr(e.value, e.rho)
+    if isinstance(e, T.RealLit):
+        _alloc_guard(e.rho, phi, "real allocation")
+        return T.VReal(e.value, e.rho)
+    if isinstance(e, T.Pair):
+        if not T.is_value(e.fst):
+            inner = step(e.fst, phi)
+            return T.Pair(inner, e.snd, e.rho)
+        if not T.is_value(e.snd):
+            inner = step(e.snd, phi)
+            return T.Pair(e.fst, inner, e.rho)
+        _alloc_guard(e.rho, phi, "pair allocation")
+        return T.VPair(e.fst, e.snd, e.rho)
+    if isinstance(e, T.Cons):
+        if not T.is_value(e.head):
+            return T.Cons(step(e.head, phi), e.tail, e.rho)
+        if not T.is_value(e.tail):
+            return T.Cons(e.head, step(e.tail, phi), e.rho)
+        _alloc_guard(e.rho, phi, "cons allocation")
+        return T.VCons(e.head, e.tail, e.rho)
+
+    # -- letregion: [Reg] plus context descent with phi extended ------------------
+    if isinstance(e, T.Letregion):
+        if T.is_value(e.body):
+            return e.body  # [Reg]: deallocate and return the value
+        inner_phi = phi | set(e.rhos)
+        return T.Letregion(e.rhos, step(e.body, inner_phi))
+
+    # -- reductions -----------------------------------------------------------------
+    if isinstance(e, T.App):
+        if not T.is_value(e.fn):
+            return T.App(step(e.fn, phi), e.arg)
+        if not T.is_value(e.arg):
+            return T.App(e.fn, step(e.arg, phi))
+        fn = e.fn
+        if isinstance(fn, T.VClos):
+            _alloc_guard(fn.rho, phi, "closure access")
+            return T.subst_value(fn.body, fn.param, e.arg)
+        if isinstance(fn, T.VFunClos) and not fn.rparams:
+            # A degenerate region application was elided: unroll in place.
+            _alloc_guard(fn.rho, phi, "fun access")
+            unrolled = T.subst_value(fn.body, fn.fname, fn)
+            return T.App(T.VClos(fn.param, unrolled, fn.rho, _arrow_mu_of(fn)), e.arg)
+        raise StuckError(f"application of a non-closure {type(fn).__name__}")
+    if isinstance(e, T.RApp):
+        if not T.is_value(e.fn):
+            return T.RApp(step(e.fn, phi), e.rargs, e.rho, e.inst)
+        fn = e.fn
+        if not isinstance(fn, T.VFunClos):
+            raise StuckError("region application of a non-fun value")
+        _alloc_guard(fn.rho, phi, "fun access")
+        _alloc_guard(e.rho, phi, "specialized-closure allocation")
+        # [Rapp]: lambda x . e[rvec'/rvec][<fun ...>/f] at rho — we apply
+        # the full recorded instantiation so annotations stay well-typed
+        # (Propositions 11-12 in the preservation proof).
+        body = T.apply_subst_term(e.inst, fn.body)
+        body = T.subst_value(body, fn.fname, fn)
+        inst_pi = e.inst.tau(fn.pi.scheme.body)
+        from ..core.rtypes import MuBoxed
+
+        mu = MuBoxed(inst_pi, e.rho)
+        return T.Lam(fn.param, body, e.rho, mu)
+    if isinstance(e, T.Let):
+        if not T.is_value(e.rhs):
+            return T.Let(e.name, step(e.rhs, phi), e.body)
+        return T.subst_value(e.body, e.name, e.rhs)
+    if isinstance(e, T.Select):
+        if not T.is_value(e.pair):
+            return T.Select(e.index, step(e.pair, phi))
+        pair = e.pair
+        if not isinstance(pair, T.VPair):
+            raise StuckError("projection from a non-pair")
+        _alloc_guard(pair.rho, phi, "pair access")
+        return pair.fst if e.index == 1 else pair.snd
+    if isinstance(e, T.If):
+        if not T.is_value(e.cond):
+            return T.If(step(e.cond, phi), e.then, e.els)
+        if not isinstance(e.cond, T.VBool):
+            raise StuckError("if on a non-boolean")
+        return e.then if e.cond.value else e.els
+    if isinstance(e, T.Prim):
+        new_args = []
+        stepped = False
+        for a in e.args:
+            if not stepped and not T.is_value(a):
+                new_args.append(step(a, phi))
+                stepped = True
+            else:
+                new_args.append(a)
+        if stepped:
+            return T.Prim(e.op, tuple(new_args), e.rho)
+        return _prim_reduce(e, phi)
+
+    raise StuckError(f"no rule for {type(e).__name__}")
+
+
+def _arrow_mu_of(fn: T.VFunClos):
+    from ..core.rtypes import MuBoxed
+
+    return MuBoxed(fn.pi.scheme.body, fn.rho)
+
+
+def _prim_reduce(e: T.Prim, phi: frozenset) -> T.Term:
+    op = e.op
+    args = e.args
+
+    def ival(v: T.Term) -> int:
+        assert isinstance(v, T.VInt), f"expected int, got {v!r}"
+        return v.value
+
+    if op in ("add", "sub", "mul", "div", "mod", "neg"):
+        if op == "neg":
+            return T.VInt(-ival(args[0]))
+        a, b = ival(args[0]), ival(args[1])
+        if op == "add":
+            return T.VInt(a + b)
+        if op == "sub":
+            return T.VInt(a - b)
+        if op == "mul":
+            return T.VInt(a * b)
+        if b == 0:
+            raise RuntimeFault("division by zero")
+        return T.VInt(a // b if op == "div" else a - (a // b) * b)
+    if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+        a, b = args
+
+        def key(v):
+            if isinstance(v, (T.VStr, T.VReal)):
+                _alloc_guard(v.rho, phi, "boxed access")
+                return v.value
+            if isinstance(v, (T.VInt, T.VBool)):
+                return v.value
+            if isinstance(v, T.VUnit):
+                return 0
+            raise StuckError(f"comparison of {type(v).__name__}")
+
+        ka, kb = key(a), key(b)
+        out = {
+            "lt": ka < kb, "le": ka <= kb, "gt": ka > kb,
+            "ge": ka >= kb, "eq": ka == kb, "ne": ka != kb,
+        }[op]
+        return T.VBool(out)
+    if op == "concat":
+        a, b = args
+        assert isinstance(a, T.VStr) and isinstance(b, T.VStr)
+        _alloc_guard(a.rho, phi, "string access")
+        _alloc_guard(b.rho, phi, "string access")
+        _alloc_guard(e.rho, phi, "string allocation")
+        return T.VStr(a.value + b.value, e.rho)
+    if op == "size":
+        (a,) = args
+        assert isinstance(a, T.VStr)
+        _alloc_guard(a.rho, phi, "string access")
+        return T.VInt(len(a.value))
+    if op == "not":
+        (a,) = args
+        assert isinstance(a, T.VBool)
+        return T.VBool(not a.value)
+    if op == "null":
+        (a,) = args
+        return T.VBool(isinstance(a, T.VNil))
+    if op == "hd":
+        (a,) = args
+        if not isinstance(a, T.VCons):
+            raise RuntimeFault("hd of nil")
+        _alloc_guard(a.rho, phi, "cons access")
+        return a.head
+    if op == "tl":
+        (a,) = args
+        if not isinstance(a, T.VCons):
+            raise RuntimeFault("tl of nil")
+        _alloc_guard(a.rho, phi, "cons access")
+        return a.tail
+    raise StuckError(f"small-step machine does not implement primitive {op}")
+
+
+def trace(term: T.Term, max_steps: int = 100_000) -> Iterator[T.Term]:
+    """Yield the reduction sequence starting from ``term`` (inclusive)."""
+    phi: frozenset = frozenset({RHO_TOP})
+    current = term
+    yield current
+    for _ in range(max_steps):
+        nxt = step(current, phi)
+        if nxt is None:
+            return
+        current = nxt
+        yield current
+    raise RuntimeFault(f"small-step budget exceeded ({max_steps})")
+
+
+def evaluate(term: T.Term, max_steps: int = 100_000) -> T.Term:
+    """Run to a value (or raise)."""
+    last = term
+    for t in trace(term, max_steps):
+        last = t
+    return last

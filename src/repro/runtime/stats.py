@@ -1,0 +1,47 @@
+"""Execution statistics: the measurable quantities behind Figure 9.
+
+* ``peak_words`` is our analogue of the paper's ``rss`` column: the
+  maximum number of live heap words (region pages + finite stack words)
+  observed at any point.
+* ``gc_count`` is the ``gc #`` column.
+* ``steps`` (interpreter nodes evaluated) provides a deterministic
+  machine-independent time proxy next to wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    steps: int = 0
+    allocations: int = 0
+    allocated_words: int = 0
+    peak_words: int = 0
+    current_words: int = 0
+    gc_count: int = 0
+    gc_minor_count: int = 0
+    gc_traced_words: int = 0
+    gc_reclaimed_words: int = 0
+    letregions: int = 0
+    region_apps: int = 0
+    direct_calls: int = 0
+    finite_allocations: int = 0
+    infinite_regions_created: int = 0
+    finite_regions_created: int = 0
+    max_region_stack: int = 0
+    dropped_region_passes: int = 0
+
+    def to_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def summary(self) -> str:
+        return (
+            f"steps={self.steps} allocs={self.allocations} "
+            f"alloc_words={self.allocated_words} peak_words={self.peak_words} "
+            f"gc={self.gc_count} (minor {self.gc_minor_count}) "
+            f"letregions={self.letregions}"
+        )

@@ -1,0 +1,235 @@
+"""Runtime values of the region abstract machine.
+
+Unboxed values are plain Python objects: ``int`` and ``bool`` for
+MiniML's ``int``/``bool`` (ints are *tagged* immediates in the MLKit's
+partly tag-free scheme — Section 6), the singletons :data:`UNIT` and
+:data:`NIL`.  Boxed values carry the :class:`~repro.runtime.heap.Region`
+they live in and an abstract size in words; they are what the collector
+traces.  Pairs, cons cells, reference cells, and reals are *tag-free*
+(no header word) under the region-type discipline, which is the
+representation saving the paper's Section 6 mentions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Unit",
+    "UNIT",
+    "Nil",
+    "NIL",
+    "RBox",
+    "RStr",
+    "RReal",
+    "RPair",
+    "RCons",
+    "RClos",
+    "RFunClos",
+    "RRef",
+    "RData",
+    "RExn",
+    "is_boxed",
+    "words_of",
+    "show_value",
+]
+
+
+class Unit:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "()"
+
+
+class Nil:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "[]"
+
+
+UNIT = Unit()
+NIL = Nil()
+
+
+class RBox:
+    """Base class of boxed (region-allocated, traced) values."""
+
+    __slots__ = ("region", "gen")
+
+    def __init__(self, region) -> None:
+        self.region = region
+        self.gen = 0  # generation for the generational collector
+
+
+class RStr(RBox):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, region) -> None:
+        super().__init__(region)
+        self.value = value
+
+    def words(self) -> int:
+        return 1 + (len(self.value) + 7) // 8
+
+
+class RReal(RBox):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, region) -> None:
+        super().__init__(region)
+        self.value = value
+
+    def words(self) -> int:
+        return 1
+
+
+class RPair(RBox):
+    __slots__ = ("fst", "snd")
+
+    def __init__(self, fst, snd, region) -> None:
+        super().__init__(region)
+        self.fst = fst
+        self.snd = snd
+
+    def words(self) -> int:
+        return 2
+
+
+class RCons(RBox):
+    __slots__ = ("head", "tail")
+
+    def __init__(self, head, tail, region) -> None:
+        super().__init__(region)
+        self.head = head
+        self.tail = tail
+
+    def words(self) -> int:
+        return 2
+
+
+class RClos(RBox):
+    """An ordinary closure: code pointer plus captured values/regions."""
+
+    __slots__ = ("param", "body", "venv", "renv")
+
+    def __init__(self, param, body, venv: dict, renv: dict, region) -> None:
+        super().__init__(region)
+        self.param = param
+        self.body = body
+        self.venv = venv
+        self.renv = renv
+
+    def words(self) -> int:
+        return 1 + len(self.venv) + len(self.renv)
+
+
+class RFunClos(RBox):
+    """A region-polymorphic function closure (awaits region arguments).
+
+    ``dropped`` is the set of region-parameter indices the drop-regions
+    analysis proved are never stored into; the runtime skips passing
+    those (paper Section 4.2).
+    """
+
+    __slots__ = ("fname", "rparams", "param", "body", "venv", "renv", "dropped")
+
+    def __init__(self, fname, rparams, param, body, venv: dict, renv: dict,
+                 region, dropped: frozenset = frozenset()) -> None:
+        super().__init__(region)
+        self.fname = fname
+        self.rparams = rparams
+        self.param = param
+        self.body = body
+        self.venv = venv
+        self.renv = renv
+        self.dropped = dropped
+
+    def words(self) -> int:
+        return 1 + len(self.venv) + len(self.renv)
+
+
+class RRef(RBox):
+    __slots__ = ("contents",)
+
+    def __init__(self, contents, region) -> None:
+        super().__init__(region)
+        self.contents = contents
+
+    def words(self) -> int:
+        return 1
+
+
+class RData(RBox):
+    """A datatype value: constructor name plus optional payload."""
+
+    __slots__ = ("conname", "payload")
+
+    def __init__(self, conname: str, payload, region) -> None:
+        super().__init__(region)
+        self.conname = conname
+        self.payload = payload
+
+    def words(self) -> int:
+        return 2
+
+
+class RExn(RBox):
+    """An exception value: generative stamp, name, optional payload."""
+
+    __slots__ = ("stamp", "name", "payload")
+
+    def __init__(self, stamp: int, name: str, payload, region) -> None:
+        super().__init__(region)
+        self.stamp = stamp
+        self.name = name
+        self.payload = payload
+
+    def words(self) -> int:
+        return 2
+
+
+def is_boxed(v) -> bool:
+    return isinstance(v, RBox)
+
+
+def words_of(v) -> int:
+    return v.words() if isinstance(v, RBox) else 0
+
+
+def show_value(v, depth: int = 0) -> str:
+    """Render a runtime value like an ML toplevel would."""
+    if depth > 6:
+        return "..."
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, int):
+        return str(v) if v >= 0 else f"~{-v}"
+    if isinstance(v, Unit):
+        return "()"
+    if isinstance(v, Nil):
+        return "[]"
+    if isinstance(v, RStr):
+        return f'"{v.value}"'
+    if isinstance(v, RReal):
+        return repr(v.value)
+    if isinstance(v, RPair):
+        return f"({show_value(v.fst, depth + 1)}, {show_value(v.snd, depth + 1)})"
+    if isinstance(v, RCons):
+        items = []
+        node = v
+        while isinstance(node, RCons) and len(items) < 24:
+            items.append(show_value(node.head, depth + 1))
+            node = node.tail
+        suffix = "" if isinstance(node, Nil) else ", ..."
+        return "[" + ", ".join(items) + suffix + "]"
+    if isinstance(v, (RClos, RFunClos)):
+        return "fn"
+    if isinstance(v, RRef):
+        return f"ref {show_value(v.contents, depth + 1)}"
+    if isinstance(v, RExn):
+        return f"exn {v.name}"
+    if isinstance(v, RData):
+        if v.payload is None:
+            return v.conname
+        return f"{v.conname} {show_value(v.payload, depth + 1)}"
+    return repr(v)

@@ -1,0 +1,197 @@
+"""The paper's running example, hand-elaborated: region type schemes
+(1), (2), and (3) for the composition function ``o`` (Section 2), the
+Figure 2 programs, and the coverage check that separates sound from
+unsound annotations."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.containment import check_coverage, is_covered
+from repro.core.effects import ArrowEffect, EffectVar, RegionVar, effect
+from repro.core.errors import CoverageError, RegionTypeError
+from repro.core.instantiation import instantiate
+from repro.core.rtypes import (
+    EMPTY_CTX,
+    MU_UNIT,
+    MuBoxed,
+    MuVar,
+    PiScheme,
+    Scheme,
+    TAU_STRING,
+    TauArrow,
+    TauPair,
+    TyCtx,
+    TyVar,
+)
+from repro.core.substitution import Subst
+from repro.core.typecheck import typecheck
+
+# Variables mirroring the paper's notation.
+EPS = EffectVar(101, "e")
+EPS0 = EffectVar(102, "e0")
+EPS1 = EffectVar(103, "e1")
+EPS2 = EffectVar(104, "e2")
+EPSP = EffectVar(105, "e'")          # the secondary effect variable of (2)
+RHO0 = RegionVar(111, "rho0")
+RHO1 = RegionVar(112, "rho1")
+RHO2 = RegionVar(113, "rho2")
+RHO3 = RegionVar(114, "rho3")
+RHO_O = RegionVar(115, "rho_o")      # where the closure for `o` itself lives
+ALPHA = TyVar(121, "'a")
+BETA = TyVar(122, "'b")
+GAMMA = TyVar(123, "'c")
+
+
+def _compose_types(result_latent):
+    """The domain, result, and outer arrow of `o`'s scheme body."""
+    f_mu = MuBoxed(TauArrow(MuVar(GAMMA), ArrowEffect(EPS2), MuVar(BETA)), RHO2)
+    g_mu = MuBoxed(TauArrow(MuVar(ALPHA), ArrowEffect(EPS1), MuVar(GAMMA)), RHO1)
+    dom = MuBoxed(TauPair(f_mu, g_mu), RHO0)
+    cod = MuBoxed(
+        TauArrow(MuVar(ALPHA), ArrowEffect(EPS, frozenset(result_latent)), MuVar(BETA)),
+        RHO3,
+    )
+    outer = TauArrow(dom, ArrowEffect(EPS0, effect(RHO0, RHO3)), cod)
+    return dom, cod, outer
+
+
+def scheme_1() -> Scheme:
+    """Type scheme (1): the original, unsound scheme — `'c` is a plain
+    quantified type variable with no arrow effect."""
+    _, _, outer = _compose_types([EPS1, EPS2, RHO1, RHO2])
+    return Scheme(
+        rvars=(RHO0, RHO1, RHO2, RHO3),
+        evars=(EPS, EPS0, EPS1, EPS2),
+        tvars=(ALPHA, BETA, GAMMA),
+        delta=EMPTY_CTX,
+        body=outer,
+    )
+
+
+def scheme_2() -> Scheme:
+    """Type scheme (2): `'c` carries the secondary arrow effect e'.{},
+    and e' is added to the latent effect of the result arrow."""
+    _, _, outer = _compose_types([EPS1, EPS2, EPSP, RHO1, RHO2])
+    return Scheme(
+        rvars=(RHO0, RHO1, RHO2, RHO3),
+        evars=(EPS, EPS0, EPS1, EPS2, EPSP),
+        tvars=(ALPHA, BETA),
+        delta=TyCtx({GAMMA: ArrowEffect(EPSP)}),
+        body=outer,
+    )
+
+
+def scheme_3() -> Scheme:
+    """Type scheme (3): `'c`'s arrow effect is *identified* with the
+    arrow effect of the result function — no secondary effect variable."""
+    latent = [EPS1, EPS2, RHO1, RHO2]
+    _, _, outer = _compose_types(latent)
+    return Scheme(
+        rvars=(RHO0, RHO1, RHO2, RHO3),
+        evars=(EPS, EPS0, EPS1, EPS2),
+        tvars=(ALPHA, BETA),
+        delta=TyCtx({GAMMA: ArrowEffect(EPS, frozenset(latent))}),
+        body=outer,
+    )
+
+
+def compose_fundef(sigma: Scheme) -> T.FunDef:
+    """``fun o [rho0,rho1,rho2,rho3] p = let f = #1 p in let g = #2 p in
+    (fn a => f (g a)) at rho3``, annotated with the given scheme."""
+    cod = sigma.body.cod
+    inner_lam = T.Lam(
+        "a",
+        T.App(T.Var("f"), T.App(T.Var("g"), T.Var("a"))),
+        RHO3,
+        cod,
+    )
+    body = T.Let("f", T.Select(1, T.Var("p")), T.Let("g", T.Select(2, T.Var("p")), inner_lam))
+    return T.FunDef("o", (RHO0, RHO1, RHO2, RHO3), "p", body, RHO_O, PiScheme(sigma, RHO_O))
+
+
+class TestSchemeTypability:
+    """Which of the paper's three schemes the Figure 4 rules accept."""
+
+    def test_scheme_2_is_accepted(self):
+        from repro.core.rtypes import MU_INT
+
+        program = T.Letregion((RHO_O,), T.Let("o", compose_fundef(scheme_2()), T.IntLit(0)))
+        result = typecheck(program)
+        assert result.pi == MU_INT
+
+    def test_scheme_3_is_accepted(self):
+        program = T.Letregion((RHO_O,), T.Let("o", compose_fundef(scheme_3()), T.IntLit(0)))
+        typecheck(program)
+
+    def test_scheme_1_is_rejected(self):
+        """Scheme (1) leaves 'c untracked although it occurs in the type of
+        the captured variable f but not in the inner lambda's own type —
+        the GC-safety relation fails, which is the paper's Section 2
+        diagnosis."""
+        program = T.Letregion((RHO_O,), T.Let("o", compose_fundef(scheme_1()), T.IntLit(0)))
+        with pytest.raises(RegionTypeError, match="GC-safety|spurious"):
+            typecheck(program)
+
+
+class TestInstantiationCoverage:
+    """Figure 1's instantiation: 'c := (string, rho) with rho local."""
+
+    RHO = RegionVar(200, "rho")
+
+    def _inst(self, covered: bool) -> Subst:
+        fresh = {
+            RHO0: RegionVar(201, "rho0'"),
+            RHO1: RegionVar(202, "rho1'"),
+            RHO2: RegionVar(203, "rho2'"),
+            RHO3: RegionVar(204, "rho3'"),
+        }
+        eps_p_latent = effect(self.RHO) if covered else frozenset()
+        return Subst(
+            ty={ALPHA: MU_UNIT, BETA: MU_UNIT, GAMMA: MuBoxed(TAU_STRING, self.RHO)},
+            rgn=fresh,
+            eff={
+                EPS: ArrowEffect(EffectVar(211, "e_i")),
+                EPS0: ArrowEffect(EffectVar(212, "e0_i")),
+                EPS1: ArrowEffect(EffectVar(213, "e1_i")),
+                EPS2: ArrowEffect(EffectVar(214, "e2_i")),
+                EPSP: ArrowEffect(EffectVar(215, "e'_i"), eps_p_latent),
+            },
+        )
+
+    def test_covered_instantiation_accepted_and_rho_becomes_visible(self):
+        tau = instantiate(EMPTY_CTX, scheme_2(), self._inst(covered=True))
+        # The region of the string instantiated for 'c flows into the
+        # latent effect of the resulting function type: exactly the
+        # mechanism that keeps rho alive while h is alive (Figure 2(b)).
+        assert self.RHO in tau.cod.tau.arrow.latent
+
+    def test_uncovered_instantiation_rejected(self):
+        with pytest.raises(CoverageError):
+            instantiate(EMPTY_CTX, scheme_2(), self._inst(covered=False))
+
+    def test_is_covered_helper(self):
+        delta = TyCtx({GAMMA: ArrowEffect(EffectVar(215, "e'_i"), effect(self.RHO))})
+        ok = Subst(ty={GAMMA: MuBoxed(TAU_STRING, self.RHO)})
+        bad = Subst(ty={GAMMA: MuBoxed(TAU_STRING, RegionVar(999))})
+        assert is_covered(EMPTY_CTX, ok, delta)
+        assert not is_covered(EMPTY_CTX, bad, delta)
+
+    def test_unit_instantiation_needs_no_coverage(self):
+        """Instantiating 'c with an unboxed type imposes nothing."""
+        delta = TyCtx({GAMMA: ArrowEffect(EffectVar(216))})
+        check_coverage(EMPTY_CTX, Subst(ty={GAMMA: MU_UNIT}), delta)
+
+    def test_transitive_spuriousness_strictness(self):
+        """A type variable occurring in a type instantiated for a spurious
+        type variable must itself be tracked (Section 4.3): coverage is
+        strict about untracked type variables."""
+        other = TyVar(300, "'d")
+        delta = TyCtx({GAMMA: ArrowEffect(EffectVar(216))})
+        with pytest.raises(CoverageError):
+            check_coverage(EMPTY_CTX, Subst(ty={GAMMA: MuVar(other)}), delta)
+        # ... but is satisfied when the inner variable is tracked and its
+        # effect is inside the budget.
+        eps_d = EffectVar(301, "e_d")
+        omega = TyCtx({other: ArrowEffect(eps_d)})
+        delta_ok = TyCtx({GAMMA: ArrowEffect(EffectVar(216), effect(eps_d))})
+        check_coverage(omega, Subst(ty={GAMMA: MuVar(other)}), delta_ok)

@@ -1,0 +1,140 @@
+"""Unit tests for the region/effect algebra (paper Section 3.1, 3.5)."""
+
+import pytest
+
+from repro.core.effects import (
+    ArrowEffect,
+    EffectBasis,
+    EffectVar,
+    EMPTY_EFFECT,
+    EPS_TOP,
+    RegionVar,
+    RHO_TOP,
+    VarSupply,
+    effect,
+    effectvars_of,
+    regions_of,
+    show_effect,
+)
+
+
+class TestVariables:
+    def test_region_identity_ignores_name(self):
+        assert RegionVar(3, "rho") == RegionVar(3, "other")
+        assert hash(RegionVar(3, "rho")) == hash(RegionVar(3, "other"))
+
+    def test_region_and_effect_vars_distinct(self):
+        assert RegionVar(1) != EffectVar(1)
+
+    def test_top_flag_not_part_of_identity(self):
+        assert RegionVar(5, top=True) == RegionVar(5, top=False)
+
+    def test_supply_produces_distinct_idents(self):
+        supply = VarSupply()
+        seen = {supply.fresh_region().ident for _ in range(50)}
+        seen |= {supply.fresh_effectvar().ident for _ in range(50)}
+        assert len(seen) == 100
+
+    def test_supply_never_reuses_reserved_zero(self):
+        supply = VarSupply()
+        assert supply.fresh_region().ident != RHO_TOP.ident
+
+    def test_supply_start_floor(self):
+        supply = VarSupply(start=100)
+        assert supply.fresh_region().ident >= 100
+
+
+class TestEffects:
+    def test_effect_builder(self):
+        r = RegionVar(1)
+        e = EffectVar(2)
+        assert effect(r, e) == frozenset({r, e})
+
+    def test_regions_and_effectvars_partition(self):
+        r1, r2 = RegionVar(1), RegionVar(2)
+        e1 = EffectVar(3)
+        phi = effect(r1, r2, e1)
+        assert regions_of(phi) == {r1, r2}
+        assert effectvars_of(phi) == {e1}
+
+    def test_show_effect_deterministic(self):
+        r1, r2 = RegionVar(2, "r2"), RegionVar(1, "r1")
+        e = EffectVar(3, "e3")
+        assert show_effect(effect(r1, r2, e)) == "{r1,r2,e3}"
+
+
+class TestArrowEffects:
+    def test_frev_includes_handle(self):
+        eps = EffectVar(1)
+        rho = RegionVar(2)
+        ae = ArrowEffect(eps, effect(rho))
+        assert ae.frev() == {eps, rho}
+
+    def test_widen(self):
+        eps = EffectVar(1)
+        rho = RegionVar(2)
+        ae = ArrowEffect(eps).widen([rho])
+        assert ae.latent == {rho}
+        assert ae.handle == eps
+
+    def test_handle_must_be_effect_var(self):
+        with pytest.raises(TypeError):
+            ArrowEffect(RegionVar(1))
+
+    def test_latent_coerced_to_frozenset(self):
+        ae = ArrowEffect(EffectVar(1), {RegionVar(2)})
+        assert isinstance(ae.latent, frozenset)
+
+
+class TestEffectBasis:
+    def test_functional_basis_accepts_repeats(self):
+        eps = EffectVar(1)
+        rho = RegionVar(2)
+        basis = EffectBasis()
+        basis.record(ArrowEffect(eps, effect(rho)))
+        basis.record(ArrowEffect(eps, effect(rho)))
+        assert basis[eps] == {rho}
+
+    def test_functional_basis_rejects_conflicts(self):
+        eps = EffectVar(1)
+        basis = EffectBasis()
+        basis.record(ArrowEffect(eps, effect(RegionVar(2))))
+        with pytest.raises(ValueError):
+            basis.record(ArrowEffect(eps, effect(RegionVar(3))))
+
+    def test_transitivity_check_flags_violation(self):
+        e1, e2 = EffectVar(1), EffectVar(2)
+        rho = RegionVar(3)
+        basis = EffectBasis()
+        basis.record(ArrowEffect(e1, effect(e2)))       # e1 contains e2 ...
+        basis.record(ArrowEffect(e2, effect(rho)))      # ... whose rho e1 misses
+        assert basis.check_transitive()
+
+    def test_transitivity_check_accepts_closed(self):
+        e1, e2 = EffectVar(1), EffectVar(2)
+        rho = RegionVar(3)
+        basis = EffectBasis()
+        basis.record(ArrowEffect(e1, effect(e2, rho)))
+        basis.record(ArrowEffect(e2, effect(rho)))
+        assert basis.check_transitive() == []
+
+    def test_closure_follows_chains(self):
+        e1, e2, e3 = EffectVar(1), EffectVar(2), EffectVar(3)
+        r = RegionVar(4)
+        basis = EffectBasis()
+        basis.record(ArrowEffect(e1, effect(e2)))
+        basis.record(ArrowEffect(e2, effect(e3)))
+        basis.record(ArrowEffect(e3, effect(r)))
+        assert basis.closure(effect(e1)) == {e1, e2, e3, r}
+
+    def test_closure_handles_cycles(self):
+        e1, e2 = EffectVar(1), EffectVar(2)
+        basis = EffectBasis()
+        basis.record(ArrowEffect(e1, effect(e2)))
+        basis.record(ArrowEffect(e2, effect(e1)))
+        assert basis.closure(effect(e1)) == {e1, e2}
+
+    def test_globals_are_marked_top(self):
+        assert RHO_TOP.top
+        assert EPS_TOP.top
+        assert not RegionVar(9).top

@@ -1,0 +1,144 @@
+"""Unit tests for value containment (Figure 3), context containment
+(Figure 7), and the GC-safety relation G (Section 3.7)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.effects import ArrowEffect, EffectVar, RegionVar, effect
+from repro.core.gcsafety import (
+    context_contained,
+    expr_contained,
+    gc_safe,
+    gc_safety_failures,
+    value_contained,
+)
+from repro.core.rtypes import (
+    EMPTY_CTX,
+    MU_INT,
+    MuBoxed,
+    MuVar,
+    TAU_STRING,
+    TauArrow,
+    TyCtx,
+    TyVar,
+    arrow_mu,
+)
+
+R1, R2, R3 = RegionVar(1, "r1"), RegionVar(2, "r2"), RegionVar(3, "r3")
+E1 = EffectVar(11, "e1")
+PHI = effect(R1, R2)
+
+
+def mk_mu(rho=R1):
+    return arrow_mu(MU_INT, ArrowEffect(E1), MU_INT, rho)
+
+
+class TestValueContainment:
+    def test_integers_always_contained(self):
+        assert value_contained(frozenset(), T.VInt(3))
+        assert value_contained(frozenset(), T.VBool(True))
+        assert value_contained(frozenset(), T.VUnit())
+
+    def test_boxed_needs_its_region(self):
+        assert value_contained(PHI, T.VStr("s", R1))
+        assert not value_contained(PHI, T.VStr("s", R3))
+
+    def test_pair_needs_components(self):
+        good = T.VPair(T.VStr("a", R1), T.VInt(1), R2)
+        bad = T.VPair(T.VStr("a", R3), T.VInt(1), R2)
+        assert value_contained(PHI, good)
+        assert not value_contained(PHI, bad)
+
+    def test_closure_checks_body(self):
+        body_ok = T.VStr("captured", R2)
+        body_bad = T.VStr("captured", R3)
+        assert value_contained(PHI, T.VClos("x", body_ok, R1, mk_mu()))
+        assert not value_contained(PHI, T.VClos("x", body_bad, R1, mk_mu()))
+
+    def test_fun_closure_region_params_must_be_fresh(self):
+        """Figure 3: <fun f [rvec] x = e>^rho requires {rvec} disjoint from
+        phi (the bound regions are not yet allocated)."""
+        from repro.core.rtypes import EMPTY_CTX as _E, PiScheme, Scheme
+
+        pi = PiScheme(Scheme((R2,), (), (), _E, mk_mu().tau), R1)
+        clos_bad = T.VFunClos("f", (R2,), "x", T.VInt(1), R1, pi)
+        assert not value_contained(PHI, clos_bad)  # R2 in phi
+        pi2 = PiScheme(Scheme((R3,), (), (), _E, mk_mu().tau), R1)
+        clos_ok = T.VFunClos("f", (R3,), "x", T.VInt(1), R1, pi2)
+        assert value_contained(PHI, clos_ok)
+
+
+class TestExprContainment:
+    def test_letregion_bound_region_must_be_fresh(self):
+        e = T.Letregion((R1,), T.IntLit(0))
+        assert not expr_contained(PHI, e)           # R1 already allocated
+        assert expr_contained(effect(R2), e)
+
+    def test_plain_terms_recurse(self):
+        e = T.Pair(T.VStr("a", R1), T.IntLit(2), R3)
+        assert expr_contained(PHI, e)  # the Pair's target rho is not a value
+        assert not expr_contained(effect(R3), e)    # the embedded VStr fails
+
+
+class TestContextContainment:
+    def test_letregion_extends_phi_on_the_spine(self):
+        """Figure 7: descending through letregion rho adds rho."""
+        e = T.Letregion((R3,), T.App(T.VClos("x", T.Var("x"), R3, mk_mu(R3)),
+                                     T.IntLit(1)))
+        assert context_contained(PHI, e)
+
+    def test_off_spine_values_use_plain_containment(self):
+        inner = T.Let("x", T.VStr("a", R3), T.Var("x"))
+        assert not context_contained(PHI, inner)
+
+    def test_values_left_of_the_hole_are_checked(self):
+        e = T.App(T.VClos("x", T.Var("x"), R3, mk_mu(R3)), T.IntLit(1))
+        assert not context_contained(PHI, e)
+        assert context_contained(PHI | {R3}, e)
+
+
+class TestGRelation:
+    def test_closed_body_is_safe(self):
+        assert gc_safe(EMPTY_CTX, {}, T.IntLit(1), frozenset({"x"}), mk_mu())
+
+    def test_free_var_with_visible_region_is_safe(self):
+        mu = mk_mu(R1)
+        gamma = {"y": MuBoxed(TAU_STRING, R1)}
+        assert gc_safe(EMPTY_CTX, gamma, T.Var("y"), frozenset({"x"}), mu)
+
+    def test_free_var_with_invisible_region_fails(self):
+        mu = mk_mu(R1)
+        gamma = {"y": MuBoxed(TAU_STRING, R3)}
+        failures = gc_safety_failures(EMPTY_CTX, gamma, T.Var("y"),
+                                      frozenset({"x"}), mu)
+        assert failures and "y" in failures[0]
+
+    def test_tracked_tyvar_effect_must_be_visible(self):
+        alpha = TyVar(21, "'a")
+        mu = mk_mu(R1)
+        gamma = {"y": MuVar(alpha)}
+        omega_bad = TyCtx({alpha: ArrowEffect(EffectVar(99))})
+        assert not gc_safe(omega_bad, gamma, T.Var("y"), frozenset(), mu)
+        # ... visible when the handle is in the arrow's latent effect
+        e_ok = EffectVar(12, "e_ok")
+        mu_ok = MuBoxed(TauArrow(MU_INT, ArrowEffect(E1, effect(e_ok)), MU_INT), R1)
+        omega_ok = TyCtx({alpha: ArrowEffect(e_ok)})
+        assert gc_safe(omega_ok, gamma, T.Var("y"), frozenset(), mu_ok)
+
+    def test_untracked_invisible_tyvar_fails(self):
+        """The paper's hole: a type variable in a captured type, neither in
+        the function's own type nor tracked in Omega."""
+        alpha = TyVar(21, "'a")
+        gamma = {"y": MuVar(alpha)}
+        assert not gc_safe(EMPTY_CTX, gamma, T.Var("y"), frozenset(), mk_mu())
+
+    def test_tyvar_in_own_type_is_lenient(self):
+        alpha = TyVar(21, "'a")
+        mu = MuBoxed(TauArrow(MuVar(alpha), ArrowEffect(E1), MuVar(alpha)), R1)
+        gamma = {"y": MuVar(alpha)}
+        assert gc_safe(EMPTY_CTX, gamma, T.Var("y"), frozenset(), mu)
+
+    def test_unbound_free_variable_reported(self):
+        failures = gc_safety_failures(EMPTY_CTX, {}, T.Var("ghost"),
+                                      frozenset(), mk_mu())
+        assert failures and "ghost" in failures[0]

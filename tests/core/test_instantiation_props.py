@@ -1,0 +1,135 @@
+"""Unit tests for the instance-of relation (paper Section 3.4,
+Propositions 6-7) on hand-built schemes."""
+
+import pytest
+
+from repro.core.effects import ArrowEffect, EffectVar, RegionVar, VarSupply, effect
+from repro.core.errors import CoverageError, RegionTypeError
+from repro.core.instantiation import check_instance, instantiate
+from repro.core.rtypes import (
+    EMPTY_CTX,
+    MU_INT,
+    MU_UNIT,
+    MuBoxed,
+    MuVar,
+    Scheme,
+    TAU_STRING,
+    TauArrow,
+    TyCtx,
+    TyVar,
+)
+from repro.core.substitution import Subst
+
+R1, R2, R3 = RegionVar(1, "r1"), RegionVar(2, "r2"), RegionVar(3, "r3")
+E1, E2 = EffectVar(11, "e1"), EffectVar(12, "e2")
+A, B = TyVar(21, "'a"), TyVar(22, "'b")
+
+
+def id_scheme() -> Scheme:
+    """all r1 e1 'a . 'a -e1.{}-> 'a   (the identity function's scheme)."""
+    return Scheme((R1,), (E1,), (A,), EMPTY_CTX,
+                  TauArrow(MuVar(A), ArrowEffect(E1), MuVar(A)))
+
+
+def spurious_scheme() -> Scheme:
+    """all r1 e1 e2 ('b : e2.{}) . int -e1.{e2}-> int — 'b is tracked."""
+    return Scheme(
+        (R1,), (E1, E2), (), TyCtx({B: ArrowEffect(E2)}),
+        TauArrow(MU_INT, ArrowEffect(E1, effect(E2)), MU_INT),
+    )
+
+
+class TestInstantiate:
+    def test_identity_instance(self):
+        subst = Subst(
+            ty={A: MU_INT},
+            rgn={R1: R2},
+            eff={E1: ArrowEffect(EffectVar(31))},
+        )
+        tau = instantiate(EMPTY_CTX, id_scheme(), subst)
+        assert tau.dom == MU_INT and tau.cod == MU_INT
+
+    def test_region_substitution_applied(self):
+        sigma = Scheme((R1,), (E1,), (), EMPTY_CTX,
+                       TauArrow(MU_UNIT, ArrowEffect(E1, effect(R1)),
+                                MuBoxed(TAU_STRING, R1)))
+        subst = Subst(rgn={R1: R3}, eff={E1: ArrowEffect(EffectVar(31))})
+        tau = instantiate(EMPTY_CTX, sigma, subst)
+        assert tau.cod.rho == R3
+        assert R3 in tau.arrow.latent
+
+    def test_effect_instance_grows(self):
+        """S(eps.phi) = eps'.(phi' | S(phi)): the instance latent includes
+        the target's latent."""
+        sigma = Scheme((), (E1,), (), EMPTY_CTX,
+                       TauArrow(MU_INT, ArrowEffect(E1), MU_INT))
+        target = ArrowEffect(EffectVar(31), effect(R2))
+        tau = instantiate(EMPTY_CTX, sigma, Subst(eff={E1: target}))
+        assert R2 in tau.arrow.latent
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(RegionTypeError):
+            instantiate(EMPTY_CTX, id_scheme(), Subst(ty={A: MU_INT}))
+
+    def test_tyvar_domain_mismatch_rejected(self):
+        subst = Subst(rgn={R1: R2}, eff={E1: ArrowEffect(EffectVar(31))})
+        with pytest.raises(RegionTypeError):
+            instantiate(EMPTY_CTX, id_scheme(), subst)
+
+    def test_coverage_failure_on_boxed_spurious_instance(self):
+        """Instantiating a tracked variable with a boxed type whose region
+        is not covered must fail — the rg- hole, statically."""
+        subst = Subst(
+            ty={B: MuBoxed(TAU_STRING, R3)},
+            rgn={R1: R1},
+            eff={E1: ArrowEffect(EffectVar(31)),
+                 E2: ArrowEffect(EffectVar(32))},  # no coverage of R3
+        )
+        with pytest.raises(CoverageError):
+            instantiate(EMPTY_CTX, spurious_scheme(), subst)
+
+    def test_coverage_success_when_region_in_budget(self):
+        subst = Subst(
+            ty={B: MuBoxed(TAU_STRING, R3)},
+            rgn={R1: R1},
+            eff={E1: ArrowEffect(EffectVar(31)),
+                 E2: ArrowEffect(EffectVar(32), effect(R3))},
+        )
+        tau = instantiate(EMPTY_CTX, spurious_scheme(), subst)
+        # ... and the covered region is visible in the instance latent
+        # because e2 occurs in the scheme's arrow latent.
+        assert R3 in tau.arrow.latent
+
+    def test_check_instance_agrees(self):
+        subst = Subst(
+            ty={A: MU_INT},
+            rgn={R1: R2},
+            eff={E1: ArrowEffect(EffectVar(31))},
+        )
+        expected = instantiate(EMPTY_CTX, id_scheme(), subst)
+        check_instance(EMPTY_CTX, id_scheme(), expected, subst)
+        with pytest.raises(RegionTypeError):
+            check_instance(
+                EMPTY_CTX, id_scheme(),
+                TauArrow(MU_UNIT, ArrowEffect(EffectVar(31)), MU_UNIT),
+                subst,
+            )
+
+    def test_instantiation_closed_under_renaming_prop6(self):
+        """Renaming bound variables first yields an alpha-equivalent
+        instance (a corollary of Proposition 6)."""
+        from repro.core.substitution import rename_scheme
+
+        supply = VarSupply(start=500)
+        sigma = id_scheme()
+        renamed, _ = rename_scheme(sigma, supply)
+        subst1 = Subst(ty={A: MU_INT}, rgn={R1: R2},
+                       eff={E1: ArrowEffect(EffectVar(31))})
+        subst2 = Subst(
+            ty={renamed.tvars[0]: MU_INT},
+            rgn={renamed.rvars[0]: R2},
+            eff={renamed.evars[0]: ArrowEffect(EffectVar(31))},
+        )
+        assert instantiate(EMPTY_CTX, sigma, subst1) == instantiate(
+            EMPTY_CTX, renamed, subst2
+        )

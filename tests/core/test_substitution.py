@@ -1,0 +1,141 @@
+"""Unit tests for substitutions (paper Section 3.3, Propositions 3-4)."""
+
+import pytest
+
+from repro.core.effects import ArrowEffect, EffectVar, RegionVar, VarSupply, effect
+from repro.core.rtypes import (
+    EMPTY_CTX,
+    MU_INT,
+    MuBoxed,
+    MuVar,
+    Scheme,
+    TAU_STRING,
+    TauArrow,
+    TauPair,
+    TyCtx,
+    TyVar,
+    frev,
+)
+from repro.core.substitution import EMPTY_SUBST, Subst, rename_scheme
+
+
+@pytest.fixture
+def vars_():
+    r1, r2, r3 = RegionVar(1, "r1"), RegionVar(2, "r2"), RegionVar(3, "r3")
+    e1, e2, e3 = EffectVar(4, "e1"), EffectVar(5, "e2"), EffectVar(6, "e3")
+    a, b = TyVar(7, "'a"), TyVar(8, "'b")
+    return r1, r2, r3, e1, e2, e3, a, b
+
+
+class TestEffectSubstitution:
+    def test_region_renaming(self, vars_):
+        r1, r2, r3, e1, *_ = vars_
+        s = Subst(rgn={r1: r2})
+        assert s.effect(effect(r1, r3)) == {r2, r3}
+
+    def test_effect_var_expands_to_frev_of_target(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        s = Subst(eff={e1: ArrowEffect(e2, effect(r1))})
+        # S({e1}) = frev(e2.{r1}) = {e2, r1}
+        assert s.effect(effect(e1)) == {e2, r1}
+
+    def test_identity_off_domain(self, vars_):
+        r1, r2, r3, e1, *_ = vars_
+        assert EMPTY_SUBST.effect(effect(r1, e1)) == {r1, e1}
+
+    def test_arrow_effect_grows(self, vars_):
+        """S(eps.phi) = eps'.(phi' | S(phi)): effects can only grow."""
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        s = Subst(eff={e1: ArrowEffect(e2, effect(r2))})
+        out = s.arrow(ArrowEffect(e1, effect(r1)))
+        assert out.handle == e2
+        assert out.latent == {r2, r1}
+
+    def test_monotonicity_prop3(self, vars_):
+        """Proposition 3: phi <= phi' implies S(phi) <= S(phi')."""
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        s = Subst(rgn={r1: r2}, eff={e1: ArrowEffect(e3, effect(r3))})
+        small = effect(r1)
+        big = effect(r1, e1)
+        assert s.effect(small) <= s.effect(big)
+
+    def test_interchange_property(self, vars_):
+        """frev(S(eps.phi)) = S({eps} | phi)."""
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        s = Subst(rgn={r1: r2}, eff={e1: ArrowEffect(e2, effect(r3))})
+        ae = ArrowEffect(e1, effect(r1, e3))
+        assert s.arrow(ae).frev() == s.effect(effect(e1, r1, e3))
+
+
+class TestTypeSubstitution:
+    def test_tyvar_replacement(self, vars_):
+        *_, a, b = vars_
+        s = Subst(ty={a: MU_INT})
+        assert s.mu(MuVar(a)) == MU_INT
+        assert s.mu(MuVar(b)) == MuVar(b)
+
+    def test_boxed_structure(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        mu = MuBoxed(TauPair(MuVar(a), MuBoxed(TAU_STRING, r1)), r2)
+        s = Subst(ty={a: MU_INT}, rgn={r1: r3})
+        out = s.mu(mu)
+        assert out == MuBoxed(TauPair(MU_INT, MuBoxed(TAU_STRING, r3)), r2)
+
+    def test_arrow_type_substitution(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        tau = TauArrow(MuVar(a), ArrowEffect(e1, effect(r1)), MuVar(b))
+        s = Subst(ty={a: MU_INT}, eff={e1: ArrowEffect(e2, effect(r2))})
+        out = s.tau(tau)
+        assert out.dom == MU_INT
+        assert out.arrow == ArrowEffect(e2, effect(r2, r1))
+
+    def test_ctx_application_requires_disjoint_domain(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        delta = TyCtx({a: ArrowEffect(e1)})
+        with pytest.raises(ValueError):
+            Subst(ty={a: MU_INT}).ctx(delta)
+
+    def test_ctx_application_maps_arrow_effects(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        delta = TyCtx({a: ArrowEffect(e1)})
+        s = Subst(eff={e1: ArrowEffect(e2, effect(r1))})
+        assert s.ctx(delta)[a] == ArrowEffect(e2, effect(r1))
+
+
+class TestSchemes:
+    def _scheme(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        body = TauArrow(MuVar(a), ArrowEffect(e1, effect(r1)), MuVar(b))
+        return Scheme((r1,), (e1,), (a,), TyCtx({b: ArrowEffect(e2)}), body)
+
+    def test_scheme_substitution_rejects_capture(self, vars_):
+        r1, *_ = vars_
+        sigma = self._scheme(vars_)
+        with pytest.raises(ValueError):
+            Subst(rgn={r1: RegionVar(99)}).scheme(sigma)
+
+    def test_rename_scheme_is_alpha_equivalent(self, vars_):
+        sigma = self._scheme(vars_)
+        renamed, _ren = rename_scheme(sigma, VarSupply(start=1000))
+        assert len(renamed.rvars) == 1
+        assert len(renamed.evars) == 1
+        assert len(renamed.tvars) == 1
+        assert len(renamed.delta) == 1
+        # fresh binders really are fresh
+        assert renamed.rvars[0] != sigma.rvars[0]
+        assert renamed.evars[0] != sigma.evars[0]
+        # free variables unchanged
+        assert frev(renamed) == frev(sigma)
+
+    def test_composition_matches_sequential_application(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        s1 = Subst(rgn={r1: r2})
+        s2 = Subst(rgn={r2: r3}, eff={e1: ArrowEffect(e2)})
+        mu = MuBoxed(TauArrow(MU_INT, ArrowEffect(e1, effect(r1)), MU_INT), r1)
+        assert s1.then(s2).mu(mu) == s2.mu(s1.mu(mu))
+
+    def test_restrict(self, vars_):
+        r1, r2, r3, e1, e2, e3, a, b = vars_
+        s = Subst(ty={a: MU_INT}, rgn={r1: r2}, eff={e1: ArrowEffect(e2)})
+        out = s.restrict(frozenset({a, e1}))
+        assert a in out.ty and r1 not in out.rgn and e1 in out.eff

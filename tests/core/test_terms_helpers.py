@@ -1,0 +1,132 @@
+"""Unit tests for the term-language helpers: free variables, value
+substitution (Proposition 16's engine), substitution application to
+annotated terms, and sizes."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.effects import ArrowEffect, EffectVar, RegionVar, effect
+from repro.core.rtypes import MU_INT, arrow_mu
+from repro.core.substitution import Subst
+
+R1, R2 = RegionVar(1, "r1"), RegionVar(2, "r2")
+E1 = EffectVar(11, "e1")
+MU = arrow_mu(MU_INT, ArrowEffect(E1), MU_INT, R1)
+
+
+class TestFpv:
+    def test_var_is_free(self):
+        assert T.fpv(T.Var("x")) == {"x"}
+
+    def test_lambda_binds_param(self):
+        lam = T.Lam("x", T.App(T.Var("x"), T.Var("y")), R1, MU)
+        assert T.fpv(lam) == {"y"}
+
+    def test_fun_binds_self_and_param(self):
+        fd = T.FunDef("f", (), "x", T.App(T.Var("f"), T.Var("x")), R1, None)
+        assert T.fpv(fd) == frozenset()
+
+    def test_let_scoping(self):
+        t = T.Let("x", T.Var("x"), T.Var("x"))
+        assert T.fpv(t) == {"x"}  # the rhs occurrence is free
+
+    def test_handle_binder(self):
+        t = T.Handle(T.Var("a"), "E", "v", T.Var("v"))
+        assert T.fpv(t) == {"a"}
+
+    def test_case_branch_binders(self):
+        t = T.Case(
+            T.Var("s"),
+            (
+                T.CaseBranchT("C", "p", T.Var("p")),
+                T.CaseBranchT(None, "q", T.Var("r")),
+            ),
+        )
+        assert T.fpv(t) == {"s", "r"}
+
+
+class TestSubstValue:
+    def test_replaces_free_occurrences(self):
+        out = T.subst_value(T.App(T.Var("x"), T.Var("y")), "x", T.VInt(1))
+        assert out == T.App(T.VInt(1), T.Var("y"))
+
+    def test_respects_shadowing(self):
+        lam = T.Lam("x", T.Var("x"), R1, MU)
+        assert T.subst_value(lam, "x", T.VInt(1)) == lam
+
+    def test_substitutes_under_other_binders(self):
+        lam = T.Lam("y", T.Var("x"), R1, MU)
+        out = T.subst_value(lam, "x", T.VInt(7))
+        assert out.body == T.VInt(7)
+
+    def test_let_rhs_always_substituted(self):
+        t = T.Let("x", T.Var("x"), T.Var("x"))
+        out = T.subst_value(t, "x", T.VInt(3))
+        assert out.rhs == T.VInt(3)
+        assert out.body == T.Var("x")
+
+    def test_values_substitute_into_pairs(self):
+        t = T.Pair(T.Var("a"), T.Var("a"), R1)
+        out = T.subst_value(t, "a", T.VStr("s", R2))
+        assert out.fst == out.snd == T.VStr("s", R2)
+
+
+class TestApplySubstTerm:
+    def test_regions_rewritten_in_allocations(self):
+        s = Subst(rgn={R1: R2})
+        out = T.apply_subst_term(s, T.StringLit("x", R1))
+        assert out.rho == R2
+
+    def test_annotations_rewritten(self):
+        s = Subst(rgn={R1: R2})
+        lam = T.Lam("x", T.Var("x"), R1, MU)
+        out = T.apply_subst_term(s, lam)
+        assert out.rho == R2
+        assert out.mu.rho == R2
+
+    def test_effect_substitution_in_annotations(self):
+        e2 = EffectVar(12, "e2")
+        s = Subst(eff={E1: ArrowEffect(e2, effect(R2))})
+        out = T.apply_subst_term(s, T.Lam("x", T.Var("x"), R1, MU))
+        assert out.mu.tau.arrow.handle == e2
+        assert R2 in out.mu.tau.arrow.latent
+
+    def test_rapp_inst_composes(self):
+        inner = Subst(rgn={R1: R2})
+        rapp = T.RApp(T.Var("f"), (R2,), R2, inner)
+        out = T.apply_subst_term(Subst(rgn={R2: R1}), rapp)
+        assert out.rargs == (R1,)
+        assert out.inst.rgn[R1] == R1  # R1 -> R2 -> R1
+
+
+class TestStructure:
+    def test_term_size(self):
+        t = T.Pair(T.IntLit(1), T.Pair(T.IntLit(2), T.IntLit(3), R1), R1)
+        assert T.term_size(t) == 5
+
+    def test_iter_children_covers_every_node(self):
+        """Every term class is either atomic or yields children."""
+        samples = [
+            T.Var("x"), T.IntLit(1), T.BoolLit(True), T.UnitLit(),
+            T.StringLit("s", R1), T.RealLit(1.0, R1),
+            T.Lam("x", T.IntLit(1), R1, MU),
+            T.App(T.IntLit(1), T.IntLit(2)),
+            T.Let("x", T.IntLit(1), T.Var("x")),
+            T.Letregion((R1,), T.IntLit(0)),
+            T.Pair(T.IntLit(1), T.IntLit(2), R1),
+            T.Select(1, T.Var("p")),
+            T.Cons(T.IntLit(1), T.Var("t"), R1),
+            T.If(T.BoolLit(True), T.IntLit(1), T.IntLit(2)),
+            T.Prim("add", (T.IntLit(1), T.IntLit(2))),
+            T.MkRef(T.IntLit(0), R1),
+            T.Deref(T.Var("r")),
+            T.Assign(T.Var("r"), T.IntLit(1)),
+            T.Raise(T.Var("e"), MU_INT),
+            T.Handle(T.IntLit(1), "E", None, T.IntLit(2)),
+            T.Con("E", None, R1),
+            T.Case(T.Var("s"), (T.CaseBranchT(None, None, T.IntLit(1)),)),
+            T.DataCon("d", "C", (), None, R1),
+        ]
+        for t in samples:
+            T.iter_children(t)  # must not raise
+            T.term_size(t)

@@ -1,0 +1,125 @@
+"""Frontend tests for the datatype extension: parsing and HM inference."""
+
+import pytest
+
+from repro.core.errors import ParseError, TypeError_
+from repro.frontend import ast as A
+from repro.frontend.infer import infer_program
+from repro.frontend.mltypes import reset_tvar_names, show_scheme
+from repro.frontend.parser import parse_expression, parse_program
+
+
+def scheme_of(src, name):
+    res = infer_program(parse_program(src))
+    reset_tvar_names()
+    return show_scheme(res.top_env[name])
+
+
+class TestParsing:
+    def test_simple_datatype(self):
+        prog = parse_program("datatype colour = Red | Green | Blue")
+        dec = prog.decs[0]
+        assert isinstance(dec, A.DatatypeDec)
+        assert [c.name for c in dec.constructors] == ["Red", "Green", "Blue"]
+
+    def test_payloads(self):
+        prog = parse_program("datatype shape = Circle of real | Rect of real * real")
+        cons = prog.decs[0].constructors
+        assert cons[0].payload is not None
+        assert isinstance(cons[1].payload, A.TyTupleS)
+
+    def test_single_parameter(self):
+        prog = parse_program("datatype 'a opt = None | Some of 'a")
+        assert prog.decs[0].params == ("'a",)
+
+    def test_multi_parameter(self):
+        prog = parse_program("datatype ('k, 'v) pairy = P of 'k * 'v")
+        assert prog.decs[0].params == ("'k", "'v")
+
+    def test_recursive_type_reference(self):
+        prog = parse_program("datatype t = L | N of t * t")
+        payload = prog.decs[0].constructors[1].payload
+        assert isinstance(payload, A.TyTupleS)
+        assert payload.elems[0].name == "t"
+
+    def test_user_tycon_in_annotations(self):
+        prog = parse_program(
+            "datatype 'a box = B of 'a\nfun f (x : int box) = x"
+        )
+        ann = prog.decs[1].params[0].ann
+        assert ann.name == "box"
+        assert ann.args[0].name == "int"
+
+    def test_case_expression(self):
+        e = parse_expression("case x of A => 1 | B n => n | _ => 0")
+        assert isinstance(e, A.ECase)
+        assert len(e.branches) == 3
+        assert e.branches[0].conname == "A" and e.branches[0].pat is None
+        assert e.branches[1].conname == "B" and isinstance(e.branches[1].pat, A.PVar)
+        assert e.branches[2].conname is None
+
+    def test_case_with_tuple_payload_pattern(self):
+        e = parse_expression("case t of N (l, r) => 1 | L => 0")
+        assert isinstance(e.branches[0].pat, A.PTuple)
+
+    def test_mutually_recursive_datatypes_rejected(self):
+        with pytest.raises(ParseError, match="mutually"):
+            parse_program("datatype a = A of b and b = B of a")
+
+    def test_parenthesized_case_as_argument(self):
+        e = parse_expression("f (case x of A => 1 | _ => 2)")
+        assert isinstance(e, A.EApp)
+        assert isinstance(e.arg, A.ECase)
+
+
+class TestInference:
+    def test_constructor_schemes(self):
+        s = scheme_of("datatype 'a opt = None2 | Some2 of 'a val x = Some2 3", "x")
+        assert s == "int opt"
+
+    def test_nullary_constructor_polymorphic(self):
+        s = scheme_of(
+            "datatype 'a opt = None2 | Some2 of 'a\n"
+            "fun get (d, x) = case x of None2 => d | Some2 v => v",
+            "get",
+        )
+        assert s == "forall 'a. 'a * 'a opt -> 'a"
+
+    def test_case_unifies_branches(self):
+        with pytest.raises(TypeError_):
+            infer_program(parse_program(
+                "datatype t = A | B\nval it = case A of A => 1 | B => true"
+            ))
+
+    def test_scrutinee_must_match_constructor(self):
+        with pytest.raises(TypeError_):
+            infer_program(parse_program(
+                "datatype t = A\ndatatype u = B\nval it = case A of B => 1"
+            ))
+
+    def test_shadowing_constructor_with_variable_branch(self):
+        """A branch name that is not a constructor in scope binds the
+        scrutinee (SML's variable-pattern rule)."""
+        res = infer_program(parse_program(
+            "datatype t = A | B\n"
+            "fun f x = case x of A => 0 | whatever => 1"
+        ))
+        reset_tvar_names()
+        assert show_scheme(res.top_env["f"]) == "t -> int"
+
+    def test_datatype_arity_checked(self):
+        with pytest.raises(TypeError_, match="argument"):
+            infer_program(parse_program(
+                "datatype 'a box = B of 'a\nfun f (x : box) = x"
+            ))
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(TypeError_, match="duplicate"):
+            infer_program(parse_program("datatype ('a, 'a) t = T of 'a"))
+
+    def test_instances_recorded_for_constructors(self):
+        prog = parse_program(
+            "datatype 'a box = B of 'a\nval x = B 1\nval y = B \"s\""
+        )
+        res = infer_program(prog)
+        assert len(res.data_con_use) == 2

@@ -1,0 +1,221 @@
+"""Hindley-Milner inference tests: principal types, value restriction,
+overloading, instantiation recording."""
+
+import pytest
+
+from repro.core.errors import TypeError_
+from repro.frontend import ast as A
+from repro.frontend import infer_program, parse_program
+from repro.frontend.builtins import PRELUDE_SOURCE
+from repro.frontend.mltypes import show_scheme, show_type
+
+
+def infer(src: str, with_prelude: bool = False):
+    full = (PRELUDE_SOURCE + src) if with_prelude else src
+    return infer_program(parse_program(full))
+
+
+def scheme_str(src: str, name: str, with_prelude: bool = False) -> str:
+    from repro.frontend.mltypes import reset_tvar_names
+
+    res = infer(src, with_prelude)
+    reset_tvar_names()
+    return show_scheme(res.top_env[name])
+
+
+class TestPrincipalTypes:
+    def test_identity(self):
+        assert scheme_str("fun id x = x", "id") == "forall 'a. 'a -> 'a"
+
+    def test_const_int(self):
+        assert scheme_str("val x = 42", "x") == "int"
+
+    def test_compose_scheme_matches_paper(self):
+        # The ML type scheme of `o` from Section 2:
+        # (gamma -> beta) * (alpha -> gamma) -> alpha -> beta.
+        s = scheme_str("fun o p = fn x => (#1 p) ((#2 p) x)", "o")
+        assert s == "forall 'a 'b 'c. ('a -> 'b) * ('c -> 'a) -> 'c -> 'b"
+
+    def test_map(self):
+        s = scheme_str(
+            "fun map f xs = if null xs then nil else f (hd xs) :: map f (tl xs)",
+            "map",
+        )
+        assert s == "forall 'a 'b. ('a -> 'b) -> 'a list -> 'b list"
+
+    def test_app_overgeneralizes_like_algorithm_w(self):
+        """Section 4.2: plain W gives List.app the type
+        forall 'a 'b. ('a -> 'b) -> 'a list -> unit."""
+        src = (
+            "fun app f =\n"
+            "  let fun loop xs = if null xs then () else (f (hd xs); loop (tl xs))\n"
+            "  in loop end"
+        )
+        assert scheme_str(src, "app") == "forall 'a 'b. ('a -> 'b) -> 'a list -> unit"
+
+    def test_app_constrained_by_annotation(self):
+        """... and the explicit constraint of Section 4.2 removes 'b."""
+        src = (
+            "fun app (f : 'a -> unit) =\n"
+            "  let fun loop xs = if null xs then () else (f (hd xs); loop (tl xs))\n"
+            "  in loop end"
+        )
+        assert scheme_str(src, "app") == "forall 'a. ('a -> unit) -> 'a list -> unit"
+
+    def test_polymorphic_use_at_two_types(self):
+        res = infer("fun id x = x  val a = id 1  val b = id \"s\"")
+        assert show_type(res.top_env["a"].body) == "int"
+        assert show_type(res.top_env["b"].body) == "string"
+
+    def test_fn_bound_val_generalizes(self):
+        assert scheme_str("val id = fn x => x", "id") == "forall 'a. 'a -> 'a"
+
+    def test_non_function_val_does_not_generalize(self):
+        res = infer("val p = (nil, nil) val q = 1 :: #1 p")
+        # #1 p is forced to int list; p itself stayed monomorphic.
+        assert "int list" in show_type(res.top_env["q"].body)
+
+
+class TestOverloading:
+    def test_plus_defaults_to_int(self):
+        assert scheme_str("fun f x = x + x", "f") == "int -> int"
+
+    def test_plus_on_reals(self):
+        assert scheme_str("fun f (x : real) = x + x", "f") == "real -> real"
+
+    def test_comparison_on_strings(self):
+        assert scheme_str('val b = "a" < "b"', "b") == "bool"
+
+    def test_equality_on_ints(self):
+        assert scheme_str("val b = 1 = 2", "b") == "bool"
+
+    def test_equality_rejects_functions(self):
+        with pytest.raises(TypeError_):
+            infer("val b = (fn x => x) = (fn y => y)")
+
+    def test_div_is_integer_only(self):
+        with pytest.raises(TypeError_):
+            infer("val x = 1.5 div 2.0")
+
+    def test_slash_is_real_only(self):
+        with pytest.raises(TypeError_):
+            infer("val x = 1 / 2")
+
+    def test_min_defaults_to_int(self):
+        s = scheme_str("fun min (a, b) = if a < b then a else b", "min")
+        assert s == "int * int -> int"
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(TypeError_, match="unbound"):
+            infer("val x = y")
+
+    def test_if_branches_must_agree(self):
+        with pytest.raises(TypeError_):
+            infer("val x = if true then 1 else \"s\"")
+
+    def test_occurs_check(self):
+        with pytest.raises(TypeError_, match="circular|occurs"):
+            infer("fun f x = x x")
+
+    def test_condition_must_be_bool(self):
+        with pytest.raises(TypeError_):
+            infer("val x = if 1 then 2 else 3")
+
+    def test_wide_selector_rejected(self):
+        with pytest.raises(TypeError_, match="#3"):
+            infer("fun f t = #3 t")
+
+    def test_annotation_mismatch(self):
+        with pytest.raises(TypeError_):
+            infer("val x = (1 : string)")
+
+
+class TestExceptions:
+    def test_raise_is_polymorphic(self):
+        s = scheme_str(
+            "exception Bad fun f x = if x then 1 else raise Bad", "f"
+        )
+        assert s == "bool -> int"
+
+    def test_handle_types_agree(self):
+        res = infer(
+            "exception Bad of string\n"
+            "fun f x = (if x then 1 else raise Bad \"no\") handle Bad s => size s"
+        )
+        assert show_type(res.top_env["f"].body) == "bool -> int"
+
+    def test_handler_payload_binding(self):
+        with pytest.raises(TypeError_):
+            infer("exception Stop fun f x = x handle Stop v => v")
+
+    def test_exception_payload_with_scoped_tyvar(self):
+        """Section 4.4: a local exception may mention a function's type
+        variable in its payload type."""
+        res = infer(
+            "fun find (p : 'a -> bool) (xs : 'a list) =\n"
+            "  let exception Found of 'a\n"
+            "      fun go ys = if null ys then nil\n"
+            "                  else if p (hd ys) then raise Found (hd ys)\n"
+            "                  else go (tl ys)\n"
+            "  in go xs handle Found v => v :: nil end"
+        )
+        from repro.frontend.mltypes import reset_tvar_names
+
+        reset_tvar_names()
+        assert (
+            show_scheme(res.top_env["find"])
+            == "forall 'a. ('a -> bool) -> 'a list -> 'a list"
+        )
+
+
+class TestInstantiationRecording:
+    def test_instances_recorded_per_occurrence(self):
+        src = "fun id x = x  val a = id 1  val b = id \"s\""
+        prog = parse_program(src)
+        res = infer_program(prog)
+        uses = [
+            node
+            for node, inst in _var_uses(prog, res)
+            if inst.binder.name == "id"
+        ]
+        # two instantiating occurrences (the recursion placeholder is mono)
+        assert len(uses) == 2
+
+    def test_builtin_instances_recorded(self):
+        src = "val h = hd [1, 2]"
+        prog = parse_program(src)
+        res = infer_program(prog)
+        assert any(
+            inst.binder.builtin is not None and inst.binder.name == "hd"
+            for _, inst in _var_uses(prog, res)
+        )
+
+    def test_instance_mapping_resolves_to_ground_types(self):
+        src = "fun id x = x  val a = id 1"
+        prog = parse_program(src)
+        res = infer_program(prog)
+        for _, inst in _var_uses(prog, res):
+            if inst.binder.name == "id" and inst.mapping:
+                (t,) = inst.mapping.values()
+                assert show_type(t) == "int"
+                return
+        raise AssertionError("no instantiation of id found")
+
+
+def _var_uses(prog, res):
+    out = []
+
+    def walk(node):
+        if isinstance(node, A.EVar) and id(node) in res.var_instance:
+            out.append((node, res.var_instance[id(node)]))
+        for name in getattr(node, "__dataclass_fields__", {}):
+            val = getattr(node, name)
+            items = val if isinstance(val, tuple) else [val]
+            for item in items:
+                if isinstance(item, A.Node):
+                    walk(item)
+
+    walk(prog)
+    return out

@@ -1,0 +1,85 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.core.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("val x fun funny") == [
+            ("kw", "val"), ("id", "x"), ("kw", "fun"), ("id", "funny"),
+        ]
+
+    def test_integers_and_reals(self):
+        assert kinds("42 3.14 2e3 1.5e~2") == [
+            ("int", "42"), ("real", "3.14"), ("real", "2e3"), ("real", "1.5e~2"),
+        ]
+
+    def test_int_then_identifier_e(self):
+        assert kinds("2 e") == [("int", "2"), ("id", "e")]
+
+    def test_tyvars(self):
+        assert kinds("'a 'b2") == [("tyvar", "'a"), ("tyvar", "'b2")]
+
+    def test_symbols_longest_match(self):
+        assert kinds("=> -> :: := <> <= >=") == [
+            ("sym", "=>"), ("sym", "->"), ("sym", "::"),
+            ("sym", ":="), ("sym", "<>"), ("sym", "<="), ("sym", ">="),
+        ]
+
+    def test_primes_in_identifiers(self):
+        assert kinds("x' go'") == [("id", "x'"), ("id", "go'")]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds('"hello"') == [("string", "hello")]
+
+    def test_escapes(self):
+        assert kinds(r'"a\nb\t\"q\""') == [("string", 'a\nb\t"q"')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+
+class TestComments:
+    def test_comment_is_skipped(self):
+        assert kinds("1 (* two *) 3") == [("int", "1"), ("int", "3")]
+
+    def test_nested_comments(self):
+        assert kinds("1 (* a (* b *) c *) 2") == [("int", "1"), ("int", "2")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(* oops")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_lex_error_carries_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a\n  $")
+        assert err.value.line == 2
+        assert err.value.col == 3

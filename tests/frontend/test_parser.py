@@ -1,0 +1,213 @@
+"""Parser unit tests: precedence, desugarings, declarations."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.frontend import ast as A
+from repro.frontend.parser import parse_expression, parse_program
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.EBinOp) and e.op == "+"
+        assert isinstance(e.rhs, A.EBinOp) and e.rhs.op == "*"
+
+    def test_comparison_below_arith(self):
+        e = parse_expression("1 + 2 < 3 * 4")
+        assert isinstance(e, A.EBinOp) and e.op == "<"
+
+    def test_cons_is_right_associative(self):
+        e = parse_expression("1 :: 2 :: nil")
+        assert isinstance(e, A.EBinOp) and e.op == "::"
+        assert isinstance(e.lhs, A.EInt)
+        assert isinstance(e.rhs, A.EBinOp) and e.rhs.op == "::"
+
+    def test_application_binds_tighter_than_infix(self):
+        e = parse_expression("f x + g y")
+        assert isinstance(e, A.EBinOp) and e.op == "+"
+        assert isinstance(e.lhs, A.EApp)
+        assert isinstance(e.rhs, A.EApp)
+
+    def test_left_associative_application(self):
+        e = parse_expression("f x y")
+        assert isinstance(e, A.EApp)
+        assert isinstance(e.fn, A.EApp)
+
+    def test_unary_minus_literal(self):
+        e = parse_expression("~3")
+        assert isinstance(e, A.EInt) and e.value == -3
+
+    def test_unary_minus_expression(self):
+        e = parse_expression("~(x)")
+        assert isinstance(e, A.EUnOp) and e.op == "~"
+
+    def test_andalso_desugars_to_if(self):
+        e = parse_expression("a andalso b")
+        assert isinstance(e, A.EIf)
+        assert isinstance(e.els, A.EBool) and e.els.value is False
+
+    def test_orelse_desugars_to_if(self):
+        e = parse_expression("a orelse b")
+        assert isinstance(e, A.EIf)
+        assert isinstance(e.then, A.EBool) and e.then.value is True
+
+
+class TestCompositionInfix:
+    def test_infix_o_applies_compose_to_pair(self):
+        e = parse_expression("f o g")
+        assert isinstance(e, A.EApp)
+        assert isinstance(e.fn, A.EVar) and e.fn.name == "o"
+        assert isinstance(e.arg, A.EPair)
+
+    def test_op_o_is_the_bare_function(self):
+        e = parse_expression("(op o) (f, g)")
+        assert isinstance(e, A.EApp)
+        assert isinstance(e.fn, A.EVar) and e.fn.name == "o"
+
+    def test_op_plus_is_a_function(self):
+        e = parse_expression("op + (1, 2)")
+        assert isinstance(e, A.EApp)
+        assert isinstance(e.fn, A.EFn)
+
+    def test_variable_named_o_can_be_defined(self):
+        prog = parse_program("fun o p = p")
+        assert isinstance(prog.decs[0], A.FunDec)
+        assert prog.decs[0].name == "o"
+
+
+class TestDesugarings:
+    def test_tuple_nests_right(self):
+        e = parse_expression("(1, 2, 3)")
+        assert isinstance(e, A.EPair)
+        assert isinstance(e.snd, A.EPair)
+
+    def test_list_literal(self):
+        e = parse_expression("[1, 2]")
+        assert isinstance(e, A.EBinOp) and e.op == "::"
+        assert isinstance(e.rhs, A.EBinOp)
+        assert isinstance(e.rhs.rhs, A.ENil)
+
+    def test_empty_list(self):
+        assert isinstance(parse_expression("[]"), A.ENil)
+
+    def test_sequence_in_parens(self):
+        e = parse_expression("(print \"x\"; 1)")
+        assert isinstance(e, A.ELet)
+        assert isinstance(e.body, A.EInt)
+
+    def test_at_uses_append(self):
+        e = parse_expression("xs @ ys")
+        assert isinstance(e, A.EApp)
+        assert e.fn.name == "append"
+
+    def test_selector(self):
+        e = parse_expression("#1 p")
+        assert isinstance(e, A.ESelect) and e.index == 1
+
+    def test_deref_and_assign(self):
+        e = parse_expression("r := !r + 1")
+        assert isinstance(e, A.EBinOp) and e.op == ":="
+        assert isinstance(e.rhs.lhs, A.EUnOp) and e.rhs.lhs.op == "!"
+
+    def test_annotation(self):
+        e = parse_expression("(x : int)")
+        assert isinstance(e, A.EAnnot)
+        assert isinstance(e.ann, A.TyConS) and e.ann.name == "int"
+
+
+class TestDeclarations:
+    def test_val_dec(self):
+        prog = parse_program("val x = 1")
+        dec = prog.decs[0]
+        assert isinstance(dec, A.ValDec)
+        assert isinstance(dec.pat, A.PVar) and dec.pat.name == "x"
+
+    def test_val_tuple_pattern(self):
+        prog = parse_program("val (a, b) = p")
+        assert isinstance(prog.decs[0].pat, A.PTuple)
+
+    def test_fun_curried(self):
+        prog = parse_program("fun f x y = x")
+        dec = prog.decs[0]
+        assert isinstance(dec, A.FunDec)
+        assert len(dec.params) == 2
+
+    def test_fun_with_annotated_param(self):
+        prog = parse_program("fun app (f : 'a -> unit) xs = ()")
+        p0 = prog.decs[0].params[0]
+        assert isinstance(p0, A.PVar) and p0.ann is not None
+
+    def test_fun_result_annotation(self):
+        prog = parse_program("fun f x : int = x")
+        assert prog.decs[0].result_ann is not None
+
+    def test_exception_dec(self):
+        prog = parse_program("exception Bad of string")
+        dec = prog.decs[0]
+        assert isinstance(dec, A.ExnDec) and dec.payload is not None
+
+    def test_nullary_exception(self):
+        prog = parse_program("exception Stop")
+        assert prog.decs[0].payload is None
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(ParseError, match="and"):
+            parse_program("fun f x = g x and g x = f x")
+
+    def test_fun_needs_parameters(self):
+        with pytest.raises(ParseError):
+            parse_program("fun f = 1")
+
+
+class TestControl:
+    def test_if_then_else(self):
+        e = parse_expression("if a then 1 else 2")
+        assert isinstance(e, A.EIf)
+
+    def test_let_in_end(self):
+        e = parse_expression("let val x = 1 in x end")
+        assert isinstance(e, A.ELet)
+
+    def test_let_with_sequence_body(self):
+        e = parse_expression("let val x = 1 in print \"a\"; x end")
+        assert isinstance(e, A.ELet)
+        assert isinstance(e.body, A.ELet)
+
+    def test_fn(self):
+        e = parse_expression("fn x => x")
+        assert isinstance(e, A.EFn)
+
+    def test_raise(self):
+        e = parse_expression("raise Bad \"x\"")
+        assert isinstance(e, A.ERaise)
+
+    def test_handle_nullary(self):
+        e = parse_expression("f x handle Stop => 0")
+        assert isinstance(e, A.EHandle)
+        assert e.pat is None
+
+    def test_handle_with_payload(self):
+        e = parse_expression("f x handle Bad s => size s")
+        assert isinstance(e, A.EHandle)
+        assert isinstance(e.pat, A.PVar)
+
+
+class TestTypes:
+    def test_arrow_right_assoc(self):
+        prog = parse_program("fun f (x : int -> int -> int) = x")
+        ann = prog.decs[0].params[0].ann
+        assert isinstance(ann, A.TyArrowS)
+        assert isinstance(ann.cod, A.TyArrowS)
+
+    def test_star_binds_tighter_than_arrow(self):
+        prog = parse_program("fun f (x : int * int -> int) = x")
+        ann = prog.decs[0].params[0].ann
+        assert isinstance(ann, A.TyArrowS)
+        assert isinstance(ann.dom, A.TyTupleS)
+
+    def test_postfix_list(self):
+        prog = parse_program("fun f (x : int list list) = x")
+        ann = prog.decs[0].params[0].ann
+        assert ann.name == "list"
+        assert ann.args[0].name == "list"

@@ -1,0 +1,248 @@
+"""Algebraic datatypes under the region type system: the MLKit-style
+uniform (single-region) representation, case analysis, GC safety of
+datatype values, and spurious type variables instantiated with datatype
+instances — the paper's mechanism exercised through user-defined boxed
+types."""
+
+import pytest
+
+from repro import CompilerFlags, DanglingPointerError, Strategy, compile_program
+from repro.runtime.values import show_value
+
+TREE = """
+datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+fun insert (t, x) =
+  case t of
+    Leaf => Node (Leaf, x, Leaf)
+  | Node q =>
+      let val (l, v, r) = q
+      in if x < v then Node (insert (l, x), v, r)
+         else if x > v then Node (l, v, insert (r, x))
+         else t
+      end
+fun fold f acc t =
+  case t of
+    Leaf => acc
+  | Node q => let val (l, v, r) = q in fold f (f (v, fold f acc l)) r end
+fun fromList xs = foldl (fn (x, t) => insert (t, x)) Leaf xs
+"""
+
+
+def run(src, strategy=Strategy.RG, **kw):
+    prog = compile_program(src, strategy=strategy)
+    return prog, prog.run(**kw)
+
+
+class TestDatatypeBasics:
+    def test_construction_and_case(self):
+        src = (
+            "datatype colour = Red | Green | Blue\n"
+            "fun code c = case c of Red => 1 | Green => 2 | Blue => 3\n"
+            "val it = code Green * 10 + code Blue"
+        )
+        prog, res = run(src)
+        assert res.value == 23
+        assert prog.verification_error is None
+
+    def test_payload_constructors(self):
+        src = (
+            "datatype shape = Circle of real | Rect of real * real\n"
+            "fun area s = case s of Circle r => 3.14 * r * r\n"
+            "                     | Rect p => #1 p * #2 p\n"
+            "val it = floor (area (Rect (3.0, 4.0)) + area (Circle 1.0))"
+        )
+        _, res = run(src)
+        assert res.value == 15
+
+    def test_catch_all_variable_branch(self):
+        src = (
+            "datatype t = A | B | C\n"
+            "fun f x = case x of A => 1 | other => 0\n"
+            "val it = f A * 10 + f B + f C"
+        )
+        _, res = run(src)
+        assert res.value == 10
+
+    def test_wildcard_branch(self):
+        src = (
+            "datatype t = A of int | B\n"
+            "fun f x = case x of A n => n | _ => ~1\n"
+            "val it = f (A 7) + f B"
+        )
+        _, res = run(src)
+        assert res.value == 6
+
+    def test_match_failure_raises(self):
+        from repro.core.errors import RuntimeFault
+
+        src = (
+            "datatype t = A | B\n"
+            "fun f x = case x of A => 1\n"
+            "val it = f B"
+        )
+        prog = compile_program(src)
+        with pytest.raises(RuntimeFault, match="Match"):
+            prog.run()
+
+    def test_polymorphic_tree(self):
+        prog, res = run(TREE + "val it = fold (fn (v, a) => a + v) 0 (fromList [5,2,8,1,9,3])")
+        assert res.value == 28
+        assert prog.verification_error is None
+
+    def test_constructor_as_first_class_function(self):
+        src = (
+            "datatype box = Box of int\n"
+            "fun unbox b = case b of Box n => n\n"
+            "val boxes = map Box [1, 2, 3]\n"
+            "val it = foldl (fn (b, a) => a + unbox b) 0 boxes"
+        )
+        _, res = run(src)
+        assert res.value == 6
+
+    def test_multi_parameter_datatype(self):
+        src = (
+            "datatype ('k, 'v) entry = E of 'k * 'v\n"
+            "fun key e = case e of E p => #1 p\n"
+            "fun value e = case e of E p => #2 p\n"
+            "val e = E (3, \"three\")\n"
+            "val it = key e + size (value e)"
+        )
+        _, res = run(src)
+        assert res.value == 8
+
+    def test_nested_datatypes(self):
+        src = (
+            "datatype leaf = L of int\n"
+            "datatype t = One of leaf | Two of leaf * leaf\n"
+            "fun total x = case x of One l => (case l of L n => n)\n"
+            "                      | Two p => (case #1 p of L a => a)\n"
+            "                                  + (case #2 p of L b => b)\n"
+            "val it = total (Two (L 3, L 4)) + total (One (L 1))"
+        )
+        _, res = run(src)
+        assert res.value == 8
+
+    def test_local_datatype_in_let(self):
+        src = (
+            "fun f n = let datatype sign = Pos | Neg\n"
+            "              val s = if n >= 0 then Pos else Neg\n"
+            "          in case s of Pos => 1 | Neg => ~1 end\n"
+            "val it = f 5 + f (~3)"
+        )
+        _, res = run(src)
+        assert res.value == 0
+
+
+class TestDatatypeRegionBehaviour:
+    def test_all_strategies_agree(self):
+        src = TREE + "val it = fold (fn (v, a) => a * 10 + v) 0 (fromList [5,2,8])"
+        values = set()
+        for strategy in Strategy:
+            _, res = run(src, strategy=strategy)
+            values.add(show_value(res.value))
+        assert len(values) == 1
+
+    def test_rg_safe_under_gc_every_alloc(self):
+        src = TREE + "val it = fold (fn (v, a) => a + v) 0 (fromList [5,2,8,1,9,3,7,4])"
+        prog, res = run(src, gc_every_alloc=True)
+        assert res.value == 39
+        assert res.stats.gc_count > 0
+
+    def test_tree_garbage_is_collected(self):
+        """Persistent insertion makes the old spine garbage inside a live
+        region: only the collector reclaims it (the gc-essential
+        pattern)."""
+        src = TREE + (
+            "fun build (n, t) = if n = 0 then t "
+            "else build (n - 1, insert (t, n * 7 mod 50))\n"
+            "val it = fold (fn (v, a) => a + 1) 0 (build (120, Leaf))"
+        )
+        _, res_rg = run(src, strategy=Strategy.RG, initial_threshold=512)
+        _, res_r = run(src, strategy=Strategy.R)
+        assert res_rg.value == res_r.value
+        assert res_rg.stats.gc_count > 0
+        assert res_rg.stats.peak_words < res_r.stats.peak_words
+
+    def test_spurious_tyvar_instantiated_with_datatype(self):
+        """Figure 1 with the dead value being a *tree*: the spurious type
+        variable of `o` is instantiated with a user datatype instance;
+        coverage must keep the tree's region alive under rg, and rg-
+        dangles."""
+        src = TREE + """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = insert (insert (Leaf, 1), 2)
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200
+  in h ()
+  end
+val it = run ()
+"""
+        prog_rg = compile_program(src, strategy=Strategy.RG)
+        assert prog_rg.verification_error is None
+        prog_rg.run(gc_every_alloc=True)
+
+        prog_minus = compile_program(src, strategy=Strategy.RG_MINUS)
+        assert prog_minus.verification_error is not None
+        with pytest.raises(DanglingPointerError):
+            prog_minus.run(gc_every_alloc=True)
+
+    def test_uniform_representation_single_region_per_tree_value(self):
+        """Every constructor of one tree value is traced within one region:
+        collect region ids of an RData chain at runtime."""
+        src = TREE + "val it = fromList [4, 2, 6]"
+        _, res = run(src)
+        from repro.runtime.values import RData
+
+        root = res.value
+        assert isinstance(root, RData)
+        regions = set()
+
+        def walk(v):
+            if isinstance(v, RData):
+                regions.add(v.region.ident)
+                if v.payload is not None:
+                    walk(v.payload)
+            elif hasattr(v, "fst"):
+                walk(v.fst)
+                walk(v.snd)
+
+        walk(root)
+        assert len(regions) == 1
+
+
+class TestDatatypeErrors:
+    def test_unknown_constructor_in_case(self):
+        from repro.core.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            compile_program(
+                "datatype t = A\nfun f x = case x of A y => y\nval it = 0"
+            )
+
+    def test_arity_mismatch(self):
+        from repro.core.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            compile_program(
+                "datatype t = A of int\nval x = A\nval it = (x : t)"
+            )
+
+    def test_function_payloads_rejected(self):
+        from repro.core.errors import RegionInferenceError
+
+        with pytest.raises(RegionInferenceError, match="payload"):
+            prog = compile_program(
+                "datatype t = F of int -> int\nval it = (case F (fn x => x) of F g => g 1)"
+            )
+
+    def test_branch_type_mismatch(self):
+        from repro.core.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            compile_program(
+                "datatype t = A | B\n"
+                "val it = case A of A => 1 | B => \"two\""
+            )

@@ -1,0 +1,32 @@
+"""Every example script must run cleanly (they are part of the public
+face of the reproduction)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    out = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=540, cwd=str(path.parents[1]),
+    )
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert out.stdout.strip(), "examples should narrate what they show"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "gc_safety_bug",
+        "spurious_tracking",
+        "exception_escape",
+        "region_profiles",
+        "calculator",
+    } <= names

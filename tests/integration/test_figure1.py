@@ -1,0 +1,136 @@
+"""The paper's headline experiment (Figures 1 and 2): the program that
+combines higher-order functions, type polymorphism, and a dead value.
+
+Under ``rg`` (the paper's sound system) the region of the dead string is
+kept alive because coverage forces it into the arrow effect of ``h``'s
+type through the spurious type variable's effect variable — Figure 2(b).
+Under ``rg-`` the region is deallocated early — Figure 2(a) — and the
+collector stumbles over the dangling pointer.  Under ``r`` the dangling
+pointer is harmless because nothing traces it.
+"""
+
+import pytest
+
+from repro import CompilerFlags, DanglingPointerError, Strategy, compile_program
+from repro.core.errors import CoverageError, RegionTypeError
+
+FIG1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200     (* trigger gc *)
+  in h ()
+  end
+val it = run ()
+"""
+
+
+class TestFigure1:
+    def test_rg_verifies_statically(self):
+        prog = compile_program(FIG1, strategy=Strategy.RG)
+        assert prog.verification_error is None
+
+    def test_rg_runs_safely_under_aggressive_gc(self):
+        prog = compile_program(FIG1, strategy=Strategy.RG)
+        res = prog.run(gc_every_alloc=True)
+        assert res.stats.gc_count > 0
+
+    def test_rg_minus_fails_the_type_checker(self):
+        prog = compile_program(FIG1, strategy=Strategy.RG_MINUS)
+        assert isinstance(prog.verification_error, RegionTypeError)
+
+    def test_rg_minus_dangles_at_runtime(self):
+        prog = compile_program(FIG1, strategy=Strategy.RG_MINUS)
+        with pytest.raises(DanglingPointerError):
+            prog.run(gc_every_alloc=True)
+
+    def test_r_tolerates_dangling_pointers(self):
+        """Region inference alone is sound: the program never dereferences
+        the dangling pointer, and with no collector nothing traces it."""
+        prog = compile_program(FIG1, strategy=Strategy.R)
+        res = prog.run()
+        assert res.stats.gc_count == 0
+
+    def test_trivial_and_ml_are_safe(self):
+        for strat in (Strategy.TRIVIAL, Strategy.ML):
+            prog = compile_program(FIG1, strategy=strat)
+            assert prog.verification_error is None
+            prog.run(gc_every_alloc=True)
+
+    def test_compose_is_spurious_in_rg(self):
+        prog = compile_program(FIG1, strategy=Strategy.RG)
+        assert "o" in prog.spurious.spurious_function_names
+
+    def test_rg_annotation_mentions_region_in_h_effect(self):
+        """Figure 2(b): the string's region appears in the latent effect of
+        h's arrow type; structurally we check that the string region is
+        NOT letregion-bound before the call to work."""
+        prog = compile_program(FIG1, strategy=Strategy.RG)
+        rg_pretty = prog.pretty()
+        minus = compile_program(FIG1, strategy=Strategy.RG_MINUS).pretty()
+        # The two annotations must differ (the paper's `diff` column).
+        assert rg_pretty != minus
+
+
+class TestStrategiesAgree:
+    SRC = """
+    fun fact n = if n = 0 then 1 else n * fact (n - 1)
+    val strs = map itos [fact 5, fact 7]
+    val it = foldl (fn (s, acc) => acc ^ s) "" strs
+    """
+
+    def test_all_strategies_same_result(self):
+        results = {}
+        for strat in Strategy:
+            res = compile_program(self.SRC, strategy=strat).run()
+            from repro.runtime.values import show_value
+
+            results[strat] = show_value(res.value)
+        assert len(set(results.values())) == 1, results
+
+    def test_gc_every_alloc_is_safe_for_rg(self):
+        prog = compile_program(self.SRC, strategy=Strategy.RG)
+        res = prog.run(gc_every_alloc=True)
+        from repro.runtime.values import show_value
+
+        assert show_value(res.value) == '"1205040"'
+
+
+class TestBasisSpuriousClaim:
+    """Section 4.2: the Basis implementation contains exactly three
+    spurious functions: o, Option.compose, Option.mapPartial."""
+
+    def test_exactly_three_spurious_in_prelude(self):
+        prog = compile_program("val it = 0", strategy=Strategy.RG)
+        assert sorted(prog.spurious.spurious_function_names) == [
+            "composeOpt", "mapPartialOpt", "o",
+        ]
+
+    def test_rg_minus_tracks_none(self):
+        prog = compile_program("val it = 0", strategy=Strategy.RG_MINUS)
+        assert prog.spurious.spurious_functions == 0
+
+    def test_unconstrained_app_is_spurious(self):
+        """The List.app example: plain algorithm W makes 'b spurious..."""
+        src = (
+            "fun appU f =\n"
+            "  let fun loop xs = if null xs then () else (f (hd xs); loop (tl xs))\n"
+            "  in loop end\n"
+            "val it = appU (fn x => ()) [1,2,3]\n"
+        )
+        prog = compile_program(src, strategy=Strategy.RG)
+        assert "appU" in prog.spurious.spurious_function_names
+
+    def test_annotated_app_is_not_spurious(self):
+        """... and the Section 4.2 annotation removes the spuriousness."""
+        src = (
+            "fun appC (f : 'a -> unit) =\n"
+            "  let fun loop xs = if null xs then () else (f (hd xs); loop (tl xs))\n"
+            "  in loop end\n"
+            "val it = appC (fn x => ()) [1,2,3]\n"
+        )
+        prog = compile_program(src, strategy=Strategy.RG)
+        assert "appC" not in prog.spurious.spurious_function_names

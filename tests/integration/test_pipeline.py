@@ -1,0 +1,146 @@
+"""Pipeline- and CLI-level integration tests."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program, run_source
+from repro.core.errors import ParseError, TypeError_
+from repro.runtime.values import show_value
+
+
+class TestCompileProgram:
+    def test_returns_reports(self):
+        prog = compile_program("val it = 1 + 1")
+        assert prog.check_result is not None
+        assert prog.compile_seconds > 0
+        assert prog.spurious.total_functions > 0  # the prelude
+
+    def test_run_source_shortcut(self):
+        res = run_source("val it = 6 * 7")
+        assert res.value == 42
+
+    def test_runtime_overrides(self):
+        res = compile_program("val it = length (tabulate (50, fn i => i))").run(
+            gc_every_alloc=True
+        )
+        assert res.value == 50
+        assert res.stats.gc_count > 0
+
+    def test_without_prelude(self):
+        flags = CompilerFlags(with_prelude=False)
+        res = compile_program("val it = 2 + 3", flags=flags).run()
+        assert res.value == 5
+
+    def test_prelude_needed_for_map(self):
+        flags = CompilerFlags(with_prelude=False)
+        with pytest.raises(TypeError_, match="unbound"):
+            compile_program("val it = map (fn x => x) [1]", flags=flags)
+
+    def test_parse_errors_propagate(self):
+        with pytest.raises(ParseError):
+            compile_program("val = 3")
+
+    def test_print_output_collected(self):
+        res = run_source('val _ = print "a" val _ = print "b" val it = 0')
+        assert res.output == "ab"
+
+    def test_program_without_it_returns_unit(self):
+        from repro.runtime.values import Unit
+
+        res = run_source("val x = 5")
+        assert isinstance(res.value, Unit)
+
+    def test_pretty_shows_letregion_and_at(self):
+        prog = compile_program(
+            "fun f n = let val p = (n, n) in #1 p end val it = f 1",
+            flags=CompilerFlags(with_prelude=False),
+        )
+        text = prog.pretty()
+        assert "letregion" in text
+        assert " at r" in text
+        assert "fun f [" in text
+
+    def test_verification_effect_is_global_only(self):
+        """A whole program's residual effect mentions only global atoms:
+        everything else was discharged by letregion."""
+        prog = compile_program("val it = size (\"a\" ^ \"bc\")")
+        for atom in prog.check_result.effect:
+            assert getattr(atom, "top", False) or atom.ident == 0
+
+
+class TestCLI:
+    def _run(self, *args, stdin=""):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *args],
+            capture_output=True, text=True, input=stdin,
+            cwd="/root/repo", timeout=300,
+        )
+
+    def test_run_file(self):
+        out = self._run("benchmarks/programs/fib.mml")
+        assert out.returncode == 0
+        assert "val it = 2584" in out.stdout
+
+    def test_stdin(self):
+        out = self._run("-", stdin="val it = 1 + 1")
+        assert "val it = 2" in out.stdout
+
+    def test_pretty_flag(self):
+        out = self._run("-", "--pretty", "--no-prelude", stdin="val it = (1, 2)")
+        assert "letregion" in out.stdout or " at r" in out.stdout
+
+    def test_stats_flag(self):
+        out = self._run("-", "--stats", stdin="val it = 0")
+        assert "[stats]" in out.stderr
+
+    def test_strategy_flag(self):
+        out = self._run("-", "--strategy", "r", stdin="val it = 3")
+        assert "val it = 3" in out.stdout
+
+    def test_rg_minus_warns(self):
+        fig1 = (
+            'fun run () = let val h : unit -> unit = '
+            '(op o) (let val x = "a" ^ "b" in (fn x => (), fn () => x) end) '
+            'in h () end val it = run ()'
+        )
+        out = self._run("-", "--strategy", "rg-", stdin=fig1)
+        assert "warning" in out.stderr
+
+    def test_compile_error_reported(self):
+        out = self._run("-", stdin="val it = undefined_name")
+        assert out.returncode == 1
+        assert "error" in out.stderr
+
+
+class TestMinimization:
+    def test_minimize_removes_gratuitous_variable(self):
+        """An unused over-generalized helper loses its gratuitous type
+        variable under minimization (Section 4.2) and stops being
+        spurious."""
+        src = (
+            "fun appU f =\n"
+            "  let fun loop xs = if null xs then () else (f (hd xs); loop (tl xs))\n"
+            "  in loop end\n"
+            "val it = 0\n"
+        )
+        with_min = compile_program(src, flags=CompilerFlags(minimize_types=True))
+        without = compile_program(src, flags=CompilerFlags(minimize_types=False))
+        assert "appU" not in with_min.spurious.spurious_function_names
+        assert "appU" in without.spurious.spurious_function_names
+
+    def test_minimize_keeps_constrained_instances(self):
+        """When a use pins the variable to a boxed type, minimization must
+        not fire and the function stays spurious."""
+        src = (
+            "fun appU f =\n"
+            "  let fun loop xs = if null xs then () else (f (hd xs); loop (tl xs))\n"
+            "  in loop end\n"
+            "val _ = appU (fn x => \"s\" ^ x) [\"a\"]\n"
+            "val it = 0\n"
+        )
+        prog = compile_program(src, flags=CompilerFlags(minimize_types=True))
+        assert "appU" in prog.spurious.spurious_function_names
+        assert prog.verification_error is None
+        prog.run(gc_every_alloc=True)

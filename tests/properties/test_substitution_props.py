@@ -1,0 +1,147 @@
+"""Property-based tests of the substitution and containment algebra
+(paper Propositions 1-5), driven by hypothesis."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.containment import (
+    contained_mu,
+    required_effect_mu,
+)
+from repro.core.effects import ArrowEffect, EffectVar, RegionVar
+from repro.core.rtypes import (
+    EMPTY_CTX,
+    MU_BOOL,
+    MU_INT,
+    MU_UNIT,
+    MuBoxed,
+    MuVar,
+    TAU_REAL,
+    TAU_STRING,
+    TauArrow,
+    TauList,
+    TauPair,
+    TyCtx,
+    TyVar,
+    frev,
+)
+from repro.core.substitution import Subst
+
+# -- atoms -------------------------------------------------------------------
+
+rhos = st.integers(min_value=1, max_value=8).map(lambda i: RegionVar(i, f"r{i}"))
+epss = st.integers(min_value=11, max_value=18).map(lambda i: EffectVar(i, f"e{i}"))
+atoms = st.one_of(rhos, epss)
+effects = st.frozensets(atoms, max_size=5)
+arrow_effects = st.builds(ArrowEffect, epss, effects)
+tyvars = st.integers(min_value=21, max_value=24).map(lambda i: TyVar(i, f"'a{i}"))
+
+
+def mus(depth: int = 2):
+    base = st.one_of(
+        st.just(MU_INT),
+        st.just(MU_BOOL),
+        st.just(MU_UNIT),
+        st.builds(MuVar, tyvars),
+        st.builds(MuBoxed, st.just(TAU_STRING), rhos),
+        st.builds(MuBoxed, st.just(TAU_REAL), rhos),
+    )
+    if depth == 0:
+        return base
+    inner = mus(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda a, b, r: MuBoxed(TauPair(a, b), r), inner, inner, rhos),
+        st.builds(
+            lambda a, ae, b, r: MuBoxed(TauArrow(a, ae, b), r),
+            inner, arrow_effects, inner, rhos,
+        ),
+        st.builds(lambda a, r: MuBoxed(TauList(a), r), inner, rhos),
+    )
+
+
+substs = st.builds(
+    lambda rmap, emap: Subst(rgn=rmap, eff=emap),
+    st.dictionaries(rhos, rhos, max_size=4),
+    st.dictionaries(epss, arrow_effects, max_size=4),
+)
+
+omegas = st.dictionaries(tyvars, arrow_effects, max_size=3).map(TyCtx)
+
+
+class TestEffectSubstitution:
+    @given(substs, effects, effects)
+    def test_monotonicity_prop3(self, s, phi1, phi2):
+        """phi <= phi' implies S(phi) <= S(phi')."""
+        small, big = phi1 & phi2, phi1 | phi2
+        assert s.effect(small) <= s.effect(big)
+
+    @given(substs, arrow_effects)
+    def test_interchange(self, s, ae):
+        """frev(S(eps.phi)) = S({eps} | phi)."""
+        assert s.arrow(ae).frev() == s.effect(ae.frev())
+
+    @given(substs, effects)
+    def test_result_is_an_effect(self, s, phi):
+        out = s.effect(phi)
+        assert isinstance(out, frozenset)
+        assert all(isinstance(a, (RegionVar, EffectVar)) for a in out)
+
+    @given(substs, substs, effects)
+    def test_composition_on_effects(self, s1, s2, phi):
+        """then() agrees with sequential application on effects."""
+        assert s1.then(s2).effect(phi) == s2.effect(s1.effect(phi))
+
+    @given(substs, substs, mus())
+    def test_composition_on_types(self, s1, s2, mu):
+        assert s1.then(s2).mu(mu) == s2.mu(s1.mu(mu))
+
+
+class TestContainment:
+    @given(omegas, mus())
+    def test_min_effect_is_contained(self, omega, mu):
+        """required_effect is itself a containing effect (Prop. 1-ish)."""
+        try:
+            need = required_effect_mu(omega, mu)
+        except Exception:
+            return  # untracked tyvar: no containing effect exists
+        assert contained_mu(omega, mu, need)
+
+    @given(omegas, mus(), effects)
+    def test_rule_checker_agrees_with_min_effect(self, omega, mu, phi):
+        """The rule-based checker and the closed-form minimal effect are
+        the same relation."""
+        try:
+            need = required_effect_mu(omega, mu)
+        except Exception:
+            assert not contained_mu(omega, mu, phi | frev(omega))
+            return
+        assert contained_mu(omega, mu, phi) == (need <= phi)
+
+    @given(omegas, mus())
+    def test_containment_implies_frev_subset_prop2(self, omega, mu):
+        try:
+            need = required_effect_mu(omega, mu)
+        except Exception:
+            return
+        assert frev(mu) <= need
+
+    @given(omegas, mus(), effects, effects)
+    def test_extensibility(self, omega, mu, phi, extra):
+        """Omega |- mu : phi implies Omega |- mu : phi | extra."""
+        if contained_mu(omega, mu, phi):
+            assert contained_mu(omega, mu, phi | extra)
+
+    @settings(max_examples=60)
+    @given(omegas, mus(), substs)
+    def test_region_effect_substitution_closedness_prop4(self, omega, mu, s):
+        """If Omega |- mu : phi then S(Omega) |- S(mu) : S(phi), for
+        region-effect substitutions."""
+        try:
+            phi = required_effect_mu(omega, mu)
+        except Exception:
+            return
+        if set(s.ty):
+            return
+        s_omega = TyCtx({a: s.arrow(ae) for a, ae in omega.items()})
+        assert contained_mu(s_omega, s.mu(mu), s.effect(phi))

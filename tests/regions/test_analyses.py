@@ -1,0 +1,188 @@
+"""Unit tests for the region-representation analyses (Section 4.2):
+multiplicity (finite vs infinite regions), drop-regions, and letregion
+placement."""
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program
+from repro.core import terms as T
+
+FLAGS = CompilerFlags(with_prelude=False)
+
+
+def compiled(src: str, **kw):
+    from dataclasses import replace
+
+    return compile_program(src, flags=replace(FLAGS, **kw))
+
+
+def find_fundef(term, name):
+    if isinstance(term, T.FunDef):
+        if term.fname == name:
+            return term
+        return find_fundef(term.body, name)
+    for child in T.iter_children(term):
+        out = find_fundef(child, name)
+        if out is not None:
+            return out
+    return None
+
+
+def letregions_of(term, out=None):
+    if out is None:
+        out = []
+    if isinstance(term, T.Letregion):
+        out.append(term)
+    for child in T.iter_children(term):
+        letregions_of(child, out)
+    return out
+
+
+class TestMultiplicity:
+    def test_single_pair_region_is_finite(self):
+        prog = compiled("fun f x = let val p = (x, x) in #1 p end val it = f 1")
+        assert len(prog.multiplicity.finite) >= 1
+
+    def test_list_spine_region_is_infinite(self):
+        prog = compiled(
+            "fun build n = if n = 0 then nil else n :: build (n - 1) "
+            "fun len xs = if null xs then 0 else 1 + len (tl xs) "
+            "val it = len (build 5)"
+        )
+        # the spine receives many cons cells: must be infinite
+        assert len(prog.multiplicity.infinite) >= 1
+
+    def test_allocation_under_lambda_is_infinite(self):
+        """A region bound outside a lambda but allocated into inside it can
+        receive one value per call: infinite."""
+        src = (
+            "fun f x = x "
+            "val g = fn n => (n, n) "
+            "val it = #1 (g 1) + #1 (g 2)"
+        )
+        prog = compiled(src)
+        # the pair region of g's body lives outside g (result region is a
+        # region parameter or outer): every classification must be sound —
+        # run under gc-every-alloc to be sure.
+        prog.run(gc_every_alloc=True)
+
+    def test_finite_sizes_are_positive(self):
+        prog = compiled("val p = (1, (2, 3)) val it = #1 p")
+        for words in prog.multiplicity.finite.values():
+            assert words >= 1
+
+    def test_multiplicity_off_runs_identically(self):
+        src = "fun f n = if n = 0 then nil else (n, n) :: f (n - 1) val it = length (f 5)"
+        src = (
+            "fun length2 xs = if null xs then 0 else 1 + length2 (tl xs) "
+            + src.replace("length", "length2")
+        )
+        a = compiled(src).run()
+        b = compiled(src, multiplicity=False).run()
+        assert a.value == b.value
+        assert b.stats.finite_allocations == 0
+
+
+class TestDropRegions:
+    def test_read_only_parameter_is_dropped(self):
+        """A function that only reads its list argument needs no region
+        arguments for it."""
+        src = (
+            "fun sum xs = if null xs then 0 else hd xs + sum (tl xs) "
+            "val it = sum [1, 2, 3]"
+        )
+        prog = compiled(src)
+        res = prog.run()
+        assert res.stats.dropped_region_passes > 0
+
+    def test_put_parameter_is_kept(self):
+        """A function that allocates its result into a parameter region
+        must receive it."""
+        src = "fun dup x = (x, x) val it = #1 (dup 3) + #2 (dup 4)"
+        prog = compiled(src)
+        fd = find_fundef(prog.term, "dup")
+        dropped = prog.drop_regions.dropped_indices_for(id(fd))
+        kept = set(range(len(fd.rparams))) - set(dropped)
+        assert kept, "the result-pair region parameter must be kept"
+
+    def test_interprocedural_propagation(self):
+        """f passes its parameter region to g which allocates into it:
+        f's parameter must be kept too."""
+        src = (
+            "fun g x = (x, x) "
+            "fun f y = g y "
+            "val it = #1 (f 7)"
+        )
+        prog = compiled(src)
+        fd = find_fundef(prog.term, "f")
+        dropped = prog.drop_regions.dropped_indices_for(id(fd))
+        # f's result region flows to g's allocating parameter
+        assert len(dropped) < len(fd.rparams) or not fd.rparams
+
+    def test_dropping_preserves_results(self):
+        src = (
+            "fun sum xs = if null xs then 0 else hd xs + sum (tl xs) "
+            "val it = sum [5, 6, 7]"
+        )
+        with_drop = compiled(src).run()
+        without = compiled(src, drop_regions=False).run()
+        assert with_drop.value == without.value == 18
+        assert without.stats.dropped_region_passes == 0
+
+
+class TestLetregionPlacement:
+    def test_local_temporary_gets_a_letregion(self):
+        src = "fun f n = let val p = (n, n) in #1 p + #2 p end val it = f 3"
+        prog = compiled(src)
+        fd = find_fundef(prog.term, "f")
+        assert letregions_of(fd.body), "the pair region should be body-local"
+
+    def test_escaping_value_has_no_local_letregion(self):
+        """A pair returned from the function must NOT be letregion-bound
+        inside it."""
+        src = "fun mk n = (n, n) val it = #1 (mk 2)"
+        prog = compiled(src)
+        fd = find_fundef(prog.term, "mk")
+        for lr in letregions_of(fd.body):
+            assert fd.pi.scheme.body.cod.rho not in lr.rhos
+
+    def test_letregions_nest_lifo_at_runtime(self):
+        src = (
+            "fun f n = let val a = (n, 1) in "
+            "  let val b = (n, 2) in #1 a + #1 b end end "
+            "val it = f 10"
+        )
+        prog = compiled(src)
+        res = prog.run()
+        assert res.stats.letregions >= 1
+        assert res.stats.max_region_stack >= 2
+
+    def test_recursive_call_regions_follow_the_stack_discipline(self):
+        """Non-tail recursion keeps each level's letregion on the region
+        stack until the level returns (the lexical stack discipline), and
+        everything is reclaimed without a single collection."""
+        src = (
+            "fun loop n = if n = 0 then 0 "
+            "else let val t = (n, n) in #1 t + loop (n - 1) end "
+            "val it = loop 200"
+        )
+        res = compiled(src).run()
+        assert res.stats.gc_count == 0
+        # one live pair per active level, all reclaimed on return
+        assert res.stats.max_region_stack > 150
+        assert res.stats.peak_words <= 2 * 201
+        assert res.stats.current_words == 0
+
+    def test_tail_like_temporary_is_reclaimed_per_iteration(self):
+        """When the temporary dies before the recursive call is made
+        within the same letregion, peak memory still tracks the stack
+        depth of the region, not the data: each level holds one pair."""
+        src = (
+            "fun loop (n, acc) = if n = 0 then acc "
+            "else loop (n - 1, acc + n) "
+            "val it = loop (300, 0)"
+        )
+        res = compiled(src).run()
+        # the argument pair of each call is the only allocation
+        assert res.stats.peak_words < 2500
+        assert res.stats.gc_count == 0

@@ -1,0 +1,149 @@
+"""Figure 8: tracking spurious type-variable *dependencies* — a type
+variable instantiated for another spurious type variable becomes spurious
+itself (Section 4.3)."""
+
+import pytest
+
+from repro import DanglingPointerError, Strategy, compile_program
+from repro.core.rtypes import PiScheme, show_scheme
+
+FIG8 = """
+fun g (f : unit -> 'a) : unit -> unit =
+  op o (let val x = f ()
+        in (fn x => (), fn () => x)
+        end)
+fun work n = if n = 0 then nil else n :: work (n - 1)
+val h = g (fn () => "oh" ^ "no")
+val _ = work 200
+val it = h ()
+"""
+
+
+def _scheme_of(prog, name):
+    from repro.core import terms as T
+
+    out = []
+
+    def walk(t):
+        if isinstance(t, T.FunDef):
+            if t.fname == name:
+                out.append(t.pi)
+            walk(t.body)
+            return
+        for c in T.iter_children(t):
+            walk(c)
+
+    walk(prog.term)
+    return out[0]
+
+
+class TestFigure8:
+    def test_g_is_spurious_by_transitivity(self):
+        """'a never occurs in the type of a variable captured by one of
+        g's lambdas — it becomes spurious because it is instantiated for
+        o's spurious type variable."""
+        prog = compile_program(FIG8, strategy=Strategy.RG)
+        assert "g" in prog.spurious.spurious_function_names
+
+    def test_g_scheme_has_delta_entry(self):
+        prog = compile_program(FIG8, strategy=Strategy.RG)
+        pi = _scheme_of(prog, "g")
+        assert isinstance(pi, PiScheme)
+        assert len(pi.scheme.delta) == 1, show_scheme(pi.scheme)
+
+    def test_rg_verifies_and_runs(self):
+        prog = compile_program(FIG8, strategy=Strategy.RG)
+        assert prog.verification_error is None
+        prog.run(gc_every_alloc=True)
+
+    def test_rg_minus_fails_statically(self):
+        prog = compile_program(FIG8, strategy=Strategy.RG_MINUS)
+        assert prog.verification_error is not None
+
+    def test_rg_minus_dangles_at_runtime(self):
+        prog = compile_program(FIG8, strategy=Strategy.RG_MINUS)
+        with pytest.raises(DanglingPointerError):
+            prog.run(gc_every_alloc=True)
+
+    def test_string_forced_into_longlived_region_under_rg(self):
+        """The paper: "the string 'ohno' is rightfully forced into a global
+        region".  Structurally: under rg the string's region must outlive
+        the call to work, so peak memory while h is live retains it; the
+        program completes and h() returns unit."""
+        prog = compile_program(FIG8, strategy=Strategy.RG)
+        res = prog.run()
+        from repro.runtime.values import Unit
+
+        assert isinstance(res.value, Unit)
+
+
+class TestExceptionTyvars:
+    """Section 4.4: a type variable in a local exception's payload type
+    must be treated as spurious and pinned to top-level regions."""
+
+    FIND = """
+    fun find (p : 'a -> bool) (xs : 'a list) =
+      let exception Found of 'a
+          fun go ys = if null ys then nil
+                      else if p (hd ys) then raise Found (hd ys)
+                      else go (tl ys)
+      in go xs handle Found v => v :: nil end
+    val it = hd (find (fn s => size s > 1) ["a", "bb", "c"])
+    """
+
+    def test_exception_program_runs_under_rg(self):
+        prog = compile_program(self.FIND, strategy=Strategy.RG)
+        assert prog.verification_error is None
+        res = prog.run(gc_every_alloc=True)
+        from repro.runtime.values import RStr
+
+        assert isinstance(res.value, RStr) and res.value.value == "bb"
+
+    def test_escaping_exception_value_is_safe_under_rg(self):
+        """A raised value escapes the dynamic extent of the function that
+        allocated its payload; rg pins the payload regions to top level
+        so collection while the handler holds it is safe."""
+        src = """
+        fun work n = if n = 0 then nil else n :: work (n - 1)
+        exception Out of string
+        fun mk () = raise Out ("es" ^ "cape")
+        val s = (let val _ = mk () in "no" end) handle Out v => v
+        val _ = work 200
+        val it = size s
+        """
+        prog = compile_program(src, strategy=Strategy.RG)
+        res = prog.run(gc_every_alloc=True)
+        assert res.value == 6
+
+    def test_handlers_rethrow_other_exceptions(self):
+        src = """
+        exception A
+        exception B
+        val it = (raise A) handle B => 1
+        """
+        from repro.core.errors import MLExceptionError
+
+        prog = compile_program(src, strategy=Strategy.RG)
+        with pytest.raises(MLExceptionError, match="A"):
+            prog.run()
+
+    def test_generative_exceptions(self):
+        """Two evaluations of the same local exception declaration yield
+        distinct constructors (SML generativity)."""
+        src = """
+        fun mk (u : unit) =
+          let exception E
+          in (fn () => raise E, fn (f : unit -> int) => (f () handle E => 1))
+          end
+        val (r1, h1) = mk ()
+        val (r2, h2) = mk ()
+        val it = h1 (fn () => r2 ()) handle E => 99
+        """
+        # r2's E is not h1's E: the handler must NOT catch it; the
+        # top-level handle has no matching E either... we declare one:
+        src = "exception E\n" + src
+        from repro.core.errors import MLExceptionError
+
+        prog = compile_program(src, strategy=Strategy.RG)
+        with pytest.raises(MLExceptionError):
+            prog.run()

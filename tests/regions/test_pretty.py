@@ -1,0 +1,105 @@
+"""The pretty printer must render every construct in the paper's notation
+and never crash on real inference output."""
+
+import glob
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program
+from repro.regions.pretty import pretty_program
+
+
+class TestNotation:
+    def _pretty(self, src, **kw):
+        return compile_program(src, flags=CompilerFlags(with_prelude=False, **kw)).pretty()
+
+    def test_letregion_and_at(self):
+        text = self._pretty("fun f n = let val p = (n, n) in #1 p end val it = f 1")
+        assert "letregion r" in text
+        assert ") at r" in text
+
+    def test_region_application_brackets(self):
+        text = self._pretty("fun mk n = (n, n) val it = #1 (mk 2)")
+        assert "mk [" in text and "] at " in text
+
+    def test_scheme_comments_toggle(self):
+        prog = compile_program(
+            "fun id x = x val it = id 1", flags=CompilerFlags(with_prelude=False)
+        )
+        with_schemes = prog.pretty(schemes=True)
+        without = prog.pretty(schemes=False)
+        assert "(* id : (all " in with_schemes
+        assert "(* id" not in without
+
+    def test_datatype_declaration_rendered(self):
+        text = self._pretty(
+            "datatype t = A | B of int\n"
+            "val it = case B 3 of A => 0 | B n => n"
+        )
+        assert "datatype t = A | B of int" in text
+        assert "case " in text
+        assert "B n =>" in text
+
+    def test_exception_forms(self):
+        text = self._pretty(
+            "exception E of int\n"
+            "val it = (raise E 3) handle E n => n"
+        )
+        assert "exception E of int" in text
+        assert "raise" in text and "handle E n" in text
+
+    def test_string_literal_with_region(self):
+        text = self._pretty('val it = "hi"')
+        assert '"hi" at ' in text
+
+    @pytest.mark.parametrize(
+        "path", sorted(glob.glob("benchmarks/programs/*.mml"))[:6],
+        ids=lambda p: p.split("/")[-1],
+    )
+    def test_never_crashes_on_benchmarks(self, path):
+        prog = compile_program(open(path).read(), strategy=Strategy.RG)
+        text = prog.pretty()
+        assert len(text) > 100
+
+
+class TestEffectBasisValidation:
+    """The frozen program's arrow effects form a functional, transitive
+    effect basis (Section 3.5's consistency conditions)."""
+
+    @pytest.mark.parametrize("src", [
+        "fun f x = x + 1 val it = f 1",
+        "fun o2 (f, g) = fn x => f (g x) val it = o2 (fn a => a, fn b => b) 9",
+        "fun map2 f xs = if null xs then nil else f (hd xs) :: map2 f (tl xs) "
+        "val it = length (map2 (fn x => x) [1,2])",
+    ])
+    def test_basis_consistent(self, src):
+        from repro.core import terms as T
+        from repro.core.effects import EffectBasis
+        from repro.core.rtypes import MuBoxed, TauArrow
+
+        prog = compile_program(src)
+        basis = EffectBasis()
+
+        def record_mu(mu):
+            if isinstance(mu, MuBoxed):
+                tau = mu.tau
+                if isinstance(tau, TauArrow):
+                    basis.record(tau.arrow)  # raises if not functional
+                    record_mu(tau.dom)
+                    record_mu(tau.cod)
+                elif hasattr(tau, "fst"):
+                    record_mu(tau.fst)
+                    record_mu(tau.snd)
+                elif hasattr(tau, "elem"):
+                    record_mu(tau.elem)
+
+        def walk(t):
+            if isinstance(t, T.Lam):
+                record_mu(t.mu)
+            if isinstance(t, T.FunDef):
+                record_mu(MuBoxed(t.pi.scheme.body, t.pi.rho))
+            for c in T.iter_children(t):
+                walk(c)
+
+        walk(prog.term)
+        assert basis.check_transitive() == []

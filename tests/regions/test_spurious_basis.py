@@ -1,0 +1,92 @@
+"""The spurious-type-variable statistics behind Figure 9's fcns/inst
+columns, and the Section 4.2 Basis claims (see also
+tests/integration/test_figure1.py::TestBasisSpuriousClaim)."""
+
+import pytest
+
+from repro import CompilerFlags, SpuriousMode, Strategy, compile_program
+from repro.bench.harness import static_counts
+
+
+class TestStatistics:
+    def test_boxed_instantiation_counted(self):
+        """Instantiating o's spurious variable with a string counts in the
+        inst numerator; with unit it does not."""
+        boxed = compile_program(
+            'val h = (op o) (fn s => (), fn () => "x" ^ "y") val it = h ()'
+        )
+        unboxed = compile_program(
+            "val h = (op o) (fn u => (), fn () => ()) val it = h ()"
+        )
+        assert (
+            boxed.spurious.spurious_boxed_instantiations
+            > unboxed.spurious.spurious_boxed_instantiations
+        )
+
+    def test_total_instantiations_count_all_qvars(self):
+        prog = compile_program("fun id x = x val a = id 1 val b = id \"s\" val it = a")
+        baseline = compile_program("val it = 0")
+        # two uses of the 1-qvar id
+        assert (
+            prog.spurious.total_tyvar_instantiations
+            - baseline.spurious.total_tyvar_instantiations
+            >= 2
+        )
+
+    def test_static_counts_exclude_prelude(self):
+        spur, total, boxed, inst, _diff = static_counts("val it = 0")
+        assert spur == 0 and total == 0 and boxed == 0 and inst == 0
+
+    def test_rg_minus_reports_zero_spurious(self):
+        prog = compile_program("val it = 0", strategy=Strategy.RG_MINUS)
+        assert prog.spurious.spurious_functions == 0
+        assert prog.spurious.spurious_tyvars == 0
+
+
+class TestSpuriousModes:
+    FIG1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 100
+  in h () end
+val it = run ()
+"""
+
+    @pytest.mark.parametrize("mode", list(SpuriousMode), ids=lambda m: m.value)
+    def test_both_modes_sound_on_figure1(self, mode):
+        flags = CompilerFlags(spurious_mode=mode)
+        prog = compile_program(self.FIG1, flags=flags)
+        assert prog.verification_error is None
+        prog.run(gc_every_alloc=True)
+
+    @pytest.mark.parametrize("mode", list(SpuriousMode), ids=lambda m: m.value)
+    def test_both_modes_spurious_counts_match(self, mode):
+        flags = CompilerFlags(spurious_mode=mode)
+        prog = compile_program("val it = 0", flags=flags)
+        assert sorted(prog.spurious.spurious_function_names) == [
+            "composeOpt", "mapPartialOpt", "o",
+        ]
+
+
+class TestTrivialInference:
+    """Section 4.1's trivial algorithm: everything in the global region,
+    the global arrow effect everywhere — sound by construction."""
+
+    def test_trivial_always_verifies(self):
+        for src in (
+            "val it = 1",
+            TestSpuriousModes.FIG1,
+            "fun f x = (x, x) val it = #1 (f 3)",
+        ):
+            prog = compile_program(src, strategy=Strategy.TRIVIAL)
+            assert prog.verification_error is None
+
+    def test_trivial_never_deallocates(self):
+        prog = compile_program(TestSpuriousModes.FIG1, strategy=Strategy.TRIVIAL)
+        res = prog.run(gc_every_alloc=True)
+        assert res.stats.letregions == 0
+        assert res.stats.finite_regions_created == 0

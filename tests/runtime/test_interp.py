@@ -1,0 +1,166 @@
+"""Unit tests for the big-step region interpreter: root discipline,
+references, exceptions, limits, statistics, and strategy-specific
+behaviour."""
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program
+from repro.core.errors import InterpreterLimit, MLExceptionError, RuntimeFault
+from repro.runtime.values import RReal, RStr, Unit, show_value
+
+FLAGS = CompilerFlags(with_prelude=False)
+
+
+def run(src, strategy=Strategy.RG, with_prelude=False, **overrides):
+    from dataclasses import replace
+
+    flags = replace(FLAGS, with_prelude=with_prelude, strategy=strategy)
+    return compile_program(src, flags=flags).run(**overrides)
+
+
+class TestRootDiscipline:
+    """gc_every_alloc runs a collection at every allocation: any missing
+    root would mis-account live words or crash on a dangling trace.  The
+    invariants: correct results and current_words back to ~global-only."""
+
+    CASES = {
+        "pair_components": 'val it = size (#1 ("aa" ^ "b", "c" ^ "d"))',
+        "cons_chain": (
+            "fun up n = if n = 0 then nil else (itos n) :: up (n - 1) "
+            "fun count xs = if null xs then 0 else size (hd xs) + count (tl xs) "
+            "val it = count (up 12)"
+        ),
+        "ref_cells": (
+            'val r = ref ("a" ^ "b") '
+            'val _ = r := ("cc" ^ "dd") '
+            "val it = size (!r)"
+        ),
+        "closure_captures": (
+            'fun mk s = fn () => s ^ "!" '
+            'val f = mk ("he" ^ "llo") '
+            "val it = size (f ()) + size (f ())"
+        ),
+        "handler_payload": (
+            "exception Oops of string "
+            'val it = size ((raise Oops ("x" ^ "yz")) handle Oops s => s ^ s)'
+        ),
+        "deep_arith": "fun f n = if n = 0 then 0 else ((n, itos n); f (n - 1)) val it = f 30",
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_gc_every_alloc_correct(self, name):
+        src = self.CASES[name]
+        with_prelude = "itos" in src or "null" in src
+        plain = run(src, with_prelude=with_prelude)
+        stressed = run(src, with_prelude=with_prelude, gc_every_alloc=True)
+        assert show_value(plain.value) == show_value(stressed.value)
+        assert stressed.stats.gc_count > 0
+
+
+class TestReferences:
+    def test_ref_update_and_read(self):
+        res = run("val r = ref 1 val _ = r := !r + 41 val it = !r")
+        assert res.value == 42
+
+    def test_refs_are_shared(self):
+        res = run(
+            "val r = ref 0 "
+            "fun bump u = r := !r + 1 "
+            "val _ = bump () val _ = bump () val it = !r"
+        )
+        assert res.value == 2
+
+    def test_ref_in_closure_counter(self):
+        res = run(
+            "fun counter u = let val r = ref 0 in fn () => (r := !r + 1; !r) end "
+            "val c = counter () "
+            "val _ = c () val _ = c () val it = c ()"
+        )
+        assert res.value == 3
+
+
+class TestExceptionsRuntime:
+    def test_uncaught_exception(self):
+        with pytest.raises(MLExceptionError, match="Boom"):
+            run("exception Boom val it = if true then raise Boom else 0")
+
+    def test_handler_catches_matching(self):
+        res = run("exception E of int val it = (raise E 5) handle E n => n + 1")
+        assert res.value == 6
+
+    def test_handler_rethrows_others(self):
+        with pytest.raises(MLExceptionError, match="B"):
+            run("exception A exception B val it = (raise B) handle A => 1")
+
+    def test_nested_handlers(self):
+        res = run(
+            "exception A exception B "
+            "val it = ((raise A) handle B => 1) handle A => 2"
+        )
+        assert res.value == 2
+
+    def test_hd_of_nil_faults(self):
+        with pytest.raises(RuntimeFault, match="Empty"):
+            run("val it = hd nil", with_prelude=True)
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(RuntimeFault, match="Div"):
+            run("val it = 1 div 0")
+
+
+class TestLimits:
+    def test_step_budget(self):
+        with pytest.raises(InterpreterLimit, match="step"):
+            run("fun loop n = loop (n + 1) val it = loop 0", max_steps=10_000)
+
+    def test_depth_budget(self):
+        with pytest.raises(InterpreterLimit, match="depth"):
+            run("fun deep n = 1 + deep n val it = deep 0", max_depth=2_000)
+
+
+class TestStrategySemantics:
+    def test_ml_mode_has_no_letregions(self):
+        src = "fun f n = let val p = (n, n) in #1 p end val it = f 1"
+        res = run(src, strategy=Strategy.ML)
+        assert res.stats.letregions == 0
+        assert res.value == 1
+
+    def test_r_never_collects(self):
+        res = run(
+            "fun ws n = if n = 0 then 0 else size (itos n) + ws (n - 1) "
+            "val it = ws 200",
+            strategy=Strategy.R, with_prelude=True, initial_threshold=64,
+        )
+        assert res.stats.gc_count == 0
+
+    def test_trivial_everything_in_one_region(self):
+        src = "fun f n = let val p = (n, n) in #1 p end val it = f 1"
+        res = run(src, strategy=Strategy.TRIVIAL)
+        assert res.stats.letregions == 0
+        assert res.stats.infinite_regions_created == 0
+
+    def test_generational_minor_collections(self):
+        src = (
+            "fun churn n = if n = 0 then nil else (itos n) :: churn (n - 1) "
+            "val keep = churn 40 "
+            "fun rounds k = if k = 0 then 0 else length (churn 40) + rounds (k - 1) "
+            "val it = rounds 10 + length keep"
+        )
+        res = run(src, with_prelude=True, generational=True, initial_threshold=256)
+        assert res.value == 440
+        assert res.stats.gc_minor_count > 0
+
+    def test_direct_calls_counted(self):
+        res = run("fun f x = x + 1 val it = f (f (f 0))")
+        assert res.stats.direct_calls >= 3
+
+    def test_reals_are_boxed_allocations(self):
+        res = run("val x = 1.5 val y = 2.5 val it = floor (x + y)", with_prelude=True)
+        assert res.value == 4
+        assert res.stats.allocations >= 3  # two literals + the sum
+
+
+class TestValueRendering:
+    def test_final_values_render(self):
+        res = run('val it = (1, ("two", [3, 4]))', with_prelude=False)
+        assert show_value(res.value) == '(1, ("two", [3, 4]))'

@@ -1,0 +1,136 @@
+"""The small-step machine (Figure 6) and the paper's metatheory:
+preservation (Prop. 18), progress (Prop. 19), soundness (Thm. 1), and
+containment (Thm. 2), tested on real region-inference output."""
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program
+from repro.core import terms as T
+from repro.core.effects import RHO_TOP
+from repro.core.gcsafety import context_contained
+from repro.core.typecheck import typecheck
+from repro.runtime.smallstep import evaluate, step, trace
+
+FLAGS = CompilerFlags(with_prelude=False)
+
+
+def term_of(src: str):
+    return compile_program(src, flags=FLAGS).term
+
+
+PROGRAMS = {
+    "arith": ("val it = (3 + 4) * 2", T.VInt(14)),
+    "let": ("val x = 5 val it = x + x", T.VInt(10)),
+    "lambda": ("val it = (fn x => x + 1) 41", T.VInt(42)),
+    "fun": ("fun double x = x + x val it = double 21", T.VInt(42)),
+    "recursion": (
+        "fun fact n = if n = 0 then 1 else n * fact (n - 1) val it = fact 5",
+        T.VInt(120),
+    ),
+    "pairs": ("val p = (1, 2) val it = #1 p + #2 p", T.VInt(3)),
+    "polymorphic": (
+        "fun id x = x  val it = id 7",
+        T.VInt(7),
+    ),
+    "higher_order": (
+        "fun twice f = fn x => f (f x) val it = twice (fn y => y * 3) 2",
+        T.VInt(18),
+    ),
+    "strings": ('val it = size ("ab" ^ "cde")', T.VInt(5)),
+    "bools": ("val it = if 3 < 4 then 1 else 0", T.VInt(1)),
+    "lists": (
+        "fun sum xs = if null xs then 0 else hd xs + sum (tl xs) "
+        "val it = sum [1,2,3,4]",
+        T.VInt(10),
+    ),
+    "compose": (
+        "fun o p = fn x => (#1 p) ((#2 p) x) "
+        "val it = (op o) (fn a => a + 1, fn b => b * 2) 5",
+        T.VInt(11),
+    ),
+}
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_reduces_to_expected_value(self, name):
+        src, expected = PROGRAMS[name]
+        result = evaluate(term_of(src))
+        assert result == expected
+
+    def test_step_on_value_returns_none(self):
+        assert step(T.VInt(1), frozenset()) is None
+
+    def test_trace_starts_with_input(self):
+        term = term_of("val it = 1 + 1")
+        steps = list(trace(term))
+        assert steps[0] is term
+        assert steps[-1] == T.VInt(2)
+
+
+class TestMetatheory:
+    """Run each program, re-checking the paper's theorems at every step."""
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_preservation_prop18(self, name):
+        """Every step preserves the type (Proposition 18)."""
+        src, _ = PROGRAMS[name]
+        term = term_of(src)
+        pi0 = typecheck(term).pi
+        for t in trace(term, max_steps=3000):
+            assert typecheck(t).pi == pi0
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_progress_prop19(self, name):
+        """A well-typed term either is a value or steps (Proposition 19).
+        ``trace`` would raise StuckError otherwise; assert termination on
+        a value."""
+        src, _ = PROGRAMS[name]
+        final = evaluate(term_of(src), max_steps=3000)
+        assert T.is_value(final)
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_containment_thm2(self, name):
+        """phi |=c e is preserved by evaluation (Theorem 2): at every
+        step, live values are in allocated regions — the property that
+        lets a tracing collector interleave with evaluation."""
+        src, _ = PROGRAMS[name]
+        for t in trace(term_of(src), max_steps=3000):
+            assert context_contained(frozenset({RHO_TOP}), t)
+
+
+class TestBigSmallAgreement:
+    """The efficient big-step machine and the paper-faithful small-step
+    machine agree on final values."""
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_agree(self, name):
+        src, _ = PROGRAMS[name]
+        prog = compile_program(src, flags=FLAGS)
+        small = evaluate(prog.term, max_steps=5000)
+        big = prog.run()
+        assert _against(small, big.value)
+
+
+def _against(small: T.Term, big) -> bool:
+    from repro.runtime import values as V
+
+    if isinstance(small, T.VInt):
+        return isinstance(big, int) and not isinstance(big, bool) and small.value == big
+    if isinstance(small, T.VBool):
+        return isinstance(big, bool) and small.value == big
+    if isinstance(small, T.VUnit):
+        return isinstance(big, V.Unit)
+    if isinstance(small, T.VStr):
+        return isinstance(big, V.RStr) and small.value == big.value
+    if isinstance(small, T.VReal):
+        return isinstance(big, V.RReal) and small.value == big.value
+    if isinstance(small, T.VPair):
+        return isinstance(big, V.RPair) and _against(small.fst, big.fst) and _against(small.snd, big.snd)
+    if isinstance(small, T.VNil):
+        return isinstance(big, V.Nil)
+    if isinstance(small, T.VCons):
+        return isinstance(big, V.RCons) and _against(small.head, big.head) and _against(small.tail, big.tail)
+    if isinstance(small, (T.VClos, T.VFunClos)):
+        return isinstance(big, (V.RClos, V.RFunClos))
+    return False
