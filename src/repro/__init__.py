@@ -26,6 +26,9 @@ from .config import CompilerFlags, SpuriousMode, Strategy
 from .core.errors import (
     CoverageError,
     DanglingPointerError,
+    DeadlineExceeded,
+    HeapLimitError,
+    InterpreterLimit,
     MLExceptionError,
     ParseError,
     RegionInferenceError,
@@ -42,6 +45,9 @@ __all__ = [
     "CompilerFlags",
     "CoverageError",
     "DanglingPointerError",
+    "DeadlineExceeded",
+    "HeapLimitError",
+    "InterpreterLimit",
     "MLExceptionError",
     "ParseError",
     "RegionInferenceError",

@@ -3,11 +3,23 @@
 Usage::
 
     repro-run program.mml [--strategy rg|rg-|r|trivial|ml]
-                          [--pretty] [--stats] [--gc-every-alloc]
-                          [--no-verify] [--no-prelude]
+                          [--pretty] [--stats] [--no-verify] [--no-prelude]
+                          [--gc-every-alloc] [--gc-every N] [--gc-at I,J,..]
+                          [--gc-dealloc-every N] [--gc-rate P]
+                          [--gc-dealloc-rate P] [--gc-seed S] [--gc-kind K]
+                          [--generational]
+                          [--max-heap-words N] [--deadline SECONDS]
 
 Prints the program's ``print`` output, then the value of ``it``.
 ``--pretty`` shows the region-annotated program instead of running it.
+The ``--gc-*`` family builds a deterministic fault-injection plan
+(:class:`repro.testing.faultplan.FaultPlan`) so a schedule found by
+``repro-fuzz`` can be replayed exactly.
+
+Exit codes: 0 on success, 1 on any compile or runtime error, 2 when a
+configured resource limit (steps, depth, heap words, deadline) fired —
+so scripts can distinguish "the program is broken" from "the program was
+cut off".
 """
 
 from __future__ import annotations
@@ -16,14 +28,22 @@ import argparse
 import sys
 
 from .config import CompilerFlags, Strategy
-from .core.errors import ReproError
+from .core.errors import InterpreterLimit, ReproError
 from .pipeline import compile_program
 from .runtime.values import show_value
 
 __all__ = ["main"]
 
 
-def main(argv: list | None = None) -> int:
+def _indices(text: str) -> tuple:
+    """argparse type for a comma-separated index list."""
+    return tuple(int(i) for i in text.split(","))
+
+
+_indices.__name__ = "index list"  # what argparse names in its error message
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-run", description=__doc__)
     parser.add_argument("file", help="MiniML source file (or - for stdin)")
     parser.add_argument(
@@ -36,14 +56,77 @@ def main(argv: list | None = None) -> int:
                         help="print the region-annotated program and exit")
     parser.add_argument("--stats", action="store_true",
                         help="print execution statistics")
-    parser.add_argument("--gc-every-alloc", action="store_true",
-                        help="run a collection at every allocation")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the Figure 4 type-checker pass")
     parser.add_argument("--no-prelude", action="store_true",
                         help="compile without the Basis-excerpt prelude")
-    args = parser.parse_args(argv)
+    gc = parser.add_argument_group("GC schedule (fault injection)")
+    gc.add_argument("--gc-every-alloc", action="store_true",
+                    help="run a collection at every allocation "
+                         "(alias for --gc-every 1)")
+    gc.add_argument("--gc-every", type=int, metavar="N",
+                    help="collect at every Nth allocation")
+    gc.add_argument("--gc-at", metavar="I,J,..", type=_indices,
+                    help="collect at these allocation indices (0-based)")
+    gc.add_argument("--gc-rate", type=float, metavar="P",
+                    help="collect at each allocation with probability P")
+    gc.add_argument("--gc-dealloc-every", type=int, metavar="N",
+                    help="collect at every Nth region deallocation")
+    gc.add_argument("--gc-dealloc-rate", type=float, metavar="P",
+                    help="collect at each region deallocation with probability P")
+    gc.add_argument("--gc-seed", type=int, default=0, metavar="S",
+                    help="seed for the randomized schedule knobs")
+    gc.add_argument("--gc-kind", default="auto",
+                    choices=["auto", "minor", "major", "random"],
+                    help="collection kind at injected points")
+    gc.add_argument("--generational", action="store_true",
+                    help="use the two-generation collector")
+    lim = parser.add_argument_group("resource limits")
+    lim.add_argument("--max-heap-words", type=int, metavar="N",
+                     help="fail fast (exit 2) when the heap footprint "
+                          "exceeds N words")
+    lim.add_argument("--deadline", type=float, metavar="SECONDS",
+                     help="fail fast (exit 2) after this much wall-clock time")
+    return parser
 
+
+def _fault_plan(args):
+    """Build a FaultPlan from the --gc-* flags, or None when none given."""
+    if not any(
+        (args.gc_every, args.gc_at, args.gc_rate,
+         args.gc_dealloc_every, args.gc_dealloc_rate)
+    ):
+        return None
+    from .testing.faultplan import FaultPlan
+
+    return FaultPlan(
+        every=args.gc_every,
+        at=args.gc_at or (),
+        rate=args.gc_rate or 0.0,
+        dealloc_every=args.gc_dealloc_every,
+        dealloc_at=(),
+        dealloc_rate=args.gc_dealloc_rate or 0.0,
+        seed=args.gc_seed,
+        kind=args.gc_kind,
+    )
+
+
+def main(argv: list | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except InterpreterLimit as exc:
+        print(f"limit: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+
+
+def _run(args) -> int:
     if args.file == "-":
         source = sys.stdin.read()
     else:
@@ -55,11 +138,7 @@ def main(argv: list | None = None) -> int:
         verify=not args.no_verify,
         with_prelude=not args.no_prelude,
     )
-    try:
-        prog = compile_program(source, flags=flags)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    prog = compile_program(source, flags=flags)
 
     if prog.verification_error is not None:
         print(
@@ -71,11 +150,20 @@ def main(argv: list | None = None) -> int:
         print(prog.pretty())
         return 0
 
-    try:
-        result = prog.run(gc_every_alloc=args.gc_every_alloc)
-    except ReproError as exc:
-        print(f"runtime error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 2
+    overrides: dict = {}
+    if args.gc_every_alloc:
+        overrides["gc_every_alloc"] = True
+    plan = _fault_plan(args)
+    if plan is not None:
+        overrides["fault_plan"] = plan
+    if args.generational:
+        overrides["generational"] = True
+    if args.max_heap_words is not None:
+        overrides["max_heap_words"] = args.max_heap_words
+    if args.deadline is not None:
+        overrides["deadline_seconds"] = args.deadline
+
+    result = prog.run(**overrides)
 
     if result.output:
         sys.stdout.write(result.output)
@@ -88,7 +176,8 @@ def main(argv: list | None = None) -> int:
             f"[stats] wall={result.wall_seconds:.3f}s steps={s.steps} "
             f"allocs={s.allocations} alloc_words={s.allocated_words} "
             f"peak_words={s.peak_words} gc={s.gc_count} "
-            f"(minor {s.gc_minor_count}) letregions={s.letregions} "
+            f"(minor {s.gc_minor_count}, injected {s.gc_injected}) "
+            f"letregions={s.letregions} "
             f"region_stack_max={s.max_region_stack}",
             file=sys.stderr,
         )

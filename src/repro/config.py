@@ -24,6 +24,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .testing.faultplan import FaultPlan
 
 __all__ = ["Strategy", "SpuriousMode", "CompilerFlags", "RuntimeFlags"]
 
@@ -92,10 +96,26 @@ class RuntimeFlags:
     generational: bool = False
     #: Crash-test mode: run a collection at *every* allocation.  Slow;
     #: used by the property tests to hunt dangling pointers aggressively.
+    #: Kept as an alias for ``fault_plan=FaultPlan.every_nth(1)``: one
+    #: point in the plan space of :mod:`repro.testing.faultplan`.
     gc_every_alloc: bool = False
+    #: Deterministic GC fault-injection plan
+    #: (:class:`repro.testing.faultplan.FaultPlan`).  When set, the plan is
+    #: *authoritative*: collections happen exactly at the allocation and
+    #: region-deallocation points the plan selects, and the heap-to-live
+    #: growth policy (and ``gc_every_alloc``) is disabled, so a seed
+    #: reproduces the exact same GC schedule.
+    fault_plan: Optional["FaultPlan"] = None
     #: Hard bounds so runaway programs fail fast in tests.
     max_steps: int | None = None
     max_depth: int = 40_000
+    #: Heap footprint bound in words (live data *plus* uncollected
+    #: garbage).  Exceeding it raises
+    #: :class:`repro.core.errors.HeapLimitError`.
+    max_heap_words: int | None = None
+    #: Wall-clock budget for a single run.  Exceeding it raises
+    #: :class:`repro.core.errors.DeadlineExceeded`.
+    deadline_seconds: float | None = None
 
 
 @dataclass(frozen=True)

@@ -98,4 +98,32 @@ class MLExceptionError(RuntimeFault):
 
 
 class InterpreterLimit(RuntimeFault):
-    """The interpreter hit a configured resource bound (steps or depth)."""
+    """The interpreter hit a configured resource bound (steps, depth, heap
+    words, or wall-clock deadline).
+
+    The exception carries the partial :class:`~repro.runtime.stats.RunStats`
+    accumulated up to the point of the limit, so fuzzing harnesses and
+    benchmarks can report how far a run got before it was cut off.
+    """
+
+    def __init__(self, message: str, stats=None) -> None:
+        super().__init__(message)
+        #: Partial run statistics at the moment the limit fired (may be
+        #: ``None`` for limits raised outside an interpreter run).
+        self.stats = stats
+
+
+class HeapLimitError(InterpreterLimit):
+    """The heap grew past ``RuntimeFlags.max_heap_words``.
+
+    The bound counts *all* words currently accounted to regions, including
+    garbage that a collection has not yet reclaimed, so it is a bound on
+    the heap's footprint rather than on live data.  Runaway allocators
+    fail fast with this error instead of hanging the harness.
+    """
+
+
+class DeadlineExceeded(InterpreterLimit):
+    """The interpreter ran past ``RuntimeFlags.deadline_seconds`` of
+    wall-clock time.  Checked periodically in the evaluation loop, so the
+    overshoot is bounded by a few hundred interpreter steps."""

@@ -66,7 +66,12 @@ class CompiledProgram:
         """Execute on the region abstract machine.
 
         Keyword overrides are applied to the runtime flags (e.g.
-        ``gc_every_alloc=True``, ``heap_to_live=2.0``).
+        ``gc_every_alloc=True``, ``heap_to_live=2.0``,
+        ``fault_plan=FaultPlan.every_dealloc()``,
+        ``max_heap_words=1_000_000``, ``deadline_seconds=5.0``).  Resource
+        limits raise :class:`~repro.core.errors.InterpreterLimit`
+        subclasses carrying the partial run statistics, so harnesses never
+        hang on a runaway program.
         """
         from dataclasses import replace
 

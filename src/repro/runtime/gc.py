@@ -42,6 +42,20 @@ class Collector:
     def note_write(self, ref: RRef) -> None:
         if self.generational and ref.gen > 0:
             self.remembered.append(ref)
+            self.heap.stats.remembered_writes += 1
+
+    # -- fault-injection dispatch ----------------------------------------------
+
+    def collect_kind(self, kind: str, roots: Iterable) -> int:
+        """Run a collection of the given kind: ``"major"``, ``"minor"``, or
+        ``"auto"`` (the generational several-minors-per-major policy).
+        Fault plans use this to pin the minor/major choice at an injected
+        point and so stress the write barrier deterministically."""
+        if kind == "minor":
+            return self.collect_minor(roots)
+        if kind == "major":
+            return self.collect(roots)
+        return self.collect_auto(roots)
 
     # -- collection entry points --------------------------------------------------
 
@@ -64,7 +78,10 @@ class Collector:
         stats.gc_minor_count += 1
         live_words: dict[Region, int] = {}
         seen: set = set()
-        all_roots = list(roots) + list(self.remembered)
+        # A remembered ref whose region has since been deallocated is dead
+        # (letregion popped it after the write): tracing it would step into
+        # the dead region and report a spurious dangle.
+        all_roots = list(roots) + [r for r in self.remembered if r.region.alive]
         self._trace(all_roots, seen, live_words, minor=True)
         retained = self._sweep(live_words, seen, minor=True)
         self.remembered.clear()

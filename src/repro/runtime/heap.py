@@ -21,7 +21,7 @@ import itertools
 from typing import Optional
 
 from ..config import RuntimeFlags
-from ..core.errors import UseAfterFreeError
+from ..core.errors import HeapLimitError, UseAfterFreeError
 from .stats import RunStats
 
 __all__ = ["Region", "Heap", "INFINITE", "FINITE"]
@@ -87,6 +87,7 @@ class Heap:
         assert region.alive, "double deallocation of a region"
         region.alive = False
         self.stats.current_words -= region.words
+        self.stats.region_deallocs += 1
         region.words = 0
         if self.region_stack and self.region_stack[-1] is region:
             self.region_stack.pop()
@@ -117,17 +118,47 @@ class Heap:
         if self.stats.current_words > self.stats.peak_words:
             self.stats.peak_words = self.stats.current_words
         self.words_since_gc += words
+        if (
+            self.flags.max_heap_words is not None
+            and self.stats.current_words > self.flags.max_heap_words
+        ):
+            raise HeapLimitError(
+                f"heap footprint {self.stats.current_words} words exceeds "
+                f"max_heap_words={self.flags.max_heap_words}",
+                stats=self.stats,
+            )
 
     # -- GC policy -------------------------------------------------------------------
 
-    def should_collect(self) -> bool:
+    def gc_decision(self) -> Optional[str]:
+        """What kind of collection (``"auto"``/``"minor"``/``"major"``), if
+        any, should run after the allocation that just completed.
+
+        With a fault plan installed the plan is authoritative; otherwise
+        ``gc_every_alloc`` and the heap-to-live growth policy apply.
+        """
+        plan = self.flags.fault_plan
+        if plan is not None:
+            return plan.decide_alloc(self.stats.allocations - 1)
         if self.flags.gc_every_alloc:
-            return True
+            return "auto"
         threshold = max(
             self.flags.initial_threshold,
             int(self.live_after_gc * (self.flags.heap_to_live - 1.0)),
         )
-        return self.words_since_gc >= threshold
+        return "auto" if self.words_since_gc >= threshold else None
+
+    def dealloc_gc_decision(self) -> Optional[str]:
+        """Plan-injected collection kind for the region deallocation that
+        just completed (``None`` without a plan: the policy never collects
+        at deallocation points)."""
+        plan = self.flags.fault_plan
+        if plan is None:
+            return None
+        return plan.decide_dealloc(self.stats.region_deallocs - 1)
+
+    def should_collect(self) -> bool:
+        return self.gc_decision() is not None
 
     def note_collection(self, live_words: int) -> None:
         self.live_after_gc = live_words

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import itertools
 import sys
+import time
 from typing import Optional
 
 from ..config import RuntimeFlags, Strategy
 from ..core import terms as T
 from ..core.errors import (
+    DeadlineExceeded,
     InterpreterLimit,
     MLExceptionError,
     ReproError,
@@ -251,6 +253,7 @@ class Interp:
         self.temps: list = []
         self.depth = 0
         self._exn_stamps = itertools.count(1)
+        self._deadline: float | None = None
 
     # -- roots and GC ------------------------------------------------------------
 
@@ -260,8 +263,27 @@ class Interp:
         yield from self.temps
 
     def maybe_gc(self) -> None:
-        if self.use_gc and self.heap.should_collect():
-            self.collector.collect_auto(self.roots())
+        if not self.use_gc:
+            return
+        kind = self.heap.gc_decision()
+        if kind is None:
+            return
+        if self.flags.fault_plan is not None:
+            self.stats.gc_injected += 1
+        self.collector.collect_kind(kind, self.roots())
+
+    def maybe_gc_at_dealloc(self) -> None:
+        """A fault plan may inject a collection at a region-deallocation
+        point — the GC point at which the paper's Figure 1 fault is first
+        observable even when the dangle window contains no allocation (so
+        ``gc_every_alloc`` alone cannot reach it)."""
+        if not self.use_gc:
+            return
+        kind = self.heap.dealloc_gc_decision()
+        if kind is None:
+            return
+        self.stats.gc_injected += 1
+        self.collector.collect_kind(kind, self.roots())
 
     def alloc(self, rho: RegionVar, renv: dict, words: int) -> Region:
         region = self.resolve(rho, renv)
@@ -282,6 +304,8 @@ class Interp:
     def run(self):
         base_env: dict = {}
         base_renv: dict = {}
+        if self.flags.deadline_seconds is not None:
+            self._deadline = time.monotonic() + self.flags.deadline_seconds
         self.env_stack.append(base_env)
         try:
             value = self.ev(self.term, base_env, base_renv)
@@ -294,7 +318,18 @@ class Interp:
     def ev(self, t: T.Term, env: dict, renv: dict):
         self.stats.steps += 1
         if self.flags.max_steps is not None and self.stats.steps > self.flags.max_steps:
-            raise InterpreterLimit(f"step budget exceeded ({self.flags.max_steps})")
+            raise InterpreterLimit(
+                f"step budget exceeded ({self.flags.max_steps})", stats=self.stats
+            )
+        if (
+            self._deadline is not None
+            and (self.stats.steps & 255) == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise DeadlineExceeded(
+                f"wall-clock deadline exceeded ({self.flags.deadline_seconds}s)",
+                stats=self.stats,
+            )
 
         # hot immediates first
         cls = type(t)
@@ -515,14 +550,35 @@ class Interp:
             created.append((rho, region, renv.get(rho, _MISSING)))
             renv[rho] = region
         try:
-            return self.ev(t.body, env, renv)
-        finally:
+            value = self.ev(t.body, env, renv)
+        except BaseException:
+            # Unwinding (an ML exception or a fault): pop the regions but
+            # never inject a collection — the in-flight exception value is
+            # not on the shadow stack.
             for rho, region, saved in reversed(created):
                 self.heap.dealloc_region(region)
                 if saved is _MISSING:
                     del renv[rho]
                 else:
                     renv[rho] = saved
+            raise
+        # The letregion's result is still only a Python local here: root it
+        # for the duration of the deallocations so a fault-plan-injected
+        # collection at a dealloc point traces it (this is exactly where a
+        # dangling pointer created by unsound region inference first
+        # becomes observable).
+        self.temps.append(value)
+        try:
+            for rho, region, saved in reversed(created):
+                self.heap.dealloc_region(region)
+                if saved is _MISSING:
+                    del renv[rho]
+                else:
+                    renv[rho] = saved
+                self.maybe_gc_at_dealloc()
+        finally:
+            self.temps.pop()
+        return value
 
     def _rapp(self, t: T.RApp, env: dict, renv: dict) -> RClos:
         fn = self.ev(t.fn, env, renv)
@@ -595,7 +651,9 @@ class Interp:
         self.depth += 1
         if self.depth > self.flags.max_depth:
             self.depth -= 1
-            raise InterpreterLimit(f"call depth exceeded ({self.flags.max_depth})")
+            raise InterpreterLimit(
+                f"call depth exceeded ({self.flags.max_depth})", stats=self.stats
+            )
         self.env_stack.append(call_env)
         try:
             return self.ev(body, call_env, dict(call_renv))

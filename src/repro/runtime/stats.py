@@ -26,7 +26,13 @@ class RunStats:
     gc_minor_count: int = 0
     gc_traced_words: int = 0
     gc_reclaimed_words: int = 0
+    #: Collections triggered by a fault-injection plan (a subset of
+    #: ``gc_count + gc_minor_count``).
+    gc_injected: int = 0
+    #: Old-to-young pointers recorded by the generational write barrier.
+    remembered_writes: int = 0
     letregions: int = 0
+    region_deallocs: int = 0
     region_apps: int = 0
     direct_calls: int = 0
     finite_allocations: int = 0

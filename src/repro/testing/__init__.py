@@ -1,0 +1,50 @@
+"""Fault injection and differential testing for the region runtime.
+
+The paper's headline claim is *dynamic*: under the sound ``rg`` strategy
+the collector can never meet a dangling pointer, while ``rg-`` crashes on
+the programs of Figures 1 and 8.  The blunt ``gc_every_alloc`` flag can
+only probe GC schedules that collect at allocation points, always at the
+same deterministic places; GC-schedule-dependent dangling pointers — the
+exact bug class the paper fixes — can hide between allocation sites, or
+in windows that contain *no* allocation at all.
+
+This package explores the schedule space systematically:
+
+* :mod:`~repro.testing.faultplan` — seeded, deterministic GC schedules
+  (:class:`FaultPlan`): collect at arbitrary allocation indices and at
+  region-deallocation points, optionally forcing the minor/major choice
+  to stress the generational write barrier;
+* :mod:`~repro.testing.generate` — a seeded MiniML program generator
+  (the same grammar as the hypothesis property tests) with a tree
+  shrinker for minimal reproducers;
+* :mod:`~repro.testing.differential` — the oracle runner: every program
+  is compiled under all five strategies x both spurious modes, run under
+  a matrix of fault plans, and the outcomes are compared and classified
+  (expected ``rg-`` danglings vs. genuine soundness bugs);
+* :mod:`~repro.testing.fuzz` — the ``repro-fuzz`` CLI: seeded fuzzing
+  loop that shrinks failures and writes ``.mml`` reproducers plus their
+  seeds to a corpus directory.
+"""
+
+from .differential import (
+    CLASS_EXPECTED_DANGLING,
+    DifferentialReport,
+    Divergence,
+    default_plan_matrix,
+    run_differential,
+)
+from .faultplan import GC_EVERY_ALLOC, FaultPlan
+from .generate import generate_program, render, shrink
+
+__all__ = [
+    "CLASS_EXPECTED_DANGLING",
+    "DifferentialReport",
+    "Divergence",
+    "FaultPlan",
+    "GC_EVERY_ALLOC",
+    "default_plan_matrix",
+    "generate_program",
+    "render",
+    "run_differential",
+    "shrink",
+]

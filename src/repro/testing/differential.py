@@ -1,0 +1,274 @@
+"""The differential oracle: one program, every strategy, many schedules.
+
+Region annotation is semantically transparent, so all five strategies
+must compute the same value and output, under *every* GC schedule.  The
+one permitted divergence is the paper's: under ``rg-`` (no spurious-type-
+variable tracking) the collector may trace a dangling pointer — that is
+the Figure 1/8 bug class, recorded as an **expected** divergence.  Any
+other disagreement (a dangling pointer under a sound strategy, a value or
+output mismatch, a use-after-free, an unexpected verification failure) is
+a **genuine** soundness bug in the reproduction.
+
+Runs that hit a resource limit are inconclusive for that cell and are
+counted but not compared — limits are how the harness avoids hanging,
+not a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import CompilerFlags, RuntimeFlags, SpuriousMode, Strategy
+from ..core.errors import (
+    DanglingPointerError,
+    InterpreterLimit,
+    MLExceptionError,
+    ReproError,
+    UseAfterFreeError,
+)
+from ..pipeline import compile_program
+from ..runtime.values import show_value
+from .faultplan import GC_EVERY_ALLOC, FaultPlan
+
+__all__ = [
+    "CLASS_COMPILE_ERROR",
+    "CLASS_EXPECTED_DANGLING",
+    "CLASS_SOUNDNESS_BUG",
+    "CLASS_USE_AFTER_FREE",
+    "CLASS_VALUE_MISMATCH",
+    "CLASS_VERIFY_UNEXPECTED",
+    "DifferentialReport",
+    "Divergence",
+    "Outcome",
+    "default_plan_matrix",
+    "run_differential",
+]
+
+CLASS_EXPECTED_DANGLING = "expected-rg-minus-dangling"
+CLASS_SOUNDNESS_BUG = "soundness-bug"
+CLASS_VALUE_MISMATCH = "value-mismatch"
+CLASS_COMPILE_ERROR = "compile-error"
+CLASS_VERIFY_UNEXPECTED = "unexpected-verification-failure"
+CLASS_USE_AFTER_FREE = "use-after-free"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one (strategy, mode, plan) cell produced."""
+
+    status: str  # "value" | "exception" | "dangling" | "use-after-free" | "limit" | "fault"
+    value: str = ""
+    output: str = ""
+    detail: str = ""
+
+    def agrees_with(self, other: "Outcome") -> bool:
+        return (
+            self.status == other.status
+            and self.value == other.value
+            and self.output == other.output
+            and (self.status != "exception" or self.detail == other.detail)
+        )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    classification: str
+    strategy: str
+    mode: str
+    plan: Optional[FaultPlan]
+    detail: str
+
+    @property
+    def genuine(self) -> bool:
+        return self.classification != CLASS_EXPECTED_DANGLING
+
+    def plan_desc(self) -> str:
+        return self.plan.describe() if self.plan is not None else "policy"
+
+
+@dataclass
+class DifferentialReport:
+    source: str
+    reference: Optional[Outcome] = None
+    divergences: list[Divergence] = field(default_factory=list)
+    runs: int = 0
+    limited: int = 0
+    inconclusive: bool = False
+
+    @property
+    def genuine(self) -> list[Divergence]:
+        return [d for d in self.divergences if d.genuine]
+
+    @property
+    def expected_danglings(self) -> list[Divergence]:
+        return [
+            d for d in self.divergences if d.classification == CLASS_EXPECTED_DANGLING
+        ]
+
+    def dangling_beyond_every_alloc(self) -> bool:
+        """True when ``rg-`` dangles under some injected schedule but NOT
+        under the legacy ``gc_every_alloc`` point of the plan space — the
+        schedule-dependent bug class the fault planner exists to reach."""
+        dangles = self.expected_danglings
+        if not dangles:
+            return False
+        return not any(
+            d.plan is not None and d.plan == GC_EVERY_ALLOC for d in dangles
+        )
+
+
+def default_plan_matrix(seed: int) -> list[Optional[FaultPlan]]:
+    """The schedule matrix each program is run under.  ``None`` is the
+    production heap-to-live policy; ``GC_EVERY_ALLOC`` keeps the legacy
+    flag as one point of the space; the rest explore sparse, randomized,
+    and deallocation-point schedules with the minor/major choice also
+    randomized (write-barrier stress)."""
+    return [
+        None,
+        GC_EVERY_ALLOC,
+        FaultPlan.every_nth(3, kind="major"),
+        FaultPlan.random_plan(seed, rate=0.15, kind="random"),
+        FaultPlan.every_dealloc(1, kind="major"),
+        FaultPlan.random_plan(seed, rate=0.05, dealloc_rate=0.5, kind="random"),
+    ]
+
+
+def _limits(
+    max_steps: int, max_heap_words: int, deadline_seconds: float
+) -> dict:
+    return dict(
+        max_steps=max_steps,
+        max_heap_words=max_heap_words,
+        deadline_seconds=deadline_seconds,
+        generational=True,
+    )
+
+
+def _run_cell(prog, plan: Optional[FaultPlan], limits: dict) -> Outcome:
+    try:
+        result = prog.run(fault_plan=plan, **limits)
+    except DanglingPointerError as exc:
+        return Outcome("dangling", detail=str(exc))
+    except UseAfterFreeError as exc:
+        return Outcome("use-after-free", detail=str(exc))
+    except MLExceptionError as exc:
+        return Outcome("exception", detail=exc.exn_name)
+    except InterpreterLimit as exc:
+        return Outcome("limit", detail=type(exc).__name__)
+    except ReproError as exc:
+        return Outcome("fault", detail=f"{type(exc).__name__}: {exc}")
+    return Outcome("value", value=show_value(result.value), output=result.output)
+
+
+def run_differential(
+    source: str,
+    plans: Optional[list] = None,
+    max_steps: int = 200_000,
+    max_heap_words: int = 2_000_000,
+    deadline_seconds: float = 10.0,
+    seed: int = 0,
+) -> DifferentialReport:
+    """Compile ``source`` under all five strategies x both spurious modes,
+    run every combination under every plan in the matrix, and classify
+    all divergences from the ``rg``/secondary reference."""
+    report = DifferentialReport(source=source)
+    if plans is None:
+        plans = default_plan_matrix(seed)
+    limits = _limits(max_steps, max_heap_words, deadline_seconds)
+
+    # -- the reference cell: the paper's sound system, production policy.
+    try:
+        ref_prog = compile_program(source, strategy=Strategy.RG)
+    except ReproError as exc:
+        # The program does not compile at all (e.g. the generator tripped
+        # over the value restriction): nothing to compare, so the whole
+        # report is inconclusive rather than a divergence.  A *strategy-
+        # dependent* compile failure below is still genuine.
+        report.reference = Outcome("fault", detail=f"{type(exc).__name__}: {exc}")
+        report.inconclusive = True
+        return report
+    reference = _run_cell(ref_prog, None, limits)
+    report.reference = reference
+    report.runs += 1
+    if reference.status == "limit":
+        report.limited += 1
+        report.inconclusive = True
+        return report
+
+    for strategy in Strategy:
+        for mode in SpuriousMode:
+            flags = CompilerFlags(strategy=strategy, spurious_mode=mode)
+            try:
+                prog = compile_program(source, flags=flags)
+            except ReproError as exc:
+                report.divergences.append(
+                    Divergence(
+                        CLASS_COMPILE_ERROR,
+                        strategy.value,
+                        mode.value,
+                        None,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            if strategy.tracks_spurious and prog.verification_error is not None:
+                report.divergences.append(
+                    Divergence(
+                        CLASS_VERIFY_UNEXPECTED,
+                        strategy.value,
+                        mode.value,
+                        None,
+                        str(prog.verification_error),
+                    )
+                )
+            # Without a collector the schedule is irrelevant: run `r`
+            # under the policy cell only.
+            cell_plans = plans if strategy.uses_gc else [None]
+            for plan in cell_plans:
+                outcome = _run_cell(prog, plan, limits)
+                report.runs += 1
+                if outcome.status == "limit":
+                    report.limited += 1
+                    continue
+                if outcome.status == "dangling":
+                    classification = (
+                        CLASS_EXPECTED_DANGLING
+                        if strategy is Strategy.RG_MINUS
+                        else CLASS_SOUNDNESS_BUG
+                    )
+                    report.divergences.append(
+                        Divergence(
+                            classification,
+                            strategy.value,
+                            mode.value,
+                            plan,
+                            outcome.detail,
+                        )
+                    )
+                    continue
+                if outcome.status == "use-after-free":
+                    report.divergences.append(
+                        Divergence(
+                            CLASS_USE_AFTER_FREE,
+                            strategy.value,
+                            mode.value,
+                            plan,
+                            outcome.detail,
+                        )
+                    )
+                    continue
+                if not outcome.agrees_with(reference):
+                    report.divergences.append(
+                        Divergence(
+                            CLASS_VALUE_MISMATCH,
+                            strategy.value,
+                            mode.value,
+                            plan,
+                            f"got {outcome.status}:{outcome.value!r} "
+                            f"out={outcome.output!r} {outcome.detail} — expected "
+                            f"{reference.status}:{reference.value!r} "
+                            f"out={reference.output!r}",
+                        )
+                    )
+    return report

@@ -1,0 +1,165 @@
+"""Seeded, deterministic GC schedules (fault plans).
+
+A :class:`FaultPlan` decides, as a pure function of the run's event
+indices, where the runtime injects a collection and of which kind.  Two
+families of GC points exist:
+
+* **allocation points** — after the ``i``-th allocation (0-based), the
+  classic place a collection can happen; ``gc_every_alloc`` is the single
+  densest point of this family (``FaultPlan.every_nth(1)``);
+* **region-deallocation points** — right after the ``i``-th region is
+  popped from the region stack.  These reach dangle windows that contain
+  *no* allocation: a closure that captures a value in a just-deallocated
+  region is traced immediately, before the program gets a chance to drop
+  it.  ``gc_every_alloc`` alone can never observe that class of fault.
+
+Because a plan consults only ``(seed, index)``, the same seed always
+reproduces the same schedule — there is no hidden RNG state threaded
+through the run.  Plans are frozen dataclasses, so they can live inside
+the frozen :class:`~repro.config.RuntimeFlags` and be compared, hashed,
+and round-tripped through JSON for corpus reproducers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = ["FaultPlan", "GC_EVERY_ALLOC"]
+
+#: Collection kinds a plan may inject.  ``"auto"`` defers to the
+#: collector's generational policy, ``"random"`` picks minor/major from
+#: the seed — the mode that stresses the write barrier.
+KINDS = ("auto", "minor", "major", "random")
+
+
+def _chance(seed: int, salt: str, index: int) -> float:
+    """A deterministic uniform draw in [0, 1) for one event index.
+
+    Seeding :class:`random.Random` with a string hashes it with SHA-512,
+    which is stable across Python versions and ``PYTHONHASHSEED``.
+    """
+    return random.Random(f"{seed}:{salt}:{index}").random()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Where and how to inject collections.  All fields compose: a plan
+    may fire on an every-Nth cadence, at explicit indices, and randomly,
+    at both allocation and deallocation points."""
+
+    #: Collect after every Nth allocation (1 = every allocation).
+    every: Optional[int] = None
+    #: Collect after exactly these allocation indices (0-based).
+    at: tuple[int, ...] = ()
+    #: Collect after each allocation with this probability.
+    rate: float = 0.0
+    #: Collect after every Nth region deallocation.
+    dealloc_every: Optional[int] = None
+    #: Collect after exactly these deallocation indices (0-based).
+    dealloc_at: tuple[int, ...] = ()
+    #: Collect after each region deallocation with this probability.
+    dealloc_rate: float = 0.0
+    #: Seed for the randomized cadences and the ``"random"`` kind.
+    seed: int = 0
+    #: Which collection to run at an injected point (see :data:`KINDS`).
+    kind: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown collection kind {self.kind!r}")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def every_nth(cls, n: int, kind: str = "auto") -> "FaultPlan":
+        """Collect at every Nth allocation; ``every_nth(1)`` is the
+        ``gc_every_alloc`` point of the plan space."""
+        return cls(every=n, kind=kind)
+
+    @classmethod
+    def at_indices(cls, indices, kind: str = "auto") -> "FaultPlan":
+        return cls(at=tuple(sorted(indices)), kind=kind)
+
+    @classmethod
+    def random_plan(
+        cls,
+        seed: int,
+        rate: float,
+        dealloc_rate: float = 0.0,
+        kind: str = "auto",
+    ) -> "FaultPlan":
+        return cls(seed=seed, rate=rate, dealloc_rate=dealloc_rate, kind=kind)
+
+    @classmethod
+    def every_dealloc(cls, n: int = 1, kind: str = "major") -> "FaultPlan":
+        """Collect at every Nth region-deallocation point — the schedule
+        family ``gc_every_alloc`` cannot express."""
+        return cls(dealloc_every=n, kind=kind)
+
+    # -- decisions -----------------------------------------------------------
+
+    def _kind_for(self, salt: str, index: int) -> str:
+        if self.kind != "random":
+            return self.kind
+        return "minor" if _chance(self.seed, "kind:" + salt, index) < 0.5 else "major"
+
+    def decide_alloc(self, index: int) -> Optional[str]:
+        """Collection kind to inject after allocation ``index``, else None."""
+        fire = (
+            (self.every is not None and self.every > 0 and (index + 1) % self.every == 0)
+            or index in self.at
+            or (self.rate > 0.0 and _chance(self.seed, "alloc", index) < self.rate)
+        )
+        return self._kind_for("alloc", index) if fire else None
+
+    def decide_dealloc(self, index: int) -> Optional[str]:
+        """Collection kind to inject after region-deallocation ``index``."""
+        fire = (
+            (
+                self.dealloc_every is not None
+                and self.dealloc_every > 0
+                and (index + 1) % self.dealloc_every == 0
+            )
+            or index in self.dealloc_at
+            or (
+                self.dealloc_rate > 0.0
+                and _chance(self.seed, "dealloc", index) < self.dealloc_rate
+            )
+        )
+        return self._kind_for("dealloc", index) if fire else None
+
+    # -- reporting / persistence ----------------------------------------------
+
+    def describe(self) -> str:
+        parts = []
+        if self.every:
+            parts.append(f"alloc%{self.every}")
+        if self.at:
+            parts.append(f"alloc@{','.join(map(str, self.at))}")
+        if self.rate:
+            parts.append(f"alloc~{self.rate}")
+        if self.dealloc_every:
+            parts.append(f"dealloc%{self.dealloc_every}")
+        if self.dealloc_at:
+            parts.append(f"dealloc@{','.join(map(str, self.dealloc_at))}")
+        if self.dealloc_rate:
+            parts.append(f"dealloc~{self.dealloc_rate}")
+        if not parts:
+            return "policy"
+        return f"{'+'.join(parts)} kind={self.kind} seed={self.seed}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        data["at"] = tuple(data.get("at", ()))
+        data["dealloc_at"] = tuple(data.get("dealloc_at", ()))
+        return cls(**data)
+
+
+#: The alias for the legacy crash-test flag: one point in the plan space.
+GC_EVERY_ALLOC = FaultPlan.every_nth(1)

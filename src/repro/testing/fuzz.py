@@ -1,0 +1,316 @@
+"""``repro-fuzz`` — seeded differential fuzzing of the whole pipeline.
+
+Each iteration derives a deterministic sub-seed, generates a well-typed
+MiniML program, and feeds it to the differential oracle under the full
+strategy x mode x schedule matrix.  Genuine divergences (anything other
+than an ``rg-`` dangling pointer) are shrunk to a minimal reproducer and
+written — source plus seed plus schedule — to the corpus directory, so a
+failure is always one command away from being replayed:
+
+    repro-fuzz --seed 0 --iterations 200 --corpus fuzz-corpus
+
+The run is fully deterministic for a given seed: the same seed reproduces
+the same program/schedule pairs, the same findings, and the same corpus
+files.  Exit status 0 means no genuine divergences (expected ``rg-``
+danglings do not fail the run — they are the paper's theorem doing its
+job), 1 means at least one genuine soundness bug was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..config import CompilerFlags, Strategy
+from ..core.errors import DanglingPointerError, ReproError
+from ..pipeline import compile_program
+from .differential import (
+    CLASS_EXPECTED_DANGLING,
+    DifferentialReport,
+    Divergence,
+    default_plan_matrix,
+    run_differential,
+)
+from .faultplan import FaultPlan
+from .generate import Program, generate_program, shrink
+
+__all__ = ["FuzzSummary", "fuzz", "main"]
+
+
+@dataclass
+class FuzzSummary:
+    seed: int
+    iterations: int = 0
+    runs: int = 0
+    limited: int = 0
+    inconclusive: int = 0
+    #: Programs on which rg- dangled under some schedule (the expected,
+    #: Figure 1/8 divergence class).
+    expected_dangling_programs: int = 0
+    #: ... of which the dangle was reachable ONLY through an injected
+    #: schedule, not through the legacy gc_every_alloc flag.
+    dangling_beyond_every_alloc: int = 0
+    genuine: list[Divergence] = field(default_factory=list)
+    corpus_files: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.genuine
+
+
+def _iteration_seeds(master_seed: int, iterations: int) -> list[int]:
+    rng = random.Random(f"fuzz:{master_seed}")
+    return [rng.randrange(2**32) for _ in range(iterations)]
+
+
+def _targeted_dangling_predicate(plan: Optional[FaultPlan], limits: dict):
+    """A cheap shrink predicate: does rg- still dangle under this plan
+    while rg stays safe?  (Two compiles instead of the full matrix.)"""
+
+    def predicate(program: Program) -> bool:
+        source = program.render()
+        try:
+            minus = compile_program(source, strategy=Strategy.RG_MINUS)
+            sound = compile_program(source, strategy=Strategy.RG)
+        except ReproError:
+            return False
+        try:
+            minus.run(fault_plan=plan, **limits)
+            return False  # no longer dangles
+        except DanglingPointerError:
+            pass
+        except ReproError:
+            return False
+        try:
+            sound.run(fault_plan=plan, **limits)
+        except ReproError:
+            return False  # rg must stay clean for a faithful reproducer
+        return True
+
+    return predicate
+
+
+def _genuine_predicate(finding: Divergence, plans, limits_kw: dict):
+    """Shrink predicate for a genuine divergence: the same classification
+    must still show up somewhere in the (cheaper, re-run) matrix."""
+
+    def predicate(program: Program) -> bool:
+        report = run_differential(program.render(), plans=plans, **limits_kw)
+        return any(
+            d.classification == finding.classification for d in report.genuine
+        )
+
+    return predicate
+
+
+def _write_reproducer(
+    corpus: Path,
+    name: str,
+    program: Program,
+    meta: dict,
+) -> str:
+    corpus.mkdir(parents=True, exist_ok=True)
+    source = program.render()
+    header = (
+        f"(* repro-fuzz reproducer: {meta['classification']}\n"
+        f"   master seed {meta['master_seed']}, iteration {meta['iteration']} "
+        f"(sub-seed {meta['sub_seed']})\n"
+        f"   strategy {meta['strategy']}/{meta['mode']}, "
+        f"schedule {meta['plan_desc']} *)\n"
+    )
+    mml = corpus / f"{name}.mml"
+    mml.write_text(header + source + "\n", encoding="utf-8")
+    (corpus / f"{name}.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return str(mml)
+
+
+def fuzz(
+    seed: int,
+    iterations: int,
+    corpus: Optional[str] = None,
+    max_heap_words: int = 2_000_000,
+    deadline_seconds: float = 10.0,
+    max_steps: int = 200_000,
+    shrink_reproducers: bool = True,
+    max_expected_repros: int = 3,
+    log=None,
+) -> FuzzSummary:
+    """Run the fuzzing loop; returns the (deterministic) summary."""
+    summary = FuzzSummary(seed=seed)
+    corpus_path = Path(corpus) if corpus else None
+    limits_kw = dict(
+        max_steps=max_steps,
+        max_heap_words=max_heap_words,
+        deadline_seconds=deadline_seconds,
+    )
+    run_limits = dict(limits_kw, generational=True)
+    expected_written = 0
+
+    for iteration, sub_seed in enumerate(_iteration_seeds(seed, iterations)):
+        program = generate_program(sub_seed)
+        plans = default_plan_matrix(sub_seed)
+        report = run_differential(
+            program.render(), plans=plans, seed=sub_seed, **limits_kw
+        )
+        summary.iterations += 1
+        summary.runs += report.runs
+        summary.limited += report.limited
+        if report.inconclusive:
+            summary.inconclusive += 1
+
+        if report.expected_danglings:
+            summary.expected_dangling_programs += 1
+            beyond = report.dangling_beyond_every_alloc()
+            if beyond:
+                summary.dangling_beyond_every_alloc += 1
+            if corpus_path is not None and expected_written < max_expected_repros:
+                finding = report.expected_danglings[0]
+                shrunk = program
+                if shrink_reproducers:
+                    predicate = _targeted_dangling_predicate(
+                        finding.plan, run_limits
+                    )
+                    if predicate(program):
+                        shrunk = shrink(program, predicate, max_checks=60)
+                path = _write_reproducer(
+                    corpus_path,
+                    f"dangle-s{seed}-i{iteration}",
+                    shrunk,
+                    {
+                        "classification": CLASS_EXPECTED_DANGLING,
+                        "master_seed": seed,
+                        "iteration": iteration,
+                        "sub_seed": sub_seed,
+                        "strategy": finding.strategy,
+                        "mode": finding.mode,
+                        "plan": finding.plan.to_dict() if finding.plan else None,
+                        "plan_desc": finding.plan_desc(),
+                        "beyond_gc_every_alloc": beyond,
+                        "detail": finding.detail,
+                    },
+                )
+                summary.corpus_files.append(path)
+                expected_written += 1
+
+        for finding in report.genuine:
+            summary.genuine.append(finding)
+            if log:
+                log(
+                    f"[iter {iteration}] GENUINE {finding.classification} "
+                    f"({finding.strategy}/{finding.mode} @ {finding.plan_desc()}): "
+                    f"{finding.detail}"
+                )
+            if corpus_path is not None:
+                shrunk = program
+                if shrink_reproducers:
+                    predicate = _genuine_predicate(finding, plans, limits_kw)
+                    if predicate(program):
+                        shrunk = shrink(program, predicate, max_checks=60)
+                path = _write_reproducer(
+                    corpus_path,
+                    f"bug-s{seed}-i{iteration}-{finding.classification}",
+                    shrunk,
+                    {
+                        "classification": finding.classification,
+                        "master_seed": seed,
+                        "iteration": iteration,
+                        "sub_seed": sub_seed,
+                        "strategy": finding.strategy,
+                        "mode": finding.mode,
+                        "plan": finding.plan.to_dict() if finding.plan else None,
+                        "plan_desc": finding.plan_desc(),
+                        "detail": finding.detail,
+                    },
+                )
+                summary.corpus_files.append(path)
+        if log and (iteration + 1) % 25 == 0:
+            log(
+                f"[{iteration + 1}/{iterations}] runs={summary.runs} "
+                f"rg- danglings={summary.expected_dangling_programs} "
+                f"(beyond every-alloc {summary.dangling_beyond_every_alloc}) "
+                f"genuine={len(summary.genuine)}"
+            )
+    return summary
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Seeded differential fuzzing of the region pipeline.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--iterations", type=int, default=100, help="programs to generate"
+    )
+    parser.add_argument(
+        "--corpus",
+        default="fuzz-corpus",
+        help="directory for .mml reproducers (default fuzz-corpus/)",
+    )
+    parser.add_argument(
+        "--no-corpus", action="store_true", help="do not write reproducer files"
+    )
+    parser.add_argument(
+        "--max-heap-words",
+        type=int,
+        default=2_000_000,
+        help="heap footprint bound per run, in words",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        help="wall-clock bound per run, in seconds",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=200_000, help="step bound per run"
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="write unshrunk reproducers"
+    )
+    args = parser.parse_args(argv)
+
+    def log(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    summary = fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        corpus=None if args.no_corpus else args.corpus,
+        max_heap_words=args.max_heap_words,
+        deadline_seconds=args.deadline,
+        max_steps=args.max_steps,
+        shrink_reproducers=not args.no_shrink,
+        log=log,
+    )
+
+    print(
+        f"repro-fuzz: seed={summary.seed} iterations={summary.iterations} "
+        f"runs={summary.runs} limited={summary.limited} "
+        f"inconclusive={summary.inconclusive}"
+    )
+    print(
+        f"  expected rg- danglings: {summary.expected_dangling_programs} programs "
+        f"({summary.dangling_beyond_every_alloc} reachable only via an injected "
+        f"schedule, not gc_every_alloc)"
+    )
+    print(f"  genuine divergences: {len(summary.genuine)}")
+    for d in summary.genuine:
+        print(
+            f"    {d.classification} {d.strategy}/{d.mode} @ {d.plan_desc()}: "
+            f"{d.detail[:120]}"
+        )
+    for path in summary.corpus_files:
+        print(f"  wrote {path}")
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,330 @@
+"""A seeded generator of well-typed MiniML programs, with a shrinker.
+
+The grammar mirrors the hypothesis generator of
+``tests/properties/test_generated_programs.py`` — every production builds
+source of a statically known type, so generated programs always compile —
+extended with the shapes that make GC schedules interesting:
+
+* the paper's running example in three forms: the inline composition,
+  the *escaping* composition (``let val h = let val x = s in (op o)
+  (fn u => e, fn () => x) end in h () end`` — the Figure 1/2(a) shape
+  whose dangle window contains **no allocation**, invisible to
+  ``gc_every_alloc``), and the same with an allocating filler (the
+  literal Figure 1 program);
+* reference cells updated through ``:=`` (the write-barrier path).
+
+Programs are represented as typed expression trees so the shrinker can do
+structural delta debugging: replace any subtree with the minimal leaf of
+its type, or hoist a same-typed child.  Rendering a tree gives the
+``.mml`` source; shrinking preserves well-typedness by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+__all__ = ["Node", "Program", "generate_program", "render", "shrink"]
+
+
+class Node:
+    """One typed expression: ``fmt`` with a ``{i}`` hole per child."""
+
+    __slots__ = ("typ", "fmt", "kids")
+
+    def __init__(self, typ: str, fmt: str, kids: tuple = ()) -> None:
+        self.typ = typ
+        self.fmt = fmt
+        self.kids = kids
+
+    def render(self) -> str:
+        if not self.kids:
+            return self.fmt
+        return self.fmt.format(*[k.render() for k in self.kids])
+
+    def size(self) -> int:
+        return 1 + sum(k.size() for k in self.kids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.typ}: {self.render()[:40]}>"
+
+
+def _leaf(typ: str, text: str) -> Node:
+    return Node(typ, text)
+
+
+#: The minimal leaf of each type — the shrinker's terminal candidates.
+MIN_LEAF = {
+    "int": "0",
+    "bool": "true",
+    "str": '""',
+    "ilist": "nil",
+    "ifun": "(fn u => u)",
+    "pair": '(0, "")',
+}
+
+
+def _int_lit(rng: random.Random) -> Node:
+    n = rng.randint(-9, 9)
+    return _leaf("int", str(n) if n >= 0 else f"~{-n}")
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+
+def gen_int(rng: random.Random, depth: int) -> Node:
+    if depth <= 0:
+        return rng.choice([_int_lit(rng), _leaf("int", "a"), _leaf("int", "b")])
+    pick = rng.random()
+    d = depth - 1
+    if pick < 0.18:
+        return rng.choice([_int_lit(rng), _leaf("int", "a"), _leaf("int", "b")])
+    if pick < 0.30:
+        op = rng.choice(["+", "-", "*"])
+        return Node("int", f"({{0}} {op} {{1}})", (gen_int(rng, d), gen_int(rng, d)))
+    if pick < 0.36:
+        return Node(
+            "int",
+            "(if {0} then {1} else {2})",
+            (gen_bool(rng, d), gen_int(rng, d), gen_int(rng, d)),
+        )
+    if pick < 0.42:
+        return Node(
+            "int", "(let val t = {0} in t + {1} end)", (gen_int(rng, d), gen_int(rng, d))
+        )
+    if pick < 0.48:
+        return Node("int", "({0} ({1}))", (gen_ifun(rng, d), gen_int(rng, d)))
+    if pick < 0.54:
+        return Node("int", "length ({0})", (gen_ilist(rng, d),))
+    if pick < 0.60:
+        return Node(
+            "int", "(foldl (fn (u, v) => u + v) 0 ({0}))", (gen_ilist(rng, d),)
+        )
+    if pick < 0.66:
+        return Node("int", "size ({0})", (gen_str(rng, d),))
+    if pick < 0.72:
+        return Node("int", "(#1 {0})", (gen_pair(rng, d),))
+    if pick < 0.80:
+        # The paper's pattern, inline: compose with a dead captured value.
+        return Node(
+            "int",
+            "(let val h = (op o) (fn u => {0}, fn () => {1}) in h () end)",
+            (gen_int(rng, d), gen_str(rng, d)),
+        )
+    if pick < 0.88:
+        # The escaping composition (Figure 2(a)): h is built *inside* the
+        # string's region scope and escapes it.  Under rg- the region pops
+        # after h is complete, and if the remaining window allocates
+        # nothing, only a dealloc-point collection can observe the dangle.
+        return Node(
+            "int",
+            "(let val h = let val x = {1} in (op o) (fn u => {0}, fn () => x) end"
+            " in h () end)",
+            (gen_int(rng, d), gen_str(rng, d)),
+        )
+    if pick < 0.94:
+        # The literal Figure 1 shape: an allocating filler inside the
+        # dangle window, reachable by allocation-point schedules too.
+        return Node(
+            "int",
+            "(let val h = let val x = {1} in (op o) (fn u => {0}, fn () => x) end"
+            " in let val _ = {2} in h () end end)",
+            (gen_int(rng, d), gen_str(rng, d), gen_ilist(rng, d)),
+        )
+    # Reference cell updated through := (exercises the write barrier).
+    return Node(
+        "int",
+        "(let val c = ref {0} in c := {1}; !c end)",
+        (gen_int(rng, d), gen_int(rng, d)),
+    )
+
+
+def gen_bool(rng: random.Random, depth: int) -> Node:
+    if depth <= 0:
+        return _leaf("bool", rng.choice(["true", "false"]))
+    pick = rng.random()
+    d = depth - 1
+    if pick < 0.3:
+        return _leaf("bool", rng.choice(["true", "false"]))
+    if pick < 0.6:
+        return Node("bool", "({0} < {1})", (gen_int(rng, d), gen_int(rng, d)))
+    if pick < 0.85:
+        return Node("bool", "({0} = {1})", (gen_int(rng, d), gen_int(rng, d)))
+    return Node("bool", "(not {0})", (gen_bool(rng, d),))
+
+
+def gen_str(rng: random.Random, depth: int) -> Node:
+    if depth <= 0:
+        return _leaf("str", rng.choice(['"x"', '"hi"', '""']))
+    pick = rng.random()
+    d = depth - 1
+    if pick < 0.4:
+        return _leaf("str", rng.choice(['"x"', '"hi"', '""']))
+    if pick < 0.75:
+        return Node("str", "({0} ^ {1})", (gen_str(rng, d), gen_str(rng, d)))
+    return Node("str", "itos ({0})", (gen_int(rng, d),))
+
+
+def gen_ilist(rng: random.Random, depth: int) -> Node:
+    if depth <= 0:
+        xs = [str(rng.randint(0, 9)) for _ in range(rng.randint(0, 4))]
+        return _leaf("ilist", "[" + ", ".join(xs) + "]" if xs else "nil")
+    pick = rng.random()
+    d = depth - 1
+    if pick < 0.25:
+        xs = [str(rng.randint(0, 9)) for _ in range(rng.randint(0, 4))]
+        return _leaf("ilist", "[" + ", ".join(xs) + "]" if xs else "nil")
+    if pick < 0.45:
+        return Node("ilist", "({0} :: {1})", (gen_int(rng, d), gen_ilist(rng, d)))
+    if pick < 0.6:
+        return Node("ilist", "(map ({0}) ({1}))", (gen_ifun(rng, d), gen_ilist(rng, d)))
+    if pick < 0.75:
+        return Node("ilist", "(rev ({0}))", (gen_ilist(rng, d),))
+    if pick < 0.9:
+        return Node("ilist", "({0} @ {1})", (gen_ilist(rng, d), gen_ilist(rng, d)))
+    return Node("ilist", "(filter (fn u => u > 2) ({0}))", (gen_ilist(rng, d),))
+
+
+def gen_ifun(rng: random.Random, depth: int) -> Node:
+    base = ["(fn u => u)", "(fn u => u + 1)", "(fn u => 0)"]
+    if depth <= 0:
+        return _leaf("ifun", rng.choice(base))
+    if rng.random() < 0.6:
+        return _leaf("ifun", rng.choice(base))
+    # Composition: exercises the spurious type variable of `o`.
+    d = depth - 1
+    return Node(
+        "ifun", "((op o) ({0}, {1}))", (gen_ifun(rng, d), gen_ifun(rng, d))
+    )
+
+
+def gen_pair(rng: random.Random, depth: int) -> Node:
+    d = max(0, depth - 1)
+    return Node("pair", "({0}, {1})", (gen_int(rng, d), gen_str(rng, d)))
+
+
+_GEN = {
+    "int": gen_int,
+    "bool": gen_bool,
+    "str": gen_str,
+    "ilist": gen_ilist,
+    "ifun": gen_ifun,
+    "pair": gen_pair,
+}
+
+
+@dataclass
+class Program:
+    """Four typed roots rendering to the standard program template."""
+
+    a: Node
+    b: Node
+    mid: Node
+    body: Node
+
+    ROOTS = ("a", "b", "mid", "body")
+
+    def render(self) -> str:
+        return (
+            f"val a = {self.a.render()}\n"
+            f"val b = {self.b.render()}\n"
+            f"val _ = {self.mid.render()}\n"
+            f"val it = {self.body.render()}"
+        )
+
+    def size(self) -> int:
+        return sum(getattr(self, r).size() for r in self.ROOTS)
+
+
+def generate_program(seed: int, depth: int = 3) -> Program:
+    """The deterministic program for ``seed``: same seed, same source."""
+    rng = random.Random(f"program:{seed}")
+    return Program(
+        a=_int_lit(rng),
+        b=_int_lit(rng),
+        mid=gen_int(rng, max(1, depth - 1)),
+        body=gen_int(rng, depth),
+    )
+
+
+def render(program: Program) -> str:
+    return program.render()
+
+
+# ---------------------------------------------------------------------------
+# Shrinking: structural delta debugging over the typed tree
+# ---------------------------------------------------------------------------
+
+
+def _iter_paths(node: Node, prefix: tuple = ()) -> Iterator[tuple[tuple, Node]]:
+    yield prefix, node
+    for i, kid in enumerate(node.kids):
+        yield from _iter_paths(kid, prefix + (i,))
+
+
+def _replace(node: Node, path: tuple, repl: Node) -> Node:
+    if not path:
+        return repl
+    i = path[0]
+    kids = tuple(
+        _replace(k, path[1:], repl) if j == i else k for j, k in enumerate(node.kids)
+    )
+    return Node(node.typ, node.fmt, kids)
+
+
+def _candidates(node: Node) -> list[Node]:
+    """Smaller same-typed replacements, most aggressive first."""
+    out: list[Node] = []
+    minimal = MIN_LEAF[node.typ]
+    if node.kids or node.fmt != minimal:
+        out.append(_leaf(node.typ, minimal))
+    for kid in node.kids:
+        if kid.typ == node.typ:
+            out.append(kid)
+    return out
+
+
+def shrink(
+    program: Program,
+    predicate: Callable[[Program], bool],
+    max_checks: int = 200,
+) -> Program:
+    """Greedily minimize ``program`` while ``predicate`` holds.
+
+    The predicate must already hold for ``program``.  Each step replaces
+    one subtree with a strictly smaller same-typed tree, so the loop
+    terminates; ``max_checks`` bounds the number of predicate runs (each
+    run re-executes the differential matrix, which is the expensive part).
+    """
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for root in Program.ROOTS:
+            tree = getattr(program, root)
+            for path, node in _iter_paths(tree):
+                for repl in _candidates(node):
+                    cand_tree = _replace(tree, path, repl)
+                    if cand_tree.size() >= tree.size():
+                        continue
+                    cand = Program(
+                        **{
+                            r: (cand_tree if r == root else getattr(program, r))
+                            for r in Program.ROOTS
+                        }
+                    )
+                    checks += 1
+                    if predicate(cand):
+                        program = cand
+                        improved = True
+                        break
+                    if checks >= max_checks:
+                        return program
+                if improved:
+                    break
+            if improved:
+                break
+    return program

@@ -1,0 +1,82 @@
+"""The differential oracle: benign programs agree everywhere; the
+escaping-composition program dangles under rg- — and only through an
+injected deallocation-point schedule, the class gc_every_alloc misses."""
+
+from repro.testing.differential import (
+    CLASS_EXPECTED_DANGLING,
+    default_plan_matrix,
+    run_differential,
+)
+from repro.testing.faultplan import GC_EVERY_ALLOC
+
+#: Figure-1-style escaping composition: the closure `h` captures a string
+#: whose region dies at the inner `end`; the dangle window before `h ()`
+#: contains no allocation, so only a deallocation-point GC can observe it.
+ESCAPING = (
+    'val it = let val h = let val x = "oh" ^ "no" in '
+    "(op o) (fn u => 0, fn () => x) end in h () end"
+)
+
+BENIGN = (
+    "fun up n = if n = 0 then nil else n :: up (n - 1) "
+    "fun total xs = if null xs then 0 else hd xs + total (tl xs) "
+    "val it = total (up 10)"
+)
+
+
+class TestBenignPrograms:
+    def test_no_divergence_across_the_full_matrix(self):
+        report = run_differential(BENIGN, seed=0)
+        assert report.reference is not None
+        assert report.reference.status == "value"
+        assert report.divergences == []
+        assert not report.inconclusive
+        # 4 GC strategies x 2 modes x 6 plans + r x 2 modes x 1 + reference
+        assert report.runs == 4 * 2 * 6 + 2 + 1
+
+    def test_arithmetic_only_program_agrees(self):
+        report = run_differential("val it = (1 + 2) * 3", seed=0)
+        assert report.divergences == []
+
+
+class TestEscapingComposition:
+    def test_rg_minus_dangles_beyond_every_alloc(self):
+        report = run_differential(ESCAPING, seed=0)
+        # The only divergences are the paper's expected rg- danglings.
+        assert report.genuine == []
+        assert report.expected_danglings
+        for d in report.expected_danglings:
+            assert d.strategy == "rg-"
+            assert d.classification == CLASS_EXPECTED_DANGLING
+        # ... and none of them is reachable through gc_every_alloc: the
+        # dangle window is allocation-free.
+        assert report.dangling_beyond_every_alloc()
+        assert all(
+            d.plan != GC_EVERY_ALLOC for d in report.expected_danglings
+        )
+
+    def test_dangling_schedules_are_dealloc_plans(self):
+        report = run_differential(ESCAPING, seed=0)
+        for d in report.expected_danglings:
+            assert d.plan is not None
+            assert d.plan.dealloc_every or d.plan.dealloc_rate > 0.0
+
+
+class TestMatrix:
+    def test_default_matrix_is_deterministic_per_seed(self):
+        assert default_plan_matrix(7) == default_plan_matrix(7)
+        assert default_plan_matrix(7) != default_plan_matrix(8)
+
+    def test_default_matrix_covers_both_gc_point_families(self):
+        plans = [p for p in default_plan_matrix(0) if p is not None]
+        assert any(p.every or p.at or p.rate for p in plans)
+        assert any(p.dealloc_every or p.dealloc_rate for p in plans)
+        assert GC_EVERY_ALLOC in plans
+
+    def test_compile_error_is_inconclusive(self):
+        report = run_differential("val it = undefined_name", seed=0)
+        assert report.inconclusive
+        # An uncompilable program is not a divergence — there is nothing
+        # to compare.
+        assert report.divergences == []
+        assert report.reference.status == "fault"

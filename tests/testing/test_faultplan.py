@@ -1,0 +1,113 @@
+"""Unit tests for seeded GC fault plans: determinism, the constructor
+shorthands, the gc_every_alloc alias, and JSON round-tripping."""
+
+import pytest
+
+from repro import Strategy, compile_program
+from repro.testing.faultplan import GC_EVERY_ALLOC, FaultPlan
+
+
+class TestDecisions:
+    def test_every_nth_fires_on_exact_cadence(self):
+        plan = FaultPlan.every_nth(3)
+        fired = [i for i in range(12) if plan.decide_alloc(i)]
+        assert fired == [2, 5, 8, 11]
+
+    def test_every_one_fires_everywhere(self):
+        plan = FaultPlan.every_nth(1)
+        assert all(plan.decide_alloc(i) for i in range(20))
+
+    def test_at_indices_fires_only_there(self):
+        plan = FaultPlan.at_indices([7, 2])
+        fired = [i for i in range(10) if plan.decide_alloc(i)]
+        assert fired == [2, 7]
+
+    def test_dealloc_points_are_a_separate_family(self):
+        plan = FaultPlan.every_dealloc(2)
+        assert [i for i in range(6) if plan.decide_dealloc(i)] == [1, 3, 5]
+        assert not any(plan.decide_alloc(i) for i in range(20))
+
+    def test_kind_is_propagated(self):
+        assert FaultPlan.every_nth(1, kind="minor").decide_alloc(0) == "minor"
+        assert FaultPlan.every_dealloc(1, kind="major").decide_dealloc(0) == "major"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kind="sideways")
+
+
+class TestDeterminism:
+    def test_random_plan_is_a_pure_function_of_seed_and_index(self):
+        a = FaultPlan.random_plan(seed=42, rate=0.3, kind="random")
+        b = FaultPlan.random_plan(seed=42, rate=0.3, kind="random")
+        assert [a.decide_alloc(i) for i in range(200)] == [
+            b.decide_alloc(i) for i in range(200)
+        ]
+
+    def test_different_seeds_give_different_schedules(self):
+        a = FaultPlan.random_plan(seed=1, rate=0.3)
+        b = FaultPlan.random_plan(seed=2, rate=0.3)
+        assert [bool(a.decide_alloc(i)) for i in range(200)] != [
+            bool(b.decide_alloc(i)) for i in range(200)
+        ]
+
+    def test_random_rate_fires_roughly_at_rate(self):
+        plan = FaultPlan.random_plan(seed=0, rate=0.25)
+        hits = sum(1 for i in range(2000) if plan.decide_alloc(i))
+        assert 350 < hits < 650
+
+    def test_random_kind_mixes_minor_and_major(self):
+        plan = FaultPlan.every_nth(1, kind="random")
+        kinds = {plan.decide_alloc(i) for i in range(50)}
+        assert kinds == {"minor", "major"}
+
+
+class TestAliasEquivalence:
+    """gc_every_alloc is one point in the plan space: the legacy flag and
+    FaultPlan.every_nth(1) must produce identical executions."""
+
+    SRC = (
+        'fun mk s = fn () => s ^ "!" '
+        'val f = mk ("he" ^ "llo") '
+        "val it = size (f ()) + size (f ())"
+    )
+
+    def _run(self, **overrides):
+        from repro.config import CompilerFlags
+
+        prog = compile_program(
+            self.SRC, flags=CompilerFlags(with_prelude=False)
+        )
+        return prog.run(**overrides)
+
+    def test_gc_every_alloc_equals_every_nth_1(self):
+        legacy = self._run(gc_every_alloc=True)
+        plan = self._run(fault_plan=GC_EVERY_ALLOC)
+        assert legacy.value == plan.value
+        assert legacy.stats.gc_count == plan.stats.gc_count
+        assert legacy.stats.allocations == plan.stats.allocations
+        # The plan path additionally accounts its injections.
+        assert plan.stats.gc_injected == plan.stats.gc_count
+
+    def test_plan_overrides_policy_and_legacy_flag(self):
+        # An explicit (empty) plan disables both the heap-to-live policy
+        # and gc_every_alloc: the seed alone determines the schedule.
+        never = self._run(fault_plan=FaultPlan(), gc_every_alloc=True)
+        assert never.stats.gc_count == 0
+
+
+class TestPersistence:
+    def test_round_trip_through_dict(self):
+        plan = FaultPlan(
+            every=3, at=(1, 5), rate=0.1, dealloc_every=2,
+            dealloc_rate=0.5, seed=9, kind="random",
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_describe_mentions_every_component(self):
+        desc = FaultPlan(every=2, dealloc_rate=0.5, seed=3, kind="major").describe()
+        assert "alloc%2" in desc and "dealloc~0.5" in desc and "seed=3" in desc
+        assert FaultPlan().describe() == "policy"
+
+    def test_plans_are_hashable_for_flag_embedding(self):
+        assert len({GC_EVERY_ALLOC, FaultPlan.every_nth(1), FaultPlan()}) == 2

@@ -1,0 +1,92 @@
+"""End-to-end fuzzing-harness tests: seeded determinism, corpus
+reproducers, and the generator/shrinker that feed the oracle."""
+
+import json
+
+from repro import Strategy, compile_program
+from repro.core.errors import DanglingPointerError
+from repro.testing.fuzz import fuzz
+from repro.testing.generate import generate_program, shrink
+
+
+class TestGenerator:
+    def test_same_seed_same_program(self):
+        assert generate_program(123).render() == generate_program(123).render()
+
+    def test_seeds_explore_distinct_programs(self):
+        sources = {generate_program(seed).render() for seed in range(30)}
+        assert len(sources) > 20
+
+    def test_generated_programs_compile_under_rg(self):
+        for seed in range(10):
+            compile_program(generate_program(seed).render(), strategy=Strategy.RG)
+
+
+class TestShrinker:
+    def test_shrinks_while_preserving_predicate(self):
+        program = generate_program(5)
+        big = program.size()
+        shrunk = shrink(program, lambda p: True, max_checks=100)
+        assert shrunk.size() <= big
+        # The fully-shrunk fixed point still renders and compiles.
+        compile_program(shrunk.render(), strategy=Strategy.RG)
+
+    def test_predicate_false_returns_program_unchanged(self):
+        program = generate_program(5)
+        assert shrink(program, lambda p: False).render() == program.render()
+
+
+class TestFuzzLoop:
+    ITERATIONS = 12
+
+    def test_two_runs_same_seed_are_identical(self, tmp_path):
+        a = fuzz(seed=1, iterations=self.ITERATIONS,
+                 corpus=str(tmp_path / "a"), deadline_seconds=30.0)
+        b = fuzz(seed=1, iterations=self.ITERATIONS,
+                 corpus=str(tmp_path / "b"), deadline_seconds=30.0)
+        assert a.runs == b.runs
+        assert a.expected_dangling_programs == b.expected_dangling_programs
+        assert a.dangling_beyond_every_alloc == b.dangling_beyond_every_alloc
+        assert a.genuine == b.genuine
+        names_a = sorted(p.split("/")[-1] for p in a.corpus_files)
+        names_b = sorted(p.split("/")[-1] for p in b.corpus_files)
+        assert names_a == names_b
+        for name in names_a:
+            assert (tmp_path / "a" / name).read_text() == (
+                tmp_path / "b" / name
+            ).read_text()
+
+    def test_no_genuine_divergences(self, tmp_path):
+        summary = fuzz(seed=1, iterations=self.ITERATIONS,
+                       corpus=str(tmp_path / "c"), deadline_seconds=30.0)
+        assert summary.ok
+        assert summary.genuine == []
+
+    def test_finds_expected_rg_minus_danglings(self, tmp_path):
+        # Seed 1 surfaces the paper's bug class within a modest budget,
+        # including at least one schedule gc_every_alloc misses.
+        summary = fuzz(seed=1, iterations=self.ITERATIONS,
+                       corpus=str(tmp_path / "d"), deadline_seconds=30.0)
+        assert summary.expected_dangling_programs >= 1
+        assert summary.dangling_beyond_every_alloc >= 1
+
+    def test_corpus_reproducer_replays(self, tmp_path):
+        corpus = tmp_path / "e"
+        summary = fuzz(seed=1, iterations=self.ITERATIONS,
+                       corpus=str(corpus), deadline_seconds=30.0)
+        assert summary.corpus_files, "expected at least one reproducer"
+        mml = corpus / summary.corpus_files[0].split("/")[-1]
+        meta = json.loads(mml.with_suffix(".json").read_text())
+        source = mml.read_text()
+        assert source.startswith("(* repro-fuzz reproducer:")
+
+        from repro.testing.faultplan import FaultPlan
+
+        plan = FaultPlan.from_dict(meta["plan"]) if meta["plan"] else None
+        prog = compile_program(source, strategy=Strategy(meta["strategy"]))
+        try:
+            prog.run(fault_plan=plan, generational=True, max_steps=200_000)
+            dangled = False
+        except DanglingPointerError:
+            dangled = True
+        assert dangled == (meta["classification"] == "expected-rg-minus-dangling")

@@ -1,0 +1,73 @@
+"""Resource limits: a runaway program must fail fast with a typed error
+carrying partial statistics — never hang the harness."""
+
+import pytest
+
+from repro import (
+    CompilerFlags,
+    DeadlineExceeded,
+    HeapLimitError,
+    InterpreterLimit,
+    compile_program,
+)
+
+#: Builds an ever-growing live list: the collector can reclaim nothing,
+#: so the heap footprint must cross any bound long before the call-depth
+#: limit (each iteration allocates a cons + a pair but is one frame).
+UNBOUNDED_LIST = "fun grow n xs = grow (n + 1) ((n, n) :: xs) val it = grow 0 nil"
+
+#: Allocation-free spin: only the wall clock can stop it early.
+SPIN = "fun spin n = spin (n + 1) val it = spin 0"
+
+FLAGS = CompilerFlags(with_prelude=False)
+
+
+class TestHeapLimit:
+    def test_unbounded_list_hits_heap_limit(self):
+        prog = compile_program(UNBOUNDED_LIST, flags=FLAGS)
+        with pytest.raises(HeapLimitError) as exc_info:
+            prog.run(max_heap_words=5_000)
+        assert "5000" in str(exc_info.value)
+
+    def test_heap_limit_error_carries_partial_stats(self):
+        prog = compile_program(UNBOUNDED_LIST, flags=FLAGS)
+        with pytest.raises(HeapLimitError) as exc_info:
+            prog.run(max_heap_words=5_000)
+        stats = exc_info.value.stats
+        assert stats is not None
+        assert stats.allocations > 0
+        assert stats.allocated_words >= 5_000
+        assert stats.steps > 0
+
+    def test_heap_limit_is_a_limit_not_a_bug(self):
+        prog = compile_program(UNBOUNDED_LIST, flags=FLAGS)
+        with pytest.raises(InterpreterLimit):
+            prog.run(max_heap_words=5_000)
+
+    def test_live_data_below_limit_is_fine(self):
+        src = "fun up n = if n = 0 then nil else n :: up (n - 1) val it = up 50"
+        prog = compile_program(src, flags=FLAGS)
+        result = prog.run(max_heap_words=1_000_000)
+        assert result.stats.peak_words < 1_000_000
+
+
+class TestDeadline:
+    def test_spin_hits_deadline(self):
+        prog = compile_program(SPIN, flags=FLAGS)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            prog.run(deadline_seconds=0.1, max_steps=10**9, max_depth=10**9)
+        assert exc_info.value.stats is not None
+        assert exc_info.value.stats.steps > 0
+
+    def test_fast_program_beats_deadline(self):
+        prog = compile_program("val it = 1 + 2", flags=FLAGS)
+        assert prog.run(deadline_seconds=10.0).value == 3
+
+
+class TestStepAndDepthCarryStats:
+    def test_max_steps_limit_carries_stats(self):
+        prog = compile_program(SPIN, flags=FLAGS)
+        with pytest.raises(InterpreterLimit) as exc_info:
+            prog.run(max_steps=500)
+        assert exc_info.value.stats is not None
+        assert exc_info.value.stats.steps >= 500
