@@ -1,0 +1,353 @@
+"""Machine-readable benchmark export: the ``repro-bench`` entry point.
+
+``repro-figure9`` renders the paper's table for humans;  this module
+produces the same measurements as **data** — ``BENCH_figure9.json`` —
+so that performance PRs can diff their numbers against a committed
+baseline instead of eyeballing a text table.
+
+Document schema (:data:`SCHEMA`, validated by :func:`validate_document`
+and the CI smoke job)::
+
+    {
+      "schema": "repro-bench/v1",
+      "suite": "figure9",
+      "repeat": 1,
+      "strategies": ["rg", "rg-", "r", "trivial", "ml"],
+      "programs": {
+        "fib": {
+          "loc": 2,
+          "expected": "2584",
+          "strategies": {
+            "rg": {"value": "2584", "ok": true, "seconds": 0.06,
+                   "compile_seconds": 0.05, "steps": 831187,
+                   "peak_words": 43, "gc_count": 0, "gc_minor_count": 0,
+                   "allocations": 6, "allocated_words": 18,
+                   "letregions": 3},
+            ...
+          }
+        }, ...
+      }
+    }
+
+``seconds`` (best-of-``repeat`` wall clock) is machine-dependent noise;
+``steps``/``peak_words``/``gc_count``/``allocations`` are deterministic
+and are what trajectory diffs should compare.
+
+Usage::
+
+    repro-bench                               # all 23 programs x 5 strategies
+    repro-bench --programs fib,life --repeat 1
+    repro-bench --jobs 4                      # parallel across programs
+    repro-bench --validate BENCH_figure9.json # schema-check an existing file
+
+Exit codes: 0 success; 1 when any cell's value differs from the
+registry's expected output (the file is still written) or when
+``--validate`` fails; 2 on usage errors (unknown program/strategy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Optional
+
+from ..config import Strategy
+from .harness import loc_of, measure
+from .registry import BENCHMARKS, benchmark_source
+
+__all__ = [
+    "SCHEMA",
+    "ALL_STRATEGIES",
+    "bench_program",
+    "build_document",
+    "validate_document",
+    "main",
+]
+
+SCHEMA = "repro-bench/v1"
+
+#: The five Figure 9 strategies (rg, rg-, r, trivial, ml).
+ALL_STRATEGIES: tuple[str, ...] = tuple(s.value for s in Strategy)
+
+#: Required per-cell measurement fields.
+CELL_FIELDS = frozenset(
+    {
+        "value",
+        "ok",
+        "seconds",
+        "compile_seconds",
+        "steps",
+        "peak_words",
+        "gc_count",
+        "gc_minor_count",
+        "allocations",
+        "allocated_words",
+        "letregions",
+    }
+)
+
+
+def bench_program(name: str, strategies: Iterable[str], repeat: int = 1) -> dict:
+    """Measure one program under each strategy; returns its row dict."""
+    bench = BENCHMARKS[name]
+    source = benchmark_source(name)
+    cells: dict[str, dict] = {}
+    for strategy in strategies:
+        m = measure(source, Strategy(strategy), repeat=repeat)
+        cell = m.to_dict()
+        cell["ok"] = m.value == bench.expected
+        cells[strategy] = cell
+    return {
+        "loc": loc_of(source),
+        "expected": bench.expected,
+        "strategies": cells,
+    }
+
+
+def document_from_rows(rows: Iterable, strategies: Iterable[str], repeat: int = 1) -> dict:
+    """Convert :class:`~repro.bench.harness.Figure9Row` objects (which
+    carry the static fcns/inst/diff columns too) into an export document.
+    Used by ``repro-figure9 --json``."""
+    programs: dict[str, dict] = {}
+    for row in rows:
+        cells: dict[str, dict] = {}
+        for strategy, m in row.measurements.items():
+            cell = m.to_dict()
+            cell["ok"] = m.value == row.expected
+            cells[strategy] = cell
+        programs[row.name] = {
+            "loc": row.loc,
+            "expected": row.expected,
+            "strategies": cells,
+            "static": {
+                "spurious_fcns": row.spurious_fcns,
+                "total_fcns": row.total_fcns,
+                "spurious_boxed_inst": row.spurious_boxed_inst,
+                "total_inst": row.total_inst,
+                "diff": row.diff,
+            },
+        }
+    return {
+        "schema": SCHEMA,
+        "suite": "figure9",
+        "repeat": repeat,
+        "strategies": list(strategies),
+        "programs": {name: programs[name] for name in sorted(programs)},
+    }
+
+
+def _worker(job: tuple) -> tuple[str, dict]:
+    """Top-level so :mod:`multiprocessing` can pickle it."""
+    name, strategies, repeat = job
+    return name, bench_program(name, strategies, repeat)
+
+
+def build_document(
+    names: Iterable[str],
+    strategies: Iterable[str] = ALL_STRATEGIES,
+    repeat: int = 1,
+    jobs: int = 1,
+    log=None,
+) -> dict:
+    """Run the suite (optionally in parallel across programs) and return
+    the export document."""
+    names = list(names)
+    strategies = tuple(strategies)
+    work = [(name, strategies, repeat) for name in names]
+    rows: dict[str, dict] = {}
+    if jobs > 1 and len(work) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(work))) as pool:
+            for name, row in pool.imap_unordered(_worker, work):
+                if log:
+                    log(f"done {name}")
+                rows[name] = row
+    else:
+        for job in work:
+            name, row = _worker(job)
+            if log:
+                log(f"done {name}")
+            rows[name] = row
+    return {
+        "schema": SCHEMA,
+        "suite": "figure9",
+        "repeat": repeat,
+        "strategies": list(strategies),
+        # Deterministic ordering for stable diffs.
+        "programs": {name: rows[name] for name in sorted(rows)},
+    }
+
+
+def validate_document(
+    doc: object,
+    require_programs: Optional[Iterable[str]] = None,
+    require_strategies: Optional[Iterable[str]] = None,
+) -> list[str]:
+    """Schema-check an export document; returns a list of problems
+    (empty = valid).
+
+    ``require_programs``/``require_strategies`` additionally demand
+    coverage, e.g. ``require_programs=BENCHMARKS`` for a full Figure 9
+    export.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("suite") != "figure9":
+        errors.append(f"suite is {doc.get('suite')!r}, expected 'figure9'")
+    if not isinstance(doc.get("repeat"), int) or doc.get("repeat", 0) < 1:
+        errors.append("repeat must be a positive integer")
+    strategies = doc.get("strategies")
+    if not isinstance(strategies, list) or not strategies:
+        errors.append("strategies must be a non-empty list")
+        strategies = []
+    unknown = [s for s in strategies if s not in ALL_STRATEGIES]
+    if unknown:
+        errors.append(f"unknown strategies {unknown}")
+    programs = doc.get("programs")
+    if not isinstance(programs, dict):
+        errors.append("programs must be an object")
+        programs = {}
+    for name, row in programs.items():
+        where = f"programs[{name!r}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in ("loc", "expected", "strategies"):
+            if key not in row:
+                errors.append(f"{where} missing {key!r}")
+        cells = row.get("strategies", {})
+        if not isinstance(cells, dict):
+            errors.append(f"{where}.strategies is not an object")
+            continue
+        for strategy in strategies:
+            if strategy not in cells:
+                errors.append(f"{where} missing strategy {strategy!r}")
+        for strategy, cell in cells.items():
+            if not isinstance(cell, dict):
+                errors.append(f"{where}.strategies[{strategy!r}] is not an object")
+                continue
+            missing = CELL_FIELDS - set(cell)
+            if missing:
+                errors.append(
+                    f"{where}.strategies[{strategy!r}] missing {sorted(missing)}"
+                )
+    if require_programs is not None:
+        missing_programs = sorted(set(require_programs) - set(programs))
+        if missing_programs:
+            errors.append(f"missing programs {missing_programs}")
+    if require_strategies is not None:
+        missing_strats = sorted(set(require_strategies) - set(strategies))
+        if missing_strats:
+            errors.append(f"missing strategies {missing_strats}")
+    return errors
+
+
+def _names_arg(text: str) -> list[str]:
+    return [n for n in text.split(",") if n]
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the Figure 9 suite and export machine-readable "
+        "results (BENCH_figure9.json).",
+    )
+    parser.add_argument(
+        "--programs",
+        type=_names_arg,
+        default=None,
+        metavar="a,b,..",
+        help="comma-separated benchmark names (default: all 23)",
+    )
+    parser.add_argument(
+        "--strategies",
+        type=_names_arg,
+        default=None,
+        metavar="s,s,..",
+        help=f"comma-separated strategies (default: {','.join(ALL_STRATEGIES)})",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="timed runs per cell, best-of (default 1)"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_figure9.json",
+        metavar="FILE",
+        help="output path (default BENCH_figure9.json; - for stdout)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run programs in parallel with N worker processes",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing export against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"repro-bench: cannot load {args.validate}: {exc}", file=sys.stderr)
+            return 1
+        errors = validate_document(doc)
+        for err in errors:
+            print(f"repro-bench: {err}", file=sys.stderr)
+        if not errors:
+            n_prog = len(doc.get("programs", {}))
+            print(
+                f"{args.validate}: valid {SCHEMA} "
+                f"({n_prog} programs x {len(doc.get('strategies', []))} strategies)"
+            )
+        return 1 if errors else 0
+
+    names = args.programs if args.programs is not None else sorted(BENCHMARKS)
+    for name in names:
+        if name not in BENCHMARKS:
+            print(f"repro-bench: unknown benchmark {name!r}", file=sys.stderr)
+            return 2
+    strategies = args.strategies if args.strategies is not None else list(ALL_STRATEGIES)
+    for strategy in strategies:
+        if strategy not in ALL_STRATEGIES:
+            print(f"repro-bench: unknown strategy {strategy!r}", file=sys.stderr)
+            return 2
+
+    def log(msg: str) -> None:
+        print(f"repro-bench: {msg}", file=sys.stderr)
+
+    doc = build_document(
+        names, strategies, repeat=args.repeat, jobs=args.jobs, log=log
+    )
+    payload = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+    if args.out == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        log(f"wrote {args.out}")
+
+    bad = [
+        f"{name}/{strategy}"
+        for name, row in doc["programs"].items()
+        for strategy, cell in row["strategies"].items()
+        if not cell["ok"]
+    ]
+    if bad:
+        print(f"repro-bench: OUTPUT MISMATCH in {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

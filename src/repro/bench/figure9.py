@@ -68,6 +68,9 @@ def main(argv: list | None = None) -> int:
                         help="comma-separated benchmark names")
     parser.add_argument("--fast", action="store_true",
                         help="skip the ml column")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the rows (measurements + static "
+                             "columns) as a repro-bench/v1 JSON export")
     args = parser.parse_args(argv)
 
     names = [n for n in args.only.split(",") if n] or sorted(BENCHMARKS)
@@ -81,6 +84,18 @@ def main(argv: list | None = None) -> int:
         print(f"running {name} ...", file=sys.stderr)
         rows.append(figure9_row(name, strategies=strategies, repeat=args.repeat))
     render_rows(rows)
+    if args.json:
+        import json
+
+        from .export import document_from_rows
+
+        doc = document_from_rows(
+            rows, strategies=[s.value for s in strategies], repeat=args.repeat
+        )
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
     bad = [r.name for r in rows if not r.correct]
     if bad:
         print(f"OUTPUT MISMATCH in: {', '.join(bad)}", file=sys.stderr)

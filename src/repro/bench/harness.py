@@ -43,6 +43,24 @@ class Measurement:
     gc_count: int
     letregions: int
     allocations: int
+    gc_minor_count: int = 0
+    allocated_words: int = 0
+    compile_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """The machine-readable cell (see :mod:`repro.bench.export`)."""
+        return {
+            "value": self.value,
+            "seconds": self.seconds,
+            "compile_seconds": self.compile_seconds,
+            "steps": self.steps,
+            "peak_words": self.peak_words,
+            "gc_count": self.gc_count,
+            "gc_minor_count": self.gc_minor_count,
+            "allocations": self.allocations,
+            "allocated_words": self.allocated_words,
+            "letregions": self.letregions,
+        }
 
 
 @dataclass
@@ -63,15 +81,42 @@ class Figure9Row:
 
 
 def loc_of(source: str) -> int:
-    """Lines of code, excluding blanks and pure comment lines."""
+    """Lines of code, excluding blanks and lines that are entirely
+    comment.
+
+    SML comments ``(* ... *)`` nest and may span lines; a line counts as
+    code only if some non-whitespace character lies outside every
+    comment.  Comment openers inside string literals do not open
+    comments (``"(*"`` is a two-character string).
+    """
     count = 0
+    depth = 0  # comment nesting depth, carried across lines
     for line in source.splitlines():
-        stripped = line.strip()
-        if not stripped:
-            continue
-        if stripped.startswith("(*") and stripped.endswith("*)"):
-            continue
-        count += 1
+        has_code = False
+        i, n = 0, len(line)
+        while i < n:
+            ch = line[i]
+            if depth == 0 and ch == '"':
+                # A string literal is code; skip to its closing quote.
+                has_code = True
+                i += 1
+                while i < n and line[i] != '"':
+                    i += 2 if line[i] == "\\" else 1
+                i += 1
+                continue
+            if ch == "(" and i + 1 < n and line[i + 1] == "*":
+                depth += 1
+                i += 2
+                continue
+            if depth > 0 and ch == "*" and i + 1 < n and line[i + 1] == ")":
+                depth -= 1
+                i += 2
+                continue
+            if depth == 0 and not ch.isspace():
+                has_code = True
+            i += 1
+        if has_code:
+            count += 1
     return count
 
 
@@ -101,6 +146,9 @@ def measure(
         gc_count=result.stats.gc_count,
         letregions=result.stats.letregions,
         allocations=result.stats.allocations,
+        gc_minor_count=result.stats.gc_minor_count,
+        allocated_words=result.stats.allocated_words,
+        compile_seconds=prog.compile_seconds,
     )
 
 

@@ -9,12 +9,19 @@ Usage::
                           [--gc-dealloc-rate P] [--gc-seed S] [--gc-kind K]
                           [--generational]
                           [--max-heap-words N] [--deadline SECONDS]
+                          [--trace FILE] [--profile]
 
 Prints the program's ``print`` output, then the value of ``it``.
 ``--pretty`` shows the region-annotated program instead of running it.
 The ``--gc-*`` family builds a deterministic fault-injection plan
 (:class:`repro.testing.faultplan.FaultPlan`) so a schedule found by
 ``repro-fuzz`` can be replayed exactly.
+
+Observability: ``--trace FILE`` writes every heap/GC event as JSONL
+(schema in docs/observability.md; the trace is flushed even when the run
+faults, so a ``dangle`` event is the last thing a crashing ``rg-`` run
+writes).  ``--profile`` prints a per-letregion-site region profile to
+stderr after the run.
 
 Exit codes: 0 on success, 1 on any compile or runtime error, 2 when a
 configured resource limit (steps, depth, heap words, deadline) fired —
@@ -87,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "exceeds N words")
     lim.add_argument("--deadline", type=float, metavar="SECONDS",
                      help="fail fast (exit 2) after this much wall-clock time")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace", metavar="FILE",
+                     help="write a JSONL event trace (allocations, region "
+                          "push/pop, GC begin/end, dangling probes) to FILE")
+    obs.add_argument("--profile", action="store_true",
+                     help="print a per-letregion-site region profile "
+                          "(MLKit-profiler style) to stderr after the run")
     return parser
 
 
@@ -163,7 +177,30 @@ def _run(args) -> int:
     if args.deadline is not None:
         overrides["deadline_seconds"] = args.deadline
 
-    result = prog.run(**overrides)
+    bus = None
+    profiler = None
+    if args.trace or args.profile:
+        from .runtime.profiler import RegionProfiler
+        from .runtime.trace import EventBus, open_jsonl
+
+        sinks = []
+        if args.trace:
+            sinks.append(open_jsonl(args.trace))
+        if args.profile:
+            profiler = RegionProfiler()
+            sinks.append(profiler)
+        bus = EventBus(*sinks)
+        overrides["tracer"] = bus
+
+    try:
+        result = prog.run(**overrides)
+    finally:
+        # Flush the trace and print the profile even when the run faults:
+        # a dangling-pointer crash is exactly what one wants to see traced.
+        if bus is not None:
+            bus.close()
+        if profiler is not None:
+            print(profiler.report(), file=sys.stderr)
 
     if result.output:
         sys.stdout.write(result.output)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .runtime.trace import EventBus
     from .testing.faultplan import FaultPlan
 
 __all__ = ["Strategy", "SpuriousMode", "CompilerFlags", "RuntimeFlags"]
@@ -116,6 +117,12 @@ class RuntimeFlags:
     #: Wall-clock budget for a single run.  Exceeding it raises
     #: :class:`repro.core.errors.DeadlineExceeded`.
     deadline_seconds: float | None = None
+    #: Observability event bus (:class:`repro.runtime.trace.EventBus`).
+    #: ``None`` (the default) installs the shared no-op tracer: the hot
+    #: paths then pay a single attribute check per potential event and
+    #: execution is bit-identical to an untraced run (steps, GC
+    #: schedule, peak words — pinned by ``tests/runtime/test_trace.py``).
+    tracer: Optional["EventBus"] = None
 
 
 @dataclass(frozen=True)

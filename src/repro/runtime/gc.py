@@ -43,6 +43,13 @@ class Collector:
         if self.generational and ref.gen > 0:
             self.remembered.append(ref)
             self.heap.stats.remembered_writes += 1
+            tr = self.heap.trace
+            if tr.enabled:
+                tr.emit(
+                    "remember",
+                    step=self.heap.stats.steps,
+                    region=ref.region.ident,
+                )
 
     # -- fault-injection dispatch ----------------------------------------------
 
@@ -63,12 +70,34 @@ class Collector:
         """A full (major) collection.  Returns the live words retained."""
         stats = self.heap.stats
         stats.gc_count += 1
+        tr = self.heap.trace
+        ordinal = stats.gc_count + stats.gc_minor_count
+        from_words = stats.current_words
+        if tr.enabled:
+            tr.emit(
+                "gc_begin",
+                step=stats.steps,
+                kind="major",
+                gc=ordinal,
+                from_words=from_words,
+            )
         live_words: dict[Region, int] = {}
         seen: set = set()
-        self._trace(roots, seen, live_words, minor=False)
+        copied, _promoted = self._trace(roots, seen, live_words, minor=False)
         retained = self._sweep(live_words, seen, minor=False)
         self.heap.note_collection(retained)
         self.remembered.clear()
+        if tr.enabled:
+            tr.emit(
+                "gc_end",
+                step=stats.steps,
+                kind="major",
+                gc=ordinal,
+                from_words=from_words,
+                to_words=stats.current_words,
+                copied=copied,
+                promoted=0,
+            )
         return retained
 
     def collect_minor(self, roots: Iterable) -> int:
@@ -76,15 +105,37 @@ class Collector:
         remembered set as extra roots.  Survivors are promoted."""
         stats = self.heap.stats
         stats.gc_minor_count += 1
+        tr = self.heap.trace
+        ordinal = stats.gc_count + stats.gc_minor_count
+        from_words = stats.current_words
+        if tr.enabled:
+            tr.emit(
+                "gc_begin",
+                step=stats.steps,
+                kind="minor",
+                gc=ordinal,
+                from_words=from_words,
+            )
         live_words: dict[Region, int] = {}
         seen: set = set()
         # A remembered ref whose region has since been deallocated is dead
         # (letregion popped it after the write): tracing it would step into
         # the dead region and report a spurious dangle.
         all_roots = list(roots) + [r for r in self.remembered if r.region.alive]
-        self._trace(all_roots, seen, live_words, minor=True)
+        copied, promoted = self._trace(all_roots, seen, live_words, minor=True)
         retained = self._sweep(live_words, seen, minor=True)
         self.remembered.clear()
+        if tr.enabled:
+            tr.emit(
+                "gc_end",
+                step=stats.steps,
+                kind="minor",
+                gc=ordinal,
+                from_words=from_words,
+                to_words=stats.current_words,
+                copied=copied,
+                promoted=promoted,
+            )
         return retained
 
     def collect_auto(self, roots: Iterable) -> int:
@@ -99,8 +150,14 @@ class Collector:
 
     # -- tracing ---------------------------------------------------------------------
 
-    def _trace(self, roots: Iterable, seen: set, live_words: dict, minor: bool) -> None:
+    def _trace(
+        self, roots: Iterable, seen: set, live_words: dict, minor: bool
+    ) -> tuple[int, int]:
+        """Trace from ``roots``; returns (objects evacuated, objects
+        promoted to the old generation)."""
         stats = self.heap.stats
+        copied = 0
+        promoted = 0
         stack: list = [v for v in roots if is_boxed(v)]
         while stack:
             obj: RBox = stack.pop()
@@ -110,6 +167,15 @@ class Collector:
             seen.add(key)
             region = obj.region
             if not region.alive:
+                tr = self.heap.trace
+                if tr.enabled:
+                    tr.emit(
+                        "dangle",
+                        step=stats.steps,
+                        region=region.ident,
+                        name=region.name,
+                        obj=type(obj).__name__,
+                    )
                 raise DanglingPointerError(
                     f"the collector traced a pointer into deallocated region "
                     f"{region.name} (object {type(obj).__name__}) — the "
@@ -119,8 +185,10 @@ class Collector:
             if not (minor and obj.gen > 0):
                 live_words[region] = live_words.get(region, 0) + obj.words()
                 stats.gc_traced_words += obj.words()
+                copied += 1
                 if minor:
                     obj.gen = 1  # promote survivors
+                    promoted += 1
             # Children
             if isinstance(obj, RPair):
                 if is_boxed(obj.fst):
@@ -143,6 +211,7 @@ class Collector:
                 if is_boxed(obj.payload):
                     stack.append(obj.payload)
             # RStr / RReal have no children.
+        return copied, promoted
 
     def _sweep(self, live_words: dict, seen: set, minor: bool) -> int:
         """Evacuate infinite regions: reset each live region's word count

@@ -23,6 +23,7 @@ from typing import Optional
 from ..config import RuntimeFlags
 from ..core.errors import HeapLimitError, UseAfterFreeError
 from .stats import RunStats
+from .trace import NULL_TRACER
 
 __all__ = ["Region", "Heap", "INFINITE", "FINITE"]
 
@@ -60,6 +61,7 @@ class Heap:
     def __init__(self, flags: RuntimeFlags, stats: RunStats) -> None:
         self.flags = flags
         self.stats = stats
+        self.trace = flags.tracer if flags.tracer is not None else NULL_TRACER
         self._ids = itertools.count(1)
         self.global_region = Region(0, "rtop", INFINITE)
         self.region_stack: list[Region] = [self.global_region]
@@ -78,6 +80,16 @@ class Heap:
         else:
             self.stats.infinite_regions_created += 1
         self.stats.max_region_stack = max(self.stats.max_region_stack, len(self.region_stack))
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(
+                "region_push",
+                step=self.stats.steps,
+                region=region.ident,
+                name=name,
+                kind=kind,
+                capacity=capacity,
+            )
         return region
 
     def dealloc_region(self, region: Region) -> None:
@@ -88,6 +100,15 @@ class Heap:
         region.alive = False
         self.stats.current_words -= region.words
         self.stats.region_deallocs += 1
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(
+                "region_pop",
+                step=self.stats.steps,
+                region=region.ident,
+                name=region.name,
+                words=region.words,
+            )
         region.words = 0
         if self.region_stack and self.region_stack[-1] is region:
             self.region_stack.pop()
@@ -103,6 +124,7 @@ class Heap:
                 f"allocation into deallocated region {region.name} — region "
                 "inference soundness violation"
             )
+        tr = self.trace
         if region.kind == FINITE:
             self.stats.finite_allocations += 1
             if region.capacity is not None and region.words + words > region.capacity:
@@ -110,6 +132,13 @@ class Heap:
                 # infinite representation (the MLKit would have chosen
                 # infinite in the first place).
                 region.kind = INFINITE
+                if tr.enabled:
+                    tr.emit(
+                        "region_morph",
+                        step=self.stats.steps,
+                        region=region.ident,
+                        name=region.name,
+                    )
         region.words += words
         region.young_words += words
         self.stats.allocations += 1
@@ -118,6 +147,15 @@ class Heap:
         if self.stats.current_words > self.stats.peak_words:
             self.stats.peak_words = self.stats.current_words
         self.words_since_gc += words
+        if tr.enabled:
+            tr.emit(
+                "alloc",
+                step=self.stats.steps,
+                region=region.ident,
+                words=words,
+                region_words=region.words,
+                kind=region.kind,
+            )
         if (
             self.flags.max_heap_words is not None
             and self.stats.current_words > self.flags.max_heap_words

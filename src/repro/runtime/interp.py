@@ -306,6 +306,17 @@ class Interp:
         base_renv: dict = {}
         if self.flags.deadline_seconds is not None:
             self._deadline = time.monotonic() + self.flags.deadline_seconds
+        tr = self.heap.trace
+        if tr.enabled:
+            from .trace import SCHEMA_VERSION
+
+            tr.emit(
+                "run_begin",
+                step=0,
+                strategy=self.strategy.value,
+                generational=self.flags.generational,
+                schema=SCHEMA_VERSION,
+            )
         self.env_stack.append(base_env)
         try:
             value = self.ev(self.term, base_env, base_renv)
@@ -313,6 +324,19 @@ class Interp:
             raise MLExceptionError(exc.value.name, exc.value.payload) from exc
         finally:
             self.env_stack.pop()
+        if tr.enabled:
+            # A faulted run (dangling pointer, resource limit) ends at
+            # the fault's own event instead; run_end marks completion.
+            s = self.stats
+            tr.emit(
+                "run_end",
+                step=s.steps,
+                steps=s.steps,
+                allocations=s.allocations,
+                peak_words=s.peak_words,
+                gc_count=s.gc_count,
+                gc_minor_count=s.gc_minor_count,
+            )
         return value
 
     def ev(self, t: T.Term, env: dict, renv: dict):

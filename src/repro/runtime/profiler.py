@@ -1,0 +1,270 @@
+"""The region profiler: per-``letregion``-site statistics, in the
+spirit of the MLKit's region profiler (`mlkit -prof`), built as a sink
+on the :mod:`repro.runtime.trace` event bus.
+
+Region names are the pretty-printed region variables of the annotated
+program (``r42``), so one *site* — one ``letregion``-bound region
+variable — may be instantiated many times dynamically (once per loop
+iteration, say).  The profiler aggregates per site:
+
+* **instances** — how many regions the site pushed;
+* **high-water words** — the maximum footprint any instance reached
+  (allocation events carry the region's running footprint, and a
+  collection only ever shrinks it, so the per-instance high-water is the
+  max over its ``alloc`` events);
+* **lifetime** — interpreter steps between push and pop (the dynamic
+  extent of the ``letregion``);
+* **classification** — ``finite`` (stack-allocated, the multiplicity
+  analysis proved a single put; ``capacity`` is the statically inferred
+  size) vs ``infinite`` (heap pages, collected); a finite region whose
+  static size estimate overflowed at runtime is reported as
+  ``finite->inf`` — exactly the sites where the multiplicity analysis
+  was too optimistic;
+* **dangles** — collector probes that found the site's region already
+  deallocated (the paper's Figure 1 fault, attributed to its site).
+
+:meth:`RegionProfiler.report` renders the classic text profile: one row
+per site, sorted by high-water words, with a bar chart — the analogue of
+an MLKit region profile, over our abstract word-exact heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["RegionProfiler", "SiteProfile"]
+
+
+@dataclass
+class _LiveRegion:
+    """One pushed, not-yet-popped region instance."""
+
+    name: str
+    kind: str
+    capacity: Optional[int]
+    push_step: int
+    high_water: int = 0
+    allocs: int = 0
+    alloc_words: int = 0
+    morphed: bool = False
+
+
+@dataclass
+class SiteProfile:
+    """Aggregated statistics for one ``letregion`` site (region name)."""
+
+    name: str
+    kind: str = "infinite"
+    capacity: Optional[int] = None
+    instances: int = 0
+    live_instances: int = 0
+    allocs: int = 0
+    alloc_words: int = 0
+    high_water: int = 0          # max over instances
+    total_lifetime: int = 0      # steps, summed over popped instances
+    max_lifetime: int = 0
+    popped: int = 0
+    morphed: int = 0             # finite instances that overflowed
+    dangles: int = 0
+
+    @property
+    def classification(self) -> str:
+        if self.kind == "finite":
+            return "finite->inf" if self.morphed else "finite"
+        return self.kind
+
+    @property
+    def avg_lifetime(self) -> float:
+        return self.total_lifetime / self.popped if self.popped else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "classification": self.classification,
+            "capacity": self.capacity,
+            "instances": self.instances,
+            "live_instances": self.live_instances,
+            "allocs": self.allocs,
+            "alloc_words": self.alloc_words,
+            "high_water": self.high_water,
+            "avg_lifetime": self.avg_lifetime,
+            "max_lifetime": self.max_lifetime,
+            "dangles": self.dangles,
+        }
+
+
+class RegionProfiler:
+    """An event-bus sink that aggregates a region profile.
+
+    Attach to an :class:`~repro.runtime.trace.EventBus` (or pass to
+    ``repro-run --profile``); after the run, :meth:`report` renders the
+    per-site table and :meth:`sites` returns the raw aggregates.
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[int, _LiveRegion] = {
+            # The global region rtop exists before any event.
+            0: _LiveRegion(name="rtop", kind="infinite", capacity=None, push_step=0)
+        }
+        self._sites: dict[str, SiteProfile] = {}
+        self._last_step = 0
+        self.gc_majors = 0
+        self.gc_minors = 0
+        self.gc_copied = 0
+        self.gc_promoted = 0
+        self.reclaimed_by_gc = 0
+        self.dangles: list[dict] = []
+        self.strategy: Optional[str] = None
+        self.completed = False
+
+    # -- event consumption -------------------------------------------------------
+
+    def on_event(self, event: dict) -> None:
+        step = event.get("step", 0)
+        if step > self._last_step:
+            self._last_step = step
+        ev = event["ev"]
+        if ev == "alloc":
+            rec = self._live.get(event["region"])
+            if rec is None:  # pragma: no cover - push always precedes alloc
+                return
+            rec.allocs += 1
+            rec.alloc_words += event["words"]
+            if event["region_words"] > rec.high_water:
+                rec.high_water = event["region_words"]
+        elif ev == "region_push":
+            self._live[event["region"]] = _LiveRegion(
+                name=event["name"],
+                kind=event["kind"],
+                capacity=event.get("capacity"),
+                push_step=step,
+            )
+        elif ev == "region_pop":
+            rec = self._live.pop(event["region"], None)
+            if rec is None:  # pragma: no cover - pops are always paired
+                return
+            site = self._site(rec)
+            site.popped += 1
+            lifetime = step - rec.push_step
+            site.total_lifetime += lifetime
+            if lifetime > site.max_lifetime:
+                site.max_lifetime = lifetime
+            self._merge_instance(site, rec)
+        elif ev == "region_morph":
+            rec = self._live.get(event["region"])
+            if rec is not None:
+                rec.morphed = True
+        elif ev == "gc_end":
+            if event["kind"] == "major":
+                self.gc_majors += 1
+            else:
+                self.gc_minors += 1
+            self.gc_copied += event["copied"]
+            self.gc_promoted += event["promoted"]
+            self.reclaimed_by_gc += event["from_words"] - event["to_words"]
+        elif ev == "dangle":
+            self.dangles.append(event)
+            site = self._sites.get(event["name"])
+            if site is not None:
+                site.dangles += 1
+        elif ev == "run_begin":
+            self.strategy = event["strategy"]
+        elif ev == "run_end":
+            self.completed = True
+
+    def close(self) -> None:
+        """Fold still-live regions (the global region, and anything the
+        run left unpopped after a fault) into the site table."""
+        for rec in self._live.values():
+            site = self._site(rec)
+            site.live_instances += 1
+            self._merge_instance(site, rec)
+        self._live.clear()
+
+    # -- aggregation -------------------------------------------------------------
+
+    def _site(self, rec: _LiveRegion) -> SiteProfile:
+        site = self._sites.get(rec.name)
+        if site is None:
+            site = SiteProfile(name=rec.name, kind=rec.kind, capacity=rec.capacity)
+            self._sites[rec.name] = site
+        return site
+
+    def _merge_instance(self, site: SiteProfile, rec: _LiveRegion) -> None:
+        site.instances += 1
+        site.allocs += rec.allocs
+        site.alloc_words += rec.alloc_words
+        if rec.high_water > site.high_water:
+            site.high_water = rec.high_water
+        if rec.morphed:
+            site.morphed += 1
+        # The multiplicity analysis classifies the *site*; instances agree
+        # by construction, but keep the finite classification sticky so a
+        # morph doesn't erase it.
+        if rec.kind == "finite":
+            site.kind = "finite"
+            if site.capacity is None:
+                site.capacity = rec.capacity
+
+    def sites(self) -> list[SiteProfile]:
+        """Site profiles, largest high-water first (ties: most allocated
+        words, then name — deterministic)."""
+        if self._live:
+            self.close()
+        return sorted(
+            self._sites.values(),
+            key=lambda s: (-s.high_water, -s.alloc_words, s.name),
+        )
+
+    # -- rendering ---------------------------------------------------------------
+
+    def report(self, top: int = 25, width: int = 24) -> str:
+        """The text region profile (MLKit-profiler style)."""
+        sites = self.sites()
+        lines = []
+        header = "region profile"
+        if self.strategy:
+            header += f" (strategy {self.strategy})"
+        lines.append(header)
+        lines.append(
+            f"  {len(sites)} sites, {sum(s.instances for s in sites)} regions, "
+            f"{self.gc_majors} major + {self.gc_minors} minor collections "
+            f"({self.gc_copied} objects copied, {self.gc_promoted} promoted, "
+            f"{self.reclaimed_by_gc} words reclaimed)"
+        )
+        if self.dangles:
+            d = self.dangles[0]
+            lines.append(
+                f"  !! {len(self.dangles)} dangling-pointer probe(s): first at "
+                f"step {d['step']} into region {d['name']} ({d['obj']}) — "
+                f"the Figure 1 fault"
+            )
+        lines.append("")
+        lines.append(
+            f"  {'site':10s} {'class':>11s} {'cap':>5s} {'insts':>6s} "
+            f"{'allocs':>7s} {'words':>8s} {'hiwater':>8s} {'life(avg/max)':>15s}  "
+            f"{'':{width}s}"
+        )
+        shown = sites[:top]
+        scale = max((s.high_water for s in shown), default=0)
+        for s in shown:
+            bar = ""
+            if scale:
+                bar = "#" * max(1 if s.high_water else 0,
+                                round(s.high_water * width / scale))
+            cap = str(s.capacity) if s.capacity is not None else "-"
+            life = f"{s.avg_lifetime:.0f}/{s.max_lifetime}"
+            dangle = f"  DANGLED x{s.dangles}" if s.dangles else ""
+            lines.append(
+                f"  {s.name:10s} {s.classification:>11s} {cap:>5s} "
+                f"{s.instances:>6d} {s.allocs:>7d} {s.alloc_words:>8d} "
+                f"{s.high_water:>8d} {life:>15s}  {bar}{dangle}"
+            )
+        if len(sites) > top:
+            rest = sites[top:]
+            lines.append(
+                f"  ... {len(rest)} more sites "
+                f"({sum(s.alloc_words for s in rest)} words allocated)"
+            )
+        return "\n".join(lines)

@@ -44,6 +44,14 @@ class RunStats:
     def to_dict(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        """Inverse of :meth:`to_dict`.  Unknown keys are ignored so stats
+        serialized by a newer schema still load; missing keys keep their
+        defaults."""
+        known = {k: v for k, v in data.items() if k in cls.__dataclass_fields__}
+        return cls(**known)
+
     def summary(self) -> str:
         return (
             f"steps={self.steps} allocs={self.allocations} "

@@ -1,0 +1,205 @@
+"""The observability event bus: a structured trace of what the region
+heap and the collector do, emitted as JSONL (one JSON object per line).
+
+The MLKit ships a *region profiler* precisely because the evaluation of
+a region/GC system (the paper's Section 6, Figure 9) rests on being able
+to see live words, collection counts, and which regions a fix keeps
+alive.  This module is the repro's equivalent substrate: every
+observable heap/GC transition is an *event* published on an
+:class:`EventBus`, and sinks (a JSONL writer, the in-memory recorder,
+the :class:`~repro.runtime.profiler.RegionProfiler`) consume them.
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  The hot paths (every
+  allocation!) guard each emission with a single attribute check::
+
+      tr = self.trace
+      if tr.enabled:
+          tr.emit("alloc", step=..., region=..., ...)
+
+  With no tracer installed, ``self.trace`` is the shared
+  :data:`NULL_TRACER` whose ``enabled`` is a plain class attribute
+  ``False`` — no event dict is ever built, no call is made.  An
+  :class:`EventBus` with no sinks attached reports ``enabled = False``
+  too, so even an installed-but-unconsumed bus allocates nothing per
+  event (``tests/runtime/test_trace.py`` pins both properties).
+* **Deterministic.**  Events carry the interpreter step counter and a
+  per-run sequence number, never wall-clock time, so a trace of a
+  deterministic run is byte-identical across machines (the golden-file
+  test relies on this).
+
+Event schema (version :data:`SCHEMA_VERSION`): every event is a flat
+JSON object with ``i`` (sequence number), ``ev`` (kind), ``step``
+(interpreter steps so far), plus per-kind fields — see
+:data:`EVENT_SCHEMA` and ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMA",
+    "Tracer",
+    "NULL_TRACER",
+    "EventBus",
+    "JsonlSink",
+    "RecordingSink",
+    "open_jsonl",
+    "validate_event",
+]
+
+#: Bump when the event vocabulary or a field meaning changes.
+SCHEMA_VERSION = 1
+
+#: kind -> (required fields, optional fields).  ``i``/``ev``/``step`` are
+#: implicit on every event.
+EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
+    # Run lifecycle.
+    "run_begin": (frozenset({"strategy", "generational", "schema"}), frozenset()),
+    "run_end": (
+        frozenset({"steps", "allocations", "peak_words", "gc_count", "gc_minor_count"}),
+        frozenset(),
+    ),
+    # Region lifecycle (letregion push/pop).
+    "region_push": (frozenset({"region", "name", "kind"}), frozenset({"capacity"})),
+    "region_pop": (frozenset({"region", "name", "words"}), frozenset()),
+    # A finite (stack) region whose static size estimate overflowed and
+    # fell back to the infinite representation.
+    "region_morph": (frozenset({"region", "name"}), frozenset()),
+    # Allocation of ``words`` into ``region``; ``region_words`` is the
+    # region's footprint *after* the allocation (its running high-water).
+    "alloc": (frozenset({"region", "words", "region_words", "kind"}), frozenset()),
+    # Collection begin/end.  ``gc`` is the 1-based collection ordinal
+    # (majors + minors); ``from_words``/``to_words`` bracket the heap
+    # footprint; ``copied`` counts evacuated (live, traced) objects;
+    # ``promoted`` counts minor-collection survivors promoted to the old
+    # generation.
+    "gc_begin": (frozenset({"kind", "gc", "from_words"}), frozenset()),
+    "gc_end": (
+        frozenset({"kind", "gc", "from_words", "to_words", "copied", "promoted"}),
+        frozenset(),
+    ),
+    # The collector traced a pointer into a deallocated region — the
+    # paper's Figure 1 fault, observed.  Emitted immediately before
+    # DanglingPointerError is raised.
+    "dangle": (frozenset({"region", "name", "obj"}), frozenset()),
+    # Generational write barrier: an old object now points into the
+    # young generation (remembered-set entry).
+    "remember": (frozenset({"region"}), frozenset()),
+}
+
+
+def validate_event(event: dict) -> Optional[str]:
+    """Check one decoded event against :data:`EVENT_SCHEMA`.
+
+    Returns ``None`` when valid, else a human-readable error string.
+    """
+    for key in ("i", "ev", "step"):
+        if key not in event:
+            return f"event missing required field {key!r}: {event!r}"
+    kind = event["ev"]
+    if kind not in EVENT_SCHEMA:
+        return f"unknown event kind {kind!r}: {event!r}"
+    required, optional = EVENT_SCHEMA[kind]
+    fields = set(event) - {"i", "ev", "step"}
+    missing = required - fields
+    if missing:
+        return f"{kind} event missing {sorted(missing)}: {event!r}"
+    extra = fields - required - optional
+    if extra:
+        return f"{kind} event has unknown fields {sorted(extra)}: {event!r}"
+    return None
+
+
+class Tracer:
+    """The no-op tracer.  ``enabled`` is a plain class attribute so the
+    hot-path guard costs one attribute load; :meth:`emit` exists only so
+    mis-guarded call sites stay harmless."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def emit(self, kind: str, /, **fields) -> None:  # pragma: no cover - guarded out
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled tracer installed when no tracing is requested.
+NULL_TRACER = Tracer()
+
+
+class EventBus(Tracer):
+    """Publishes events to the attached sinks.
+
+    A bus with no sinks is disabled: the producers' ``if tr.enabled``
+    guard sees ``False`` and skips event construction entirely.
+    """
+
+    __slots__ = ("sinks", "seq", "enabled")
+
+    def __init__(self, *sinks) -> None:
+        self.sinks: list = list(sinks)
+        self.seq = 0
+        self.enabled = bool(self.sinks)
+
+    def attach(self, sink) -> None:
+        self.sinks.append(sink)
+        self.enabled = True
+
+    def emit(self, kind: str, /, **fields) -> None:
+        event = {"i": self.seq, "ev": kind}
+        event.update(fields)
+        self.seq += 1
+        for sink in self.sinks:
+            sink.on_event(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class JsonlSink:
+    """Writes each event as one JSON line to a file object."""
+
+    def __init__(self, stream: IO[str], owns_stream: bool = False) -> None:
+        self.stream = stream
+        self.owns_stream = owns_stream
+        self.events_written = 0
+
+    def on_event(self, event: dict) -> None:
+        self.stream.write(json.dumps(event, separators=(",", ":")))
+        self.stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self.stream.flush()
+        if self.owns_stream:
+            self.stream.close()
+
+
+class RecordingSink:
+    """Accumulates events in memory (tests, the profiler example)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def on_event(self, event: dict) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        return [e["ev"] for e in self.events]
+
+
+def open_jsonl(path: str) -> JsonlSink:
+    """A :class:`JsonlSink` writing to ``path`` (owned: closed with the
+    bus)."""
+    return JsonlSink(open(path, "w", encoding="utf-8"), owns_stream=True)

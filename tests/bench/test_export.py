@@ -1,0 +1,132 @@
+"""The repro-bench export: document construction and schema validation."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.export import (
+    ALL_STRATEGIES,
+    SCHEMA,
+    CELL_FIELDS,
+    build_document,
+    main,
+    validate_document,
+)
+from repro.bench.registry import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def doc():
+    # fib is the fastest benchmark; two strategies keep the test quick
+    # while still exercising the per-strategy layout.
+    return build_document(["fib"], strategies=("rg", "r"), repeat=1)
+
+
+class TestBuildDocument:
+    def test_envelope(self, doc):
+        assert doc["schema"] == SCHEMA
+        assert doc["suite"] == "figure9"
+        assert doc["repeat"] == 1
+        assert doc["strategies"] == ["rg", "r"]
+        assert list(doc["programs"]) == ["fib"]
+
+    def test_cells_complete_and_correct(self, doc):
+        row = doc["programs"]["fib"]
+        assert row["expected"] == BENCHMARKS["fib"].expected
+        assert row["loc"] == 2
+        for strategy in ("rg", "r"):
+            cell = row["strategies"][strategy]
+            assert CELL_FIELDS <= set(cell)
+            assert cell["ok"] is True
+            assert cell["value"] == "2584"
+            assert cell["steps"] > 0
+            assert cell["seconds"] > 0
+            assert cell["peak_words"] > 0
+
+    def test_deterministic_columns_agree_across_strategies(self, doc):
+        # fib is stack-only: rg and r behave identically.
+        rg = doc["programs"]["fib"]["strategies"]["rg"]
+        r = doc["programs"]["fib"]["strategies"]["r"]
+        for key in ("steps", "peak_words", "allocations", "allocated_words"):
+            assert rg[key] == r[key]
+
+    def test_document_is_json_serializable(self, doc):
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_validates(self, doc):
+        assert validate_document(doc) == []
+        assert validate_document(doc, require_programs=["fib"]) == []
+
+
+class TestValidateDocument:
+    def test_rejects_non_object(self):
+        assert validate_document([1, 2]) != []
+
+    def test_rejects_wrong_schema(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["schema"] = "repro-bench/v0"
+        assert any("schema" in e for e in validate_document(bad))
+
+    def test_rejects_missing_cell_field(self, doc):
+        bad = copy.deepcopy(doc)
+        del bad["programs"]["fib"]["strategies"]["rg"]["steps"]
+        assert any("steps" in e for e in validate_document(bad))
+
+    def test_rejects_missing_strategy(self, doc):
+        bad = copy.deepcopy(doc)
+        del bad["programs"]["fib"]["strategies"]["r"]
+        assert any("missing strategy 'r'" in e for e in validate_document(bad))
+
+    def test_coverage_requirements(self, doc):
+        errors = validate_document(
+            doc,
+            require_programs=sorted(BENCHMARKS),
+            require_strategies=ALL_STRATEGIES,
+        )
+        assert any("missing programs" in e for e in errors)
+        assert any("missing strategies" in e for e in errors)
+
+    def test_unknown_strategy_flagged(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["strategies"] = ["rg", "mlton"]
+        assert any("unknown strategies" in e for e in validate_document(bad))
+
+
+class TestMainCli:
+    def test_write_and_validate(self, tmp_path, doc):
+        out = tmp_path / "bench.json"
+        out.write_text(json.dumps(doc))
+        assert main(["--validate", str(out)]) == 0
+
+    def test_validate_rejects_corrupt(self, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text("{\"schema\": \"nope\"}")
+        assert main(["--validate", str(out)]) == 1
+
+    def test_validate_missing_file(self, tmp_path):
+        assert main(["--validate", str(tmp_path / "absent.json")]) == 1
+
+    def test_unknown_program_exit_2(self):
+        assert main(["--programs", "no_such_bench"]) == 2
+
+    def test_unknown_strategy_exit_2(self):
+        assert main(["--programs", "fib", "--strategies", "mlton"]) == 2
+
+    def test_end_to_end_single_program(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "--programs",
+                    "fib",
+                    "--strategies",
+                    "rg,r",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        loaded = json.loads(out.read_text())
+        assert validate_document(loaded, require_programs=["fib"]) == []

@@ -1,0 +1,47 @@
+"""Benchmark harness units: the loc counter and measurement cells."""
+
+from repro.bench.harness import loc_of
+from repro.bench.registry import BENCHMARKS, benchmark_source
+
+
+class TestLocOf:
+    def test_blank_and_code_lines(self):
+        assert loc_of("") == 0
+        assert loc_of("\n\n  \n") == 0
+        assert loc_of("val it = 1") == 1
+        assert loc_of("val x = 1\nval it = x") == 2
+
+    def test_single_line_comment(self):
+        assert loc_of("(* comment *)\nval it = 1") == 1
+
+    def test_multi_line_comment_body_not_counted(self):
+        # The old counter only skipped single-line (* ... *) lines, so a
+        # comment *body* spanning lines was counted as code.
+        src = "(* a header comment\n   spanning three\n   lines *)\nval it = 1"
+        assert loc_of(src) == 1
+
+    def test_code_before_open_and_after_close(self):
+        assert loc_of("val x = 1 (* trailing\ncomment *)") == 1
+        assert loc_of("(* open\nstill comment *) val z = 3") == 1
+
+    def test_nested_comments(self):
+        src = "(* outer (* inner *)\n still outer *)\nval it = 1"
+        assert loc_of(src) == 1
+
+    def test_inline_comment_line_is_code(self):
+        assert loc_of("val x = (* why *) 1") == 1
+
+    def test_comment_opener_inside_string_literal(self):
+        assert loc_of('val s = "(* not a comment *)"') == 1
+        assert loc_of('val s = "a\\"(*b"') == 1
+
+    def test_every_benchmark_loc_positive_and_not_inflated(self):
+        for name in BENCHMARKS:
+            source = benchmark_source(name)
+            loc = loc_of(source)
+            assert 0 < loc <= len(source.splitlines())
+
+    def test_fib_header_comment_excluded(self):
+        # fib.mml opens with a two-line comment block; only the fun and
+        # the val lines are code.
+        assert loc_of(benchmark_source("fib")) == 2

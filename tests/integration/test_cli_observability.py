@@ -1,0 +1,93 @@
+"""End-to-end: the repro-run --trace/--profile flags on the Figure 1
+program, under the sound and unsound strategies."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.trace import validate_event
+
+FIGURE_1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200
+  in h ()
+  end
+val it = run ()
+"""
+
+
+@pytest.fixture()
+def fig1(tmp_path):
+    path = tmp_path / "fig1.mml"
+    path.write_text(FIGURE_1)
+    return path
+
+
+def _read_trace(path):
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [validate_event(e) for e in events] == [None] * len(events)
+    return events
+
+
+class TestTraceFlag:
+    def test_rg_clean_run_writes_full_trace(self, fig1, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [str(fig1), "--strategy", "rg", "--gc-every-alloc",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        events = _read_trace(trace)
+        kinds = {e["ev"] for e in events}
+        assert {"run_begin", "region_push", "region_pop",
+                "gc_begin", "gc_end", "run_end"} <= kinds
+        assert "dangle" not in kinds
+        assert events[0]["strategy"] == "rg"
+
+    def test_rg_minus_faulting_run_flushes_dangle(self, fig1, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [str(fig1), "--strategy", "rg-", "--gc-every-alloc",
+             "--trace", str(trace)]
+        )
+        assert code == 1
+        assert "dangling" in capsys.readouterr().err
+        events = _read_trace(trace)
+        dangles = [e for e in events if e["ev"] == "dangle"]
+        assert len(dangles) == 1
+        assert dangles[0]["obj"] == "RStr"
+        # The fault aborts the run: no run_end is ever written.
+        assert all(e["ev"] != "run_end" for e in events)
+
+
+class TestProfileFlag:
+    def test_profile_report_on_stderr(self, fig1, capsys):
+        code = main([str(fig1), "--strategy", "rg", "--profile"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "region profile (strategy rg)" in err
+        assert "hiwater" in err
+
+    def test_profile_printed_even_when_run_faults(self, fig1, capsys):
+        code = main(
+            [str(fig1), "--strategy", "rg-", "--gc-every-alloc", "--profile"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "region profile (strategy rg-)" in err
+        assert "DANGLED" in err
+
+    def test_trace_and_profile_combined(self, fig1, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [str(fig1), "--strategy", "rg", "--trace", str(trace), "--profile"]
+        )
+        assert code == 0
+        assert _read_trace(trace)
+        assert "region profile" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""The region profiler: per-letregion-site aggregation and the text
+report."""
+
+import pytest
+
+from repro import DanglingPointerError, Strategy, compile_program
+from repro.runtime.profiler import RegionProfiler
+from repro.runtime.trace import EventBus
+
+LOOP_SOURCE = """
+fun iter n =
+  if n = 0 then 0
+  else let val tmp = tabulate (20, fn i => i * n)
+       in (foldl (fn (a, b) => a + b) 0 tmp + iter (n - 1)) mod 1000
+       end
+val it = iter 15
+"""
+
+FIGURE_1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200
+  in h ()
+  end
+val it = run ()
+"""
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    prog = compile_program(LOOP_SOURCE, strategy=Strategy.RG)
+    profiler = RegionProfiler()
+    bus = EventBus(profiler)
+    result = prog.run(tracer=bus, initial_threshold=512)
+    bus.close()
+    return profiler, result
+
+
+class TestAggregation:
+    def test_sites_and_instances(self, profiled):
+        profiler, result = profiled
+        sites = profiler.sites()
+        assert sites  # at least the loop's letregion sites plus rtop
+        total_instances = sum(s.instances for s in sites)
+        # Every created region plus the global region is an instance of
+        # some site (letregion expressions may bind several regions each).
+        created = (
+            result.stats.finite_regions_created
+            + result.stats.infinite_regions_created
+        )
+        assert total_instances == created + 1
+
+    def test_alloc_words_conserved(self, profiled):
+        profiler, result = profiled
+        assert (
+            sum(s.alloc_words for s in profiler.sites())
+            == result.stats.allocated_words
+        )
+        assert sum(s.allocs for s in profiler.sites()) == result.stats.allocations
+
+    def test_high_water_bounded_by_peak(self, profiled):
+        profiler, result = profiled
+        for site in profiler.sites():
+            assert 0 <= site.high_water <= result.stats.peak_words
+
+    def test_lifetimes_positive_for_loop_sites(self, profiled):
+        profiler, _ = profiled
+        popped = [s for s in profiler.sites() if s.popped]
+        assert popped
+        for site in popped:
+            assert site.max_lifetime >= site.avg_lifetime >= 0
+
+    def test_global_region_reported_live(self, profiled):
+        profiler, _ = profiled
+        rtop = next(s for s in profiler.sites() if s.name == "rtop")
+        assert rtop.live_instances == 1
+        assert rtop.kind == "infinite"
+
+    def test_gc_summary(self, profiled):
+        profiler, result = profiled
+        assert profiler.gc_majors == result.stats.gc_count
+        assert profiler.gc_minors == result.stats.gc_minor_count
+        assert profiler.completed is True
+        assert profiler.strategy == "rg"
+
+    def test_finite_classification_cross_referenced(self, profiled):
+        """The multiplicity analysis's finite sites surface in the
+        profile with their statically inferred capacity."""
+        profiler, _ = profiled
+        finite = [s for s in profiler.sites() if s.kind == "finite"]
+        assert finite
+        for site in finite:
+            assert site.capacity is not None and site.capacity >= 1
+            assert site.classification in ("finite", "finite->inf")
+
+    def test_to_dict_round(self, profiled):
+        profiler, _ = profiled
+        d = profiler.sites()[0].to_dict()
+        assert {"name", "classification", "instances", "high_water"} <= set(d)
+
+
+class TestReport:
+    def test_report_renders(self, profiled):
+        profiler, _ = profiled
+        report = profiler.report(top=5)
+        assert "region profile (strategy rg)" in report
+        assert "hiwater" in report
+        assert "#" in report  # the bar chart
+        assert "more sites" in report or report.count("\n") <= 10
+
+    def test_report_deterministic(self, profiled):
+        profiler, _ = profiled
+        assert profiler.report() == profiler.report()
+
+
+class TestDangleAttribution:
+    def test_dangle_attributed_to_site(self):
+        prog = compile_program(FIGURE_1, strategy=Strategy.RG_MINUS)
+        profiler = RegionProfiler()
+        bus = EventBus(profiler)
+        with pytest.raises(DanglingPointerError):
+            prog.run(tracer=bus, gc_every_alloc=True)
+        bus.close()
+        assert len(profiler.dangles) == 1
+        assert profiler.completed is False
+        report = profiler.report()
+        assert "dangling-pointer probe" in report
+        assert "DANGLED" in report
+        dangled = [s for s in profiler.sites() if s.dangles]
+        assert len(dangled) == 1
+        # The dangled region is the popped string region of Figure 1.
+        assert dangled[0].name == profiler.dangles[0]["name"]

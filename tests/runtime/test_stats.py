@@ -1,0 +1,57 @@
+"""RunStats serialization: to_dict/from_dict round-tripping and the
+summary line."""
+
+import dataclasses
+
+from repro import Strategy, compile_program
+from repro.runtime.stats import RunStats
+
+
+def _populated_stats() -> RunStats:
+    prog = compile_program(
+        """
+        fun build n = if n = 0 then nil else (n, n) :: build (n - 1)
+        val it = length (build 50)
+        """,
+        strategy=Strategy.RG,
+    )
+    return prog.run(gc_every_alloc=True).stats
+
+
+class TestRoundTrip:
+    def test_to_dict_covers_every_field(self):
+        stats = RunStats()
+        assert set(stats.to_dict()) == {
+            f.name for f in dataclasses.fields(RunStats)
+        }
+
+    def test_round_trip_default(self):
+        stats = RunStats()
+        assert RunStats.from_dict(stats.to_dict()) == stats
+
+    def test_round_trip_populated(self):
+        stats = _populated_stats()
+        clone = RunStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone is not stats
+        # And the dict form is stable through a second trip.
+        assert clone.to_dict() == stats.to_dict()
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = RunStats(steps=7).to_dict()
+        data["from_a_newer_schema"] = 123
+        assert RunStats.from_dict(data).steps == 7
+
+    def test_from_dict_defaults_missing_keys(self):
+        assert RunStats.from_dict({"steps": 9}) == RunStats(steps=9)
+
+
+class TestSummary:
+    def test_summary_reflects_values(self):
+        stats = _populated_stats()
+        summary = stats.summary()
+        assert f"steps={stats.steps}" in summary
+        assert f"allocs={stats.allocations}" in summary
+        assert f"peak_words={stats.peak_words}" in summary
+        assert f"gc={stats.gc_count}" in summary
+        assert f"letregions={stats.letregions}" in summary

@@ -1,0 +1,220 @@
+"""The observability event bus: schema, pairing invariants, golden
+JSONL, and the disabled-is-free guarantee.
+
+Regenerate the golden file after an intentional schema change with::
+
+    PYTHONPATH=src python tests/runtime/test_trace.py regen
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import DanglingPointerError, Strategy, compile_program
+from repro.config import CompilerFlags
+from repro.runtime.trace import (
+    EVENT_SCHEMA,
+    NULL_TRACER,
+    EventBus,
+    JsonlSink,
+    RecordingSink,
+    validate_event,
+)
+from repro.testing.faultplan import FaultPlan
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "trace_golden.jsonl"
+
+#: Small, prelude-free, deterministic: 19 region events + 2 injected
+#: major collections.
+GOLDEN_SOURCE = """
+fun sum xs = if null xs then 0 else hd xs + sum (tl xs)
+fun build n = if n = 0 then nil else n :: build (n - 1)
+val it = sum (build 4)
+"""
+GOLDEN_PLAN = dict(every=3, kind="major")
+
+LOOP_SOURCE = """
+fun iter n =
+  if n = 0 then 0
+  else let val tmp = tabulate (20, fn i => i * n)
+       in (foldl (fn (a, b) => a + b) 0 tmp + iter (n - 1)) mod 1000
+       end
+val it = iter 15
+"""
+
+FIGURE_1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200
+  in h ()
+  end
+val it = run ()
+"""
+
+
+def _golden_trace() -> list[dict]:
+    prog = compile_program(GOLDEN_SOURCE, flags=CompilerFlags(with_prelude=False))
+    sink = RecordingSink()
+    prog.run(tracer=EventBus(sink), fault_plan=FaultPlan(**GOLDEN_PLAN))
+    return sink.events
+
+
+class TestEventStream:
+    @pytest.fixture(scope="class")
+    def events(self):
+        prog = compile_program(LOOP_SOURCE, strategy=Strategy.RG)
+        sink = RecordingSink()
+        prog.run(tracer=EventBus(sink), initial_threshold=512)
+        return sink.events
+
+    def test_all_events_validate(self, events):
+        errors = [err for err in map(validate_event, events) if err]
+        assert errors == []
+
+    def test_sequence_and_steps_monotone(self, events):
+        assert [e["i"] for e in events] == list(range(len(events)))
+        steps = [e["step"] for e in events]
+        assert all(a <= b for a, b in zip(steps, steps[1:]))
+
+    def test_run_bracketing(self, events):
+        assert events[0]["ev"] == "run_begin"
+        assert events[0]["strategy"] == "rg"
+        assert events[-1]["ev"] == "run_end"
+
+    def test_expected_kinds_present(self, events):
+        kinds = {e["ev"] for e in events}
+        assert {"region_push", "region_pop", "alloc", "gc_begin", "gc_end"} <= kinds
+
+    def test_push_pop_paired(self, events):
+        pushed = {e["region"] for e in events if e["ev"] == "region_push"}
+        popped = {e["region"] for e in events if e["ev"] == "region_pop"}
+        assert popped <= pushed
+        # This loop's letregions all close before the run ends.
+        assert pushed == popped
+
+    def test_allocs_reference_live_regions(self, events):
+        live = {0}  # the global region exists from the start
+        for e in events:
+            if e["ev"] == "region_push":
+                live.add(e["region"])
+            elif e["ev"] == "region_pop":
+                live.remove(e["region"])
+            elif e["ev"] == "alloc":
+                assert e["region"] in live
+                assert e["words"] >= 1
+                assert e["region_words"] >= e["words"]
+
+    def test_gc_pairs_and_accounting(self, events):
+        begins = [e for e in events if e["ev"] == "gc_begin"]
+        ends = [e for e in events if e["ev"] == "gc_end"]
+        assert len(begins) == len(ends) > 0
+        for b, e in zip(begins, ends):
+            assert b["gc"] == e["gc"]
+            assert b["from_words"] == e["from_words"]
+            assert e["to_words"] <= e["from_words"]
+            assert e["copied"] >= 0
+
+    def test_run_end_matches_stats(self, events):
+        prog = compile_program(LOOP_SOURCE, strategy=Strategy.RG)
+        stats = prog.run(initial_threshold=512).stats
+        end = events[-1]
+        assert end["steps"] == stats.steps
+        assert end["allocations"] == stats.allocations
+        assert end["peak_words"] == stats.peak_words
+        assert end["gc_count"] == stats.gc_count
+
+
+class TestDisabledOverhead:
+    def test_null_tracer_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_bus_without_sinks_disabled(self):
+        assert EventBus().enabled is False
+        bus = EventBus()
+        bus.attach(RecordingSink())
+        assert bus.enabled is True
+
+    def test_no_sink_means_no_emit(self, monkeypatch):
+        """With no sink attached the guard `if tr.enabled` must prevent
+        every per-event allocation: emit() is never even called."""
+
+        def exploding_emit(self, kind, /, **fields):  # pragma: no cover
+            raise AssertionError(f"emit({kind!r}) called on a disabled bus")
+
+        monkeypatch.setattr(EventBus, "emit", exploding_emit)
+        prog = compile_program(LOOP_SOURCE, strategy=Strategy.RG)
+        result = prog.run(tracer=EventBus(), initial_threshold=512)
+        assert result.value == 800
+
+    def test_tracing_does_not_change_execution(self):
+        prog = compile_program(LOOP_SOURCE, strategy=Strategy.RG)
+        plain = prog.run(initial_threshold=512)
+        traced = prog.run(tracer=EventBus(RecordingSink()), initial_threshold=512)
+        assert plain.stats.to_dict() == traced.stats.to_dict()
+        assert plain.value == traced.value
+
+
+class TestDangleEvent:
+    def test_rg_minus_trace_ends_in_dangle_then_unwind(self):
+        prog = compile_program(FIGURE_1, strategy=Strategy.RG_MINUS)
+        sink = RecordingSink()
+        with pytest.raises(DanglingPointerError):
+            prog.run(tracer=EventBus(sink), gc_every_alloc=True)
+        dangles = [e for e in sink.events if e["ev"] == "dangle"]
+        assert len(dangles) == 1
+        assert dangles[0]["obj"] == "RStr"
+        # No run_end: the run faulted.
+        assert all(e["ev"] != "run_end" for e in sink.events)
+        # The same schedule under rg is clean.
+        prog_rg = compile_program(FIGURE_1, strategy=Strategy.RG)
+        sink_rg = RecordingSink()
+        prog_rg.run(tracer=EventBus(sink_rg), gc_every_alloc=True)
+        assert all(e["ev"] != "dangle" for e in sink_rg.events)
+        assert sink_rg.events[-1]["ev"] == "run_end"
+
+
+class TestJsonlGolden:
+    def test_jsonl_round_trip(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        prog = compile_program(GOLDEN_SOURCE, flags=CompilerFlags(with_prelude=False))
+        prog.run(tracer=EventBus(sink), fault_plan=FaultPlan(**GOLDEN_PLAN))
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == sink.events_written
+        decoded = [json.loads(line) for line in lines]
+        assert [validate_event(e) for e in decoded] == [None] * len(decoded)
+
+    def test_matches_golden_file(self):
+        got = _golden_trace()
+        golden = [json.loads(line) for line in GOLDEN_PATH.read_text().splitlines()]
+        assert got == golden
+
+    def test_golden_covers_core_vocabulary(self):
+        kinds = {json.loads(l)["ev"] for l in GOLDEN_PATH.read_text().splitlines()}
+        assert {
+            "run_begin",
+            "region_push",
+            "alloc",
+            "gc_begin",
+            "gc_end",
+            "region_pop",
+            "run_end",
+        } <= kinds
+        assert kinds <= set(EVENT_SCHEMA)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
+            for event in _golden_trace():
+                handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+        print(f"wrote {GOLDEN_PATH}")
