@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Print the closure-vs-tree backend comparison table for
+docs/performance.md: Figure 9 suite under ``rg``, best-of-N wall seconds
+per backend, speedup ratio, and the geometric mean."""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.registry import BENCHMARKS, benchmark_source  # noqa: E402
+from repro.config import Strategy  # noqa: E402
+from repro.pipeline import compile_program  # noqa: E402
+
+
+def best_of(prog, backend: str, repeat: int) -> float:
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        prog.run(backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--programs", default=None,
+                        help="comma-separated subset (default: all 23)")
+    args = parser.parse_args(argv)
+    names = args.programs.split(",") if args.programs else sorted(BENCHMARKS)
+
+    print("| program | tree (s) | closure (s) | speedup |")
+    print("|---|---|---|---|")
+    ratios = []
+    for name in names:
+        prog = compile_program(benchmark_source(name), strategy=Strategy.RG)
+        prog.run()  # warm both: closure-compile + any OS caches
+        tree = best_of(prog, "tree", args.repeat)
+        closure = best_of(prog, "closure", args.repeat)
+        ratio = tree / closure
+        ratios.append(ratio)
+        print(f"| {name} | {tree:.3f} | {closure:.3f} | {ratio:.2f}x |")
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    print(f"| **geomean** | | | **{geomean:.2f}x** |")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

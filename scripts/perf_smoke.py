@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI perf smoke: the compile cache works and the interpreter didn't rot.
+
+Two checks, both cheap enough for every PR:
+
+1. **Cache effectiveness** — measure a few benchmarks across all five
+   strategies twice against one bounded cache.  The second sweep must be
+   all hits (zero new pipeline compiles); ``--no-cache`` semantics are
+   exercised by pointing the second sweep at a fresh cache and expecting
+   all misses again.
+
+2. **Wall-clock regression** — compare each program's best closure-backend
+   wall time under ``rg`` against the committed ``BENCH_figure9.json``
+   baseline and fail when it regresses by more than ``--max-regress``
+   (default 50%).  Wall time is machine-noisy, which is why the threshold
+   is generous and why only a *large* regression fails: the point is to
+   catch "the fast path stopped being fast" (e.g. the closure backend
+   silently falling back to the tree walker), not 5% jitter.
+
+Exit codes: 0 ok, 1 check failed, 2 usage/baseline problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import measure  # noqa: E402
+from repro.bench.registry import BENCHMARKS, benchmark_source  # noqa: E402
+from repro.cache import CompileCache  # noqa: E402
+from repro.config import Strategy  # noqa: E402
+
+
+def check_cache(names: list[str]) -> list[str]:
+    """Sweep names x strategies twice against one cache: the second sweep
+    must be pure hits."""
+    problems: list[str] = []
+    cache = CompileCache(maxsize=64)
+    sources = {name: benchmark_source(name) for name in names}
+    for name in names:
+        for strategy in Strategy:
+            measure(sources[name], strategy, cache=cache)
+    first = cache.stats.to_dict()
+    if first["hits"]:
+        # measure() compiles each (source, strategy) exactly once.
+        problems.append(f"cold sweep should be all misses, got {first}")
+    for name in names:
+        for strategy in Strategy:
+            measure(sources[name], strategy, cache=cache)
+    second = cache.stats.to_dict()
+    new_compiles = second["misses"] - first["misses"]
+    if new_compiles:
+        problems.append(
+            f"warm sweep recompiled {new_compiles} programs "
+            f"(cache stats {second})"
+        )
+    print(
+        f"perf-smoke: cache ok — cold misses={first['misses']}, "
+        f"warm hits={second['hits'] - first['hits']}, recompiles=0"
+    )
+    return problems
+
+
+def check_wall(names: list[str], baseline_path: str, max_regress: float) -> list[str]:
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load baseline {baseline_path}: {exc}"]
+    problems: list[str] = []
+    for name in names:
+        cell = (
+            baseline.get("programs", {})
+            .get(name, {})
+            .get("strategies", {})
+            .get("rg")
+        )
+        if not cell:
+            problems.append(f"baseline has no rg cell for {name!r}")
+            continue
+        m = measure(benchmark_source(name), Strategy.RG, repeat=3)
+        budget = cell["seconds"] * (1.0 + max_regress)
+        verdict = "ok" if m.seconds <= budget else "REGRESSED"
+        print(
+            f"perf-smoke: {name} rg wall {m.seconds:.3f}s "
+            f"(baseline {cell['seconds']:.3f}s, budget {budget:.3f}s) {verdict}"
+        )
+        if m.seconds > budget:
+            problems.append(
+                f"{name}: {m.seconds:.3f}s exceeds {budget:.3f}s "
+                f"(baseline {cell['seconds']:.3f}s + {max_regress:.0%})"
+            )
+        if m.steps != cell["steps"]:
+            problems.append(
+                f"{name}: step count drifted {m.steps} != {cell['steps']} "
+                "(deterministic — regenerate the baseline if intentional)"
+            )
+    return problems
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--programs", default="fib,life",
+                        help="comma-separated benchmark names (default fib,life)")
+    parser.add_argument("--baseline", default="BENCH_figure9.json",
+                        help="committed export to compare against")
+    parser.add_argument("--max-regress", type=float, default=0.5,
+                        help="allowed fractional wall regression (default 0.5)")
+    args = parser.parse_args(argv)
+
+    names = [n for n in args.programs.split(",") if n]
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"perf-smoke: unknown benchmarks {unknown}", file=sys.stderr)
+        return 2
+
+    problems = check_cache(names) + check_wall(names, args.baseline, args.max_regress)
+    for problem in problems:
+        print(f"perf-smoke: FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ Usage::
     repro-bench --programs fib,life --repeat 1
     repro-bench --jobs 4                      # parallel across programs
     repro-bench --validate BENCH_figure9.json # schema-check an existing file
+    repro-bench --no-cache --backend tree     # time the tree walker, uncached
 
 Exit codes: 0 success; 1 when any cell's value differs from the
 registry's expected output (the file is still written) or when
@@ -88,13 +89,19 @@ CELL_FIELDS = frozenset(
 )
 
 
-def bench_program(name: str, strategies: Iterable[str], repeat: int = 1) -> dict:
+def bench_program(
+    name: str,
+    strategies: Iterable[str],
+    repeat: int = 1,
+    cache: bool = True,
+    backend: str = "closure",
+) -> dict:
     """Measure one program under each strategy; returns its row dict."""
     bench = BENCHMARKS[name]
     source = benchmark_source(name)
     cells: dict[str, dict] = {}
     for strategy in strategies:
-        m = measure(source, Strategy(strategy), repeat=repeat)
+        m = measure(source, Strategy(strategy), repeat=repeat, cache=cache, backend=backend)
         cell = m.to_dict()
         cell["ok"] = m.value == bench.expected
         cells[strategy] = cell
@@ -139,8 +146,8 @@ def document_from_rows(rows: Iterable, strategies: Iterable[str], repeat: int = 
 
 def _worker(job: tuple) -> tuple[str, dict]:
     """Top-level so :mod:`multiprocessing` can pickle it."""
-    name, strategies, repeat = job
-    return name, bench_program(name, strategies, repeat)
+    name, strategies, repeat, cache, backend = job
+    return name, bench_program(name, strategies, repeat, cache=cache, backend=backend)
 
 
 def build_document(
@@ -149,12 +156,14 @@ def build_document(
     repeat: int = 1,
     jobs: int = 1,
     log=None,
+    cache: bool = True,
+    backend: str = "closure",
 ) -> dict:
     """Run the suite (optionally in parallel across programs) and return
     the export document."""
     names = list(names)
     strategies = tuple(strategies)
-    work = [(name, strategies, repeat) for name in names]
+    work = [(name, strategies, repeat, cache, backend) for name in names]
     rows: dict[str, dict] = {}
     if jobs > 1 and len(work) > 1:
         import multiprocessing
@@ -292,6 +301,17 @@ def main(argv: Optional[list] = None) -> int:
         metavar="FILE",
         help="validate an existing export against the schema and exit",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the compile cache (recompile per strategy)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="closure",
+        choices=["closure", "tree"],
+        help="evaluator to time (default: closure)",
+    )
     args = parser.parse_args(argv)
 
     if args.validate is not None:
@@ -327,8 +347,18 @@ def main(argv: Optional[list] = None) -> int:
         print(f"repro-bench: {msg}", file=sys.stderr)
 
     doc = build_document(
-        names, strategies, repeat=args.repeat, jobs=args.jobs, log=log
+        names,
+        strategies,
+        repeat=args.repeat,
+        jobs=args.jobs,
+        log=log,
+        cache=not args.no_cache,
+        backend=args.backend,
     )
+    if not args.no_cache and args.jobs <= 1:
+        from ..cache import default_cache
+
+        log(f"compile cache: {default_cache().stats.to_dict()}")
     payload = json.dumps(doc, indent=2, sort_keys=False) + "\n"
     if args.out == "-":
         sys.stdout.write(payload)

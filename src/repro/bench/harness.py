@@ -125,14 +125,22 @@ def measure(
     strategy: Strategy,
     repeat: int = 1,
     flags: Optional[CompilerFlags] = None,
+    cache: bool = True,
+    backend: str = "closure",
 ) -> Measurement:
-    """Compile once, run ``repeat`` times, report the best wall time."""
+    """Compile once, run ``repeat`` times, report the best wall time.
+
+    ``cache``/``backend`` pass straight through to
+    :func:`~repro.pipeline.compile_program` and
+    :meth:`~repro.pipeline.CompiledProgram.run`: a suite that measures
+    every strategy of the same program re-parses it zero times with the
+    cache on, and ``backend="tree"`` times the original walker."""
     flags = (flags or CompilerFlags()).with_strategy(strategy)
-    prog = compile_program(source, flags=flags)
+    prog = compile_program(source, flags=flags, cache=cache)
     best = None
     for _ in range(repeat):
         start = time.perf_counter()
-        result = prog.run()
+        result = prog.run(backend=backend)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best[0]:
             best = (elapsed, result)

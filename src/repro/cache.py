@@ -1,0 +1,131 @@
+"""Content-addressed pipeline compile cache.
+
+Compiling a MiniML program (parse -> HM inference -> region inference ->
+freezing -> multiplicity/drop analyses -> verification) is pure: the
+output depends only on the source text and the compilation-relevant
+:class:`~repro.config.CompilerFlags` fields.  Harnesses exploit that by
+keying compiled programs on ``(sha256(source), strategy, flags...)`` —
+the fuzzer re-compiles a failing program once per shrink candidate, the
+bench exporter compiles each Figure 9 cell per strategy, and the
+differential oracle compiles every flag variant of the same source; all
+of them hit the cache on repeats.
+
+Runtime flags (:class:`~repro.config.RuntimeFlags`) are deliberately
+*not* part of the key: they only affect execution, so a cached program
+is re-wrapped with the caller's flags on a hit (see
+:func:`repro.pipeline.compile_program`).  The closure-compiled backend
+(:mod:`repro.runtime.compile`) is shared through the wrapper, so a
+program compiled once is also *closure-compiled* at most once.
+
+The default process-wide cache is bounded (LRU): a long fuzz run over
+thousands of distinct programs evicts the oldest entries instead of
+growing without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import CompilerFlags
+    from .pipeline import CompiledProgram
+
+__all__ = ["CacheStats", "CompileCache", "cache_key", "default_cache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def cache_key(source: str, flags: "CompilerFlags") -> tuple:
+    """The content address of a compilation: a sha256 of the source plus
+    every :class:`~repro.config.CompilerFlags` field that can change the
+    compiled term or the attached reports.  ``flags.runtime`` is
+    excluded — it never influences compilation."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return (
+        digest,
+        flags.strategy.value,
+        flags.spurious_mode.value,
+        flags.minimize_types,
+        flags.multiplicity,
+        flags.drop_regions,
+        flags.verify,
+        flags.with_prelude,
+    )
+
+
+class CompileCache:
+    """A bounded LRU mapping :func:`cache_key` -> ``CompiledProgram``.
+
+    Thread-safe (the fuzzer may drive compiles from worker threads); the
+    lock only guards the ordered dict, never a compile.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("CompileCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> Optional["CompiledProgram"]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: tuple, program: "CompiledProgram") -> None:
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe lifetime
+        behaviour, not current contents)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+_DEFAULT = CompileCache()
+
+
+def default_cache() -> CompileCache:
+    """The process-wide cache used by ``compile_program(cache=True)``."""
+    return _DEFAULT

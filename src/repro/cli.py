@@ -4,6 +4,7 @@ Usage::
 
     repro-run program.mml [--strategy rg|rg-|r|trivial|ml]
                           [--pretty] [--stats] [--no-verify] [--no-prelude]
+                          [--no-cache] [--backend closure|tree]
                           [--gc-every-alloc] [--gc-every N] [--gc-at I,J,..]
                           [--gc-dealloc-every N] [--gc-rate P]
                           [--gc-dealloc-rate P] [--gc-seed S] [--gc-kind K]
@@ -67,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="skip the Figure 4 type-checker pass")
     parser.add_argument("--no-prelude", action="store_true",
                         help="compile without the Basis-excerpt prelude")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the compile cache (always recompile; "
+                             "the escape hatch when diagnosing the cache "
+                             "itself)")
+    parser.add_argument("--backend", default="closure",
+                        choices=["closure", "tree"],
+                        help="evaluator: the closure-compiled fast path "
+                             "(default) or the original tree walker; both "
+                             "produce bit-identical output, stats and traces")
     gc = parser.add_argument_group("GC schedule (fault injection)")
     gc.add_argument("--gc-every-alloc", action="store_true",
                     help="run a collection at every allocation "
@@ -152,7 +162,7 @@ def _run(args) -> int:
         verify=not args.no_verify,
         with_prelude=not args.no_prelude,
     )
-    prog = compile_program(source, flags=flags)
+    prog = compile_program(source, flags=flags, cache=not args.no_cache)
 
     if prog.verification_error is not None:
         print(
@@ -193,7 +203,7 @@ def _run(args) -> int:
         overrides["tracer"] = bus
 
     try:
-        result = prog.run(**overrides)
+        result = prog.run(backend=args.backend, **overrides)
     finally:
         # Flush the trace and print the profile even when the run faults:
         # a dangling-pointer crash is exactly what one wants to see traced.

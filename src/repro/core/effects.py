@@ -59,6 +59,13 @@ class RegionVar:
     name: str = field(default="", compare=False)
     top: bool = field(default=False, compare=False)
 
+    def __hash__(self) -> int:
+        # Equality is by ``ident`` alone, so the ident *is* the hash.
+        # Region environments are RegionVar-keyed dicts on the
+        # interpreter's hottest paths; skipping the generated tuple hash
+        # is measurable there.
+        return self.ident
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.display()
 

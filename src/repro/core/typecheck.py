@@ -49,11 +49,14 @@ from .rtypes import (
     TAU_REAL,
     TAU_STRING,
     TauArrow,
+    TauData,
     TauList,
     TauPair,
     TauRef,
+    TauString,
     TyCtx,
     frev,
+    frv,
     ftv,
     show_mu,
     show_pi,
@@ -687,6 +690,31 @@ def _erase(mu: Mu) -> str:
     return "tyvar"
 
 
+def _admits_eq_mu(mu: Mu) -> bool:
+    """SML equality types over region types: base types, strings, pairs
+    and lists of equality types, any ref, and datatypes whose parameter
+    instantiations are equality types (the frontend already verified the
+    datatype's own constructors).  Reals, arrows, and ``exn`` are not
+    equality types.  Type variables are assumed to admit equality — the
+    frontend's ``''a`` discipline guarantees only equality types are
+    instantiated for them at ``=``."""
+    if isinstance(mu, (MuVar, MuBase)):
+        return True
+    assert isinstance(mu, MuBoxed)
+    tau = mu.tau
+    if isinstance(tau, TauString):
+        return True
+    if isinstance(tau, TauPair):
+        return _admits_eq_mu(tau.fst) and _admits_eq_mu(tau.snd)
+    if isinstance(tau, TauList):
+        return _admits_eq_mu(tau.elem)
+    if isinstance(tau, TauRef):
+        return True
+    if isinstance(tau, TauData):
+        return all(_admits_eq_mu(a) for a in tau.targs)
+    return False  # real, arrow, exn
+
+
 def _prim_type(op: str, mus: list[Mu], rho: Optional[RegionVar]) -> tuple[Mu, Effect]:
     """Typing of primitive operations.
 
@@ -738,12 +766,25 @@ def _prim_type(op: str, mus: list[Mu], rho: Optional[RegionVar]) -> tuple[Mu, Ef
             raise RegionTypeError(
                 f"{op}: operand types differ: {show_mu(mus[0])} vs {show_mu(mus[1])}"
             )
-        ok = mus[0] in (MU_INT, MU_BOOL, MU_UNIT) or (
-            isinstance(mus[0], MuBoxed)
-            and isinstance(mus[0].tau, (type(TAU_STRING), type(TAU_REAL)))
-        )
-        if not ok:
-            raise RegionTypeError(f"{op}: not an equality/ordered type: {show_mu(mus[0])}")
+        if op in ("eq", "ne"):
+            if not _admits_eq_mu(mus[0]):
+                raise RegionTypeError(
+                    f"{op}: not an equality type: {show_mu(mus[0])}"
+                )
+            # Structural equality reads the whole operand: a get effect
+            # on every region reachable through the type, not just the
+            # top box, so the containment rule keeps spines alive.
+            get.update(frv(mus[0]))
+            get.update(frv(mus[1]))
+        else:
+            ok = mus[0] in (MU_INT, MU_BOOL, MU_UNIT) or (
+                isinstance(mus[0], MuBoxed)
+                and isinstance(mus[0].tau, (type(TAU_STRING), type(TAU_REAL)))
+            )
+            if not ok:
+                raise RegionTypeError(
+                    f"{op}: not an ordered type: {show_mu(mus[0])}"
+                )
         return MU_BOOL, frozenset(get)
     if op in ("radd", "rsub", "rmul", "rdiv"):
         want(2)

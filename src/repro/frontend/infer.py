@@ -43,6 +43,7 @@ from .mltypes import (
     T_UNIT,
     TCon,
     TVar,
+    admits_eq,
     arrow,
     free_tvars,
     fresh_tvar,
@@ -50,6 +51,8 @@ from .mltypes import (
     pair,
     prune,
     ref_of,
+    register_eq_datatype,
+    reset_eq_datatypes,
     show_type,
     unify,
     zonk,
@@ -166,6 +169,7 @@ class _Inferencer:
 
     def run(self, program: A.Program) -> InferenceResult:
         self.result = InferenceResult(program)
+        reset_eq_datatypes()
         env: dict[str, _Entry] = {}
         for name, builtin in BUILTINS.items():
             env[name] = _VarEntry(builtin.scheme, Binder(name, None, builtin))
@@ -207,6 +211,16 @@ class _Inferencer:
             info.constructors[con.name] = payload
             scheme_body = data_ty if payload is None else arrow(payload, data_ty)
             new_env[con.name] = _ConEntry(info, con.name, MLScheme(params, scheme_body))
+        # The Definition's equality attribute: the datatype admits
+        # equality iff every payload is an equality type, assuming the
+        # parameters and the datatype itself (recursive payloads) are.
+        register_eq_datatype(
+            dec.name,
+            all(
+                payload is None or admits_eq(payload, frozenset({dec.name}))
+                for payload in info.constructors.values()
+            ),
+        )
         return new_env
 
     def _val_dec(self, dec: A.ValDec, env: dict[str, _Entry]) -> dict[str, _Entry]:

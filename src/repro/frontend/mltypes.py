@@ -4,9 +4,14 @@ Classic destructive-unification Hindley-Milner machinery with:
 
 * *levels* (Remy-style) for efficient generalization,
 * *overload classes* for SML-style arithmetic/comparison overloading
-  (``num`` = {int, real}, ``ord`` = {int, real, string},
-  ``eq`` = {int, bool, unit, string, real}), defaulting to ``int``
-  (or ``real`` when only reals qualify) at the end of inference,
+  (``num`` = {int, real}, ``ord`` = {int, real, string}), defaulting to
+  ``int`` at the end of inference,
+* *equality types*: ``=``/``<>`` variables carry the ``eq`` class, which
+  admits the base equality types {int, bool, unit, string} **and**
+  structured equality types — pairs/lists of equality types, any ``ref``,
+  and datatypes whose constructors only carry equality types
+  (:func:`register_eq_datatype`).  ``real``, arrows, and ``exn`` are not
+  equality types, exactly as in the Definition of Standard ML,
 * a ``weak`` marker for type variables that may not be generalized
   (the value restriction: only syntactic functions generalize here).
 
@@ -47,15 +52,86 @@ __all__ = [
     "show_type",
     "show_scheme",
     "OVERLOAD_CLASSES",
+    "EQTYPE_DATATYPES",
+    "register_eq_datatype",
+    "reset_eq_datatypes",
+    "admits_eq",
+    "require_eq",
     "default_overloads",
 ]
 
 
+#: ``inteq``/``ordeq`` only arise as intersections (a variable that is
+#: both ``num``/``ord`` and ``eq``); ``real`` is *not* an equality type,
+#: so those intersections exclude it.
 OVERLOAD_CLASSES: dict[str, frozenset] = {
     "num": frozenset({"int", "real"}),
     "ord": frozenset({"int", "real", "string"}),
-    "eq": frozenset({"int", "bool", "unit", "string", "real"}),
+    "eq": frozenset({"int", "bool", "unit", "string"}),
+    "ordeq": frozenset({"int", "string"}),
+    "inteq": frozenset({"int"}),
 }
+
+#: Which base-type members of ``eq`` stay equality types; structured
+#: types go through :func:`admits_eq` instead.
+_EQ_BASES = OVERLOAD_CLASSES["eq"]
+
+#: datatype name -> does it admit equality (computed at declaration by
+#: the inferencer: every constructor payload is an equality type,
+#: assuming the datatype itself and its parameters are).
+EQTYPE_DATATYPES: dict[str, bool] = {}
+
+
+def register_eq_datatype(name: str, admits: bool) -> None:
+    EQTYPE_DATATYPES[name] = admits
+
+
+def reset_eq_datatypes() -> None:
+    """Called at the start of each inference run so datatype names from
+    a previous program cannot leak their equality status."""
+    EQTYPE_DATATYPES.clear()
+
+
+def admits_eq(t: MLType, assume: frozenset = frozenset()) -> bool:
+    """Is ``t`` an equality type?  Non-destructive (adds no constraints):
+    type variables count as equality types, matching the Definition's
+    rule for computing a datatype's equality attribute where parameters
+    are *assumed* to admit equality.  ``assume`` carries datatype names
+    whose equality is being established (recursive occurrences)."""
+    t = prune(t)
+    if isinstance(t, TVar):
+        return True
+    assert isinstance(t, TCon)
+    if t.name in _EQ_BASES:
+        return True
+    if t.name == "ref":
+        return True  # 'a ref admits equality for any 'a (pointer equality)
+    if t.name in ("*", "list"):
+        return all(admits_eq(a, assume) for a in t.args)
+    if t.name in assume or EQTYPE_DATATYPES.get(t.name, False):
+        return all(admits_eq(a, assume) for a in t.args)
+    return False  # real, ->, exn, non-equality datatypes
+
+
+def require_eq(t: MLType, where: str = "") -> None:
+    """Constrain ``t`` to be an equality type, destructively: variables
+    get the ``eq`` overload, structured types recurse into their element
+    types (``'a list = 'a list`` needs ``''a``), refs accept anything.
+    Raises :class:`TypeError_` for real/arrow/exn/non-eq datatypes."""
+    t = prune(t)
+    if isinstance(t, TVar):
+        t.overload = _merge_overloads(t.overload, "eq")
+        return
+    assert isinstance(t, TCon)
+    if t.name in _EQ_BASES or t.name == "ref":
+        return
+    if t.name in ("*", "list") or EQTYPE_DATATYPES.get(t.name, False):
+        for a in t.args:
+            require_eq(a, where)
+        return
+    raise TypeError_(
+        f"type {show_type(t)} is not an equality type{_ctx(where)}"
+    )
 
 _counter = itertools.count(1)
 
@@ -202,8 +278,11 @@ def unify(t1: MLType, t2: MLType, where: str = "") -> None:
             t2.overload = _merge_overloads(t1.overload, t2.overload)
         else:
             if t1.overload is not None:
-                if not (isinstance(t2, TCon) and not t2.args
-                        and t2.name in OVERLOAD_CLASSES[t1.overload]):
+                if t1.overload == "eq":
+                    # Equality admits structured types; recurse.
+                    require_eq(t2, where)
+                elif not (isinstance(t2, TCon) and not t2.args
+                          and t2.name in OVERLOAD_CLASSES[t1.overload]):
                     raise TypeError_(
                         f"type {show_type(t2)} is not in overload class "
                         f"{t1.overload}{_ctx(where)}"

@@ -12,9 +12,10 @@ outcome) and can be executed on the region abstract machine with
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
+from .cache import CompileCache, cache_key, default_cache
 from .config import CompilerFlags, Strategy
 from .core import terms as T
 from .core.errors import RegionTypeError
@@ -30,6 +31,20 @@ from .regions.multiplicity import MultiplicityReport, analyse_multiplicity
 from .regions.pretty import pretty_program
 
 __all__ = ["CompiledProgram", "RunResult", "compile_program", "run_source"]
+
+
+class _BackendSlot:
+    """Lazily-built closure backend of one compiled term.
+
+    Shared between a cached program and every wrapper handed out on a
+    cache hit, so the term is closure-compiled at most once per cache
+    entry no matter how many callers run it."""
+
+    __slots__ = ("prep", "code")
+
+    def __init__(self) -> None:
+        self.prep = None
+        self.code = None
 
 
 @dataclass
@@ -57,13 +72,28 @@ class CompiledProgram:
     verification_error: Optional[RegionTypeError] = None
     check_result: Optional[CheckResult] = None
     compile_seconds: float = 0.0
+    #: True when this program came out of a :class:`~repro.cache.CompileCache`
+    #: rather than a fresh pipeline run.
+    cache_hit: bool = False
+    _backend: _BackendSlot = field(
+        default_factory=_BackendSlot, repr=False, compare=False
+    )
 
     def pretty(self, schemes: bool = True) -> str:
         """The region-annotated program in the paper's notation."""
         return pretty_program(self.term, schemes)
 
-    def run(self, **overrides) -> RunResult:
+    def run(self, backend: str = "closure", **overrides) -> RunResult:
         """Execute on the region abstract machine.
+
+        ``backend`` selects the evaluator: ``"closure"`` (the default)
+        lowers the term to Python closures once
+        (:func:`repro.runtime.compile.compile_term`, memoized on this
+        program) and runs the compiled form; ``"tree"`` runs the
+        original recursive :meth:`Interp.ev
+        <repro.runtime.interp.Interp.ev>` walker.  The two are
+        bit-identical in results, stdout, ``RunStats``, and trace
+        events — the closure backend is purely a speed knob.
 
         Keyword overrides are applied to the runtime flags (e.g.
         ``gc_every_alloc=True``, ``heap_to_live=2.0``,
@@ -77,14 +107,35 @@ class CompiledProgram:
 
         from .runtime.interp import run_term
 
+        multiplicity = self.multiplicity if self.flags.multiplicity else None
+        drop_regions = self.drop_regions if self.flags.drop_regions else None
+        prep = code = None
+        if backend == "closure":
+            slot = self._backend
+            if slot.code is None:
+                from .runtime.compile import compile_term
+                from .runtime.interp import prepare
+
+                slot.prep = prepare(self.term)
+                slot.code = compile_term(
+                    self.term, slot.prep, multiplicity, drop_regions
+                )
+            prep, code = slot.prep, slot.code
+        elif backend != "tree":
+            raise ValueError(
+                f"unknown backend {backend!r} (expected 'closure' or 'tree')"
+            )
+
         runtime = replace(self.flags.runtime, **overrides) if overrides else self.flags.runtime
         start = time.perf_counter()
         value, output, stats = run_term(
             self.term,
             strategy=self.flags.strategy,
             runtime=runtime,
-            multiplicity=self.multiplicity if self.flags.multiplicity else None,
-            drop_regions=self.drop_regions if self.flags.drop_regions else None,
+            multiplicity=multiplicity,
+            drop_regions=drop_regions,
+            code=code,
+            prep=prep,
         )
         wall = time.perf_counter() - start
         return RunResult(value, output, stats, wall)
@@ -94,16 +145,52 @@ def compile_program(
     source: str,
     flags: CompilerFlags | None = None,
     strategy: Strategy | None = None,
+    cache: Union[bool, CompileCache] = True,
 ) -> CompiledProgram:
     """Compile MiniML source down to a region-annotated program.
 
     ``strategy`` is a convenience shortcut for
     ``flags.with_strategy(...)``.
+
+    ``cache`` controls the content-addressed compile cache
+    (:mod:`repro.cache`): ``True`` (default) uses the process-wide LRU,
+    ``False`` compiles unconditionally and stores nothing, and a
+    :class:`~repro.cache.CompileCache` instance uses that cache.  A hit
+    returns a cheap wrapper sharing the compiled term, reports, and the
+    (lazily-built) closure backend; the wrapper carries the *caller's*
+    flags, so differing runtime flags behave exactly as a fresh compile,
+    and ``cache_hit`` is ``True`` on it.
     """
     if flags is None:
         flags = CompilerFlags()
     if strategy is not None:
         flags = flags.with_strategy(strategy)
+
+    store: Optional[CompileCache]
+    if cache is True:
+        store = default_cache()
+    elif cache is False or cache is None:
+        store = None
+    else:
+        store = cache
+    key = cache_key(source, flags) if store is not None else None
+    if store is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return CompiledProgram(
+                source=cached.source,
+                flags=flags,
+                term=cached.term,
+                inference=cached.inference,
+                spurious=cached.spurious,
+                multiplicity=cached.multiplicity,
+                drop_regions=cached.drop_regions,
+                verification_error=cached.verification_error,
+                check_result=cached.check_result,
+                compile_seconds=cached.compile_seconds,
+                cache_hit=True,
+                _backend=cached._backend,
+            )
 
     start = time.perf_counter()
     full_source = (PRELUDE_SOURCE + "\n" + source) if flags.with_prelude else source
@@ -141,6 +228,8 @@ def compile_program(
         check_result=check_result,
         compile_seconds=time.perf_counter() - start,
     )
+    if store is not None:
+        store.put(key, compiled)
     return compiled
 
 

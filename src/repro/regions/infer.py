@@ -57,6 +57,7 @@ from .ntypes import (
     NVar,
     copy_nmu,
     frev_nodes,
+    rho_nodes,
     spread,
     tyvars_of_nmu,
     unify_nmu,
@@ -1606,6 +1607,12 @@ class _RegionInferencer:
         if op in ("<", "<=", ">", ">=", "=", "<>"):
             name = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
                     "=": "eq", "<>": "ne"}[op]
+            if name in ("eq", "ne"):
+                # Structural equality reads the *whole* operand, not just
+                # its top box: every region reachable through the type is
+                # a get effect, so letregion cannot deallocate a spine
+                # that ``=`` is still traversing.
+                eff |= rho_nodes(lhs.nmu) | rho_nodes(rhs.nmu)
             t = UPrim(name, (lhs, rhs))
             t.nmu = NBase("bool")
             t.eff = eff

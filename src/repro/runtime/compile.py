@@ -1,0 +1,1853 @@
+"""Closure compilation: lower a region-annotated term to Python closures.
+
+:func:`compile_term` walks the term **once** and returns a closure
+``code(rt, env, renv) -> value`` for every node, eliminating the
+per-step ``isinstance`` dispatch chain of :meth:`Interp.ev
+<repro.runtime.interp.Interp.ev>`:
+
+* node constants (literal values, region variables, capture lists,
+  multiplicity decisions, drop-region sets, allocation sizes) are read
+  from the term once, at compile time;
+* primitive operations go through a *kernel table*
+  (:func:`_prim_kernel`) instead of the ``_apply_prim`` if-chain;
+* direct calls ``(f [rhos] at r) arg`` jump straight to the callee's
+  compiled body via the ``code`` slot on
+  :class:`~repro.runtime.values.RClos`/:class:`~repro.runtime.values.RFunClos`;
+* *immediate* subterms (variables and unboxed literals) are fused into
+  their parent node — one Python call instead of three for ``n - 1``.
+
+The compiled program is **semantics-identical to the tree walker, bit
+for bit**: it calls the same :class:`~repro.runtime.interp.Interp`
+methods for allocation, region resolution, GC decisions, and region
+binding, and replicates ``ev``'s shadow-stack discipline exactly, so
+``RunStats``, stdout, JSONL traces, and fault-plan GC schedules match
+the seed interpreter under every strategy (asserted over the whole
+Figure 9 suite by ``tests/runtime/test_closure_backend.py``).  Two
+classes of elision are proven unobservable rather than replicated:
+
+* **step-count fusion** — a fused node bumps ``stats.steps`` by its
+  node count in one increment.  Intermediate counts are only observable
+  through trace events and limit checks; no trace event can fire inside
+  a fused window (immediates cannot allocate), and when a step budget
+  or deadline is configured (``rt.checking``) every fused fast path
+  falls back to the exact per-node closure chain;
+* **shadow-stack elision** — a ``temps`` push whose extent provably
+  contains no allocation (immediate argument evaluation, region binding
+  in a direct call) is dropped: the collector can only observe ``temps``
+  during a collection, and collections only happen at allocation and
+  region-deallocation points.
+
+The per-node prologue is::
+
+    st = rt.stats; st.steps += 1
+    if rt.checking:
+        rt.check_limits()
+
+``rt.checking`` is true only when a step budget or deadline is
+configured; when false neither check can fire in ``ev`` either, so
+guarding them removes pure overhead without changing behaviour.
+
+Compiled code is per-*program*, not per-run: the same ``code`` value can
+be executed by many ``Interp`` instances (the run state ``rt`` is an
+argument, not a capture), which is what makes the pipeline compile
+cache (:mod:`repro.cache`) effective.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+
+from ..core import terms as T
+from ..core.errors import InterpreterLimit, RuntimeFault
+from .heap import FINITE, INFINITE, Region
+from .interp import MLRaise, Prepared, _MISSING, _exn_key
+from .values import (
+    NIL,
+    Nil,
+    RClos,
+    RCons,
+    RData,
+    RExn,
+    RFunClos,
+    RPair,
+    RReal,
+    RRef,
+    RStr,
+    UNIT,
+    real_to_sml_string,
+    structural_eq,
+)
+
+__all__ = ["compile_term"]
+
+
+def _immediate(t: T.Term):
+    """An evaluator ``env -> value`` for nodes that cannot allocate,
+    fault, or recurse — or ``None``.  Fused into parent nodes."""
+    cls = type(t)
+    if cls is T.Var:
+        name = t.name
+        return lambda env: env[name]
+    if cls is T.IntLit or cls is T.BoolLit:
+        value = t.value
+        return lambda env: value
+    if cls is T.UnitLit:
+        return lambda env: UNIT
+    if cls is T.NilLit:
+        return lambda env: NIL
+    return None
+
+
+def _invoke(rt, fn, arg):
+    """Compiled-mode application: ``Interp._invoke`` + ``_enter`` in one
+    frame.  A closure without a ``code`` slot (created outside the
+    compiled program — cannot happen in a pure compiled run, but kept as
+    a safety valve) falls back to the tree walker for its body."""
+    if type(fn) is RClos:
+        call_env = dict(fn.venv)
+        call_env[fn.param] = arg
+        call_renv = dict(fn.renv)
+    elif type(fn) is RFunClos:
+        # A fun used monomorphically (no region parameters).
+        call_env = dict(fn.venv)
+        call_env[fn.fname] = fn
+        call_env[fn.param] = arg
+        call_renv = dict(fn.renv)
+    else:
+        raise RuntimeFault("application of a non-function value")
+    rt.depth += 1
+    if rt.depth > rt.flags.max_depth:
+        rt.depth -= 1
+        raise InterpreterLimit(
+            f"call depth exceeded ({rt.flags.max_depth})", stats=rt.stats
+        )
+    rt.env_stack.append(call_env)
+    try:
+        code = fn.code
+        if code is None:
+            return rt.ev(fn.body, call_env, dict(call_renv))
+        return code(rt, call_env, call_renv)
+    finally:
+        rt.env_stack.pop()
+        rt.depth -= 1
+
+
+def _alloc(rt, rho, renv, words):
+    """``Interp.alloc`` (resolve + account + GC decision) in a single
+    Python frame.
+
+    Every branch with observable structure — a finite region (extra
+    stats + possible morph event), tracing enabled, a heap cap (exact
+    ``HeapLimitError``), a dead region (``UseAfterFreeError`` before any
+    accounting) — delegates to :meth:`Heap.alloc` verbatim; only the
+    branch-free accounting of the common case is inlined.  The GC
+    decision is :meth:`Heap.gc_decision` inlined: fault plan first
+    (authoritative), then ``gc_every_alloc``, then the heap-to-live
+    growth policy.
+    """
+    heap = rt.heap
+    if rt.ml_mode or rho.top:
+        region = heap.global_region
+    else:
+        region = renv.get(rho)
+        if region is None:
+            raise RuntimeFault(f"unbound region variable {rho.display()}")
+    flags = heap.flags
+    if (
+        not region.alive
+        or region.kind == FINITE
+        or heap.trace.enabled
+        or flags.max_heap_words is not None
+    ):
+        heap.alloc(region, words)
+    else:
+        region.words += words
+        region.young_words += words
+        stats = heap.stats
+        stats.allocations += 1
+        stats.allocated_words += words
+        current = stats.current_words + words
+        stats.current_words = current
+        if current > stats.peak_words:
+            stats.peak_words = current
+        heap.words_since_gc += words
+    if rt.use_gc:
+        stats = heap.stats
+        plan = flags.fault_plan
+        if plan is not None:
+            kind = plan.decide_alloc(stats.allocations - 1)
+            if kind is not None:
+                stats.gc_injected += 1
+                rt.collector.collect_kind(kind, rt.roots())
+        elif flags.gc_every_alloc:
+            rt.collector.collect_kind("auto", rt.roots())
+        elif heap.words_since_gc >= heap.gc_threshold:
+            rt.collector.collect_kind("auto", rt.roots())
+    return region
+
+
+# ---------------------------------------------------------------------------
+# Primitive kernels
+# ---------------------------------------------------------------------------
+
+
+def _prim_kernel(op: str, rho):
+    """Return ``(arity, kernel, allocates)`` for ``op``, or
+    ``(None, None, True)`` for an op without a specialized kernel (the
+    compiled node then falls back to ``rt._apply_prim``).  Binary
+    kernels are ``k(rt, a, b, renv)``, unary ``k(rt, a, renv)``;
+    allocation destinations close over ``rho``.  Each kernel body is
+    the corresponding ``_apply_prim`` branch, verbatim.  ``allocates``
+    gates the shadow-stack elision for fused immediate arguments: a
+    non-allocating kernel can never trigger a collection, so its
+    argument roots are unobservable."""
+    if op == "add":
+        return 2, (lambda rt, a, b, renv: a + b), False
+    if op == "sub":
+        return 2, (lambda rt, a, b, renv: a - b), False
+    if op == "mul":
+        return 2, (lambda rt, a, b, renv: a * b), False
+    if op == "div":
+
+        def k_div(rt, a, b, renv):
+            if b == 0:
+                raise RuntimeFault("Div: division by zero")
+            return a // b
+
+        return 2, k_div, False
+    if op == "mod":
+
+        def k_mod(rt, a, b, renv):
+            if b == 0:
+                raise RuntimeFault("Mod: modulo by zero")
+            return a - (a // b) * b
+
+        return 2, k_mod, False
+    if op == "neg":
+        return 1, (lambda rt, a, renv: -a), False
+    if op in ("lt", "le", "gt", "ge"):
+        cmp = {
+            "lt": lambda x, y: x < y,
+            "le": lambda x, y: x <= y,
+            "gt": lambda x, y: x > y,
+            "ge": lambda x, y: x >= y,
+        }[op]
+
+        def k_cmp(rt, a, b, renv):
+            ka = a.value if isinstance(a, (RStr, RReal)) else a
+            kb = b.value if isinstance(b, (RStr, RReal)) else b
+            return cmp(ka, kb)
+
+        return 2, k_cmp, False
+    if op == "eq":
+        return 2, (lambda rt, a, b, renv: structural_eq(a, b)), False
+    if op == "ne":
+        return 2, (lambda rt, a, b, renv: not structural_eq(a, b)), False
+    if op in ("radd", "rsub", "rmul", "rdiv"):
+        if op == "rdiv":
+
+            def k_rdiv(rt, a, b, renv):
+                y = b.value
+                if y == 0.0:
+                    raise RuntimeFault("Div: real division by zero")
+                out = a.value / y
+                region = _alloc(rt, rho, renv, 1)
+                return RReal(out, region)
+
+            return 2, k_rdiv, True
+
+        rop = {
+            "radd": operator.add,
+            "rsub": operator.sub,
+            "rmul": operator.mul,
+        }[op]
+
+        def k_rbin(rt, a, b, renv):
+            out = rop(a.value, b.value)
+            region = _alloc(rt, rho, renv, 1)
+            return RReal(out, region)
+
+        return 2, k_rbin, True
+    if op in ("rneg", "sqrt", "rsin", "rcos", "ratan", "rexp", "rln", "rabs"):
+        fn = {
+            "rneg": lambda x: -x,
+            "sqrt": math.sqrt,
+            "rsin": math.sin,
+            "rcos": math.cos,
+            "ratan": math.atan,
+            "rexp": math.exp,
+            "rln": math.log,
+            "rabs": abs,
+        }[op]
+
+        def k_runary(rt, a, renv):
+            out = fn(a.value)
+            region = _alloc(rt, rho, renv, 1)
+            return RReal(out, region)
+
+        return 1, k_runary, True
+    if op == "real":
+
+        def k_real(rt, a, renv):
+            region = _alloc(rt, rho, renv, 1)
+            return RReal(float(a), region)
+
+        return 1, k_real, True
+    if op == "floor":
+        return 1, (lambda rt, a, renv: math.floor(a.value)), False
+    if op == "round":
+        return 1, (lambda rt, a, renv: round(a.value)), False
+    if op == "trunc":
+        return 1, (lambda rt, a, renv: int(a.value)), False
+    if op == "concat":
+
+        def k_concat(rt, a, b, renv):
+            s = a.value + b.value
+            region = _alloc(rt, rho, renv, 1 + (len(s) + 7) // 8)
+            return RStr(s, region)
+
+        return 2, k_concat, True
+    if op == "size":
+        return 1, (lambda rt, a, renv: len(a.value)), False
+    if op == "int_to_string":
+
+        def k_its(rt, a, renv):
+            s = str(a) if a >= 0 else f"~{-a}"
+            region = _alloc(rt, rho, renv, 1 + (len(s) + 7) // 8)
+            return RStr(s, region)
+
+        return 1, k_its, True
+    if op == "real_to_string":
+
+        def k_rts(rt, a, renv):
+            s = real_to_sml_string(a.value)
+            region = _alloc(rt, rho, renv, 1 + (len(s) + 7) // 8)
+            return RStr(s, region)
+
+        return 1, k_rts, True
+    if op == "print":
+
+        def k_print(rt, a, renv):
+            rt.output.append(a.value)
+            return UNIT
+
+        return 1, k_print, False
+    if op == "not":
+        return 1, (lambda rt, a, renv: not a), False
+    if op == "null":
+        return 1, (lambda rt, a, renv: isinstance(a, Nil)), False
+    if op == "hd":
+
+        def k_hd(rt, a, renv):
+            if isinstance(a, Nil):
+                raise RuntimeFault("Empty: hd of nil")
+            return a.head
+
+        return 1, k_hd, False
+    if op == "tl":
+
+        def k_tl(rt, a, renv):
+            if isinstance(a, Nil):
+                raise RuntimeFault("Empty: tl of nil")
+            return a.tail
+
+        return 1, k_tl, False
+    return None, None, True
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
+                 drop_regions=None):
+    """Compile ``term`` to a closure ``code(rt, env, renv) -> value``.
+
+    ``prep`` must be the :func:`~repro.runtime.interp.prepare` tables
+    for this exact term (capture sets and direct-call sites are keyed by
+    node identity).  ``multiplicity``/``drop_regions`` are the same
+    per-program analyses ``Interp`` consumes; they are burned in at
+    compile time, so the returned code must be run under matching
+    analyses (the pipeline guarantees this — both live on the same
+    :class:`~repro.pipeline.CompiledProgram`).
+    """
+
+    def go(t: T.Term):
+        cls = type(t)
+
+        if cls is T.Var:
+            name = t.name
+
+            def c_var(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                return env[name]
+
+            return c_var
+
+        if cls is T.IntLit or cls is T.BoolLit:
+            value = t.value
+
+            def c_const(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                return value
+
+            return c_const
+
+        if cls is T.UnitLit:
+
+            def c_unit(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                return UNIT
+
+            return c_unit
+
+        if cls is T.NilLit:
+
+            def c_nil(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                return NIL
+
+            return c_nil
+
+        if cls is T.StringLit:
+            value = t.value
+            rho = t.rho
+            words = 1 + (len(value) + 7) // 8
+
+            def c_str(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                region = _alloc(rt, rho, renv, words)
+                return RStr(value, region)
+
+            return c_str
+
+        if cls is T.RealLit:
+            value = t.value
+            rho = t.rho
+
+            def c_real(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                region = _alloc(rt, rho, renv, 1)
+                return RReal(value, region)
+
+            return c_real
+
+        if cls is T.App:
+            if id(t) in prep.direct_calls:
+                return _compile_direct_call(t)
+            return _compile_app(t)
+
+        if cls is T.Let:
+            rhs_code = go(t.rhs)
+            body_code = go(t.body)
+            name = t.name
+
+            def c_let(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                value = rhs_code(rt, env, renv)
+                saved = env.get(name, _MISSING)
+                env[name] = value
+                try:
+                    return body_code(rt, env, renv)
+                finally:
+                    if saved is _MISSING:
+                        del env[name]
+                    else:
+                        env[name] = saved
+
+            rhs_imm = _immediate(t.rhs)
+            if rhs_imm is None:
+                # ``let x = #i t in ...`` — tuple destructuring — fuses
+                # the select into the binding (nothing in the rhs can
+                # allocate or fault except the non-pair check, kept).
+                if type(t.rhs) is T.Select:
+                    sel_imm = _immediate(t.rhs.pair)
+                    if sel_imm is not None:
+                        sel_fst = t.rhs.index == 1
+
+                        def c_let_sel(rt, env, renv):
+                            if rt.checking:
+                                return c_let(rt, env, renv)
+                            rt.stats.steps += 3
+                            pair = sel_imm(env)
+                            if type(pair) is not RPair:
+                                raise RuntimeFault("#i of a non-pair value")
+                            value = pair.fst if sel_fst else pair.snd
+                            saved = env.get(name, _MISSING)
+                            env[name] = value
+                            try:
+                                return body_code(rt, env, renv)
+                            finally:
+                                if saved is _MISSING:
+                                    del env[name]
+                                else:
+                                    env[name] = saved
+
+                        return c_let_sel
+                return c_let
+
+            def c_let_imm(rt, env, renv):
+                if rt.checking:
+                    return c_let(rt, env, renv)
+                rt.stats.steps += 2
+                value = rhs_imm(env)
+                saved = env.get(name, _MISSING)
+                env[name] = value
+                try:
+                    return body_code(rt, env, renv)
+                finally:
+                    if saved is _MISSING:
+                        del env[name]
+                    else:
+                        env[name] = saved
+
+            return c_let_imm
+
+        if cls is T.If:
+            cond_code = go(t.cond)
+            then_code = go(t.then)
+            els_code = go(t.els)
+            cond_imm = _immediate(t.cond)
+            if cond_imm is None:
+
+                def c_if(rt, env, renv):
+                    st = rt.stats
+                    st.steps += 1
+                    if rt.checking:
+                        rt.check_limits()
+                    if cond_code(rt, env, renv):
+                        return then_code(rt, env, renv)
+                    return els_code(rt, env, renv)
+
+                # A comparison on immediates (``if x < n then ...``) can be
+                # fused straight into the branch: 4 nodes, no allocation
+                # anywhere in the condition, one Python frame.
+                if type(t.cond) is T.Prim and len(t.cond.args) == 2:
+                    arity, kernel, allocates = _prim_kernel(
+                        t.cond.op, t.cond.rho
+                    )
+                    if arity == 2 and not allocates:
+                        ca = _immediate(t.cond.args[0])
+                        cb = _immediate(t.cond.args[1])
+                        if ca is not None and cb is not None:
+
+                            def c_if_cmp(rt, env, renv):
+                                if rt.checking:
+                                    rt.stats.steps += 1
+                                    rt.check_limits()
+                                    if cond_code(rt, env, renv):
+                                        return then_code(rt, env, renv)
+                                    return els_code(rt, env, renv)
+                                rt.stats.steps += 4
+                                if kernel(rt, ca(env), cb(env), renv):
+                                    return then_code(rt, env, renv)
+                                return els_code(rt, env, renv)
+
+                            return c_if_cmp
+                return c_if
+
+            def c_if_imm(rt, env, renv):
+                if rt.checking:
+                    rt.stats.steps += 1
+                    rt.check_limits()
+                    if cond_code(rt, env, renv):
+                        return then_code(rt, env, renv)
+                    return els_code(rt, env, renv)
+                rt.stats.steps += 2
+                if cond_imm(env):
+                    return then_code(rt, env, renv)
+                return els_code(rt, env, renv)
+
+            return c_if_imm
+
+        if cls is T.Prim:
+            return _compile_prim(t)
+
+        if cls is T.Letregion:
+            return _compile_letregion(t)
+
+        if cls is T.RApp:
+            fn_code = go(t.fn)
+            rargs = t.rargs
+            rho = t.rho
+
+            def c_rapp(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                fn = fn_code(rt, env, renv)
+                if type(fn) is not RFunClos:
+                    raise RuntimeFault("region application of a non-fun value")
+                st.region_apps += 1
+                rt.temps.append(fn)
+                try:
+                    call_renv = rt._bind_regions(fn, rargs, renv)
+                    venv = dict(fn.venv)
+                    venv[fn.fname] = fn
+                    region = _alloc(rt, rho, renv, 1 + len(venv) + len(call_renv))
+                finally:
+                    rt.temps.pop()
+                return RClos(fn.param, fn.body, venv, call_renv, region,
+                             code=fn.code)
+
+            return c_rapp
+
+        if cls is T.Lam:
+            body_code = go(t.body)
+            names = prep.free_vars[id(t)]
+            rhos = prep.free_regions[id(t)]
+            param = t.param
+            body = t.body
+            rho = t.rho
+
+            def c_lam(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                venv = {name: env[name] for name in names}
+                crenv = {}
+                if not rt.ml_mode:
+                    # prepare()'s capture sets exclude top regions, so
+                    # resolve() reduces to the renv lookup.
+                    rget = renv.get
+                    for r in rhos:
+                        region = rget(r)
+                        if region is None:
+                            raise RuntimeFault(
+                                f"unbound region variable {r.display()}"
+                            )
+                        crenv[r] = region
+                region = _alloc(rt, rho, renv, 1 + len(venv) + len(crenv))
+                return RClos(param, body, venv, crenv, region, code=body_code)
+
+            return c_lam
+
+        if cls is T.FunDef:
+            body_code = go(t.body)
+            names = prep.free_vars[id(t)]
+            rhos = prep.free_regions[id(t)]
+            fname = t.fname
+            rparams = t.rparams
+            param = t.param
+            body = t.body
+            rho = t.rho
+            dropped = frozenset()
+            if drop_regions is not None:
+                dropped = drop_regions.dropped_indices_for(id(t))
+
+            def c_fun(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                venv = {name: env[name] for name in names}
+                crenv = {}
+                if not rt.ml_mode:
+                    rget = renv.get
+                    for r in rhos:
+                        region = rget(r)
+                        if region is None:
+                            raise RuntimeFault(
+                                f"unbound region variable {r.display()}"
+                            )
+                        crenv[r] = region
+                region = _alloc(rt, rho, renv, 1 + len(venv) + len(crenv))
+                return RFunClos(fname, rparams, param, body, venv, crenv,
+                                region, dropped, code=body_code)
+
+            return c_fun
+
+        if cls is T.Pair:
+            return _compile_pair_like(t.fst, t.snd, t.rho, RPair)
+
+        if cls is T.Select:
+            pair_code = go(t.pair)
+            want_fst = t.index == 1
+            pair_imm = _immediate(t.pair)
+            if pair_imm is None:
+
+                def c_select(rt, env, renv):
+                    st = rt.stats
+                    st.steps += 1
+                    if rt.checking:
+                        rt.check_limits()
+                    pair = pair_code(rt, env, renv)
+                    if type(pair) is not RPair:
+                        raise RuntimeFault("#i of a non-pair value")
+                    return pair.fst if want_fst else pair.snd
+
+                return c_select
+
+            def c_select_imm(rt, env, renv):
+                st = rt.stats
+                if rt.checking:
+                    st.steps += 1
+                    rt.check_limits()
+                    pair = pair_code(rt, env, renv)
+                else:
+                    st.steps += 2
+                    pair = pair_imm(env)
+                if type(pair) is not RPair:
+                    raise RuntimeFault("#i of a non-pair value")
+                return pair.fst if want_fst else pair.snd
+
+            return c_select_imm
+
+        if cls is T.Cons:
+            return _compile_pair_like(t.head, t.tail, t.rho, RCons)
+
+        if cls is T.MkRef:
+            init_code = go(t.init)
+            rho = t.rho
+
+            def c_mkref(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                init = init_code(rt, env, renv)
+                rt.temps.append(init)
+                try:
+                    region = _alloc(rt, rho, renv, 1)
+                finally:
+                    rt.temps.pop()
+                return RRef(init, region)
+
+            return c_mkref
+
+        if cls is T.Deref:
+            ref_code = go(t.ref)
+            ref_imm = _immediate(t.ref)
+            if ref_imm is None:
+
+                def c_deref(rt, env, renv):
+                    st = rt.stats
+                    st.steps += 1
+                    if rt.checking:
+                        rt.check_limits()
+                    return ref_code(rt, env, renv).contents
+
+                return c_deref
+
+            def c_deref_imm(rt, env, renv):
+                st = rt.stats
+                if rt.checking:
+                    st.steps += 1
+                    rt.check_limits()
+                    return ref_code(rt, env, renv).contents
+                st.steps += 2
+                return ref_imm(env).contents
+
+            return c_deref_imm
+
+        if cls is T.Assign:
+            ref_code = go(t.ref)
+            value_code = go(t.value)
+
+            def c_assign(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                ref = ref_code(rt, env, renv)
+                rt.temps.append(ref)
+                try:
+                    value = value_code(rt, env, renv)
+                finally:
+                    rt.temps.pop()
+                ref.contents = value
+                rt.collector.note_write(ref)
+                return UNIT
+
+            return c_assign
+
+        if cls is T.LetData:
+            body_code = go(t.body)
+
+            def c_letdata(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                return body_code(rt, env, renv)
+
+            return c_letdata
+
+        if cls is T.DataCon:
+            conname = t.conname
+            rho = t.rho
+            if t.arg is None:
+
+                def c_datacon0(rt, env, renv):
+                    st = rt.stats
+                    st.steps += 1
+                    if rt.checking:
+                        rt.check_limits()
+                    region = _alloc(rt, rho, renv, 2)
+                    return RData(conname, None, region)
+
+                return c_datacon0
+            arg_code = go(t.arg)
+
+            def c_datacon(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                payload = arg_code(rt, env, renv)
+                rt.temps.append(payload)
+                try:
+                    region = _alloc(rt, rho, renv, 2)
+                finally:
+                    rt.temps.pop()
+                return RData(conname, payload, region)
+
+            return c_datacon
+
+        if cls is T.Case:
+            scrut_code = go(t.scrutinee)
+            branches = tuple(
+                (br.conname, br.binder, go(br.body)) for br in t.branches
+            )
+
+            def c_case(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                scrut = scrut_code(rt, env, renv)
+                for conname, binder, body_code in branches:
+                    if conname is not None:
+                        if not isinstance(scrut, RData):
+                            raise RuntimeFault("case on a non-datatype value")
+                        if conname != scrut.conname:
+                            continue
+                    if binder is None:
+                        return body_code(rt, env, renv)
+                    bound = scrut.payload if conname is not None else scrut
+                    saved = env.get(binder, _MISSING)
+                    env[binder] = bound
+                    try:
+                        return body_code(rt, env, renv)
+                    finally:
+                        if saved is _MISSING:
+                            del env[binder]
+                        else:
+                            env[binder] = saved
+                raise RuntimeFault(
+                    f"Match: no case branch for constructor {scrut.conname}"
+                )
+
+            return c_case
+
+        if cls is T.LetExn:
+            body_code = go(t.body)
+            key = _exn_key(t.exname)
+
+            def c_letexn(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                stamp = next(rt._exn_stamps)
+                saved = env.get(key, _MISSING)
+                env[key] = stamp
+                try:
+                    return body_code(rt, env, renv)
+                finally:
+                    if saved is _MISSING:
+                        del env[key]
+                    else:
+                        env[key] = saved
+
+            return c_letexn
+
+        if cls is T.Con:
+            exname = t.exname
+            key = _exn_key(exname)
+            rho = t.rho
+            arg_code = go(t.arg) if t.arg is not None else None
+
+            def c_con(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                payload = UNIT
+                if arg_code is not None:
+                    payload = arg_code(rt, env, renv)
+                rt.temps.append(payload)
+                try:
+                    region = _alloc(rt, rho, renv, 2)
+                finally:
+                    rt.temps.pop()
+                stamp = env[key]
+                return RExn(stamp, exname, payload, region)
+
+            return c_con
+
+        if cls is T.Raise:
+            exn_code = go(t.exn)
+
+            def c_raise(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                raise MLRaise(exn_code(rt, env, renv))
+
+            return c_raise
+
+        if cls is T.Handle:
+            body_code = go(t.body)
+            handler_code = go(t.handler)
+            key = _exn_key(t.exname)
+            binder = t.binder
+
+            def c_handle(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                try:
+                    return body_code(rt, env, renv)
+                except MLRaise as exc:
+                    stamp = env[key]
+                    if exc.value.stamp != stamp:
+                        raise
+                    if binder is None:
+                        return handler_code(rt, env, renv)
+                    saved = env.get(binder, _MISSING)
+                    env[binder] = exc.value.payload
+                    try:
+                        return handler_code(rt, env, renv)
+                    finally:
+                        if saved is _MISSING:
+                            del env[binder]
+                        else:
+                            env[binder] = saved
+
+            return c_handle
+
+        raise TypeError(f"compile_term: unknown term {cls.__name__}")
+
+    def _compile_app(t: T.App):
+        fn_code = go(t.fn)
+        arg_code = go(t.arg)
+        fn_imm = _immediate(t.fn)
+        arg_imm = _immediate(t.arg)
+
+        # Every variant inlines the hot RClos case of :func:`_invoke`
+        # (one Python frame per MiniML call); RFunClos and faults take
+        # the out-of-line path.
+
+        def c_app(rt, env, renv):
+            st = rt.stats
+            st.steps += 1
+            if rt.checking:
+                rt.check_limits()
+            fn = fn_code(rt, env, renv)
+            temps = rt.temps
+            temps.append(fn)
+            try:
+                arg = arg_code(rt, env, renv)
+            finally:
+                temps.pop()
+            if type(fn) is not RClos:
+                return _invoke(rt, fn, arg)
+            call_env = dict(fn.venv)
+            call_env[fn.param] = arg
+            rt.depth += 1
+            if rt.depth > rt.flags.max_depth:
+                rt.depth -= 1
+                raise InterpreterLimit(
+                    f"call depth exceeded ({rt.flags.max_depth})",
+                    stats=rt.stats,
+                )
+            rt.env_stack.append(call_env)
+            try:
+                code = fn.code
+                if code is None:
+                    return rt.ev(fn.body, call_env, dict(fn.renv))
+                return code(rt, call_env, dict(fn.renv))
+            finally:
+                rt.env_stack.pop()
+                rt.depth -= 1
+
+        if fn_imm is None and arg_imm is None:
+            return c_app
+        if arg_imm is not None:
+            # The argument cannot allocate: the callee root push around
+            # its evaluation is unobservable.
+            if fn_imm is not None:
+
+                def c_app_ii(rt, env, renv):
+                    if rt.checking:
+                        return c_app(rt, env, renv)
+                    rt.stats.steps += 3
+                    fn = fn_imm(env)
+                    arg = arg_imm(env)
+                    if type(fn) is not RClos:
+                        return _invoke(rt, fn, arg)
+                    call_env = dict(fn.venv)
+                    call_env[fn.param] = arg
+                    rt.depth += 1
+                    if rt.depth > rt.flags.max_depth:
+                        rt.depth -= 1
+                        raise InterpreterLimit(
+                            f"call depth exceeded ({rt.flags.max_depth})",
+                            stats=rt.stats,
+                        )
+                    rt.env_stack.append(call_env)
+                    try:
+                        code = fn.code
+                        if code is None:
+                            return rt.ev(fn.body, call_env, dict(fn.renv))
+                        return code(rt, call_env, dict(fn.renv))
+                    finally:
+                        rt.env_stack.pop()
+                        rt.depth -= 1
+
+                return c_app_ii
+
+            def c_app_xi(rt, env, renv):
+                if rt.checking:
+                    return c_app(rt, env, renv)
+                rt.stats.steps += 1
+                fn = fn_code(rt, env, renv)
+                # The argument's step counts only after the operator is
+                # evaluated — fn_code can allocate, and a trace event or
+                # GC inside it must observe the exact ev-order count.
+                rt.stats.steps += 1
+                arg = arg_imm(env)
+                if type(fn) is not RClos:
+                    return _invoke(rt, fn, arg)
+                call_env = dict(fn.venv)
+                call_env[fn.param] = arg
+                rt.depth += 1
+                if rt.depth > rt.flags.max_depth:
+                    rt.depth -= 1
+                    raise InterpreterLimit(
+                        f"call depth exceeded ({rt.flags.max_depth})",
+                        stats=rt.stats,
+                    )
+                rt.env_stack.append(call_env)
+                try:
+                    code = fn.code
+                    if code is None:
+                        return rt.ev(fn.body, call_env, dict(fn.renv))
+                    return code(rt, call_env, dict(fn.renv))
+                finally:
+                    rt.env_stack.pop()
+                    rt.depth -= 1
+
+            return c_app_xi
+
+        def c_app_ix(rt, env, renv):
+            if rt.checking:
+                return c_app(rt, env, renv)
+            rt.stats.steps += 2
+            fn = fn_imm(env)
+            temps = rt.temps
+            temps.append(fn)
+            try:
+                arg = arg_code(rt, env, renv)
+            finally:
+                temps.pop()
+            if type(fn) is not RClos:
+                return _invoke(rt, fn, arg)
+            call_env = dict(fn.venv)
+            call_env[fn.param] = arg
+            rt.depth += 1
+            if rt.depth > rt.flags.max_depth:
+                rt.depth -= 1
+                raise InterpreterLimit(
+                    f"call depth exceeded ({rt.flags.max_depth})",
+                    stats=rt.stats,
+                )
+            rt.env_stack.append(call_env)
+            try:
+                code = fn.code
+                if code is None:
+                    return rt.ev(fn.body, call_env, dict(fn.renv))
+                return code(rt, call_env, dict(fn.renv))
+            finally:
+                rt.env_stack.pop()
+                rt.depth -= 1
+
+        return c_app_ix
+
+    def _compile_pair_like(fst_t: T.Term, snd_t: T.Term, rho, ctor):
+        """``Pair`` and ``Cons`` share one shape: evaluate two components
+        (each rooted across the rest of the node — the second component
+        and the cell allocation can both collect), allocate 2 words,
+        build the cell.  Immediate components skip their closure frames;
+        the root pushes stay because the allocation can observe them."""
+        fst_code = go(fst_t)
+        snd_code = go(snd_t)
+        fst_imm = _immediate(fst_t)
+        snd_imm = _immediate(snd_t)
+
+        def c_cell(rt, env, renv):
+            st = rt.stats
+            st.steps += 1
+            if rt.checking:
+                rt.check_limits()
+            temps = rt.temps
+            fst = fst_code(rt, env, renv)
+            temps.append(fst)
+            try:
+                snd = snd_code(rt, env, renv)
+                temps.append(snd)
+                try:
+                    region = _alloc(rt, rho, renv, 2)
+                finally:
+                    temps.pop()
+            finally:
+                temps.pop()
+            return ctor(fst, snd, region)
+
+        if fst_imm is None and snd_imm is None:
+            return c_cell
+
+        if fst_imm is not None and snd_imm is not None:
+
+            def c_cell_imm(rt, env, renv):
+                if rt.checking:
+                    return c_cell(rt, env, renv)
+                rt.stats.steps += 3
+                temps = rt.temps
+                fst = fst_imm(env)
+                temps.append(fst)
+                try:
+                    snd = snd_imm(env)
+                    temps.append(snd)
+                    try:
+                        region = _alloc(rt, rho, renv, 2)
+                    finally:
+                        temps.pop()
+                finally:
+                    temps.pop()
+                return ctor(fst, snd, region)
+
+            return c_cell_imm
+
+        if fst_imm is not None:
+            # fst immediate, snd not: fst's step precedes snd's
+            # evaluation in ev order, so the batch is exact.
+
+            def c_cell_iximm(rt, env, renv):
+                if rt.checking:
+                    return c_cell(rt, env, renv)
+                rt.stats.steps += 2
+                temps = rt.temps
+                fst = fst_imm(env)
+                temps.append(fst)
+                try:
+                    snd = snd_code(rt, env, renv)
+                    temps.append(snd)
+                    try:
+                        region = _alloc(rt, rho, renv, 2)
+                    finally:
+                        temps.pop()
+                finally:
+                    temps.pop()
+                return ctor(fst, snd, region)
+
+            return c_cell_iximm
+
+        def c_cell_xiimm(rt, env, renv):
+            if rt.checking:
+                return c_cell(rt, env, renv)
+            rt.stats.steps += 1
+            temps = rt.temps
+            fst = fst_code(rt, env, renv)
+            # snd's step counts after fst's evaluation (ev order —
+            # fst_code can allocate and emit step-stamped events).
+            rt.stats.steps += 1
+            temps.append(fst)
+            try:
+                snd = snd_imm(env)
+                temps.append(snd)
+                try:
+                    region = _alloc(rt, rho, renv, 2)
+                finally:
+                    temps.pop()
+            finally:
+                temps.pop()
+            return ctor(fst, snd, region)
+
+        return c_cell_xiimm
+
+    def _compile_direct_call(t: T.App):
+        """``(f [rhos] at r) arg`` without materializing the intermediate
+        specialized closure — the RApp and Var nodes are *not* visited
+        (no step counted for them), exactly like ``Interp._direct_call``.
+        The ``temps`` push around region binding is elided: binding only
+        resolves regions, so no collection can observe it."""
+        rapp: T.RApp = t.fn  # type: ignore[assignment]
+        fname = rapp.fn.name  # type: ignore[union-attr]
+        rargs = rapp.rargs
+        arg_code = go(t.arg)
+        arg_imm = _immediate(t.arg)
+
+        if not rargs:
+            # No region arguments (the common case for local helpers):
+            # region binding degenerates to copying the capture —
+            # ``zip(fn.rparams, ())`` is empty whatever the formals are,
+            # in ``_bind_regions`` and here alike.
+
+            def c_direct0(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                fn = env[fname]
+                if type(fn) is not RFunClos:
+                    raise RuntimeFault("region application of a non-fun value")
+                st.direct_calls += 1
+                arg = arg_code(rt, env, renv)
+                if fn.dropped:
+                    call_renv = rt._bind_regions(fn, rargs, renv)
+                else:
+                    call_renv = dict(fn.renv)
+                call_env = dict(fn.venv)
+                call_env[fn.fname] = fn
+                call_env[fn.param] = arg
+                rt.depth += 1
+                if rt.depth > rt.flags.max_depth:
+                    rt.depth -= 1
+                    raise InterpreterLimit(
+                        f"call depth exceeded ({rt.flags.max_depth})",
+                        stats=rt.stats,
+                    )
+                rt.env_stack.append(call_env)
+                try:
+                    code = fn.code
+                    if code is None:
+                        return rt.ev(fn.body, call_env, dict(call_renv))
+                    return code(rt, call_env, call_renv)
+                finally:
+                    rt.env_stack.pop()
+                    rt.depth -= 1
+
+            if arg_imm is None:
+                return c_direct0
+
+            def c_direct0_imm(rt, env, renv):
+                if rt.checking:
+                    return c_direct0(rt, env, renv)
+                st = rt.stats
+                st.steps += 2
+                fn = env[fname]
+                if type(fn) is not RFunClos:
+                    raise RuntimeFault("region application of a non-fun value")
+                st.direct_calls += 1
+                if fn.dropped:
+                    call_renv = rt._bind_regions(fn, rargs, renv)
+                else:
+                    call_renv = dict(fn.renv)
+                call_env = dict(fn.venv)
+                call_env[fn.fname] = fn
+                call_env[fn.param] = arg_imm(env)
+                rt.depth += 1
+                if rt.depth > rt.flags.max_depth:
+                    rt.depth -= 1
+                    raise InterpreterLimit(
+                        f"call depth exceeded ({rt.flags.max_depth})",
+                        stats=rt.stats,
+                    )
+                rt.env_stack.append(call_env)
+                try:
+                    code = fn.code
+                    if code is None:
+                        return rt.ev(fn.body, call_env, dict(call_renv))
+                    return code(rt, call_env, call_renv)
+                finally:
+                    rt.env_stack.pop()
+                    rt.depth -= 1
+
+            return c_direct0_imm
+
+        def c_direct(rt, env, renv):
+            st = rt.stats
+            st.steps += 1
+            if rt.checking:
+                rt.check_limits()
+            fn = env[fname]
+            if type(fn) is not RFunClos:
+                raise RuntimeFault("region application of a non-fun value")
+            st.direct_calls += 1
+            arg = arg_code(rt, env, renv)
+            # Inline ``_bind_regions`` for the no-drop case (drops are
+            # rare and keep the stats-bearing out-of-line path).
+            if fn.dropped:
+                call_renv = rt._bind_regions(fn, rargs, renv)
+            else:
+                call_renv = dict(fn.renv)
+                if rt.ml_mode:
+                    g = rt.heap.global_region
+                    for formal, _actual in zip(fn.rparams, rargs):
+                        call_renv[formal] = g
+                else:
+                    g = rt.heap.global_region
+                    rget = renv.get
+                    for formal, actual in zip(fn.rparams, rargs):
+                        if actual.top:
+                            call_renv[formal] = g
+                        else:
+                            region = rget(actual)
+                            if region is None:
+                                raise RuntimeFault(
+                                    f"unbound region variable {actual.display()}"
+                                )
+                            call_renv[formal] = region
+            call_env = dict(fn.venv)
+            call_env[fn.fname] = fn
+            call_env[fn.param] = arg
+            rt.depth += 1
+            if rt.depth > rt.flags.max_depth:
+                rt.depth -= 1
+                raise InterpreterLimit(
+                    f"call depth exceeded ({rt.flags.max_depth})", stats=rt.stats
+                )
+            rt.env_stack.append(call_env)
+            try:
+                code = fn.code
+                if code is None:
+                    return rt.ev(fn.body, call_env, dict(call_renv))
+                return code(rt, call_env, call_renv)
+            finally:
+                rt.env_stack.pop()
+                rt.depth -= 1
+
+        if arg_imm is None:
+            return c_direct
+
+        def c_direct_imm(rt, env, renv):
+            if rt.checking:
+                return c_direct(rt, env, renv)
+            st = rt.stats
+            st.steps += 2
+            fn = env[fname]
+            if type(fn) is not RFunClos:
+                raise RuntimeFault("region application of a non-fun value")
+            st.direct_calls += 1
+            arg = arg_imm(env)
+            if fn.dropped:
+                call_renv = rt._bind_regions(fn, rargs, renv)
+            else:
+                call_renv = dict(fn.renv)
+                if rt.ml_mode:
+                    g = rt.heap.global_region
+                    for formal, _actual in zip(fn.rparams, rargs):
+                        call_renv[formal] = g
+                else:
+                    g = rt.heap.global_region
+                    rget = renv.get
+                    for formal, actual in zip(fn.rparams, rargs):
+                        if actual.top:
+                            call_renv[formal] = g
+                        else:
+                            region = rget(actual)
+                            if region is None:
+                                raise RuntimeFault(
+                                    f"unbound region variable {actual.display()}"
+                                )
+                            call_renv[formal] = region
+            call_env = dict(fn.venv)
+            call_env[fn.fname] = fn
+            call_env[fn.param] = arg
+            rt.depth += 1
+            if rt.depth > rt.flags.max_depth:
+                rt.depth -= 1
+                raise InterpreterLimit(
+                    f"call depth exceeded ({rt.flags.max_depth})", stats=rt.stats
+                )
+            rt.env_stack.append(call_env)
+            try:
+                code = fn.code
+                if code is None:
+                    return rt.ev(fn.body, call_env, dict(call_renv))
+                return code(rt, call_env, call_renv)
+            finally:
+                rt.env_stack.pop()
+                rt.depth -= 1
+
+        return c_direct_imm
+
+    def _compile_prim(t: T.Prim):
+        op = t.op
+        rho = t.rho
+        arg_codes = [go(a) for a in t.args]
+        arity, kernel, allocates = _prim_kernel(op, rho)
+        if arity == 2 and len(arg_codes) == 2:
+            a_code, b_code = arg_codes
+
+            def c_prim2(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                temps = rt.temps
+                a = a_code(rt, env, renv)
+                temps.append(a)
+                try:
+                    b = b_code(rt, env, renv)
+                    temps.append(b)
+                    try:
+                        return kernel(rt, a, b, renv)
+                    finally:
+                        temps.pop()
+                finally:
+                    temps.pop()
+
+            a_imm = _immediate(t.args[0])
+            b_imm = _immediate(t.args[1])
+            if a_imm is None and b_imm is None:
+                return c_prim2
+            if not allocates:
+                # Non-allocating kernel: no collection can happen after
+                # the last non-immediate argument, so any root push whose
+                # extent is immediate evaluation + the kernel is
+                # unobservable.
+                if a_imm is not None and b_imm is not None:
+
+                    def c_prim2_ii(rt, env, renv):
+                        if rt.checking:
+                            return c_prim2(rt, env, renv)
+                        rt.stats.steps += 3
+                        return kernel(rt, a_imm(env), b_imm(env), renv)
+
+                    return c_prim2_ii
+                if a_imm is not None:
+                    # b may allocate: a must stay rooted across it.
+
+                    def c_prim2_ix(rt, env, renv):
+                        if rt.checking:
+                            return c_prim2(rt, env, renv)
+                        rt.stats.steps += 2
+                        a = a_imm(env)
+                        rt.temps.append(a)
+                        try:
+                            b = b_code(rt, env, renv)
+                        finally:
+                            rt.temps.pop()
+                        return kernel(rt, a, b, renv)
+
+                    return c_prim2_ix
+
+                def c_prim2_xi(rt, env, renv):
+                    if rt.checking:
+                        return c_prim2(rt, env, renv)
+                    rt.stats.steps += 1
+                    a = a_code(rt, env, renv)
+                    # b's step counts after a's evaluation (ev order —
+                    # a_code can allocate and emit step-stamped events).
+                    rt.stats.steps += 1
+                    return kernel(rt, a, b_imm(env), renv)
+
+                return c_prim2_xi
+
+            # Allocating kernel: the kernel's own allocation can trigger
+            # a collection, so both roots must be live at that point —
+            # only the immediates' closure frames are saved.
+            if a_imm is not None and b_imm is not None:
+
+                def c_prim2_alloc_ii(rt, env, renv):
+                    if rt.checking:
+                        return c_prim2(rt, env, renv)
+                    rt.stats.steps += 3
+                    temps = rt.temps
+                    a = a_imm(env)
+                    temps.append(a)
+                    try:
+                        b = b_imm(env)
+                        temps.append(b)
+                        try:
+                            return kernel(rt, a, b, renv)
+                        finally:
+                            temps.pop()
+                    finally:
+                        temps.pop()
+
+                return c_prim2_alloc_ii
+            if a_imm is not None:
+
+                def c_prim2_alloc_ix(rt, env, renv):
+                    if rt.checking:
+                        return c_prim2(rt, env, renv)
+                    rt.stats.steps += 2
+                    temps = rt.temps
+                    a = a_imm(env)
+                    temps.append(a)
+                    try:
+                        b = b_code(rt, env, renv)
+                        temps.append(b)
+                        try:
+                            return kernel(rt, a, b, renv)
+                        finally:
+                            temps.pop()
+                    finally:
+                        temps.pop()
+
+                return c_prim2_alloc_ix
+
+            def c_prim2_alloc_xi(rt, env, renv):
+                if rt.checking:
+                    return c_prim2(rt, env, renv)
+                rt.stats.steps += 1
+                temps = rt.temps
+                a = a_code(rt, env, renv)
+                # b's step counts after a's evaluation (ev order — a_code
+                # can allocate and emit step-stamped events).
+                rt.stats.steps += 1
+                temps.append(a)
+                try:
+                    b = b_imm(env)
+                    temps.append(b)
+                    try:
+                        return kernel(rt, a, b, renv)
+                    finally:
+                        temps.pop()
+                finally:
+                    temps.pop()
+
+            return c_prim2_alloc_xi
+        if arity == 1 and len(arg_codes) == 1:
+            (a_code,) = arg_codes
+
+            def c_prim1(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                a = a_code(rt, env, renv)
+                rt.temps.append(a)
+                try:
+                    return kernel(rt, a, renv)
+                finally:
+                    rt.temps.pop()
+
+            a_imm = _immediate(t.args[0])
+            if a_imm is None:
+                return c_prim1
+            if not allocates:
+
+                def c_prim1_imm(rt, env, renv):
+                    if rt.checking:
+                        return c_prim1(rt, env, renv)
+                    rt.stats.steps += 2
+                    return kernel(rt, a_imm(env), renv)
+
+                return c_prim1_imm
+
+            def c_prim1_alloc_imm(rt, env, renv):
+                if rt.checking:
+                    return c_prim1(rt, env, renv)
+                rt.stats.steps += 2
+                a = a_imm(env)
+                rt.temps.append(a)
+                try:
+                    return kernel(rt, a, renv)
+                finally:
+                    rt.temps.pop()
+
+            return c_prim1_alloc_imm
+
+        # Unknown op or arity mismatch: evaluate like ``Interp._prim``
+        # and let ``_apply_prim`` produce the exact runtime error.
+        def c_primn(rt, env, renv):
+            st = rt.stats
+            st.steps += 1
+            if rt.checking:
+                rt.check_limits()
+            args = []
+            pushed = 0
+            temps = rt.temps
+            try:
+                for a_code in arg_codes:
+                    v = a_code(rt, env, renv)
+                    args.append(v)
+                    temps.append(v)
+                    pushed += 1
+                return rt._apply_prim(op, args, rho, renv)
+            finally:
+                for _ in range(pushed):
+                    temps.pop()
+
+        return c_primn
+
+    def _compile_letregion(t: T.Letregion):
+        body_code = go(t.body)
+        if not t.rhos:
+
+            def c_passthrough(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                return body_code(rt, env, renv)
+
+            return c_passthrough
+
+        # (rho, display string, kind, finite?, capacity): the multiplicity
+        # decision is static per region variable.
+        plan = []
+        for rho in t.rhos:
+            kind = INFINITE
+            capacity = None
+            if multiplicity is not None and multiplicity.is_finite(rho):
+                kind = FINITE
+                capacity = multiplicity.finite[rho]
+            plan.append((rho, rho.display(), kind, kind == FINITE, capacity))
+        plan = tuple(plan)
+        nrhos = len(plan)
+        all_infinite = all(kind == INFINITE for _, _, kind, _, _ in plan)
+
+        if len(plan) == 1:
+            # The overwhelmingly common shape — one region per letregion
+            # — gets a loop-free variant (no ``created`` list, no tuple
+            # packing/unpacking per region).
+            rho1, display1, kind1, finite1, capacity1 = plan[0]
+
+            def c_letregion1(rt, env, renv):
+                st = rt.stats
+                st.steps += 1
+                if rt.checking:
+                    rt.check_limits()
+                if rt.ml_mode:
+                    return body_code(rt, env, renv)
+                st.letregions += 1
+                heap = rt.heap
+                tracing = heap.trace.enabled
+                if tracing:
+                    region = heap.new_region(display1, kind1, capacity1)
+                else:
+                    stack = heap.region_stack
+                    region = Region(next(heap._ids), display1, kind1, capacity1)
+                    stack.append(region)
+                    if finite1:
+                        st.finite_regions_created += 1
+                    else:
+                        st.infinite_regions_created += 1
+                    depth = len(stack)
+                    if depth > st.max_region_stack:
+                        st.max_region_stack = depth
+                saved = renv.get(rho1, _MISSING)
+                renv[rho1] = region
+                try:
+                    value = body_code(rt, env, renv)
+                except BaseException:
+                    # Unwinding: pop the region but never inject a
+                    # collection — the in-flight exception value is not
+                    # on the shadow stack.
+                    if tracing:
+                        heap.dealloc_region(region)
+                    else:
+                        assert region.alive, "double deallocation of a region"
+                        region.alive = False
+                        st.current_words -= region.words
+                        st.region_deallocs += 1
+                        region.words = 0
+                        stack = heap.region_stack
+                        if stack and stack[-1] is region:
+                            stack.pop()
+                        else:  # pragma: no cover - LIFO by construction
+                            stack.remove(region)
+                    if saved is _MISSING:
+                        del renv[rho1]
+                    else:
+                        renv[rho1] = saved
+                    raise
+                plan_obj = heap.flags.fault_plan if rt.use_gc else None
+                if plan_obj is not None:
+                    # A fault plan can inject a collection at this
+                    # dealloc point; root the result for its duration.
+                    rt.temps.append(value)
+                try:
+                    if tracing:
+                        heap.dealloc_region(region)
+                    else:
+                        assert region.alive, "double deallocation of a region"
+                        region.alive = False
+                        st.current_words -= region.words
+                        st.region_deallocs += 1
+                        region.words = 0
+                        stack = heap.region_stack
+                        if stack and stack[-1] is region:
+                            stack.pop()
+                        else:  # pragma: no cover - LIFO by construction
+                            stack.remove(region)
+                    if saved is _MISSING:
+                        del renv[rho1]
+                    else:
+                        renv[rho1] = saved
+                    if plan_obj is not None:
+                        kind2 = plan_obj.decide_dealloc(st.region_deallocs - 1)
+                        if kind2 is not None:
+                            st.gc_injected += 1
+                            rt.collector.collect_kind(kind2, rt.roots())
+                finally:
+                    if plan_obj is not None:
+                        rt.temps.pop()
+                return value
+
+            return c_letregion1
+
+        def c_letregion(rt, env, renv):
+            st = rt.stats
+            st.steps += 1
+            if rt.checking:
+                rt.check_limits()
+            if rt.ml_mode:
+                return body_code(rt, env, renv)
+            st.letregions += 1
+            heap = rt.heap
+            # Region push/pop are inlined from Heap.new_region /
+            # Heap.dealloc_region (the region lifecycle is the hottest
+            # non-body work of a letregion); tracing delegates to the
+            # heap methods so every region_push/region_pop event is
+            # emitted exactly as the tree walker would.
+            tracing = heap.trace.enabled
+            stack = heap.region_stack
+            created = []
+            cappend = created.append
+            renv_get = renv.get
+            if all_infinite and not tracing:
+                # Every region in the plan is infinite: the per-region
+                # stat updates batch (n unit increments equal one += n,
+                # and the stack only grows during the pushes, so the
+                # final depth is the running maximum).
+                ids = heap._ids
+                sappend = stack.append
+                for rho, display, kind, finite, capacity in plan:
+                    region = Region(next(ids), display, INFINITE, None)
+                    sappend(region)
+                    cappend((rho, region, renv_get(rho, _MISSING)))
+                    renv[rho] = region
+                st.infinite_regions_created += nrhos
+                depth = len(stack)
+                if depth > st.max_region_stack:
+                    st.max_region_stack = depth
+            else:
+                for rho, display, kind, finite, capacity in plan:
+                    if tracing:
+                        region = heap.new_region(display, kind, capacity)
+                    else:
+                        region = Region(next(heap._ids), display, kind, capacity)
+                        stack.append(region)
+                        if finite:
+                            st.finite_regions_created += 1
+                        else:
+                            st.infinite_regions_created += 1
+                        depth = len(stack)
+                        if depth > st.max_region_stack:
+                            st.max_region_stack = depth
+                    cappend((rho, region, renv_get(rho, _MISSING)))
+                    renv[rho] = region
+            try:
+                value = body_code(rt, env, renv)
+            except BaseException:
+                # Unwinding (an ML exception or a fault): pop the regions
+                # but never inject a collection — the in-flight exception
+                # value is not on the shadow stack.
+                for rho, region, saved in reversed(created):
+                    if tracing:
+                        heap.dealloc_region(region)
+                    else:
+                        assert region.alive, "double deallocation of a region"
+                        region.alive = False
+                        st.current_words -= region.words
+                        st.region_deallocs += 1
+                        region.words = 0
+                        if stack and stack[-1] is region:
+                            stack.pop()
+                        else:  # pragma: no cover - LIFO by construction
+                            stack.remove(region)
+                    if saved is _MISSING:
+                        del renv[rho]
+                    else:
+                        renv[rho] = saved
+                raise
+            # maybe_gc_at_dealloc inline: without a fault plan the policy
+            # never collects at deallocation points, so the temps push
+            # rooting the result (and its try/finally) is unobservable
+            # and elided.
+            plan_obj = heap.flags.fault_plan if rt.use_gc else None
+            if plan_obj is None:
+                for rho, region, saved in reversed(created):
+                    if tracing:
+                        heap.dealloc_region(region)
+                    else:
+                        assert region.alive, "double deallocation of a region"
+                        region.alive = False
+                        st.current_words -= region.words
+                        st.region_deallocs += 1
+                        region.words = 0
+                        if stack and stack[-1] is region:
+                            stack.pop()
+                        else:  # pragma: no cover - LIFO by construction
+                            stack.remove(region)
+                    if saved is _MISSING:
+                        del renv[rho]
+                    else:
+                        renv[rho] = saved
+                return value
+            # Root the result for the duration of the deallocations so a
+            # fault-plan-injected collection at a dealloc point traces it.
+            rt.temps.append(value)
+            try:
+                for rho, region, saved in reversed(created):
+                    if tracing:
+                        heap.dealloc_region(region)
+                    else:
+                        assert region.alive, "double deallocation of a region"
+                        region.alive = False
+                        st.current_words -= region.words
+                        st.region_deallocs += 1
+                        region.words = 0
+                        if stack and stack[-1] is region:
+                            stack.pop()
+                        else:  # pragma: no cover - LIFO by construction
+                            stack.remove(region)
+                    if saved is _MISSING:
+                        del renv[rho]
+                    else:
+                        renv[rho] = saved
+                    kind2 = plan_obj.decide_dealloc(st.region_deallocs - 1)
+                    if kind2 is not None:
+                        st.gc_injected += 1
+                        rt.collector.collect_kind(kind2, rt.roots())
+            finally:
+                rt.temps.pop()
+            return value
+
+        return c_letregion
+
+    return go(term)

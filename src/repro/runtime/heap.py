@@ -69,6 +69,10 @@ class Heap:
         #: basis of the heap-to-live growth policy.
         self.live_after_gc = 0
         self.words_since_gc = 0
+        #: the heap-to-live growth threshold, recomputed only when
+        #: ``live_after_gc`` changes (it is consulted on every single
+        #: allocation — caching it keeps float math off that path).
+        self.gc_threshold = max(flags.initial_threshold, 0)
 
     # -- region lifecycle --------------------------------------------------------
 
@@ -180,11 +184,7 @@ class Heap:
             return plan.decide_alloc(self.stats.allocations - 1)
         if self.flags.gc_every_alloc:
             return "auto"
-        threshold = max(
-            self.flags.initial_threshold,
-            int(self.live_after_gc * (self.flags.heap_to_live - 1.0)),
-        )
-        return "auto" if self.words_since_gc >= threshold else None
+        return "auto" if self.words_since_gc >= self.gc_threshold else None
 
     def dealloc_gc_decision(self) -> Optional[str]:
         """Plan-injected collection kind for the region deallocation that
@@ -201,3 +201,7 @@ class Heap:
     def note_collection(self, live_words: int) -> None:
         self.live_after_gc = live_words
         self.words_since_gc = 0
+        self.gc_threshold = max(
+            self.flags.initial_threshold,
+            int(live_words * (self.flags.heap_to_live - 1.0)),
+        )

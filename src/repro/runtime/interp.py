@@ -60,7 +60,9 @@ from .values import (
     RStr,
     UNIT,
     is_boxed,
+    real_to_sml_string,
     show_value,
+    structural_eq,
 )
 
 __all__ = ["Interp", "MLRaise", "run_term", "prepare"]
@@ -236,6 +238,7 @@ class Interp:
         runtime: RuntimeFlags,
         multiplicity=None,
         drop_regions=None,
+        prep: Prepared | None = None,
     ) -> None:
         self.term = term
         self.strategy = strategy
@@ -245,7 +248,7 @@ class Interp:
         self.collector = Collector(self.heap, generational=runtime.generational)
         self.multiplicity = multiplicity
         self.drop_regions = drop_regions
-        self.prep = prepare(term)
+        self.prep = prep if prep is not None else prepare(term)
         self.ml_mode = strategy is Strategy.ML
         self.use_gc = strategy.uses_gc
         self.output: list[str] = []
@@ -254,6 +257,11 @@ class Interp:
         self.depth = 0
         self._exn_stamps = itertools.count(1)
         self._deadline: float | None = None
+        #: True iff the per-step limit checks can ever fire — the compiled
+        #: fast path guards its (otherwise pure-overhead) prologue on this.
+        self.checking = (
+            runtime.max_steps is not None or runtime.deadline_seconds is not None
+        )
 
     # -- roots and GC ------------------------------------------------------------
 
@@ -301,7 +309,32 @@ class Interp:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self):
+    def check_limits(self) -> None:
+        """The per-step limit checks, verbatim from the top of :meth:`ev`.
+
+        The compiled fast path calls this from its per-node prologue when
+        :attr:`checking` is set, so limit behaviour (including the
+        every-256-steps deadline cadence) is bit-identical to the
+        tree-walking interpreter.
+        """
+        if self.flags.max_steps is not None and self.stats.steps > self.flags.max_steps:
+            raise InterpreterLimit(
+                f"step budget exceeded ({self.flags.max_steps})", stats=self.stats
+            )
+        if (
+            self._deadline is not None
+            and (self.stats.steps & 255) == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise DeadlineExceeded(
+                f"wall-clock deadline exceeded ({self.flags.deadline_seconds}s)",
+                stats=self.stats,
+            )
+
+    def run(self, code=None):
+        """Evaluate the program: via :meth:`ev` (the tree walker), or via
+        ``code`` — a closure compiled by :mod:`repro.runtime.compile` —
+        when one is supplied."""
         base_env: dict = {}
         base_renv: dict = {}
         if self.flags.deadline_seconds is not None:
@@ -319,7 +352,10 @@ class Interp:
             )
         self.env_stack.append(base_env)
         try:
-            value = self.ev(self.term, base_env, base_renv)
+            if code is not None:
+                value = code(self, base_env, base_renv)
+            else:
+                value = self.ev(self.term, base_env, base_renv)
         except MLRaise as exc:
             raise MLExceptionError(exc.value.name, exc.value.payload) from exc
         finally:
@@ -719,23 +755,21 @@ class Interp:
             return args[0] - _sml_div(args[0], args[1]) * args[1]
         if op == "neg":
             return -args[0]
-        if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+        if op in ("lt", "le", "gt", "ge"):
             a, b = args
             ka = a.value if isinstance(a, (RStr, RReal)) else a
             kb = b.value if isinstance(b, (RStr, RReal)) else b
-            if ka is UNIT or kb is UNIT:
-                ka = kb = 0  # unit = unit
             if op == "lt":
                 return ka < kb
             if op == "le":
                 return ka <= kb
             if op == "gt":
                 return ka > kb
-            if op == "ge":
-                return ka >= kb
-            if op == "eq":
-                return ka == kb
-            return ka != kb
+            return ka >= kb
+        if op == "eq":
+            return structural_eq(args[0], args[1])
+        if op == "ne":
+            return not structural_eq(args[0], args[1])
         if op in ("radd", "rsub", "rmul", "rdiv"):
             a, b = args[0].value, args[1].value
             if op == "radd":
@@ -794,7 +828,7 @@ class Interp:
             region = self.alloc(rho, renv, 1 + (len(s) + 7) // 8)
             return RStr(s, region)
         if op == "real_to_string":
-            s = repr(args[0].value)
+            s = real_to_sml_string(args[0].value)
             region = self.alloc(rho, renv, 1 + (len(s) + 7) // 8)
             return RStr(s, region)
         if op == "print":
@@ -829,13 +863,35 @@ def run_term(
     runtime: RuntimeFlags,
     multiplicity=None,
     drop_regions=None,
+    *,
+    code=None,
+    prep=None,
 ) -> tuple[object, str, RunStats]:
-    """Evaluate a region-annotated program; returns (value, stdout, stats)."""
+    """Evaluate a region-annotated program; returns (value, stdout, stats).
+
+    ``code``/``prep`` select the closure-compiled fast path: pass the
+    result of :func:`repro.runtime.compile.compile_term` (and the
+    :class:`Prepared` tables it was built against) to skip per-node
+    dispatch.  Omitted, the tree-walking :meth:`Interp.ev` runs.
+    """
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(min(1_000_000, runtime.max_depth * 10 + 10_000))
+    interp = None
     try:
-        interp = Interp(term, strategy, runtime, multiplicity, drop_regions)
-        value = interp.run()
+        interp = Interp(term, strategy, runtime, multiplicity, drop_regions,
+                        prep=prep)
+        value = interp.run(code=code)
         return value, "".join(interp.output), interp.stats
+    except RecursionError as exc:
+        # Deep non-tail MiniML recursion can exhaust *Python's* stack
+        # before the interpreter's own depth counter (which only counts
+        # MiniML calls) trips.  Surface it as the same resource-limit
+        # error family, with whatever stats accumulated.
+        raise InterpreterLimit(
+            "Python recursion limit hit before the interpreter depth "
+            f"limit ({runtime.max_depth}); the program nests too deeply "
+            "for the host stack",
+            stats=interp.stats if interp is not None else None,
+        ) from exc
     finally:
         sys.setrecursionlimit(old_limit)

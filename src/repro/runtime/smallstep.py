@@ -174,6 +174,51 @@ def _arrow_mu_of(fn: T.VFunClos):
     return MuBoxed(fn.pi.scheme.body, fn.rho)
 
 
+def _structural_eq_value(a: T.Term, b: T.Term, phi: frozenset) -> bool:
+    """SML structural equality over small-step value forms, mirroring
+    :func:`repro.runtime.values.structural_eq` on the big-step side (the
+    differential oracle compares the two).  Every boxed node traversed is
+    an access, so the ``phi`` guard fires on dangling spines exactly as a
+    ``hd``/``#1`` walk would."""
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        cx = type(x)
+        if cx is not type(y):
+            if {cx, type(y)} <= {T.VNil, T.VCons}:
+                return False
+            raise StuckError(
+                f"= on incompatible value forms {cx.__name__}/{type(y).__name__}"
+            )
+        if cx is T.VCons:
+            _alloc_guard(x.rho, phi, "cons access")
+            _alloc_guard(y.rho, phi, "cons access")
+            stack.append((x.head, y.head))
+            stack.append((x.tail, y.tail))
+        elif cx is T.VPair:
+            _alloc_guard(x.rho, phi, "pair access")
+            _alloc_guard(y.rho, phi, "pair access")
+            stack.append((x.fst, y.fst))
+            stack.append((x.snd, y.snd))
+        elif cx is T.VStr:
+            _alloc_guard(x.rho, phi, "string access")
+            _alloc_guard(y.rho, phi, "string access")
+            if x.value != y.value:
+                return False
+        elif cx in (T.VInt, T.VBool):
+            if x.value != y.value:
+                return False
+        elif cx in (T.VUnit, T.VNil):
+            pass
+        elif cx is T.VReal:
+            raise RuntimeFault("= applied to real: real is not an equality type")
+        elif cx in (T.VClos, T.VFunClos):
+            raise RuntimeFault("= applied to a function value")
+        else:
+            raise StuckError(f"= on non-value {cx.__name__}")
+    return True
+
+
 def _prim_reduce(e: T.Prim, phi: frozenset) -> T.Term:
     op = e.op
     args = e.args
@@ -195,7 +240,10 @@ def _prim_reduce(e: T.Prim, phi: frozenset) -> T.Term:
         if b == 0:
             raise RuntimeFault("division by zero")
         return T.VInt(a // b if op == "div" else a - (a // b) * b)
-    if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+    if op in ("eq", "ne"):
+        out = _structural_eq_value(args[0], args[1], phi)
+        return T.VBool(out if op == "eq" else not out)
+    if op in ("lt", "le", "gt", "ge"):
         a, b = args
 
         def key(v):
@@ -210,8 +258,7 @@ def _prim_reduce(e: T.Prim, phi: frozenset) -> T.Term:
 
         ka, kb = key(a), key(b)
         out = {
-            "lt": ka < kb, "le": ka <= kb, "gt": ka > kb,
-            "ge": ka >= kb, "eq": ka == kb, "ne": ka != kb,
+            "lt": ka < kb, "le": ka <= kb, "gt": ka > kb, "ge": ka >= kb,
         }[op]
         return T.VBool(out)
     if op == "concat":

@@ -30,6 +30,8 @@ __all__ = [
     "is_boxed",
     "words_of",
     "show_value",
+    "real_to_sml_string",
+    "structural_eq",
 ]
 
 
@@ -108,16 +110,23 @@ class RCons(RBox):
 
 
 class RClos(RBox):
-    """An ordinary closure: code pointer plus captured values/regions."""
+    """An ordinary closure: code pointer plus captured values/regions.
 
-    __slots__ = ("param", "body", "venv", "renv")
+    ``code`` is the compiled-closure fast path for ``body`` (see
+    :mod:`repro.runtime.compile`); ``None`` under the tree-walking
+    interpreter.  It is metadata, not data: it contributes no words.
+    """
 
-    def __init__(self, param, body, venv: dict, renv: dict, region) -> None:
+    __slots__ = ("param", "body", "venv", "renv", "code")
+
+    def __init__(self, param, body, venv: dict, renv: dict, region,
+                 code=None) -> None:
         super().__init__(region)
         self.param = param
         self.body = body
         self.venv = venv
         self.renv = renv
+        self.code = code
 
     def words(self) -> int:
         return 1 + len(self.venv) + len(self.renv)
@@ -131,10 +140,11 @@ class RFunClos(RBox):
     those (paper Section 4.2).
     """
 
-    __slots__ = ("fname", "rparams", "param", "body", "venv", "renv", "dropped")
+    __slots__ = ("fname", "rparams", "param", "body", "venv", "renv", "dropped",
+                 "code")
 
     def __init__(self, fname, rparams, param, body, venv: dict, renv: dict,
-                 region, dropped: frozenset = frozenset()) -> None:
+                 region, dropped: frozenset = frozenset(), code=None) -> None:
         super().__init__(region)
         self.fname = fname
         self.rparams = rparams
@@ -143,6 +153,7 @@ class RFunClos(RBox):
         self.venv = venv
         self.renv = renv
         self.dropped = dropped
+        self.code = code
 
     def words(self) -> int:
         return 1 + len(self.venv) + len(self.renv)
@@ -188,6 +199,88 @@ class RExn(RBox):
         return 2
 
 
+def real_to_sml_string(x: float) -> str:
+    """``Real.toString`` per the SML Basis: ``fmt (StringCvt.GEN NONE)``,
+    i.e. up to 12 significant digits, ``~`` for minus (mantissa and
+    exponent), ``E`` for the exponent marker with no ``+`` sign or zero
+    padding, a ``.0`` suffix on integral fixed-point values, and
+    ``inf``/``~inf``/``nan`` for the non-finite values.
+    """
+    if x != x:  # nan (covers -nan too: SML prints both as "nan")
+        return "nan"
+    if x == float("inf"):
+        return "inf"
+    if x == float("-inf"):
+        return "~inf"
+    s = "%.12g" % x
+    mantissa, e, exponent = s.partition("e")
+    if "." not in mantissa and not e:
+        mantissa += ".0"
+    if e:
+        exponent = exponent.lstrip("+")
+        neg_exp = exponent.startswith("-")
+        exponent = exponent.lstrip("-").lstrip("0") or "0"
+        mantissa += "E" + ("~" if neg_exp else "") + exponent
+    return mantissa.replace("-", "~")
+
+
+def structural_eq(a, b) -> bool:
+    """SML structural equality over runtime values.
+
+    Equality types compare by structure: immediates by value, strings by
+    contents, pairs/lists/datatype values recursively, and ``ref`` cells
+    by identity (SML compares refs by pointer, never contents).  Reals
+    and functions are not equality types — the frontend rejects ``=`` on
+    them — so meeting one here is a fault, not a silent identity
+    comparison.  Iterative so megabyte-long list spines cannot blow the
+    Python stack.
+    """
+    from ..core.errors import RuntimeFault
+
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        cx = type(x)
+        if cx is not type(y):
+            # Well-typed operands always agree on representation except
+            # list spines, where nil meets cons.
+            if {cx, type(y)} <= {Nil, RCons}:
+                return False
+            raise RuntimeFault(
+                f"= applied to incompatible representations "
+                f"{cx.__name__}/{type(y).__name__}"
+            )
+        if cx is RCons:
+            stack.append((x.head, y.head))
+            stack.append((x.tail, y.tail))
+        elif cx is RPair:
+            stack.append((x.fst, y.fst))
+            stack.append((x.snd, y.snd))
+        elif cx is RStr:
+            if x.value != y.value:
+                return False
+        elif cx is RData:
+            if x.conname != y.conname:
+                return False
+            if x.payload is not None:
+                stack.append((x.payload, y.payload))
+        elif cx is RRef:
+            if x is not y:
+                return False
+        elif cx in (Unit, Nil):
+            pass
+        elif cx is RReal:
+            raise RuntimeFault("= applied to real: real is not an equality type")
+        elif cx in (RClos, RFunClos):
+            raise RuntimeFault("= applied to a function value")
+        elif cx is RExn:
+            raise RuntimeFault("= applied to exn: exn is not an equality type")
+        else:  # int / bool
+            if x != y:
+                return False
+    return True
+
+
 def is_boxed(v) -> bool:
     return isinstance(v, RBox)
 
@@ -211,7 +304,7 @@ def show_value(v, depth: int = 0) -> str:
     if isinstance(v, RStr):
         return f'"{v.value}"'
     if isinstance(v, RReal):
-        return repr(v.value)
+        return real_to_sml_string(v.value)
     if isinstance(v, RPair):
         return f"({show_value(v.fst, depth + 1)}, {show_value(v.snd, depth + 1)})"
     if isinstance(v, RCons):

@@ -178,6 +178,8 @@ def run_differential(
     limits = _limits(max_steps, max_heap_words, deadline_seconds)
 
     # -- the reference cell: the paper's sound system, production policy.
+    # The matrix below recompiles this exact (source, flags) pair for the
+    # rg/default-mode cell; the pipeline compile cache makes that free.
     try:
         ref_prog = compile_program(source, strategy=Strategy.RG)
     except ReproError as exc:

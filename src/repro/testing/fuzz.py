@@ -237,6 +237,13 @@ def fuzz(
                 f"(beyond every-alloc {summary.dangling_beyond_every_alloc}) "
                 f"genuine={len(summary.genuine)}"
             )
+    if log:
+        from ..cache import default_cache
+
+        # The matrix compiles each program under 10 flag combinations and
+        # every shrink predicate recompiles candidates; the pipeline cache
+        # absorbs the repeats.
+        log(f"compile cache: {default_cache().stats.to_dict()}")
     return summary
 
 

@@ -1,0 +1,109 @@
+"""The pipeline compile cache: key semantics, LRU bounds, hit wrappers,
+and the ``cache=False`` escape hatch."""
+
+import pytest
+
+from repro.cache import CompileCache, cache_key, default_cache
+from repro.config import CompilerFlags, RuntimeFlags, Strategy
+from repro.pipeline import compile_program
+
+SOURCE = "fun twice f x = f (f x)\nval it = twice (fn n => n + 3) 1"
+OTHER = "val it = 1 :: 2 :: nil"
+
+
+@pytest.fixture()
+def cache():
+    return CompileCache(maxsize=4)
+
+
+class TestKey:
+    def test_same_source_same_flags_same_key(self):
+        assert cache_key(SOURCE, CompilerFlags()) == cache_key(SOURCE, CompilerFlags())
+
+    def test_source_and_compile_flags_feed_the_key(self):
+        base = cache_key(SOURCE, CompilerFlags())
+        assert cache_key(OTHER, CompilerFlags()) != base
+        assert cache_key(SOURCE, CompilerFlags(strategy=Strategy.R)) != base
+        assert cache_key(SOURCE, CompilerFlags(verify=False)) != base
+        assert cache_key(SOURCE, CompilerFlags(with_prelude=False)) != base
+
+    def test_runtime_flags_excluded(self):
+        """Runtime flags never influence compilation, so two programs
+        differing only in them share a cache entry."""
+        noisy = CompilerFlags(runtime=RuntimeFlags(gc_every_alloc=True, max_steps=7))
+        assert cache_key(SOURCE, noisy) == cache_key(SOURCE, CompilerFlags())
+
+
+class TestHitsAndMisses:
+    def test_miss_then_hit(self, cache):
+        p1 = compile_program(SOURCE, cache=cache)
+        p2 = compile_program(SOURCE, cache=cache)
+        assert (p1.cache_hit, p2.cache_hit) == (False, True)
+        assert cache.stats.to_dict() == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_hit_shares_term_and_backend(self, cache):
+        p1 = compile_program(SOURCE, cache=cache)
+        p2 = compile_program(SOURCE, cache=cache)
+        assert p2.term is p1.term
+        assert p2._backend is p1._backend
+        p1.run()  # closure-compile once...
+        assert p2._backend.code is not None  # ...visible through the hit
+
+    def test_hit_carries_callers_runtime_flags(self, cache):
+        compile_program(SOURCE, cache=cache)
+        flags = CompilerFlags(runtime=RuntimeFlags(max_steps=123))
+        hit = compile_program(SOURCE, flags=flags, cache=cache)
+        assert hit.cache_hit
+        assert hit.flags.runtime.max_steps == 123
+
+    def test_hit_runs_identically(self, cache):
+        r1 = compile_program(SOURCE, cache=cache).run()
+        r2 = compile_program(SOURCE, cache=cache).run()
+        assert r1.output == r2.output
+        assert r1.stats.to_dict() == r2.stats.to_dict()
+
+    def test_different_strategy_misses(self, cache):
+        compile_program(SOURCE, cache=cache)
+        p = compile_program(SOURCE, strategy=Strategy.R, cache=cache)
+        assert not p.cache_hit
+
+    def test_cache_false_bypasses(self, cache):
+        compile_program(SOURCE, cache=cache)
+        p = compile_program(SOURCE, cache=False)
+        assert not p.cache_hit
+        assert cache.stats.hits == 0
+
+    def test_default_cache_is_used_by_default(self):
+        default_cache().clear()
+        compile_program(SOURCE)
+        assert compile_program(SOURCE).cache_hit
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = CompileCache(maxsize=2)
+        compile_program(SOURCE, cache=cache)
+        compile_program(OTHER, cache=cache)
+        compile_program(SOURCE, cache=cache)  # touch: SOURCE is now newest
+        compile_program("val it = true", cache=cache)  # evicts OTHER
+        assert compile_program(SOURCE, cache=cache).cache_hit
+        assert not compile_program(OTHER, cache=cache).cache_hit
+        assert cache.stats.evictions >= 1
+
+    def test_len_bounded(self):
+        cache = CompileCache(maxsize=2)
+        for src in (SOURCE, OTHER, "val it = 0", "val it = 9"):
+            compile_program(src, cache=cache)
+        assert len(cache) == 2
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            CompileCache(maxsize=0)
+
+    def test_clear_keeps_counters(self, cache):
+        compile_program(SOURCE, cache=cache)
+        compile_program(SOURCE, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert not compile_program(SOURCE, cache=cache).cache_hit

@@ -1,0 +1,46 @@
+"""The repro-run --backend / --no-cache flags."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+fun sum n = if n = 0 then 0 else n + sum (n - 1)
+val it = sum 100
+"""
+
+
+@pytest.fixture()
+def mml(tmp_path):
+    path = tmp_path / "sum.mml"
+    path.write_text(PROGRAM)
+    return path
+
+
+def _stdout(capsys):
+    return capsys.readouterr().out
+
+
+def test_backends_print_identical_results(mml, capsys):
+    assert main([str(mml)]) == 0
+    closure_out = _stdout(capsys)
+    assert main([str(mml), "--backend", "tree"]) == 0
+    assert _stdout(capsys) == closure_out
+    assert "val it = 5050" in closure_out
+
+
+def test_no_cache_matches_cached(mml, capsys):
+    assert main([str(mml), "--stats"]) == 0
+    cached = capsys.readouterr()
+    assert main([str(mml), "--stats", "--no-cache"]) == 0
+    uncached = capsys.readouterr()
+    assert uncached.out == cached.out
+    # The deterministic stats fields agree; wall time differs.
+    def fields(err):
+        return [f for f in err.split() if "=" in f and not f.startswith("wall")]
+    assert fields(uncached.err) == fields(cached.err)
+
+
+def test_unknown_backend_rejected(mml, capsys):
+    with pytest.raises(SystemExit):
+        main([str(mml), "--backend", "bytecode"])

@@ -1,0 +1,103 @@
+"""Golden equivalence of the closure-compiled backend against the tree
+walker: same values, same stdout, same ``RunStats``, same trace events,
+same faults — under every strategy, including injected-GC schedules.
+
+The closure backend (:mod:`repro.runtime.compile`) is purely a speed
+knob; these tests pin the "bit-identical" contract it is allowed to
+exist under.  Any fused fast path that reorders a step count, elides a
+collection point, or changes a fault is caught here.
+"""
+
+import pytest
+
+from repro.bench.registry import BENCHMARKS, benchmark_source
+from repro.config import Strategy
+from repro.core.errors import ReproError
+from repro.pipeline import compile_program
+from repro.runtime.trace import EventBus, RecordingSink
+from repro.runtime.values import show_value
+from repro.testing.faultplan import FaultPlan
+
+
+def _outcome(prog, backend, **overrides):
+    """A comparable record of a run: success (value, stdout, full stats)
+    or fault (type and message).  ``rg-`` legitimately dangles on some
+    programs — the two backends must fault *identically*."""
+    try:
+        result = prog.run(backend=backend, **overrides)
+    except ReproError as exc:
+        return ("exc", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        show_value(result.value),
+        result.output,
+        tuple(sorted(result.stats.to_dict().items())),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_golden_matrix(name):
+    """All 23 benchmarks x 5 strategies: the closure backend reproduces
+    the tree walker's outcome exactly, and correct runs match the
+    registry's expected value."""
+    bench = BENCHMARKS[name]
+    source = benchmark_source(name)
+    for strategy in Strategy:
+        prog = compile_program(source, strategy=strategy)
+        tree = _outcome(prog, "tree")
+        closure = _outcome(prog, "closure")
+        assert closure == tree, f"{name}/{strategy.value} diverged"
+        if tree[0] == "ok":
+            assert tree[1] == bench.expected, f"{name}/{strategy.value}"
+
+
+def _events(prog, backend, **overrides):
+    sink = RecordingSink()
+    try:
+        prog.run(backend=backend, tracer=EventBus(sink), **overrides)
+    except ReproError:
+        pass  # the trace up to the fault is still compared
+    return sink.events
+
+
+@pytest.mark.parametrize("name", ["fib", "life", "msort"])
+@pytest.mark.parametrize("strategy", [Strategy.RG, Strategy.RG_MINUS])
+def test_trace_equivalence(name, strategy):
+    """The event traces (sequence numbers, kinds, step counters, heap
+    fields) are identical between backends — GC points and region
+    lifecycle happen at exactly the same steps."""
+    prog = compile_program(benchmark_source(name), strategy=strategy)
+    assert _events(prog, "closure") == _events(prog, "tree")
+
+
+PLANS = [
+    FaultPlan.every_nth(3, kind="major"),
+    FaultPlan.every_dealloc(1, kind="major"),
+    FaultPlan.random_plan(7, rate=0.1, dealloc_rate=0.25, kind="random"),
+]
+
+
+@pytest.mark.parametrize("name", ["life", "zebra"])
+@pytest.mark.parametrize("plan", PLANS, ids=["every3", "dealloc", "random"])
+def test_fault_plan_equivalence(name, plan):
+    """Injected-GC schedules decide collections off allocation/dealloc
+    ordinals and observe intermediate step counts, so any batching
+    discrepancy in the closure backend shows up here."""
+    for strategy in (Strategy.RG, Strategy.RG_MINUS):
+        prog = compile_program(benchmark_source(name), strategy=strategy)
+        kwargs = dict(fault_plan=plan, max_steps=2_000_000)
+        assert _outcome(prog, "closure", **kwargs) == _outcome(
+            prog, "tree", **kwargs
+        ), f"{name}/{strategy.value}"
+
+
+def test_gc_every_alloc_dangling_equivalence():
+    """The Figure 1 fault: under rg- with a collection at every
+    allocation both backends observe the same dangling pointer."""
+    source = benchmark_source("simple")
+    prog = compile_program(source, strategy=Strategy.RG_MINUS)
+    kwargs = dict(max_steps=300_000, gc_every_alloc=True)
+    tree = _outcome(prog, "tree", **kwargs)
+    closure = _outcome(prog, "closure", **kwargs)
+    assert closure == tree
+    assert tree[0] == "exc" and tree[1] == "DanglingPointerError"
