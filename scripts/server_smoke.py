@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI server smoke: the serving layer returns exactly what repro-run does.
+
+Boots a ``repro-serve`` subprocess with a worker fleet and a disk compile
+cache, then:
+
+1. **Golden equivalence** — submits all 23 Figure 9 programs concurrently
+   through :class:`repro.server.client.ServerClient` and asserts each
+   response's value, stdout, and ``RunStats`` are bit-identical to a
+   sequential in-process run (the same code path as ``repro-run``).
+2. **Cache warmth** — submits a second wave of the same programs and
+   asserts every response was served from a cache layer and that the
+   ``/v1/stats`` fleet counters show a non-zero hit rate.
+
+Exit codes: 0 ok, 1 any mismatch or cache-cold second wave, 2 the server
+failed to boot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.registry import BENCHMARKS, benchmark_source  # noqa: E402
+from repro.pipeline import compile_program  # noqa: E402
+from repro.runtime.values import show_value  # noqa: E402
+from repro.server.client import ServerClient, ServerUnavailable  # noqa: E402
+
+
+def sequential_reference(names: list[str], backend: str) -> dict[str, dict]:
+    reference = {}
+    for name in names:
+        result = compile_program(benchmark_source(name)).run(backend=backend)
+        reference[name] = {
+            "value": show_value(result.value),
+            "stdout": result.output,
+            "stats": result.stats.to_dict(),
+        }
+    return reference
+
+
+def submit_wave(client: ServerClient, names: list[str], backend: str,
+                jobs: int) -> dict[str, dict]:
+    with concurrent.futures.ThreadPoolExecutor(jobs) as pool:
+        futures = {
+            name: pool.submit(client.run, benchmark_source(name), backend=backend)
+            for name in names
+        }
+        return {name: future.result() for name, future in futures.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=8753)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--backend", default="closure",
+                        choices=("closure", "tree"))
+    parser.add_argument("--programs", default=None,
+                        help="comma-separated subset (default: all 23)")
+    args = parser.parse_args(argv)
+
+    names = sorted(BENCHMARKS)
+    if args.programs:
+        names = [n.strip() for n in args.programs.split(",")]
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            print(f"unknown programs: {unknown}", file=sys.stderr)
+            return 2
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-server-smoke-")
+    serve = shutil.which("repro-serve")
+    command = ([serve] if serve
+               else [sys.executable, "-m", "repro.server.app"])
+    command += ["--port", str(args.port), "--workers", str(args.workers),
+                "--cache-dir", cache_dir]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    server = subprocess.Popen(command, env=env)
+    client = ServerClient(f"http://127.0.0.1:{args.port}", timeout=600)
+    failures: list[str] = []
+    try:
+        try:
+            client.wait_ready(timeout=60)
+        except ServerUnavailable as exc:
+            print(f"server failed to boot: {exc}", file=sys.stderr)
+            return 2
+
+        print(f"computing sequential reference for {len(names)} programs ...")
+        reference = sequential_reference(names, args.backend)
+
+        print(f"wave 1: {len(names)} concurrent submissions ...")
+        for name, resp in submit_wave(client, names, args.backend, 8).items():
+            if resp["status"] != "ok":
+                failures.append(f"{name}: status={resp['status']} "
+                                f"error={resp.get('error')}")
+                continue
+            for field in ("value", "stdout", "stats"):
+                if resp[field] != reference[name][field]:
+                    failures.append(
+                        f"{name}: {field} mismatch\n"
+                        f"  server: {resp[field]!r}\n"
+                        f"  local:  {reference[name][field]!r}")
+
+        print("wave 2: same programs again (must be cache-served) ...")
+        cold = [
+            name for name, resp in
+            submit_wave(client, names, args.backend, 8).items()
+            if resp["status"] != "ok"
+            or not (resp["cache"]["memory_hit"] or resp["cache"]["disk_hit"])
+        ]
+        if cold:
+            failures.append(f"second wave missed every cache layer for: {cold}")
+
+        fleet = client.stats()
+        hit_rate = fleet["metrics"]["cache"]["hit_rate"]
+        print(f"fleet: {fleet['metrics']['jobs']} cache_hit_rate={hit_rate:.2f}")
+        if not hit_rate > 0:
+            failures.append(f"fleet cache hit rate is {hit_rate}, expected > 0")
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"server smoke OK: {len(names)} programs bit-identical, cache warm")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

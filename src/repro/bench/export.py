@@ -145,7 +145,7 @@ def document_from_rows(rows: Iterable, strategies: Iterable[str], repeat: int = 
 
 
 def _worker(job: tuple) -> tuple[str, dict]:
-    """Top-level so :mod:`multiprocessing` can pickle it."""
+    """Top-level so the worker pool's spawn context can pickle it."""
     name, strategies, repeat, cache, backend = job
     return name, bench_program(name, strategies, repeat, cache=cache, backend=backend)
 
@@ -166,13 +166,16 @@ def build_document(
     work = [(name, strategies, repeat, cache, backend) for name in names]
     rows: dict[str, dict] = {}
     if jobs > 1 and len(work) > 1:
-        import multiprocessing
+        # The serving layer's crash-resilient pool (repro.server.pool)
+        # doubles as the bench fan-out engine: a benchmark that kills its
+        # worker surfaces as a WorkerError naming the job instead of
+        # poisoning the whole batch.
+        from ..server.pool import run_jobs
 
-        with multiprocessing.Pool(min(jobs, len(work))) as pool:
-            for name, row in pool.imap_unordered(_worker, work):
-                if log:
-                    log(f"done {name}")
-                rows[name] = row
+        for name, row in run_jobs(_worker, work, jobs=min(jobs, len(work))):
+            if log:
+                log(f"done {name}")
+            rows[name] = row
     else:
         for job in work:
             name, row = _worker(job)

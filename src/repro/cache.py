@@ -49,6 +49,20 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when the cache was never consulted."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum (fleet aggregation across worker caches)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
     def to_dict(self) -> dict:
         return {
             "hits": self.hits,
@@ -113,6 +127,19 @@ class CompileCache:
         behaviour, not current contents)."""
         with self._lock:
             self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """Size + counters as one JSON-ready dict (the shape the serving
+        layer's ``stats`` endpoint and ``repro-bench`` logging report)."""
+        with self._lock:
+            size = len(self._entries)
+        stats = self.stats
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(stats.hit_rate, 4),
+            **stats.to_dict(),
+        }
 
     def __len__(self) -> int:
         with self._lock:

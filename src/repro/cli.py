@@ -40,7 +40,7 @@ from .core.errors import InterpreterLimit, ReproError
 from .pipeline import compile_program
 from .runtime.values import show_value
 
-__all__ = ["main"]
+__all__ = ["main", "add_gc_arguments", "add_limit_arguments", "fault_plan_from_args"]
 
 
 def _indices(text: str) -> tuple:
@@ -49,6 +49,45 @@ def _indices(text: str) -> tuple:
 
 
 _indices.__name__ = "index list"  # what argparse names in its error message
+
+
+def add_gc_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--gc-*`` fault-plan flag family plus ``--generational``.
+
+    Shared by ``repro-run`` and ``repro-submit`` so a schedule replays
+    identically whether the program runs locally or on a server; decode
+    the resulting namespace with :func:`fault_plan_from_args`."""
+    gc = parser.add_argument_group("GC schedule (fault injection)")
+    gc.add_argument("--gc-every-alloc", action="store_true",
+                    help="run a collection at every allocation "
+                         "(alias for --gc-every 1)")
+    gc.add_argument("--gc-every", type=int, metavar="N",
+                    help="collect at every Nth allocation")
+    gc.add_argument("--gc-at", metavar="I,J,..", type=_indices,
+                    help="collect at these allocation indices (0-based)")
+    gc.add_argument("--gc-rate", type=float, metavar="P",
+                    help="collect at each allocation with probability P")
+    gc.add_argument("--gc-dealloc-every", type=int, metavar="N",
+                    help="collect at every Nth region deallocation")
+    gc.add_argument("--gc-dealloc-rate", type=float, metavar="P",
+                    help="collect at each region deallocation with probability P")
+    gc.add_argument("--gc-seed", type=int, default=0, metavar="S",
+                    help="seed for the randomized schedule knobs")
+    gc.add_argument("--gc-kind", default="auto",
+                    choices=["auto", "minor", "major", "random"],
+                    help="collection kind at injected points")
+    gc.add_argument("--generational", action="store_true",
+                    help="use the two-generation collector")
+
+
+def add_limit_arguments(parser: argparse.ArgumentParser) -> None:
+    """The resource-limit flag pair (also shared with ``repro-submit``)."""
+    lim = parser.add_argument_group("resource limits")
+    lim.add_argument("--max-heap-words", type=int, metavar="N",
+                     help="fail fast (exit 2) when the heap footprint "
+                          "exceeds N words")
+    lim.add_argument("--deadline", type=float, metavar="SECONDS",
+                     help="fail fast (exit 2) after this much wall-clock time")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,33 +116,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="evaluator: the closure-compiled fast path "
                              "(default) or the original tree walker; both "
                              "produce bit-identical output, stats and traces")
-    gc = parser.add_argument_group("GC schedule (fault injection)")
-    gc.add_argument("--gc-every-alloc", action="store_true",
-                    help="run a collection at every allocation "
-                         "(alias for --gc-every 1)")
-    gc.add_argument("--gc-every", type=int, metavar="N",
-                    help="collect at every Nth allocation")
-    gc.add_argument("--gc-at", metavar="I,J,..", type=_indices,
-                    help="collect at these allocation indices (0-based)")
-    gc.add_argument("--gc-rate", type=float, metavar="P",
-                    help="collect at each allocation with probability P")
-    gc.add_argument("--gc-dealloc-every", type=int, metavar="N",
-                    help="collect at every Nth region deallocation")
-    gc.add_argument("--gc-dealloc-rate", type=float, metavar="P",
-                    help="collect at each region deallocation with probability P")
-    gc.add_argument("--gc-seed", type=int, default=0, metavar="S",
-                    help="seed for the randomized schedule knobs")
-    gc.add_argument("--gc-kind", default="auto",
-                    choices=["auto", "minor", "major", "random"],
-                    help="collection kind at injected points")
-    gc.add_argument("--generational", action="store_true",
-                    help="use the two-generation collector")
-    lim = parser.add_argument_group("resource limits")
-    lim.add_argument("--max-heap-words", type=int, metavar="N",
-                     help="fail fast (exit 2) when the heap footprint "
-                          "exceeds N words")
-    lim.add_argument("--deadline", type=float, metavar="SECONDS",
-                     help="fail fast (exit 2) after this much wall-clock time")
+    add_gc_arguments(parser)
+    add_limit_arguments(parser)
     obs = parser.add_argument_group("observability")
     obs.add_argument("--trace", metavar="FILE",
                      help="write a JSONL event trace (allocations, region "
@@ -114,7 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _fault_plan(args):
+def fault_plan_from_args(args):
     """Build a FaultPlan from the --gc-* flags, or None when none given."""
     if not any(
         (args.gc_every, args.gc_at, args.gc_rate,
@@ -177,7 +191,7 @@ def _run(args) -> int:
     overrides: dict = {}
     if args.gc_every_alloc:
         overrides["gc_every_alloc"] = True
-    plan = _fault_plan(args)
+    plan = fault_plan_from_args(args)
     if plan is not None:
         overrides["fault_plan"] = plan
     if args.generational:

@@ -149,3 +149,41 @@ class CompilerFlags:
 
     def with_strategy(self, strategy: Strategy) -> "CompilerFlags":
         return replace(self, strategy=strategy)
+
+    # -- wire form -----------------------------------------------------------
+    #
+    # The serving layer (repro.server) ships compilations between
+    # processes as JSON.  Only the *compilation-relevant* fields travel —
+    # the same set :func:`repro.cache.cache_key` hashes; ``runtime`` is
+    # deliberately absent (limits, fault plans, and tracers are
+    # per-request knobs carried separately by the protocol, so a cached
+    # compilation is never specialized to them).
+
+    def to_wire(self) -> dict:
+        return {
+            "strategy": self.strategy.value,
+            "spurious_mode": self.spurious_mode.value,
+            "minimize_types": self.minimize_types,
+            "multiplicity": self.multiplicity,
+            "drop_regions": self.drop_regions,
+            "verify": self.verify,
+            "with_prelude": self.with_prelude,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict, runtime: Optional[RuntimeFlags] = None) -> "CompilerFlags":
+        """Inverse of :meth:`to_wire`.  Missing keys keep their defaults
+        and unknown keys are ignored, so requests from a newer client
+        still compile; bad enum values raise ``ValueError`` (the server
+        maps that to an invalid-request response)."""
+        kwargs: dict = {}
+        if "strategy" in data:
+            kwargs["strategy"] = Strategy(data["strategy"])
+        if "spurious_mode" in data:
+            kwargs["spurious_mode"] = SpuriousMode(data["spurious_mode"])
+        for name in ("minimize_types", "multiplicity", "drop_regions", "verify", "with_prelude"):
+            if name in data:
+                kwargs[name] = bool(data[name])
+        if runtime is not None:
+            kwargs["runtime"] = runtime
+        return cls(**kwargs)

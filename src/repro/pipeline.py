@@ -46,6 +46,13 @@ class _BackendSlot:
         self.prep = None
         self.code = None
 
+    def __reduce__(self):
+        # The compiled form captures live Python closures, which cannot
+        # travel between processes; a pickled program (the on-disk compile
+        # cache, a worker-pool result) re-derives its backend lazily on
+        # first run in the destination process.
+        return (_BackendSlot, ())
+
 
 @dataclass
 class RunResult:
@@ -78,6 +85,20 @@ class CompiledProgram:
     _backend: _BackendSlot = field(
         default_factory=_BackendSlot, repr=False, compare=False
     )
+
+    def __getstate__(self):
+        # DropRegionsReport is keyed by id() of the term's FunDef nodes,
+        # which do not survive pickling — ship a tombstone and re-derive
+        # from the unpickled term so cache-hit runs from another process
+        # (or a disk cache) stay bit-identical to fresh compiles.
+        state = dict(self.__dict__)
+        state["drop_regions"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.drop_regions is None:
+            self.drop_regions = analyse_drop_regions(self.term)
 
     def pretty(self, schemes: bool = True) -> str:
         """The region-annotated program in the paper's notation."""

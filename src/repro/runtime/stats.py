@@ -11,8 +11,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["RunStats"]
+
+#: Fields that are *high-water marks* rather than monotonic counters:
+#: aggregating two runs takes their maximum, not their sum.
+_PEAK_FIELDS = frozenset({"peak_words", "max_region_stack"})
 
 
 @dataclass
@@ -51,6 +56,26 @@ class RunStats:
         defaults."""
         known = {k: v for k, v in data.items() if k in cls.__dataclass_fields__}
         return cls(**known)
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Fleet aggregation of two runs: counters add, high-water marks
+        (``peak_words``, ``max_region_stack``) take the maximum.  Neither
+        operand is mutated.  Used by the serving layer's metrics registry
+        to fold per-job statistics into fleet totals."""
+        merged = {}
+        for name in self.__dataclass_fields__:
+            a, b = getattr(self, name), getattr(other, name)
+            merged[name] = max(a, b) if name in _PEAK_FIELDS else a + b
+        return RunStats(**merged)
+
+    @classmethod
+    def aggregate(cls, runs: Iterable["RunStats"]) -> "RunStats":
+        """Fold any number of runs with :meth:`merge` (zero runs -> the
+        all-zero stats)."""
+        total = cls()
+        for stats in runs:
+            total = total.merge(stats)
+        return total
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,39 @@
+"""``repro.server`` — a concurrent compile-and-run execution service.
+
+Every pre-existing entry point (``repro-run``, ``repro-bench``,
+``repro-fuzz``) is a one-shot CLI: each invocation pays pipeline
+startup, the process-wide compile LRU dies with the process, and the
+per-run resource limits and observability have no aggregation story.
+This package is the resident serving layer on top of the same pipeline:
+
+* :mod:`repro.server.pool` — a crash-resilient multi-process worker
+  pool (each worker runs jobs through the existing pipeline; a crashed
+  or hung worker is reaped and respawned without losing other jobs).
+  Also the engine behind ``repro-bench --jobs``.
+* :mod:`repro.server.diskcache` — a keyed on-disk compile cache layered
+  under the in-memory LRU of :mod:`repro.cache`, so warm restarts and
+  sibling workers skip compilation.
+* :mod:`repro.server.protocol` — the versioned JSON wire schema
+  (:data:`~repro.server.protocol.PROTOCOL`): source + flags + limits +
+  optional fault plan in; value, stdout, ``RunStats``, exit status,
+  optional trace out.
+* :mod:`repro.server.worker` — the job executor run inside each worker
+  process (compile through the tiered caches, run with per-request
+  limits, map every failure mode to a structured response).
+* :mod:`repro.server.scheduler` — admission control: a bounded FIFO
+  with reject-with-retry-after backpressure when the queue is full.
+* :mod:`repro.server.metrics` — the fleet metrics registry (jobs by
+  outcome, queue depth, cache hit rate, aggregated ``RunStats``,
+  latency/heap histograms) behind the ``stats`` endpoint.
+* :mod:`repro.server.app` — HTTP wiring + the ``repro-serve`` CLI.
+* :mod:`repro.server.client` — a small Python client + the
+  ``repro-submit`` CLI.
+
+See ``docs/serving.md`` for the architecture, wire schema, and ops
+runbook.
+"""
+
+from .app import ReproServer, ServerConfig
+from .client import ServerClient
+
+__all__ = ["ReproServer", "ServerConfig", "ServerClient"]

@@ -1,0 +1,278 @@
+"""HTTP wiring + the ``repro-serve`` CLI.
+
+The service is deliberately stdlib-only: a ``ThreadingHTTPServer``
+accepts requests (one handler thread per connection), the handler
+validates the wire request, asks the :class:`Scheduler` for admission,
+and blocks on the job handle — the admission bound keeps the number of
+such blocked threads finite.  Execution happens in the worker-pool
+processes; the serving process never runs untrusted MiniML itself.
+
+Endpoints:
+
+* ``POST /v1/run``      — one compile-and-run job (wire schema:
+  :mod:`repro.server.protocol`).  ``503`` + ``Retry-After`` on a full
+  queue, ``400`` on a malformed request, ``200`` with a structured
+  status otherwise (a *job* failure is not a transport failure).
+* ``GET  /v1/stats``    — fleet metrics + scheduler/pool/cache state.
+* ``GET  /v1/healthz``  — liveness (also used by clients to wait for
+  startup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .pool import WorkerPool
+from .protocol import PROTOCOL, invalid_response, rejection_response
+from .scheduler import Rejection, Scheduler
+from .worker import execute_job, init_worker
+
+__all__ = ["ServerConfig", "ReproServer", "main"]
+
+#: Watchdog slack on top of a request's own deadline: the in-interpreter
+#: deadline should always fire first; the pool timeout only catches a
+#: worker that is wedged outside the interpreter loop.
+DEADLINE_GRACE_SECONDS = 10.0
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro-serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8752
+    #: Worker processes executing jobs.
+    workers: int = 4
+    #: Admission bound: maximum in-flight (queued + running) jobs.
+    queue_capacity: int = 32
+    #: On-disk compile cache directory (``None`` = memory-only workers).
+    cache_dir: Optional[str] = None
+    #: Default per-job watchdog when the request sets no deadline.
+    job_timeout_seconds: float = 120.0
+    #: Worker start method (``spawn`` is the safe default under threads).
+    mp_context: str = "spawn"
+
+
+class ReproServer:
+    """The assembled service: pool + scheduler + metrics + HTTP."""
+
+    def __init__(self, config: ServerConfig = ServerConfig()) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.pool = WorkerPool(
+            execute_job,
+            size=config.workers,
+            initializer=init_worker,
+            initargs=(config.cache_dir,),
+            job_timeout=config.job_timeout_seconds,
+            mp_context=config.mp_context,
+        )
+        self.scheduler = Scheduler(self.pool, config.queue_capacity)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+        self._job_ids = iter(range(1, 1 << 62))
+
+    # -- request handling (transport-independent) ----------------------------
+
+    def handle_run(self, request: object) -> Tuple[int, dict]:
+        """Returns ``(http_status, response_dict)``."""
+        problem = None
+        if not isinstance(request, dict):
+            problem = f"request is {type(request).__name__}, expected object"
+        elif request.get("schema") != PROTOCOL:
+            problem = f"schema is {request.get('schema')!r}, expected {PROTOCOL!r}"
+        elif not isinstance(request.get("source"), str):
+            problem = "source must be a string"
+        if problem is not None:
+            # Full validation happens in the worker; the cheap checks here
+            # keep garbage out of the queue without compiling anything.
+            response = invalid_response(problem)
+            self.metrics.record_response(response)
+            return 400, response
+
+        timeout = self.config.job_timeout_seconds
+        runtime = request.get("runtime") or {}
+        deadline = runtime.get("deadline_seconds") if isinstance(runtime, dict) else None
+        if isinstance(deadline, (int, float)) and deadline > 0:
+            timeout = float(deadline) + DEADLINE_GRACE_SECONDS
+
+        start = time.perf_counter()
+        outcome = self.scheduler.submit(request, timeout=timeout)
+        if isinstance(outcome, Rejection):
+            self.metrics.record_rejection()
+            response = rejection_response(
+                outcome.retry_after, outcome.depth, outcome.capacity
+            )
+            return 503, response
+
+        result = outcome.result()  # blocks this handler thread only
+        wall = time.perf_counter() - start
+        self.scheduler.finish(result, wall)
+        job_id = f"job-{next(self._job_ids)}"
+        if result.ok:
+            response = dict(result.value)
+        else:
+            # Pool-level failure (crash/timeout/pickling error): the
+            # worker never produced a wire response, synthesize one.
+            from .protocol import make_response
+
+            status = result.status if result.status in ("crashed", "timeout") else "error"
+            response = make_response(status, error=result.error)
+        response["id"] = job_id
+        self.metrics.record_response(response, wall_seconds=wall)
+        return 200, response
+
+    def stats_snapshot(self) -> dict:
+        return {
+            "schema": PROTOCOL,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "config": {
+                "workers": self.config.workers,
+                "queue_capacity": self.config.queue_capacity,
+                "cache_dir": self.config.cache_dir,
+                "job_timeout_seconds": self.config.job_timeout_seconds,
+            },
+            "scheduler": self.scheduler.snapshot(),
+            "pool": self.pool.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # -- HTTP ----------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve in a background thread; returns the bound
+        address (useful with ``port=0``)."""
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):  # quiet by default
+                pass
+
+            def _send_json(self, status: int, payload: dict,
+                           extra_headers: Optional[dict] = None) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for key, value in (extra_headers or {}).items():
+                    self.send_header(key, value)
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                if self.path == "/v1/healthz":
+                    self._send_json(200, {"ok": True, "schema": PROTOCOL})
+                elif self.path == "/v1/stats":
+                    self._send_json(200, server.stats_snapshot())
+                else:
+                    self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+            def do_POST(self) -> None:
+                if self.path != "/v1/run":
+                    self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    request = json.loads(self.rfile.read(length) or b"null")
+                except (ValueError, OSError) as exc:
+                    response = invalid_response(f"bad request body: {exc}")
+                    self._send_json(400, response)
+                    return
+                status, response = server.handle_run(request)
+                headers = None
+                if status == 503:
+                    headers = {"Retry-After": str(response.get("retry_after", 1))}
+                self._send_json(status, response, headers)
+
+        self._httpd = ThreadingHTTPServer((self.config.host, self.config.port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True, name="repro-serve-http"
+        )
+        self._thread.start()
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        self.pool.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve MiniML compile-and-run jobs over HTTP "
+        "(wire schema repro-server/v1; see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8752,
+                        help="TCP port (0 = pick a free one; default 8752)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes (default 4)")
+    parser.add_argument("--queue", type=int, default=32, metavar="N",
+                        help="admission bound: max in-flight jobs (default 32)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk compile cache directory (default: a "
+                             "per-user dir under the system temp dir; "
+                             "--no-disk-cache disables)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="run workers memory-only (no warm restarts)")
+    parser.add_argument("--job-timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="watchdog for jobs with no deadline (default 120)")
+    args = parser.parse_args(argv)
+
+    cache_dir: Optional[str]
+    if args.no_disk_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = str(Path(tempfile.gettempdir()) / "repro-compile-cache")
+
+    server = ReproServer(ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        cache_dir=cache_dir,
+        job_timeout_seconds=args.job_timeout,
+    ))
+    host, port = server.start()
+    print(f"repro-serve: listening on http://{host}:{port} "
+          f"({args.workers} workers, queue {args.queue}, "
+          f"cache {cache_dir or 'memory-only'})",
+          file=sys.stderr, flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""The Python client + the ``repro-submit`` CLI.
+
+:class:`ServerClient` is a thin stdlib (``urllib``) wrapper over the
+wire protocol — it is what the tests, the smoke script, and
+``repro-submit`` all use.  A non-2xx HTTP status is not an exception
+when the body is a valid wire response (a 503 rejection is *data*:
+``status="rejected"`` with a ``retry_after``); only transport failures
+raise :class:`ServerUnavailable`.
+
+``repro-submit`` mirrors ``repro-run`` flag-for-flag (same ``--gc-*``
+fault-plan family, same limits, same exit codes 0/1/2) so any locally
+replayable schedule replays identically against a server; rejections
+exit 75 (``EX_TEMPFAIL``) so shell retry loops can tell backpressure
+from program failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from ..config import CompilerFlags, SpuriousMode, Strategy
+from .protocol import make_request
+
+__all__ = ["ServerClient", "ServerUnavailable", "main"]
+
+
+class ServerUnavailable(Exception):
+    """The server could not be reached (or spoke something other than
+    the wire protocol)."""
+
+
+class ServerClient:
+    """Talk to one ``repro-serve`` instance."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8752",
+                 timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        url = self.base_url + path
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx with a wire-protocol body (rejection, invalid
+            # request) is a *response*, not a transport failure.
+            payload = exc.read()
+            try:
+                return json.loads(payload)
+            except ValueError:
+                raise ServerUnavailable(
+                    f"{method} {url}: HTTP {exc.code} with non-JSON body"
+                ) from exc
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServerUnavailable(f"{method} {url}: {exc}") from exc
+        try:
+            return json.loads(payload)
+        except ValueError as exc:
+            raise ServerUnavailable(f"{method} {url}: non-JSON response") from exc
+
+    # -- endpoints -----------------------------------------------------------
+
+    def submit(self, request: dict) -> dict:
+        """POST one wire request; returns the wire response (any status,
+        rejections included)."""
+        return self._request("POST", "/v1/run", request)
+
+    def run(self, source: str, **kwargs) -> dict:
+        """Convenience: build the request with :func:`make_request` and
+        submit it."""
+        return self.submit(make_request(source, **kwargs))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def wait_ready(self, timeout: float = 30.0, interval: float = 0.1) -> None:
+        """Poll ``healthz`` until the server answers (startup barrier for
+        scripts that just forked ``repro-serve``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.health().get("ok"):
+                    return
+            except ServerUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+            time.sleep(interval)
+
+
+def main(argv: Optional[list] = None) -> int:
+    from ..cli import add_gc_arguments, add_limit_arguments, fault_plan_from_args
+
+    parser = argparse.ArgumentParser(
+        prog="repro-submit",
+        description="Submit one MiniML program to a repro-serve instance "
+        "and print the result exactly like repro-run would.",
+    )
+    parser.add_argument("file", help="MiniML source file (or - for stdin)")
+    parser.add_argument("--url", default="http://127.0.0.1:8752",
+                        help="server base URL (default http://127.0.0.1:8752)")
+    parser.add_argument("--strategy", default="rg",
+                        choices=[s.value for s in Strategy])
+    parser.add_argument("--spurious-mode", default="secondary",
+                        choices=[m.value for m in SpuriousMode])
+    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument("--no-prelude", action="store_true")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ask the server to bypass its compile caches")
+    parser.add_argument("--backend", default="closure",
+                        choices=["closure", "tree"])
+    parser.add_argument("--stats", action="store_true",
+                        help="print the returned RunStats to stderr")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw wire response instead of the "
+                             "repro-run-style rendering")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="ask for the event trace and write it as JSONL")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side HTTP timeout (default 300s)")
+    add_gc_arguments(parser)
+    add_limit_arguments(parser)
+    args = parser.parse_args(argv)
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.file}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 1
+
+    flags = CompilerFlags(
+        strategy=Strategy(args.strategy),
+        spurious_mode=SpuriousMode(args.spurious_mode),
+        verify=not args.no_verify,
+        with_prelude=not args.no_prelude,
+    )
+    request = make_request(
+        source,
+        flags=flags,
+        backend=args.backend,
+        cache=not args.no_cache,
+        gc_every_alloc=args.gc_every_alloc,
+        generational=args.generational,
+        max_heap_words=args.max_heap_words,
+        deadline_seconds=args.deadline,
+        fault_plan=fault_plan_from_args(args),
+        trace=args.trace is not None,
+    )
+
+    client = ServerClient(args.url, timeout=args.timeout)
+    try:
+        response = client.submit(request)
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(response, indent=2))
+        return int(response.get("exit_status", 1))
+
+    status = response.get("status")
+    if status == "ok":
+        stdout = response.get("stdout", "")
+        if stdout:
+            sys.stdout.write(stdout)
+            if not stdout.endswith("\n"):
+                sys.stdout.write("\n")
+        print(f"val it = {response.get('value')}")
+    elif status == "rejected":
+        print(f"rejected: server at capacity, retry after "
+              f"{response.get('retry_after')}s", file=sys.stderr)
+    else:
+        err = response.get("error") or {}
+        label = "limit" if status in ("limit", "timeout") else "error"
+        print(f"{label}: {err.get('type')}: {err.get('message')}", file=sys.stderr)
+    if args.stats and response.get("stats"):
+        from ..runtime.stats import RunStats
+
+        print(f"[stats] {RunStats.from_dict(response['stats']).summary()}",
+              file=sys.stderr)
+    if args.trace and response.get("trace") is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            for event in response["trace"]:
+                handle.write(json.dumps(event) + "\n")
+    return int(response.get("exit_status", 1))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

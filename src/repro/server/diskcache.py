@@ -1,0 +1,115 @@
+"""A keyed on-disk compile cache.
+
+The in-memory LRU of :mod:`repro.cache` is process-wide, which is the
+wrong scope for a serving fleet twice over: every worker process pays
+its own cold compiles, and a server restart throws the whole cache away.
+:class:`DiskCompileCache` is the layer underneath — compiled programs
+pickled to a directory keyed by the same content address the LRU uses
+(:func:`repro.cache.cache_key`), so
+
+* a program compiled by one worker is a disk hit for every sibling, and
+* a warm restart of the server serves repeat submissions without
+  recompiling anything.
+
+Entries are written atomically (temp file + ``os.replace``) so a
+concurrent reader never sees a torn pickle, and every load failure
+(corrupt file, unpicklable entry, format-version mismatch) degrades to
+a miss — the cache can be deleted or truncated at any time without
+affecting correctness.  The pickled payload carries only the
+compilation; runtime flags, per-request limits, and the closure backend
+(process-local by construction, see ``_BackendSlot.__reduce__``) are
+never baked in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline import CompiledProgram
+
+__all__ = ["DiskCompileCache", "FORMAT_VERSION"]
+
+#: Bump when the pickled payload layout changes; old entries then read
+#: as misses instead of unpickling garbage.
+FORMAT_VERSION = 1
+
+
+def _filename(key: tuple) -> str:
+    """Stable file name for one cache key.  The key tuple contains only
+    primitives (the source digest plus flag values), so its ``repr`` is
+    deterministic across processes and Python runs."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest() + ".pkl"
+
+
+class DiskCompileCache:
+    """Pickled :class:`~repro.pipeline.CompiledProgram` entries under a
+    directory, one file per :func:`repro.cache.cache_key`."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def get(self, key: tuple) -> Optional["CompiledProgram"]:
+        path = self.root / _filename(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            version, program = pickle.loads(blob)
+            if version != FORMAT_VERSION:
+                raise ValueError(f"format {version} != {FORMAT_VERSION}")
+        except Exception:  # noqa: BLE001 - any decode failure is a miss
+            with self._lock:
+                self.misses += 1
+                self.errors += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return program
+
+    def put(self, key: tuple, program: "CompiledProgram") -> None:
+        path = self.root / _filename(key)
+        blob = pickle.dumps((FORMAT_VERSION, program))
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - disk full etc.: cache stays best-effort
+            with self._lock:
+                self.errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        with self._lock:
+            self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "errors": self.errors,
+            }

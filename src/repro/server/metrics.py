@@ -1,0 +1,131 @@
+"""The fleet metrics registry behind the ``stats`` endpoint.
+
+Per-job observability already exists (``RunStats`` per run, the JSONL
+event trace); what a fleet operator needs is the *aggregate*: jobs by
+outcome, queue depth, cache hit rate, total GC work, the heap
+high-water across every job.  :class:`MetricsRegistry` folds each wire
+response into counters, histograms, and one merged
+:class:`~repro.runtime.stats.RunStats` (sums for counters, maxima for
+high-water marks — :meth:`RunStats.merge`), all behind one lock, and
+snapshots to a JSON-ready dict.
+
+Histograms are fixed-boundary cumulative buckets (the Prometheus
+convention: each bucket counts observations ``<= le``), so dashboards
+can derive quantile estimates without the registry keeping samples.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from ..runtime.stats import RunStats
+
+__all__ = ["Histogram", "MetricsRegistry", "LATENCY_BUCKETS", "HEAP_BUCKETS"]
+
+#: Wall-clock seconds per job.
+LATENCY_BUCKETS: tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+#: Peak heap words per job.
+HEAP_BUCKETS: tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+)
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (not thread-safe on its own;
+    the registry serializes access)."""
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        self.boundaries = tuple(boundaries)
+        self.buckets = [0] * (len(self.boundaries) + 1)  # +inf tail
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def to_dict(self) -> dict:
+        labels = [str(b) for b in self.boundaries] + ["+inf"]
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "max": round(self.max, 6),
+            "buckets": dict(zip(labels, self.buckets)),
+        }
+
+
+class MetricsRegistry:
+    """Fold responses in, snapshot fleet state out."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs_by_status: dict[str, int] = {}
+        self.run_stats = RunStats()
+        self.runs_aggregated = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.cache_lookups = 0
+        self.latency = Histogram(LATENCY_BUCKETS)
+        self.heap = Histogram(HEAP_BUCKETS)
+        self.gc_count = 0
+        self.heap_high_water = 0
+
+    def record_response(self, response: dict, wall_seconds: Optional[float] = None) -> None:
+        """Fold one terminal wire response (any status) into the fleet
+        aggregates.  ``wall_seconds`` is the server-side latency
+        (queueing + execution)."""
+        status = response.get("status", "error")
+        with self._lock:
+            self.jobs_by_status[status] = self.jobs_by_status.get(status, 0) + 1
+            if wall_seconds is not None:
+                self.latency.observe(wall_seconds)
+            cache = response.get("cache")
+            if cache is not None:
+                self.cache_lookups += 1
+                if cache.get("memory_hit"):
+                    self.memory_hits += 1
+                elif cache.get("disk_hit"):
+                    self.disk_hits += 1
+            stats = response.get("stats")
+            if stats:
+                run = RunStats.from_dict(stats)
+                self.run_stats = self.run_stats.merge(run)
+                self.runs_aggregated += 1
+                self.gc_count += run.gc_count + run.gc_minor_count
+                if run.peak_words > self.heap_high_water:
+                    self.heap_high_water = run.peak_words
+                self.heap.observe(run.peak_words)
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.jobs_by_status["rejected"] = self.jobs_by_status.get("rejected", 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            lookups = self.cache_lookups
+            hits = self.memory_hits + self.disk_hits
+            return {
+                "jobs": dict(sorted(self.jobs_by_status.items())),
+                "cache": {
+                    "lookups": lookups,
+                    "memory_hits": self.memory_hits,
+                    "disk_hits": self.disk_hits,
+                    "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+                },
+                "run_stats": self.run_stats.to_dict(),
+                "runs_aggregated": self.runs_aggregated,
+                "gc_count": self.gc_count,
+                "heap_high_water_words": self.heap_high_water,
+                "latency_seconds": self.latency.to_dict(),
+                "peak_words": self.heap.to_dict(),
+            }

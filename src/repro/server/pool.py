@@ -1,0 +1,402 @@
+"""A crash-resilient multi-process worker pool.
+
+``multiprocessing.Pool`` is the obvious tool for fanning work out over
+processes, but it has exactly the failure mode a serving layer cannot
+afford: a worker that dies mid-job (hard crash, OOM kill) or hangs
+poisons the whole pool.  :class:`WorkerPool` instead gives every worker
+process a dedicated manager thread and a private pipe; a worker that
+crashes or overruns its job timeout is reaped and respawned by its own
+manager while every other job proceeds untouched, and the lost job
+resolves to a structured :class:`JobResult` instead of an exception that
+tears the pool down.
+
+The pool is deliberately generic — it executes one module-level
+function over payloads — so it serves two callers:
+
+* the execution service (:mod:`repro.server.app`), which needs
+  per-job timeouts, crash containment, and submit/await semantics;
+* ``repro-bench --jobs`` (:mod:`repro.bench.export`), which needs plain
+  unordered map semantics (:func:`run_jobs`).
+
+Workers are started with the ``spawn`` context by default: the serving
+process is multi-threaded, and forking a multi-threaded parent can
+deadlock a child on a lock some other thread held at fork time.  The
+job function (and initializer) must therefore be picklable module-level
+callables.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = ["JobResult", "JobHandle", "WorkerPool", "WorkerError", "run_jobs"]
+
+#: Job outcome statuses.
+OK = "ok"
+ERROR = "error"  # the job function raised
+CRASHED = "crashed"  # the worker process died mid-job
+TIMEOUT = "timeout"  # the job overran its timeout; worker was reaped
+
+
+class WorkerError(Exception):
+    """Raised by strict :meth:`WorkerPool.map_unordered` when a job does
+    not complete with status ``ok``."""
+
+    def __init__(self, result: "JobResult") -> None:
+        super().__init__(f"job {result.job_id} {result.status}: {result.error}")
+        self.result = result
+
+
+@dataclass
+class JobResult:
+    """How one job ended.
+
+    ``status`` is one of ``ok`` / ``error`` / ``crashed`` / ``timeout``;
+    ``value`` is the job function's return value (``ok`` only); ``error``
+    is a ``{"type", "message"}`` dict for the three failure statuses.
+    """
+
+    job_id: int
+    status: str
+    value: Any = None
+    error: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class JobHandle:
+    """An awaitable slot for one submitted job."""
+
+    def __init__(self, job_id: int, payload: Any, timeout: Optional[float],
+                 on_start: Optional[Callable[[], None]] = None) -> None:
+        self.job_id = job_id
+        self.payload = payload
+        self.timeout = timeout
+        self.on_start = on_start
+        self._done = threading.Event()
+        self._result: Optional[JobResult] = None
+
+    def _resolve(self, result: JobResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        """Block until the job resolves.  Never raises on job failure —
+        failures are data (:class:`JobResult`)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} still pending after {timeout}s")
+        assert self._result is not None
+        return self._result
+
+
+class _Worker:
+    """One child process + its private duplex pipe."""
+
+    def __init__(self, ctx, fn, initializer, initargs) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, fn, initializer, initargs),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # the parent keeps only its end
+        self.jobs_done = 0
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(5)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(5)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def _worker_main(conn, fn, initializer, initargs) -> None:
+    """Child-process loop: receive ``(job_id, payload)``, run ``fn``,
+    send ``(job_id, status, result_or_error)``.  ``None`` is the
+    shutdown sentinel.  Job-function exceptions are *data* — only a
+    hard crash (``os._exit``, signal, interpreter abort) breaks the
+    loop, and the parent-side manager treats the broken pipe as a
+    worker death."""
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        job_id, payload = msg
+        try:
+            value = fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - errors are data here
+            conn.send((job_id, ERROR, {"type": type(exc).__name__, "message": str(exc)}))
+        else:
+            conn.send((job_id, OK, value))
+
+
+class WorkerPool:
+    """``size`` worker processes executing ``fn`` over submitted payloads.
+
+    ``fn``/``initializer`` must be picklable module-level callables (the
+    default ``spawn`` context re-imports them in the child).
+    ``job_timeout`` is the default per-job wall-clock bound; a job that
+    overruns it has its worker killed and respawned and resolves with
+    status ``timeout``.  ``None`` means wait forever (bench-style batch
+    use where the work is trusted).
+    """
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        size: int,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        job_timeout: Optional[float] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        if size < 1:
+            raise ValueError("WorkerPool size must be >= 1")
+        self._fn = fn
+        self._initializer = initializer
+        self._initargs = initargs
+        self._job_timeout = job_timeout
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._busy = 0
+        self.size = size
+        self.completed = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.respawns = 0
+        self._workers = [self._spawn() for _ in range(size)]
+        self._managers = [
+            threading.Thread(target=self._manage, args=(slot,), daemon=True,
+                             name=f"repro-pool-{slot}")
+            for slot in range(size)
+        ]
+        for thread in self._managers:
+            thread.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        return _Worker(self._ctx, self._fn, self._initializer, self._initargs)
+
+    def close(self) -> None:
+        """Stop accepting work, drain the managers, terminate workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._managers:
+            self._queue.put(self._SENTINEL)
+        for thread in self._managers:
+            thread.join(30)
+        for worker in self._workers:
+            worker.kill()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Any,
+        timeout: Optional[float] = None,
+        on_start: Optional[Callable[[], None]] = None,
+    ) -> JobHandle:
+        """Enqueue one job.  ``timeout`` overrides the pool default;
+        ``on_start`` fires on the manager thread the moment a worker
+        picks the job up (the scheduler uses it for queue-depth
+        accounting)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        handle = JobHandle(
+            next(self._ids),
+            payload,
+            self._job_timeout if timeout is None else timeout,
+            on_start,
+        )
+        self._queue.put(handle)
+        return handle
+
+    def map_unordered(
+        self,
+        payloads: Iterable[Any],
+        timeout: Optional[float] = None,
+        strict: bool = True,
+    ) -> Iterator[Any]:
+        """Run every payload, yielding results as they complete (any
+        order).  With ``strict`` (the default) a failed job raises
+        :class:`WorkerError`; otherwise the raw :class:`JobResult` is
+        yielded for failures."""
+        handles = [self.submit(p, timeout=timeout) for p in payloads]
+        pending = {h.job_id: h for h in handles}
+        while pending:
+            for job_id, handle in list(pending.items()):
+                if handle.done():
+                    del pending[job_id]
+                    result = handle.result()
+                    if result.ok:
+                        yield result.value
+                    elif strict:
+                        raise WorkerError(result)
+                    else:
+                        yield result
+            if pending:
+                # Block on any one outstanding handle (cheap wakeup poll).
+                next(iter(pending.values()))._done.wait(0.05)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def busy(self) -> int:
+        """Workers currently executing a job."""
+        with self._lock:
+            return self._busy
+
+    def stats(self) -> dict:
+        with self._lock:
+            busy = self._busy
+        return {
+            "workers": self.size,
+            "busy": busy,
+            "completed": self.completed,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "respawns": self.respawns,
+        }
+
+    # -- the manager thread --------------------------------------------------
+
+    def _manage(self, slot: int) -> None:
+        while True:
+            handle = self._queue.get()
+            if handle is self._SENTINEL:
+                return
+            with self._lock:
+                self._busy += 1
+            try:
+                result = self._run_one(slot, handle)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+                    self.completed += 1
+            handle._resolve(result)
+
+    def _run_one(self, slot: int, handle: JobHandle) -> JobResult:
+        if handle.on_start is not None:
+            try:
+                handle.on_start()
+            except Exception:  # pragma: no cover - callbacks must not kill managers
+                pass
+        worker = self._workers[slot]
+        if not worker.alive():
+            # Died between jobs (or never came up): respawn before dispatch.
+            worker = self._respawn(slot, worker)
+        try:
+            worker.conn.send((handle.job_id, handle.payload))
+        except (BrokenPipeError, OSError):
+            # Death raced the dispatch: respawn and retry once.
+            worker = self._respawn(slot, worker, count_crash=True)
+            try:
+                worker.conn.send((handle.job_id, handle.payload))
+            except (BrokenPipeError, OSError):  # pragma: no cover - spawn DOA
+                return JobResult(handle.job_id, CRASHED,
+                                 error={"type": "WorkerCrash",
+                                        "message": "worker unavailable"})
+        if not self._poll(worker, handle.timeout):
+            self._respawn(slot, worker, count_crash=False, kill=True)
+            self.timeouts += 1
+            return JobResult(
+                handle.job_id, TIMEOUT,
+                error={"type": "JobTimeout",
+                       "message": f"no response within {handle.timeout}s; "
+                                  f"worker reaped"},
+            )
+        try:
+            job_id, status, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            self._respawn(slot, worker, count_crash=True)
+            return JobResult(
+                handle.job_id, CRASHED,
+                error={"type": "WorkerCrash",
+                       "message": "worker process died mid-job"},
+            )
+        worker.jobs_done += 1
+        if status == OK:
+            return JobResult(job_id, OK, value=payload)
+        return JobResult(job_id, ERROR, error=payload)
+
+    @staticmethod
+    def _poll(worker: _Worker, timeout: Optional[float]) -> bool:
+        """Wait for a reply; with no timeout, wake periodically so a
+        dead worker is noticed as EOF rather than waited on forever."""
+        if timeout is not None:
+            return worker.conn.poll(timeout)
+        while True:
+            if worker.conn.poll(1.0):
+                return True
+            if not worker.alive():
+                # Flush any reply that raced the death.
+                return worker.conn.poll(0.1)
+
+    def _respawn(self, slot: int, worker: _Worker,
+                 count_crash: bool = False, kill: bool = False) -> _Worker:
+        if kill or worker.alive():
+            worker.kill()
+        else:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if count_crash:
+            self.crashes += 1
+        self.respawns += 1
+        fresh = self._spawn()
+        self._workers[slot] = fresh
+        return fresh
+
+
+def run_jobs(
+    fn: Callable[[Any], Any],
+    payloads: Iterable[Any],
+    jobs: int,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+    timeout: Optional[float] = None,
+) -> Iterator[Any]:
+    """One-shot unordered map over a temporary pool — the
+    ``multiprocessing.Pool.imap_unordered`` replacement used by
+    ``repro-bench --jobs``.  A failed job raises :class:`WorkerError`."""
+    with WorkerPool(fn, jobs, initializer=initializer, initargs=initargs) as pool:
+        yield from pool.map_unordered(payloads, timeout=timeout)

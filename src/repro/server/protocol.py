@@ -1,0 +1,249 @@
+"""The versioned JSON wire protocol of the execution service.
+
+One request = one compile-and-run job.  Request shape (``schema`` is
+:data:`PROTOCOL` and is required; everything but ``source`` has a
+default)::
+
+    {
+      "schema": "repro-server/v1",
+      "source": "val it = 1 + 2",
+      "flags": {"strategy": "rg", "verify": true, ...},   # CompilerFlags.to_wire
+      "backend": "closure" | "tree",
+      "cache": true,                    # consult the compile caches
+      "runtime": {
+        "gc_every_alloc": false,
+        "generational": false,
+        "max_heap_words": null,         # per-request resource limits
+        "deadline_seconds": null,
+        "fault_plan": null              # FaultPlan.to_dict
+      },
+      "trace": false                    # return the JSONL event trace
+    }
+
+Response shape (the same ``schema``)::
+
+    {
+      "schema": "repro-server/v1",
+      "id": "job-17",
+      "status": "ok" | "error" | "limit" | "timeout" | "crashed"
+              | "rejected" | "invalid",
+      "exit_status": 0 | 1 | 2,         # repro-run exit-code semantics
+      "value": "3",                     # show_value rendering, ok only
+      "stdout": "",                     # the program's print output
+      "stats": {...},                   # RunStats.to_dict (partial on limit)
+      "error": {"type": ..., "message": ...},   # non-ok only
+      "cache": {"memory_hit": false, "disk_hit": false},
+      "timing": {"compile_seconds": ..., "run_seconds": ...},
+      "trace": [...],                   # requested traces only
+      "retry_after": 1.5                # rejected only (seconds)
+    }
+
+``exit_status`` deliberately mirrors ``repro-run``: **0** success,
+**1** compile/runtime error (including a worker killed by the program),
+**2** a resource limit fired (heap/deadline/steps/depth, or the server's
+job-timeout watchdog) — so ``repro-submit`` can exit with the same code
+the local CLI would have.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import CompilerFlags
+
+__all__ = [
+    "PROTOCOL",
+    "STATUSES",
+    "EXIT_FOR_STATUS",
+    "make_request",
+    "validate_request",
+    "request_flags",
+    "request_runtime_overrides",
+    "make_response",
+    "rejection_response",
+    "invalid_response",
+]
+
+PROTOCOL = "repro-server/v1"
+
+#: Every terminal job status the service can report.
+STATUSES = ("ok", "error", "limit", "timeout", "crashed", "rejected", "invalid")
+
+#: ``repro-run``-compatible exit code per status.  ``rejected`` gets 75
+#: (BSD ``EX_TEMPFAIL``: transient, retry later); ``invalid`` gets 64
+#: (``EX_USAGE``).
+EXIT_FOR_STATUS = {
+    "ok": 0,
+    "error": 1,
+    "crashed": 1,
+    "limit": 2,
+    "timeout": 2,
+    "rejected": 75,
+    "invalid": 64,
+}
+
+_RUNTIME_KEYS = frozenset(
+    {"gc_every_alloc", "generational", "max_heap_words", "deadline_seconds", "fault_plan"}
+)
+
+
+def make_request(
+    source: str,
+    flags: Optional[CompilerFlags] = None,
+    backend: str = "closure",
+    cache: bool = True,
+    gc_every_alloc: bool = False,
+    generational: bool = False,
+    max_heap_words: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    fault_plan=None,
+    trace: bool = False,
+) -> dict:
+    """Build a request dict (the client-side constructor)."""
+    return {
+        "schema": PROTOCOL,
+        "source": source,
+        "flags": (flags or CompilerFlags()).to_wire(),
+        "backend": backend,
+        "cache": cache,
+        "runtime": {
+            "gc_every_alloc": gc_every_alloc,
+            "generational": generational,
+            "max_heap_words": max_heap_words,
+            "deadline_seconds": deadline_seconds,
+            "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
+        },
+        "trace": trace,
+    }
+
+
+def validate_request(request: object) -> Optional[str]:
+    """Shallow schema check; returns an error string or ``None``.
+
+    Unknown top-level and runtime keys are *rejected* (a typo'd limit
+    silently ignored would be a resource-limit bypass), but unknown
+    ``flags`` keys are allowed for forward compatibility — they cannot
+    weaken isolation, only change what is compiled.
+    """
+    if not isinstance(request, dict):
+        return f"request is {type(request).__name__}, expected object"
+    if request.get("schema") != PROTOCOL:
+        return f"schema is {request.get('schema')!r}, expected {PROTOCOL!r}"
+    if not isinstance(request.get("source"), str):
+        return "source must be a string"
+    known = {"schema", "source", "flags", "backend", "cache", "runtime", "trace"}
+    extra = set(request) - known
+    if extra:
+        return f"unknown request fields {sorted(extra)}"
+    if request.get("backend", "closure") not in ("closure", "tree"):
+        return f"unknown backend {request.get('backend')!r}"
+    flags = request.get("flags", {})
+    if not isinstance(flags, dict):
+        return "flags must be an object"
+    runtime = request.get("runtime", {})
+    if not isinstance(runtime, dict):
+        return "runtime must be an object"
+    extra = set(runtime) - _RUNTIME_KEYS
+    if extra:
+        return f"unknown runtime fields {sorted(extra)}"
+    limit = runtime.get("max_heap_words")
+    if limit is not None and (not isinstance(limit, int) or limit < 1):
+        return "max_heap_words must be a positive integer"
+    deadline = runtime.get("deadline_seconds")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline <= 0
+    ):
+        return "deadline_seconds must be a positive number"
+    plan = runtime.get("fault_plan")
+    if plan is not None and not isinstance(plan, dict):
+        return "fault_plan must be an object (FaultPlan.to_dict)"
+    try:
+        request_flags(request)
+        request_runtime_overrides(request)
+    except (ValueError, TypeError) as exc:
+        return str(exc)
+    return None
+
+
+def request_flags(request: dict) -> CompilerFlags:
+    """The :class:`~repro.config.CompilerFlags` a request compiles under
+    (runtime field untouched — limits are per-request overrides, never
+    part of the compilation)."""
+    return CompilerFlags.from_wire(request.get("flags", {}))
+
+
+def request_runtime_overrides(request: dict) -> dict:
+    """Keyword overrides for :meth:`CompiledProgram.run` — the
+    per-request :class:`~repro.config.RuntimeFlags` deltas."""
+    runtime = request.get("runtime", {})
+    overrides: dict = {}
+    if runtime.get("gc_every_alloc"):
+        overrides["gc_every_alloc"] = True
+    if runtime.get("generational"):
+        overrides["generational"] = True
+    if runtime.get("max_heap_words") is not None:
+        overrides["max_heap_words"] = int(runtime["max_heap_words"])
+    if runtime.get("deadline_seconds") is not None:
+        overrides["deadline_seconds"] = float(runtime["deadline_seconds"])
+    if runtime.get("fault_plan") is not None:
+        from ..testing.faultplan import FaultPlan
+
+        overrides["fault_plan"] = FaultPlan.from_dict(runtime["fault_plan"])
+    return overrides
+
+
+def make_response(
+    status: str,
+    job_id: Optional[str] = None,
+    value: Optional[str] = None,
+    stdout: Optional[str] = None,
+    stats: Optional[dict] = None,
+    error: Optional[dict] = None,
+    cache: Optional[dict] = None,
+    timing: Optional[dict] = None,
+    trace: Optional[list] = None,
+    retry_after: Optional[float] = None,
+) -> dict:
+    if status not in STATUSES:
+        raise ValueError(f"unknown status {status!r}")
+    response: dict = {
+        "schema": PROTOCOL,
+        "id": job_id,
+        "status": status,
+        "exit_status": EXIT_FOR_STATUS[status],
+    }
+    if value is not None:
+        response["value"] = value
+    if stdout is not None:
+        response["stdout"] = stdout
+    if stats is not None:
+        response["stats"] = stats
+    if error is not None:
+        response["error"] = error
+    if cache is not None:
+        response["cache"] = cache
+    if timing is not None:
+        response["timing"] = timing
+    if trace is not None:
+        response["trace"] = trace
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response
+
+
+def rejection_response(retry_after: float, depth: int, capacity: int) -> dict:
+    """The admission-control backpressure response (HTTP 503)."""
+    return make_response(
+        "rejected",
+        retry_after=round(retry_after, 3),
+        error={
+            "type": "QueueFull",
+            "message": f"admission queue at capacity ({depth}/{capacity}); "
+                       f"retry after {retry_after:.1f}s",
+        },
+    )
+
+
+def invalid_response(message: str) -> dict:
+    """A malformed request (HTTP 400)."""
+    return make_response("invalid", error={"type": "InvalidRequest", "message": message})

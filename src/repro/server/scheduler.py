@@ -1,0 +1,119 @@
+"""Admission control: a bounded FIFO in front of the worker pool.
+
+A resident service under heavy traffic must fail *fast and honestly*
+when it is saturated: unbounded queueing turns overload into unbounded
+latency for everyone.  The :class:`Scheduler` therefore admits at most
+``capacity`` in-flight jobs (queued + running); a submission past that
+is rejected immediately with a ``retry_after`` hint derived from the
+observed service time (an EWMA over recent jobs), so well-behaved
+clients back off for roughly as long as the backlog needs to drain.
+
+The scheduler owns no threads of its own — the pool's per-worker
+managers drain the FIFO; the scheduler only does the bookkeeping
+(admitted / started / finished) that the admission decision and the
+``queue_depth`` fleet gauge need.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from .pool import JobHandle, JobResult, WorkerPool
+
+__all__ = ["Rejection", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A submission refused by admission control."""
+
+    retry_after: float
+    depth: int
+    capacity: int
+
+
+class Scheduler:
+    """Bounded admission in front of a :class:`~repro.server.pool.WorkerPool`.
+
+    ``capacity`` bounds *in-flight* jobs: queued plus executing.  The
+    ``retry_after`` estimate assumes the backlog drains at
+    ``workers / ewma_service_seconds`` jobs per second.
+    """
+
+    def __init__(self, pool: WorkerPool, capacity: int,
+                 initial_service_seconds: float = 0.5) -> None:
+        if capacity < 1:
+            raise ValueError("Scheduler capacity must be >= 1")
+        self.pool = pool
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._queued = 0
+        self._ewma = initial_service_seconds
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload: Any,
+               timeout: Optional[float] = None) -> Union[JobHandle, Rejection]:
+        """Admit-or-reject.  Admitted jobs return the pool handle; the
+        caller blocks on ``handle.result()`` (one serving thread per
+        in-flight request, which the admission bound keeps finite)."""
+        with self._lock:
+            if self._in_flight >= self.capacity:
+                self.rejected += 1
+                return Rejection(self._retry_after_locked(), self._in_flight, self.capacity)
+            self._in_flight += 1
+            self._queued += 1
+            self.admitted += 1
+        try:
+            return self.pool.submit(payload, timeout=timeout, on_start=self._on_start)
+        except Exception:
+            with self._lock:
+                self._in_flight -= 1
+                self._queued -= 1
+            raise
+
+    def finish(self, result: JobResult, wall_seconds: float) -> None:
+        """Caller-side bookkeeping once a job's result is in hand."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            # Jobs killed by the watchdog would skew the estimate of a
+            # *successful* drain; still fold them in at their actual cost.
+            self._ewma = 0.8 * self._ewma + 0.2 * max(wall_seconds, 1e-4)
+
+    def _on_start(self) -> None:
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+
+    # -- introspection -------------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        drain_rate = self.pool.size / max(self._ewma, 1e-4)
+        backlog = max(self._in_flight - self.pool.size, 1)
+        return max(0.1, backlog / drain_rate)
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted jobs not yet picked up by a worker."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "in_flight": self._in_flight,
+                "queue_depth": self._queued,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "ewma_service_seconds": round(self._ewma, 4),
+            }

@@ -1,0 +1,164 @@
+"""The job executor — the function every pool worker runs.
+
+:func:`execute_job` turns one wire request into one wire response,
+never raising: compile errors, runtime faults (the Figure 1 dangling
+pointer included), resource-limit hits, and even interpreter-level
+``RecursionError`` all map to structured responses carrying the
+``repro-run`` exit-code semantics, so a misbehaving program can fail
+its own job but never wedge the queue.  (A program that kills the whole
+worker process is the pool's problem — the manager reaps, respawns,
+and synthesizes a ``crashed`` response upstream.)
+
+Compilation goes through two cache layers shared with every other job:
+
+* the process-wide in-memory LRU (:func:`repro.cache.default_cache`) —
+  hot across jobs on the *same* worker;
+* the on-disk :class:`~repro.server.diskcache.DiskCompileCache`
+  configured by :func:`init_worker` — shared across workers *and*
+  across server restarts.
+
+Per-request limits and fault plans are applied as run-time overrides on
+the cached program (never baked into the cached compilation), exactly
+like ``repro-run`` flags.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from ..cache import cache_key, default_cache
+from ..config import CompilerFlags
+from ..core.errors import InterpreterLimit, ReproError
+from ..pipeline import CompiledProgram, compile_program
+from ..runtime.values import show_value
+from .diskcache import DiskCompileCache
+from .protocol import (
+    make_response,
+    request_flags,
+    request_runtime_overrides,
+    validate_request,
+)
+
+__all__ = ["init_worker", "execute_job", "compile_with_caches", "worker_cache_snapshot"]
+
+#: Worker-process state installed by :func:`init_worker`.
+_DISK_CACHE: Optional[DiskCompileCache] = None
+
+
+def init_worker(disk_cache_dir: Optional[str] = None) -> None:
+    """Pool initializer: attach the shared on-disk cache (or run
+    memory-only when the server disabled it)."""
+    global _DISK_CACHE
+    _DISK_CACHE = DiskCompileCache(disk_cache_dir) if disk_cache_dir else None
+
+
+def compile_with_caches(
+    source: str, flags: CompilerFlags, use_cache: bool = True
+) -> Tuple[CompiledProgram, dict]:
+    """Compile through memory -> disk -> pipeline, reporting which layer
+    hit.  A disk hit is promoted into the memory LRU; a fresh compile is
+    written through to both layers."""
+    info = {"memory_hit": False, "disk_hit": False}
+    if not use_cache:
+        return compile_program(source, flags=flags, cache=False), info
+    memory = default_cache()
+    key = cache_key(source, flags)
+    if key in memory:
+        info["memory_hit"] = True
+    elif _DISK_CACHE is not None:
+        loaded = _DISK_CACHE.get(key)
+        if loaded is not None:
+            info["disk_hit"] = True
+            memory.put(key, loaded)
+    # compile_program does the actual lookup (or compile-and-store) so
+    # hit wrappers carry the caller's flags and the LRU counters see
+    # exactly one lookup per job.
+    program = compile_program(source, flags=flags, cache=memory)
+    if _DISK_CACHE is not None and not (info["memory_hit"] or info["disk_hit"]):
+        _DISK_CACHE.put(key, program)
+    return program, info
+
+
+def worker_cache_snapshot() -> dict:
+    """Cache counters of *this* worker process (shipped home piggybacked
+    on responses is overkill; the metrics registry instead derives fleet
+    hit rates from the per-response ``cache`` dict)."""
+    snap = {"memory": default_cache().snapshot()}
+    if _DISK_CACHE is not None:
+        snap["disk"] = _DISK_CACHE.snapshot()
+    return snap
+
+
+def execute_job(request: dict) -> dict:
+    """One request in, one response out.  Total: every exception becomes
+    a structured response."""
+    problem = validate_request(request)
+    if problem is not None:
+        from .protocol import invalid_response
+
+        return invalid_response(problem)
+
+    cache_info = {"memory_hit": False, "disk_hit": False}
+    timing = {"compile_seconds": 0.0, "run_seconds": 0.0}
+    try:
+        flags = request_flags(request)
+        overrides = request_runtime_overrides(request)
+        backend = request.get("backend", "closure")
+
+        start = time.perf_counter()
+        program, cache_info = compile_with_caches(
+            request["source"], flags, use_cache=request.get("cache", True)
+        )
+        timing["compile_seconds"] = round(time.perf_counter() - start, 6)
+
+        recorder = None
+        if request.get("trace"):
+            from ..runtime.trace import EventBus, RecordingSink
+
+            recorder = RecordingSink()
+            overrides["tracer"] = EventBus(recorder)
+
+        start = time.perf_counter()
+        result = program.run(backend=backend, **overrides)
+        timing["run_seconds"] = round(time.perf_counter() - start, 6)
+        return make_response(
+            "ok",
+            value=show_value(result.value),
+            stdout=result.output,
+            stats=result.stats.to_dict(),
+            cache=cache_info,
+            timing=timing,
+            trace=list(recorder.events) if recorder is not None else None,
+        )
+    except InterpreterLimit as exc:
+        return make_response(
+            "limit",
+            error={"type": type(exc).__name__, "message": str(exc)},
+            stats=exc.stats.to_dict() if getattr(exc, "stats", None) is not None else None,
+            cache=cache_info,
+            timing=timing,
+        )
+    except ReproError as exc:
+        return make_response(
+            "error",
+            error={"type": type(exc).__name__, "message": str(exc)},
+            cache=cache_info,
+            timing=timing,
+        )
+    except RecursionError as exc:  # pragma: no cover - backstop; the
+        # interpreter converts its own recursion overflows to
+        # InterpreterLimit, so this only catches pipeline-level blowups.
+        return make_response(
+            "limit",
+            error={"type": "RecursionError", "message": str(exc) or "recursion limit"},
+            cache=cache_info,
+            timing=timing,
+        )
+    except Exception as exc:  # noqa: BLE001 - a bug in us, reported as data
+        return make_response(
+            "error",
+            error={"type": type(exc).__name__, "message": str(exc)},
+            cache=cache_info,
+            timing=timing,
+        )

@@ -151,14 +151,22 @@ class FaultPlan:
         return f"{'+'.join(parts)} kind={self.kind} seed={self.seed}"
 
     def to_dict(self) -> dict:
+        """A JSON-ready dict (tuples become lists under ``json.dumps``);
+        inverse of :meth:`from_dict`, so plans travel over the wire —
+        the fuzz corpus and the ``repro.server`` protocol both ship
+        plans this way."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
-        data = dict(data)
-        data["at"] = tuple(data.get("at", ()))
-        data["dealloc_at"] = tuple(data.get("dealloc_at", ()))
-        return cls(**data)
+        """Rebuild a plan from :meth:`to_dict` output (or the JSON decode
+        of it).  Unknown keys are ignored so plans serialized by a newer
+        schema still load; missing keys keep their defaults; the index
+        lists come back as tuples so the plan is hashable again."""
+        known = {k: v for k, v in data.items() if k in cls.__dataclass_fields__}
+        known["at"] = tuple(known.get("at", ()))
+        known["dealloc_at"] = tuple(known.get("dealloc_at", ()))
+        return cls(**known)
 
 
 #: The alias for the legacy crash-test flag: one point in the plan space.

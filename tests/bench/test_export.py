@@ -130,3 +130,31 @@ class TestMainCli:
         )
         loaded = json.loads(out.read_text())
         assert validate_document(loaded, require_programs=["fib"]) == []
+
+
+class TestParallelJobs:
+    def test_jobs_document_matches_sequential(self):
+        # --jobs now fans out through repro.server.pool: the parallel
+        # document must be identical to the sequential one in every
+        # deterministic field (wall-clock fields excepted).
+        names = ["fib", "ratio", "tak"]
+        sequential = build_document(names, strategies=("rg",), repeat=1)
+        parallel = build_document(names, strategies=("rg",), repeat=1, jobs=3)
+
+        def strip_timing(document):
+            clean = copy.deepcopy(document)
+            clean.pop("generated_at", None)
+            for row in clean["programs"].values():
+                for cell in row["strategies"].values():
+                    cell.pop("seconds", None)
+                    cell.pop("compile_seconds", None)
+            return clean
+
+        assert strip_timing(parallel) == strip_timing(sequential)
+        assert validate_document(parallel) == []
+
+    def test_jobs_logs_progress(self):
+        lines = []
+        build_document(["fib", "ratio"], strategies=("rg",), repeat=1,
+                       jobs=2, log=lines.append)
+        assert sorted(lines) == ["done fib", "done ratio"]

@@ -55,3 +55,45 @@ class TestSummary:
         assert f"peak_words={stats.peak_words}" in summary
         assert f"gc={stats.gc_count}" in summary
         assert f"letregions={stats.letregions}" in summary
+
+
+class TestMerge:
+    def test_counters_sum_peaks_max(self):
+        left = RunStats(steps=10, allocations=4, peak_words=100,
+                        max_region_stack=7, gc_count=1)
+        right = RunStats(steps=5, allocations=6, peak_words=40,
+                         max_region_stack=9, gc_count=2)
+        merged = left.merge(right)
+        assert merged.steps == 15
+        assert merged.allocations == 10
+        assert merged.gc_count == 3
+        assert merged.peak_words == 100      # high-water: max, not sum
+        assert merged.max_region_stack == 9  # high-water: max, not sum
+
+    def test_merge_mutates_neither_operand(self):
+        left, right = RunStats(steps=1), RunStats(steps=2)
+        assert left.merge(right).steps == 3
+        assert left == RunStats(steps=1)
+        assert right == RunStats(steps=2)
+
+    def test_merge_covers_every_field(self):
+        # Any future counter must make a merged pair differ from a
+        # default — catches fields forgotten by merge().
+        ones = RunStats(**{f.name: 1 for f in dataclasses.fields(RunStats)})
+        merged = RunStats().merge(ones)
+        assert merged == ones
+
+    def test_aggregate_folds_many_runs(self):
+        runs = [RunStats(steps=i, peak_words=i * 10) for i in (1, 2, 3)]
+        total = RunStats.aggregate(runs)
+        assert total.steps == 6
+        assert total.peak_words == 30
+
+    def test_aggregate_empty_is_default(self):
+        assert RunStats.aggregate([]) == RunStats()
+
+    def test_aggregate_of_real_runs_matches_manual_fold(self):
+        stats = _populated_stats()
+        twice = RunStats.aggregate([stats, stats])
+        assert twice.steps == 2 * stats.steps
+        assert twice.peak_words == stats.peak_words

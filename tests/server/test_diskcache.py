@@ -1,0 +1,101 @@
+"""On-disk compile cache: cross-instance sharing (the warm-restart
+property), corruption tolerance, and format versioning."""
+
+import pickle
+
+from repro.cache import cache_key
+from repro.config import CompilerFlags
+from repro.pipeline import compile_program
+from repro.server.diskcache import FORMAT_VERSION, DiskCompileCache, _filename
+
+SOURCE = "fun sq x = x * x\nval it = sq 12"
+
+
+def _compiled():
+    return compile_program(SOURCE, cache=False)
+
+
+class TestRoundTrip:
+    def test_put_get_same_instance(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        cache.put(key, _compiled())
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.run().value == 144
+        assert cache.snapshot()["hits"] == 1
+        assert cache.snapshot()["stores"] == 1
+
+    def test_warm_restart_reads_previous_instance(self, tmp_path):
+        key = cache_key(SOURCE, CompilerFlags())
+        DiskCompileCache(tmp_path).put(key, _compiled())
+        # A fresh instance over the same directory = a server restart.
+        reborn = DiskCompileCache(tmp_path)
+        loaded = reborn.get(key)
+        assert loaded is not None and loaded.run().value == 144
+
+    def test_backend_slot_never_travels(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        program = _compiled()
+        program.run(backend="closure")  # builds the process-local closures
+        cache.put(key, program)
+        loaded = cache.get(key)
+        assert loaded._backend.code is None  # re-derived lazily
+        assert loaded.run(backend="closure").value == 144
+
+    def test_run_stats_bit_identical_after_disk_round_trip(self, tmp_path):
+        # Regression: DropRegionsReport is keyed by id() of term nodes;
+        # a pickled program must re-derive it or GC counters drift
+        # (dropped_region_passes silently became 0 on disk hits).
+        source = (
+            "fun build n = if n = 0 then nil else n :: build (n - 1)\n"
+            "fun count xs = if xs = nil then 0 else 1 + count (tl xs)\n"
+            "val it = count (build 40)"
+        )
+        program = compile_program(source, cache=False)
+        fresh = program.run(backend="tree").stats.to_dict()
+        assert fresh["dropped_region_passes"] > 0  # the program must exercise dropping
+        cache = DiskCompileCache(tmp_path)
+        key = cache_key(source, CompilerFlags())
+        cache.put(key, program)
+        loaded = DiskCompileCache(tmp_path).get(key)
+        assert loaded.run(backend="tree").stats.to_dict() == fresh
+        assert loaded.run(backend="closure").stats.to_dict() == fresh
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        assert cache.get(("nope",)) is None
+        assert cache.snapshot()["misses"] == 1
+
+
+class TestDegradation:
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        cache.put(key, _compiled())
+        (tmp_path / _filename(key)).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        snap = cache.snapshot()
+        assert snap["errors"] == 1 and snap["misses"] == 1
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        blob = pickle.dumps((FORMAT_VERSION + 1, _compiled()))
+        (tmp_path / _filename(key)).write_bytes(blob)
+        assert cache.get(key) is None
+
+    def test_no_temp_droppings_after_put(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        cache.put(cache_key(SOURCE, CompilerFlags()), _compiled())
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(cache) == 1
+
+    def test_distinct_flags_distinct_entries(self, tmp_path):
+        from repro.config import Strategy
+
+        cache = DiskCompileCache(tmp_path)
+        cache.put(cache_key(SOURCE, CompilerFlags()), _compiled())
+        other = CompilerFlags(strategy=Strategy.TRIVIAL)
+        assert cache.get(cache_key(SOURCE, other)) is None

@@ -1,0 +1,70 @@
+"""The acceptance-criteria golden test: all 23 Figure 9 programs,
+submitted concurrently to a 4-worker server, come back with values,
+stdout, and RunStats bit-identical to sequential in-process runs —
+under both the tree-walking and closure-compiled backends.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.bench.registry import BENCHMARKS, benchmark_source
+from repro.pipeline import compile_program
+from repro.runtime.values import show_value
+from repro.server import ReproServer, ServerClient, ServerConfig
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def client(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("golden-cache")
+    with ReproServer(ServerConfig(port=0, workers=4, queue_capacity=64,
+                                  cache_dir=str(cache_dir),
+                                  job_timeout_seconds=300.0)) as srv:
+        host, port = srv.start()
+        c = ServerClient(f"http://{host}:{port}", timeout=600)
+        c.wait_ready()
+        yield c
+
+
+def _sequential_reference(backend):
+    reference = {}
+    for name in sorted(BENCHMARKS):
+        result = compile_program(benchmark_source(name)).run(backend=backend)
+        reference[name] = {
+            "value": show_value(result.value),
+            "stdout": result.output,
+            "stats": result.stats.to_dict(),
+        }
+    return reference
+
+
+@pytest.mark.parametrize("backend", ["closure", "tree"])
+def test_figure9_concurrent_matches_sequential(client, backend):
+    reference = _sequential_reference(backend)
+    with concurrent.futures.ThreadPoolExecutor(8) as pool:
+        futures = {
+            name: pool.submit(client.run, benchmark_source(name), backend=backend)
+            for name in sorted(BENCHMARKS)
+        }
+        responses = {name: f.result() for name, f in futures.items()}
+    mismatches = []
+    for name, resp in responses.items():
+        if resp["status"] != "ok":
+            mismatches.append((name, "status", resp.get("error")))
+            continue
+        for field in ("value", "stdout", "stats"):
+            if resp[field] != reference[name][field]:
+                mismatches.append((name, field, resp[field], reference[name][field]))
+    assert not mismatches, mismatches
+
+
+def test_second_wave_hits_the_cache(client):
+    # Both parametrized waves above already compiled every program; one
+    # more submission must be served from a warm cache layer.
+    resp = client.run(benchmark_source("ratio"))
+    assert resp["status"] == "ok"
+    assert resp["cache"]["memory_hit"] or resp["cache"]["disk_hit"]
+    cache = client.stats()["metrics"]["cache"]
+    assert cache["hit_rate"] > 0

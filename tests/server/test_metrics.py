@@ -1,0 +1,73 @@
+"""Fleet metrics registry: outcome counters, cache hit rate, RunStats
+aggregation semantics (sums vs high-water maxima), histograms."""
+
+from repro.runtime.stats import RunStats
+from repro.server.metrics import Histogram, MetricsRegistry
+from repro.server.protocol import make_response
+
+
+def _ok_response(steps=10, peak=100, gc=1, memory_hit=False, disk_hit=False):
+    stats = RunStats(steps=steps, peak_words=peak, gc_count=gc).to_dict()
+    return make_response(
+        "ok", value="1", stdout="", stats=stats,
+        cache={"memory_hit": memory_hit, "disk_hit": disk_hit},
+    )
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_lower_or_equal(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.to_dict()["buckets"] == {"1.0": 2, "10.0": 1, "+inf": 1}
+        assert h.to_dict()["count"] == 4
+        assert h.to_dict()["max"] == 100.0
+
+
+class TestRegistry:
+    def test_jobs_by_outcome(self):
+        reg = MetricsRegistry()
+        reg.record_response(_ok_response(), wall_seconds=0.1)
+        reg.record_response(make_response("error", error={"type": "X", "message": ""}))
+        reg.record_response(make_response("limit", error={"type": "Y", "message": ""}))
+        reg.record_rejection()
+        snap = reg.snapshot()
+        assert snap["jobs"] == {"error": 1, "limit": 1, "ok": 1, "rejected": 1}
+
+    def test_run_stats_sum_counters_max_peaks(self):
+        reg = MetricsRegistry()
+        reg.record_response(_ok_response(steps=10, peak=500, gc=2))
+        reg.record_response(_ok_response(steps=32, peak=200, gc=1))
+        snap = reg.snapshot()
+        assert snap["run_stats"]["steps"] == 42
+        assert snap["run_stats"]["peak_words"] == 500  # max, not sum
+        assert snap["run_stats"]["gc_count"] == 3
+        assert snap["gc_count"] == 3
+        assert snap["heap_high_water_words"] == 500
+        assert snap["runs_aggregated"] == 2
+
+    def test_cache_hit_rate(self):
+        reg = MetricsRegistry()
+        reg.record_response(_ok_response())  # cold
+        reg.record_response(_ok_response(memory_hit=True))
+        reg.record_response(_ok_response(disk_hit=True))
+        reg.record_response(_ok_response(memory_hit=True))
+        cache = reg.snapshot()["cache"]
+        assert cache["lookups"] == 4
+        assert cache["memory_hits"] == 2
+        assert cache["disk_hits"] == 1
+        assert cache["hit_rate"] == 0.75
+
+    def test_partial_stats_on_limit_still_aggregate(self):
+        reg = MetricsRegistry()
+        partial = RunStats(steps=7, peak_words=9).to_dict()
+        reg.record_response(make_response(
+            "limit", error={"type": "HeapLimitError", "message": ""}, stats=partial,
+        ))
+        assert reg.snapshot()["run_stats"]["steps"] == 7
+
+    def test_latency_histogram_counts_only_measured_jobs(self):
+        reg = MetricsRegistry()
+        reg.record_response(_ok_response(), wall_seconds=0.2)
+        reg.record_response(_ok_response())  # no wall: not observed
+        assert reg.snapshot()["latency_seconds"]["count"] == 1

@@ -1,0 +1,122 @@
+"""Worker-pool tests: unordered map semantics, error capture, and — the
+whole point of the design — a worker that hard-crashes or hangs is
+reaped and respawned without losing any other job.
+
+The job functions are module-level because the pool's default ``spawn``
+context pickles them by reference into fresh interpreter processes.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.server.pool import WorkerError, WorkerPool, run_jobs
+
+
+def double(n):
+    return n * 2
+
+
+def crash_or_double(n):
+    """A hard crash — not an exception: the process dies mid-job."""
+    if n == "die":
+        os._exit(3)
+    return n * 2
+
+
+def sleep_or_double(n):
+    if n == "hang":
+        time.sleep(60)
+    return n * 2
+
+
+def raise_on_odd(n):
+    if n % 2:
+        raise ValueError(f"odd {n}")
+    return n * 2
+
+
+class TestMap:
+    def test_map_unordered_covers_all_payloads(self):
+        with WorkerPool(double, size=2) as pool:
+            results = sorted(pool.map_unordered(range(8)))
+        assert results == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_run_jobs_convenience(self):
+        assert sorted(run_jobs(double, [1, 2, 3], jobs=2)) == [2, 4, 6]
+
+    def test_strict_map_raises_worker_error(self):
+        with WorkerPool(raise_on_odd, size=2) as pool:
+            with pytest.raises(WorkerError) as excinfo:
+                list(pool.map_unordered([2, 3]))
+        assert excinfo.value.result.error["type"] == "ValueError"
+
+    def test_lenient_map_yields_failures_as_results(self):
+        with WorkerPool(raise_on_odd, size=1) as pool:
+            outcomes = list(pool.map_unordered([1, 2], strict=False))
+        statuses = sorted(
+            o.status if hasattr(o, "status") else "value" for o in outcomes
+        )
+        assert statuses == ["error", "value"]
+
+
+class TestFailureContainment:
+    def test_job_exception_is_data_not_pool_death(self):
+        with WorkerPool(raise_on_odd, size=1) as pool:
+            bad = pool.submit(3).result(30)
+            good = pool.submit(4).result(30)
+        assert bad.status == "error" and bad.error["type"] == "ValueError"
+        assert good.status == "ok" and good.value == 8
+
+    def test_hard_crash_is_reaped_and_respawned(self):
+        with WorkerPool(crash_or_double, size=2) as pool:
+            handles = [pool.submit(p) for p in [1, "die", 2, 3]]
+            results = [h.result(60) for h in handles]
+            crashed = [r for r in results if r.status == "crashed"]
+            ok = sorted(r.value for r in results if r.ok)
+            assert len(crashed) == 1
+            assert crashed[0].error["type"] == "WorkerCrash"
+            assert ok == [2, 4, 6]
+            # The pool keeps serving after the respawn.
+            assert pool.submit(10).result(60).value == 20
+            assert pool.stats()["crashes"] == 1
+            assert pool.stats()["respawns"] >= 1
+
+    def test_hung_worker_is_killed_on_timeout(self):
+        with WorkerPool(sleep_or_double, size=1, job_timeout=1.0) as pool:
+            hung = pool.submit("hang").result(60)
+            assert hung.status == "timeout"
+            assert hung.error["type"] == "JobTimeout"
+            # The respawned worker serves the next job.
+            assert pool.submit(5).result(60).value == 10
+            assert pool.stats()["timeouts"] == 1
+
+    def test_per_job_timeout_overrides_pool_default(self):
+        with WorkerPool(sleep_or_double, size=1, job_timeout=None) as pool:
+            hung = pool.submit("hang", timeout=0.5).result(60)
+            assert hung.status == "timeout"
+
+
+class TestLifecycle:
+    def test_submit_after_close_is_refused(self):
+        pool = WorkerPool(double, size=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(1)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(double, size=1)
+        pool.close()
+        pool.close()
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(double, size=0)
+
+    def test_on_start_callback_fires(self):
+        fired = []
+        with WorkerPool(double, size=1) as pool:
+            handle = pool.submit(21, on_start=lambda: fired.append(True))
+            assert handle.result(30).value == 42
+        assert fired == [True]

@@ -1,0 +1,136 @@
+"""Wire-protocol unit tests: request validation, flag/runtime decoding,
+response construction, exit-status semantics."""
+
+import json
+
+import pytest
+
+from repro.config import CompilerFlags, SpuriousMode, Strategy
+from repro.server import protocol
+from repro.testing.faultplan import FaultPlan
+
+
+def _roundtrip(obj):
+    """Force the dict through actual JSON, as the transport does."""
+    return json.loads(json.dumps(obj))
+
+
+class TestRequests:
+    def test_make_request_defaults(self):
+        req = protocol.make_request("val it = 1")
+        assert req["schema"] == protocol.PROTOCOL
+        assert req["backend"] == "closure"
+        assert req["cache"] is True
+        assert req["runtime"]["fault_plan"] is None
+        assert protocol.validate_request(_roundtrip(req)) is None
+
+    def test_flags_travel(self):
+        flags = CompilerFlags(
+            strategy=Strategy.RG_MINUS,
+            spurious_mode=SpuriousMode.IDENTIFY,
+            verify=False,
+            with_prelude=False,
+        )
+        req = _roundtrip(protocol.make_request("val it = 1", flags=flags))
+        decoded = protocol.request_flags(req)
+        assert decoded.strategy is Strategy.RG_MINUS
+        assert decoded.spurious_mode is SpuriousMode.IDENTIFY
+        assert decoded.verify is False
+        assert decoded.with_prelude is False
+
+    def test_fault_plan_and_limits_travel(self):
+        plan = FaultPlan(every=2, dealloc_every=3, kind="random", seed=7)
+        req = _roundtrip(
+            protocol.make_request(
+                "val it = 1",
+                fault_plan=plan,
+                max_heap_words=4096,
+                deadline_seconds=1.5,
+                gc_every_alloc=True,
+                generational=True,
+            )
+        )
+        assert protocol.validate_request(req) is None
+        overrides = protocol.request_runtime_overrides(req)
+        assert overrides["fault_plan"] == plan
+        assert overrides["max_heap_words"] == 4096
+        assert overrides["deadline_seconds"] == 1.5
+        assert overrides["gc_every_alloc"] is True
+        assert overrides["generational"] is True
+
+    def test_no_overrides_for_default_runtime(self):
+        req = protocol.make_request("val it = 1")
+        assert protocol.request_runtime_overrides(req) == {}
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert "expected object" in protocol.validate_request([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        req = protocol.make_request("val it = 1")
+        req["schema"] = "repro-server/v99"
+        assert "schema" in protocol.validate_request(req)
+
+    def test_rejects_missing_source(self):
+        req = protocol.make_request("val it = 1")
+        del req["source"]
+        assert "source" in protocol.validate_request(req)
+
+    def test_rejects_unknown_top_level_field(self):
+        req = protocol.make_request("val it = 1")
+        req["max_heap_words"] = 10  # limits live under runtime; a typo'd
+        # location must not silently bypass the limit
+        assert "unknown request fields" in protocol.validate_request(req)
+
+    def test_rejects_unknown_runtime_field(self):
+        req = protocol.make_request("val it = 1")
+        req["runtime"]["max_heap_wordz"] = 10
+        assert "unknown runtime fields" in protocol.validate_request(req)
+
+    def test_rejects_bad_limits(self):
+        req = protocol.make_request("val it = 1")
+        req["runtime"]["max_heap_words"] = -5
+        assert "max_heap_words" in protocol.validate_request(req)
+        req = protocol.make_request("val it = 1")
+        req["runtime"]["deadline_seconds"] = 0
+        assert "deadline_seconds" in protocol.validate_request(req)
+
+    def test_rejects_bad_backend_and_strategy(self):
+        req = protocol.make_request("val it = 1")
+        req["backend"] = "jit"
+        assert "backend" in protocol.validate_request(req)
+        req = protocol.make_request("val it = 1")
+        req["flags"]["strategy"] = "warp"
+        assert protocol.validate_request(req) is not None
+
+    def test_unknown_flags_keys_are_forward_compatible(self):
+        req = protocol.make_request("val it = 1")
+        req["flags"]["future_knob"] = True
+        assert protocol.validate_request(req) is None
+
+
+class TestResponses:
+    def test_exit_status_mirrors_repro_run(self):
+        assert protocol.EXIT_FOR_STATUS["ok"] == 0
+        assert protocol.EXIT_FOR_STATUS["error"] == 1
+        assert protocol.EXIT_FOR_STATUS["crashed"] == 1
+        assert protocol.EXIT_FOR_STATUS["limit"] == 2
+        assert protocol.EXIT_FOR_STATUS["timeout"] == 2
+
+    def test_make_response_rejects_unknown_status(self):
+        with pytest.raises(ValueError):
+            protocol.make_response("mystery")
+
+    def test_rejection_shape(self):
+        resp = protocol.rejection_response(2.5, depth=32, capacity=32)
+        assert resp["status"] == "rejected"
+        assert resp["exit_status"] == 75
+        assert resp["retry_after"] == 2.5
+        assert resp["error"]["type"] == "QueueFull"
+
+    def test_invalid_shape(self):
+        resp = protocol.invalid_response("nope")
+        assert resp["status"] == "invalid"
+        assert resp["exit_status"] == 64
+        assert resp["error"]["message"] == "nope"

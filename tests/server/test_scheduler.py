@@ -1,0 +1,64 @@
+"""Admission control: the bounded FIFO rejects at capacity with a
+retry-after hint, and the bookkeeping (queue depth, in-flight, EWMA)
+tracks the pool."""
+
+import time
+
+from repro.server.pool import WorkerPool
+from repro.server.scheduler import Rejection, Scheduler
+
+
+def napper(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestAdmission:
+    def test_rejects_past_capacity_with_retry_after(self):
+        with WorkerPool(napper, size=1) as pool:
+            sched = Scheduler(pool, capacity=2)
+            first = sched.submit(0.5)
+            second = sched.submit(0.5)
+            assert not isinstance(first, Rejection)
+            assert not isinstance(second, Rejection)
+            third = sched.submit(0.0)
+            assert isinstance(third, Rejection)
+            assert third.retry_after > 0
+            assert third.depth == 2 and third.capacity == 2
+            assert sched.snapshot()["rejected"] == 1
+            # Draining the backlog reopens admission.
+            r1, r2 = first.result(30), second.result(30)
+            sched.finish(r1, 0.5)
+            sched.finish(r2, 0.5)
+            fourth = sched.submit(0.0)
+            assert not isinstance(fourth, Rejection)
+            sched.finish(fourth.result(30), 0.01)
+
+    def test_queue_depth_counts_admitted_not_started(self):
+        with WorkerPool(napper, size=1) as pool:
+            sched = Scheduler(pool, capacity=4)
+            handles = [sched.submit(0.3) for _ in range(3)]
+            assert all(not isinstance(h, Rejection) for h in handles)
+            assert sched.in_flight == 3
+            # One is running (picked up), two still queued; allow a
+            # moment for the manager to pick the first one up.
+            time.sleep(0.15)
+            assert sched.queue_depth <= 2
+            for h in handles:
+                sched.finish(h.result(30), 0.3)
+            assert sched.in_flight == 0
+            assert sched.queue_depth == 0
+
+    def test_ewma_tracks_service_time(self):
+        with WorkerPool(napper, size=1) as pool:
+            sched = Scheduler(pool, capacity=4, initial_service_seconds=1.0)
+            handle = sched.submit(0.0)
+            sched.finish(handle.result(30), 0.1)
+            assert sched.snapshot()["ewma_service_seconds"] < 1.0
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with WorkerPool(napper, size=1) as pool:
+            with pytest.raises(ValueError):
+                Scheduler(pool, capacity=0)

@@ -1,0 +1,179 @@
+"""End-to-end service tests over real HTTP: concurrent submissions are
+bit-identical to sequential runs, backpressure rejects with retry-after,
+the watchdog reaps hung jobs, and a warm restart serves from the
+on-disk compile cache (visible in the stats endpoint).
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.bench.registry import benchmark_source
+from repro.pipeline import compile_program
+from repro.runtime.values import show_value
+from repro.server import ReproServer, ServerClient, ServerConfig
+
+#: Small, fast Figure 9 programs for the in-suite equivalence check (the
+#: full 23-program golden matrix lives in test_golden.py / CI).
+FAST_PROGRAMS = ("ratio", "msort", "fft", "msort_rf")
+
+FIB = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval it = fib 15"
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("compile-cache")
+    with ReproServer(ServerConfig(port=0, workers=2, queue_capacity=16,
+                                  cache_dir=str(cache_dir),
+                                  job_timeout_seconds=60.0)) as srv:
+        host, port = srv.start()
+        client = ServerClient(f"http://{host}:{port}")
+        client.wait_ready()
+        yield srv, client, str(cache_dir)
+
+
+class TestEquivalence:
+    def test_concurrent_submissions_match_sequential_runs(self, server):
+        _, client, _ = server
+        sources = {name: benchmark_source(name) for name in FAST_PROGRAMS}
+        expected = {}
+        for name, source in sources.items():
+            result = compile_program(source).run()
+            expected[name] = (
+                show_value(result.value), result.output, result.stats.to_dict()
+            )
+        with concurrent.futures.ThreadPoolExecutor(len(sources)) as pool:
+            futures = {
+                name: pool.submit(client.run, source)
+                for name, source in sources.items()
+            }
+            responses = {name: f.result() for name, f in futures.items()}
+        for name, resp in responses.items():
+            value, stdout, stats = expected[name]
+            assert resp["status"] == "ok", (name, resp.get("error"))
+            assert resp["value"] == value, name
+            assert resp["stdout"] == stdout, name
+            assert resp["stats"] == stats, name
+
+    def test_tree_backend_equivalent_over_the_wire(self, server):
+        _, client, _ = server
+        closure = client.run(FIB, backend="closure")
+        tree = client.run(FIB, backend="tree")
+        assert closure["status"] == tree["status"] == "ok"
+        assert closure["value"] == tree["value"]
+        assert closure["stats"] == tree["stats"]
+
+
+class TestTransport:
+    def test_healthz(self, server):
+        _, client, _ = server
+        assert client.health()["ok"] is True
+
+    def test_malformed_request_is_http_400(self, server):
+        _, client, _ = server
+        resp = client.submit({"schema": "wrong"})
+        assert resp["status"] == "invalid"
+        assert resp["exit_status"] == 64
+
+    def test_unknown_endpoint_404(self, server):
+        _, client, _ = server
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(client.base_url + "/v1/nope", timeout=10)
+
+    def test_job_error_is_http_200_with_structured_status(self, server):
+        _, client, _ = server
+        resp = client.run("val it = ")
+        assert resp["status"] == "error"
+        assert resp["error"]["type"] == "ParseError"
+        assert resp["exit_status"] == 1
+
+    def test_stats_endpoint_aggregates(self, server):
+        _, client, _ = server
+        client.run(FIB)
+        snap = client.stats()
+        assert snap["metrics"]["jobs"].get("ok", 0) >= 1
+        assert snap["metrics"]["run_stats"]["steps"] > 0
+        assert snap["pool"]["workers"] == 2
+        assert snap["scheduler"]["capacity"] == 16
+        assert snap["uptime_seconds"] > 0
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self):
+        # A dedicated tiny server: 1 worker, capacity 1, and a blocker
+        # that deterministically holds the only slot for its deadline.
+        import time
+
+        slow = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval it = fib 30"
+        with ReproServer(ServerConfig(port=0, workers=1, queue_capacity=1,
+                                      cache_dir=None)) as srv:
+            host, port = srv.start()
+            client = ServerClient(f"http://{host}:{port}")
+            client.wait_ready()
+            with concurrent.futures.ThreadPoolExecutor(2) as pool:
+                blocker = pool.submit(client.run, slow)
+                deadline = time.time() + 5
+                while time.time() < deadline:
+                    if client.stats()["scheduler"]["in_flight"] >= 1:
+                        break
+                    time.sleep(0.02)
+                else:
+                    raise AssertionError("blocker never occupied the slot")
+                rejected = client.run("val it = 1")
+                assert rejected["status"] == "rejected"
+                assert rejected["exit_status"] == 75
+                assert rejected["retry_after"] > 0
+                assert rejected["error"]["type"] == "QueueFull"
+                assert blocker.result()["status"] == "ok"
+            # The rejection is backpressure, not poison: afterwards the
+            # server accepts again.
+            assert client.run("val it = 1")["status"] == "ok"
+            assert client.stats()["metrics"]["jobs"]["rejected"] >= 1
+
+
+class TestWatchdog:
+    def test_hung_job_is_reaped_not_wedged(self):
+        # No request deadline, tiny server watchdog: the pool must kill
+        # the worker and keep serving.
+        slow = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval it = fib 32"
+        with ReproServer(ServerConfig(port=0, workers=1, queue_capacity=4,
+                                      cache_dir=None,
+                                      job_timeout_seconds=1.0)) as srv:
+            host, port = srv.start()
+            client = ServerClient(f"http://{host}:{port}")
+            client.wait_ready()
+            resp = client.run(slow)
+            assert resp["status"] == "timeout"
+            assert resp["exit_status"] == 2
+            follow_up = client.run("val it = 1 + 1")
+            assert follow_up["status"] == "ok" and follow_up["value"] == "2"
+            assert client.stats()["pool"]["timeouts"] == 1
+            assert client.stats()["pool"]["respawns"] >= 1
+
+
+class TestWarmRestart:
+    def test_disk_cache_survives_restart_and_shows_in_stats(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = ServerConfig(port=0, workers=1, cache_dir=cache_dir)
+        with ReproServer(config) as first:
+            host, port = first.start()
+            client = ServerClient(f"http://{host}:{port}")
+            client.wait_ready()
+            cold = client.run(FIB)
+            assert cold["status"] == "ok"
+            assert cold["cache"] == {"memory_hit": False, "disk_hit": False}
+        with ReproServer(config) as reborn:
+            host, port = reborn.start()
+            client = ServerClient(f"http://{host}:{port}")
+            client.wait_ready()
+            warm = client.run(FIB)
+            assert warm["status"] == "ok"
+            assert warm["cache"]["disk_hit"] is True
+            assert warm["value"] == cold["value"]
+            assert warm["stats"] == cold["stats"]
+            cache = client.stats()["metrics"]["cache"]
+            assert cache["disk_hits"] >= 1
+            assert cache["hit_rate"] > 0

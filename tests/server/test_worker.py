@@ -1,0 +1,177 @@
+"""The job executor, driven in-process (no pool): every failure mode
+maps to a structured response with ``repro-run`` exit semantics, the
+cache layering reports which level hit, and — the regression this PR
+pins — per-request limits are applied to cache-hit runs rather than
+baked into cached compilations.
+"""
+
+import pytest
+
+from repro.cache import default_cache
+from repro.server import worker
+from repro.server.protocol import make_request
+from repro.testing.faultplan import FaultPlan
+
+FIB = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval it = fib 15"
+
+#: The paper's Figure 1 program: sound under rg, dangles under rg- once
+#: a collection runs while the composed closure is live.
+FIGURE_1 = """
+fun work n = if n = 0 then nil else n :: work (n - 1)
+
+fun run () =
+  let val h : unit -> unit =
+        (op o) (let val x = "oh" ^ "no"
+                in (fn x => (), fn () => x)
+                end)
+      val _ = work 200
+  in h ()
+  end
+
+val it = run ()
+"""
+
+#: Allocates without bound: the heap limit must cut it off.
+HOG = "fun build n = (n, n) :: build (n + 1)\nval it = length (build 0)"
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path):
+    """Fresh memory LRU + a throwaway disk cache per test."""
+    default_cache().clear()
+    worker.init_worker(str(tmp_path / "disk"))
+    yield
+    worker.init_worker(None)
+    default_cache().clear()
+
+
+class TestHappyPath:
+    def test_ok_response_shape(self):
+        resp = worker.execute_job(make_request(FIB))
+        assert resp["status"] == "ok"
+        assert resp["exit_status"] == 0
+        assert resp["value"] == "610"
+        assert resp["stdout"] == ""
+        assert resp["stats"]["steps"] > 0
+        assert resp["timing"]["compile_seconds"] > 0
+        assert resp["cache"] == {"memory_hit": False, "disk_hit": False}
+
+    def test_stdout_travels(self):
+        resp = worker.execute_job(make_request('val _ = print "hello"\nval it = 1'))
+        assert resp["status"] == "ok"
+        assert resp["stdout"] == "hello"
+
+    def test_trace_events_on_request(self):
+        resp = worker.execute_job(make_request(FIB, trace=True))
+        kinds = {e["ev"] for e in resp["trace"]}
+        assert "run_begin" in kinds and "run_end" in kinds
+
+    def test_no_trace_by_default(self):
+        resp = worker.execute_job(make_request(FIB))
+        assert "trace" not in resp
+
+
+class TestCacheLayers:
+    def test_memory_then_disk_layering(self):
+        assert worker.execute_job(make_request(FIB))["cache"] == {
+            "memory_hit": False, "disk_hit": False,
+        }
+        # Same process: the LRU hits first.
+        assert worker.execute_job(make_request(FIB))["cache"]["memory_hit"] is True
+        # A "new worker process": fresh LRU, same disk dir.
+        default_cache().clear()
+        resp = worker.execute_job(make_request(FIB))
+        assert resp["cache"] == {"memory_hit": False, "disk_hit": True}
+        assert resp["value"] == "610"
+
+    def test_cache_false_bypasses_both_layers(self):
+        worker.execute_job(make_request(FIB))
+        resp = worker.execute_job(make_request(FIB, cache=False))
+        assert resp["cache"] == {"memory_hit": False, "disk_hit": False}
+
+    def test_results_identical_across_cache_layers(self):
+        cold = worker.execute_job(make_request(FIB))
+        warm = worker.execute_job(make_request(FIB))
+        default_cache().clear()
+        disk = worker.execute_job(make_request(FIB))
+        for resp in (warm, disk):
+            assert resp["value"] == cold["value"]
+            assert resp["stdout"] == cold["stdout"]
+            assert resp["stats"] == cold["stats"]
+
+
+class TestStructuredFailures:
+    def test_parse_error_exit_1(self):
+        resp = worker.execute_job(make_request("val it = "))
+        assert resp["status"] == "error" and resp["exit_status"] == 1
+        assert resp["error"]["type"] == "ParseError"
+
+    def test_fault_plan_driven_dangle_is_structured(self):
+        # The satellite regression: an rg- program whose injected GC
+        # schedule crashes the collector must come back as a response,
+        # not wedge anything.
+        from repro.config import CompilerFlags, Strategy
+
+        resp = worker.execute_job(make_request(
+            FIGURE_1,
+            flags=CompilerFlags(strategy=Strategy.RG_MINUS),
+            fault_plan=FaultPlan.every_nth(1),
+        ))
+        assert resp["status"] == "error"
+        assert resp["exit_status"] == 1
+        assert resp["error"]["type"] == "DanglingPointerError"
+
+    def test_heap_limit_exit_2_with_partial_stats(self):
+        resp = worker.execute_job(make_request(HOG, max_heap_words=2000))
+        assert resp["status"] == "limit" and resp["exit_status"] == 2
+        assert resp["error"]["type"] == "HeapLimitError"
+        assert resp["stats"]["allocations"] > 0  # partial stats travel
+
+    def test_recursion_overflow_maps_to_limit(self):
+        deep = "fun down n = if n = 0 then 0 else 1 + down (n - 1)\nval it = down 1000000"
+        resp = worker.execute_job(make_request(deep))
+        assert resp["status"] == "limit" and resp["exit_status"] == 2
+        assert resp["error"]["type"] == "InterpreterLimit"
+
+    def test_invalid_request_is_structured(self):
+        resp = worker.execute_job({"schema": "bogus"})
+        assert resp["status"] == "invalid" and resp["exit_status"] == 64
+
+
+class TestLimitsNeverBakedIntoCache:
+    """The satellite: ``max_heap_words``/``deadline_seconds`` are runtime
+    flags; a cached compilation (memory or disk) must honour the
+    *current* request's limits under the closure backend."""
+
+    def test_heap_limit_applies_on_memory_hit(self):
+        assert worker.execute_job(make_request(HOG, max_heap_words=100_000_000,
+                                               deadline_seconds=60.0))["status"] == "limit"
+        # ^ compiles and caches (the program itself never terminates, so
+        #   even a huge bound eventually fires — fine, it is cached now).
+        resp = worker.execute_job(make_request(HOG, max_heap_words=2000))
+        assert resp["cache"]["memory_hit"] is True
+        assert resp["status"] == "limit"
+        assert resp["error"]["type"] == "HeapLimitError"
+        assert resp["stats"]["peak_words"] <= 4000  # the *small* bound won
+
+    def test_limits_apply_on_disk_hit_and_relax_again(self):
+        worker.execute_job(make_request(FIB))  # populate both layers
+        default_cache().clear()  # simulate a fresh worker: disk only
+        limited = worker.execute_job(make_request(FIB, max_heap_words=1))
+        assert limited["cache"]["disk_hit"] is True
+        assert limited["status"] == "limit"
+        # The cached compilation was not poisoned by the limit: the next
+        # (memory-hit) run without limits succeeds.
+        relaxed = worker.execute_job(make_request(FIB))
+        assert relaxed["cache"]["memory_hit"] is True
+        assert relaxed["status"] == "ok" and relaxed["value"] == "610"
+
+    def test_deadline_applies_on_cache_hit(self):
+        worker.execute_job(make_request(FIB))
+        resp = worker.execute_job(make_request(HOG, deadline_seconds=0.05))
+        assert resp["status"] == "limit"
+        assert resp["error"]["type"] in ("DeadlineExceeded", "HeapLimitError",
+                                         "InterpreterLimit")
+        # And an explicitly cached-hit deadline run:
+        hit = worker.execute_job(make_request(FIB, deadline_seconds=30.0))
+        assert hit["cache"]["memory_hit"] is True and hit["status"] == "ok"

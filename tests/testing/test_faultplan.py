@@ -111,3 +111,22 @@ class TestPersistence:
 
     def test_plans_are_hashable_for_flag_embedding(self):
         assert len({GC_EVERY_ALLOC, FaultPlan.every_nth(1), FaultPlan()}) == 2
+
+    def test_json_round_trip(self):
+        import json
+
+        plan = FaultPlan(every=4, at=(2, 8), dealloc_at=(1,), seed=11, kind="minor")
+        wire = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(wire) == plan
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = FaultPlan(every=2).to_dict()
+        data["from_a_newer_schema"] = True
+        assert FaultPlan.from_dict(data) == FaultPlan(every=2)
+
+    def test_from_dict_restores_tuple_indices_from_json_lists(self):
+        # JSON has no tuples: `at` arrives as a list and must come back
+        # hashable (plans embed into CompilerFlags).
+        plan = FaultPlan.from_dict({"at": [3, 1], "dealloc_at": [7]})
+        assert plan.at == (3, 1) and plan.dealloc_at == (7,)
+        hash(plan)
