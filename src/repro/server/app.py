@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import threading
@@ -104,7 +105,8 @@ class ReproServer:
         timeout = self.config.job_timeout_seconds
         runtime = request.get("runtime") or {}
         deadline = runtime.get("deadline_seconds") if isinstance(runtime, dict) else None
-        if isinstance(deadline, (int, float)) and deadline > 0:
+        if (isinstance(deadline, (int, float)) and not isinstance(deadline, bool)
+                and deadline > 0):
             timeout = float(deadline) + DEADLINE_GRACE_SECONDS
 
         start = time.perf_counter()
@@ -219,6 +221,21 @@ class ReproServer:
         self.close()
 
 
+def _default_cache_name() -> str:
+    """Per-user cache directory name under the shared system temp dir.
+    A fixed name would let any other local user pre-create the path and
+    plant pickles the workers would unpickle; the uid suffix plus the
+    ownership check in :class:`~repro.server.diskcache.DiskCompileCache`
+    closes that off."""
+    try:
+        owner = str(os.getuid())
+    except AttributeError:  # pragma: no cover - non-POSIX
+        import getpass
+
+        owner = getpass.getuser()
+    return f"repro-compile-cache-{owner}"
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -249,7 +266,7 @@ def main(argv: Optional[list] = None) -> int:
     elif args.cache_dir is not None:
         cache_dir = args.cache_dir
     else:
-        cache_dir = str(Path(tempfile.gettempdir()) / "repro-compile-cache")
+        cache_dir = str(Path(tempfile.gettempdir()) / _default_cache_name())
 
     server = ReproServer(ServerConfig(
         host=args.host,

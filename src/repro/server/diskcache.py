@@ -19,6 +19,15 @@ affecting correctness.  The pickled payload carries only the
 compilation; runtime flags, per-request limits, and the closure backend
 (process-local by construction, see ``_BackendSlot.__reduce__``) are
 never baked in.
+
+Trust model: entries are pickles, and unpickling attacker-controlled
+bytes executes arbitrary code, so the cache only ever reads from a
+directory the current user owns and no one else can write.  The
+constructor creates the directory ``0o700`` and *refuses* (raising
+:class:`CacheDirectoryError`) a pre-existing directory owned by another
+uid or writable by group/other — e.g. one planted by another local user
+under the shared temp dir.  Callers that can run without a disk cache
+(the worker initializer) catch that and degrade to memory-only.
 """
 
 from __future__ import annotations
@@ -34,11 +43,38 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..pipeline import CompiledProgram
 
-__all__ = ["DiskCompileCache", "FORMAT_VERSION"]
+__all__ = ["CacheDirectoryError", "DiskCompileCache", "FORMAT_VERSION"]
 
 #: Bump when the pickled payload layout changes; old entries then read
 #: as misses instead of unpickling garbage.
 FORMAT_VERSION = 1
+
+
+class CacheDirectoryError(OSError):
+    """The cache directory cannot be trusted (foreign owner, or writable
+    by group/other): reading pickles from it would let another local
+    user execute code in this process."""
+
+
+def _check_private(path: Path) -> None:
+    """Refuse a directory whose pickles another local user could have
+    planted.  On platforms without POSIX uids/modes there is nothing
+    meaningful to check."""
+    getuid = getattr(os, "getuid", None)
+    if getuid is None:  # pragma: no cover - non-POSIX
+        return
+    st = os.stat(path)
+    if st.st_uid != getuid():
+        raise CacheDirectoryError(
+            f"compile cache dir {path} is owned by uid {st.st_uid}, not "
+            f"uid {getuid()}; refusing to unpickle from it"
+        )
+    if st.st_mode & 0o022:
+        raise CacheDirectoryError(
+            f"compile cache dir {path} is writable by group/other "
+            f"(mode {st.st_mode & 0o777:03o}); existing entries cannot "
+            f"be trusted — chmod it 0700 or pick a private directory"
+        )
 
 
 def _filename(key: tuple) -> str:
@@ -54,7 +90,8 @@ class DiskCompileCache:
 
     def __init__(self, root: os.PathLike | str) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.root.mkdir(mode=0o700, parents=True, exist_ok=True)
+        _check_private(self.root)
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0

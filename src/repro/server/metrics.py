@@ -90,6 +90,9 @@ class MetricsRegistry:
             if wall_seconds is not None:
                 self.latency.observe(wall_seconds)
             cache = response.get("cache")
+            # The worker omits the cache field entirely when the request
+            # bypassed the caches (cache:false), so every counted lookup
+            # is one that actually happened.
             if cache is not None:
                 self.cache_lookups += 1
                 if cache.get("memory_hit"):

@@ -152,7 +152,17 @@ def _worker_main(conn, fn, initializer, initargs) -> None:
         except BaseException as exc:  # noqa: BLE001 - errors are data here
             conn.send((job_id, ERROR, {"type": type(exc).__name__, "message": str(exc)}))
         else:
-            conn.send((job_id, OK, value))
+            try:
+                conn.send((job_id, OK, value))
+            except (BrokenPipeError, OSError):
+                return
+            except Exception as exc:  # noqa: BLE001 - unpicklable result:
+                # report it as a job error instead of dying (pickling
+                # happens before any bytes hit the pipe, so a clean
+                # follow-up send is safe).
+                conn.send((job_id, ERROR,
+                           {"type": type(exc).__name__,
+                            "message": f"job result is not picklable: {exc}"}))
 
 
 class WorkerPool:
@@ -286,15 +296,14 @@ class WorkerPool:
 
     def stats(self) -> dict:
         with self._lock:
-            busy = self._busy
-        return {
-            "workers": self.size,
-            "busy": busy,
-            "completed": self.completed,
-            "crashes": self.crashes,
-            "timeouts": self.timeouts,
-            "respawns": self.respawns,
-        }
+            return {
+                "workers": self.size,
+                "busy": self._busy,
+                "completed": self.completed,
+                "crashes": self.crashes,
+                "timeouts": self.timeouts,
+                "respawns": self.respawns,
+            }
 
     # -- the manager thread --------------------------------------------------
 
@@ -307,6 +316,15 @@ class WorkerPool:
                 self._busy += 1
             try:
                 result = self._run_one(slot, handle)
+            except Exception as exc:  # noqa: BLE001 - the manager must
+                # outlive anything _run_one throws (a failed respawn, an
+                # unforeseen pipe state): an unresolved handle blocks its
+                # caller forever and a dead manager loses the slot.
+                result = JobResult(
+                    handle.job_id, ERROR,
+                    error={"type": type(exc).__name__,
+                           "message": f"pool manager failure: {exc}"},
+                )
             finally:
                 with self._lock:
                     self._busy -= 1
@@ -334,9 +352,15 @@ class WorkerPool:
                 return JobResult(handle.job_id, CRASHED,
                                  error={"type": "WorkerCrash",
                                         "message": "worker unavailable"})
+            except Exception as exc:  # noqa: BLE001
+                return self._unsendable(handle, exc)
+        except Exception as exc:  # noqa: BLE001 - e.g. pickle.PicklingError:
+            # the payload, not the worker, is at fault — no respawn.
+            return self._unsendable(handle, exc)
         if not self._poll(worker, handle.timeout):
             self._respawn(slot, worker, count_crash=False, kill=True)
-            self.timeouts += 1
+            with self._lock:
+                self.timeouts += 1
             return JobResult(
                 handle.job_id, TIMEOUT,
                 error={"type": "JobTimeout",
@@ -356,6 +380,14 @@ class WorkerPool:
         if status == OK:
             return JobResult(job_id, OK, value=payload)
         return JobResult(job_id, ERROR, error=payload)
+
+    @staticmethod
+    def _unsendable(handle: JobHandle, exc: BaseException) -> JobResult:
+        return JobResult(
+            handle.job_id, ERROR,
+            error={"type": type(exc).__name__,
+                   "message": f"payload could not be sent to worker: {exc}"},
+        )
 
     @staticmethod
     def _poll(worker: _Worker, timeout: Optional[float]) -> bool:
@@ -379,9 +411,10 @@ class WorkerPool:
                 worker.conn.close()
             except OSError:  # pragma: no cover
                 pass
-        if count_crash:
-            self.crashes += 1
-        self.respawns += 1
+        with self._lock:
+            if count_crash:
+                self.crashes += 1
+            self.respawns += 1
         fresh = self._spawn()
         self._workers[slot] = fresh
         return fresh

@@ -33,6 +33,8 @@ Response shape (the same ``schema``)::
       "stats": {...},                   # RunStats.to_dict (partial on limit)
       "error": {"type": ..., "message": ...},   # non-ok only
       "cache": {"memory_hit": false, "disk_hit": false},
+                                        # omitted when no lookup happened
+                                        # (request had "cache": false)
       "timing": {"compile_seconds": ..., "run_seconds": ...},
       "trace": [...],                   # requested traces only
       "retry_after": 1.5                # rejected only (seconds)
@@ -146,12 +148,18 @@ def validate_request(request: object) -> Optional[str]:
     extra = set(runtime) - _RUNTIME_KEYS
     if extra:
         return f"unknown runtime fields {sorted(extra)}"
+    # bool is a subclass of int: without the explicit exclusion,
+    # max_heap_words=true would validate and become a 1-word heap limit.
     limit = runtime.get("max_heap_words")
-    if limit is not None and (not isinstance(limit, int) or limit < 1):
+    if limit is not None and (
+        isinstance(limit, bool) or not isinstance(limit, int) or limit < 1
+    ):
         return "max_heap_words must be a positive integer"
     deadline = runtime.get("deadline_seconds")
     if deadline is not None and (
-        not isinstance(deadline, (int, float)) or deadline <= 0
+        isinstance(deadline, bool)
+        or not isinstance(deadline, (int, float))
+        or deadline <= 0
     ):
         return "deadline_seconds must be a positive number"
     plan = runtime.get("fault_plan")

@@ -24,6 +24,7 @@ like ``repro-run`` flags.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Optional, Tuple
 
@@ -48,20 +49,39 @@ _DISK_CACHE: Optional[DiskCompileCache] = None
 
 def init_worker(disk_cache_dir: Optional[str] = None) -> None:
     """Pool initializer: attach the shared on-disk cache (or run
-    memory-only when the server disabled it)."""
+    memory-only when the server disabled it).
+
+    An unusable directory — most importantly one :class:`DiskCompileCache`
+    refuses to trust (foreign owner, group/other-writable) — degrades the
+    worker to memory-only instead of wedging it at init: a hostile
+    pre-planted directory must cost us the cache, not the service.
+    """
     global _DISK_CACHE
-    _DISK_CACHE = DiskCompileCache(disk_cache_dir) if disk_cache_dir else None
+    _DISK_CACHE = None
+    if disk_cache_dir:
+        try:
+            _DISK_CACHE = DiskCompileCache(disk_cache_dir)
+        except OSError as exc:
+            print(
+                f"repro-serve worker: disk cache disabled ({exc}); "
+                f"running memory-only",
+                file=sys.stderr,
+                flush=True,
+            )
 
 
 def compile_with_caches(
     source: str, flags: CompilerFlags, use_cache: bool = True
-) -> Tuple[CompiledProgram, dict]:
+) -> Tuple[CompiledProgram, Optional[dict]]:
     """Compile through memory -> disk -> pipeline, reporting which layer
     hit.  A disk hit is promoted into the memory LRU; a fresh compile is
-    written through to both layers."""
-    info = {"memory_hit": False, "disk_hit": False}
+    written through to both layers.  With ``use_cache=False`` no lookup
+    happens at all and the info dict is ``None`` — the response then
+    carries no ``cache`` field, so the metrics registry does not count a
+    lookup that never occurred (which would deflate the fleet hit rate)."""
     if not use_cache:
-        return compile_program(source, flags=flags, cache=False), info
+        return compile_program(source, flags=flags, cache=False), None
+    info = {"memory_hit": False, "disk_hit": False}
     memory = default_cache()
     key = cache_key(source, flags)
     if key in memory:
@@ -99,7 +119,9 @@ def execute_job(request: dict) -> dict:
 
         return invalid_response(problem)
 
-    cache_info = {"memory_hit": False, "disk_hit": False}
+    # None until a cache lookup actually happens: error paths before (or
+    # without) a lookup must not report one.
+    cache_info: Optional[dict] = None
     timing = {"compile_seconds": 0.0, "run_seconds": 0.0}
     try:
         flags = request_flags(request)

@@ -1,12 +1,22 @@
 """On-disk compile cache: cross-instance sharing (the warm-restart
-property), corruption tolerance, and format versioning."""
+property), corruption tolerance, format versioning, and the directory
+trust model (entries are pickles — never read ones another local user
+could have planted)."""
 
+import os
 import pickle
+
+import pytest
 
 from repro.cache import cache_key
 from repro.config import CompilerFlags
 from repro.pipeline import compile_program
-from repro.server.diskcache import FORMAT_VERSION, DiskCompileCache, _filename
+from repro.server.diskcache import (
+    FORMAT_VERSION,
+    CacheDirectoryError,
+    DiskCompileCache,
+    _filename,
+)
 
 SOURCE = "fun sq x = x * x\nval it = sq 12"
 
@@ -99,3 +109,40 @@ class TestDegradation:
         cache.put(cache_key(SOURCE, CompilerFlags()), _compiled())
         other = CompilerFlags(strategy=Strategy.TRIVIAL)
         assert cache.get(cache_key(SOURCE, other)) is None
+
+
+class TestDirectoryTrust:
+    """A pre-planted directory another user can write is a pickle-based
+    code-execution vector; the cache must refuse it outright."""
+
+    def test_fresh_directory_is_created_private(self, tmp_path):
+        root = tmp_path / "cache"
+        DiskCompileCache(root)
+        assert (os.stat(root).st_mode & 0o777) == 0o700
+
+    def test_world_writable_directory_is_refused(self, tmp_path):
+        root = tmp_path / "planted"
+        root.mkdir()
+        os.chmod(root, 0o777)
+        with pytest.raises(CacheDirectoryError):
+            DiskCompileCache(root)
+
+    def test_group_writable_directory_is_refused(self, tmp_path):
+        root = tmp_path / "shared"
+        root.mkdir()
+        os.chmod(root, 0o770)
+        with pytest.raises(CacheDirectoryError):
+            DiskCompileCache(root)
+
+    def test_worker_init_degrades_to_memory_only(self, tmp_path, capsys):
+        from repro.server import worker
+
+        root = tmp_path / "hostile"
+        root.mkdir()
+        os.chmod(root, 0o777)
+        try:
+            worker.init_worker(str(root))
+            assert worker._DISK_CACHE is None
+            assert "disk cache disabled" in capsys.readouterr().err
+        finally:
+            worker.init_worker(None)

@@ -58,6 +58,18 @@ class TestRegistry:
         assert cache["disk_hits"] == 1
         assert cache["hit_rate"] == 0.75
 
+    def test_cache_bypass_is_not_a_lookup(self):
+        # A cache:false job's response omits the cache field entirely;
+        # it must not dilute the fleet hit rate.
+        reg = MetricsRegistry()
+        reg.record_response(_ok_response(memory_hit=True))
+        bypass = make_response("ok", value="1", stdout="",
+                               stats=RunStats(steps=1).to_dict())
+        reg.record_response(bypass)
+        cache = reg.snapshot()["cache"]
+        assert cache["lookups"] == 1
+        assert cache["hit_rate"] == 1.0
+
     def test_partial_stats_on_limit_still_aggregate(self):
         reg = MetricsRegistry()
         partial = RunStats(steps=7, peak_words=9).to_dict()

@@ -37,6 +37,13 @@ def raise_on_odd(n):
     return n * 2
 
 
+def return_unpicklable(n):
+    """A result the worker cannot ship back over the pipe."""
+    if n == "bad":
+        return lambda: None
+    return n * 2
+
+
 class TestMap:
     def test_map_unordered_covers_all_payloads(self):
         with WorkerPool(double, size=2) as pool:
@@ -96,6 +103,28 @@ class TestFailureContainment:
         with WorkerPool(sleep_or_double, size=1, job_timeout=None) as pool:
             hung = pool.submit("hang", timeout=0.5).result(60)
             assert hung.status == "timeout"
+
+    def test_unpicklable_payload_resolves_instead_of_hanging(self):
+        # An unpicklable payload makes conn.send raise before any bytes
+        # hit the pipe; the manager must resolve the handle with a
+        # structured error (not die and strand the caller) and the slot
+        # must keep serving without a respawn of the healthy worker.
+        with WorkerPool(double, size=1) as pool:
+            bad = pool.submit(lambda: None).result(30)
+            assert bad.status == "error"
+            assert "could not be sent" in bad.error["message"]
+            assert pool.submit(21).result(30).value == 42
+            stats = pool.stats()
+            assert stats["respawns"] == 0 and stats["crashes"] == 0
+
+    def test_unpicklable_result_is_job_error_not_worker_death(self):
+        with WorkerPool(return_unpicklable, size=1) as pool:
+            bad = pool.submit("bad").result(30)
+            assert bad.status == "error"
+            assert "not picklable" in bad.error["message"]
+            # Same worker process, still alive and serving.
+            assert pool.submit(5).result(30).value == 10
+            assert pool.stats()["crashes"] == 0
 
 
 class TestLifecycle:

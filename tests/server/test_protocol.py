@@ -96,6 +96,16 @@ class TestValidation:
         req["runtime"]["deadline_seconds"] = 0
         assert "deadline_seconds" in protocol.validate_request(req)
 
+    def test_rejects_boolean_limits(self):
+        # bool subclasses int: true must not sneak through as a 1-word
+        # heap limit or a 1-second deadline.
+        req = protocol.make_request("val it = 1")
+        req["runtime"]["max_heap_words"] = True
+        assert "max_heap_words" in protocol.validate_request(req)
+        req = protocol.make_request("val it = 1")
+        req["runtime"]["deadline_seconds"] = True
+        assert "deadline_seconds" in protocol.validate_request(req)
+
     def test_rejects_bad_backend_and_strategy(self):
         req = protocol.make_request("val it = 1")
         req["backend"] = "jit"
