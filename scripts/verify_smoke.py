@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI verify-matrix smoke: the independent verifier and the sanitizer
+hold across the whole Figure 9 suite.
+
+Two checks:
+
+1. **Verifier matrix** — every benchmark, compiled under ``rg`` in both
+   spurious modes, must pass ``repro-verify`` (the independent
+   re-derivation of the paper's judgments); the same source compiled
+   under ``rg-`` must *agree with the Figure 4 checker* — rejected by
+   both or accepted by both — so the two static judges can never drift
+   apart silently.
+
+2. **Sanitizer transparency** — every benchmark runs with
+   ``sanitize=True`` on both backends and the observation (value,
+   stdout, RunStats, event trace) must be bit-identical to the
+   un-sanitized run.
+
+Exit codes: 0 ok, 1 check failed, 2 usage problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import verify_term  # noqa: E402
+from repro.bench.registry import BENCHMARKS, benchmark_source  # noqa: E402
+from repro.config import CompilerFlags, SpuriousMode, Strategy  # noqa: E402
+from repro.core.errors import ReproError  # noqa: E402
+from repro.pipeline import compile_program  # noqa: E402
+from repro.runtime.trace import EventBus, RecordingSink  # noqa: E402
+from repro.runtime.values import show_value  # noqa: E402
+
+
+def check_verifier(names: list[str]) -> list[str]:
+    problems: list[str] = []
+    for name in names:
+        source = benchmark_source(name)
+        for mode in SpuriousMode:
+            flags = CompilerFlags(strategy=Strategy.RG, spurious_mode=mode)
+            report = verify_term(compile_program(source, flags=flags).term)
+            if not report.ok:
+                problems.append(
+                    f"{name}/rg/{mode.value}: {report.summary()}"
+                )
+        minus = compile_program(source, strategy=Strategy.RG_MINUS)
+        verdict = verify_term(minus.term)
+        if verdict.ok != (minus.verification_error is None):
+            problems.append(
+                f"{name}/rg-: verifier ({'ok' if verdict.ok else verdict.rules}) "
+                f"disagrees with checker ({minus.verification_error})"
+            )
+    return problems
+
+
+def _observe(prog, backend: str, sanitize: bool):
+    sink = RecordingSink()
+    try:
+        result = prog.run(
+            backend=backend, sanitize=sanitize, tracer=EventBus(sink)
+        )
+    except ReproError as exc:
+        return ("exc", type(exc).__name__, str(exc)), sink.events
+    return (
+        "ok",
+        show_value(result.value),
+        result.output,
+        sorted(result.stats.to_dict().items()),
+    ), sink.events
+
+
+def check_sanitizer(names: list[str]) -> list[str]:
+    problems: list[str] = []
+    for name in names:
+        prog = compile_program(benchmark_source(name), strategy=Strategy.RG)
+        for backend in ("tree", "closure"):
+            plain, plain_ev = _observe(prog, backend, sanitize=False)
+            san, san_ev = _observe(prog, backend, sanitize=True)
+            if san != plain or san_ev != plain_ev:
+                problems.append(
+                    f"{name}/{backend}: sanitize changed the observation"
+                )
+            elif plain[0] != "ok":
+                problems.append(f"{name}/{backend}: golden run faulted {plain}")
+            elif plain[1] != BENCHMARKS[name].expected:
+                problems.append(
+                    f"{name}/{backend}: got {plain[1]!r}, "
+                    f"expected {BENCHMARKS[name].expected!r}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--programs",
+        default="all",
+        help="comma-separated benchmark names (default: all 23)",
+    )
+    args = parser.parse_args(argv)
+    if args.programs == "all":
+        names = sorted(BENCHMARKS)
+    else:
+        names = [n.strip() for n in args.programs.split(",") if n.strip()]
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+            return 2
+
+    problems = check_verifier(names)
+    print(f"verifier matrix: {len(names)} programs x 2 modes (+ rg- agreement)"
+          f" — {'OK' if not problems else 'FAIL'}")
+    san_problems = check_sanitizer(names)
+    print(f"sanitizer transparency: {len(names)} programs x 2 backends"
+          f" — {'OK' if not san_problems else 'FAIL'}")
+    for p in problems + san_problems:
+        print(f"  {p}", file=sys.stderr)
+    return 1 if problems or san_problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Independent GC-safety analysis: static verifier + report types.
+
+This package re-derives the paper's safety judgments over the pipeline's
+region-annotated output with code written independently of the inference
+and checking machinery it audits (see :mod:`repro.analysis.verifier` for
+the import discipline), and is the home of the ``repro-verify`` CLI.
+The companion *dynamic* oracle — the pointer sanitizer — lives in the
+runtime (``RuntimeFlags.sanitize``) since it must sit on the heap's
+read/write/scavenge paths.
+"""
+
+from .report import VerifierReport, Violation
+from .verifier import UNKNOWN, Verifier, verify_term
+
+__all__ = ["UNKNOWN", "VerifierReport", "Verifier", "Violation", "verify_term"]

@@ -1,0 +1,92 @@
+"""``repro-verify``: independently re-check a program's region annotation.
+
+Usage::
+
+    repro-verify program.mml [--strategy rg|rg-|r|trivial|ml]
+                             [--spurious-mode secondary|identify]
+                             [--no-prelude] [--no-cache] [--quiet]
+
+Compiles the program through the normal pipeline, then runs the
+:mod:`repro.analysis` verifier — a from-scratch re-derivation of the
+paper's judgments, sharing no checking code with region inference — over
+the annotated term.  Prints one line per violation with the violated
+rule name and the term path of the offending node.
+
+Exit codes: 0 when every judgment holds, 1 on violations *or* a compile
+error (for the unsound strategies ``rg-``/``r`` a violation is the
+expected outcome, and the exit code says so scriptably).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import CompilerFlags, SpuriousMode, Strategy
+from ..core.errors import ReproError
+from ..pipeline import compile_program
+from .verifier import verify_term
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-verify", description=__doc__)
+    parser.add_argument("file", help="MiniML source file (or - for stdin)")
+    parser.add_argument(
+        "--strategy",
+        default="rg",
+        choices=[s.value for s in Strategy],
+        help="compilation strategy whose output to verify (default: rg)",
+    )
+    parser.add_argument(
+        "--spurious-mode",
+        default="secondary",
+        choices=[m.value for m in SpuriousMode],
+        help="how inference handles spurious type variables "
+             "(default: secondary)",
+    )
+    parser.add_argument("--no-prelude", action="store_true",
+                        help="compile without the Basis-excerpt prelude")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the compile cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="no output; communicate through the exit code")
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.file == "-":
+            source = sys.stdin.read()
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+
+    flags = CompilerFlags(
+        strategy=Strategy(args.strategy),
+        spurious_mode=SpuriousMode(args.spurious_mode),
+        with_prelude=not args.no_prelude,
+    )
+    try:
+        prog = compile_program(source, flags=flags, cache=not args.no_cache)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    report = verify_term(prog.term, strict_exceptions=True)
+    if not args.quiet:
+        print(report.summary())
+        if report.ok:
+            print(f"  pi: {report.pi}")
+            print(f"  effect: {report.effect}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Verifier findings: violations with rule names and term paths.
+
+The region-annotated term language carries no source spans (region
+inference rewrites the tree wholesale), so the verifier localizes each
+finding by *term path* — the chain of child edges from the program root
+to the offending node, e.g. ``let compose.rhs/fun compose.body`` — which
+is stable across runs and meaningful next to ``repro-run --pretty``
+output.
+
+Everything here is plain strings so reports pickle cleanly (they ride on
+:class:`~repro.pipeline.CompiledProgram` through the compile caches and
+the server's worker pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import RegionTypeError
+
+__all__ = ["Violation", "VerifierReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated judgment.
+
+    ``rule`` names the violated rule or side condition (``TeLam-G``,
+    ``TeRapp-coverage``, ``TeReg-escape``, ...); ``path`` localizes the
+    offending node by its term path; ``message`` explains the failure in
+    the paper's vocabulary.
+    """
+
+    rule: str
+    path: str
+    message: str
+
+    def display(self) -> str:
+        where = self.path or "<program>"
+        return f"[{self.rule}] at {where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "message": self.message}
+
+
+@dataclass(frozen=True)
+class VerifierReport:
+    """The outcome of an independent verification pass."""
+
+    violations: tuple[Violation, ...] = ()
+    #: Rendering of the program's top-level pi, when derivable.
+    pi: str = ""
+    #: Rendering of the program's top-level effect, when derivable.
+    effect: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def rules(self) -> tuple[str, ...]:
+        """The distinct violated rule names, in first-occurrence order."""
+        seen: list[str] = []
+        for v in self.violations:
+            if v.rule not in seen:
+                seen.append(v.rule)
+        return tuple(seen)
+
+    def summary(self) -> str:
+        if self.ok:
+            return "verified: all region-safety judgments hold"
+        lines = [
+            f"{len(self.violations)} region-safety violation(s): "
+            + ", ".join(self.rules)
+        ]
+        lines.extend("  " + v.display() for v in self.violations)
+        return "\n".join(lines)
+
+    def as_error(self) -> RegionTypeError:
+        """The report as a raisable :class:`RegionTypeError` (used by the
+        pipeline gate for strategies that must always verify)."""
+        return RegionTypeError(self.summary())
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "pi": self.pi,
+            "effect": self.effect,
+            "rules": list(self.rules),
+            "violations": [v.to_dict() for v in self.violations],
+        }

@@ -1,0 +1,1135 @@
+"""An independent re-derivation of the paper's GC-safety judgments.
+
+``verify_term`` takes the fully region-annotated program the pipeline
+produced and re-checks, with code written from scratch against the paper
+(not by calling the checker the pipeline already ran):
+
+* well-formedness of type schemes and ``Delta`` contexts (every
+  ``Delta``-bound type variable is *spurious*: it does not occur in the
+  function's own type — the Section 4 definition),
+* type containment / required effects (Section 3.2), implemented as an
+  iterative worklist rather than the checker's recursive collectors,
+* substitution coverage ``Omega |- St : Delta`` at every instantiation
+  site (Section 3.3),
+* the instance-of relation on region application (Section 3.4),
+* effect containment and discharge through ``letregion`` (Figure 4),
+* the GC-safety relation ``G(Omega, Gamma, e, X, pi)`` at every lambda
+  and ``fun`` (Section 3.7),
+* the Section 4.4 exception side conditions.
+
+Independence discipline: this module must not import
+:mod:`repro.core.containment`, :mod:`repro.core.gcsafety`,
+:mod:`repro.core.instantiation`, or anything from
+:mod:`repro.regions.infer` — those are the implementations under test.
+It reuses only *data* layers (terms, types, effects, substitution
+application, the free-variable walkers) plus the primitive signature
+table, which is an extension of the language, not one of the paper's
+judgments.
+
+Unlike the checker, the verifier is *total*: it never raises on a bad
+program.  A failed sub-derivation yields the :data:`UNKNOWN` type, and
+checks involving ``UNKNOWN`` are skipped, so one broken annotation does
+not cascade into a wall of spurious findings and a single pass can
+report every independent violation (which is what the mutation-kill
+matrix asserts on).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core import terms as T
+from ..core.effects import EMPTY_EFFECT, Effect, RegionVar, show_effect
+from ..core.errors import RegionTypeError
+from ..core.rtypes import (
+    EMPTY_CTX,
+    MU_BOOL,
+    MU_INT,
+    MU_UNIT,
+    Mu,
+    MuBase,
+    MuBoxed,
+    MuVar,
+    Pi,
+    PiScheme,
+    Scheme,
+    TAU_EXN,
+    TAU_REAL,
+    TAU_STRING,
+    TauArrow,
+    TauData,
+    TauList,
+    TauPair,
+    TauRef,
+    TyCtx,
+    frev,
+    frv,
+    ftv,
+    show_mu,
+    show_pi,
+)
+from ..core.substitution import Subst
+from ..core.typecheck import _prim_type  # the extension's signature table
+from .report import Violation, VerifierReport
+
+__all__ = ["UNKNOWN", "Verifier", "verify_term"]
+
+
+class _Unknown:
+    """The error-recovery type: a sub-derivation failed, so nothing is
+    known about this term's type.  Comparisons and containment checks
+    against it are vacuously satisfied."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unknown>"
+
+
+UNKNOWN = _Unknown()
+
+_NO_TYVARS: frozenset = frozenset()
+
+
+def _known(*pis: object) -> bool:
+    return not any(isinstance(p, _Unknown) for p in pis)
+
+
+def _same(a: object, b: object) -> bool:
+    """Type equality, vacuous when either side is unknown."""
+    if not _known(a, b):
+        return True
+    return a == b
+
+
+class Verifier:
+    """Collects :class:`Violation` s over one term walk."""
+
+    def __init__(self, strict_exceptions: bool = True) -> None:
+        self.strict_exceptions = strict_exceptions
+        self.violations: list[Violation] = []
+
+    # -- reporting ----------------------------------------------------------
+
+    def fail(self, rule: str, path: tuple, message: str) -> None:
+        self.violations.append(Violation(rule, "/".join(path), message))
+
+    # -- independent judgment implementations -------------------------------
+
+    def required_effect(
+        self, omega: TyCtx, mu: object, lenient: frozenset = _NO_TYVARS
+    ) -> tuple[Effect, list]:
+        """The least ``phi`` with ``Omega |- mu : phi`` (Section 3.2),
+        plus the list of *untracked spurious* type variables met on the
+        way (type variables neither in ``lenient`` — visible in the
+        relevant function type — nor tracked in ``Omega``).
+
+        Iterative worklist over the type structure; never raises.
+        """
+        out: set = set()
+        bad: list = []
+        if isinstance(mu, _Unknown):
+            return EMPTY_EFFECT, bad
+        stack: list = [mu]
+        while stack:
+            m = stack.pop()
+            if isinstance(m, MuVar):
+                if m.alpha in lenient:
+                    continue
+                ae = omega.get(m.alpha)
+                if ae is None:
+                    bad.append(m.alpha)
+                else:
+                    out.add(ae.handle)
+                    out |= ae.latent
+            elif isinstance(m, MuBase):
+                pass
+            elif isinstance(m, MuBoxed):
+                out.add(m.rho)
+                t = m.tau
+                if isinstance(t, TauPair):
+                    stack.append(t.fst)
+                    stack.append(t.snd)
+                elif isinstance(t, TauArrow):
+                    out.add(t.arrow.handle)
+                    out |= t.arrow.latent
+                    stack.append(t.dom)
+                    stack.append(t.cod)
+                elif isinstance(t, TauList):
+                    stack.append(t.elem)
+                elif isinstance(t, TauRef):
+                    stack.append(t.content)
+                elif isinstance(t, TauData):
+                    stack.extend(t.targs)
+                # string / real / exn contribute only their place
+            else:  # pragma: no cover - malformed annotation object
+                bad.append(m)
+        return frozenset(out), bad
+
+    def pi_containment_failure(
+        self, omega: TyCtx, pi: Pi, phi: Effect, lenient: frozenset
+    ) -> Optional[str]:
+        """``Omega |- pi : phi`` — ``None`` when contained, else the
+        reason it is not (Section 3.2, extended to schemes by
+        discharging the bound variables)."""
+        if isinstance(pi, _Unknown):
+            return None
+        if isinstance(pi, PiScheme):
+            sigma = pi.scheme
+            bound = set(sigma.rvars) | set(sigma.evars)
+            ambient = frev(omega, pi.rho)
+            if bound & ambient:
+                return (
+                    "bound region/effect variables of the scheme occur free "
+                    "in the ambient context"
+                )
+            if set(sigma.delta) & set(omega):
+                return "Delta overlaps the enclosing type-variable context"
+            if pi.rho not in phi:
+                return f"place {pi.rho.display()} is not in the effect"
+            inner_omega = omega.extend(sigma.delta)
+            need, bad = self.required_effect(
+                inner_omega,
+                MuBoxed(sigma.body, pi.rho),
+                lenient | frozenset(sigma.tvars),
+            )
+            if bad:
+                return (
+                    f"type variable {bad[0].display()} is neither tracked in "
+                    "the type-variable context nor visible in the function "
+                    "type — an untracked spurious type variable"
+                )
+            allowed = phi | bound | {pi.rho}
+            if not need <= allowed:
+                return (
+                    f"the scheme body needs {show_effect(need - allowed)} "
+                    "beyond the effect"
+                )
+            return None
+        need, bad = self.required_effect(omega, pi, lenient)
+        if bad:
+            return (
+                f"type variable {bad[0].display()} is neither tracked in the "
+                "type-variable context nor visible in the function type — an "
+                "untracked spurious type variable"
+            )
+        if not need <= phi:
+            return f"the type needs {show_effect(need - phi)} beyond the effect"
+        return None
+
+    def expr_contained(self, phi: Effect, e: T.Term) -> bool:
+        """``phi |=v e`` (Figure 3): every embedded value lives inside
+        ``phi`` and inner binders are fresh for it.  Iterative."""
+        stack: list = [e]
+        while stack:
+            t = stack.pop()
+            if isinstance(t, (T.VInt, T.VBool, T.VUnit, T.VNil)):
+                continue
+            if isinstance(t, (T.VStr, T.VReal)):
+                if t.rho not in phi:
+                    return False
+            elif isinstance(t, (T.VPair, T.VCons)):
+                if t.rho not in phi:
+                    return False
+                stack.extend(T.iter_children(t))
+            elif isinstance(t, T.VClos):
+                if t.rho not in phi:
+                    return False
+                stack.append(t.body)
+            elif isinstance(t, T.VFunClos):
+                if t.rho not in phi or (set(t.rparams) & phi):
+                    return False
+                stack.append(t.body)
+            elif isinstance(t, T.Letregion):
+                if set(t.rhos) & phi:
+                    return False
+                stack.append(t.body)
+            elif isinstance(t, T.FunDef):
+                if set(t.rparams) & phi:
+                    return False
+                stack.append(t.body)
+            else:
+                stack.extend(T.iter_children(t))
+        return True
+
+    def check_coverage(
+        self,
+        omega: TyCtx,
+        ty: Mapping,
+        delta: TyCtx,
+        path: tuple,
+        rule: str = "TeRapp-coverage",
+    ) -> None:
+        """``Omega |- St : Delta`` (Section 3.3): every tracked type
+        variable is instantiated, and each instantiated type's required
+        effect fits inside the variable's arrow effect."""
+        missing = set(delta) - set(ty)
+        if missing:
+            self.fail(
+                rule,
+                path,
+                "the substitution does not instantiate the tracked type "
+                f"variable(s) {sorted(a.display() for a in missing)}",
+            )
+        for alpha, ae in delta.items():
+            target = ty.get(alpha)
+            if target is None or isinstance(target, _Unknown):
+                continue
+            need, bad = self.required_effect(omega, target, _NO_TYVARS)
+            if bad:
+                self.fail(
+                    rule,
+                    path,
+                    f"the type instantiated for {alpha.display()} contains "
+                    f"the untracked type variable {bad[0].display()} "
+                    "(transitive spuriousness, Section 4.3)",
+                )
+                continue
+            budget = ae.frev()
+            if not need <= budget:
+                self.fail(
+                    rule,
+                    path,
+                    f"the type instantiated for {alpha.display()} mentions "
+                    f"{show_effect(need - budget)} not covered by its arrow "
+                    f"effect {ae.display()} — a dangling pointer could escape",
+                )
+
+    def instance(
+        self, omega: TyCtx, sigma: Scheme, subst: Subst, path: tuple
+    ) -> object:
+        """``Omega |- sigma >= tau via subst`` (Section 3.4): domain
+        agreement, then coverage of the type part against the
+        region/effect-substituted ``Delta``, then application."""
+        ok = True
+        if set(subst.rgn) != set(sigma.rvars):
+            self.fail(
+                "TeRapp-domain",
+                path,
+                "the region-substitution domain "
+                f"{sorted(r.display() for r in subst.rgn)} differs from the "
+                f"bound regions {sorted(r.display() for r in sigma.rvars)}",
+            )
+            ok = False
+        if set(subst.eff) != set(sigma.evars):
+            self.fail(
+                "TeRapp-domain",
+                path,
+                "the effect-substitution domain "
+                f"{sorted(e.display() for e in subst.eff)} differs from the "
+                f"bound effect variables "
+                f"{sorted(e.display() for e in sigma.evars)}",
+            )
+            ok = False
+        expected_tyvars = set(sigma.tvars) | set(sigma.delta)
+        if set(subst.ty) != expected_tyvars:
+            self.fail(
+                "TeRapp-domain",
+                path,
+                "the type-substitution domain "
+                f"{sorted(a.display() for a in subst.ty)} differs from the "
+                f"bound type variables "
+                f"{sorted(a.display() for a in expected_tyvars)}",
+            )
+            ok = False
+        if not ok:
+            return UNKNOWN
+        re_part = Subst(rgn=subst.rgn, eff=subst.eff)
+        try:
+            delta2 = re_part.ctx(sigma.delta)
+            body2 = re_part.tau(sigma.body)
+        except (ValueError, TypeError) as exc:
+            self.fail("TeRapp-domain", path, str(exc))
+            return UNKNOWN
+        self.check_coverage(omega, dict(subst.ty), delta2, path)
+        try:
+            return Subst(ty=dict(subst.ty)).tau(body2)
+        except (ValueError, TypeError) as exc:  # pragma: no cover - defensive
+            self.fail("TeRapp-domain", path, str(exc))
+            return UNKNOWN
+
+    def check_G(
+        self,
+        omega: TyCtx,
+        gamma: Mapping[str, Pi],
+        body: T.Term,
+        params: frozenset,
+        pi: Pi,
+        path: tuple,
+        rule: str,
+    ) -> None:
+        """``G(Omega, Gamma, e, X, pi)`` (Section 3.7): every value
+        embedded in the body lives in ``frv(pi)``, and every captured
+        variable's type is contained in ``frev(pi)`` (type variables
+        visible in ``pi`` itself are lenient, Section 4)."""
+        if isinstance(pi, _Unknown):
+            return
+        pi_frv = frv(pi)
+        pi_frev = frev(pi)
+        lenient = ftv(pi)
+        if not self.expr_contained(pi_frv, body):
+            self.fail(
+                rule,
+                path,
+                "a value embedded in the function body lives outside the "
+                "regions of the function's type",
+            )
+        for y in sorted(T.fpv(body) - params):
+            pi_y = gamma.get(y)
+            if pi_y is None or isinstance(pi_y, _Unknown):
+                continue  # unbound variables are reported at their use site
+            reason = self.pi_containment_failure(omega, pi_y, pi_frev, lenient)
+            if reason is not None:
+                self.fail(
+                    rule,
+                    path,
+                    f"captured variable {y} : {show_pi(pi_y)} is not "
+                    f"contained in frev of the function type ({reason})",
+                )
+
+    def check_scheme_wf(self, sigma: Scheme, fname: str, path: tuple) -> None:
+        """Well-formedness of the scheme and its ``Delta`` context: the
+        binder lists are disjoint, and every *spurious* quantified
+        variable — one not occurring in the function's own type (the
+        Section 4 definition) — is tracked in ``Delta``.  (Tracking a
+        visible variable too is sound: it only adds coverage
+        obligations at instantiation sites.)"""
+        overlap = set(sigma.delta) & set(sigma.tvars)
+        if overlap:
+            self.fail(
+                "wf-scheme",
+                path,
+                f"fun {fname}: {sorted(a.display() for a in overlap)} bound "
+                "both as plain type variable(s) and in Delta",
+            )
+        spurious = set(sigma.tvars) - ftv(sigma.body)
+        if spurious:
+            self.fail(
+                "wf-delta",
+                path,
+                f"fun {fname}: quantified type variable(s) "
+                f"{sorted(a.display() for a in spurious)} do not occur in "
+                "the function's own type — spurious (Section 4) — yet are "
+                "not tracked in Delta",
+            )
+
+    # -- the walk -----------------------------------------------------------
+
+    def visit(
+        self,
+        omega: TyCtx,
+        gamma: Mapping[str, Pi],
+        exnenv: Mapping[str, object],
+        e: T.Term,
+        path: tuple,
+    ) -> tuple[object, Effect]:
+        method = getattr(self, f"_v_{type(e).__name__}", None)
+        if method is None:
+            self.fail("no-rule", path, f"no typing rule for {type(e).__name__}")
+            return UNKNOWN, EMPTY_EFFECT
+        return method(omega, gamma, exnenv, e, path)
+
+    def visit_mu(self, omega, gamma, exnenv, e, path) -> tuple[object, Effect]:
+        pi, phi = self.visit(omega, gamma, exnenv, e, path)
+        if isinstance(pi, PiScheme):
+            if pi.scheme.is_monotype():
+                return MuBoxed(pi.scheme.body, pi.rho), phi
+            self.fail(
+                "missing-rapp",
+                path,
+                f"expected a type-and-place, got the polymorphic "
+                f"{show_pi(pi)} (a region application is missing)",
+            )
+            return UNKNOWN, phi
+        return pi, phi
+
+    # -- variables and literals ---------------------------------------------
+
+    def _v_Var(self, omega, gamma, exnenv, e: T.Var, path):
+        pi = gamma.get(e.name)
+        if pi is None:
+            self.fail("unbound-var", path, f"unbound variable {e.name}")
+            return UNKNOWN, EMPTY_EFFECT
+        return pi, EMPTY_EFFECT
+
+    def _v_IntLit(self, omega, gamma, exnenv, e, path):
+        return MU_INT, EMPTY_EFFECT
+
+    def _v_BoolLit(self, omega, gamma, exnenv, e, path):
+        return MU_BOOL, EMPTY_EFFECT
+
+    def _v_UnitLit(self, omega, gamma, exnenv, e, path):
+        return MU_UNIT, EMPTY_EFFECT
+
+    def _v_StringLit(self, omega, gamma, exnenv, e: T.StringLit, path):
+        return MuBoxed(TAU_STRING, e.rho), frozenset({e.rho})
+
+    def _v_RealLit(self, omega, gamma, exnenv, e: T.RealLit, path):
+        return MuBoxed(TAU_REAL, e.rho), frozenset({e.rho})
+
+    def _v_NilLit(self, omega, gamma, exnenv, e: T.NilLit, path):
+        mu = e.mu
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauList)):
+            self.fail(
+                "wf-annotation",
+                path,
+                f"nil annotated with the non-list type {show_mu(mu)}",
+            )
+            return UNKNOWN, EMPTY_EFFECT
+        return mu, EMPTY_EFFECT
+
+    # -- functions -----------------------------------------------------------
+
+    def _v_Lam(self, omega, gamma, exnenv, e: T.Lam, path):
+        mu = e.mu
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauArrow)):
+            self.fail("TeLam-annotation", path,
+                      "lambda annotated with a non-arrow type")
+            return UNKNOWN, frozenset({e.rho})
+        if mu.rho != e.rho:
+            self.fail(
+                "TeLam-place",
+                path,
+                f"lambda allocated at {e.rho.display()} but typed at "
+                f"{mu.rho.display()}",
+            )
+        arrow = mu.tau.arrow
+        inner_gamma = dict(gamma)
+        inner_gamma[e.param] = mu.tau.dom
+        cod, phi_body = self.visit_mu(
+            omega, inner_gamma, exnenv, e.body, path + ("fn.body",)
+        )
+        if not _same(cod, mu.tau.cod):
+            self.fail(
+                "TeLam-cod",
+                path,
+                f"lambda body has type {show_mu(cod)}, the annotation says "
+                f"{show_mu(mu.tau.cod)}",
+            )
+        if not phi_body <= arrow.latent:
+            self.fail(
+                "TeLam-latent",
+                path,
+                f"lambda body effect {show_effect(phi_body - arrow.latent)} "
+                f"exceeds the latent effect {arrow.display()}",
+            )
+        restricted = {
+            x: p for x, p in gamma.items() if x in T.fpv(e.body) - {e.param}
+        }
+        self.check_G(
+            omega, restricted, e.body, frozenset({e.param}), mu, path, "TeLam-G"
+        )
+        return mu, frozenset({e.rho})
+
+    def _v_FunDef(self, omega, gamma, exnenv, e: T.FunDef, path):
+        pi = e.pi
+        sigma = pi.scheme
+        here = path
+        if pi.rho != e.rho:
+            self.fail(
+                "TeFun-place",
+                here,
+                f"fun {e.fname} allocated at {e.rho.display()} but its "
+                f"scheme place is {pi.rho.display()}",
+            )
+        if tuple(sigma.rvars) != tuple(e.rparams):
+            self.fail(
+                "TeFun-params",
+                here,
+                f"fun {e.fname}: region parameters "
+                f"{[r.display() for r in e.rparams]} differ from the "
+                f"scheme's bound regions {[r.display() for r in sigma.rvars]}",
+            )
+        body_tau = sigma.body
+        if not isinstance(body_tau, TauArrow):
+            self.fail("TeFun-arrow", here,
+                      f"fun {e.fname}: scheme body is not an arrow type")
+            return pi, frozenset({e.rho})
+        self.check_scheme_wf(sigma, e.fname, here)
+        arrow = body_tau.arrow
+        bound = sigma.bound_atoms()
+        delta = sigma.delta
+
+        free_names = T.fpv(e)
+        restricted = {
+            x: p
+            for x, p in gamma.items()
+            if x in free_names and not isinstance(p, _Unknown)
+        }
+        pis = tuple(restricted.values())
+        outer_fv = frev(omega, pis, e.rho) | ftv(omega, pis)
+        clash = (bound | sigma.bound_tyvars()) & outer_fv
+        if clash:
+            self.fail(
+                "TeFun-fresh",
+                here,
+                f"bound variables of fun {e.fname} occur free in the "
+                f"context: {sorted(str(c) for c in clash)}",
+            )
+        if set(delta) & set(omega):
+            self.fail(
+                "TeFun-delta",
+                here,
+                f"fun {e.fname}: Delta overlaps the enclosing type-variable "
+                "context",
+            )
+
+        recursive = e.fname in T.fpv(e.body)
+        if recursive and bound & frev(delta):
+            self.fail(
+                "TeFun-polyrec",
+                here,
+                f"fun {e.fname}: polymorphic recursion may not quantify "
+                "over variables appearing in Delta",
+            )
+
+        inner_omega = omega.extend(delta)
+        inner_gamma = dict(gamma)
+        if recursive:
+            rec_scheme = Scheme(sigma.rvars, sigma.evars, (), EMPTY_CTX, body_tau)
+            inner_gamma[e.fname] = PiScheme(rec_scheme, e.rho)
+        inner_gamma[e.param] = body_tau.dom
+
+        cod, phi_body = self.visit_mu(
+            inner_omega, inner_gamma, exnenv, e.body,
+            path + (f"fun {e.fname}.body",),
+        )
+        if not _same(cod, body_tau.cod):
+            self.fail(
+                "TeFun-cod",
+                here,
+                f"fun {e.fname} body has type {show_mu(cod)}, the scheme "
+                f"says {show_mu(body_tau.cod)}",
+            )
+        if not phi_body <= arrow.latent:
+            self.fail(
+                "TeFun-latent",
+                here,
+                f"fun {e.fname} body effect "
+                f"{show_effect(phi_body - arrow.latent)} exceeds the latent "
+                f"effect {arrow.display()}",
+            )
+        self.check_G(
+            omega, restricted, e.body, frozenset({e.fname, e.param}), pi,
+            here, "TeFun-G",
+        )
+        return pi, frozenset({e.rho})
+
+    def _v_RApp(self, omega, gamma, exnenv, e: T.RApp, path):
+        pi_fn, phi = self.visit(omega, gamma, exnenv, e.fn, path + ("rapp.fn",))
+        if isinstance(pi_fn, _Unknown):
+            return UNKNOWN, phi | {e.rho}
+        if not isinstance(pi_fn, PiScheme):
+            self.fail("TeRapp-mono", path,
+                      "region application of a non-polymorphic value")
+            return UNKNOWN, phi | {e.rho}
+        sigma = pi_fn.scheme
+        if tuple(e.inst.rgn.get(r, r) for r in sigma.rvars) != tuple(e.rargs):
+            self.fail(
+                "TeRapp-args",
+                path,
+                "region arguments disagree with the recorded instantiation",
+            )
+        tau = self.instance(omega, sigma, e.inst, path)
+        if isinstance(tau, _Unknown):
+            return UNKNOWN, phi | {e.rho, pi_fn.rho}
+        return MuBoxed(tau, e.rho), phi | {e.rho, pi_fn.rho}
+
+    def _v_App(self, omega, gamma, exnenv, e: T.App, path):
+        mu_fn, phi1 = self.visit_mu(omega, gamma, exnenv, e.fn, path + ("app.fn",))
+        mu_arg, phi2 = self.visit_mu(omega, gamma, exnenv, e.arg, path + ("app.arg",))
+        if isinstance(mu_fn, _Unknown):
+            return UNKNOWN, phi1 | phi2
+        if not (isinstance(mu_fn, MuBoxed) and isinstance(mu_fn.tau, TauArrow)):
+            self.fail("TeApp-fun", path,
+                      f"application of a non-function: {show_mu(mu_fn)}")
+            return UNKNOWN, phi1 | phi2
+        if not _same(mu_arg, mu_fn.tau.dom):
+            self.fail(
+                "TeApp-arg",
+                path,
+                f"argument type {show_mu(mu_arg)} differs from the domain "
+                f"{show_mu(mu_fn.tau.dom)}",
+            )
+        arrow = mu_fn.tau.arrow
+        return (
+            mu_fn.tau.cod,
+            arrow.latent | phi1 | phi2 | {arrow.handle, mu_fn.rho},
+        )
+
+    # -- binding forms --------------------------------------------------------
+
+    def _v_Let(self, omega, gamma, exnenv, e: T.Let, path):
+        pi1, phi1 = self.visit(omega, gamma, exnenv, e.rhs,
+                               path + (f"let {e.name}.rhs",))
+        inner = dict(gamma)
+        inner[e.name] = pi1
+        mu, phi2 = self.visit_mu(omega, inner, exnenv, e.body,
+                                 path + (f"let {e.name}.body",))
+        return mu, phi1 | phi2
+
+    def _v_Letregion(self, omega, gamma, exnenv, e: T.Letregion, path):
+        mu, phi = self.visit_mu(omega, gamma, exnenv, e.body,
+                                path + ("letregion.body",))
+        restricted = tuple(
+            p
+            for x, p in gamma.items()
+            if x in T.fpv(e.body) and not isinstance(p, _Unknown)
+        )
+        outside = frev(omega, restricted) | (
+            frev(mu) if _known(mu) else EMPTY_EFFECT
+        )
+        bound = frozenset(e.rhos)
+        escaping = bound & outside
+        if escaping:
+            self.fail(
+                "TeReg-escape",
+                path,
+                f"letregion-bound {show_effect(escaping)} escapes into the "
+                "context or the result type",
+            )
+        for rho in e.rhos:
+            if rho.top:
+                self.fail("TeReg-global", path,
+                          "letregion may not bind a global region")
+        local_evars = frozenset(
+            a for a in phi
+            if not isinstance(a, RegionVar) and a not in outside and not a.top
+        )
+        return mu, phi - bound - local_evars
+
+    # -- data ------------------------------------------------------------------
+
+    def _v_Pair(self, omega, gamma, exnenv, e: T.Pair, path):
+        mu1, phi1 = self.visit_mu(omega, gamma, exnenv, e.fst, path + ("pair.1",))
+        mu2, phi2 = self.visit_mu(omega, gamma, exnenv, e.snd, path + ("pair.2",))
+        if not _known(mu1, mu2):
+            return UNKNOWN, phi1 | phi2 | {e.rho}
+        return MuBoxed(TauPair(mu1, mu2), e.rho), phi1 | phi2 | {e.rho}
+
+    def _v_Select(self, omega, gamma, exnenv, e: T.Select, path):
+        mu, phi = self.visit_mu(omega, gamma, exnenv, e.pair, path + ("select",))
+        if isinstance(mu, _Unknown):
+            return UNKNOWN, phi
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauPair)):
+            self.fail("TeSel-pair", path,
+                      f"#{e.index} of a non-pair: {show_mu(mu)}")
+            return UNKNOWN, phi
+        if e.index not in (1, 2):
+            self.fail("TeSel-index", path,
+                      f"pair projection index {e.index}")
+            return UNKNOWN, phi | {mu.rho}
+        out = mu.tau.fst if e.index == 1 else mu.tau.snd
+        return out, phi | {mu.rho}
+
+    def _v_Cons(self, omega, gamma, exnenv, e: T.Cons, path):
+        mu_h, phi1 = self.visit_mu(omega, gamma, exnenv, e.head, path + ("cons.hd",))
+        mu_t, phi2 = self.visit_mu(omega, gamma, exnenv, e.tail, path + ("cons.tl",))
+        if isinstance(mu_t, _Unknown):
+            return UNKNOWN, phi1 | phi2 | {e.rho}
+        if not (isinstance(mu_t, MuBoxed) and isinstance(mu_t.tau, TauList)):
+            self.fail("TeCons-tail", path, f":: onto a non-list {show_mu(mu_t)}")
+            return UNKNOWN, phi1 | phi2 | {e.rho}
+        if not _same(mu_t.tau.elem, mu_h):
+            self.fail(
+                "TeCons-elem",
+                path,
+                f":: element type {show_mu(mu_h)} differs from the list "
+                f"element type {show_mu(mu_t.tau.elem)}",
+            )
+        if mu_t.rho != e.rho:
+            self.fail(
+                "TeCons-place",
+                path,
+                f":: allocates at {e.rho.display()} but the spine lives in "
+                f"{mu_t.rho.display()}",
+            )
+        return mu_t, phi1 | phi2 | {e.rho}
+
+    def _v_If(self, omega, gamma, exnenv, e: T.If, path):
+        mu_c, phi0 = self.visit_mu(omega, gamma, exnenv, e.cond, path + ("if.cond",))
+        if _known(mu_c) and mu_c != MU_BOOL:
+            self.fail("TeIf-cond", path,
+                      f"if-condition has type {show_mu(mu_c)}")
+        mu1, phi1 = self.visit_mu(omega, gamma, exnenv, e.then, path + ("if.then",))
+        mu2, phi2 = self.visit_mu(omega, gamma, exnenv, e.els, path + ("if.else",))
+        if not _same(mu1, mu2):
+            self.fail(
+                "TeIf-branch",
+                path,
+                f"if-branches disagree: {show_mu(mu1)} vs {show_mu(mu2)}",
+            )
+        phi = phi0 | phi1 | phi2
+        return (mu1 if _known(mu1) else mu2), phi
+
+    # -- primitives -------------------------------------------------------------
+
+    def _v_Prim(self, omega, gamma, exnenv, e: T.Prim, path):
+        mus: list = []
+        phi: Effect = EMPTY_EFFECT
+        for i, a in enumerate(e.args):
+            mu, p = self.visit_mu(omega, gamma, exnenv, a,
+                                  path + (f"{e.op}.{i + 1}",))
+            mus.append(mu)
+            phi = phi | p
+        if not _known(*mus):
+            extra = frozenset({e.rho}) if e.rho is not None else EMPTY_EFFECT
+            return UNKNOWN, phi | extra
+        try:
+            mu_out, extra = _prim_type(e.op, mus, e.rho)
+        except RegionTypeError as exc:
+            self.fail("prim-type", path, str(exc))
+            extra = frozenset({e.rho}) if e.rho is not None else EMPTY_EFFECT
+            return UNKNOWN, phi | extra
+        return mu_out, phi | extra
+
+    # -- references ---------------------------------------------------------------
+
+    def _v_MkRef(self, omega, gamma, exnenv, e: T.MkRef, path):
+        mu, phi = self.visit_mu(omega, gamma, exnenv, e.init, path + ("ref",))
+        if isinstance(mu, _Unknown):
+            return UNKNOWN, phi | {e.rho}
+        return MuBoxed(TauRef(mu), e.rho), phi | {e.rho}
+
+    def _v_Deref(self, omega, gamma, exnenv, e: T.Deref, path):
+        mu, phi = self.visit_mu(omega, gamma, exnenv, e.ref, path + ("deref",))
+        if isinstance(mu, _Unknown):
+            return UNKNOWN, phi
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, TauRef)):
+            self.fail("TeRef-deref", path, f"! of a non-ref {show_mu(mu)}")
+            return UNKNOWN, phi
+        return mu.tau.content, phi | {mu.rho}
+
+    def _v_Assign(self, omega, gamma, exnenv, e: T.Assign, path):
+        mu_r, phi1 = self.visit_mu(omega, gamma, exnenv, e.ref,
+                                   path + ("assign.ref",))
+        mu_v, phi2 = self.visit_mu(omega, gamma, exnenv, e.value,
+                                   path + ("assign.value",))
+        if isinstance(mu_r, _Unknown):
+            return MU_UNIT, phi1 | phi2
+        if not (isinstance(mu_r, MuBoxed) and isinstance(mu_r.tau, TauRef)):
+            self.fail("TeRef-assign", path,
+                      f":= into a non-ref {show_mu(mu_r)}")
+            return MU_UNIT, phi1 | phi2
+        if not _same(mu_v, mu_r.tau.content):
+            self.fail(
+                "TeRef-assign",
+                path,
+                f":= stores {show_mu(mu_v)} into a {show_mu(mu_r)} cell",
+            )
+        return MU_UNIT, phi1 | phi2 | {mu_r.rho}
+
+    # -- datatypes -------------------------------------------------------------------
+
+    def _v_LetData(self, omega, gamma, exnenv, e: T.LetData, path):
+        for conname, template in e.constructors:
+            if template is None:
+                continue
+            for rho in frv(template):
+                if rho != e.self_rho:
+                    self.fail(
+                        "TeData-uniform",
+                        path,
+                        f"constructor {conname} of {e.name}: a payload "
+                        f"component at {rho.display()} violates the uniform "
+                        "single-region representation",
+                    )
+            if self._template_has_arrow(template):
+                self.fail(
+                    "TeData-arrow",
+                    path,
+                    f"constructor {conname} of {e.name}: function types in "
+                    "constructor payloads are not supported",
+                )
+        inner = dict(exnenv)
+        inner[f"data:{e.name}"] = e
+        return self.visit(omega, gamma, inner, e.body,
+                          path + (f"data {e.name}.body",))
+
+    def _template_has_arrow(self, mu: Mu) -> bool:
+        stack = [mu]
+        while stack:
+            m = stack.pop()
+            if isinstance(m, MuBoxed):
+                t = m.tau
+                if isinstance(t, TauArrow):
+                    return True
+                if isinstance(t, TauPair):
+                    stack += [t.fst, t.snd]
+                elif isinstance(t, TauList):
+                    stack.append(t.elem)
+                elif isinstance(t, TauRef):
+                    stack.append(t.content)
+                elif isinstance(t, TauData):
+                    stack.extend(t.targs)
+        return False
+
+    def _payload(self, decl: T.LetData, conname: str, targs, rho, path):
+        """Instantiate a constructor payload template; the second item is
+        False when the constructor lookup itself failed."""
+        for cname, template in decl.constructors:
+            if cname == conname:
+                if template is None:
+                    return None, True
+                if len(targs) != len(decl.params):
+                    self.fail(
+                        "TeData-arity",
+                        path,
+                        f"{decl.name} expects {len(decl.params)} type "
+                        f"argument(s), got {len(targs)}",
+                    )
+                    return UNKNOWN, True
+                subst = Subst(
+                    ty=dict(zip(decl.params, targs)), rgn={decl.self_rho: rho}
+                )
+                return subst.mu(template), True
+        self.fail("TeData-unknown", path,
+                  f"{conname} is not a constructor of {decl.name}")
+        return UNKNOWN, False
+
+    def _v_DataCon(self, omega, gamma, exnenv, e: T.DataCon, path):
+        decl = exnenv.get(f"data:{e.dataname}")
+        phi: Effect = frozenset({e.rho})
+        if decl is None:
+            self.fail("TeData-unknown", path,
+                      f"unknown datatype {e.dataname}")
+            return UNKNOWN, phi
+        payload, _found = self._payload(decl, e.conname, e.targs, e.rho, path)
+        if not isinstance(payload, _Unknown) and (payload is None) != (e.arg is None):
+            self.fail("TeData-arity", path,
+                      f"arity mismatch for constructor {e.conname}")
+        if e.arg is not None:
+            mu, phi_arg = self.visit_mu(omega, gamma, exnenv, e.arg,
+                                        path + (f"{e.conname}.arg",))
+            if payload is not None and not _same(mu, payload):
+                self.fail(
+                    "TeData-payload",
+                    path,
+                    f"constructor {e.conname} expects "
+                    f"{show_mu(payload)}, got {show_mu(mu)}",
+                )
+            phi = phi | phi_arg
+        return MuBoxed(TauData(e.dataname, e.targs), e.rho), phi
+
+    def _v_Case(self, omega, gamma, exnenv, e: T.Case, path):
+        mu_s, phi = self.visit_mu(omega, gamma, exnenv, e.scrutinee,
+                                  path + ("case.scrut",))
+        decl = None
+        if isinstance(mu_s, MuBoxed) and isinstance(mu_s.tau, TauData):
+            decl = exnenv.get(f"data:{mu_s.tau.name}")
+            if decl is None:
+                self.fail("TeData-unknown", path,
+                          f"unknown datatype {mu_s.tau.name}")
+            phi = phi | {mu_s.rho}
+        elif _known(mu_s):
+            if any(br.conname is not None for br in e.branches):
+                self.fail(
+                    "TeCase-scrut",
+                    path,
+                    f"case on a non-datatype value {show_mu(mu_s)}",
+                )
+        result: object = UNKNOWN
+        for i, br in enumerate(e.branches):
+            inner = dict(gamma)
+            if br.conname is not None:
+                payload: object = UNKNOWN
+                if decl is not None:
+                    payload, _found = self._payload(
+                        decl, br.conname, mu_s.tau.targs, mu_s.rho, path
+                    )
+                if payload is None and br.binder is not None:
+                    self.fail(
+                        "TeCase-branch",
+                        path,
+                        f"{br.conname} is nullary but the branch binds a "
+                        "payload",
+                    )
+                if payload is not None:
+                    if br.binder is None and not isinstance(payload, _Unknown):
+                        self.fail(
+                            "TeCase-branch",
+                            path,
+                            f"{br.conname} carries a payload the branch "
+                            "ignores without binding",
+                        )
+                    if br.binder is not None:
+                        inner[br.binder] = payload
+            elif br.binder is not None:
+                inner[br.binder] = mu_s
+            mu_b, phi_b = self.visit_mu(
+                omega, inner, exnenv, br.body,
+                path + (f"case.{br.conname or '_'}",),
+            )
+            phi = phi | phi_b
+            if isinstance(result, _Unknown):
+                result = mu_b
+            elif not _same(mu_b, result):
+                self.fail(
+                    "TeCase-branch",
+                    path,
+                    f"case branches disagree: {show_mu(result)} vs "
+                    f"{show_mu(mu_b)}",
+                )
+        if not e.branches:
+            self.fail("TeCase-branch", path, "case with no branches")
+        return result, phi
+
+    # -- exceptions ------------------------------------------------------------------
+
+    def _v_LetExn(self, omega, gamma, exnenv, e: T.LetExn, path):
+        if e.payload is not None and self.strict_exceptions:
+            need, _bad = self.required_effect(omega, e.payload, _NO_TYVARS)
+            non_global = frozenset(
+                r for r in need if isinstance(r, RegionVar) and not r.top
+            )
+            if non_global:
+                self.fail(
+                    "exn-global",
+                    path,
+                    f"exception {e.exname}: the payload type mentions "
+                    f"non-global regions {show_effect(non_global)} "
+                    "(Section 4.4: a raised value may escape; all its "
+                    "regions must be top-level)",
+                )
+        inner = dict(exnenv)
+        inner[e.exname] = e.payload
+        return self.visit(omega, gamma, inner, e.body,
+                          path + (f"exn {e.exname}.body",))
+
+    def _v_Con(self, omega, gamma, exnenv, e: T.Con, path):
+        if e.exname not in exnenv:
+            self.fail("TeExn-unknown", path,
+                      f"unknown exception constructor {e.exname}")
+            return MuBoxed(TAU_EXN, e.rho), frozenset({e.rho})
+        payload = exnenv[e.exname]
+        phi: Effect = frozenset({e.rho})
+        if self.strict_exceptions and not e.rho.top:
+            self.fail(
+                "exn-global",
+                path,
+                f"exception value allocated in the non-global region "
+                f"{e.rho.display()}",
+            )
+        if (payload is None) != (e.arg is None):
+            self.fail("TeExn-arity", path,
+                      f"arity mismatch for exception {e.exname}")
+        if e.arg is not None:
+            mu, phi_arg = self.visit_mu(omega, gamma, exnenv, e.arg,
+                                        path + (f"{e.exname}.arg",))
+            if payload is not None and not _same(mu, payload):
+                self.fail(
+                    "TeExn-payload",
+                    path,
+                    f"exception {e.exname} expects {show_mu(payload)}, got "
+                    f"{show_mu(mu)}",
+                )
+            phi |= phi_arg
+        return MuBoxed(TAU_EXN, e.rho), phi
+
+    def _v_Raise(self, omega, gamma, exnenv, e: T.Raise, path):
+        mu, phi = self.visit_mu(omega, gamma, exnenv, e.exn, path + ("raise",))
+        if isinstance(mu, _Unknown):
+            return e.mu, phi
+        if not (isinstance(mu, MuBoxed) and isinstance(mu.tau, type(TAU_EXN))):
+            self.fail("TeRaise-type", path,
+                      f"raise of a non-exception {show_mu(mu)}")
+            return e.mu, phi
+        return e.mu, phi | {mu.rho}
+
+    def _v_Handle(self, omega, gamma, exnenv, e: T.Handle, path):
+        mu, phi1 = self.visit_mu(omega, gamma, exnenv, e.body,
+                                 path + ("handle.body",))
+        if e.exname not in exnenv:
+            self.fail("TeExn-unknown", path,
+                      f"handler for unknown exception {e.exname}")
+            return mu, phi1
+        payload = exnenv[e.exname]
+        inner = dict(gamma)
+        if e.binder is not None:
+            if payload is None:
+                self.fail(
+                    "TeExn-arity",
+                    path,
+                    f"handler binds a payload but {e.exname} is nullary",
+                )
+                inner[e.binder] = UNKNOWN
+            else:
+                inner[e.binder] = payload
+        mu_h, phi2 = self.visit_mu(omega, inner, exnenv, e.handler,
+                                   path + ("handle.with",))
+        if not _same(mu_h, mu):
+            self.fail(
+                "TeHandle-type",
+                path,
+                f"handler type {show_mu(mu_h)} differs from the body type "
+                f"{show_mu(mu)}",
+            )
+        return (mu if _known(mu) else mu_h), phi1 | phi2
+
+    # -- value forms -----------------------------------------------------------------
+
+    def _v_VInt(self, omega, gamma, exnenv, e, path):
+        return MU_INT, EMPTY_EFFECT
+
+    def _v_VBool(self, omega, gamma, exnenv, e, path):
+        return MU_BOOL, EMPTY_EFFECT
+
+    def _v_VUnit(self, omega, gamma, exnenv, e, path):
+        return MU_UNIT, EMPTY_EFFECT
+
+    def _v_VNil(self, omega, gamma, exnenv, e: T.VNil, path):
+        return self._v_NilLit(omega, gamma, exnenv, T.NilLit(e.mu), path)
+
+    def _v_VStr(self, omega, gamma, exnenv, e: T.VStr, path):
+        return MuBoxed(TAU_STRING, e.rho), EMPTY_EFFECT
+
+    def _v_VReal(self, omega, gamma, exnenv, e: T.VReal, path):
+        return MuBoxed(TAU_REAL, e.rho), EMPTY_EFFECT
+
+    def _v_VPair(self, omega, gamma, exnenv, e: T.VPair, path):
+        mu1, _ = self.visit(omega, {}, exnenv, e.fst, path + ("vpair.1",))
+        mu2, _ = self.visit(omega, {}, exnenv, e.snd, path + ("vpair.2",))
+        if not _known(mu1, mu2):
+            return UNKNOWN, EMPTY_EFFECT
+        return MuBoxed(TauPair(mu1, mu2), e.rho), EMPTY_EFFECT
+
+    def _v_VCons(self, omega, gamma, exnenv, e: T.VCons, path):
+        mu_h, _ = self.visit(omega, {}, exnenv, e.head, path + ("vcons.hd",))
+        mu_t, _ = self.visit(omega, {}, exnenv, e.tail, path + ("vcons.tl",))
+        if isinstance(mu_t, _Unknown):
+            return UNKNOWN, EMPTY_EFFECT
+        if not (isinstance(mu_t, MuBoxed) and isinstance(mu_t.tau, TauList)):
+            self.fail("TeCons-tail", path, "cons value with a non-list tail")
+            return UNKNOWN, EMPTY_EFFECT
+        if mu_t.rho != e.rho or not _same(mu_t.tau.elem, mu_h):
+            self.fail("TeCons-elem", path, "ill-typed cons value")
+        return mu_t, EMPTY_EFFECT
+
+    def _v_VClos(self, omega, gamma, exnenv, e: T.VClos, path):
+        mu, _phi = self._v_Lam(
+            omega, {}, exnenv, T.Lam(e.param, e.body, e.rho, e.mu), path
+        )
+        return mu, EMPTY_EFFECT
+
+    def _v_VFunClos(self, omega, gamma, exnenv, e: T.VFunClos, path):
+        pi, _phi = self._v_FunDef(
+            omega, {}, exnenv,
+            T.FunDef(e.fname, e.rparams, e.param, e.body, e.rho, e.pi),
+            path,
+        )
+        return pi, EMPTY_EFFECT
+
+
+def verify_term(term: T.Term, strict_exceptions: bool = True) -> VerifierReport:
+    """Independently verify a closed region-annotated program.
+
+    Returns a :class:`VerifierReport`; never raises on a bad program
+    (callers that want an exception use ``report.as_error()``).
+    """
+    verifier = Verifier(strict_exceptions)
+    pi, phi = verifier.visit(EMPTY_CTX, {}, {}, term, ())
+    return VerifierReport(
+        violations=tuple(verifier.violations),
+        pi=show_pi(pi) if _known(pi) else "<unknown>",
+        effect=show_effect(phi),
+    )

@@ -85,6 +85,7 @@ def cache_key(source: str, flags: "CompilerFlags") -> tuple:
         flags.multiplicity,
         flags.drop_regions,
         flags.verify,
+        flags.analyze,
         flags.with_prelude,
     )
 

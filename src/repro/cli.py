@@ -4,6 +4,7 @@ Usage::
 
     repro-run program.mml [--strategy rg|rg-|r|trivial|ml]
                           [--pretty] [--stats] [--no-verify] [--no-prelude]
+                          [--verify] [--sanitize]
                           [--no-cache] [--backend closure|tree]
                           [--gc-every-alloc] [--gc-every N] [--gc-at I,J,..]
                           [--gc-dealloc-every N] [--gc-rate P]
@@ -105,6 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print execution statistics")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the Figure 4 type-checker pass")
+    parser.add_argument("--verify", action="store_true",
+                        help="additionally run the independent GC-safety "
+                             "verifier (repro.analysis) over the annotated "
+                             "output; violations print to stderr and fail "
+                             "the run with exit 1")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the heap pointer sanitizer: every "
+                             "boxed-value access validates the target "
+                             "region's generation stamp; a clean run is "
+                             "bit-identical to an unsanitized one")
     parser.add_argument("--no-prelude", action="store_true",
                         help="compile without the Basis-excerpt prelude")
     parser.add_argument("--no-cache", action="store_true",
@@ -174,6 +185,7 @@ def _run(args) -> int:
     flags = CompilerFlags(
         strategy=Strategy(args.strategy),
         verify=not args.no_verify,
+        analyze=args.verify,
         with_prelude=not args.no_prelude,
     )
     prog = compile_program(source, flags=flags, cache=not args.no_cache)
@@ -184,6 +196,11 @@ def _run(args) -> int:
             f"(expected under {flags.strategy.value}):\n  {prog.verification_error}",
             file=sys.stderr,
         )
+    if prog.analysis is not None and not prog.analysis.ok:
+        # Only reachable for the unsound strategies — for rg/trivial the
+        # pipeline raises instead of attaching a failing report.
+        print(prog.analysis.summary(), file=sys.stderr)
+        return 1
     if args.pretty:
         print(prog.pretty())
         return 0
@@ -200,6 +217,8 @@ def _run(args) -> int:
         overrides["max_heap_words"] = args.max_heap_words
     if args.deadline is not None:
         overrides["deadline_seconds"] = args.deadline
+    if args.sanitize:
+        overrides["sanitize"] = True
 
     bus = None
     profiler = None

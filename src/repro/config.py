@@ -117,6 +117,12 @@ class RuntimeFlags:
     #: Wall-clock budget for a single run.  Exceeding it raises
     #: :class:`repro.core.errors.DeadlineExceeded`.
     deadline_seconds: float | None = None
+    #: Pointer sanitizer: validate every boxed value's region generation
+    #: stamp on reads, writes, and GC scavenges, raising
+    #: :class:`repro.core.errors.StalePointerError` at the first stale
+    #: access.  Pure checking — a clean run is bit-identical (values,
+    #: stdout, stats, trace events) to an unsanitized one.
+    sanitize: bool = False
     #: Observability event bus (:class:`repro.runtime.trace.EventBus`).
     #: ``None`` (the default) installs the shared no-op tracer: the hot
     #: paths then pay a single attribute check per potential event and
@@ -143,6 +149,12 @@ class CompilerFlags:
     #: For ``rg`` this must always succeed; for ``rg-`` a failure is
     #: recorded on the compiled program instead of raised.
     verify: bool = True
+    #: Run the *independent* verifier (:mod:`repro.analysis`) over the
+    #: annotated output as a post-inference gate.  Shares no checking
+    #: code with ``verify``; the report lands on
+    #: ``CompiledProgram.analysis``, and for the sound strategies a
+    #: violation raises.
+    analyze: bool = False
     #: Include the MiniML prelude (the Basis-library excerpt).
     with_prelude: bool = True
     runtime: RuntimeFlags = field(default_factory=RuntimeFlags)
@@ -167,6 +179,7 @@ class CompilerFlags:
             "multiplicity": self.multiplicity,
             "drop_regions": self.drop_regions,
             "verify": self.verify,
+            "analyze": self.analyze,
             "with_prelude": self.with_prelude,
         }
 
@@ -181,7 +194,8 @@ class CompilerFlags:
             kwargs["strategy"] = Strategy(data["strategy"])
         if "spurious_mode" in data:
             kwargs["spurious_mode"] = SpuriousMode(data["spurious_mode"])
-        for name in ("minimize_types", "multiplicity", "drop_regions", "verify", "with_prelude"):
+        for name in ("minimize_types", "multiplicity", "drop_regions", "verify",
+                     "analyze", "with_prelude"):
             if name in data:
                 kwargs[name] = bool(data[name])
         if runtime is not None:

@@ -88,6 +88,22 @@ class UseAfterFreeError(RuntimeFault):
     """
 
 
+class StalePointerError(RuntimeFault):
+    """The pointer sanitizer caught a stale pointer.
+
+    Every boxed value carries the generation stamp its region had at
+    allocation time; under ``RuntimeFlags.sanitize`` the runtime compares
+    the stamp on every read, write, and GC scavenge.  A mismatch means
+    the value outlived a ``letregion`` exit — caught at the *access*,
+    before a collection would stumble over it (or even when none ever
+    runs).
+    """
+
+    def __init__(self, message: str, region_id: int | None = None) -> None:
+        super().__init__(message)
+        self.region_id = region_id
+
+
 class MLExceptionError(RuntimeFault):
     """An uncaught MiniML exception escaped to top level."""
 

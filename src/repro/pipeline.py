@@ -78,6 +78,12 @@ class CompiledProgram:
     #: makes the annotation unsound, mirroring the runtime fault.
     verification_error: Optional[RegionTypeError] = None
     check_result: Optional[CheckResult] = None
+    #: Report of the *independent* verifier (:mod:`repro.analysis`),
+    #: present when compiled with ``flags.analyze``.  Unlike
+    #: ``verification_error`` it shares no code with the checker it
+    #: audits and is total (collects every violation instead of raising
+    #: on the first).
+    analysis: Optional["object"] = None  # repro.analysis.VerifierReport
     compile_seconds: float = 0.0
     #: True when this program came out of a :class:`~repro.cache.CompileCache`
     #: rather than a fresh pipeline run.
@@ -208,6 +214,7 @@ def compile_program(
                 drop_regions=cached.drop_regions,
                 verification_error=cached.verification_error,
                 check_result=cached.check_result,
+                analysis=cached.analysis,
                 compile_seconds=cached.compile_seconds,
                 cache_hit=True,
                 _backend=cached._backend,
@@ -237,6 +244,16 @@ def compile_program(
                 raise
             verification_error = exc
 
+    analysis = None
+    if flags.analyze:
+        from .analysis import verify_term
+
+        analysis = verify_term(term)
+        if not analysis.ok and flags.strategy in (Strategy.RG, Strategy.TRIVIAL):
+            # The independent verifier must agree that the sound
+            # strategies are sound; a violation here is a pipeline bug.
+            raise analysis.as_error()
+
     compiled = CompiledProgram(
         source=source,
         flags=flags,
@@ -247,6 +264,7 @@ def compile_program(
         drop_regions=drop,
         verification_error=verification_error,
         check_result=check_result,
+        analysis=analysis,
         compile_seconds=time.perf_counter() - start,
     )
     if store is not None:

@@ -342,6 +342,8 @@ def _prim_kernel(op: str, rho):
         def k_hd(rt, a, renv):
             if isinstance(a, Nil):
                 raise RuntimeFault("Empty: hd of nil")
+            if rt.sanitize:
+                rt.san_check(a)
             return a.head
 
         return 1, k_hd, False
@@ -350,6 +352,8 @@ def _prim_kernel(op: str, rho):
         def k_tl(rt, a, renv):
             if isinstance(a, Nil):
                 raise RuntimeFault("Empty: tl of nil")
+            if rt.sanitize:
+                rt.san_check(a)
             return a.tail
 
         return 1, k_tl, False
@@ -495,6 +499,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                             pair = sel_imm(env)
                             if type(pair) is not RPair:
                                 raise RuntimeFault("#i of a non-pair value")
+                            if rt.sanitize and pair.san != pair.region.stamp:
+                                rt.san_fault(pair)
                             value = pair.fst if sel_fst else pair.snd
                             saved = env.get(name, _MISSING)
                             env[name] = value
@@ -602,6 +608,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                 fn = fn_code(rt, env, renv)
                 if type(fn) is not RFunClos:
                     raise RuntimeFault("region application of a non-fun value")
+                if rt.sanitize:
+                    rt.san_check(fn)
                 st.region_apps += 1
                 rt.temps.append(fn)
                 try:
@@ -699,6 +707,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     pair = pair_code(rt, env, renv)
                     if type(pair) is not RPair:
                         raise RuntimeFault("#i of a non-pair value")
+                    if rt.sanitize and pair.san != pair.region.stamp:
+                        rt.san_fault(pair)
                     return pair.fst if want_fst else pair.snd
 
                 return c_select
@@ -714,6 +724,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     pair = pair_imm(env)
                 if type(pair) is not RPair:
                     raise RuntimeFault("#i of a non-pair value")
+                if rt.sanitize and pair.san != pair.region.stamp:
+                    rt.san_fault(pair)
                 return pair.fst if want_fst else pair.snd
 
             return c_select_imm
@@ -750,7 +762,11 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     st.steps += 1
                     if rt.checking:
                         rt.check_limits()
-                    return ref_code(rt, env, renv).contents
+                    ref = ref_code(rt, env, renv)
+                    if rt.sanitize:
+                        rt.san_check(ref)
+                        rt.san_check(ref.contents)
+                    return ref.contents
 
                 return c_deref
 
@@ -759,9 +775,14 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                 if rt.checking:
                     st.steps += 1
                     rt.check_limits()
-                    return ref_code(rt, env, renv).contents
-                st.steps += 2
-                return ref_imm(env).contents
+                    ref = ref_code(rt, env, renv)
+                else:
+                    st.steps += 2
+                    ref = ref_imm(env)
+                if rt.sanitize:
+                    rt.san_check(ref)
+                    rt.san_check(ref.contents)
+                return ref.contents
 
             return c_deref_imm
 
@@ -780,6 +801,9 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     value = value_code(rt, env, renv)
                 finally:
                     rt.temps.pop()
+                if rt.sanitize:
+                    rt.san_check(ref)
+                    rt.san_check(value)
                 ref.contents = value
                 rt.collector.note_write(ref)
                 return UNIT
@@ -841,6 +865,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                 if rt.checking:
                     rt.check_limits()
                 scrut = scrut_code(rt, env, renv)
+                if rt.sanitize:
+                    rt.san_check(scrut)
                 for conname, binder, body_code in branches:
                     if conname is not None:
                         if not isinstance(scrut, RData):
@@ -978,6 +1004,9 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                 arg = arg_code(rt, env, renv)
             finally:
                 temps.pop()
+            if rt.sanitize:
+                rt.san_check(fn)
+                rt.san_check(arg)
             if type(fn) is not RClos:
                 return _invoke(rt, fn, arg)
             call_env = dict(fn.venv)
@@ -1232,6 +1261,9 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     raise RuntimeFault("region application of a non-fun value")
                 st.direct_calls += 1
                 arg = arg_code(rt, env, renv)
+                if rt.sanitize:
+                    rt.san_check(fn)
+                    rt.san_check(arg)
                 if fn.dropped:
                     call_renv = rt._bind_regions(fn, rargs, renv)
                 else:
@@ -1304,6 +1336,9 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                 raise RuntimeFault("region application of a non-fun value")
             st.direct_calls += 1
             arg = arg_code(rt, env, renv)
+            if rt.sanitize:
+                rt.san_check(fn)
+                rt.san_check(arg)
             # Inline ``_bind_regions`` for the no-drop case (drops are
             # rare and keep the stats-bearing out-of-line path).
             if fn.dropped:
@@ -1421,6 +1456,9 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     b = b_code(rt, env, renv)
                     temps.append(b)
                     try:
+                        if rt.sanitize:
+                            rt.san_check(a)
+                            rt.san_check(b)
                         return kernel(rt, a, b, renv)
                     finally:
                         temps.pop()
@@ -1550,6 +1588,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                 a = a_code(rt, env, renv)
                 rt.temps.append(a)
                 try:
+                    if rt.sanitize:
+                        rt.san_check(a)
                     return kernel(rt, a, renv)
                 finally:
                     rt.temps.pop()
@@ -1672,6 +1712,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     else:
                         assert region.alive, "double deallocation of a region"
                         region.alive = False
+                        region.stamp += 1
                         st.current_words -= region.words
                         st.region_deallocs += 1
                         region.words = 0
@@ -1696,6 +1737,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     else:
                         assert region.alive, "double deallocation of a region"
                         region.alive = False
+                        region.stamp += 1
                         st.current_words -= region.words
                         st.region_deallocs += 1
                         region.words = 0
@@ -1783,6 +1825,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     else:
                         assert region.alive, "double deallocation of a region"
                         region.alive = False
+                        region.stamp += 1
                         st.current_words -= region.words
                         st.region_deallocs += 1
                         region.words = 0
@@ -1807,6 +1850,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     else:
                         assert region.alive, "double deallocation of a region"
                         region.alive = False
+                        region.stamp += 1
                         st.current_words -= region.words
                         st.region_deallocs += 1
                         region.words = 0
@@ -1829,6 +1873,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     else:
                         assert region.alive, "double deallocation of a region"
                         region.alive = False
+                        region.stamp += 1
                         st.current_words -= region.words
                         st.region_deallocs += 1
                         region.words = 0

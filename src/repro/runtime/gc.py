@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from ..core.errors import DanglingPointerError
+from ..core.errors import DanglingPointerError, StalePointerError
 from .heap import FINITE, Heap, INFINITE, Region
 from .values import RBox, RClos, RCons, RData, RExn, RFunClos, RPair, RRef, RStr, is_boxed
 
@@ -33,6 +33,7 @@ class Collector:
     def __init__(self, heap: Heap, generational: bool = False) -> None:
         self.heap = heap
         self.generational = generational
+        self.sanitize = heap.flags.sanitize
         #: Write barrier log: old objects that may point to young ones.
         self.remembered: list = []
         self._collections_until_major = 4
@@ -180,6 +181,23 @@ class Collector:
                     f"the collector traced a pointer into deallocated region "
                     f"{region.name} (object {type(obj).__name__}) — the "
                     "dangling-pointer fault of Figure 1",
+                    region_id=region.ident,
+                )
+            if self.sanitize and obj.san != region.stamp:
+                tr = self.heap.trace
+                if tr.enabled:
+                    tr.emit(
+                        "dangle",
+                        step=stats.steps,
+                        region=region.ident,
+                        name=region.name,
+                        obj=type(obj).__name__,
+                        sanitizer=True,
+                    )
+                raise StalePointerError(
+                    f"sanitizer: scavenge met a stale pointer into region "
+                    f"{region.name} (object {type(obj).__name__}, stamp "
+                    f"{obj.san} != {region.stamp})",
                     region_id=region.ident,
                 )
             if not (minor and obj.gen > 0):

@@ -34,7 +34,8 @@ FINITE = "finite"
 class Region:
     """A region descriptor."""
 
-    __slots__ = ("ident", "name", "kind", "alive", "words", "capacity", "young_words")
+    __slots__ = ("ident", "name", "kind", "alive", "words", "capacity", "young_words",
+                 "stamp")
 
     def __init__(self, ident: int, name: str, kind: str, capacity: Optional[int] = None) -> None:
         self.ident = ident
@@ -44,6 +45,11 @@ class Region:
         self.words = 0
         self.capacity = capacity  # finite regions only
         self.young_words = 0      # words allocated since the last minor GC
+        #: Generation stamp for the pointer sanitizer: bumped on every
+        #: deallocation, so a value whose recorded stamp trails the
+        #: descriptor's is provably stale even if the descriptor were
+        #: ever reused.
+        self.stamp = 0
 
     def pages(self, page_words: int) -> int:
         if self.kind == FINITE:
@@ -102,6 +108,7 @@ class Heap:
         detection."""
         assert region.alive, "double deallocation of a region"
         region.alive = False
+        region.stamp += 1
         self.stats.current_words -= region.words
         self.stats.region_deallocs += 1
         tr = self.trace

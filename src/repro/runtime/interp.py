@@ -40,6 +40,7 @@ from ..core.errors import (
     MLExceptionError,
     ReproError,
     RuntimeFault,
+    StalePointerError,
 )
 from ..core.effects import RegionVar
 from .gc import Collector
@@ -257,10 +258,19 @@ class Interp:
         self.depth = 0
         self._exn_stamps = itertools.count(1)
         self._deadline: float | None = None
+        #: Pointer-sanitizer mode: stamp-check boxed values at every read
+        #: and write (the collector checks scavenges on its own).
+        self.sanitize = runtime.sanitize
         #: True iff the per-step limit checks can ever fire — the compiled
         #: fast path guards its (otherwise pure-overhead) prologue on this.
+        #: Sanitize mode also sets it: every fused fast-path variant bails
+        #: to its canonical kernel under ``checking`` (with identical step
+        #: accounting), and only the canonical kernels carry the sanitizer
+        #: probes.
         self.checking = (
-            runtime.max_steps is not None or runtime.deadline_seconds is not None
+            runtime.max_steps is not None
+            or runtime.deadline_seconds is not None
+            or runtime.sanitize
         )
 
     # -- roots and GC ------------------------------------------------------------
@@ -298,6 +308,30 @@ class Interp:
         self.heap.alloc(region, words)
         self.maybe_gc()
         return region
+
+    def san_check(self, value) -> None:
+        """Sanitizer liveness check at a read/write access point."""
+        if isinstance(value, RBox) and value.san != value.region.stamp:
+            self.san_fault(value)
+
+    def san_fault(self, value) -> None:
+        region = value.region
+        tr = self.heap.trace
+        if tr.enabled:
+            tr.emit(
+                "dangle",
+                step=self.stats.steps,
+                region=region.ident,
+                name=region.name,
+                obj=type(value).__name__,
+                sanitizer=True,
+            )
+        raise StalePointerError(
+            f"sanitizer: access through a stale pointer into region "
+            f"{region.name} (object {type(value).__name__}, stamp "
+            f"{value.san} != {region.stamp})",
+            region_id=region.ident,
+        )
 
     def resolve(self, rho: RegionVar, renv: dict) -> Region:
         if self.ml_mode or rho.top:
@@ -452,6 +486,8 @@ class Interp:
             pair = self.ev(t.pair, env, renv)
             if not isinstance(pair, RPair):
                 raise RuntimeFault("#i of a non-pair value")
+            if self.sanitize and pair.san != pair.region.stamp:
+                self.san_fault(pair)
             return pair.fst if t.index == 1 else pair.snd
         if cls is T.Cons:
             head = self.ev(t.head, env, renv)
@@ -476,6 +512,9 @@ class Interp:
             return RRef(init, region)
         if cls is T.Deref:
             ref = self.ev(t.ref, env, renv)
+            if self.sanitize:
+                self.san_check(ref)
+                self.san_check(ref.contents)
             return ref.contents
         if cls is T.Assign:
             ref = self.ev(t.ref, env, renv)
@@ -484,6 +523,9 @@ class Interp:
                 value = self.ev(t.value, env, renv)
             finally:
                 self.temps.pop()
+            if self.sanitize:
+                self.san_check(ref)
+                self.san_check(value)
             ref.contents = value
             self.collector.note_write(ref)
             return UNIT
@@ -502,6 +544,8 @@ class Interp:
             return RData(t.conname, payload, region)
         if cls is T.Case:
             scrut = self.ev(t.scrutinee, env, renv)
+            if self.sanitize:
+                self.san_check(scrut)
             for br in t.branches:
                 if br.conname is not None:
                     if not isinstance(scrut, RData):
@@ -644,6 +688,8 @@ class Interp:
         fn = self.ev(t.fn, env, renv)
         if not isinstance(fn, RFunClos):
             raise RuntimeFault("region application of a non-fun value")
+        if self.sanitize:
+            self.san_check(fn)
         self.stats.region_apps += 1
         self.temps.append(fn)
         try:
@@ -684,6 +730,9 @@ class Interp:
             raise RuntimeFault("region application of a non-fun value")
         self.stats.direct_calls += 1
         arg = self.ev(t.arg, env, renv)
+        if self.sanitize:
+            self.san_check(fn)
+            self.san_check(arg)
         self.temps.append(arg)
         try:
             call_renv = self._bind_regions(fn, rapp.rargs, renv)
@@ -695,6 +744,9 @@ class Interp:
         return self._enter(fn.body, call_env, call_renv)
 
     def _invoke(self, fn, arg):
+        if self.sanitize:
+            self.san_check(fn)
+            self.san_check(arg)
         if isinstance(fn, RClos):
             call_env = dict(fn.venv)
             call_env[fn.param] = arg
@@ -739,6 +791,10 @@ class Interp:
                 self.temps.pop()
 
     def _apply_prim(self, op: str, args: list, rho: Optional[RegionVar], renv: dict):
+        if self.sanitize:
+            for a in args:
+                if isinstance(a, RBox) and a.san != a.region.stamp:
+                    self.san_fault(a)
         if op == "add":
             return args[0] + args[1]
         if op == "sub":
@@ -841,10 +897,14 @@ class Interp:
         if op == "hd":
             if isinstance(args[0], Nil):
                 raise RuntimeFault("Empty: hd of nil")
+            if self.sanitize:
+                self.san_check(args[0])
             return args[0].head
         if op == "tl":
             if isinstance(args[0], Nil):
                 raise RuntimeFault("Empty: tl of nil")
+            if self.sanitize:
+                self.san_check(args[0])
             return args[0].tail
         raise RuntimeFault(f"unknown primitive {op}")
 

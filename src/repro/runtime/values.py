@@ -56,11 +56,15 @@ NIL = Nil()
 class RBox:
     """Base class of boxed (region-allocated, traced) values."""
 
-    __slots__ = ("region", "gen")
+    __slots__ = ("region", "gen", "san")
 
     def __init__(self, region) -> None:
         self.region = region
         self.gen = 0  # generation for the generational collector
+        #: The region's generation stamp at allocation time — the pointer
+        #: sanitizer's liveness witness (``san != region.stamp`` means the
+        #: region was deallocated after this value was placed in it).
+        self.san = region.stamp
 
 
 class RStr(RBox):

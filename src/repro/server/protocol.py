@@ -15,10 +15,12 @@ default)::
         "generational": false,
         "max_heap_words": null,         # per-request resource limits
         "deadline_seconds": null,
-        "fault_plan": null              # FaultPlan.to_dict
+        "fault_plan": null,             # FaultPlan.to_dict
+        "sanitize": false               # heap pointer sanitizer
       },
-      "trace": false                    # return the JSONL event trace
-    }
+      "trace": false,                   # return the JSONL event trace
+      "verify": false                   # run the independent GC-safety
+    }                                   # verifier (repro.analysis) first
 
 Response shape (the same ``schema``)::
 
@@ -37,6 +39,7 @@ Response shape (the same ``schema``)::
                                         # (request had "cache": false)
       "timing": {"compile_seconds": ..., "run_seconds": ...},
       "trace": [...],                   # requested traces only
+      "verify": {...},                  # VerifierReport.to_dict, requested
       "retry_after": 1.5                # rejected only (seconds)
     }
 
@@ -85,7 +88,8 @@ EXIT_FOR_STATUS = {
 }
 
 _RUNTIME_KEYS = frozenset(
-    {"gc_every_alloc", "generational", "max_heap_words", "deadline_seconds", "fault_plan"}
+    {"gc_every_alloc", "generational", "max_heap_words", "deadline_seconds",
+     "fault_plan", "sanitize"}
 )
 
 
@@ -99,7 +103,9 @@ def make_request(
     max_heap_words: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
     fault_plan=None,
+    sanitize: bool = False,
     trace: bool = False,
+    verify: bool = False,
 ) -> dict:
     """Build a request dict (the client-side constructor)."""
     return {
@@ -114,8 +120,10 @@ def make_request(
             "max_heap_words": max_heap_words,
             "deadline_seconds": deadline_seconds,
             "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
+            "sanitize": sanitize,
         },
         "trace": trace,
+        "verify": verify,
     }
 
 
@@ -133,7 +141,8 @@ def validate_request(request: object) -> Optional[str]:
         return f"schema is {request.get('schema')!r}, expected {PROTOCOL!r}"
     if not isinstance(request.get("source"), str):
         return "source must be a string"
-    known = {"schema", "source", "flags", "backend", "cache", "runtime", "trace"}
+    known = {"schema", "source", "flags", "backend", "cache", "runtime", "trace",
+             "verify"}
     extra = set(request) - known
     if extra:
         return f"unknown request fields {sorted(extra)}"
@@ -189,6 +198,8 @@ def request_runtime_overrides(request: dict) -> dict:
         overrides["gc_every_alloc"] = True
     if runtime.get("generational"):
         overrides["generational"] = True
+    if runtime.get("sanitize"):
+        overrides["sanitize"] = True
     if runtime.get("max_heap_words") is not None:
         overrides["max_heap_words"] = int(runtime["max_heap_words"])
     if runtime.get("deadline_seconds") is not None:
@@ -210,6 +221,7 @@ def make_response(
     cache: Optional[dict] = None,
     timing: Optional[dict] = None,
     trace: Optional[list] = None,
+    verify: Optional[dict] = None,
     retry_after: Optional[float] = None,
 ) -> dict:
     if status not in STATUSES:
@@ -234,6 +246,8 @@ def make_response(
         response["timing"] = timing
     if trace is not None:
         response["trace"] = trace
+    if verify is not None:
+        response["verify"] = verify
     if retry_after is not None:
         response["retry_after"] = retry_after
     return response

@@ -134,6 +134,24 @@ def execute_job(request: dict) -> dict:
         )
         timing["compile_seconds"] = round(time.perf_counter() - start, 6)
 
+        report_dict: Optional[dict] = None
+        if request.get("verify"):
+            from ..analysis import verify_term
+
+            report = verify_term(program.term)
+            report_dict = report.to_dict()
+            if not report.ok:
+                return make_response(
+                    "error",
+                    error={
+                        "type": "VerificationError",
+                        "message": report.summary(),
+                    },
+                    cache=cache_info,
+                    timing=timing,
+                    verify=report_dict,
+                )
+
         recorder = None
         if request.get("trace"):
             from ..runtime.trace import EventBus, RecordingSink
@@ -152,6 +170,7 @@ def execute_job(request: dict) -> dict:
             cache=cache_info,
             timing=timing,
             trace=list(recorder.events) if recorder is not None else None,
+            verify=report_dict,
         )
     except InterpreterLimit as exc:
         return make_response(

@@ -12,6 +12,12 @@ a **genuine** soundness bug in the reproduction.
 Runs that hit a resource limit are inconclusive for that cell and are
 counted but not compared — limits are how the harness avoids hanging,
 not a verdict.
+
+A third, *independent* oracle cross-checks the other two: every compiled
+cell is also re-judged by :func:`repro.analysis.verify_term` (which
+shares no code with the Figure 4 checker).  The two static judges must
+agree — both accept or both reject the annotation; a split verdict is a
+bug in one of them and is reported as ``CLASS_VERIFIER_DISAGREE``.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ __all__ = [
     "CLASS_SOUNDNESS_BUG",
     "CLASS_USE_AFTER_FREE",
     "CLASS_VALUE_MISMATCH",
+    "CLASS_VERIFIER_DISAGREE",
     "CLASS_VERIFY_UNEXPECTED",
     "DifferentialReport",
     "Divergence",
@@ -51,6 +58,7 @@ CLASS_VALUE_MISMATCH = "value-mismatch"
 CLASS_COMPILE_ERROR = "compile-error"
 CLASS_VERIFY_UNEXPECTED = "unexpected-verification-failure"
 CLASS_USE_AFTER_FREE = "use-after-free"
+CLASS_VERIFIER_DISAGREE = "verifier-checker-disagreement"
 
 
 @dataclass(frozen=True)
@@ -222,6 +230,27 @@ def run_differential(
                         mode.value,
                         None,
                         str(prog.verification_error),
+                    )
+                )
+            # Third oracle: the independent verifier must agree with the
+            # Figure 4 checker on whether this annotation is safe.
+            from ..analysis import verify_term
+
+            verdict = verify_term(prog.term)
+            if verdict.ok == (prog.verification_error is not None):
+                report.divergences.append(
+                    Divergence(
+                        CLASS_VERIFIER_DISAGREE,
+                        strategy.value,
+                        mode.value,
+                        None,
+                        f"independent verifier says "
+                        f"{'safe' if verdict.ok else 'unsafe'} "
+                        f"({', '.join(verdict.rules) or 'no violations'}) but "
+                        f"the Figure 4 checker says "
+                        f"{'unsafe' if prog.verification_error else 'safe'}"
+                        + (f": {prog.verification_error}"
+                           if prog.verification_error else ""),
                     )
                 )
             # Without a collector the schedule is irrelevant: run `r`

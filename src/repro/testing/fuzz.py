@@ -68,6 +68,27 @@ def _iteration_seeds(master_seed: int, iterations: int) -> list[int]:
     return [rng.randrange(2**32) for _ in range(iterations)]
 
 
+def _verifier_agrees(sound, minus=None) -> bool:
+    """Re-run the *independent* verifier on a shrink candidate.
+
+    A shrunk reproducer must preserve the static judgments, not just the
+    runtime symptom: the ``rg`` compilation has to stay verifier-clean
+    (otherwise the candidate is not a faithful sound program any more)
+    and, when the finding is an ``rg-`` dangle, the verifier has to keep
+    rejecting the ``rg-`` annotation (otherwise shrinking has wandered to
+    a *different* bug whose rule attribution no longer matches the corpus
+    metadata).  Without this guard the shrinker happily minimizes to a
+    program exhibiting an unrelated schedule accident.
+    """
+    from ..analysis import verify_term
+
+    if not verify_term(sound.term).ok:
+        return False
+    if minus is not None and verify_term(minus.term).ok:
+        return False
+    return True
+
+
 def _targeted_dangling_predicate(plan: Optional[FaultPlan], limits: dict):
     """A cheap shrink predicate: does rg- still dangle under this plan
     while rg stays safe?  (Two compiles instead of the full matrix.)"""
@@ -78,6 +99,8 @@ def _targeted_dangling_predicate(plan: Optional[FaultPlan], limits: dict):
             minus = compile_program(source, strategy=Strategy.RG_MINUS)
             sound = compile_program(source, strategy=Strategy.RG)
         except ReproError:
+            return False
+        if not _verifier_agrees(sound, minus):
             return False
         try:
             minus.run(fault_plan=plan, **limits)
@@ -100,7 +123,14 @@ def _genuine_predicate(finding: Divergence, plans, limits_kw: dict):
     must still show up somewhere in the (cheaper, re-run) matrix."""
 
     def predicate(program: Program) -> bool:
-        report = run_differential(program.render(), plans=plans, **limits_kw)
+        source = program.render()
+        try:
+            sound = compile_program(source, strategy=Strategy.RG)
+        except ReproError:
+            return False
+        if not _verifier_agrees(sound):
+            return False
+        report = run_differential(source, plans=plans, **limits_kw)
         return any(
             d.classification == finding.classification for d in report.genuine
         )

@@ -1,0 +1,207 @@
+"""Properties of the independent verifier and the pointer sanitizer.
+
+Soundness (completeness against the annotator): every region-annotated
+program the pipeline's sound strategies produce — generated programs,
+all 23 Figure 9 benchmarks, and every seeded fuzz-corpus reproducer —
+must pass :func:`repro.analysis.verify_term` in both spurious modes.
+The verifier shares no code with the inference passes or the Figure 4
+checker, so a failure here is a real disagreement between the two
+derivations, not a tautology.
+
+Transparency (the sanitizer is observation-free): running with
+``sanitize=True`` must be *bit-identical* — same value, same stdout,
+same ``RunStats``, same trace events — to running without, on both the
+tree walker and the closure backend.  The only permitted difference is
+that stale pointers fault as :class:`StalePointerError` instead of
+going unnoticed, which the Figure 8 program pins down.
+"""
+
+import pytest
+
+from repro.analysis import verify_term
+from repro.bench.registry import BENCHMARKS, benchmark_source
+from repro.config import CompilerFlags, SpuriousMode, Strategy
+from repro.core.errors import ReproError, StalePointerError
+from repro.pipeline import compile_program
+from repro.runtime.trace import EventBus, RecordingSink
+from repro.runtime.values import show_value
+from repro.testing.fuzz import fuzz
+from repro.testing.generate import generate_program
+
+MODES = [SpuriousMode.SECONDARY, SpuriousMode.IDENTIFY]
+
+
+def _verify_source(source: str, mode: SpuriousMode, strategy=Strategy.RG):
+    """Compile under a sound strategy and re-judge with the verifier."""
+    flags = CompilerFlags(strategy=strategy, spurious_mode=mode)
+    prog = compile_program(source, flags=flags)
+    return verify_term(prog.term)
+
+
+class TestVerifierAcceptsSoundPrograms:
+    """The verifier must accept everything the sound pipeline emits."""
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_generated_programs_verify(self, mode):
+        checked = 0
+        for seed in range(25):
+            source = generate_program(seed).render()
+            try:
+                report = _verify_source(source, mode)
+            except ReproError:
+                continue  # frontend-ill-typed generator output
+            assert report.ok, f"seed {seed}/{mode.value}:\n{report.summary()}"
+            checked += 1
+        assert checked >= 15  # the generator mostly produces typeable code
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_figure9_benchmarks_verify(self, name):
+        source = benchmark_source(name)
+        for mode in MODES:
+            report = _verify_source(source, mode)
+            assert report.ok, f"{name}/{mode.value}:\n{report.summary()}"
+
+    def test_trivial_strategy_also_verifies(self):
+        # The everything-in-one-global-region annotation is trivially
+        # safe; the verifier must agree (it gates `trivial` in the
+        # pipeline too).
+        for seed in range(10):
+            source = generate_program(seed).render()
+            try:
+                report = _verify_source(
+                    source, SpuriousMode.SECONDARY, strategy=Strategy.TRIVIAL
+                )
+            except ReproError:
+                continue
+            assert report.ok, report.summary()
+
+
+class TestFuzzCorpusReproducers:
+    """Every reproducer the fuzzer shrinks and writes stays a faithful
+    witness: verifier-clean under rg (both modes), and — for the rg-
+    dangle class — still *rejected* by the verifier under rg-, agreeing
+    with the Figure 4 checker."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("corpus")
+        summary = fuzz(
+            seed=1, iterations=12, corpus=str(path), deadline_seconds=30.0
+        )
+        assert summary.ok, [d.detail for d in summary.genuine]
+        return path
+
+    def test_corpus_nonempty(self, corpus):
+        assert list(corpus.glob("*.mml"))
+
+    def test_reproducers_verify_under_rg_in_both_modes(self, corpus):
+        for mml in sorted(corpus.glob("*.mml")):
+            source = mml.read_text()
+            for mode in MODES:
+                report = _verify_source(source, mode)
+                assert report.ok, f"{mml.name}/{mode.value}:\n{report.summary()}"
+
+    def test_dangle_reproducers_rejected_under_rg_minus(self, corpus):
+        for mml in sorted(corpus.glob("dangle-*.mml")):
+            prog = compile_program(mml.read_text(), strategy=Strategy.RG_MINUS)
+            report = verify_term(prog.term)
+            # The two static judges agree on the unsound annotation.
+            assert report.ok == (prog.verification_error is None), mml.name
+            assert not report.ok, f"{mml.name}: verifier accepted an rg- dangle"
+            assert report.rules, mml.name
+
+
+def _observe(prog, backend, **overrides):
+    """Everything an observer can see from one run: success (value,
+    stdout, full stats) or fault (type, message) — plus the complete
+    event trace either way."""
+    sink = RecordingSink()
+    try:
+        result = prog.run(backend=backend, tracer=EventBus(sink), **overrides)
+    except ReproError as exc:
+        return ("exc", type(exc).__name__, str(exc)), sink.events
+    record = (
+        "ok",
+        show_value(result.value),
+        result.output,
+        sorted(result.stats.to_dict().items()),
+    )
+    return record, sink.events
+
+
+class TestSanitizerTransparency:
+    """sanitize=True is observation-free on safe runs."""
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_golden_matrix_bit_identical(self, name):
+        prog = compile_program(benchmark_source(name), strategy=Strategy.RG)
+        for backend in ("tree", "closure"):
+            plain, plain_ev = _observe(prog, backend)
+            san, san_ev = _observe(prog, backend, sanitize=True)
+            assert san == plain, f"{name}/{backend} sanitize changed the run"
+            assert san_ev == plain_ev, f"{name}/{backend} sanitize changed the trace"
+            assert plain[0] == "ok", f"{name}/{backend} golden run faulted"
+            assert plain[1] == BENCHMARKS[name].expected
+
+    def test_transparent_under_injected_gc_schedule(self):
+        from repro.testing.faultplan import FaultPlan
+
+        plan = FaultPlan.every_nth(3, kind="major")
+        for name in ("fib", "msort", "zebra"):
+            prog = compile_program(benchmark_source(name), strategy=Strategy.RG)
+            for backend in ("tree", "closure"):
+                plain, plain_ev = _observe(
+                    prog, backend, fault_plan=plan, generational=True
+                )
+                san, san_ev = _observe(
+                    prog, backend, fault_plan=plan, generational=True, sanitize=True
+                )
+                assert san == plain, f"{name}/{backend}"
+                assert san_ev == plain_ev, f"{name}/{backend}"
+
+
+FIG8 = """
+fun g (f : unit -> 'a) : unit -> unit =
+  op o (let val x = f ()
+        in (fn x => (), fn () => x)
+        end)
+fun work n = if n = 0 then nil else n :: work (n - 1)
+val h = g (fn () => "oh" ^ "no")
+val _ = work 200
+val it = h ()
+"""
+
+
+class TestSanitizerFaultDetection:
+    """On the Figure 8 program under rg-, the sanitizer catches the
+    stale pointer the moment the resurrected closure is touched — with
+    the *production* GC policy, where the un-sanitized run sails through
+    to a wrong-but-silent completion."""
+
+    @pytest.mark.parametrize("backend", ["tree", "closure"])
+    def test_fig8_rg_minus_raises_stale_pointer(self, backend):
+        prog = compile_program(FIG8, strategy=Strategy.RG_MINUS)
+        # Without the sanitizer the default policy never collects inside
+        # the dangle window, so the run silently completes...
+        prog.run(backend=backend)
+        # ...with it, the deallocated region's generation stamp gives
+        # the stale access away.
+        with pytest.raises(StalePointerError, match="stale pointer"):
+            prog.run(backend=backend, sanitize=True)
+
+    @pytest.mark.parametrize("backend", ["tree", "closure"])
+    def test_fault_is_attributed_in_the_trace(self, backend):
+        prog = compile_program(FIG8, strategy=Strategy.RG_MINUS)
+        sink = RecordingSink()
+        with pytest.raises(StalePointerError):
+            prog.run(backend=backend, sanitize=True, tracer=EventBus(sink))
+        dangles = [e for e in sink.events if e["ev"] == "dangle"]
+        assert dangles and dangles[-1].get("sanitizer") is True
+
+    @pytest.mark.parametrize("backend", ["tree", "closure"])
+    def test_rg_is_clean_under_sanitizer(self, backend):
+        prog = compile_program(FIG8, strategy=Strategy.RG)
+        plain, plain_ev = _observe(prog, backend, gc_every_alloc=True)
+        san, san_ev = _observe(prog, backend, gc_every_alloc=True, sanitize=True)
+        assert plain[0] == "ok"
+        assert san == plain and san_ev == plain_ev
