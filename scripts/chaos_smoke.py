@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI chaos smoke: the serving layer survives seeded fault injection.
+
+Runs the full ``repro-chaos`` scenario — by default the whole Figure 9
+corpus through a live server under 5 worker kills, 3 admission sheds,
+rate-driven pipe delays and duplicates, a mid-run drain/resume and
+rolling restart, and 3 digest-corrupted + 2 format-smashed disk-cache
+entries — **twice with the same seed**, and requires:
+
+1. zero lost jobs and zero wrong answers (every response bit-identical
+   to the in-process ground truth) in both runs;
+2. retries exactly equal to the injected kill + shed count, every
+   backoff wait under the cap;
+3. every corrupt cache entry quarantined and healed;
+4. the two runs' deterministic report subsets identical — same fault
+   schedule, same counters, no hidden nondeterminism.
+
+Exit codes: 0 ok, 1 any invariant or determinism violation (the chaos
+CLI prints the specific failures), 2 bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.server.chaos import main as chaos_main  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--programs", default=None,
+                        help="comma-separated subset (default: all 23; CI "
+                             "may pass a subset of at least 8 for speed)")
+    parser.add_argument("--kills", type=int, default=5)
+    parser.add_argument("--rejects", type=int, default=3)
+    parser.add_argument("--corrupt", type=int, default=3)
+    parser.add_argument("--truncate", type=int, default=2)
+    parser.add_argument("--single-run", action="store_true",
+                        help="skip the same-seed determinism replay")
+    args = parser.parse_args(argv)
+
+    if args.programs is not None and len(args.programs.split(",")) < 8:
+        print("chaos smoke needs at least 8 programs to be meaningful",
+              file=sys.stderr)
+        return 2
+
+    forwarded = [
+        "--seed", str(args.seed),
+        "--workers", str(args.workers),
+        "--kills", str(args.kills),
+        "--rejects", str(args.rejects),
+        "--corrupt", str(args.corrupt),
+        "--truncate", str(args.truncate),
+    ]
+    if args.programs:
+        forwarded += ["--programs", args.programs]
+    if not args.single_run:
+        forwarded += ["--check-determinism"]
+    return chaos_main(forwarded)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,13 +27,19 @@ This package is the resident serving layer on top of the same pipeline:
   latency/heap histograms) behind the ``stats`` endpoint.
 * :mod:`repro.server.app` — HTTP wiring + the ``repro-serve`` CLI.
 * :mod:`repro.server.client` — a small Python client + the
-  ``repro-submit`` CLI.
+  ``repro-submit`` CLI, with capped-exponential-backoff retries.
+* :mod:`repro.server.chaos` — seeded serving-layer fault injection +
+  the ``repro-chaos`` CLI: replay the Figure 9 corpus through a live
+  fleet under worker kills, admission sheds, pipe delays/duplicates,
+  and disk-cache corruption, asserting no job is lost and every answer
+  stays bit-identical.
 
 See ``docs/serving.md`` for the architecture, wire schema, and ops
 runbook.
 """
 
 from .app import ReproServer, ServerConfig
+from .chaos import ChaosPlan
 from .client import ServerClient
 
-__all__ = ["ReproServer", "ServerConfig", "ServerClient"]
+__all__ = ["ReproServer", "ServerConfig", "ServerClient", "ChaosPlan"]

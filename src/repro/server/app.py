@@ -11,11 +11,23 @@ Endpoints:
 
 * ``POST /v1/run``      — one compile-and-run job (wire schema:
   :mod:`repro.server.protocol`).  ``503`` + ``Retry-After`` on a full
-  queue, ``400`` on a malformed request, ``200`` with a structured
-  status otherwise (a *job* failure is not a transport failure).
+  queue, tenant quota, or drain, ``400`` on a malformed request,
+  ``200`` with a structured status otherwise (a *job* failure is not a
+  transport failure).
 * ``GET  /v1/stats``    — fleet metrics + scheduler/pool/cache state.
-* ``GET  /v1/healthz``  — liveness (also used by clients to wait for
-  startup).
+* ``GET  /v1/health``   — readiness *and* liveness: ``200`` when
+  admitting, ``503`` (with the same JSON body) while draining.  Load
+  balancers point here; so does ``ServerClient.wait_ready``.
+* ``GET  /v1/healthz``  — bare liveness (kept for old probes/scripts).
+* ``POST /v1/admin/drain``   — graceful drain: stop admitting (503 +
+  ``Retry-After``), wait for in-flight jobs.  Body: ``{"timeout": s}``.
+* ``POST /v1/admin/resume``  — reopen admission after a drain.
+* ``POST /v1/admin/restart`` — rolling worker restart: recycle the
+  workers one slot at a time, in-flight jobs finishing first.
+
+Clients mark retransmissions with an ``X-Repro-Attempt`` header (1 for
+the first try); the server counts attempts > 1 into the fleet ``retries``
+metric — retry storms show up on the dashboard, not just in latency.
 """
 
 from __future__ import annotations
@@ -62,6 +74,11 @@ class ServerConfig:
     job_timeout_seconds: float = 120.0
     #: Worker start method (``spawn`` is the safe default under threads).
     mp_context: str = "spawn"
+    #: Per-tenant token-bucket quota: admissions/second per tenant
+    #: (``None`` disables quotas entirely).
+    tenant_rate: Optional[float] = None
+    #: Burst ceiling of each tenant's bucket.
+    tenant_burst: float = 8.0
 
 
 class ReproServer:
@@ -79,6 +96,8 @@ class ReproServer:
             mp_context=config.mp_context,
         )
         self.scheduler = Scheduler(self.pool, config.queue_capacity)
+        if config.tenant_rate is not None:
+            self.scheduler.configure_quota(config.tenant_rate, config.tenant_burst)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started = time.monotonic()
@@ -86,15 +105,24 @@ class ReproServer:
 
     # -- request handling (transport-independent) ----------------------------
 
-    def handle_run(self, request: object) -> Tuple[int, dict]:
-        """Returns ``(http_status, response_dict)``."""
+    def handle_run(self, request: object, attempt: int = 1) -> Tuple[int, dict]:
+        """Returns ``(http_status, response_dict)``.  ``attempt`` is the
+        client's 1-based try counter (``X-Repro-Attempt``); values above
+        1 are counted as fleet retries."""
+        if attempt > 1:
+            self.metrics.record_retry()
         problem = None
+        tenant = None
         if not isinstance(request, dict):
             problem = f"request is {type(request).__name__}, expected object"
         elif request.get("schema") != PROTOCOL:
             problem = f"schema is {request.get('schema')!r}, expected {PROTOCOL!r}"
         elif not isinstance(request.get("source"), str):
             problem = "source must be a string"
+        else:
+            tenant = request.get("tenant")
+            if tenant is not None and not isinstance(tenant, str):
+                problem = "tenant must be a string"
         if problem is not None:
             # Full validation happens in the worker; the cheap checks here
             # keep garbage out of the queue without compiling anything.
@@ -110,11 +138,12 @@ class ReproServer:
             timeout = float(deadline) + DEADLINE_GRACE_SECONDS
 
         start = time.perf_counter()
-        outcome = self.scheduler.submit(request, timeout=timeout)
+        outcome = self.scheduler.submit(request, timeout=timeout, tenant=tenant)
         if isinstance(outcome, Rejection):
             self.metrics.record_rejection()
             response = rejection_response(
-                outcome.retry_after, outcome.depth, outcome.capacity
+                outcome.retry_after, outcome.depth, outcome.capacity,
+                reason=outcome.reason,
             )
             return 503, response
 
@@ -134,6 +163,45 @@ class ReproServer:
         response["id"] = job_id
         self.metrics.record_response(response, wall_seconds=wall)
         return 200, response
+
+    # -- resilience operations -----------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful drain: stop admitting (new submissions get 503 +
+        ``Retry-After``) and wait for every in-flight job to finish.
+        Admission stays closed until :meth:`resume`."""
+        self.metrics.record_drain()
+        return self.scheduler.drain(timeout=timeout)
+
+    def resume(self) -> None:
+        """Reopen admission after :meth:`drain`."""
+        self.scheduler.resume()
+
+    def rolling_restart(self, timeout_per_worker: float = 60.0) -> int:
+        """Recycle every worker process one slot at a time; in-flight
+        jobs finish on the old processes first, and the pool never loses
+        more than one worker's capacity at once.  Safe under live
+        traffic — that is the point."""
+        recycled = self.pool.rolling_restart(timeout_per_worker)
+        self.metrics.record_rolling_restart()
+        return recycled
+
+    def health_snapshot(self) -> Tuple[int, dict]:
+        """Readiness + liveness.  ``live`` is trivially true if we can
+        answer at all; ``ready`` means admission is open.  The HTTP
+        status mirrors ``ready`` so load balancers and
+        ``wait_ready`` need no body parsing."""
+        draining = self.scheduler.draining
+        body = {
+            "schema": PROTOCOL,
+            "ok": True,
+            "live": True,
+            "ready": not draining,
+            "draining": draining,
+            "workers": {"size": self.pool.size, "busy": self.pool.busy},
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+        }
+        return (200 if body["ready"] else 503), body
 
     def stats_snapshot(self) -> dict:
         return {
@@ -177,27 +245,70 @@ class ReproServer:
             def do_GET(self) -> None:
                 if self.path == "/v1/healthz":
                     self._send_json(200, {"ok": True, "schema": PROTOCOL})
+                elif self.path == "/v1/health":
+                    status, body = server.health_snapshot()
+                    headers = {"Retry-After": "1"} if status == 503 else None
+                    self._send_json(status, body, headers)
                 elif self.path == "/v1/stats":
                     self._send_json(200, server.stats_snapshot())
                 else:
                     self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
 
+            def _read_body(self):
+                length = int(self.headers.get("Content-Length", "0"))
+                return json.loads(self.rfile.read(length) or b"null")
+
             def do_POST(self) -> None:
+                if self.path in ("/v1/admin/drain", "/v1/admin/resume",
+                                 "/v1/admin/restart"):
+                    self._admin(self.path.rsplit("/", 1)[1])
+                    return
                 if self.path != "/v1/run":
                     self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
                     return
                 try:
-                    length = int(self.headers.get("Content-Length", "0"))
-                    request = json.loads(self.rfile.read(length) or b"null")
+                    request = self._read_body()
                 except (ValueError, OSError) as exc:
                     response = invalid_response(f"bad request body: {exc}")
                     self._send_json(400, response)
                     return
-                status, response = server.handle_run(request)
+                try:
+                    attempt = int(self.headers.get("X-Repro-Attempt", "1"))
+                except ValueError:
+                    attempt = 1
+                status, response = server.handle_run(request, attempt=attempt)
                 headers = None
                 if status == 503:
                     headers = {"Retry-After": str(response.get("retry_after", 1))}
                 self._send_json(status, response, headers)
+
+            def _admin(self, op: str) -> None:
+                try:
+                    body = self._read_body()
+                except (ValueError, OSError):
+                    body = None
+                body = body if isinstance(body, dict) else {}
+                try:
+                    if op == "drain":
+                        timeout = body.get("timeout", 30.0)
+                        timeout = float(timeout) if timeout is not None else None
+                        drained = server.drain(timeout=timeout)
+                        result = {"ok": drained, "op": "drain",
+                                  "in_flight": server.scheduler.in_flight}
+                    elif op == "resume":
+                        server.resume()
+                        result = {"ok": True, "op": "resume"}
+                    else:
+                        recycled = server.rolling_restart(
+                            float(body.get("timeout_per_worker", 60.0)))
+                        result = {"ok": True, "op": "restart",
+                                  "recycled": recycled}
+                except (TimeoutError, RuntimeError, ValueError, TypeError) as exc:
+                    self._send_json(500, {"ok": False, "op": op,
+                                          "error": {"type": type(exc).__name__,
+                                                    "message": str(exc)}})
+                    return
+                self._send_json(200, result)
 
         self._httpd = ThreadingHTTPServer((self.config.host, self.config.port), Handler)
         self._httpd.daemon_threads = True
@@ -258,6 +369,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--job-timeout", type=float, default=120.0,
                         metavar="SECONDS",
                         help="watchdog for jobs with no deadline (default 120)")
+    parser.add_argument("--tenant-rate", type=float, default=None,
+                        metavar="PER_SECOND",
+                        help="per-tenant token-bucket quota in admissions/s "
+                             "(default: quotas disabled)")
+    parser.add_argument("--tenant-burst", type=float, default=8.0, metavar="N",
+                        help="per-tenant burst ceiling (default 8)")
     args = parser.parse_args(argv)
 
     cache_dir: Optional[str]
@@ -275,6 +392,8 @@ def main(argv: Optional[list] = None) -> int:
         queue_capacity=args.queue,
         cache_dir=cache_dir,
         job_timeout_seconds=args.job_timeout,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
     ))
     host, port = server.start()
     print(f"repro-serve: listening on http://{host}:{port} "

@@ -1,0 +1,517 @@
+"""Seeded chaos testing for the serving layer — the ``repro-chaos`` CLI.
+
+The runtime already has deterministic fault injection
+(:class:`~repro.testing.faultplan.FaultPlan` decides GC points as a pure
+function of ``(seed, index)``).  This module is the same idea one layer
+up: a :class:`ChaosPlan` decides *serving-layer* faults — kill a worker
+process mid-job, delay or duplicate a pipe message, shed an admission,
+corrupt or truncate disk-cache entries — as a pure function of the seed
+and the event's sequence number.  The same seed always produces the same
+fault schedule, so a chaos run is a regression test, not a dice roll.
+
+:func:`run_chaos` is the driver.  It boots a **live** server (real
+worker processes, real HTTP, real disk cache), installs the plan at the
+pool's dispatch points and the scheduler's admission points, then
+replays the Figure 9 corpus through :class:`~repro.server.client.ServerClient`
+with bounded retries and diffs every response against an in-process
+ground truth (the exact ``repro-run`` code path).  Between waves it
+rolls every worker and scribbles garbage into the disk cache, so wave
+two exercises the self-healing read path.  Three invariants must hold
+or the run fails:
+
+* **no lost job** — every submission ends in a terminal ``ok``;
+* **no wrong answer** — value, stdout, and ``RunStats`` are
+  bit-identical to the local ground truth, faults notwithstanding;
+* **bounded retries** — total retransmissions equal exactly
+  ``|kills| + |rejects|`` and every backoff wait respects the cap.
+
+Determinism is part of the contract and it is *provable*, not hoped
+for: kill indices live in ``range(n_programs)`` of the dispatch
+sequence and every one of those sequence numbers occurs (each program
+dispatches at least once), so exactly ``|kills|`` kills fire and wave
+one sees exactly ``n_programs + |kills|`` dispatches; the same argument
+gives ``n_programs + |kills| + |rejects|`` admissions.  Rate-based
+delays and duplicates are pure functions of the dispatch sequence
+number, so over a deterministic number of dispatches their counts are
+deterministic too (:meth:`ChaosPlan.expected_counts` computes them in
+closed form, and the driver asserts the live counters match).  *Which*
+job a fault lands on depends on thread scheduling; *how many* faults of
+each kind fire does not — and correctness must hold regardless of
+placement, which is exactly what makes the schedule a fair test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+__all__ = ["ChaosPlan", "ChaosError", "run_chaos", "deterministic_subset", "main"]
+
+
+def _chance(seed: int, salt: str, index: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one event index (string
+    seeding is SHA-512-hashed: stable across interpreters and
+    ``PYTHONHASHSEED``) — the :mod:`~repro.testing.faultplan` idiom."""
+    return random.Random(f"{seed}:{salt}:{index}").random()
+
+
+class ChaosError(AssertionError):
+    """A chaos invariant was violated (lost job, wrong answer, retry
+    budget blown, or a same-seed replay diverged)."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded serving-layer fault schedule.
+
+    ``kill_at`` are *dispatch*-sequence indices (the pool kills the
+    worker right after sending that job), ``reject_at`` are
+    *admission*-sequence indices (the scheduler sheds that submission).
+    Both are materialized index sets — not rates — because the bounded-
+    retries invariant needs an exact fault count.  Delays and duplicates
+    are rate-based per dispatch; ``corrupt_entries`` /
+    ``truncate_entries`` count disk-cache files the driver vandalizes
+    between waves (digest-breaking edit → quarantine path; magic-
+    destroying overwrite → format-mismatch path).
+    """
+
+    seed: int = 0
+    kill_at: tuple = ()
+    reject_at: tuple = ()
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.02
+    duplicate_rate: float = 0.0
+    corrupt_entries: int = 0
+    truncate_entries: int = 0
+
+    @classmethod
+    def for_corpus(
+        cls,
+        seed: int,
+        n_programs: int,
+        kills: int = 5,
+        rejects: int = 3,
+        delay_rate: float = 0.25,
+        delay_seconds: float = 0.02,
+        duplicate_rate: float = 0.15,
+        corrupt_entries: int = 3,
+        truncate_entries: int = 2,
+    ) -> "ChaosPlan":
+        """Sample concrete fault indices for a corpus of ``n_programs``.
+
+        Kill and reject indices are drawn from ``range(n_programs)`` —
+        the window where every sequence number provably occurs — which
+        is what makes the per-kind fault counts (and hence the retry
+        total) deterministic.
+        """
+        kills = min(kills, n_programs)
+        rejects = min(rejects, n_programs)
+        return cls(
+            seed=seed,
+            kill_at=tuple(sorted(
+                random.Random(f"{seed}:kill-at").sample(range(n_programs), kills))),
+            reject_at=tuple(sorted(
+                random.Random(f"{seed}:reject-at").sample(range(n_programs), rejects))),
+            delay_rate=delay_rate,
+            delay_seconds=delay_seconds,
+            duplicate_rate=duplicate_rate,
+            corrupt_entries=corrupt_entries,
+            truncate_entries=truncate_entries,
+        )
+
+    # -- pool hook (DispatchChaos protocol) ----------------------------------
+
+    def decide_dispatch(self, seq: int) -> Optional[dict]:
+        """One action per dispatch, kill taking precedence — a killed
+        dispatch never also counts as a delay/duplicate, which keeps
+        :meth:`expected_counts` exact."""
+        if seq in self.kill_at:
+            return {"op": "kill"}
+        if self.delay_rate > 0.0 and _chance(self.seed, "delay", seq) < self.delay_rate:
+            return {"op": "delay", "seconds": self.delay_seconds}
+        if (self.duplicate_rate > 0.0
+                and _chance(self.seed, "dup", seq) < self.duplicate_rate):
+            return {"op": "duplicate"}
+        return None
+
+    def expected_counts(self, total_dispatches: int) -> dict:
+        """Closed-form fault counts over a known number of dispatches —
+        the oracle the driver checks the live pool counters against."""
+        kills = delays = duplicates = 0
+        for seq in range(total_dispatches):
+            action = self.decide_dispatch(seq)
+            if action is None:
+                continue
+            op = action["op"]
+            kills += op == "kill"
+            delays += op == "delay"
+            duplicates += op == "duplicate"
+        return {"kills": kills, "delays": delays, "duplicates": duplicates}
+
+    # -- persistence ---------------------------------------------------------
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} kills@{list(self.kill_at)} "
+                f"rejects@{list(self.reject_at)} delay~{self.delay_rate} "
+                f"dup~{self.duplicate_rate} corrupt={self.corrupt_entries} "
+                f"truncate={self.truncate_entries}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        known = {k: v for k, v in data.items() if k in cls.__dataclass_fields__}
+        known["kill_at"] = tuple(known.get("kill_at", ()))
+        known["reject_at"] = tuple(known.get("reject_at", ()))
+        return cls(**known)
+
+
+# -- disk-cache vandalism -----------------------------------------------------
+
+
+def _vandalize_cache(cache_dir: str, plan: ChaosPlan) -> dict:
+    """Deterministically pick entries and break them: corrupt victims
+    get one payload byte flipped (header intact, digest now wrong →
+    must be quarantined on read); truncate victims get their framing
+    destroyed (→ format mismatch, must be unlinked and recompiled).
+    Returns the victim filenames per kind."""
+    entries = sorted(p for p in Path(cache_dir).glob("*.pkl"))
+    wanted = plan.corrupt_entries + plan.truncate_entries
+    victims = random.Random(f"{plan.seed}:vandal").sample(
+        entries, min(wanted, len(entries)))
+    corrupt, truncate = victims[:plan.corrupt_entries], victims[plan.corrupt_entries:]
+    for path in corrupt:
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # last payload byte: digest no longer matches
+        path.write_bytes(bytes(blob))
+    for path in truncate:
+        path.write_bytes(b"repro chaos ate this entry")
+    return {"corrupted": [p.name for p in corrupt],
+            "truncated": [p.name for p in truncate]}
+
+
+def _valid_cache_entries(cache_dir: str) -> int:
+    """Entries whose framing and digest verify (the post-heal check)."""
+    from .diskcache import HIT, _unframe
+
+    return sum(1 for p in Path(cache_dir).glob("*.pkl")
+               if _unframe(p.read_bytes())[1] == HIT)
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+def _ground_truth(names: Sequence[str], backend: str) -> dict:
+    from ..bench.registry import benchmark_source
+    from ..pipeline import compile_program
+    from ..runtime.values import show_value
+
+    truth = {}
+    for name in names:
+        result = compile_program(benchmark_source(name)).run(backend=backend)
+        truth[name] = {"value": show_value(result.value), "stdout": result.output,
+                       "stats": result.stats.to_dict()}
+    return truth
+
+
+def _submit_wave(client, names: Sequence[str], backend: str, jobs: int) -> dict:
+    from ..bench.registry import benchmark_source
+
+    with concurrent.futures.ThreadPoolExecutor(jobs) as pool:
+        futures = {
+            name: pool.submit(client.run, benchmark_source(name), backend=backend)
+            for name in names
+        }
+        return {name: future.result() for name, future in futures.items()}
+
+
+def _diff_wave(responses: dict, truth: dict, failures: list, wave: str) -> None:
+    for name, resp in sorted(responses.items()):
+        if resp.get("status") != "ok":
+            failures.append(f"{wave}/{name}: lost (status={resp.get('status')} "
+                            f"error={resp.get('error')})")
+            continue
+        for field in ("value", "stdout", "stats"):
+            if resp.get(field) != truth[name][field]:
+                failures.append(
+                    f"{wave}/{name}: wrong answer in {field}: "
+                    f"server={resp.get(field)!r} local={truth[name][field]!r}")
+
+
+def run_chaos(
+    plan: ChaosPlan,
+    programs: Optional[Sequence[str]] = None,
+    workers: int = 4,
+    backend: str = "closure",
+    queue_capacity: int = 64,
+    cache_dir: Optional[str] = None,
+    concurrency: int = 8,
+    log: Callable[[str], None] = lambda line: None,
+) -> dict:
+    """One full chaos scenario against a live server; returns the run
+    report.  Raises :class:`ChaosError` if any invariant fails.
+
+    Phases: ground truth → boot + install plan → **wave 1** (kills,
+    sheds, delays, duplicates under full concurrency) → drain/resume
+    through the admin API → rolling worker restart (memory caches gone)
+    → disk-cache vandalism → **wave 2** (the self-healing read path) →
+    invariant checks against the plan's closed-form fault counts.
+    """
+    from ..bench.registry import BENCHMARKS
+    from .app import ReproServer, ServerConfig
+    from .client import ServerClient
+
+    names = sorted(programs if programs is not None else BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown programs {unknown}")
+    n = len(names)
+    bad = [i for i in (*plan.kill_at, *plan.reject_at) if not 0 <= i < n]
+    if bad:
+        raise ValueError(
+            f"fault indices {sorted(set(bad))} outside range({n}): the "
+            f"deterministic-counts argument needs indices every run visits")
+
+    log(f"chaos plan: {plan.describe()}")
+    log(f"computing ground truth for {n} programs ...")
+    truth = _ground_truth(names, backend)
+
+    own_cache = cache_dir is None
+    if own_cache:
+        cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    failures: list = []
+    report: dict = {"seed": plan.seed, "programs": names, "plan": plan.to_dict()}
+    server = ReproServer(ServerConfig(
+        port=0, workers=workers, queue_capacity=queue_capacity,
+        cache_dir=cache_dir))
+    try:
+        host, port = server.start()
+        # Retry budget: a single job can stack faults (killed on its
+        # retry dispatch, shed on its retry admission), so give each
+        # submission the whole fault budget plus slack; the *total*
+        # retry count is still asserted exactly below.
+        budget = len(plan.kill_at) + len(plan.reject_at) + 2
+        client = ServerClient(
+            f"http://{host}:{port}", timeout=600, retries=budget,
+            retry_base_wait=0.05, retry_max_wait=2.0,
+            retry_jitter_seed=plan.seed)
+        client.wait_ready(timeout=60)
+
+        server.pool.install_chaos(plan)
+        server.scheduler.set_chaos_rejections(plan.reject_at)
+
+        log(f"wave 1: {n} programs, {len(plan.kill_at)} kills, "
+            f"{len(plan.reject_at)} sheds, concurrency {concurrency} ...")
+        _diff_wave(_submit_wave(client, names, backend, concurrency),
+                   truth, failures, "wave1")
+
+        # Every kill/shed fires exactly once (their indices are all in
+        # the wave-1 window) and each costs exactly one retransmission.
+        expected_retries = len(plan.kill_at) + len(plan.reject_at)
+        if client.retries_attempted != expected_retries:
+            failures.append(
+                f"retries: {client.retries_attempted} retransmissions, "
+                f"expected exactly {expected_retries} (|kills|+|rejects|)")
+        if client.max_retry_wait > client.retry_max_wait:
+            failures.append(f"retry wait {client.max_retry_wait:.3f}s exceeded "
+                            f"the {client.retry_max_wait}s cap")
+
+        log("drain / resume through the admin API ...")
+        drained = client._request("POST", "/v1/admin/drain", {"timeout": 60})
+        if not drained.get("ok"):
+            failures.append(f"drain did not complete: {drained}")
+        health = client.health()
+        if health.get("ready") or not health.get("live"):
+            failures.append(f"draining server misreported health: {health}")
+        shed = client._request("POST", "/v1/run",
+                               {"schema": "repro-server/v1", "source": "val it = 1"})
+        if shed.get("status") != "rejected":
+            failures.append(f"draining server admitted a job: {shed}")
+        client._request("POST", "/v1/admin/resume", {})
+        client.wait_ready(timeout=10)
+
+        log(f"rolling restart of all {workers} workers ...")
+        rolled = client._request("POST", "/v1/admin/restart", {})
+        if rolled.get("recycled") != workers:
+            failures.append(f"rolling restart recycled {rolled.get('recycled')} "
+                            f"of {workers} workers")
+
+        vandalism = _vandalize_cache(cache_dir, plan)
+        report["vandalism"] = vandalism
+        log(f"vandalized disk cache: {len(vandalism['corrupted'])} corrupted, "
+            f"{len(vandalism['truncated'])} truncated; wave 2 ...")
+        _diff_wave(_submit_wave(client, names, backend, concurrency),
+                   truth, failures, "wave2")
+
+        # Self-healing: every digest-corrupt entry quarantined, every
+        # format-mismatch entry replaced, full corpus re-cached valid.
+        from .diskcache import DiskCompileCache
+
+        quarantined = DiskCompileCache(cache_dir).quarantined_entries()
+        if quarantined != len(vandalism["corrupted"]):
+            failures.append(f"quarantine holds {quarantined} entries, expected "
+                            f"{len(vandalism['corrupted'])}")
+        valid = _valid_cache_entries(cache_dir)
+        if valid < n:
+            failures.append(f"only {valid}/{n} cache entries verify after "
+                            f"the healing wave")
+
+        # The closed-form fault counts must match the live counters:
+        # wave 1 dispatched n + |kills| times (each kill is re-run
+        # once), wave 2 exactly n more, nothing else dispatched.
+        pool_stats = server.pool.stats()
+        total_dispatches = 2 * n + len(plan.kill_at)
+        expected = plan.expected_counts(total_dispatches)
+        for op, counter in (("kills", "injected_kills"),
+                            ("delays", "injected_delays"),
+                            ("duplicates", "injected_duplicates")):
+            if pool_stats[counter] != expected[op]:
+                failures.append(f"{counter}: live counter {pool_stats[counter]} "
+                                f"!= deterministic oracle {expected[op]}")
+
+        sched = server.scheduler.snapshot()
+        fleet = client.stats()
+        report.update({
+            "lost_jobs": sum(1 for f in failures if ": lost" in f),
+            "wrong_answers": sum(1 for f in failures if "wrong answer" in f),
+            "retries_total": client.retries_attempted,
+            "max_retry_wait": round(client.max_retry_wait, 3),
+            "injected": {k: pool_stats[c] for k, c in
+                         (("kills", "injected_kills"), ("delays", "injected_delays"),
+                          ("duplicates", "injected_duplicates"))},
+            "expected": expected,
+            "forced_rejections": sched["forced_rejections"],
+            "drain_rejected": sched["drain_rejected"],
+            "drains": sched["drains"],
+            "recycles": pool_stats["recycles"],
+            "crashes": pool_stats["crashes"],
+            "quarantined": quarantined,
+            "cache_entries_valid": valid,
+            "fleet_resilience": fleet["metrics"]["resilience"],
+            "failures": failures,
+        })
+    finally:
+        server.close()
+        if own_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    if failures:
+        raise ChaosError(
+            f"{len(failures)} invariant violation(s):\n  - "
+            + "\n  - ".join(failures))
+    log(f"ok: {2 * n} responses bit-identical under "
+        f"{expected['kills']} kills / {len(plan.reject_at)} sheds / "
+        f"{expected['delays']} delays / {expected['duplicates']} duplicates; "
+        f"{quarantined} corrupt entries quarantined and healed")
+    return report
+
+
+def deterministic_subset(report: dict) -> dict:
+    """The report fields guaranteed identical across same-seed runs.
+
+    Everything here is a provable function of (seed, corpus, workers):
+    fault counts via the closed-form argument in the module docstring,
+    retries because each kill/shed costs exactly one, quarantine counts
+    because vandalism victims are seed-chosen.  Deliberately excluded:
+    wall-clock times, ``max_retry_wait`` (jitter draws depend on *which*
+    thread retries in what order), ``stale_replies`` (a duplicate's
+    second reply is only discovered if that worker gets another job),
+    and ``crashes`` (a kill mid-duplicate can crash one run or two).
+    """
+    return {key: report[key] for key in (
+        "seed", "programs", "plan", "lost_jobs", "wrong_answers",
+        "retries_total", "injected", "expected", "forced_rejections",
+        "drains", "recycles", "quarantined", "cache_entries_valid",
+        "vandalism",
+    )}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Replay the Figure 9 corpus through a live repro-serve "
+        "fleet under seeded fault injection and verify no job is lost, "
+        "no answer is wrong, and retries stay bounded.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--programs", default=None,
+                        help="comma-separated subset (default: all 23)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--backend", default="closure", choices=("closure", "tree"))
+    parser.add_argument("--kills", type=int, default=5,
+                        help="worker kills to inject (default 5)")
+    parser.add_argument("--rejects", type=int, default=3,
+                        help="admissions to shed (default 3)")
+    parser.add_argument("--delay-rate", type=float, default=0.25)
+    parser.add_argument("--delay-seconds", type=float, default=0.02)
+    parser.add_argument("--duplicate-rate", type=float, default=0.15)
+    parser.add_argument("--corrupt", type=int, default=3,
+                        help="disk-cache entries to digest-corrupt (default 3)")
+    parser.add_argument("--truncate", type=int, default=2,
+                        help="disk-cache entries to format-smash (default 2)")
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the whole scenario twice and require the "
+                             "deterministic report subsets to be identical")
+    parser.add_argument("--json", action="store_true",
+                        help="print the run report as JSON")
+    args = parser.parse_args(argv)
+
+    names = None
+    if args.programs:
+        names = [n.strip() for n in args.programs.split(",")]
+    from ..bench.registry import BENCHMARKS
+
+    n = len(names if names is not None else BENCHMARKS)
+    plan = ChaosPlan.for_corpus(
+        args.seed, n, kills=args.kills, rejects=args.rejects,
+        delay_rate=args.delay_rate, delay_seconds=args.delay_seconds,
+        duplicate_rate=args.duplicate_rate, corrupt_entries=args.corrupt,
+        truncate_entries=args.truncate)
+
+    def log(line: str) -> None:
+        print(f"[chaos] {line}", flush=True)
+
+    runs = 2 if args.check_determinism else 1
+    reports = []
+    start = time.monotonic()
+    try:
+        for i in range(runs):
+            if runs > 1:
+                log(f"--- run {i + 1}/{runs} (seed {args.seed}) ---")
+            reports.append(run_chaos(
+                plan, programs=names, workers=args.workers, backend=args.backend,
+                queue_capacity=args.queue_capacity, concurrency=args.concurrency,
+                log=log))
+    except (ChaosError, ValueError) as exc:
+        print(f"repro-chaos FAILED: {exc}", file=sys.stderr)
+        return 1
+    if runs > 1:
+        first, second = map(deterministic_subset, reports)
+        if first != second:
+            diverged = sorted(k for k in first if first[k] != second[k])
+            print(f"repro-chaos FAILED: same-seed runs diverged on {diverged}\n"
+                  f"  run 1: { {k: first[k] for k in diverged} }\n"
+                  f"  run 2: { {k: second[k] for k in diverged} }",
+                  file=sys.stderr)
+            return 1
+        log("determinism: both same-seed runs produced identical fault "
+            "schedules and counters")
+    if args.json:
+        print(json.dumps(reports[-1], indent=2))
+    log(f"chaos OK in {time.monotonic() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,33 +1,52 @@
 """The Python client + the ``repro-submit`` CLI.
 
 :class:`ServerClient` is a thin stdlib (``urllib``) wrapper over the
-wire protocol — it is what the tests, the smoke script, and
-``repro-submit`` all use.  A non-2xx HTTP status is not an exception
-when the body is a valid wire response (a 503 rejection is *data*:
-``status="rejected"`` with a ``retry_after``); only transport failures
-raise :class:`ServerUnavailable`.
+wire protocol — it is what the tests, the smoke scripts, the chaos
+harness, and ``repro-submit`` all use.  A non-2xx HTTP status is not an
+exception when the body is a valid wire response (a 503 rejection is
+*data*: ``status="rejected"`` with a ``retry_after``); only transport
+failures raise :class:`ServerUnavailable`.
+
+Submissions retry automatically.  A compile-and-run request is
+idempotent by construction — the result is a pure function of
+``(source, flags, runtime overrides)`` and compilation is
+compile-cache-keyed — so the client may safely retransmit on the three
+*environmental* failures: transport errors, admission rejections
+(capacity / quota / drain), and worker crashes.  Job-level failures
+(program errors, resource limits, deadline timeouts) are deterministic
+verdicts and are **never** retried.  The backoff is capped exponential
+with jitter, honouring the server's ``retry_after`` hint when one is
+given; every wait is bounded by ``retry_max_wait`` and the attempt count
+by ``retries``, so a retry storm cannot form.  Each attempt carries an
+``X-Repro-Attempt`` header so the fleet can count retransmissions.
 
 ``repro-submit`` mirrors ``repro-run`` flag-for-flag (same ``--gc-*``
 fault-plan family, same limits, same exit codes 0/1/2) so any locally
 replayable schedule replays identically against a server; rejections
-exit 75 (``EX_TEMPFAIL``) so shell retry loops can tell backpressure
-from program failure.
+that survive the retry budget exit 75 (``EX_TEMPFAIL``) so shell retry
+loops can tell backpressure from program failure.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config import CompilerFlags, SpuriousMode, Strategy
 from .protocol import make_request
 
-__all__ = ["ServerClient", "ServerUnavailable", "main"]
+__all__ = ["ServerClient", "ServerUnavailable", "RetryTrace", "main"]
+
+#: Response statuses that are environmental (retryable), not verdicts.
+RETRYABLE_STATUSES = frozenset({"rejected", "crashed"})
 
 
 class ServerUnavailable(Exception):
@@ -35,30 +54,71 @@ class ServerUnavailable(Exception):
     the wire protocol)."""
 
 
+@dataclass
+class RetryTrace:
+    """How one logical submission went: the number of attempts made, the
+    backoff waits slept between them, and the reason for each retry
+    (a wire status, or ``"unavailable"`` for transport errors)."""
+
+    attempts: int = 1
+    waits: list = field(default_factory=list)
+    reasons: list = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+    @property
+    def max_wait(self) -> float:
+        return max(self.waits, default=0.0)
+
+
 class ServerClient:
-    """Talk to one ``repro-serve`` instance."""
+    """Talk to one ``repro-serve`` instance.
+
+    ``retries`` bounds retransmissions per logical submission (0
+    disables), ``retry_base_wait``/``retry_max_wait`` shape the capped
+    exponential backoff, and ``retry_jitter_seed`` makes the jitter
+    deterministic for tests and chaos runs.  The retry counters
+    (``retries_attempted``, ``max_retry_wait``) are cumulative across
+    the client's lifetime and thread-safe — the chaos harness asserts
+    its bounded-retries invariant against them.
+    """
 
     def __init__(self, base_url: str = "http://127.0.0.1:8752",
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0,
+                 retries: int = 3,
+                 retry_base_wait: float = 0.1,
+                 retry_max_wait: float = 5.0,
+                 retry_jitter_seed: Optional[int] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_base_wait = retry_base_wait
+        self.retry_max_wait = retry_max_wait
+        self._rng = random.Random(retry_jitter_seed)
+        self._retry_lock = threading.Lock()
+        self.retries_attempted = 0
+        self.max_retry_wait = 0.0
 
     # -- raw transport -------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> dict:
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 headers: Optional[dict] = None) -> dict:
         url = self.base_url + path
         data = None if body is None else json.dumps(body).encode("utf-8")
-        req = urllib.request.Request(
-            url, data=data, method=method,
-            headers={"Content-Type": "application/json"},
-        )
+        all_headers = {"Content-Type": "application/json"}
+        if headers:
+            all_headers.update(headers)
+        req = urllib.request.Request(url, data=data, method=method,
+                                     headers=all_headers)
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 payload = resp.read()
         except urllib.error.HTTPError as exc:
             # 4xx/5xx with a wire-protocol body (rejection, invalid
-            # request) is a *response*, not a transport failure.
+            # request, draining health) is a *response*, not a transport
+            # failure.
             payload = exc.read()
             try:
                 return json.loads(payload)
@@ -73,12 +133,59 @@ class ServerClient:
         except ValueError as exc:
             raise ServerUnavailable(f"{method} {url}: non-JSON response") from exc
 
+    # -- retry machinery -----------------------------------------------------
+
+    def _backoff_wait(self, attempt: int, retry_after) -> float:
+        """One bounded backoff interval: the server's ``retry_after``
+        hint when usable, else ``base * 2^(attempt-1)``; always capped
+        at ``retry_max_wait`` *before* the jitter multiplier (which only
+        shrinks), so no wait ever exceeds the cap."""
+        target = self.retry_base_wait * (2 ** (attempt - 1))
+        if (isinstance(retry_after, (int, float))
+                and not isinstance(retry_after, bool) and retry_after > 0):
+            target = max(target, float(retry_after))
+        wait = min(max(target, 0.0), self.retry_max_wait)
+        return wait * (0.5 + 0.5 * self._rng.random())
+
+    def submit_ex(self, request: dict) -> tuple[dict, RetryTrace]:
+        """POST one wire request with automatic bounded retries; returns
+        the final wire response plus the :class:`RetryTrace` of how it
+        was obtained.  Raises :class:`ServerUnavailable` only when the
+        transport keeps failing past the retry budget."""
+        trace = RetryTrace()
+        attempt = 1
+        while True:
+            headers = {"X-Repro-Attempt": str(attempt)}
+            retry_after = None
+            try:
+                response = self._request("POST", "/v1/run", request, headers)
+            except ServerUnavailable:
+                if attempt > self.retries:
+                    raise
+                reason = "unavailable"
+            else:
+                status = response.get("status")
+                if status not in RETRYABLE_STATUSES or attempt > self.retries:
+                    trace.attempts = attempt
+                    return response, trace
+                reason = status
+                retry_after = response.get("retry_after")
+            wait = self._backoff_wait(attempt, retry_after)
+            trace.waits.append(wait)
+            trace.reasons.append(reason)
+            with self._retry_lock:
+                self.retries_attempted += 1
+                if wait > self.max_retry_wait:
+                    self.max_retry_wait = wait
+            time.sleep(wait)
+            attempt += 1
+
     # -- endpoints -----------------------------------------------------------
 
     def submit(self, request: dict) -> dict:
-        """POST one wire request; returns the wire response (any status,
-        rejections included)."""
-        return self._request("POST", "/v1/run", request)
+        """POST one wire request (with retries); returns the wire
+        response (any status, terminal rejections included)."""
+        return self.submit_ex(request)[0]
 
     def run(self, source: str, **kwargs) -> dict:
         """Convenience: build the request with :func:`make_request` and
@@ -89,19 +196,34 @@ class ServerClient:
         return self._request("GET", "/v1/stats")
 
     def health(self) -> dict:
+        """The readiness/liveness document (``GET /v1/health``).  A
+        draining server answers 503 with the same JSON body — that is a
+        *response* here, with ``ready: false``."""
+        return self._request("GET", "/v1/health")
+
+    def healthz(self) -> dict:
+        """Bare liveness (``GET /v1/healthz``)."""
         return self._request("GET", "/v1/healthz")
 
     def wait_ready(self, timeout: float = 30.0, interval: float = 0.1) -> None:
-        """Poll ``healthz`` until the server answers (startup barrier for
-        scripts that just forked ``repro-serve``)."""
+        """Poll ``/v1/health`` until the server answers *and is ready to
+        admit* (startup barrier for scripts that just forked
+        ``repro-serve``; also the way to wait out a drain).  Older
+        servers without the readiness document are accepted on a bare
+        ``ok`` so mixed-version fleets keep working."""
         deadline = time.monotonic() + timeout
+        last = "no response yet"
         while True:
             try:
-                if self.health().get("ok"):
+                health = self.health()
+                if health.get("ready", health.get("ok")):
                     return
-            except ServerUnavailable:
-                if time.monotonic() >= deadline:
-                    raise
+                last = f"not ready: {health}"
+            except ServerUnavailable as exc:
+                last = str(exc)
+            if time.monotonic() >= deadline:
+                raise ServerUnavailable(
+                    f"server not ready within {timeout}s ({last})")
             time.sleep(interval)
 
 
@@ -126,6 +248,17 @@ def main(argv: Optional[list] = None) -> int:
                         help="ask the server to bypass its compile caches")
     parser.add_argument("--backend", default="closure",
                         choices=["closure", "tree"])
+    parser.add_argument("--tenant", default=None,
+                        help="tenant name for servers running per-tenant "
+                             "quotas")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="max automatic retransmissions on transport "
+                             "errors, rejections, and worker crashes "
+                             "(default 3; 0 disables)")
+    parser.add_argument("--retry-max-wait", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="cap on any single retry backoff wait "
+                             "(default 5.0)")
     parser.add_argument("--stats", action="store_true",
                         help="print the returned RunStats to stderr")
     parser.add_argument("--json", action="store_true",
@@ -167,14 +300,21 @@ def main(argv: Optional[list] = None) -> int:
         deadline_seconds=args.deadline,
         fault_plan=fault_plan_from_args(args),
         trace=args.trace is not None,
+        tenant=args.tenant,
     )
 
-    client = ServerClient(args.url, timeout=args.timeout)
+    client = ServerClient(args.url, timeout=args.timeout,
+                          retries=args.retries,
+                          retry_max_wait=args.retry_max_wait)
     try:
-        response = client.submit(request)
+        response, retry_trace = client.submit_ex(request)
     except ServerUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if retry_trace.retries:
+        print(f"[retry] {retry_trace.retries} retransmission(s) "
+              f"({', '.join(retry_trace.reasons)}), "
+              f"max wait {retry_trace.max_wait:.2f}s", file=sys.stderr)
 
     if args.json:
         print(json.dumps(response, indent=2))
@@ -189,8 +329,10 @@ def main(argv: Optional[list] = None) -> int:
                 sys.stdout.write("\n")
         print(f"val it = {response.get('value')}")
     elif status == "rejected":
-        print(f"rejected: server at capacity, retry after "
-              f"{response.get('retry_after')}s", file=sys.stderr)
+        err = response.get("error") or {}
+        detail = err.get("message") or (
+            f"server at capacity; retry after {response.get('retry_after')}s")
+        print(f"rejected: {detail}", file=sys.stderr)
     else:
         err = response.get("error") or {}
         label = "limit" if status in ("limit", "timeout") else "error"

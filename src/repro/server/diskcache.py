@@ -1,4 +1,4 @@
-"""A keyed on-disk compile cache.
+"""A keyed, self-healing on-disk compile cache.
 
 The in-memory LRU of :mod:`repro.cache` is process-wide, which is the
 wrong scope for a serving fleet twice over: every worker process pays
@@ -13,12 +13,22 @@ pickled to a directory keyed by the same content address the LRU uses
 
 Entries are written atomically (temp file + ``os.replace``) so a
 concurrent reader never sees a torn pickle, and every load failure
-(corrupt file, unpicklable entry, format-version mismatch) degrades to
-a miss — the cache can be deleted or truncated at any time without
-affecting correctness.  The pickled payload carries only the
-compilation; runtime flags, per-request limits, and the closure backend
-(process-local by construction, see ``_BackendSlot.__reduce__``) are
-never baked in.
+degrades to a miss — the cache can be deleted or truncated at any time
+without affecting correctness.  On top of that the cache is
+*self-healing*: each entry carries a header with the format version and
+the sha256 digest of its pickled payload, verified before a single byte
+is unpickled.  An entry whose digest does not match (bit rot, a torn or
+truncated write from a crashed process, a chaos-injected corruption) is
+moved into a ``quarantine/`` subdirectory — preserved for forensics,
+never read again — and counted in ``corrupt_quarantined``; the next
+compile of that key simply re-stores a good entry over the vacated
+name.  An entry in an older or unrecognized format is counted in
+``format_mismatch`` and unlinked (there is nothing to preserve — the
+format bump already says its layout is stale).
+
+The pickled payload carries only the compilation; runtime flags,
+per-request limits, and the closure backend (process-local by
+construction, see ``_BackendSlot.__reduce__``) are never baked in.
 
 Trust model: entries are pickles, and unpickling attacker-controlled
 bytes executes arbitrary code, so the cache only ever reads from a
@@ -27,7 +37,10 @@ constructor creates the directory ``0o700`` and *refuses* (raising
 :class:`CacheDirectoryError`) a pre-existing directory owned by another
 uid or writable by group/other — e.g. one planted by another local user
 under the shared temp dir.  Callers that can run without a disk cache
-(the worker initializer) catch that and degrade to memory-only.
+(the worker initializer) catch that and degrade to memory-only.  The
+digest is an *integrity* check (detects accidental and injected
+corruption), not an authenticity check — trust still comes entirely
+from directory ownership.
 """
 
 from __future__ import annotations
@@ -38,16 +51,39 @@ import pickle
 import tempfile
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..pipeline import CompiledProgram
 
-__all__ = ["CacheDirectoryError", "DiskCompileCache", "FORMAT_VERSION"]
+__all__ = [
+    "CacheDirectoryError",
+    "DiskCompileCache",
+    "FORMAT_VERSION",
+    "HIT",
+    "MISS",
+    "CORRUPT",
+    "FORMAT_MISMATCH",
+]
 
-#: Bump when the pickled payload layout changes; old entries then read
-#: as misses instead of unpickling garbage.
-FORMAT_VERSION = 1
+#: Bump when the entry layout changes; old entries then read as
+#: ``format_mismatch`` misses instead of unpickling garbage.  Version 2
+#: introduced the digest header (version 1 was a bare pickled tuple).
+FORMAT_VERSION = 2
+
+#: Entry header magic.  A full header line is
+#: ``repro-diskcache/<version> <sha256-of-payload>\n`` followed by the
+#: pickled payload bytes.
+_MAGIC = b"repro-diskcache/"
+
+#: Subdirectory corrupt entries are moved into (never read back).
+QUARANTINE_DIR = "quarantine"
+
+#: Load statuses reported by :meth:`DiskCompileCache.get_ex`.
+HIT = "hit"
+MISS = "miss"
+CORRUPT = "corrupt_quarantined"
+FORMAT_MISMATCH = "format_mismatch"
 
 
 class CacheDirectoryError(OSError):
@@ -84,9 +120,37 @@ def _filename(key: tuple) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest() + ".pkl"
 
 
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return _MAGIC + str(FORMAT_VERSION).encode("ascii") + b" " + digest + b"\n" + payload
+
+
+def _unframe(blob: bytes) -> Tuple[Optional[bytes], str]:
+    """Split an entry into its payload, verifying header and digest.
+    Returns ``(payload, HIT)`` or ``(None, CORRUPT | FORMAT_MISMATCH)``.
+    """
+    if not blob.startswith(_MAGIC):
+        return None, FORMAT_MISMATCH  # v1 bare pickle, or foreign bytes
+    newline = blob.find(b"\n", 0, 256)
+    if newline < 0:
+        return None, CORRUPT  # magic but no complete header: truncated
+    try:
+        version_bytes, digest = blob[len(_MAGIC):newline].split(b" ", 1)
+        version = int(version_bytes)
+    except ValueError:
+        return None, CORRUPT
+    if version != FORMAT_VERSION:
+        return None, FORMAT_MISMATCH
+    payload = blob[newline + 1:]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        return None, CORRUPT
+    return payload, HIT
+
+
 class DiskCompileCache:
     """Pickled :class:`~repro.pipeline.CompiledProgram` entries under a
-    directory, one file per :func:`repro.cache.cache_key`."""
+    directory, one file per :func:`repro.cache.cache_key`, each framed
+    with a version + sha256 header."""
 
     def __init__(self, root: os.PathLike | str) -> None:
         self.root = Path(root)
@@ -97,31 +161,76 @@ class DiskCompileCache:
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.corrupt_quarantined = 0
+        self.format_mismatches = 0
+
+    # -- load ----------------------------------------------------------------
 
     def get(self, key: tuple) -> Optional["CompiledProgram"]:
+        """Load one entry (``None`` on any kind of miss) — the
+        status-blind convenience over :meth:`get_ex`."""
+        return self.get_ex(key)[0]
+
+    def get_ex(self, key: tuple) -> Tuple[Optional["CompiledProgram"], str]:
+        """Load one entry and say how it went: ``(program, "hit")``, or
+        ``(None, status)`` with ``status`` one of ``miss`` (no entry),
+        ``corrupt_quarantined`` (digest or framing failure — the entry
+        was moved to quarantine), ``format_mismatch`` (older/foreign
+        layout — the entry was unlinked)."""
         path = self.root / _filename(key)
         try:
             blob = path.read_bytes()
         except OSError:
             with self._lock:
                 self.misses += 1
-            return None
+            return None, MISS
+        payload, status = _unframe(blob)
+        if status == FORMAT_MISMATCH:
+            return None, self._discard(path, FORMAT_MISMATCH)
+        if status == CORRUPT:
+            return None, self._discard(path, CORRUPT)
         try:
-            version, program = pickle.loads(blob)
-            if version != FORMAT_VERSION:
-                raise ValueError(f"format {version} != {FORMAT_VERSION}")
-        except Exception:  # noqa: BLE001 - any decode failure is a miss
-            with self._lock:
-                self.misses += 1
-                self.errors += 1
-            return None
+            program = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - digest-valid yet unpicklable:
+            # written by an incompatible build of our own classes, or a
+            # re-framed plant; quarantine it like any other bad entry.
+            return None, self._discard(path, CORRUPT)
         with self._lock:
             self.hits += 1
-        return program
+        return program, HIT
+
+    def _discard(self, path: Path, status: str) -> str:
+        """Get a bad entry out of the served namespace (quarantine for
+        corruption, unlink for format skew) and count it as a miss.
+        Racing siblings are fine: whoever loses the ``os.replace`` /
+        ``unlink`` race still counted a detection, but the filesystem
+        holds at most one quarantined copy."""
+        if status == CORRUPT:
+            qdir = self.root / QUARANTINE_DIR
+            try:
+                qdir.mkdir(mode=0o700, exist_ok=True)
+                os.replace(path, qdir / path.name)
+            except OSError:  # pragma: no cover - raced or read-only dir
+                pass
+        else:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - raced
+                pass
+        with self._lock:
+            self.misses += 1
+            self.errors += 1
+            if status == CORRUPT:
+                self.corrupt_quarantined += 1
+            else:
+                self.format_mismatches += 1
+        return status
+
+    # -- store ---------------------------------------------------------------
 
     def put(self, key: tuple, program: "CompiledProgram") -> None:
         path = self.root / _filename(key)
-        blob = pickle.dumps((FORMAT_VERSION, program))
+        blob = _frame(pickle.dumps(program))
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -138,8 +247,18 @@ class DiskCompileCache:
         with self._lock:
             self.stores += 1
 
+    # -- introspection -------------------------------------------------------
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def quarantined_entries(self) -> int:
+        """Files sitting in the quarantine subdirectory (a filesystem
+        fact, not a counter: visible across processes and restarts)."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return 0
+        return sum(1 for _ in qdir.glob("*.pkl"))
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -149,4 +268,7 @@ class DiskCompileCache:
                 "misses": self.misses,
                 "stores": self.stores,
                 "errors": self.errors,
+                "corrupt_quarantined": self.corrupt_quarantined,
+                "format_mismatch": self.format_mismatches,
+                "quarantine_dir_entries": self.quarantined_entries(),
             }

@@ -79,6 +79,10 @@ class MetricsRegistry:
         self.heap = Histogram(HEAP_BUCKETS)
         self.gc_count = 0
         self.heap_high_water = 0
+        self.retries = 0
+        self.drains = 0
+        self.rolling_restarts = 0
+        self.quarantined_entries = 0
 
     def record_response(self, response: dict, wall_seconds: Optional[float] = None) -> None:
         """Fold one terminal wire response (any status) into the fleet
@@ -99,6 +103,10 @@ class MetricsRegistry:
                     self.memory_hits += 1
                 elif cache.get("disk_hit"):
                     self.disk_hits += 1
+                if cache.get("quarantined"):
+                    # A worker's disk lookup hit a corrupt entry, which
+                    # was quarantined and recompiled over (self-healed).
+                    self.quarantined_entries += 1
             stats = response.get("stats")
             if stats:
                 run = RunStats.from_dict(stats)
@@ -112,6 +120,20 @@ class MetricsRegistry:
     def record_rejection(self) -> None:
         with self._lock:
             self.jobs_by_status["rejected"] = self.jobs_by_status.get("rejected", 0) + 1
+
+    def record_retry(self) -> None:
+        """One retransmitted submission arrived (the client marked it
+        with an ``X-Repro-Attempt`` header > 1)."""
+        with self._lock:
+            self.retries += 1
+
+    def record_drain(self) -> None:
+        with self._lock:
+            self.drains += 1
+
+    def record_rolling_restart(self) -> None:
+        with self._lock:
+            self.rolling_restarts += 1
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -131,4 +153,10 @@ class MetricsRegistry:
                 "heap_high_water_words": self.heap_high_water,
                 "latency_seconds": self.latency.to_dict(),
                 "peak_words": self.heap.to_dict(),
+                "resilience": {
+                    "retries": self.retries,
+                    "drains": self.drains,
+                    "rolling_restarts": self.rolling_restarts,
+                    "quarantined_entries": self.quarantined_entries,
+                },
             }

@@ -31,10 +31,12 @@ import itertools
 import multiprocessing
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional, Protocol
 
-__all__ = ["JobResult", "JobHandle", "WorkerPool", "WorkerError", "run_jobs"]
+__all__ = ["JobResult", "JobHandle", "WorkerPool", "WorkerError", "run_jobs",
+           "DispatchChaos"]
 
 #: Job outcome statuses.
 OK = "ok"
@@ -97,6 +99,22 @@ class JobHandle:
             raise TimeoutError(f"job {self.job_id} still pending after {timeout}s")
         assert self._result is not None
         return self._result
+
+
+class DispatchChaos(Protocol):
+    """Seeded fault injection at the pool's dispatch points (the
+    serving-layer mirror of :class:`~repro.testing.faultplan.FaultPlan`).
+
+    ``decide_dispatch`` is consulted once per job dispatch with a
+    monotonically increasing sequence number and returns ``None`` (no
+    fault) or an action dict: ``{"op": "kill"}`` kills the worker
+    process right after the job is sent (the crash path must recover),
+    ``{"op": "delay", "seconds": s}`` delays the pipe message, and
+    ``{"op": "duplicate"}`` sends the job message twice (the stale-reply
+    discard must keep the answer correct)."""
+
+    def decide_dispatch(self, seq: int) -> Optional[dict]:  # pragma: no cover
+        ...
 
 
 class _Worker:
@@ -204,6 +222,17 @@ class WorkerPool:
         self.crashes = 0
         self.timeouts = 0
         self.respawns = 0
+        self.recycles = 0
+        self.stale_replies = 0
+        self.injected_kills = 0
+        self.injected_delays = 0
+        self.injected_duplicates = 0
+        self._chaos: Optional[DispatchChaos] = None
+        self._dispatch_seq = itertools.count(0)
+        #: Per-slot recycle requests: a manager that finds an Event here
+        #: respawns its (idle) worker between jobs and sets the event.
+        self._recycle: list[Optional[threading.Event]] = [None] * size
+        self._restart_lock = threading.Lock()
         self._workers = [self._spawn() for _ in range(size)]
         self._managers = [
             threading.Thread(target=self._manage, args=(slot,), daemon=True,
@@ -235,6 +264,37 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def rolling_restart(self, timeout_per_worker: float = 60.0) -> int:
+        """Recycle every worker, one slot at a time.  Each slot's
+        manager respawns its worker at the next between-jobs point (the
+        in-flight job, if any, finishes on the old process first), so a
+        full roll never loses a job and never removes more than one
+        worker's capacity at once.  Returns the number of workers
+        recycled; raises :class:`TimeoutError` if a slot does not come
+        back within ``timeout_per_worker`` (e.g. a job longer than
+        that is still running there)."""
+        with self._restart_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            recycled = 0
+            for slot in range(self.size):
+                event = threading.Event()
+                self._recycle[slot] = event
+                if not event.wait(timeout_per_worker):
+                    self._recycle[slot] = None
+                    raise TimeoutError(
+                        f"worker slot {slot} did not recycle within "
+                        f"{timeout_per_worker}s (job still running?)"
+                    )
+                recycled += 1
+            return recycled
+
+    def install_chaos(self, chaos: Optional[DispatchChaos]) -> None:
+        """Attach (or with ``None`` detach) a dispatch-point fault
+        injector.  Test/chaos machinery only — never enabled in
+        production configurations."""
+        self._chaos = chaos
 
     # -- submission ----------------------------------------------------------
 
@@ -303,13 +363,28 @@ class WorkerPool:
                 "crashes": self.crashes,
                 "timeouts": self.timeouts,
                 "respawns": self.respawns,
+                "recycles": self.recycles,
+                "stale_replies": self.stale_replies,
+                "injected_kills": self.injected_kills,
+                "injected_delays": self.injected_delays,
+                "injected_duplicates": self.injected_duplicates,
             }
 
     # -- the manager thread --------------------------------------------------
 
     def _manage(self, slot: int) -> None:
         while True:
-            handle = self._queue.get()
+            # Between jobs is the one point a worker is provably idle:
+            # honour a pending recycle request here (graceful rolling
+            # restart), then go back to waiting for work.  The short
+            # timeout keeps recycles prompt on an idle pool.
+            request = self._recycle[slot]
+            if request is not None:
+                self._do_recycle(slot, request)
+            try:
+                handle = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
             if handle is self._SENTINEL:
                 return
             with self._lock:
@@ -337,12 +412,26 @@ class WorkerPool:
                 handle.on_start()
             except Exception:  # pragma: no cover - callbacks must not kill managers
                 pass
+        action = None
+        if self._chaos is not None:
+            action = self._chaos.decide_dispatch(next(self._dispatch_seq))
         worker = self._workers[slot]
         if not worker.alive():
             # Died between jobs (or never came up): respawn before dispatch.
             worker = self._respawn(slot, worker)
+        if action is not None and action.get("op") == "delay":
+            with self._lock:
+                self.injected_delays += 1
+            time.sleep(float(action.get("seconds", 0.01)))
         try:
             worker.conn.send((handle.job_id, handle.payload))
+            if action is not None and action.get("op") == "duplicate":
+                # The worker will run the job twice and reply twice; the
+                # reply loop keeps the first answer and discards the
+                # duplicate (possibly while handling a later job).
+                with self._lock:
+                    self.injected_duplicates += 1
+                worker.conn.send((handle.job_id, handle.payload))
         except (BrokenPipeError, OSError):
             # Death raced the dispatch: respawn and retry once.
             worker = self._respawn(slot, worker, count_crash=True)
@@ -357,7 +446,14 @@ class WorkerPool:
         except Exception as exc:  # noqa: BLE001 - e.g. pickle.PicklingError:
             # the payload, not the worker, is at fault — no respawn.
             return self._unsendable(handle, exc)
-        if not self._poll(worker, handle.timeout):
+        if action is not None and action.get("op") == "kill":
+            # Chaos: the worker dies mid-job; the EOF path below must
+            # turn that into a structured crash, never a lost job.
+            with self._lock:
+                self.injected_kills += 1
+            worker.process.kill()
+        outcome, message = self._await_reply(worker, handle)
+        if outcome == "timeout":
             self._respawn(slot, worker, count_crash=False, kill=True)
             with self._lock:
                 self.timeouts += 1
@@ -367,19 +463,18 @@ class WorkerPool:
                        "message": f"no response within {handle.timeout}s; "
                                   f"worker reaped"},
             )
-        try:
-            job_id, status, payload = worker.conn.recv()
-        except (EOFError, OSError):
+        if outcome == "eof":
             self._respawn(slot, worker, count_crash=True)
             return JobResult(
                 handle.job_id, CRASHED,
                 error={"type": "WorkerCrash",
                        "message": "worker process died mid-job"},
             )
+        _, status, payload = message
         worker.jobs_done += 1
         if status == OK:
-            return JobResult(job_id, OK, value=payload)
-        return JobResult(job_id, ERROR, error=payload)
+            return JobResult(handle.job_id, OK, value=payload)
+        return JobResult(handle.job_id, ERROR, error=payload)
 
     @staticmethod
     def _unsendable(handle: JobHandle, exc: BaseException) -> JobResult:
@@ -389,18 +484,62 @@ class WorkerPool:
                    "message": f"payload could not be sent to worker: {exc}"},
         )
 
-    @staticmethod
-    def _poll(worker: _Worker, timeout: Optional[float]) -> bool:
-        """Wait for a reply; with no timeout, wake periodically so a
-        dead worker is noticed as EOF rather than waited on forever."""
-        if timeout is not None:
-            return worker.conn.poll(timeout)
+    def _await_reply(self, worker: _Worker, handle: JobHandle):
+        """Wait for *this job's* reply: ``("ok", message)``,
+        ``("timeout", None)`` or ``("eof", None)``.
+
+        Replies whose job id does not match the in-flight handle are
+        discarded (and counted): a duplicated pipe message or a reply
+        that raced a watchdog kill must never be mis-attributed to the
+        next job — that would be a silently wrong answer, the one thing
+        the chaos invariants forbid.  With no timeout we wake
+        periodically so a dead worker is noticed as EOF rather than
+        waited on forever."""
+        deadline = (None if handle.timeout is None
+                    else time.monotonic() + handle.timeout)
         while True:
-            if worker.conn.poll(1.0):
-                return True
+            if deadline is None:
+                step = 1.0
+            else:
+                step = deadline - time.monotonic()
+                if step <= 0:
+                    return "timeout", None
+                step = min(step, 1.0)
+            try:
+                if worker.conn.poll(step):
+                    message = worker.conn.recv()
+                    if message[0] == handle.job_id:
+                        return "ok", message
+                    with self._lock:
+                        self.stale_replies += 1
+                    continue
+            except (EOFError, OSError):
+                return "eof", None
             if not worker.alive():
                 # Flush any reply that raced the death.
-                return worker.conn.poll(0.1)
+                try:
+                    if worker.conn.poll(0.1):
+                        message = worker.conn.recv()
+                        if message[0] == handle.job_id:
+                            return "ok", message
+                        with self._lock:
+                            self.stale_replies += 1
+                except (EOFError, OSError):
+                    pass
+                return "eof", None
+
+    def _do_recycle(self, slot: int, request: threading.Event) -> None:
+        """Respawn an idle worker in place (rolling restart).  Runs on
+        the slot's own manager thread between jobs, so no job can be in
+        flight on the process being replaced."""
+        worker = self._workers[slot]
+        worker.kill()
+        self._workers[slot] = self._spawn()
+        with self._lock:
+            self.recycles += 1
+            self.respawns += 1
+        self._recycle[slot] = None
+        request.set()
 
     def _respawn(self, slot: int, worker: _Worker,
                  count_crash: bool = False, kill: bool = False) -> _Worker:

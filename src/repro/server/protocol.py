@@ -106,9 +106,13 @@ def make_request(
     sanitize: bool = False,
     trace: bool = False,
     verify: bool = False,
+    tenant: Optional[str] = None,
 ) -> dict:
-    """Build a request dict (the client-side constructor)."""
-    return {
+    """Build a request dict (the client-side constructor).  ``tenant``
+    names the quota bucket the submission draws from (servers without
+    quotas configured ignore it); it is only included when set, so
+    requests to older servers stay valid."""
+    request = {
         "schema": PROTOCOL,
         "source": source,
         "flags": (flags or CompilerFlags()).to_wire(),
@@ -125,6 +129,9 @@ def make_request(
         "trace": trace,
         "verify": verify,
     }
+    if tenant is not None:
+        request["tenant"] = tenant
+    return request
 
 
 def validate_request(request: object) -> Optional[str]:
@@ -142,12 +149,17 @@ def validate_request(request: object) -> Optional[str]:
     if not isinstance(request.get("source"), str):
         return "source must be a string"
     known = {"schema", "source", "flags", "backend", "cache", "runtime", "trace",
-             "verify"}
+             "verify", "tenant"}
     extra = set(request) - known
     if extra:
         return f"unknown request fields {sorted(extra)}"
     if request.get("backend", "closure") not in ("closure", "tree"):
         return f"unknown backend {request.get('backend')!r}"
+    tenant = request.get("tenant")
+    if tenant is not None and (
+        not isinstance(tenant, str) or not tenant or len(tenant) > 128
+    ):
+        return "tenant must be a non-empty string of at most 128 characters"
     flags = request.get("flags", {})
     if not isinstance(flags, dict):
         return "flags must be an object"
@@ -253,14 +265,34 @@ def make_response(
     return response
 
 
-def rejection_response(retry_after: float, depth: int, capacity: int) -> dict:
+#: ``error.type`` per rejection reason (see
+#: :class:`~repro.server.scheduler.Rejection`); clients retry all of
+#: them — the distinction is for operators reading logs and metrics.
+_REJECTION_TYPES = {
+    "capacity": "QueueFull",
+    "quota": "QuotaExceeded",
+    "draining": "Draining",
+    "chaos": "QueueFull",
+}
+
+_REJECTION_MESSAGES = {
+    "capacity": "admission queue at capacity ({depth}/{capacity})",
+    "quota": "tenant quota exhausted",
+    "draining": "server is draining for restart",
+    "chaos": "admission shed by fault injection",
+}
+
+
+def rejection_response(retry_after: float, depth: int, capacity: int,
+                       reason: str = "capacity") -> dict:
     """The admission-control backpressure response (HTTP 503)."""
+    detail = _REJECTION_MESSAGES.get(reason, _REJECTION_MESSAGES["capacity"])
     return make_response(
         "rejected",
         retry_after=round(retry_after, 3),
         error={
-            "type": "QueueFull",
-            "message": f"admission queue at capacity ({depth}/{capacity}); "
+            "type": _REJECTION_TYPES.get(reason, "QueueFull"),
+            "message": f"{detail.format(depth=depth, capacity=capacity)}; "
                        f"retry after {retry_after:.1f}s",
         },
     )

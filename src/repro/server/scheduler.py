@@ -8,30 +8,86 @@ is rejected immediately with a ``retry_after`` hint derived from the
 observed service time (an EWMA over recent jobs), so well-behaved
 clients back off for roughly as long as the backlog needs to drain.
 
+Layered on the capacity bound:
+
+* **Per-tenant token buckets** (:meth:`Scheduler.configure_quota`): each
+  tenant refills at ``rate`` jobs/second up to a ``burst`` ceiling, so
+  one chatty client cannot monopolize the fleet; a tenant out of tokens
+  is rejected with the exact time until its next token.
+* **Graceful drain** (:meth:`Scheduler.drain`): new admissions are
+  rejected with ``Retry-After`` while in-flight jobs run to completion —
+  the front half of a zero-loss rolling restart.
+* **Forced rejections** (:meth:`Scheduler.set_chaos_rejections`): the
+  chaos harness marks admission sequence numbers that must be shed, so
+  client retry/backoff is exercised deterministically.
+
 The scheduler owns no threads of its own — the pool's per-worker
 managers drain the FIFO; the scheduler only does the bookkeeping
 (admitted / started / finished) that the admission decision and the
-``queue_depth`` fleet gauge need.
+``queue_depth`` fleet gauge need.  Every counter, the EWMA, and every
+token bucket live behind one lock: concurrent completions fold into the
+EWMA atomically, and ``retry_after`` is always computed from one
+consistent snapshot (it is clamped non-negative and finite by
+construction).
 """
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Any, Collection, Optional, Union
 
 from .pool import JobHandle, JobResult, WorkerPool
 
-__all__ = ["Rejection", "Scheduler"]
+__all__ = ["Rejection", "Scheduler", "TokenBucket"]
+
+#: EWMA inputs are clamped into this range: a NaN/negative wall time
+#: must never poison the drain-rate estimate, and one pathological
+#: hour-long job must not make ``retry_after`` absurd forever.
+_EWMA_FLOOR = 1e-4
+_EWMA_CEIL = 3600.0
 
 
 @dataclass(frozen=True)
 class Rejection:
-    """A submission refused by admission control."""
+    """A submission refused by admission control.  ``reason`` is one of
+    ``capacity`` (queue full), ``quota`` (tenant out of tokens),
+    ``draining`` (graceful drain in progress), or ``chaos`` (forced by
+    the fault-injection harness)."""
 
     retry_after: float
     depth: int
     capacity: int
+    reason: str = "capacity"
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, up to ``burst``
+    capacity, one token per admission.  Not thread-safe on its own — the
+    scheduler serializes access under its lock."""
+
+    __slots__ = ("rate", "burst", "tokens", "last")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("TokenBucket needs rate > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last = now
+
+    def take(self, now: float) -> float:
+        """Take one token.  Returns ``0.0`` when granted, else the
+        seconds until one token will be available."""
+        if now > self.last:
+            self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
+            self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
 
 
 class Scheduler:
@@ -52,20 +108,106 @@ class Scheduler:
         self._in_flight = 0
         self._queued = 0
         self._ewma = initial_service_seconds
+        self._draining = False
+        self._quota_rate: Optional[float] = None
+        self._quota_burst: float = 1.0
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admission_seq = 0
+        self._chaos_reject: frozenset[int] = frozenset()
         self.admitted = 0
         self.rejected = 0
+        self.quota_rejected = 0
+        self.drain_rejected = 0
+        self.forced_rejections = 0
+        self.drains = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def configure_quota(self, rate: Optional[float], burst: float = 8.0) -> None:
+        """Enable (or with ``rate=None`` disable) per-tenant token-bucket
+        quotas: each tenant gets ``rate`` admissions/second with bursts
+        up to ``burst``.  Existing buckets are reset."""
+        with self._lock:
+            self._quota_rate = rate
+            self._quota_burst = burst
+            self._buckets.clear()
+
+    def set_chaos_rejections(self, indices: Collection[int]) -> None:
+        """Force the admissions at these sequence numbers (0-based,
+        counted across every ``submit`` call) to be shed.  Chaos/test
+        machinery only."""
+        with self._lock:
+            self._chaos_reject = frozenset(indices)
+
+    # -- drain / resume ------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting (rejections carry ``reason="draining"``) and
+        block until every in-flight job has finished, or ``timeout``
+        seconds elapsed.  Returns ``True`` when fully drained.  Admission
+        stays closed either way until :meth:`resume`."""
+        with self._lock:
+            if not self._draining:
+                self._draining = True
+                self.drains += 1
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._in_flight == 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    def resume(self) -> None:
+        """Reopen admission after a drain."""
+        with self._lock:
+            self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, payload: Any,
-               timeout: Optional[float] = None) -> Union[JobHandle, Rejection]:
+    def submit(self, payload: Any, timeout: Optional[float] = None,
+               tenant: Optional[str] = None) -> Union[JobHandle, Rejection]:
         """Admit-or-reject.  Admitted jobs return the pool handle; the
         caller blocks on ``handle.result()`` (one serving thread per
         in-flight request, which the admission bound keeps finite)."""
         with self._lock:
+            seq = self._admission_seq
+            self._admission_seq += 1
+            if seq in self._chaos_reject:
+                self.rejected += 1
+                self.forced_rejections += 1
+                return Rejection(self._retry_after_locked(), self._in_flight,
+                                 self.capacity, reason="chaos")
+            if self._draining:
+                self.rejected += 1
+                self.drain_rejected += 1
+                # The drain hint: however long the current backlog needs,
+                # plus a beat for the restart itself.
+                return Rejection(max(1.0, self._retry_after_locked()),
+                                 self._in_flight, self.capacity,
+                                 reason="draining")
+            if self._quota_rate is not None:
+                bucket = self._buckets.get(tenant or "")
+                if bucket is None:
+                    bucket = TokenBucket(self._quota_rate, self._quota_burst,
+                                         time.monotonic())
+                    self._buckets[tenant or ""] = bucket
+                wait = bucket.take(time.monotonic())
+                if wait > 0.0:
+                    self.rejected += 1
+                    self.quota_rejected += 1
+                    return Rejection(round(wait, 3), self._in_flight,
+                                     self.capacity, reason="quota")
             if self._in_flight >= self.capacity:
                 self.rejected += 1
-                return Rejection(self._retry_after_locked(), self._in_flight, self.capacity)
+                return Rejection(self._retry_after_locked(), self._in_flight,
+                                 self.capacity)
             self._in_flight += 1
             self._queued += 1
             self.admitted += 1
@@ -78,12 +220,19 @@ class Scheduler:
             raise
 
     def finish(self, result: JobResult, wall_seconds: float) -> None:
-        """Caller-side bookkeeping once a job's result is in hand."""
+        """Caller-side bookkeeping once a job's result is in hand.  The
+        EWMA read-modify-write happens under the lock (concurrent
+        completions must not lose updates) and the sample is clamped so
+        a bogus wall time (negative clock step, NaN) cannot drive
+        ``retry_after`` negative or unbounded."""
+        if not (wall_seconds >= 0.0) or math.isinf(wall_seconds):  # NaN-safe
+            wall_seconds = 0.0
+        sample = min(max(wall_seconds, _EWMA_FLOOR), _EWMA_CEIL)
         with self._lock:
             self._in_flight = max(0, self._in_flight - 1)
             # Jobs killed by the watchdog would skew the estimate of a
             # *successful* drain; still fold them in at their actual cost.
-            self._ewma = 0.8 * self._ewma + 0.2 * max(wall_seconds, 1e-4)
+            self._ewma = max(_EWMA_FLOOR, 0.8 * self._ewma + 0.2 * sample)
 
     def _on_start(self) -> None:
         with self._lock:
@@ -92,9 +241,13 @@ class Scheduler:
     # -- introspection -------------------------------------------------------
 
     def _retry_after_locked(self) -> float:
-        drain_rate = self.pool.size / max(self._ewma, 1e-4)
+        drain_rate = self.pool.size / max(self._ewma, _EWMA_FLOOR)
         backlog = max(self._in_flight - self.pool.size, 1)
-        return max(0.1, backlog / drain_rate)
+        hint = max(0.1, backlog / drain_rate)
+        # Invariant the chaos harness leans on: the hint is always a
+        # positive finite number — a client can always schedule a retry.
+        assert hint > 0.0 and math.isfinite(hint), hint
+        return hint
 
     @property
     def queue_depth(self) -> int:
@@ -115,5 +268,11 @@ class Scheduler:
                 "queue_depth": self._queued,
                 "admitted": self.admitted,
                 "rejected": self.rejected,
+                "quota_rejected": self.quota_rejected,
+                "drain_rejected": self.drain_rejected,
+                "forced_rejections": self.forced_rejections,
+                "drains": self.drains,
+                "draining": self._draining,
+                "tenants": len(self._buckets),
                 "ewma_service_seconds": round(self._ewma, 4),
             }

@@ -87,10 +87,17 @@ def compile_with_caches(
     if key in memory:
         info["memory_hit"] = True
     elif _DISK_CACHE is not None:
-        loaded = _DISK_CACHE.get(key)
+        from .diskcache import CORRUPT
+
+        loaded, status = _DISK_CACHE.get_ex(key)
         if loaded is not None:
             info["disk_hit"] = True
             memory.put(key, loaded)
+        elif status == CORRUPT:
+            # The entry failed its digest and was quarantined; the fresh
+            # compile below re-stores a good one (self-healing).  Flag it
+            # so the fleet metrics count the detection.
+            info["quarantined"] = True
     # compile_program does the actual lookup (or compile-and-store) so
     # hit wrappers carry the caller's flags and the LRU counters see
     # exactly one lookup per job.

@@ -1,0 +1,124 @@
+"""The chaos harness: fault schedules are pure functions of the seed,
+the closed-form fault-count oracle matches a recount, and a live chaos
+run over real worker processes loses no job, corrupts no answer, and
+stays within its retry budget.
+"""
+
+import pytest
+
+from repro.server.chaos import ChaosError, ChaosPlan, deterministic_subset, run_chaos
+
+FAST_PROGRAMS = ["fft", "msort", "msort_rf", "ratio"]
+
+
+class TestChaosPlan:
+    def test_same_seed_same_schedule(self):
+        a = ChaosPlan.for_corpus(42, 23)
+        b = ChaosPlan.for_corpus(42, 23)
+        assert a == b
+        assert [a.decide_dispatch(i) for i in range(200)] == [
+            b.decide_dispatch(i) for i in range(200)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = ChaosPlan.for_corpus(1, 23)
+        b = ChaosPlan.for_corpus(2, 23)
+        assert (a.kill_at, a.reject_at) != (b.kill_at, b.reject_at)
+
+    def test_fault_indices_live_in_the_corpus_window(self):
+        plan = ChaosPlan.for_corpus(7, 23, kills=5, rejects=3)
+        assert len(plan.kill_at) == 5 and len(plan.reject_at) == 3
+        assert all(0 <= i < 23 for i in plan.kill_at + plan.reject_at)
+
+    def test_kill_counts_clamp_to_corpus_size(self):
+        plan = ChaosPlan.for_corpus(0, 2, kills=10, rejects=10)
+        assert len(plan.kill_at) == 2 and len(plan.reject_at) == 2
+
+    def test_kill_takes_precedence_over_rates(self):
+        plan = ChaosPlan(seed=0, kill_at=tuple(range(50)), delay_rate=1.0,
+                         duplicate_rate=1.0)
+        assert all(plan.decide_dispatch(i) == {"op": "kill"} for i in range(50))
+
+    def test_expected_counts_match_a_recount(self):
+        plan = ChaosPlan.for_corpus(9, 23, delay_rate=0.4, duplicate_rate=0.3)
+        total = 2 * 23 + len(plan.kill_at)
+        counts = plan.expected_counts(total)
+        actions = [plan.decide_dispatch(i) for i in range(total)]
+        assert counts["kills"] == sum(a == {"op": "kill"} for a in actions)
+        assert counts["delays"] == sum(
+            a is not None and a["op"] == "delay" for a in actions)
+        assert counts["duplicates"] == sum(a == {"op": "duplicate"} for a in actions)
+        assert counts["kills"] == len(plan.kill_at)
+
+    def test_round_trips_through_dict(self):
+        plan = ChaosPlan.for_corpus(3, 23)
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+        # JSON-shaped input (lists, unknown future keys) loads too.
+        data = dict(plan.to_dict(), kill_at=list(plan.kill_at),
+                    reject_at=list(plan.reject_at), future_knob=1)
+        assert ChaosPlan.from_dict(data) == plan
+
+
+class TestChaosRunValidation:
+    def test_out_of_window_fault_index_is_refused(self):
+        plan = ChaosPlan(seed=0, kill_at=(99,))
+        with pytest.raises(ValueError, match="outside range"):
+            run_chaos(plan, programs=FAST_PROGRAMS)
+
+    def test_unknown_program_is_refused(self):
+        with pytest.raises(ValueError, match="unknown programs"):
+            run_chaos(ChaosPlan(), programs=["nope"])
+
+
+class TestLiveChaos:
+    def test_chaos_run_holds_all_invariants(self, tmp_path):
+        plan = ChaosPlan.for_corpus(
+            7, len(FAST_PROGRAMS), kills=2, rejects=1,
+            delay_rate=0.3, delay_seconds=0.01, duplicate_rate=0.3,
+            corrupt_entries=1, truncate_entries=1)
+        report = run_chaos(plan, programs=FAST_PROGRAMS, workers=2,
+                           queue_capacity=16, cache_dir=str(tmp_path))
+        assert report["lost_jobs"] == 0
+        assert report["wrong_answers"] == 0
+        # Exactly one retransmission per injected kill and shed.
+        assert report["retries_total"] == 3
+        assert report["injected"] == report["expected"]
+        assert report["forced_rejections"] == 1
+        assert report["recycles"] == 2
+        assert report["quarantined"] == 1
+        assert report["cache_entries_valid"] >= len(FAST_PROGRAMS)
+        assert report["failures"] == []
+        # The deterministic subset is a pure function of (seed, corpus,
+        # workers): rebuilding it from the same plan must agree without
+        # re-running the scenario.
+        subset = deterministic_subset(report)
+        assert subset["expected"] == plan.expected_counts(
+            2 * len(FAST_PROGRAMS) + len(plan.kill_at))
+        assert subset["plan"] == plan.to_dict()
+
+class TestVandalism:
+    def test_victims_are_seed_deterministic_and_detectable(self, tmp_path):
+        from repro.server.chaos import _valid_cache_entries, _vandalize_cache
+        from repro.server.diskcache import CORRUPT, FORMAT_MISMATCH, HIT, _frame, _unframe
+
+        for i in range(6):
+            (tmp_path / f"entry-{i}.pkl").write_bytes(_frame(b"payload-%d" % i))
+        plan = ChaosPlan(seed=5, corrupt_entries=2, truncate_entries=1)
+        first = _vandalize_cache(str(tmp_path), plan)
+        assert len(first["corrupted"]) == 2 and len(first["truncated"]) == 1
+        for name in first["corrupted"]:
+            assert _unframe((tmp_path / name).read_bytes())[1] == CORRUPT
+        for name in first["truncated"]:
+            assert _unframe((tmp_path / name).read_bytes())[1] == FORMAT_MISMATCH
+        untouched = [p for p in tmp_path.glob("*.pkl")
+                     if p.name not in first["corrupted"] + first["truncated"]]
+        assert len(untouched) == 3
+        assert all(_unframe(p.read_bytes())[1] == HIT for p in untouched)
+        assert _valid_cache_entries(str(tmp_path)) == 3
+        # Same seed over the same directory picks the same victims.
+        for i in range(6):
+            (tmp_path / f"entry-{i}.pkl").write_bytes(_frame(b"payload-%d" % i))
+        assert _vandalize_cache(str(tmp_path), plan) == first
+
+    def test_chaos_error_is_an_assertion(self):
+        assert issubclass(ChaosError, AssertionError)

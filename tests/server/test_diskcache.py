@@ -111,6 +111,88 @@ class TestDegradation:
         assert cache.get(cache_key(SOURCE, other)) is None
 
 
+class TestSelfHealing:
+    """Entry integrity: every entry is framed with a sha256 digest; a
+    digest mismatch is quarantined (kept for forensics, never read
+    again), a foreign/old format is discarded, and a fresh put heals
+    the slot — planted garbage costs one recompile, nothing else."""
+
+    def _planted(self, tmp_path):
+        cache = DiskCompileCache(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        cache.put(key, _compiled())
+        return cache, key, tmp_path / _filename(key)
+
+    def test_digest_corruption_is_quarantined(self, tmp_path):
+        from repro.server.diskcache import CORRUPT, QUARANTINE_DIR
+
+        cache, key, path = self._planted(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # one flipped payload byte
+        path.write_bytes(bytes(blob))
+        loaded, status = cache.get_ex(key)
+        assert loaded is None and status == CORRUPT
+        assert not path.exists()  # moved, not left in place
+        assert (tmp_path / QUARANTINE_DIR / path.name).exists()
+        assert cache.quarantined_entries() == 1
+        snap = cache.snapshot()
+        assert snap["corrupt_quarantined"] == 1
+        assert snap["errors"] == 1 and snap["misses"] == 1
+        assert snap["quarantine_dir_entries"] == 1
+
+    def test_truncated_header_is_quarantined(self, tmp_path):
+        from repro.server.diskcache import CORRUPT, _MAGIC
+
+        cache, key, path = self._planted(tmp_path)
+        path.write_bytes(_MAGIC + b"2 deadbeef")  # magic, no newline
+        loaded, status = cache.get_ex(key)
+        assert loaded is None and status == CORRUPT
+        assert cache.quarantined_entries() == 1
+
+    def test_unpicklable_payload_is_quarantined(self, tmp_path):
+        # A valid frame around garbage: the digest verifies, unpickling
+        # fails — still the quarantine path, not an exception.
+        from repro.server.diskcache import CORRUPT, _frame
+
+        cache, key, path = self._planted(tmp_path)
+        path.write_bytes(_frame(b"not a pickle at all"))
+        loaded, status = cache.get_ex(key)
+        assert loaded is None and status == CORRUPT
+        assert cache.quarantined_entries() == 1
+
+    def test_foreign_bytes_are_unlinked_not_quarantined(self, tmp_path):
+        from repro.server.diskcache import FORMAT_MISMATCH
+
+        cache, key, path = self._planted(tmp_path)
+        path.write_bytes(b"not a pickle")  # no magic: v1 era or foreign
+        loaded, status = cache.get_ex(key)
+        assert loaded is None and status == FORMAT_MISMATCH
+        assert not path.exists()
+        assert cache.quarantined_entries() == 0
+        assert cache.snapshot()["format_mismatch"] == 1
+
+    def test_fresh_put_heals_a_quarantined_slot(self, tmp_path):
+        from repro.server.diskcache import HIT
+
+        cache, key, path = self._planted(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x55
+        path.write_bytes(bytes(blob))
+        assert cache.get(key) is None  # detected + quarantined
+        cache.put(key, _compiled())
+        loaded, status = cache.get_ex(key)
+        assert status == HIT and loaded.run().value == 144
+        # The forensic copy survives the heal.
+        assert cache.quarantined_entries() == 1
+
+    def test_statuses_shared_with_worker_reporting(self, tmp_path):
+        # compile_with_caches flags CORRUPT (and only CORRUPT) to the
+        # metrics registry; the constants must stay importable.
+        from repro.server.diskcache import CORRUPT, FORMAT_MISMATCH, HIT, MISS
+
+        assert len({HIT, MISS, CORRUPT, FORMAT_MISMATCH}) == 4
+
+
 class TestDirectoryTrust:
     """A pre-planted directory another user can write is a pickle-based
     code-execution vector; the cache must refuse it outright."""

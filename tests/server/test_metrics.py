@@ -83,3 +83,29 @@ class TestRegistry:
         reg.record_response(_ok_response(), wall_seconds=0.2)
         reg.record_response(_ok_response())  # no wall: not observed
         assert reg.snapshot()["latency_seconds"]["count"] == 1
+
+
+class TestResilienceCounters:
+    def test_retries_drains_restarts_count(self):
+        reg = MetricsRegistry()
+        reg.record_retry()
+        reg.record_retry()
+        reg.record_drain()
+        reg.record_rolling_restart()
+        snap = reg.snapshot()["resilience"]
+        assert snap == {"retries": 2, "drains": 1, "rolling_restarts": 1,
+                        "quarantined_entries": 0}
+
+    def test_quarantine_flag_on_responses_is_counted(self):
+        reg = MetricsRegistry()
+        healed = make_response(
+            "ok", value="1", stdout="",
+            cache={"memory_hit": False, "disk_hit": False, "quarantined": True},
+        )
+        clean = make_response(
+            "ok", value="1", stdout="",
+            cache={"memory_hit": True, "disk_hit": False},
+        )
+        reg.record_response(healed)
+        reg.record_response(clean)
+        assert reg.snapshot()["resilience"]["quarantined_entries"] == 1

@@ -24,6 +24,31 @@ class TestRequests:
         assert req["runtime"]["fault_plan"] is None
         assert protocol.validate_request(_roundtrip(req)) is None
 
+    def test_tenant_travels_only_when_set(self):
+        bare = protocol.make_request("val it = 1")
+        assert "tenant" not in bare
+        named = protocol.make_request("val it = 1", tenant="team-a")
+        assert named["tenant"] == "team-a"
+        assert protocol.validate_request(_roundtrip(named)) is None
+
+    def test_rejects_bad_tenants(self):
+        for tenant in ("", 7, ["a"], "x" * 129):
+            req = protocol.make_request("val it = 1")
+            req["tenant"] = tenant
+            problem = protocol.validate_request(req)
+            assert problem is not None and "tenant" in problem, tenant
+
+    def test_rejection_reasons_have_distinct_types(self):
+        types = {
+            reason: protocol.rejection_response(1.0, 2, 4, reason=reason)["error"]["type"]
+            for reason in ("capacity", "quota", "draining")
+        }
+        assert types == {"capacity": "QueueFull", "quota": "QuotaExceeded",
+                         "draining": "Draining"}
+        for reason in ("capacity", "quota", "draining", "chaos"):
+            resp = protocol.rejection_response(1.5, 2, 4, reason=reason)
+            assert resp["status"] == "rejected" and resp["retry_after"] == 1.5
+
     def test_flags_travel(self):
         flags = CompilerFlags(
             strategy=Strategy.RG_MINUS,

@@ -1,0 +1,282 @@
+"""The resilience machinery the chaos harness leans on, piece by piece:
+graceful drain closes and reopens admission, a rolling restart under
+live traffic replaces every worker without losing a job or changing an
+answer, the client's bounded retries ride out rejections, per-tenant
+token buckets shed only the noisy tenant, and the scheduler's EWMA
+survives adversarial wall times under thread fire.
+"""
+
+import concurrent.futures
+import math
+import threading
+import time
+
+import pytest
+
+from repro.bench.registry import benchmark_source
+from repro.pipeline import compile_program
+from repro.runtime.values import show_value
+from repro.server import ReproServer, ServerClient, ServerConfig
+from repro.server.scheduler import Rejection, Scheduler
+
+FAST_PROGRAMS = ("ratio", "msort", "fft", "msort_rf")
+
+FIB = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval it = fib 15"
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("resilience-cache")
+    with ReproServer(ServerConfig(port=0, workers=2, queue_capacity=16,
+                                  cache_dir=str(cache_dir),
+                                  job_timeout_seconds=60.0)) as srv:
+        host, port = srv.start()
+        client = ServerClient(f"http://{host}:{port}", retries=0)
+        client.wait_ready()
+        yield srv, client
+
+
+class TestHealth:
+    def test_ready_server_reports_ready(self, server):
+        _, client = server
+        health = client.health()
+        assert health["ok"] and health["live"] and health["ready"]
+        assert not health["draining"]
+        assert health["workers"]["size"] == 2
+
+    def test_healthz_still_answers(self, server):
+        _, client = server
+        assert client.healthz()["ok"]
+
+
+class TestDrainResume:
+    def test_drain_closes_admission_and_resume_reopens(self, server):
+        srv, client = server
+        try:
+            assert srv.drain(timeout=30) is True
+            health = client.health()
+            assert health["live"] and not health["ready"] and health["draining"]
+            response = client.submit(
+                {"schema": "repro-server/v1", "source": "val it = 1"})
+            assert response["status"] == "rejected"
+            assert response["error"]["type"] == "Draining"
+            assert response["retry_after"] >= 1.0
+        finally:
+            srv.resume()
+        client.wait_ready(timeout=10)
+        assert client.run(FIB)["status"] == "ok"
+
+    def test_wait_ready_blocks_until_resume(self, server):
+        srv, client = server
+        srv.drain(timeout=30)
+        try:
+            with pytest.raises(Exception, match="not ready"):
+                client.wait_ready(timeout=0.3)
+        finally:
+            srv.resume()
+        client.wait_ready(timeout=10)
+
+
+class TestRollingRestart:
+    def test_restart_mid_burst_loses_nothing(self, server):
+        """Every worker is replaced while a concurrent burst is in
+        flight; all jobs must land, bit-identical to local runs."""
+        srv, client = server
+        expected = {}
+        for name in FAST_PROGRAMS:
+            result = compile_program(benchmark_source(name)).run()
+            expected[name] = (show_value(result.value), result.output,
+                              result.stats.to_dict())
+        pids_before = {w.process.pid for w in srv.pool._workers}
+
+        jobs = [(f"{name}#{i}", name) for i in range(3) for name in FAST_PROGRAMS]
+        with concurrent.futures.ThreadPoolExecutor(len(jobs) + 1) as pool:
+            futures = {
+                label: pool.submit(client.run, benchmark_source(name))
+                for label, name in jobs
+            }
+            restart = pool.submit(srv.rolling_restart, 60.0)
+            responses = {label: f.result() for label, f in futures.items()}
+            assert restart.result() == 2
+
+        for label, resp in responses.items():
+            name = label.split("#")[0]
+            value, stdout, stats = expected[name]
+            assert resp["status"] == "ok", (label, resp.get("error"))
+            assert resp["value"] == value, label
+            assert resp["stdout"] == stdout, label
+            assert resp["stats"] == stats, label
+        pids_after = {w.process.pid for w in srv.pool._workers}
+        assert pids_before.isdisjoint(pids_after)
+        assert srv.pool.stats()["recycles"] >= 2
+
+
+class TestClientRetries:
+    def test_retry_rides_out_a_drain_window(self, server):
+        """A submission arriving mid-drain is rejected, backs off, and
+        succeeds after resume — the end-to-end retry loop."""
+        srv, client = server
+        url = client.base_url
+        retrying = ServerClient(url, retries=8, retry_base_wait=0.05,
+                                retry_max_wait=0.5, retry_jitter_seed=1)
+        srv.drain(timeout=30)
+        resumer = threading.Timer(0.4, srv.resume)
+        resumer.start()
+        try:
+            response, trace = retrying.submit_ex(
+                {"schema": "repro-server/v1", "source": "val it = 2 + 2",
+                 "flags": {}, "backend": "closure", "cache": True,
+                 "runtime": {}, "trace": False, "verify": False})
+        finally:
+            resumer.cancel()
+            srv.resume()
+        assert response["status"] == "ok" and response["value"] == "4"
+        assert trace.retries >= 1
+        assert all(reason == "rejected" for reason in trace.reasons)
+        assert all(wait <= 0.5 for wait in trace.waits)
+        assert retrying.retries_attempted == trace.retries
+        # The fleet saw the X-Repro-Attempt header and counted retries.
+        assert srv.metrics.snapshot()["resilience"]["retries"] >= 1
+
+    def test_zero_budget_returns_the_rejection(self, server):
+        srv, client = server
+        srv.drain(timeout=30)
+        try:
+            response = client.run(FIB)  # fixture client has retries=0
+            assert response["status"] == "rejected"
+        finally:
+            srv.resume()
+        client.wait_ready(timeout=10)
+
+    def test_backoff_waits_never_exceed_the_cap(self):
+        client = ServerClient("http://127.0.0.1:1", retries=10,
+                              retry_base_wait=0.1, retry_max_wait=2.0,
+                              retry_jitter_seed=0)
+        for attempt in range(1, 12):
+            for hint in (None, 0.0, 1.5, 1e9, -3, True, "soon"):
+                wait = client._backoff_wait(attempt, hint)
+                assert 0.0 <= wait <= 2.0, (attempt, hint, wait)
+
+    def test_backoff_honors_retry_after_hint(self):
+        client = ServerClient("http://127.0.0.1:1", retry_max_wait=60.0,
+                              retry_jitter_seed=0)
+        # Jitter is in [0.5, 1.0)x, so a 10s hint waits at least 5s.
+        assert client._backoff_wait(1, 10.0) >= 5.0
+
+    def test_verdicts_are_never_retried(self, server):
+        _, client = server
+        url = client.base_url
+        retrying = ServerClient(url, retries=5, retry_jitter_seed=0)
+        response, trace = retrying.submit_ex(
+            {"schema": "repro-server/v1", "source": "val it = 1 +",
+             "flags": {}, "backend": "closure", "cache": True,
+             "runtime": {}, "trace": False, "verify": False})
+        assert response["status"] in ("error", "invalid")
+        assert trace.retries == 0
+
+
+class _IdlePool:
+    """A pool stand-in for scheduler-only tests (never dispatches)."""
+
+    size = 2
+
+    def submit(self, payload, timeout=None, on_start=None):
+        raise AssertionError("scheduler-only test should not dispatch")
+
+
+class TestQuotas:
+    def test_noisy_tenant_is_shed_others_admitted(self):
+        sched = Scheduler(_IdlePool(), capacity=64)
+        sched.configure_quota(rate=1000.0, burst=2.0)
+        hits = []
+        for _ in range(3):
+            try:
+                hits.append(sched.submit({"job": 1}, tenant="noisy"))
+            except AssertionError:
+                hits.append("admitted")
+        # Burst of 2 admitted (reaching the pool), third shed by quota.
+        assert hits[:2] == ["admitted", "admitted"]
+        assert isinstance(hits[2], Rejection)
+        assert hits[2].reason == "quota" and hits[2].retry_after > 0
+        # A different tenant draws from its own bucket.
+        with pytest.raises(AssertionError, match="should not dispatch"):
+            sched.submit({"job": 2}, tenant="quiet")
+        snap = sched.snapshot()
+        assert snap["quota_rejected"] == 1
+        assert snap["tenants"] == 2
+
+    def test_bucket_refills_over_time(self):
+        sched = Scheduler(_IdlePool(), capacity=64)
+        sched.configure_quota(rate=50.0, burst=1.0)
+        with pytest.raises(AssertionError):
+            sched.submit({}, tenant="t")
+        rejection = sched.submit({}, tenant="t")
+        assert isinstance(rejection, Rejection) and rejection.reason == "quota"
+        time.sleep(rejection.retry_after + 0.05)
+        with pytest.raises(AssertionError):  # token refilled: admitted again
+            sched.submit({}, tenant="t")
+
+    def test_quota_off_by_default(self):
+        sched = Scheduler(_IdlePool(), capacity=64)
+        for _ in range(10):
+            with pytest.raises(AssertionError):
+                sched.submit({}, tenant="anyone")
+
+
+class TestEwmaUnderFire:
+    def test_concurrent_finishes_with_adversarial_walls(self):
+        """Threads hammer finish() with NaN/inf/negative/huge wall
+        times while others read retry_after; the hint must stay a
+        positive finite number throughout (the invariant clients
+        schedule retries on)."""
+        sched = Scheduler(_IdlePool(), capacity=1,
+                          initial_service_seconds=1.0)
+        # Fill to capacity so every submit yields a Rejection whose
+        # retry_after exercises _retry_after_locked.
+        with sched._lock:
+            sched._in_flight = 1
+        walls = [float("nan"), float("inf"), float("-inf"), -5.0, 0.0,
+                 1e12, 0.001, 3.5]
+        bad_hints = []
+        stop = threading.Event()
+
+        def pound(seed):
+            for i in range(400):
+                sched.finish(None, walls[(seed + i) % len(walls)])
+
+        def watch():
+            while not stop.is_set():
+                with sched._lock:
+                    hint = sched._retry_after_locked()
+                if not (hint > 0 and math.isfinite(hint)):
+                    bad_hints.append(hint)
+
+        threads = [threading.Thread(target=pound, args=(s,)) for s in range(8)]
+        watchers = [threading.Thread(target=watch) for _ in range(2)]
+        for t in threads + watchers:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        for t in watchers:
+            t.join()
+        assert bad_hints == []
+        ewma = sched.snapshot()["ewma_service_seconds"]
+        assert ewma > 0 and math.isfinite(ewma)
+        # in_flight was decremented past its floor many times; clamped.
+        assert sched.in_flight == 0
+
+
+class TestForcedRejections:
+    def test_seeded_admission_sheds_fire_exactly_once(self):
+        sched = Scheduler(_IdlePool(), capacity=64)
+        sched.set_chaos_rejections({0, 2})
+        first = sched.submit({})
+        assert isinstance(first, Rejection) and first.reason == "chaos"
+        with pytest.raises(AssertionError):
+            sched.submit({})  # seq 1: admitted
+        third = sched.submit({})
+        assert isinstance(third, Rejection) and third.reason == "chaos"
+        with pytest.raises(AssertionError):
+            sched.submit({})  # seq 3: past the set, admitted
+        assert sched.snapshot()["forced_rejections"] == 2
