@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI docs consistency: docs/bytecode.md never drifts from the tools.
+
+The architecture reference embeds real tool output — the Figure 1
+disassembly, the hot-loop before/after disassemblies, and a generated
+kernel.  Prose can rot silently; embedded output cannot, provided
+something regenerates it and diffs.  This script is that something:
+
+1. **Figure 1 golden** — recompile ``tests/runtime/data/figure1.mml``
+   under ``rg-`` (no prelude) and require the disassembly to equal the
+   committed golden ``tests/runtime/data/disasm_figure1.txt`` (the same
+   file ``repro-run --disasm`` is pinned to by
+   ``tests/runtime/test_bytecode_backend.py``) *and* to appear verbatim
+   inside ``docs/bytecode.md``.
+
+2. **Specialization walkthrough** — recompile
+   ``tests/runtime/data/hotloop.mml`` under ``rg`` (no prelude), take
+   the cold disassembly, run it with ``specialize=2``, take the hot
+   disassembly and the generated kernel source, and require all three
+   verbatim inside ``docs/bytecode.md``.
+
+3. **ISA coverage** — every mnemonic in ``repro.runtime.bytecode.isa``
+   must be mentioned in ``docs/bytecode.md``: a new opcode cannot land
+   without its documentation.
+
+Exit codes: 0 consistent, 1 drift found.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.config import CompilerFlags, Strategy  # noqa: E402
+from repro.pipeline import compile_program  # noqa: E402
+from repro.runtime.bytecode import isa  # noqa: E402
+
+DOC = ROOT / "docs" / "bytecode.md"
+DATA = ROOT / "tests" / "runtime" / "data"
+
+
+def _compile(name: str, strategy: Strategy):
+    source = (DATA / name).read_text()
+    flags = CompilerFlags(with_prelude=False).with_strategy(strategy)
+    return compile_program(source, flags=flags, cache=False)
+
+
+def figure1_disasm() -> str:
+    return _compile("figure1.mml", Strategy.RG_MINUS).disasm()
+
+
+def hotloop_artifacts() -> dict:
+    prog = _compile("hotloop.mml", Strategy.RG)
+    before = prog.disasm()
+    prog.run(backend="bytecode", specialize=2)
+    after = prog.disasm()
+    kernel = next(
+        b.kernel_source for b in prog._bytecode.program.bodies
+        if b.kernel_source
+    )
+    return {"hot-loop cold disassembly": before,
+            "hot-loop hot disassembly": after,
+            "hot-loop generated kernel": kernel}
+
+
+def main() -> int:
+    problems: list[str] = []
+    doc = DOC.read_text()
+
+    fig1 = figure1_disasm()
+    golden = (DATA / "disasm_figure1.txt").read_text()
+    if fig1 != golden:
+        problems.append(
+            "figure1.mml disassembly drifted from the committed golden "
+            "tests/runtime/data/disasm_figure1.txt — regenerate the "
+            "golden AND the docs/bytecode.md embedding together"
+        )
+    if fig1.rstrip("\n") not in doc:
+        problems.append(
+            "docs/bytecode.md no longer embeds the Figure 1 disassembly "
+            "verbatim (compare against `repro-run tests/runtime/data/"
+            "figure1.mml --strategy rg- --no-prelude --no-cache --disasm`)"
+        )
+
+    for label, text in hotloop_artifacts().items():
+        if text.rstrip("\n") not in doc:
+            problems.append(
+                f"docs/bytecode.md no longer embeds the {label} verbatim"
+            )
+
+    missing = [name for name in isa.NAMES.values() if name not in doc]
+    if missing:
+        problems.append(
+            f"docs/bytecode.md does not mention opcode(s): {missing} — "
+            "every ISA member must be documented"
+        )
+
+    for problem in problems:
+        print(f"docs-consistency: FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            "docs-consistency: ok — figure1 golden, hot-loop walkthrough, "
+            f"and all {len(isa.NAMES)} opcodes match docs/bytecode.md"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,10 @@
 #!/usr/bin/env python
-"""Print the closure-vs-tree backend comparison table for
-docs/performance.md: Figure 9 suite under ``rg``, best-of-N wall seconds
-per backend, speedup ratio, and the geometric mean."""
+"""Print the backend comparison table for docs/performance.md: Figure 9
+suite under ``rg``, best-of-N wall seconds per backend (tree walker,
+closure compiler, bytecode VM), the speedup ratios, and their geometric
+means.  Each program is run once per backend before timing so the
+closure compile and the bytecode specializer are warm — the table
+measures steady-state interpretation, not tiering."""
 
 from __future__ import annotations
 
@@ -17,14 +20,25 @@ from repro.bench.registry import BENCHMARKS, benchmark_source  # noqa: E402
 from repro.config import Strategy  # noqa: E402
 from repro.pipeline import compile_program  # noqa: E402
 
+BACKENDS = ("tree", "closure", "bytecode")
 
-def best_of(prog, backend: str, repeat: int) -> float:
-    best = math.inf
+
+def best_of(prog, repeat: int) -> dict:
+    """Best-of-``repeat`` wall seconds per backend, timed runs
+    interleaved round-robin across backends so a transient host load
+    spike degrades every backend's sample pool equally instead of
+    skewing one side of a ratio."""
+    best = {b: math.inf for b in BACKENDS}
     for _ in range(repeat):
-        start = time.perf_counter()
-        prog.run(backend=backend)
-        best = min(best, time.perf_counter() - start)
+        for backend in BACKENDS:
+            start = time.perf_counter()
+            prog.run(backend=backend)
+            best[backend] = min(best[backend], time.perf_counter() - start)
     return best
+
+
+def geomean(ratios: list) -> float:
+    return math.exp(sum(map(math.log, ratios)) / len(ratios))
 
 
 def main(argv: list | None = None) -> int:
@@ -35,19 +49,23 @@ def main(argv: list | None = None) -> int:
     args = parser.parse_args(argv)
     names = args.programs.split(",") if args.programs else sorted(BENCHMARKS)
 
-    print("| program | tree (s) | closure (s) | speedup |")
-    print("|---|---|---|---|")
-    ratios = []
+    print("| program | tree (s) | closure (s) | bytecode (s) "
+          "| closure vs tree | bytecode vs closure |")
+    print("|---|---|---|---|---|---|")
+    closure_ratios, bytecode_ratios = [], []
     for name in names:
         prog = compile_program(benchmark_source(name), strategy=Strategy.RG)
-        prog.run()  # warm both: closure-compile + any OS caches
-        tree = best_of(prog, "tree", args.repeat)
-        closure = best_of(prog, "closure", args.repeat)
-        ratio = tree / closure
-        ratios.append(ratio)
-        print(f"| {name} | {tree:.3f} | {closure:.3f} | {ratio:.2f}x |")
-    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
-    print(f"| **geomean** | | | **{geomean:.2f}x** |")
+        for backend in BACKENDS:
+            prog.run(backend=backend)  # warm: compile, specialize, OS caches
+        seconds = best_of(prog, args.repeat)
+        cvt = seconds["tree"] / seconds["closure"]
+        bvc = seconds["closure"] / seconds["bytecode"]
+        closure_ratios.append(cvt)
+        bytecode_ratios.append(bvc)
+        print(f"| {name} | {seconds['tree']:.3f} | {seconds['closure']:.3f} "
+              f"| {seconds['bytecode']:.3f} | {cvt:.2f}x | {bvc:.2f}x |")
+    print(f"| **geomean** | | | | **{geomean(closure_ratios):.2f}x** "
+          f"| **{geomean(bytecode_ratios):.2f}x** |")
     return 0
 
 

@@ -17,6 +17,15 @@ Two checks, both cheap enough for every PR:
    catch "the fast path stopped being fast" (e.g. the closure backend
    silently falling back to the tree walker), not 5% jitter.
 
+3. **Bytecode backend** — re-measure the same programs on the bytecode
+   VM and check (a) the deterministic step count matches the baseline's
+   rg cell exactly (the bit-identity contract, cheaply), and (b) the
+   hot (specialized) wall time still beats the closure backend's
+   baseline wall — the trace-guided specializer stopped paying for
+   itself if this fails.  The committed ``backends`` column of
+   ``BENCH_figure9.json`` carries the full-suite ratios; this gate just
+   keeps the headline claim honest per PR.
+
 Exit codes: 0 ok, 1 check failed, 2 usage/baseline problems.
 """
 
@@ -102,6 +111,53 @@ def check_wall(names: list[str], baseline_path: str, max_regress: float) -> list
     return problems
 
 
+def check_bytecode(names: list[str], baseline_path: str,
+                   max_regress: float) -> list[str]:
+    """The bytecode VM's smoke gate: exact step counts (bit-identity)
+    and a hot wall time no worse than the closure baseline + slack."""
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load baseline {baseline_path}: {exc}"]
+    problems: list[str] = []
+    for name in names:
+        cell = (
+            baseline.get("programs", {})
+            .get(name, {})
+            .get("strategies", {})
+            .get("rg")
+        )
+        if not cell:
+            problems.append(f"baseline has no rg cell for {name!r}")
+            continue
+        # repeat=3: the first run trains and specializes, the best-of is
+        # a hot run — exactly what the committed backends column records.
+        m = measure(benchmark_source(name), Strategy.RG, repeat=3,
+                    backend="bytecode")
+        if m.steps != cell["steps"]:
+            problems.append(
+                f"{name}: bytecode step count drifted {m.steps} != "
+                f"{cell['steps']} (the backends are bit-identical by "
+                "contract — this is a VM bug, not noise)"
+            )
+        budget = cell["seconds"] * (1.0 + max_regress)
+        verdict = "ok" if m.seconds <= budget else "REGRESSED"
+        print(
+            f"perf-smoke: {name} rg bytecode wall {m.seconds:.3f}s "
+            f"(closure baseline {cell['seconds']:.3f}s, "
+            f"budget {budget:.3f}s) {verdict}"
+        )
+        if m.seconds > budget:
+            problems.append(
+                f"{name}: bytecode {m.seconds:.3f}s exceeds {budget:.3f}s "
+                f"(closure baseline {cell['seconds']:.3f}s + "
+                f"{max_regress:.0%}) — hot bytecode should beat closure, "
+                "see docs/performance.md"
+            )
+    return problems
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--programs", default="fib,life",
@@ -118,7 +174,11 @@ def main(argv: list | None = None) -> int:
         print(f"perf-smoke: unknown benchmarks {unknown}", file=sys.stderr)
         return 2
 
-    problems = check_cache(names) + check_wall(names, args.baseline, args.max_regress)
+    problems = (
+        check_cache(names)
+        + check_wall(names, args.baseline, args.max_regress)
+        + check_bytecode(names, args.baseline, args.max_regress)
+    )
     for problem in problems:
         print(f"perf-smoke: FAIL: {problem}", file=sys.stderr)
     return 1 if problems else 0

@@ -33,6 +33,21 @@ and the CI smoke job)::
 ``steps``/``peak_words``/``gc_count``/``allocations`` are deterministic
 and are what trajectory diffs should compare.
 
+``--backends`` additionally attaches a **backend column** to the
+document: per-program best-of-N wall seconds under ``rg`` for each
+requested evaluator, plus the bytecode-vs-closure speedup ratios and
+their geometric mean.  This is the data behind docs/performance.md's
+backend table and the perf-smoke CI gate::
+
+    "backends": {
+      "strategy": "rg",
+      "repeat": 3,
+      "names": ["closure", "bytecode"],
+      "programs": {"fib": {"closure": 0.022, "bytecode": 0.011}, ...},
+      "speedup": {"bytecode_vs_closure": {"fib": 2.08, ...,
+                                          "geomean": 1.57}}
+    }
+
 Usage::
 
     repro-bench                               # all 23 programs x 5 strategies
@@ -40,6 +55,7 @@ Usage::
     repro-bench --jobs 4                      # parallel across programs
     repro-bench --validate BENCH_figure9.json # schema-check an existing file
     repro-bench --no-cache --backend tree     # time the tree walker, uncached
+    repro-bench --backends closure,bytecode   # attach the backend column
 
 Exit codes: 0 success; 1 when any cell's value differs from the
 registry's expected output (the file is still written) or when
@@ -60,6 +76,8 @@ from .registry import BENCHMARKS, benchmark_source
 __all__ = [
     "SCHEMA",
     "ALL_STRATEGIES",
+    "ALL_BACKENDS",
+    "backend_column",
     "bench_program",
     "build_document",
     "validate_document",
@@ -70,6 +88,9 @@ SCHEMA = "repro-bench/v1"
 
 #: The five Figure 9 strategies (rg, rg-, r, trivial, ml).
 ALL_STRATEGIES: tuple[str, ...] = tuple(s.value for s in Strategy)
+
+#: The three evaluators (docs/bytecode.md: three backends, one semantics).
+ALL_BACKENDS: tuple[str, ...] = ("closure", "bytecode", "tree")
 
 #: Required per-cell measurement fields.
 CELL_FIELDS = frozenset(
@@ -110,6 +131,65 @@ def bench_program(
         "expected": bench.expected,
         "strategies": cells,
     }
+
+
+def backend_column(
+    names: Iterable[str],
+    backends: Iterable[str] = ("closure", "bytecode"),
+    repeat: int = 3,
+    cache: bool = True,
+    log=None,
+) -> dict:
+    """Measure each program under ``rg`` once per backend and return the
+    ``backends`` document section, including the bytecode-vs-closure
+    speedup ratios when both are present.
+
+    The column reports *hot* steady-state interpretation: per backend,
+    one untimed training run first (it populates the compile cache,
+    advances the specialization counters past the threshold, and
+    installs the generated kernels), then best-of-``repeat`` timed runs.
+    Training matters for short programs, whose bodies may need more than
+    one run to cross ``RuntimeFlags.specialize`` entries.  The timed
+    runs are interleaved round-robin across backends so a transient
+    load spike on the host degrades every backend's sample pool equally
+    instead of silently skewing one side of the ratio."""
+    import math
+
+    backends = tuple(backends)
+    programs: dict[str, dict] = {}
+    for name in sorted(set(names)):
+        source = benchmark_source(name)
+        for backend in backends:
+            measure(source, Strategy.RG, repeat=1, cache=cache,
+                    backend=backend)  # train: compile, profile, specialize
+        row = {b: math.inf for b in backends}
+        for _ in range(repeat):
+            for backend in backends:
+                run = measure(source, Strategy.RG, repeat=1, cache=cache,
+                              backend=backend)
+                row[backend] = min(row[backend], run.seconds)
+        programs[name] = row
+        if log:
+            log(f"backends {name}: "
+                + " ".join(f"{b}={row[b]:.3f}s" for b in backends))
+    column = {
+        "strategy": "rg",
+        "repeat": repeat,
+        "names": list(backends),
+        "programs": programs,
+    }
+    if "closure" in backends and "bytecode" in backends:
+        ratios = {
+            name: row["closure"] / row["bytecode"]
+            for name, row in programs.items()
+        }
+        ratios["geomean"] = math.exp(
+            sum(math.log(r) for r in ratios.values()) / len(ratios)
+        )
+        column["speedup"] = {
+            "bytecode_vs_closure": {k: round(v, 3) for k, v in ratios.items()}
+        }
+    return column
 
 
 def document_from_rows(rows: Iterable, strategies: Iterable[str], repeat: int = 1) -> dict:
@@ -312,8 +392,24 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--backend",
         default="closure",
-        choices=["closure", "tree"],
+        choices=list(ALL_BACKENDS),
         help="evaluator to time (default: closure)",
+    )
+    parser.add_argument(
+        "--backends",
+        type=_names_arg,
+        default=None,
+        metavar="b,b,..",
+        help="attach a backend-comparison column (rg only) measuring "
+        "each listed evaluator, e.g. closure,bytecode",
+    )
+    parser.add_argument(
+        "--backends-repeat",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed runs per backend cell, best-of (default 3 — the "
+        "best of a warmed-up, specialized run)",
     )
     args = parser.parse_args(argv)
 
@@ -345,6 +441,11 @@ def main(argv: Optional[list] = None) -> int:
         if strategy not in ALL_STRATEGIES:
             print(f"repro-bench: unknown strategy {strategy!r}", file=sys.stderr)
             return 2
+    if args.backends is not None:
+        for backend in args.backends:
+            if backend not in ALL_BACKENDS:
+                print(f"repro-bench: unknown backend {backend!r}", file=sys.stderr)
+                return 2
 
     def log(msg: str) -> None:
         print(f"repro-bench: {msg}", file=sys.stderr)
@@ -358,6 +459,14 @@ def main(argv: Optional[list] = None) -> int:
         cache=not args.no_cache,
         backend=args.backend,
     )
+    if args.backends is not None:
+        doc["backends"] = backend_column(
+            names,
+            args.backends,
+            repeat=args.backends_repeat,
+            cache=not args.no_cache,
+            log=log,
+        )
     if not args.no_cache and args.jobs <= 1:
         from ..cache import default_cache
 

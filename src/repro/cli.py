@@ -5,7 +5,8 @@ Usage::
     repro-run program.mml [--strategy rg|rg-|r|trivial|ml]
                           [--pretty] [--stats] [--no-verify] [--no-prelude]
                           [--verify] [--sanitize]
-                          [--no-cache] [--backend closure|tree]
+                          [--no-cache] [--backend closure|bytecode|tree]
+                          [--specialize N] [--disasm]
                           [--gc-every-alloc] [--gc-every N] [--gc-at I,J,..]
                           [--gc-dealloc-every N] [--gc-rate P]
                           [--gc-dealloc-rate P] [--gc-seed S] [--gc-kind K]
@@ -14,7 +15,9 @@ Usage::
                           [--trace FILE] [--profile]
 
 Prints the program's ``print`` output, then the value of ``it``.
-``--pretty`` shows the region-annotated program instead of running it.
+``--pretty`` shows the region-annotated program instead of running it;
+``--disasm`` shows the bytecode backend's disassembly instead (the
+format is documented in docs/bytecode.md and pinned by a golden test).
 The ``--gc-*`` family builds a deterministic fault-injection plan
 (:class:`repro.testing.faultplan.FaultPlan`) so a schedule found by
 ``repro-fuzz`` can be replayed exactly.
@@ -123,10 +126,20 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the escape hatch when diagnosing the cache "
                              "itself)")
     parser.add_argument("--backend", default="closure",
-                        choices=["closure", "tree"],
+                        choices=["closure", "bytecode", "tree"],
                         help="evaluator: the closure-compiled fast path "
-                             "(default) or the original tree walker; both "
-                             "produce bit-identical output, stats and traces")
+                             "(default), the register bytecode VM with "
+                             "trace-guided specialization, or the original "
+                             "tree walker; all three produce bit-identical "
+                             "output, stats and traces (docs/bytecode.md)")
+    parser.add_argument("--specialize", type=int, metavar="N",
+                        help="bytecode backend: specialize a function body "
+                             "after N entries (0 disables; default 64). "
+                             "Ignored by the other backends")
+    parser.add_argument("--disasm", action="store_true",
+                        help="print the bytecode backend's disassembly and "
+                             "exit without running (format: "
+                             "docs/bytecode.md)")
     add_gc_arguments(parser)
     add_limit_arguments(parser)
     obs = parser.add_argument_group("observability")
@@ -204,8 +217,16 @@ def _run(args) -> int:
     if args.pretty:
         print(prog.pretty())
         return 0
+    if args.disasm:
+        sys.stdout.write(prog.disasm())
+        return 0
 
     overrides: dict = {}
+    if args.specialize is not None:
+        if args.specialize < 0:
+            print("error: --specialize must be >= 0", file=sys.stderr)
+            return 1
+        overrides["specialize"] = args.specialize
     if args.gc_every_alloc:
         overrides["gc_every_alloc"] = True
     plan = fault_plan_from_args(args)

@@ -123,6 +123,15 @@ class RuntimeFlags:
     #: access.  Pure checking — a clean run is bit-identical (values,
     #: stdout, stats, trace events) to an unsanitized one.
     sanitize: bool = False
+    #: Bytecode-backend specialization threshold: a function body whose
+    #: entry count crosses this value is rewritten in place (fused
+    #: super-instructions, direct-threaded known calls, generated
+    #: kernel — see :mod:`repro.runtime.bytecode.specialize`).  ``0``
+    #: disables specialization entirely; the counter only advances in
+    #: runs that are neither limit-checked nor traced, so checked runs
+    #: always execute the canonical instruction stream.  Ignored by the
+    #: tree and closure backends.
+    specialize: int = 64
     #: Observability event bus (:class:`repro.runtime.trace.EventBus`).
     #: ``None`` (the default) installs the shared no-op tracer: the hot
     #: paths then pay a single attribute check per potential event and

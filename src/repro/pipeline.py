@@ -54,6 +54,28 @@ class _BackendSlot:
         return (_BackendSlot, ())
 
 
+class _BytecodeSlot:
+    """Lazily-built bytecode backend of one compiled term.
+
+    Unlike the closure backend, the compiled form — a flat instruction
+    array plus the specialization artifacts (fused segments, kernel
+    sources) — is data, and *does* pickle: a disk-cache hit or a
+    worker-pool result arrives with its specialization table intact and
+    only re-``exec``s kernel sources on first call
+    (:func:`repro.runtime.bytecode.specialize.revive_kernel`).  The
+    ``Prepared`` tables are keyed by term node identity, so they are
+    re-derived against the unpickled term instead of shipped."""
+
+    __slots__ = ("prep", "program")
+
+    def __init__(self, program=None) -> None:
+        self.prep = None
+        self.program = program
+
+    def __reduce__(self):
+        return (_BytecodeSlot, (self.program,))
+
+
 @dataclass
 class RunResult:
     """The outcome of executing a compiled program."""
@@ -91,6 +113,9 @@ class CompiledProgram:
     _backend: _BackendSlot = field(
         default_factory=_BackendSlot, repr=False, compare=False
     )
+    _bytecode: _BytecodeSlot = field(
+        default_factory=_BytecodeSlot, repr=False, compare=False
+    )
 
     def __getstate__(self):
         # DropRegionsReport is keyed by id() of the term's FunDef nodes,
@@ -103,6 +128,11 @@ class CompiledProgram:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Programs pickled before the bytecode backend existed (a stale
+        # disk-cache entry, a user-persisted pickle) arrive without the
+        # slot fields; give them empty slots so every backend still runs.
+        self.__dict__.setdefault("_backend", _BackendSlot())
+        self.__dict__.setdefault("_bytecode", _BytecodeSlot())
         if self.drop_regions is None:
             self.drop_regions = analyse_drop_regions(self.term)
 
@@ -110,17 +140,54 @@ class CompiledProgram:
         """The region-annotated program in the paper's notation."""
         return pretty_program(self.term, schemes)
 
+    def _ensure_bytecode(self, multiplicity=None, drop_regions=None):
+        """Build (once) and return the bytecode backend slot."""
+        slot = self._bytecode
+        if slot.prep is None:
+            from .runtime.interp import prepare
+
+            # Re-derived even on a cache hit: Prepared is keyed by term
+            # node identity, which a pickle does not preserve.
+            slot.prep = prepare(self.term)
+        if slot.program is None:
+            from .runtime.bytecode import compile_bytecode
+
+            slot.program = compile_bytecode(
+                self.term, slot.prep, self.flags.strategy,
+                multiplicity, drop_regions,
+            )
+        return slot
+
+    def disasm(self) -> str:
+        """Textual disassembly of the bytecode backend's compiled form
+        (lowering the term on first use).  The format is the documented
+        interface of :mod:`repro.runtime.bytecode.disasm`; examples in
+        ``docs/bytecode.md`` are generated from it and kept in sync by
+        CI.  Includes any specialized segments already attached."""
+        from .runtime.bytecode import disassemble
+
+        multiplicity = self.multiplicity if self.flags.multiplicity else None
+        drop_regions = self.drop_regions if self.flags.drop_regions else None
+        return disassemble(
+            self._ensure_bytecode(multiplicity, drop_regions).program
+        )
+
     def run(self, backend: str = "closure", **overrides) -> RunResult:
         """Execute on the region abstract machine.
 
         ``backend`` selects the evaluator: ``"closure"`` (the default)
         lowers the term to Python closures once
         (:func:`repro.runtime.compile.compile_term`, memoized on this
-        program) and runs the compiled form; ``"tree"`` runs the
-        original recursive :meth:`Interp.ev
-        <repro.runtime.interp.Interp.ev>` walker.  The two are
-        bit-identical in results, stdout, ``RunStats``, and trace
-        events — the closure backend is purely a speed knob.
+        program) and runs the compiled form; ``"bytecode"`` lowers it
+        once to a flat register-machine instruction array
+        (:mod:`repro.runtime.bytecode`) interpreted by a single
+        dispatch loop with trace-guided specialization (tunable via the
+        ``specialize`` runtime flag); ``"tree"`` runs the original
+        recursive :meth:`Interp.ev <repro.runtime.interp.Interp.ev>`
+        walker.  All three are bit-identical in results, stdout,
+        ``RunStats``, and trace events — the compiled backends are
+        purely speed knobs.  See ``docs/bytecode.md`` and
+        ``docs/performance.md`` for the backend matrix.
 
         Keyword overrides are applied to the runtime flags (e.g.
         ``gc_every_alloc=True``, ``heap_to_live=2.0``,
@@ -148,9 +215,13 @@ class CompiledProgram:
                     self.term, slot.prep, multiplicity, drop_regions
                 )
             prep, code = slot.prep, slot.code
+        elif backend == "bytecode":
+            slot = self._ensure_bytecode(multiplicity, drop_regions)
+            prep, code = slot.prep, slot.program.main
         elif backend != "tree":
             raise ValueError(
-                f"unknown backend {backend!r} (expected 'closure' or 'tree')"
+                f"unknown backend {backend!r} "
+                "(expected 'closure', 'bytecode', or 'tree')"
             )
 
         runtime = replace(self.flags.runtime, **overrides) if overrides else self.flags.runtime
@@ -218,6 +289,7 @@ def compile_program(
                 compile_seconds=cached.compile_seconds,
                 cache_hit=True,
                 _backend=cached._backend,
+                _bytecode=cached._bytecode,
             )
 
     start = time.perf_counter()

@@ -1,0 +1,24 @@
+"""Bytecode VM backend: term lowering, dispatch loop, trace-guided
+specialization, and a stable textual disassembler.
+
+Public surface::
+
+    program = compile_bytecode(term, prep, strategy, multiplicity, drop_regions)
+    value   = program.main(rt, env, renv)     # code= hook for run_term
+    text    = disassemble(program)
+
+See ``docs/bytecode.md`` for the ISA reference.
+"""
+
+from . import isa
+from .compiler import compile_bytecode
+from .disasm import disassemble
+from .vm import BodyCode, BytecodeProgram
+
+__all__ = [
+    "BodyCode",
+    "BytecodeProgram",
+    "compile_bytecode",
+    "disassemble",
+    "isa",
+]

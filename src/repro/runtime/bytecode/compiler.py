@@ -1,0 +1,464 @@
+"""Lowering region-annotated terms to the bytecode ISA.
+
+The compiler is a straight mirror of ``Interp.ev``: every node entry
+contributes one step (accumulated and flushed as ``STEP n`` before any
+instruction with observable effects), every shadow-stack push/pop of
+the walker is a ``PUSH``/``POPN`` (elided only where no collection can
+occur before the pop — the closure backend's rule), and every binder
+is a ``BIND``/``UNBIND`` pair around the scope body so unwinding can
+restore shadowed names.
+
+Each ``Lam``/``FunDef`` body becomes its own :class:`~.vm.BodyCode`
+with a contiguous segment of the flat array; ``CLOS``/``FUN``
+instructions reference bodies by index, so closures created at run
+time carry the program-shared code object — the anchor for both the
+call protocol and the specializer's hotness counters.
+
+Strategy-dependent facts are burned in at compile time: the region
+kinds and capacities of every ``letregion`` (from the multiplicity
+analysis), the dropped region-parameter indices of every ``fun`` (from
+the drop-regions analysis — re-deriving them on unpickle is
+unnecessary because they travel inside the instruction stream), and
+``ml``-mode's region-free lowering.
+"""
+
+from __future__ import annotations
+
+from ...config import Strategy
+from ...core import terms as T
+from ..heap import FINITE, INFINITE
+from ..interp import Prepared, _exn_key
+from ..values import NIL, UNIT
+from . import isa
+from .vm import BodyCode, BytecodeProgram
+
+__all__ = ["ALLOC_PRIMS", "can_gc", "compile_bytecode"]
+
+#: Primitives whose kernels allocate (see ``Interp._apply_prim``): their
+#: argument roots are observable, so temps pushes around them are never
+#: elided.
+ALLOC_PRIMS = frozenset({
+    "radd", "rsub", "rmul", "rdiv", "rneg", "sqrt", "rsin", "rcos",
+    "ratan", "rexp", "rln", "rabs", "real", "concat", "int_to_string",
+    "real_to_string",
+})
+
+
+def compile_bytecode(
+    term: T.Term,
+    prep: Prepared,
+    strategy: Strategy,
+    multiplicity=None,
+    drop_regions=None,
+) -> BytecodeProgram:
+    """Compile ``term`` into a :class:`~.vm.BytecodeProgram` whose
+    ``main`` body is a ``code(rt, env, renv)`` callable for
+    :func:`repro.runtime.interp.run_term`."""
+    return _Compiler(prep, strategy, multiplicity, drop_regions).compile(term)
+
+
+def can_gc(t: T.Term, cache: dict) -> bool:
+    """Can evaluating ``t`` reach a collection point?  Gates the
+    shadow-stack elision: a root pushed across a GC-free evaluation is
+    unobservable.  ``cache`` is an ``id(term) -> bool`` memo owned by
+    the caller (terms are shared, analyses are per-compilation)."""
+    cached = cache.get(id(t))
+    if cached is not None:
+        return cached
+    result = _can_gc(t, cache)
+    cache[id(t)] = result
+    return result
+
+
+def _can_gc(t: T.Term, cache: dict) -> bool:
+    cls = type(t)
+    if cls in (T.Var, T.IntLit, T.BoolLit, T.UnitLit, T.NilLit):
+        return False
+    if cls in (T.StringLit, T.RealLit, T.Lam, T.FunDef, T.RApp, T.App,
+               T.Pair, T.Cons, T.MkRef, T.DataCon, T.Con):
+        # Allocation sites (App through the callee), hence GC points.
+        return True
+    if cls is T.Letregion:
+        # Deallocation points: a fault plan may inject a collection.
+        return True
+    if cls is T.Prim:
+        if t.op in ALLOC_PRIMS:
+            return True
+        return any(can_gc(a, cache) for a in t.args)
+    if cls is T.Let:
+        return can_gc(t.rhs, cache) or can_gc(t.body, cache)
+    if cls is T.If:
+        return (can_gc(t.cond, cache) or can_gc(t.then, cache)
+                or can_gc(t.els, cache))
+    if cls is T.Select:
+        return can_gc(t.pair, cache)
+    if cls is T.Deref:
+        return can_gc(t.ref, cache)
+    if cls is T.Assign:
+        return can_gc(t.ref, cache) or can_gc(t.value, cache)
+    if cls is T.LetData:
+        return can_gc(t.body, cache)
+    if cls is T.Case:
+        return can_gc(t.scrutinee, cache) or any(
+            can_gc(br.body, cache) for br in t.branches
+        )
+    if cls is T.LetExn:
+        return can_gc(t.body, cache)
+    if cls is T.Raise:
+        return can_gc(t.exn, cache)
+    if cls is T.Handle:
+        return can_gc(t.body, cache) or can_gc(t.handler, cache)
+    return True  # unknown node: be conservative
+
+
+class _Label:
+    __slots__ = ("pos",)
+
+    def __init__(self):
+        self.pos = None
+
+
+class _Compiler:
+    def __init__(self, prep, strategy, multiplicity, drop_regions):
+        self.prep = prep
+        self.strategy = strategy
+        self.ml_mode = strategy is Strategy.ML
+        self.multiplicity = multiplicity
+        self.drop_regions = drop_regions
+        self.program = BytecodeProgram(strategy)
+        self._gc_cache: dict[int, bool] = {}
+        self._sites = 0
+
+    # -- driver --------------------------------------------------------------
+
+    def compile(self, term: T.Term) -> BytecodeProgram:
+        program = self.program
+        program.bodies.append(BodyCode(program, 0, "main", term))
+        # Bodies are discovered while compiling (CLOS/FUN emission) and
+        # appended to the worklist; each gets a contiguous segment.
+        next_body = 0
+        while next_body < len(program.bodies):
+            body = program.bodies[next_body]
+            next_body += 1
+            builder = _BodyBuilder(self)
+            builder.expr(body.term, 0)
+            builder.flush()
+            builder.emit(isa.RETURN, 0)
+            body.entry = len(program.code)
+            program.code.extend(builder.finalize(body.entry))
+            body.end = len(program.code)
+            body.nregs = builder.maxreg + 1
+        program.canonical_len = len(program.code)
+        program.observed = [None] * self._sites
+        return program
+
+    # -- body registration -----------------------------------------------------
+
+    def body_for(self, t: T.Term, name: str) -> int:
+        program = self.program
+        body_id = len(program.bodies)
+        program.bodies.append(BodyCode(program, body_id, name, t.body))
+        return body_id
+
+    def new_site(self) -> int:
+        site = self._sites
+        self._sites += 1
+        return site
+
+    def can_gc(self, t: T.Term) -> bool:
+        return can_gc(t, self._gc_cache)
+
+
+class _BodyBuilder:
+    """Emits one body's instructions (label-relative, patched at the end)."""
+
+    def __init__(self, compiler: _Compiler):
+        self.c = compiler
+        self.code: list = []
+        self.pending = 0
+        self.maxreg = 0
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, *ins) -> None:
+        self.code.append(ins)
+
+    def flush(self) -> None:
+        if self.pending:
+            self.code.append((isa.STEP, self.pending))
+            self.pending = 0
+
+    def place(self, label: _Label) -> None:
+        assert self.pending == 0, "label placed with unflushed steps"
+        label.pos = len(self.code)
+
+    def finalize(self, base: int) -> list:
+        """Resolve labels to absolute program offsets."""
+        def fix(operand):
+            if isinstance(operand, _Label):
+                return base + operand.pos
+            if isinstance(operand, tuple):
+                return tuple(fix(o) for o in operand)
+            return operand
+
+        out = []
+        for ins in self.code:
+            op = ins[0]
+            if op in (isa.JUMP, isa.JF, isa.CASE, isa.HANDLE):
+                ins = tuple(fix(o) for o in ins)
+            out.append(ins)
+        return out
+
+    def reg(self, r: int) -> int:
+        if r > self.maxreg:
+            self.maxreg = r
+        return r
+
+    # -- expression lowering -----------------------------------------------------
+
+    def expr(self, t: T.Term, dst: int) -> None:
+        """Emit code leaving the value of ``t`` in ``regs[dst]``;
+        registers above ``dst`` are scratch."""
+        self.reg(dst)
+        self.pending += 1  # the walker's per-node-entry step
+        c = self.c
+        cls = type(t)
+
+        if cls is T.Var:
+            self.emit(isa.LOAD, dst, t.name)
+        elif cls is T.IntLit or cls is T.BoolLit:
+            self.emit(isa.IMM, dst, t.value)
+        elif cls is T.UnitLit:
+            self.emit(isa.IMM, dst, UNIT)
+        elif cls is T.NilLit:
+            self.emit(isa.IMM, dst, NIL)
+        elif cls is T.StringLit:
+            self.flush()
+            self.emit(isa.MAKE_STR, dst, t.value, t.rho,
+                      1 + (len(t.value) + 7) // 8)
+        elif cls is T.RealLit:
+            self.flush()
+            self.emit(isa.MAKE_REAL, dst, t.value, t.rho)
+        elif cls is T.App:
+            self._app(t, dst)
+        elif cls is T.Let:
+            self.expr(t.rhs, dst)
+            self.emit(isa.BIND, t.name, dst)
+            self.expr(t.body, dst)
+            self.emit(isa.UNBIND)
+        elif cls is T.If:
+            l_else, l_end = _Label(), _Label()
+            self.expr(t.cond, dst)
+            self.flush()
+            self.emit(isa.JF, dst, l_else)
+            self.expr(t.then, dst)
+            self.flush()
+            self.emit(isa.JUMP, l_end)
+            self.place(l_else)
+            self.expr(t.els, dst)
+            self.flush()
+            self.place(l_end)
+        elif cls is T.Prim:
+            self._prim(t, dst)
+        elif cls is T.Letregion:
+            self._letregion(t, dst)
+        elif cls is T.RApp:
+            self.expr(t.fn, dst)
+            self.flush()
+            self.emit(isa.RAPP, dst, dst, tuple(t.rargs), t.rho)
+        elif cls is T.Lam:
+            self.flush()
+            body_id = c.body_for(t, f"fn {t.param}")
+            self.emit(
+                isa.CLOS, dst, body_id, t.param, t.body,
+                c.prep.free_vars[id(t)], c.prep.free_regions[id(t)], t.rho,
+            )
+        elif cls is T.FunDef:
+            self.flush()
+            body_id = c.body_for(t, t.fname)
+            dropped = frozenset()
+            if c.drop_regions is not None:
+                dropped = c.drop_regions.dropped_indices_for(id(t))
+            self.emit(
+                isa.FUN, dst, body_id, t.fname, tuple(t.rparams), t.param,
+                t.body, c.prep.free_vars[id(t)], c.prep.free_regions[id(t)],
+                t.rho, dropped,
+            )
+        elif cls is T.Pair:
+            self.expr(t.fst, dst)
+            self.emit(isa.PUSH, dst)
+            self.expr(t.snd, self.reg(dst + 1))
+            self.emit(isa.PUSH, dst + 1)
+            self.flush()
+            self.emit(isa.PAIR, dst, dst, dst + 1, t.rho)
+            self.emit(isa.POPN, 2)
+        elif cls is T.Select:
+            self.expr(t.pair, dst)
+            self.flush()
+            self.emit(isa.SELECT, dst, dst, t.index)
+        elif cls is T.Cons:
+            self.expr(t.head, dst)
+            self.emit(isa.PUSH, dst)
+            self.expr(t.tail, self.reg(dst + 1))
+            self.emit(isa.PUSH, dst + 1)
+            self.flush()
+            self.emit(isa.CONS, dst, dst, dst + 1, t.rho)
+            self.emit(isa.POPN, 2)
+        elif cls is T.MkRef:
+            self.expr(t.init, dst)
+            self.emit(isa.PUSH, dst)
+            self.flush()
+            self.emit(isa.MKREF, dst, dst, t.rho)
+            self.emit(isa.POPN, 1)
+        elif cls is T.Deref:
+            self.expr(t.ref, dst)
+            self.flush()
+            self.emit(isa.DEREF, dst, dst)
+        elif cls is T.Assign:
+            self.expr(t.ref, dst)
+            rooted = self.c.can_gc(t.value)
+            if rooted:
+                self.emit(isa.PUSH, dst)
+            self.expr(t.value, self.reg(dst + 1))
+            if rooted:
+                self.emit(isa.POPN, 1)
+            self.flush()
+            self.emit(isa.ASSIGN, dst, dst, dst + 1)
+        elif cls is T.LetData:
+            self.expr(t.body, dst)
+        elif cls is T.DataCon:
+            if t.arg is not None:
+                self.expr(t.arg, dst)
+                self.emit(isa.PUSH, dst)
+                self.flush()
+                self.emit(isa.DATA, dst, t.conname, dst, t.rho)
+                self.emit(isa.POPN, 1)
+            else:
+                self.flush()
+                self.emit(isa.DATA, dst, t.conname, None, t.rho)
+        elif cls is T.Case:
+            self._case(t, dst)
+        elif cls is T.LetExn:
+            self.emit(isa.LETEXN, _exn_key(t.exname))
+            self.expr(t.body, dst)
+            self.emit(isa.UNBIND)
+        elif cls is T.Con:
+            if t.arg is not None:
+                self.expr(t.arg, dst)
+            else:
+                self.emit(isa.IMM, dst, UNIT)
+            self.emit(isa.PUSH, dst)
+            self.flush()
+            self.emit(isa.EXN, dst, _exn_key(t.exname), t.exname, dst, t.rho)
+            self.emit(isa.POPN, 1)
+        elif cls is T.Raise:
+            self.expr(t.exn, dst)
+            self.flush()
+            self.emit(isa.RAISE, dst)
+        elif cls is T.Handle:
+            l_handler, l_end = _Label(), _Label()
+            payreg = self.reg(dst + 1)
+            self.emit(isa.HANDLE, l_handler, _exn_key(t.exname), payreg)
+            self.expr(t.body, dst)
+            self.emit(isa.HANDLE_POP)
+            self.flush()
+            self.emit(isa.JUMP, l_end)
+            self.place(l_handler)
+            if t.binder is not None:
+                self.emit(isa.BIND, t.binder, payreg)
+            self.expr(t.handler, dst)
+            if t.binder is not None:
+                self.emit(isa.UNBIND)
+            self.flush()
+            self.place(l_end)
+        else:
+            raise TypeError(f"compile_bytecode: unknown term {cls.__name__}")
+
+    # -- compound lowerings ------------------------------------------------------
+
+    def _app(self, t: T.App, dst: int) -> None:
+        c = self.c
+        if id(t) in c.prep.direct_calls:
+            rapp: T.RApp = t.fn  # type: ignore[assignment]
+            self.flush()
+            self.emit(isa.DCALL_BEGIN, dst, rapp.fn.name)
+            self.expr(t.arg, self.reg(dst + 1))
+            self.flush()
+            self.emit(isa.DCALL_FINISH, dst, dst, dst + 1,
+                      tuple(rapp.rargs), c.new_site())
+            return
+        self.expr(t.fn, dst)
+        rooted = c.can_gc(t.arg)
+        if rooted:
+            self.emit(isa.PUSH, dst)
+        self.expr(t.arg, self.reg(dst + 1))
+        if rooted:
+            self.emit(isa.POPN, 1)
+        self.flush()
+        self.emit(isa.CALL, dst, dst, dst + 1)
+
+    def _prim(self, t: T.Prim, dst: int) -> None:
+        c = self.c
+        n = len(t.args)
+        allocates = t.op in ALLOC_PRIMS
+        pushed = 0
+        for i, arg in enumerate(t.args):
+            self.expr(arg, self.reg(dst + i))
+            # The walker roots every evaluated argument; the root is
+            # observable only if a later argument (or the primitive's
+            # own allocation) can trigger a collection.
+            if allocates or any(c.can_gc(a) for a in t.args[i + 1:]):
+                self.emit(isa.PUSH, dst + i)
+                pushed += 1
+        self.flush()
+        self.emit(isa.PRIM, dst, t.op, tuple(range(dst, dst + n)), t.rho)
+        if pushed:
+            self.emit(isa.POPN, pushed)
+
+    def _letregion(self, t: T.Letregion, dst: int) -> None:
+        c = self.c
+        if c.ml_mode or not t.rhos:
+            self.expr(t.body, dst)
+            return
+        infos = []
+        for rho in t.rhos:
+            kind = INFINITE
+            capacity = None
+            if c.multiplicity is not None and c.multiplicity.is_finite(rho):
+                kind = FINITE
+                capacity = c.multiplicity.finite[rho]
+            infos.append((rho.display(), rho, kind, capacity))
+        self.flush()
+        self.emit(isa.LETREGION, tuple(infos))
+        self.expr(t.body, dst)
+        self.flush()
+        self.emit(isa.ENDREGION, dst)
+
+    def _case(self, t: T.Case, dst: int) -> None:
+        l_end = _Label()
+        bindreg = self.reg(dst + 1)
+        self.expr(t.scrutinee, dst)
+        self.flush()
+        rows = []
+        labels = []
+        for br in t.branches:
+            label = _Label()
+            labels.append(label)
+            if br.binder is None:
+                bindmode = 0
+            elif br.conname is not None:
+                bindmode = 1  # bind the constructor payload
+            else:
+                bindmode = 2  # catch-all: bind the scrutinee itself
+            rows.append((br.conname, bindmode, label))
+        self.emit(isa.CASE, dst, bindreg, tuple(rows))
+        for br, label in zip(t.branches, labels):
+            self.place(label)
+            if br.binder is not None:
+                self.emit(isa.BIND, br.binder, bindreg)
+            self.expr(br.body, dst)
+            if br.binder is not None:
+                self.emit(isa.UNBIND)
+            self.flush()
+            self.emit(isa.JUMP, l_end)
+        self.place(l_end)

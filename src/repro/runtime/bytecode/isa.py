@@ -1,0 +1,108 @@
+"""The instruction set of the bytecode backend.
+
+One compiled program is a single flat ``tuple`` array; every function
+body (and the program's main expression, body 0) occupies a contiguous
+segment of it.  Instructions are Python tuples ``(opcode, *operands)``
+— a register machine with one register file per activation frame.
+
+Design rules the ISA encodes (see ``docs/bytecode.md`` for the full
+reference with GC-safety obligations):
+
+* **Steps are explicit.**  The tree walker counts one step per node
+  entry, pre-order.  The compiler accumulates those counts and emits a
+  single ``STEP n`` before every instruction whose effects can observe
+  the step counter — an allocation (trace events, ``HeapLimitError``),
+  a call (depth limit), ``RAISE``, a sanitizer probe, or a control
+  transfer.  Under ``rt.checking`` the ``STEP`` handler replays the
+  increments one at a time through ``Interp.check_limits`` so the
+  every-step budget and every-256-steps deadline cadence are
+  bit-identical to the walker.
+* **Roots are explicit.**  Registers are invisible to the collector;
+  the root set is ``env_stack`` + ``temps``, exactly as in the walker.
+  ``PUSH``/``POPN`` mirror the walker's shadow-stack choreography at
+  every instruction that can reach a GC point; the compiler elides a
+  push only when no collection can occur before the matching pop
+  (the same elision the closure backend applies).
+* **Unwinding is explicit.**  ``BIND``/``LETEXN``/``LETREGION``/
+  ``HANDLE`` push entries on a per-frame block stack; an in-flight
+  ``MLRaise`` (or any fault) unwinds it — restoring shadowed bindings,
+  deallocating regions *without* injecting a collection, and matching
+  handler stamps — exactly like the walker's ``try``/``finally`` nest.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NAMES", "MNEMONICS", "SPECIALIZED_OPS", "opcode_name"]
+
+# -- canonical tier ---------------------------------------------------------
+
+STEP = 0           # (STEP, n)                    steps += n (checked one-by-one under rt.checking)
+IMM = 1            # (IMM, dst, value)            load an unboxed constant
+LOAD = 2           # (LOAD, dst, name)            dst := env[name]
+JUMP = 3           # (JUMP, target)
+JF = 4             # (JF, src, target)            jump if regs[src] is falsy
+RETURN = 5         # (RETURN, src)                leave the frame with regs[src]
+PUSH = 6           # (PUSH, src)                  temps.append(regs[src])  — GC root
+POPN = 7           # (POPN, n)                    pop n GC roots
+BIND = 8           # (BIND, name, src)            env[name] := regs[src], shadow saved on block stack
+UNBIND = 9         # (UNBIND,)                    restore the innermost BIND/LETEXN
+MAKE_STR = 10      # (MAKE_STR, dst, value, rho, words)   allocate an RStr
+MAKE_REAL = 11     # (MAKE_REAL, dst, value, rho)         allocate an RReal
+PAIR = 12          # (PAIR, dst, fst, snd, rho)           allocate an RPair (operands must be rooted)
+CONS = 13          # (CONS, dst, head, tail, rho)         allocate an RCons
+MKREF = 14         # (MKREF, dst, src, rho)               allocate an RRef
+SELECT = 15        # (SELECT, dst, src, index)            #1/#2 of a pair (sanitizer probe)
+DEREF = 16         # (DEREF, dst, src)                    !ref (sanitizer probes)
+ASSIGN = 17        # (ASSIGN, dst, ref, src)              ref := value; write barrier; dst := unit
+DATA = 18          # (DATA, dst, conname, src|None, rho)  allocate an RData
+CASE = 19          # (CASE, src, bindreg, table)          datatype dispatch; table rows (conname|None, bindmode, target)
+LETEXN = 20        # (LETEXN, key)                        bind a fresh exception stamp (block stack)
+EXN = 21           # (EXN, dst, key, exname, src, rho)    allocate an RExn with the stamp env[key]
+RAISE = 22         # (RAISE, src)                         raise MLRaise(regs[src])
+HANDLE = 23        # (HANDLE, target, key, payreg)        push a handler block
+HANDLE_POP = 24    # (HANDLE_POP,)                        pop it (body completed normally)
+CLOS = 25          # (CLOS, dst, body, param, term, names, rhos, rho)         allocate an RClos
+FUN = 26           # (FUN, dst, body, fname, rparams, param, term, names, rhos, rho, dropped)
+RAPP = 27          # (RAPP, dst, fn, rargs, rho)          region application: specialize an RFunClos
+CALL = 28          # (CALL, dst, fn, arg)                 generic application (new frame)
+DCALL_BEGIN = 29   # (DCALL_BEGIN, dst, fname)            direct call: look up + count the known target
+DCALL_FINISH = 30  # (DCALL_FINISH, dst, fn, arg, rargs, site)  bind regions + enter the body
+LETREGION = 31     # (LETREGION, rhoinfos)                push regions; rhoinfos rows (name, rho, kind, capacity)
+ENDREGION = 32     # (ENDREGION, src)                     pop + deallocate them, result rooted across dealloc GCs
+PRIM = 33          # (PRIM, dst, op, argregs, rho)        primitive via Interp._apply_prim
+
+# -- specialized tier (only reachable when rt.checking and tracing are off) --
+
+SLOAD = 34         # (SLOAD, n, dst, name)        STEP n + LOAD fused
+SIMM = 35          # (SIMM, n, dst, value)        STEP n + IMM fused
+SPRIM = 36         # (SPRIM, n, dst, op, argregs, rho)    STEP n + PRIM fused
+INT_VI = 37        # (INT_VI, dst, op, src, const)        int arith/compare reg×const, _apply_prim fallback
+INT_VV = 38        # (INT_VV, dst, op, a, b)              int arith/compare reg×reg
+CMPJF = 39         # (CMPJF, dst, op, a, b, target)       INT_VV + JF fused
+DCALL_KNOWN = 40   # (DCALL_KNOWN, dst, fn, arg, rargs, site, body)  direct-threaded call
+
+NAMES = {
+    STEP: "STEP", IMM: "IMM", LOAD: "LOAD", JUMP: "JUMP", JF: "JF",
+    RETURN: "RETURN", PUSH: "PUSH", POPN: "POPN", BIND: "BIND",
+    UNBIND: "UNBIND", MAKE_STR: "MAKE_STR", MAKE_REAL: "MAKE_REAL",
+    PAIR: "PAIR", CONS: "CONS", MKREF: "MKREF", SELECT: "SELECT",
+    DEREF: "DEREF", ASSIGN: "ASSIGN", DATA: "DATA", CASE: "CASE",
+    LETEXN: "LETEXN", EXN: "EXN", RAISE: "RAISE", HANDLE: "HANDLE",
+    HANDLE_POP: "HANDLE_POP", CLOS: "CLOS", FUN: "FUN", RAPP: "RAPP",
+    CALL: "CALL", DCALL_BEGIN: "DCALL_BEGIN", DCALL_FINISH: "DCALL_FINISH",
+    LETREGION: "LETREGION", ENDREGION: "ENDREGION", PRIM: "PRIM",
+    SLOAD: "SLOAD", SIMM: "SIMM", SPRIM: "SPRIM", INT_VI: "INT_VI",
+    INT_VV: "INT_VV", CMPJF: "CMPJF", DCALL_KNOWN: "DCALL_KNOWN",
+}
+
+#: Inverse of :data:`NAMES` (assembler-style lookups in tests/docs).
+MNEMONICS = {name: op for op, name in NAMES.items()}
+
+#: Opcodes that only ever appear in specialized (Tier-1) segments.
+SPECIALIZED_OPS = frozenset(
+    {SLOAD, SIMM, SPRIM, INT_VI, INT_VV, CMPJF, DCALL_KNOWN}
+)
+
+
+def opcode_name(op: int) -> str:
+    return NAMES.get(op, f"OP_{op}")

@@ -1,0 +1,1107 @@
+"""Trace-guided specialization of hot bodies.
+
+:func:`specialize_body` runs when a :class:`~.vm.BodyCode`'s entry
+counter crosses ``RuntimeFlags.specialize`` (counted only in runs where
+neither limit checking nor tracing forces the canonical tier).  Two
+tiers are produced, both **bit-identical** to the canonical segment in
+everything observable (values, stdout, ``RunStats``, fault-plan
+injection points — tracing and sanitize runs never reach them):
+
+* **Tier 1 — super-instruction fusion** (:func:`_fuse`): the body's
+  canonical segment is peephole-rewritten into a fresh segment appended
+  after ``canonical_len`` and reached via ``BodyCode.fast_entry``.
+  Fused pairs: ``STEP``+``LOAD``/``IMM``/``PRIM`` → ``SLOAD``/``SIMM``/
+  ``SPRIM``; integer-typed ``PRIM`` → ``INT_VV``/``INT_VI`` (guarded
+  fast path, ``_apply_prim`` fallback); compare+branch → ``CMPJF``.
+  Direct call sites the profile observed to be monomorphic
+  (``program.observed``) are rewritten into direct-threaded
+  ``DCALL_KNOWN`` instructions with the callee's code object burned in
+  (guarded by ``fn.code is body``, so a different callee at run time
+  falls back to the generic protocol).
+
+* **Tier 2 — generated kernels** (:class:`_KernelGen`): the body's
+  *term* is compiled to Python source, ``exec``'d into a namespace
+  shared by the whole program, and installed as ``BodyCode.kernel``.
+  This eliminates the dispatch loop entirely — the reason the bytecode
+  backend beats the closure backend (see docs/performance.md).  The
+  source and its constant pool are stored on the body
+  (``kernel_source``/``kernel_consts``); both pickle, so disk-cache
+  hits revive the compiled function deterministically
+  (:func:`revive_kernel`).
+
+Every decision here is a function of the program's deterministic
+execution profile (step counts, observed callees) — never of seeds,
+hashes, or wall time — so two identical compile+run cycles produce
+byte-identical instruction arrays and kernel sources (pinned by
+``tests/runtime/test_bytecode_specialize.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ...config import Strategy
+from ...core import terms as T
+from ..interp import _exn_key
+from . import isa
+from .compiler import ALLOC_PRIMS, can_gc
+from .vm import INT_FUSABLE
+
+__all__ = ["specialize_body", "revive_kernel", "generate_kernel_source"]
+
+_CMP_OPS = frozenset({"lt", "le", "gt", "ge"})
+_INLINE_BIN = {"add": "+", "sub": "-", "mul": "*"}
+_LOCAL = re.compile(r"v\d+\Z")
+
+
+def specialize_body(program, body) -> None:
+    """Specialize ``body`` in place: generate (or revive) its kernel and
+    its fused Tier-1 segment, then mark it specialized."""
+    _ensure_namespace(program)
+    if body.kernel_source is None:
+        generated = generate_kernel_source(program, body)
+        if generated is not None:
+            body.kernel_source, body.kernel_consts = generated
+    if body.kernel_source is not None and body.kernel is None:
+        try:
+            body.kernel = _exec_kernel(program, body)
+        except SyntaxError:
+            # CPython rejected the generated source (e.g. a static
+            # nesting limit the generator's own bound missed) — drop
+            # the kernel and stay on the fused tier.
+            body.kernel_source = None
+            body.kernel_consts = None
+    if body.fast_entry is None:
+        _fuse(program, body)
+    body.specialized = True
+
+
+def revive_kernel(program, body):
+    """Recompile a pickled body's kernel from its stored source (cache
+    hits arrive with ``kernel_source`` set and ``kernel`` dropped)."""
+    _ensure_namespace(program)
+    kernel = _exec_kernel(program, body)
+    body.kernel = kernel
+    return kernel
+
+
+def _ensure_namespace(program) -> dict:
+    """The shared globals of every generated kernel in ``program``.
+
+    ``B<i>`` names each body's code object (identity guards for direct
+    threading); ``K<i>`` names its kernel, rebound when body ``i``
+    specializes so already-generated callers pick it up on their next
+    call — module-level rebinding IS the direct-threading patch point.
+    """
+    ns = program._namespace
+    if ns is None:
+        from ...core.errors import InterpreterLimit, RuntimeFault
+        from ..compile import _alloc, _prim_kernel
+        from ..heap import Region
+        from ..interp import MLRaise, _MISSING
+        from .vm import _call_body
+        from ..values import (
+            NIL,
+            Nil,
+            RClos,
+            RCons,
+            RData,
+            RExn,
+            RFunClos,
+            RPair,
+            RReal,
+            RRef,
+            RStr,
+            UNIT,
+            structural_eq,
+        )
+
+        ns = {
+            "_alloc": _alloc, "_prim_kernel": _prim_kernel,
+            "MLRaise": MLRaise, "_MISSING": _MISSING,
+            "_call_body": _call_body,
+            "InterpreterLimit": InterpreterLimit, "RuntimeFault": RuntimeFault,
+            "Region": Region,
+            "UNIT": UNIT, "NIL": NIL, "Nil": Nil,
+            "RClos": RClos, "RCons": RCons, "RData": RData, "RExn": RExn,
+            "RFunClos": RFunClos, "RPair": RPair, "RReal": RReal,
+            "RRef": RRef, "RStr": RStr, "structural_eq": structural_eq,
+        }
+        program._namespace = ns
+    for b in program.bodies:
+        ns[f"B{b.body_id}"] = b
+        ns.setdefault(f"K{b.body_id}", None)
+    return ns
+
+
+def _exec_kernel(program, body):
+    ns = _ensure_namespace(program)
+    if body.kernel_consts:
+        ns.update(body.kernel_consts)
+    code = compile(body.kernel_source,
+                   f"<bytecode kernel {body.body_id}>", "exec")
+    exec(code, ns)
+    kernel = ns[f"_kernel_{body.body_id}"]
+    ns[f"K{body.body_id}"] = kernel
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Tier 1: super-instruction fusion over the canonical segment
+# ---------------------------------------------------------------------------
+
+
+def _fuse(program, body) -> None:
+    """Append a fused copy of the body's canonical segment and point
+    ``fast_entry`` at it.  A pair is never fused when a jump targets its
+    second instruction (targets are label positions — always flush
+    boundaries, but a flush's ``STEP`` can immediately precede one)."""
+    code = program.code
+    base = body.entry
+    seg = code[base:body.end]
+    targets = set()
+    for ins in seg:
+        op = ins[0]
+        if op == isa.JUMP:
+            targets.add(ins[1])
+        elif op == isa.JF:
+            targets.add(ins[2])
+        elif op == isa.CASE:
+            targets.update(row[2] for row in ins[3])
+        elif op == isa.HANDLE:
+            targets.add(ins[1])
+
+    out: list = []
+    posmap: dict[int, int] = {}
+    i, n = 0, len(seg)
+    while i < n:
+        posmap[base + i] = len(out)
+        ins = seg[i]
+        op = ins[0]
+        nxt = seg[i + 1] if i + 1 < n and (base + i + 1) not in targets else None
+        nn = seg[i + 2] if i + 2 < n and (base + i + 2) not in targets else None
+
+        if op == isa.STEP and nxt is not None:
+            nop = nxt[0]
+            if nop == isa.PRIM and nxt[4] is None and len(nxt[3]) == 2 \
+                    and nxt[2] in _CMP_OPS and nn is not None \
+                    and nn[0] == isa.JF and nn[1] == nxt[1]:
+                # STEP; cmp; JF  ->  STEP; CMPJF
+                out.append(ins)
+                posmap[base + i + 1] = len(out)
+                a, b = nxt[3]
+                out.append((isa.CMPJF, nxt[1], nxt[2], a, b, nn[2]))
+                i += 3
+                continue
+            if nop == isa.PRIM and nxt[4] is None and len(nxt[3]) == 2 \
+                    and nxt[2] in INT_FUSABLE:
+                # STEP; int prim  ->  STEP; INT_VV (guarded fast path)
+                out.append(ins)
+                posmap[base + i + 1] = len(out)
+                a, b = nxt[3]
+                out.append((isa.INT_VV, nxt[1], nxt[2], a, b))
+                i += 2
+                continue
+            if nop == isa.PRIM:
+                out.append((isa.SPRIM, ins[1], nxt[1], nxt[2], nxt[3], nxt[4]))
+                i += 2
+                continue
+            if nop == isa.LOAD:
+                out.append((isa.SLOAD, ins[1], nxt[1], nxt[2]))
+                i += 2
+                continue
+            if nop == isa.IMM:
+                out.append((isa.SIMM, ins[1], nxt[1], nxt[2]))
+                i += 2
+                continue
+        if op == isa.IMM and isinstance(ins[2], int) and nxt is not None \
+                and nxt[0] == isa.STEP and nn is not None and nn[0] == isa.PRIM \
+                and nn[4] is None and nn[2] in INT_FUSABLE \
+                and len(nn[3]) == 2 and nn[3][1] == ins[1] \
+                and nn[3][0] != ins[1]:
+            # IMM r2; STEP; int prim (r1, r2)  ->  STEP; INT_VI r1, const
+            # (r2 is a dead scratch register: the expression-stack
+            # discipline rewrites every register before reading it)
+            out.append(nxt)
+            posmap[base + i + 1] = len(out) - 1
+            posmap[base + i + 2] = len(out)
+            out.append((isa.INT_VI, nn[1], nn[2], nn[3][0], ins[2]))
+            i += 3
+            continue
+        if op == isa.PRIM and ins[4] is None and len(ins[3]) == 2 \
+                and ins[2] in _CMP_OPS and nxt is not None \
+                and nxt[0] == isa.JF and nxt[1] == ins[1]:
+            a, b = ins[3]
+            out.append((isa.CMPJF, ins[1], ins[2], a, b, nxt[2]))
+            i += 2
+            continue
+        if op == isa.DCALL_FINISH and program.observed[ins[5]] is not None:
+            out.append((isa.DCALL_KNOWN, ins[1], ins[2], ins[3], ins[4],
+                        ins[5], program.observed[ins[5]]))
+            i += 1
+            continue
+        out.append(ins)
+        i += 1
+
+    spec_base = len(code)
+
+    def fix(pc: int) -> int:
+        return spec_base + posmap[pc]
+
+    fused = []
+    for ins in out:
+        op = ins[0]
+        if op == isa.JUMP:
+            ins = (op, fix(ins[1]))
+        elif op == isa.JF:
+            ins = (op, ins[1], fix(ins[2]))
+        elif op == isa.CMPJF:
+            ins = ins[:5] + (fix(ins[5]),)
+        elif op == isa.CASE:
+            ins = (op, ins[1], ins[2],
+                   tuple((c, m, fix(t)) for c, m, t in ins[3]))
+        elif op == isa.HANDLE:
+            ins = (op, fix(ins[1]), ins[2], ins[3])
+        fused.append(ins)
+    code.extend(fused)
+    body.fast_entry = spec_base
+
+
+# ---------------------------------------------------------------------------
+# Tier 2: generated-Python kernels
+# ---------------------------------------------------------------------------
+
+
+class _Unsupported(Exception):
+    """Body shape the generator does not handle.  ``capacity=True``
+    marks a *size* failure (static block nesting or source depth past a
+    CPython limit): the offending subtree is recoverable by spilling it
+    into an auxiliary kernel function (:meth:`_KernelGen._spill`), where
+    both budgets restart at zero.  Structural failures (a lambda with no
+    CLOS record, an unknown term class) propagate and leave the whole
+    body on the fused tier."""
+
+    def __init__(self, reason: str, capacity: bool = False):
+        super().__init__(reason)
+        self.capacity = capacity
+
+
+def generate_kernel_source(program, body):
+    """Generate ``(source, consts)`` for ``body``, or ``None`` when the
+    generator cannot handle it.  ``source`` is a module-level chunk
+    (primitive-kernel prologue + ``def _kernel_<id>``); ``consts`` maps
+    the ``C<id>_<n>`` names it references to picklable objects (region
+    variables, term nodes, operand tuples) — both round-trip through
+    the compile caches."""
+    try:
+        gen = _KernelGen(program, body)
+        return gen.generate()
+    except _Unsupported:
+        return None
+
+
+class _KernelGen:
+    """Compiles one body's term to Python source.
+
+    The walker-mirroring disciplines are the bytecode compiler's,
+    restated for generated code: a compile-time ``pending`` step counter
+    flushed (``_st.steps += n``) before every allocation, call, region
+    operation, and ``raise MLRaise`` — the points where an exact step
+    count is observable through carried stats or injected collections;
+    shadow-stack pushes with the same :func:`can_gc` elision; explicit
+    ``try``/``finally`` save-restores around every binder so an ML
+    exception caught by an in-kernel handler sees the walker's
+    environment.  Kernels never run under ``rt.checking`` or tracing
+    (``BodyCode.__call__`` routes those to the canonical tier), but they
+    DO run under fault plans, heap caps, and ``gc_every_alloc`` — the
+    allocation helper and the rooting discipline carry those exactly.
+    """
+
+    MAX_DEPTH = 48
+
+    def __init__(self, program, body):
+        self.program = program
+        self.body = body
+        self.ml_mode = program.strategy is Strategy.ML
+        self.lines: list[str] = []
+        self.prologue: list[str] = []
+        self.aux_defs: list[str] = []
+        self.nspill = 0
+        self.consts: dict[str, object] = {}
+        self._const_ids: dict[int, str] = {}
+        self._pk: dict[tuple[str, int], str] = {}
+        self.nloc = 0
+        self.naux = 0
+        self.pending = 0
+        self.ind = 1
+        self.depth = 0
+        self.nest = 0  # statically nested try/for blocks (CPython caps at 20)
+        self._gc_cache: dict[int, bool] = {}
+        # Compile-time facts burned into this body's canonical segment:
+        # closure capture lists (keyed by the lambda's body term, which
+        # the instruction shares with the term tree), region
+        # multiplicities, and direct-call site ids in emission order.
+        self.clos_by_term: dict[int, tuple] = {}
+        self.fun_by_term: dict[int, tuple] = {}
+        self.region_rows: dict = {}
+        self.sites: list[int] = []
+        for ins in program.code[body.entry:body.end]:
+            op = ins[0]
+            if op == isa.CLOS:
+                self.clos_by_term[id(ins[4])] = ins
+            elif op == isa.FUN:
+                self.fun_by_term[id(ins[6])] = ins
+            elif op == isa.LETREGION:
+                for row in ins[1]:
+                    self.region_rows[row[1]] = row
+            elif op == isa.DCALL_FINISH:
+                self.sites.append(ins[5])
+        self._next_site = 0
+
+    # -- infrastructure ------------------------------------------------------
+
+    def generate(self):
+        result = self.gen(self.body.term)
+        self.flush()
+        self.emit(f"return {result}")
+        bid = self.body.body_id
+        header = [
+            f"def _kernel_{bid}(rt, env, renv):",
+            "    _st = rt.stats",
+            "    _temps = rt.temps",
+        ]
+        source = "\n".join(
+            self.prologue + self.aux_defs + header + self.lines
+        ) + "\n"
+        return source, dict(self.consts)
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.ind + line)
+
+    def flush(self) -> None:
+        if self.pending:
+            self.emit(f"_st.steps += {self.pending}")
+            self.pending = 0
+
+    def local(self) -> str:
+        self.nloc += 1
+        return f"v{self.nloc}"
+
+    def aux(self, prefix: str) -> str:
+        self.naux += 1
+        return f"_{prefix}{self.naux}"
+
+    # CPython rejects a function with more than 20 statically nested
+    # blocks (``try``/``for``/``while``/``with`` — ``if`` does not
+    # count, and neither does the indentation the generator adds for
+    # it).  ``block()`` tracks exactly those statements, so the bound
+    # can sit close to the real limit; the two-block margin covers the
+    # handler-cleanup frame CPython pushes inside an ``except`` suite,
+    # which ``_gen_handle`` accounts as a single block.
+    MAX_BLOCKS = 18
+
+    def block(self) -> None:
+        """Account for one statically nested block about to open; a
+        subtree that would exceed CPython's limit spills into an
+        auxiliary kernel function instead (see :meth:`_spill`)."""
+        self.nest += 1
+        if self.nest > self.MAX_BLOCKS:
+            raise _Unsupported("too many statically nested blocks",
+                               capacity=True)
+
+    def unblock(self) -> None:
+        self.nest -= 1
+
+    def force(self, expr: str) -> str:
+        """Materialize ``expr`` into a local (no-op when it already is
+        one) so it can be rooted, reused, or ordered before later
+        statements."""
+        if _LOCAL.fullmatch(expr):
+            return expr
+        v = self.local()
+        self.emit(f"{v} = {expr}")
+        return v
+
+    def const(self, obj) -> str:
+        name = self._const_ids.get(id(obj))
+        if name is None:
+            name = f"C{self.body.body_id}_{len(self.consts)}"
+            self._const_ids[id(obj)] = name
+            self.consts[name] = obj
+        return name
+
+    def pk(self, op: str, rho) -> str:
+        """Prologue-bound primitive kernel for ``(op, rho)`` (see
+        ``repro.runtime.compile._prim_kernel``)."""
+        key = (op, id(rho))
+        name = self._pk.get(key)
+        if name is None:
+            name = f"_pk{self.body.body_id}_{len(self._pk)}"
+            self._pk[key] = name
+            rho_ref = "None" if rho is None else self.const(rho)
+            self.prologue.append(
+                f"{name} = _prim_kernel({op!r}, {rho_ref})[1]"
+            )
+        return name
+
+    def can_gc(self, t) -> bool:
+        return can_gc(t, self._gc_cache)
+
+    def bound(self, key: str, value_expr: str):
+        """Emit ``env[key] = value`` with shadow save; returns a closer
+        that ends the ``try`` with the restoring ``finally``."""
+        self.block()
+        sv = self.aux("s")
+        self.emit(f"{sv} = env.get({key!r}, _MISSING)")
+        self.emit(f"env[{key!r}] = {value_expr}")
+        self.emit("try:")
+        self.ind += 1
+
+        def close():
+            self.ind -= 1
+            self.emit("finally:")
+            self.emit(f"    if {sv} is _MISSING:")
+            self.emit(f"        del env[{key!r}]")
+            self.emit("    else:")
+            self.emit(f"        env[{key!r}] = {sv}")
+            self.unblock()
+
+        return close
+
+    def enter_frame(self, call_env: str):
+        """The ``Interp._enter`` prologue/epilogue around a call."""
+        self.block()
+        self.emit("rt.depth += 1")
+        self.emit("if rt.depth > rt.flags.max_depth:")
+        self.emit("    rt.depth -= 1")
+        self.emit("    raise InterpreterLimit(")
+        self.emit('        f"call depth exceeded ({rt.flags.max_depth})",')
+        self.emit("        stats=_st)")
+        self.emit(f"rt.env_stack.append({call_env})")
+        self.emit("try:")
+        self.ind += 1
+
+        def close():
+            self.ind -= 1
+            self.emit("finally:")
+            self.emit("    rt.env_stack.pop()")
+            self.emit("    rt.depth -= 1")
+            self.unblock()
+
+        return close
+
+    # -- expression generation -------------------------------------------------
+
+    def gen(self, t) -> str:
+        """Emit statements evaluating ``t``; returns a Python expression
+        (an already-assigned local, or a deferrable pure atom).
+
+        Capacity failures are transactional: when generating ``t`` would
+        blow a CPython source limit, everything the failed attempt
+        emitted or consumed (lines, indentation, nesting, the pending
+        step counter, direct-call site cursor) is rolled back and the
+        subtree is regenerated into an auxiliary kernel function where
+        both budgets restart at zero (:meth:`_spill`)."""
+        mark = (len(self.lines), self.ind, self.nest, self.pending,
+                self._next_site)
+        self.depth += 1
+        try:
+            if self.depth > self.MAX_DEPTH:
+                raise _Unsupported("nesting too deep for generated source",
+                                   capacity=True)
+            return self._gen(t)
+        except _Unsupported as exc:
+            if not exc.capacity:
+                raise
+            del self.lines[mark[0]:]
+            (self.ind, self.nest, self.pending,
+             self._next_site) = mark[1], mark[2], mark[3], mark[4]
+            return self._spill(t)
+        finally:
+            self.depth -= 1
+
+    def _spill(self, t) -> str:
+        """Generate ``t`` as its own module-level kernel function and
+        emit a call to it at the current point.
+
+        Spilling is how bodies deeper than CPython's static limits still
+        get full Tier-2 kernels: the auxiliary function shares the
+        calling convention (``rt, env, renv`` — the same mutable
+        environment dicts, shadow stack, and stats), so moving a subtree
+        across the boundary is observationally free.  The outer pending
+        steps are flushed before the call so every observation point
+        inside the spilled subtree sees the exact canonical count; the
+        subtree's own entry step is counted inside.  A spilled subtree
+        that is itself too deep spills again — the recursion terminates
+        because each auxiliary function restarts at zero and every term
+        node opens a bounded number of blocks, so the next failure is
+        always at a strictly smaller subtree."""
+        self.flush()
+        self.nspill += 1
+        name = f"_kaux_{self.body.body_id}_{self.nspill}"
+        outer_lines = self.lines
+        saved = (self.ind, self.nest, self.depth)
+        self.lines = []
+        self.ind, self.nest, self.depth = 1, 0, 0
+        result = self.gen(t)
+        self.flush()
+        self.emit(f"return {result}")
+        aux_body = self.lines
+        self.lines = outer_lines
+        self.ind, self.nest, self.depth = saved
+        self.aux_defs.extend([
+            f"def {name}(rt, env, renv):",
+            "    _st = rt.stats",
+            "    _temps = rt.temps",
+            *aux_body,
+        ])
+        out = self.local()
+        self.emit(f"{out} = {name}(rt, env, renv)")
+        return out
+
+    def _gen(self, t) -> str:
+        self.pending += 1  # the walker's per-node-entry step
+        cls = type(t)
+
+        if cls is T.Var:
+            return f"env[{t.name!r}]"
+        if cls is T.IntLit or cls is T.BoolLit:
+            return repr(t.value)
+        if cls is T.UnitLit:
+            return "UNIT"
+        if cls is T.NilLit:
+            return "NIL"
+        if cls is T.StringLit:
+            self.flush()
+            words = 1 + (len(t.value) + 7) // 8
+            return self.force(
+                f"RStr({t.value!r}, "
+                f"_alloc(rt, {self.const(t.rho)}, renv, {words}))"
+            )
+        if cls is T.RealLit:
+            self.flush()
+            lit = (repr(t.value) if math.isfinite(t.value)
+                   else self.const(t.value))
+            return self.force(
+                f"RReal({lit}, _alloc(rt, {self.const(t.rho)}, renv, 1))"
+            )
+        if cls is T.App:
+            return self._gen_app(t)
+        if cls is T.Let:
+            rhs = self.gen(t.rhs)
+            out = self.local()
+            close = self.bound(t.name, rhs)
+            self.emit(f"{out} = {self.gen(t.body)}")
+            close()
+            return out
+        if cls is T.If:
+            cond = self.gen(t.cond)
+            self.flush()
+            out = self.local()
+            self.emit(f"if {cond}:")
+            self.ind += 1
+            self.emit(f"{out} = {self.gen(t.then)}")
+            self.flush()
+            self.ind -= 1
+            self.emit("else:")
+            self.ind += 1
+            self.emit(f"{out} = {self.gen(t.els)}")
+            self.flush()
+            self.ind -= 1
+            return out
+        if cls is T.Prim:
+            return self._gen_prim(t)
+        if cls is T.Letregion:
+            return self._gen_letregion(t)
+        if cls is T.RApp:
+            return self._gen_rapp(t)
+        if cls is T.Lam:
+            ins = self.clos_by_term.get(id(t.body))
+            if ins is None:
+                raise _Unsupported("lambda without a CLOS record")
+            return self._gen_close(
+                ins[2], ins[5], ins[6], ins[7],
+                lambda venv, crenv, region:
+                f"RClos({t.param!r}, {self.const(t.body)}, {venv}, {crenv}, "
+                f"{region}, code=B{ins[2]})",
+            )
+        if cls is T.FunDef:
+            ins = self.fun_by_term.get(id(t.body))
+            if ins is None:
+                raise _Unsupported("fun without a FUN record")
+            return self._gen_close(
+                ins[2], ins[7], ins[8], ins[9],
+                lambda venv, crenv, region:
+                f"RFunClos({t.fname!r}, {self.const(ins[4])}, {t.param!r}, "
+                f"{self.const(t.body)}, {venv}, {crenv}, {region}, "
+                f"{self.const(ins[10])}, code=B{ins[2]})",
+            )
+        if cls is T.Pair or cls is T.Cons:
+            a = self.force(self.gen(t.fst if cls is T.Pair else t.head))
+            self.emit(f"_temps.append({a})")
+            b = self.force(self.gen(t.snd if cls is T.Pair else t.tail))
+            self.emit(f"_temps.append({b})")
+            self.flush()
+            ctor = "RPair" if cls is T.Pair else "RCons"
+            out = self.force(
+                f"{ctor}({a}, {b}, _alloc(rt, {self.const(t.rho)}, renv, 2))"
+            )
+            self.emit("del _temps[-2:]")
+            return out
+        if cls is T.Select:
+            p = self.force(self.gen(t.pair))
+            self.emit(f"if not isinstance({p}, RPair):")
+            self.emit("    raise RuntimeFault('#i of a non-pair value')")
+            return f"{p}.{'fst' if t.index == 1 else 'snd'}"
+        if cls is T.MkRef:
+            a = self.force(self.gen(t.init))
+            self.emit(f"_temps.append({a})")
+            self.flush()
+            out = self.force(
+                f"RRef({a}, _alloc(rt, {self.const(t.rho)}, renv, 1))"
+            )
+            self.emit("_temps.pop()")
+            return out
+        if cls is T.Deref:
+            # No type check, like the walker: a non-ref propagates its
+            # AttributeError.  Forced, not deferred — a sibling Assign
+            # must not be reordered past this read.
+            return self.force(f"{self.force(self.gen(t.ref))}.contents")
+        if cls is T.Assign:
+            ref = self.force(self.gen(t.ref))
+            rooted = self.can_gc(t.value)
+            if rooted:
+                self.emit(f"_temps.append({ref})")
+            value = self.gen(t.value)
+            if rooted:
+                self.emit("_temps.pop()")
+            self.emit(f"{ref}.contents = {value}")
+            self.emit(f"rt.collector.note_write({ref})")
+            return "UNIT"
+        if cls is T.LetData:
+            return self._gen(t.body)  # the node itself still costs a step
+        if cls is T.DataCon:
+            if t.arg is not None:
+                a = self.force(self.gen(t.arg))
+                self.emit(f"_temps.append({a})")
+                self.flush()
+                out = self.force(
+                    f"RData({t.conname!r}, {a}, "
+                    f"_alloc(rt, {self.const(t.rho)}, renv, 2))"
+                )
+                self.emit("_temps.pop()")
+                return out
+            self.flush()
+            return self.force(
+                f"RData({t.conname!r}, None, "
+                f"_alloc(rt, {self.const(t.rho)}, renv, 2))"
+            )
+        if cls is T.Case:
+            return self._gen_case(t)
+        if cls is T.LetExn:
+            key = _exn_key(t.exname)
+            out = self.local()
+            close = self.bound(key, "next(rt._exn_stamps)")
+            self.emit(f"{out} = {self.gen(t.body)}")
+            close()
+            return out
+        if cls is T.Con:
+            key = _exn_key(t.exname)
+            a = self.force(self.gen(t.arg)) if t.arg is not None else "UNIT"
+            self.emit(f"_temps.append({a})")
+            self.flush()
+            region = self.force(
+                f"_alloc(rt, {self.const(t.rho)}, renv, 2)"
+            )
+            self.emit("_temps.pop()")
+            return self.force(
+                f"RExn(env[{key!r}], {t.exname!r}, {a}, {region})"
+            )
+        if cls is T.Raise:
+            e = self.gen(t.exn)
+            self.flush()
+            self.emit(f"raise MLRaise({e})")
+            return "None"  # unreachable; keeps callers uniform
+        if cls is T.Handle:
+            return self._gen_handle(t)
+        raise _Unsupported(f"no kernel lowering for {cls.__name__}")
+
+    # -- compound constructs -----------------------------------------------------
+
+    def _gen_app(self, t) -> str:
+        if type(t.fn) is T.RApp and type(t.fn.fn) is T.Var:
+            return self._gen_direct_call(t)
+        fn = self.gen(t.fn)
+        rooted = self.can_gc(t.arg)
+        if rooted:
+            fn = self.force(fn)
+            self.emit(f"_temps.append({fn})")
+        arg = self.force(self.gen(t.arg))
+        if rooted:
+            self.emit("_temps.pop()")
+        fn = self.force(fn)
+        self.flush()
+        env = self.aux("ce")
+        self.emit(f"_t = type({fn})")
+        self.emit("if _t is RClos:")
+        self.emit(f"    {env} = dict({fn}.venv)")
+        self.emit(f"    {env}[{fn}.param] = {arg}")
+        self.emit("elif _t is RFunClos:")
+        self.emit(f"    {env} = dict({fn}.venv)")
+        self.emit(f"    {env}[{fn}.fname] = {fn}")
+        self.emit(f"    {env}[{fn}.param] = {arg}")
+        self.emit("else:")
+        self.emit("    raise RuntimeFault('application of a non-function value')")
+        out = self.local()
+        close = self.enter_frame(env)
+        self.emit(f"_c = {fn}.code")
+        self.emit("if _c is None:")
+        self.emit(f"    {out} = rt.ev({fn}.body, {env}, dict({fn}.renv))")
+        self.emit("else:")
+        self.emit(f"    {out} = _call_body(_c, rt, {env}, dict({fn}.renv))")
+        close()
+        return out
+
+    def _gen_direct_call(self, t) -> str:
+        rapp = t.fn
+        if self._next_site >= len(self.sites):
+            raise _Unsupported("direct-call site records out of sync")
+        site = self.sites[self._next_site]
+        self._next_site += 1
+        fn = self.local()
+        self.emit(f"{fn} = env[{rapp.fn.name!r}]")
+        self.emit(f"if type({fn}) is not RFunClos:")
+        self.emit("    raise RuntimeFault('region application of a non-fun value')")
+        self.emit("_st.direct_calls += 1")
+        arg = self.force(self.gen(t.arg))
+        self.flush()
+        # Region binding: the walker roots `arg` across it, but binding
+        # cannot allocate — the push is elided (the closure backend's
+        # proven elision).
+        renv2 = self.aux("re")
+        self._gen_bind_regions(fn, tuple(rapp.rargs), renv2)
+        env = self.aux("ce")
+        self.emit(f"{env} = dict({fn}.venv)")
+        self.emit(f"{env}[{fn}.fname] = {fn}")
+        self.emit(f"{env}[{fn}.param] = {arg}")
+        out = self.local()
+        close = self.enter_frame(env)
+        observed = self.program.observed[site]
+        self.emit(f"_c = {fn}.code")
+        if observed is not None:
+            bid = observed.body_id
+            self.emit(f"if _c is B{bid} and K{bid} is not None:")
+            self.emit(f"    {out} = K{bid}(rt, {env}, {renv2})")
+            self.emit("elif _c is None:")
+        else:
+            self.emit("if _c is None:")
+        self.emit(f"    {out} = rt.ev({fn}.body, {env}, {renv2})")
+        self.emit("else:")
+        self.emit(f"    {out} = _call_body(_c, rt, {env}, {renv2})")
+        close()
+        return out
+
+    def _gen_bind_regions(self, fn: str, rargs: tuple, renv2: str) -> None:
+        """``Interp._bind_regions`` over runtime ``rparams``/``dropped``
+        with the actuals burned as a constant tuple."""
+        actuals = self.const(rargs)
+        self.block()
+        self.emit(f"{renv2} = dict({fn}.renv)")
+        self.emit("_i = 0")
+        self.emit(f"_d = {fn}.dropped")
+        self.emit(f"for _fp in {fn}.rparams:")
+        self.emit("    if _i in _d:")
+        self.emit("        _st.dropped_region_passes += 1")
+        self.emit("    else:")
+        self.emit(f"        {renv2}[_fp] = rt.resolve({actuals}[_i], renv)")
+        self.emit("    _i += 1")
+        self.unblock()
+
+    def _gen_rapp(self, t) -> str:
+        fn = self.force(self.gen(t.fn))
+        self.flush()
+        self.emit(f"if not isinstance({fn}, RFunClos):")
+        self.emit("    raise RuntimeFault('region application of a non-fun value')")
+        self.emit("_st.region_apps += 1")
+        self.emit(f"_temps.append({fn})")
+        self.block()
+        self.emit("try:")
+        self.ind += 1
+        renv2 = self.aux("re")
+        self._gen_bind_regions(fn, tuple(t.rargs), renv2)
+        venv = self.aux("ve")
+        self.emit(f"{venv} = dict({fn}.venv)")
+        self.emit(f"{venv}[{fn}.fname] = {fn}")
+        region = self.aux("rg")
+        self.emit(
+            f"{region} = _alloc(rt, {self.const(t.rho)}, renv, "
+            f"1 + len({venv}) + len({renv2}))"
+        )
+        self.ind -= 1
+        self.emit("finally:")
+        self.emit("    _temps.pop()")
+        self.unblock()
+        return self.force(
+            f"RClos({fn}.param, {fn}.body, {venv}, {renv2}, {region}, "
+            f"code={fn}.code)"
+        )
+
+    def _gen_close(self, body_id, names, rhos, rho, build) -> str:
+        self.flush()
+        venv = self.aux("ve")
+        pairs = ", ".join(f"{n!r}: env[{n!r}]" for n in names)
+        self.emit(f"{venv} = {{{pairs}}}")
+        crenv = self.aux("cr")
+        if self.ml_mode:
+            self.emit(f"{crenv} = {{}}")
+            words = 1 + len(names)
+        else:
+            rpairs = ", ".join(
+                f"{self.const(r)}: rt.resolve({self.const(r)}, renv)"
+                for r in rhos
+            )
+            self.emit(f"{crenv} = {{{rpairs}}}")
+            words = 1 + len(names) + len(rhos)
+        region = self.aux("rg")
+        self.emit(
+            f"{region} = _alloc(rt, {self.const(rho)}, renv, {words})"
+        )
+        return self.force(build(venv, crenv, region))
+
+    def _gen_prim(self, t) -> str:
+        op = t.op
+        allocates = op in ALLOC_PRIMS
+        args = []
+        pushed = 0
+        n = len(t.args)
+        for i, a in enumerate(t.args):
+            expr = self.gen(a)
+            if allocates or any(self.can_gc(x) for x in t.args[i + 1:]):
+                expr = self.force(expr)
+                self.emit(f"_temps.append({expr})")
+                pushed += 1
+            args.append(expr)
+        result = self._apply_prim_expr(t, args)
+        if pushed:
+            result = self.force(result)
+            self.emit(f"del _temps[-{pushed}:]")
+        return result
+
+    def _apply_prim_expr(self, t, args) -> str:
+        op = t.op
+        if op in _INLINE_BIN:
+            a, b = args
+            return f"({a} {_INLINE_BIN[op]} {b})"
+        if op == "neg":
+            return f"(-{args[0]})"
+        if op == "not":
+            return f"(not {args[0]})"
+        if op == "null":
+            return self.force(f"isinstance({args[0]}, Nil)")
+        if op == "eq":
+            return self.force(f"structural_eq({args[0]}, {args[1]})")
+        if op == "ne":
+            return self.force(f"(not structural_eq({args[0]}, {args[1]}))")
+        if op in _CMP_OPS:
+            a = self.force(args[0])
+            b = self.force(args[1])
+            pk = self.pk(op, None)
+            py = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}[op]
+            return self.force(
+                f"({a} {py} {b}) if type({a}) is int and type({b}) is int "
+                f"else {pk}(rt, {a}, {b}, renv)"
+            )
+        arity, _kernel, _allocs = _prim_kernel_meta(op, t.rho)
+        if arity is None:
+            # No specialized kernel: the walker's _apply_prim, verbatim.
+            self.flush()
+            rho_ref = "None" if t.rho is None else self.const(t.rho)
+            return self.force(
+                f"rt._apply_prim({op!r}, [{', '.join(args)}], {rho_ref}, renv)"
+            )
+        if arity != len(args):
+            raise _Unsupported(f"primitive {op} arity mismatch")
+        if _allocs:
+            self.flush()
+        pk = self.pk(op, t.rho)
+        return self.force(f"{pk}(rt, {', '.join(args)}, renv)")
+
+    def _gen_letregion(self, t) -> str:
+        if self.ml_mode or not t.rhos:
+            return self._gen(t.body)
+        self.flush()
+        self.emit("_st.letregions += 1")
+        # The region lifecycle is inlined from Heap.new_region /
+        # Heap.dealloc_region, exactly as the closure backend's
+        # c_letregion inlines it — it is the hottest non-body work of a
+        # letregion.  Kernels never run under tracing (BodyCode.__call__
+        # routes traced runs to the canonical tier), so the trace-emit
+        # branches drop unconditionally.
+        hp = self.aux("hp")
+        sk = self.aux("sk")
+        self.emit(f"{hp} = rt.heap")
+        self.emit(f"{sk} = {hp}.region_stack")
+        created = []
+        for rho in t.rhos:
+            row = self.region_rows.get(rho)
+            if row is None:
+                raise _Unsupported("letregion without a LETREGION record")
+            name, _rho, kind, capacity = row
+            rg = self.aux("rg")
+            sv = self.aux("s")
+            self.emit(
+                f"{rg} = Region(next({hp}._ids), {name!r}, {kind!r}, "
+                f"{capacity!r})"
+            )
+            self.emit(f"{sk}.append({rg})")
+            counter = ("finite_regions_created" if kind == "finite"
+                       else "infinite_regions_created")
+            self.emit(f"_st.{counter} += 1")
+            self.emit(f"if len({sk}) > _st.max_region_stack:")
+            self.emit(f"    _st.max_region_stack = len({sk})")
+            rho_ref = self.const(rho)
+            self.emit(f"{sv} = renv.get({rho_ref}, _MISSING)")
+            self.emit(f"renv[{rho_ref}] = {rg}")
+            created.append((rho_ref, rg, sv))
+        out = self.local()
+        self.block()
+        self.emit("try:")
+        self.ind += 1
+        self.emit(f"{out} = {self.gen(t.body)}")
+        self.flush()
+        self.ind -= 1
+        self.emit("except BaseException:")
+        self.ind += 1
+        # Unwinding: pop the regions but never inject a collection —
+        # the in-flight exception value is not on the shadow stack.
+        for rho_ref, rg, sv in reversed(created):
+            self._dealloc_region(sk, rg)
+            self._restore_renv(rho_ref, sv)
+        self.emit("raise")
+        self.ind -= 1
+        self.unblock()
+        self.emit(f"_temps.append({out})")
+        self.block()
+        self.emit("try:")
+        self.ind += 1
+        for rho_ref, rg, sv in reversed(created):
+            self._dealloc_region(sk, rg)
+            self._restore_renv(rho_ref, sv)
+            # Inline rt.maybe_gc_at_dealloc(): without a fault plan the
+            # policy never collects at deallocation points.
+            self.emit("if rt.use_gc:")
+            self.emit("    _p = rt.flags.fault_plan")
+            self.emit("    if _p is not None:")
+            self.emit("        _k = _p.decide_dealloc(_st.region_deallocs - 1)")
+            self.emit("        if _k is not None:")
+            self.emit("            _st.gc_injected += 1")
+            self.emit("            rt.collector.collect_kind(_k, rt.roots())")
+        self.ind -= 1
+        self.emit("finally:")
+        self.emit("    _temps.pop()")
+        self.unblock()
+        return out
+
+    def _dealloc_region(self, sk: str, rg: str) -> None:
+        """Heap.dealloc_region without the trace branch (see
+        :meth:`_gen_letregion`)."""
+        self.emit(f"assert {rg}.alive, 'double deallocation of a region'")
+        self.emit(f"{rg}.alive = False")
+        self.emit(f"{rg}.stamp += 1")
+        self.emit(f"_st.current_words -= {rg}.words")
+        self.emit("_st.region_deallocs += 1")
+        self.emit(f"{rg}.words = 0")
+        self.emit(f"if {sk} and {sk}[-1] is {rg}:")
+        self.emit(f"    {sk}.pop()")
+        self.emit("else:")
+        self.emit(f"    {sk}.remove({rg})")
+
+    def _restore_renv(self, rho_ref: str, sv: str) -> None:
+        self.emit(f"if {sv} is _MISSING:")
+        self.emit(f"    del renv[{rho_ref}]")
+        self.emit("else:")
+        self.emit(f"    renv[{rho_ref}] = {sv}")
+
+    def _gen_case(self, t) -> str:
+        scrut = self.force(self.gen(t.scrutinee))
+        self.flush()
+        out = self.local()
+        branches = t.branches
+        if branches and branches[0].conname is not None:
+            # The walker's isinstance check fires at the first
+            # constructor branch; hoisted once since it is invariant.
+            self.emit(f"if not isinstance({scrut}, RData):")
+            self.emit("    raise RuntimeFault('case on a non-datatype value')")
+
+        def gen_branch(br, bound_expr):
+            if br.binder is not None:
+                close = self.bound(br.binder, bound_expr)
+                self.emit(f"{out} = {self.gen(br.body)}")
+                close()
+            else:
+                self.emit(f"{out} = {self.gen(br.body)}")
+            self.flush()
+
+        first = True
+        closed = False
+        for br in branches:
+            if br.conname is None:
+                if first:
+                    gen_branch(br, scrut)
+                else:
+                    self.emit("else:")
+                    self.ind += 1
+                    gen_branch(br, scrut)
+                    self.ind -= 1
+                closed = True
+                break  # later branches are unreachable, as in the walker
+            kw = "if" if first else "elif"
+            self.emit(f"{kw} {scrut}.conname == {br.conname!r}:")
+            self.ind += 1
+            gen_branch(br, f"{scrut}.payload")
+            self.ind -= 1
+            first = False
+        if not closed:
+            self.emit("else:")
+            self.emit("    raise RuntimeFault(")
+            self.emit("        f\"Match: no case branch for constructor "
+                      f"{{{scrut}.conname}}\")")
+        return out
+
+    def _gen_handle(self, t) -> str:
+        key = _exn_key(t.exname)
+        out = self.local()
+        tl = self.aux("tl")
+        exc = self.aux("e")
+        self.emit(f"{tl} = len(_temps)")
+        self.block()
+        self.emit("try:")
+        self.ind += 1
+        self.emit(f"{out} = {self.gen(t.body)}")
+        self.flush()
+        self.ind -= 1
+        self.emit(f"except MLRaise as {exc}:")
+        self.ind += 1
+        self.emit(f"if {exc}.value.stamp != env[{key!r}]:")
+        self.emit("    raise")
+        # The walker's per-push finallys have already drained temps by
+        # the time its handler runs; generated pushes have no finallys,
+        # so truncate to the recorded level here.
+        self.emit(f"del _temps[{tl}:]")
+        if t.binder is not None:
+            close = self.bound(t.binder, f"{exc}.value.payload")
+            self.emit(f"{out} = {self.gen(t.handler)}")
+            close()
+        else:
+            self.emit(f"{out} = {self.gen(t.handler)}")
+        self.flush()
+        self.ind -= 1
+        self.unblock()
+        return out
+
+
+def _prim_kernel_meta(op: str, rho):
+    from ..compile import _prim_kernel
+
+    return _prim_kernel(op, rho)

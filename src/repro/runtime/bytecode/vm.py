@@ -1,0 +1,707 @@
+"""The bytecode virtual machine: one dispatch loop, one block stack.
+
+``_execute`` interprets a body's segment of the flat instruction array
+against a per-frame register file.  Calls recurse into Python (a new
+``_execute`` frame per MiniML activation), which preserves the
+interpreter's ``max_depth``/``RecursionError`` semantics; an in-flight
+``MLRaise`` unwinds the frame's block stack — restoring shadowed
+bindings, deallocating ``letregion`` regions *without* injecting a
+collection, and matching handler stamps — exactly like the tree
+walker's ``try``/``finally`` nest.
+
+Bit-identity contract (pinned by the golden matrix in
+``tests/runtime/test_bytecode_backend.py``): values, stdout, the full
+``RunStats``, trace events, sanitizer faults, and fault-plan injection
+points all match the tree walker.  The walker's shadow-stack and
+step-accounting disciplines are encoded in the instruction stream (see
+:mod:`.isa`); the handlers below reuse the interpreter's own helpers
+(``Interp._apply_prim``, ``Interp.resolve``, the inlined allocation
+fast path of :func:`repro.runtime.compile._alloc`) so the observable
+behaviour is the walker's by construction.
+"""
+
+from __future__ import annotations
+
+from ...core.errors import InterpreterLimit, RuntimeFault
+from ..compile import _alloc
+from ..interp import MLRaise, _MISSING
+from ..values import (
+    RClos,
+    RCons,
+    RData,
+    RExn,
+    RFunClos,
+    RPair,
+    RReal,
+    RRef,
+    RStr,
+    UNIT,
+)
+
+__all__ = ["BodyCode", "BytecodeProgram"]
+
+_BLK_BIND = 0
+_BLK_REGION = 1
+_BLK_HANDLER = 2
+
+
+class BodyCode:
+    """The callable code object of one compiled body (main is body 0).
+
+    Implements the backend code protocol ``code(rt, env, renv)`` shared
+    with the closure backend, so ``RClos``/``RFunClos`` values carry a
+    ``BodyCode`` in their ``code`` slot and calls dispatch through it.
+
+    Also the unit of trace-guided specialization: entries are counted
+    (only in runs where neither limit checking nor tracing forces the
+    canonical tier) and once the count crosses ``rt.flags.specialize``
+    the body is rewritten — super-instruction fusion into a fresh
+    segment (``fast_entry``) and, where the kernel generator supports
+    the body, a generated-Python kernel (``kernel``).  Decisions are
+    functions of the deterministic execution profile alone, never of
+    seeds or wall time, so cached artifacts stay reproducible.
+    """
+
+    __slots__ = (
+        "program", "body_id", "name", "entry", "end", "nregs", "term",
+        "counter", "specialized", "fast_entry", "kernel", "kernel_source",
+        "kernel_consts",
+    )
+
+    def __init__(self, program, body_id, name, term):
+        self.program = program
+        self.body_id = body_id
+        self.name = name          # "main" or the fn/param label (disasm only)
+        self.term = term          # the body's term (kernel generation)
+        self.entry = 0
+        self.end = 0
+        self.nregs = 1
+        self.counter = 0
+        self.specialized = False
+        self.fast_entry = None
+        self.kernel = None
+        self.kernel_source = None
+        self.kernel_consts = None  # name -> region var / term, for revival
+
+    def __call__(self, rt, env, renv):
+        return _call_body(self, rt, env, renv)
+
+    # Compiled kernels are exec-artifacts; only their source survives
+    # pickling (revived deterministically on first post-unpickle call).
+    def __getstate__(self):
+        return {
+            "program": self.program, "body_id": self.body_id,
+            "name": self.name, "term": self.term, "entry": self.entry,
+            "end": self.end, "nregs": self.nregs, "counter": self.counter,
+            "specialized": self.specialized, "fast_entry": self.fast_entry,
+            "kernel_source": self.kernel_source,
+            "kernel_consts": self.kernel_consts,
+        }
+
+    def __setstate__(self, state):
+        for slot in self.__slots__:
+            setattr(self, slot, state.get(slot))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        tier = "kernel" if self.kernel_source else (
+            "fused" if self.fast_entry is not None else "canonical")
+        return (f"<BodyCode {self.body_id} {self.name!r} @{self.entry} "
+                f"nregs={self.nregs} {tier}>")
+
+
+class BytecodeProgram:
+    """One compiled program: a flat instruction array plus its bodies
+    and specialization state.
+
+    ``code[:canonical_len]`` is the canonical (Tier-0) segment the
+    compiler emitted — the only code reachable under limit checking or
+    tracing.  Specialized segments are appended after it and reached
+    through ``BodyCode.fast_entry``.  ``observed`` records, per direct
+    call site, the last callee ``BodyCode`` — the trace feedback the
+    specializer uses to rewrite monomorphic sites into direct-threaded
+    ``DCALL_KNOWN`` instructions.
+
+    Everything pickles (instruction operands are ints, strings, region
+    variables, terms, and ``BodyCode`` references) except compiled
+    kernels, which are revived from their stored source.
+    """
+
+    def __init__(self, strategy):
+        self.strategy = strategy
+        self.code: list = []
+        self.bodies: list[BodyCode] = []
+        self.canonical_len = 0
+        self.observed: list = []
+        self._namespace = None   # shared globals of generated kernels
+
+    @property
+    def main(self) -> BodyCode:
+        return self.bodies[0]
+
+    def spec_table(self) -> dict:
+        """The specialization table, in a stable, comparable form (the
+        determinism tests and the disk-cache round-trip test diff this)."""
+        return {
+            "schema": "repro-bytecode-spec/v1",
+            "canonical_len": self.canonical_len,
+            "code_len": len(self.code),
+            "bodies": [
+                {
+                    "body": b.body_id,
+                    "name": b.name,
+                    "counter": b.counter,
+                    "specialized": b.specialized,
+                    "fast_entry": b.fast_entry,
+                    "kernel_source": b.kernel_source,
+                }
+                for b in self.bodies
+            ],
+            "observed": [
+                None if b is None else b.body_id for b in self.observed
+            ],
+        }
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_namespace"] = None
+        return state
+
+
+def _call_body(code, rt, env, renv):
+    """Invoke a body's code object as a *plain function* call.
+
+    Every VM-internal call site routes through this instead of
+    ``code(rt, env, renv)``: calling a ``BodyCode`` *instance* goes
+    through CPython's ``slot_tp_call``, which consumes C stack per hop,
+    and :func:`repro.runtime.interp.run_term` raises the Python
+    recursion limit far past what the C stack can absorb — so deep
+    canonical-tier MiniML recursion would overflow the C stack (and
+    crash the process) before either the ``max_depth`` counter or
+    ``RecursionError`` fired.  Plain-function recursion stays on
+    CPython's heap-allocated frame stack, so the same recursion depth
+    that the tree walker and closure backend survive is safe here too.
+    """
+    if type(code) is not BodyCode:
+        return code(rt, env, renv)
+    if rt.checking or rt.heap.trace.enabled:
+        return _execute(code.program, code.entry, code.nregs, rt, env, renv)
+    kernel = code.kernel
+    if kernel is not None:
+        return kernel(rt, env, renv)
+    if code.specialized:
+        if code.kernel_source is not None:
+            # Unpickled from a cache: the generated source round-trips,
+            # the compiled function is revived on first use.
+            from .specialize import revive_kernel
+
+            kernel = revive_kernel(code.program, code)
+            if kernel is not None:
+                return kernel(rt, env, renv)
+        entry = code.fast_entry
+        if entry is None:
+            entry = code.entry
+        return _execute(code.program, entry, code.nregs, rt, env, renv)
+    count = code.counter + 1
+    code.counter = count
+    threshold = rt.flags.specialize
+    if threshold and count >= threshold:
+        from .specialize import specialize_body
+
+        specialize_body(code.program, code)
+        kernel = code.kernel
+        if kernel is not None:
+            return kernel(rt, env, renv)
+        entry = code.fast_entry
+        if entry is None:
+            entry = code.entry
+        return _execute(code.program, entry, code.nregs, rt, env, renv)
+    return _execute(code.program, code.entry, code.nregs, rt, env, renv)
+
+
+def _execute(program, pc, nregs, rt, env, renv):
+    """Run one frame starting at ``pc``; returns the ``RETURN`` value."""
+    code = program.code
+    regs = [None] * nregs
+    blocks: list = []
+    temps = rt.temps
+    tbase = len(temps)
+    st = rt.stats
+    heap = rt.heap
+    checking = rt.checking
+    sanitize = rt.sanitize
+
+    while True:
+        try:
+            while True:
+                ins = code[pc]
+                op = ins[0]
+                if op == 0:  # STEP
+                    if checking:
+                        n = ins[1]
+                        while n:
+                            st.steps += 1
+                            rt.check_limits()
+                            n -= 1
+                    else:
+                        st.steps += ins[1]
+                    pc += 1
+                elif op == 2:  # LOAD
+                    regs[ins[1]] = env[ins[2]]
+                    pc += 1
+                elif op == 4:  # JF
+                    pc = pc + 1 if regs[ins[1]] else ins[2]
+                elif op == 1:  # IMM
+                    regs[ins[1]] = ins[2]
+                    pc += 1
+                elif op == 29:  # DCALL_BEGIN
+                    fn = env[ins[2]]
+                    if type(fn) is not RFunClos:
+                        raise RuntimeFault("region application of a non-fun value")
+                    st.direct_calls += 1
+                    regs[ins[1]] = fn
+                    pc += 1
+                elif op == 30:  # DCALL_FINISH
+                    fn = regs[ins[2]]
+                    arg = regs[ins[3]]
+                    if sanitize:
+                        rt.san_check(fn)
+                        rt.san_check(arg)
+                    temps.append(arg)
+                    try:
+                        call_renv = dict(fn.renv)
+                        dropped = fn.dropped
+                        idx = 0
+                        for formal in fn.rparams:
+                            if idx in dropped:
+                                st.dropped_region_passes += 1
+                            else:
+                                call_renv[formal] = rt.resolve(ins[4][idx], renv)
+                            idx += 1
+                    finally:
+                        temps.pop()
+                    program.observed[ins[5]] = fn.code
+                    call_env = dict(fn.venv)
+                    call_env[fn.fname] = fn
+                    call_env[fn.param] = arg
+                    rt.depth += 1
+                    if rt.depth > rt.flags.max_depth:
+                        rt.depth -= 1
+                        raise InterpreterLimit(
+                            f"call depth exceeded ({rt.flags.max_depth})",
+                            stats=st,
+                        )
+                    rt.env_stack.append(call_env)
+                    try:
+                        fcode = fn.code
+                        if fcode is None:
+                            regs[ins[1]] = rt.ev(fn.body, call_env, call_renv)
+                        else:
+                            regs[ins[1]] = _call_body(fcode, rt, call_env, call_renv)
+                    finally:
+                        rt.env_stack.pop()
+                        rt.depth -= 1
+                    pc += 1
+                elif op == 33:  # PRIM
+                    args = [regs[i] for i in ins[3]]
+                    regs[ins[1]] = rt._apply_prim(ins[2], args, ins[4], renv)
+                    pc += 1
+                elif op == 6:  # PUSH
+                    temps.append(regs[ins[1]])
+                    pc += 1
+                elif op == 7:  # POPN
+                    del temps[-ins[1]:]
+                    pc += 1
+                elif op == 8:  # BIND
+                    name = ins[1]
+                    blocks.append((0, name, env.get(name, _MISSING)))
+                    env[name] = regs[ins[2]]
+                    pc += 1
+                elif op == 9:  # UNBIND
+                    blk = blocks.pop()
+                    if blk[2] is _MISSING:
+                        del env[blk[1]]
+                    else:
+                        env[blk[1]] = blk[2]
+                    pc += 1
+                elif op == 3:  # JUMP
+                    pc = ins[1]
+                elif op == 28:  # CALL
+                    fn = regs[ins[2]]
+                    arg = regs[ins[3]]
+                    if sanitize:
+                        rt.san_check(fn)
+                        rt.san_check(arg)
+                    tfn = type(fn)
+                    if tfn is RClos:
+                        call_env = dict(fn.venv)
+                        call_env[fn.param] = arg
+                    elif tfn is RFunClos:
+                        call_env = dict(fn.venv)
+                        call_env[fn.fname] = fn
+                        call_env[fn.param] = arg
+                    else:
+                        raise RuntimeFault("application of a non-function value")
+                    rt.depth += 1
+                    if rt.depth > rt.flags.max_depth:
+                        rt.depth -= 1
+                        raise InterpreterLimit(
+                            f"call depth exceeded ({rt.flags.max_depth})",
+                            stats=st,
+                        )
+                    rt.env_stack.append(call_env)
+                    try:
+                        fcode = fn.code
+                        if fcode is None:
+                            regs[ins[1]] = rt.ev(fn.body, call_env, dict(fn.renv))
+                        else:
+                            regs[ins[1]] = _call_body(fcode, rt, call_env, dict(fn.renv))
+                    finally:
+                        rt.env_stack.pop()
+                        rt.depth -= 1
+                    pc += 1
+                elif op == 15:  # SELECT
+                    pair = regs[ins[2]]
+                    if not isinstance(pair, RPair):
+                        raise RuntimeFault("#i of a non-pair value")
+                    if sanitize and pair.san != pair.region.stamp:
+                        rt.san_fault(pair)
+                    regs[ins[1]] = pair.fst if ins[3] == 1 else pair.snd
+                    pc += 1
+                elif op == 5:  # RETURN
+                    return regs[ins[1]]
+                elif op == 12:  # PAIR
+                    region = _alloc(rt, ins[4], renv, 2)
+                    regs[ins[1]] = RPair(regs[ins[2]], regs[ins[3]], region)
+                    pc += 1
+                elif op == 13:  # CONS
+                    region = _alloc(rt, ins[4], renv, 2)
+                    regs[ins[1]] = RCons(regs[ins[2]], regs[ins[3]], region)
+                    pc += 1
+                elif op == 19:  # CASE
+                    scrut = regs[ins[1]]
+                    if sanitize:
+                        rt.san_check(scrut)
+                    for conname, bindmode, target in ins[3]:
+                        if conname is not None:
+                            if not isinstance(scrut, RData):
+                                raise RuntimeFault("case on a non-datatype value")
+                            if conname != scrut.conname:
+                                continue
+                        if bindmode == 1:
+                            regs[ins[2]] = scrut.payload
+                        elif bindmode == 2:
+                            regs[ins[2]] = scrut
+                        pc = target
+                        break
+                    else:
+                        raise RuntimeFault(
+                            f"Match: no case branch for constructor {scrut.conname}"
+                        )
+                elif op == 25:  # CLOS
+                    venv = {}
+                    for name in ins[5]:
+                        venv[name] = env[name]
+                    crenv = {}
+                    if not rt.ml_mode:
+                        for rho in ins[6]:
+                            crenv[rho] = rt.resolve(rho, renv)
+                    region = _alloc(rt, ins[7], renv, 1 + len(venv) + len(crenv))
+                    regs[ins[1]] = RClos(
+                        ins[3], ins[4], venv, crenv, region,
+                        code=program.bodies[ins[2]],
+                    )
+                    pc += 1
+                elif op == 26:  # FUN
+                    venv = {}
+                    for name in ins[7]:
+                        venv[name] = env[name]
+                    crenv = {}
+                    if not rt.ml_mode:
+                        for rho in ins[8]:
+                            crenv[rho] = rt.resolve(rho, renv)
+                    region = _alloc(rt, ins[9], renv, 1 + len(venv) + len(crenv))
+                    regs[ins[1]] = RFunClos(
+                        ins[3], ins[4], ins[5], ins[6], venv, crenv, region,
+                        ins[10], code=program.bodies[ins[2]],
+                    )
+                    pc += 1
+                elif op == 31:  # LETREGION
+                    st.letregions += 1
+                    created = []
+                    for name, rho, kind, capacity in ins[1]:
+                        region = heap.new_region(name, kind, capacity)
+                        created.append((rho, region, renv.get(rho, _MISSING)))
+                        renv[rho] = region
+                    blocks.append((1, created))
+                    pc += 1
+                elif op == 32:  # ENDREGION
+                    created = blocks.pop()[1]
+                    temps.append(regs[ins[1]])
+                    try:
+                        for rho, region, saved in reversed(created):
+                            heap.dealloc_region(region)
+                            if saved is _MISSING:
+                                del renv[rho]
+                            else:
+                                renv[rho] = saved
+                            rt.maybe_gc_at_dealloc()
+                    finally:
+                        temps.pop()
+                    pc += 1
+                elif op == 16:  # DEREF
+                    ref = regs[ins[2]]
+                    if sanitize:
+                        rt.san_check(ref)
+                        rt.san_check(ref.contents)
+                    regs[ins[1]] = ref.contents
+                    pc += 1
+                elif op == 17:  # ASSIGN
+                    ref = regs[ins[2]]
+                    value = regs[ins[3]]
+                    if sanitize:
+                        rt.san_check(ref)
+                        rt.san_check(value)
+                    ref.contents = value
+                    rt.collector.note_write(ref)
+                    regs[ins[1]] = UNIT
+                    pc += 1
+                elif op == 14:  # MKREF
+                    region = _alloc(rt, ins[3], renv, 1)
+                    regs[ins[1]] = RRef(regs[ins[2]], region)
+                    pc += 1
+                elif op == 10:  # MAKE_STR
+                    region = _alloc(rt, ins[3], renv, ins[4])
+                    regs[ins[1]] = RStr(ins[2], region)
+                    pc += 1
+                elif op == 11:  # MAKE_REAL
+                    region = _alloc(rt, ins[3], renv, 1)
+                    regs[ins[1]] = RReal(ins[2], region)
+                    pc += 1
+                elif op == 18:  # DATA
+                    payload = None if ins[3] is None else regs[ins[3]]
+                    region = _alloc(rt, ins[4], renv, 2)
+                    regs[ins[1]] = RData(ins[2], payload, region)
+                    pc += 1
+                elif op == 27:  # RAPP
+                    fn = regs[ins[2]]
+                    if not isinstance(fn, RFunClos):
+                        raise RuntimeFault("region application of a non-fun value")
+                    if sanitize:
+                        rt.san_check(fn)
+                    st.region_apps += 1
+                    temps.append(fn)
+                    try:
+                        call_renv = dict(fn.renv)
+                        dropped = fn.dropped
+                        idx = 0
+                        for formal in fn.rparams:
+                            if idx in dropped:
+                                st.dropped_region_passes += 1
+                            else:
+                                call_renv[formal] = rt.resolve(ins[3][idx], renv)
+                            idx += 1
+                        venv = dict(fn.venv)
+                        venv[fn.fname] = fn
+                        region = _alloc(
+                            rt, ins[4], renv, 1 + len(venv) + len(call_renv)
+                        )
+                    finally:
+                        temps.pop()
+                    regs[ins[1]] = RClos(
+                        fn.param, fn.body, venv, call_renv, region, code=fn.code
+                    )
+                    pc += 1
+                elif op == 20:  # LETEXN
+                    key = ins[1]
+                    blocks.append((0, key, env.get(key, _MISSING)))
+                    env[key] = next(rt._exn_stamps)
+                    pc += 1
+                elif op == 21:  # EXN
+                    payload = regs[ins[4]]
+                    region = _alloc(rt, ins[5], renv, 2)
+                    regs[ins[1]] = RExn(env[ins[2]], ins[3], payload, region)
+                    pc += 1
+                elif op == 22:  # RAISE
+                    raise MLRaise(regs[ins[1]])
+                elif op == 23:  # HANDLE
+                    blocks.append((2, ins[1], ins[2], ins[3], len(temps)))
+                    pc += 1
+                elif op == 24:  # HANDLE_POP
+                    blocks.pop()
+                    pc += 1
+                # ---- specialized tier (never reached when rt.checking
+                # or tracing: BodyCode routes those runs to the
+                # canonical segment) --------------------------------
+                elif op == 34:  # SLOAD
+                    st.steps += ins[1]
+                    regs[ins[2]] = env[ins[3]]
+                    pc += 1
+                elif op == 35:  # SIMM
+                    st.steps += ins[1]
+                    regs[ins[2]] = ins[3]
+                    pc += 1
+                elif op == 36:  # SPRIM
+                    st.steps += ins[1]
+                    args = [regs[i] for i in ins[4]]
+                    regs[ins[2]] = rt._apply_prim(ins[3], args, ins[5], renv)
+                    pc += 1
+                elif op == 37:  # INT_VI
+                    a = regs[ins[3]]
+                    if type(a) is int:
+                        regs[ins[1]] = _INT_OPS[ins[2]](a, ins[4])
+                    else:
+                        regs[ins[1]] = rt._apply_prim(
+                            ins[2], [a, ins[4]], None, renv
+                        )
+                    pc += 1
+                elif op == 38:  # INT_VV
+                    a = regs[ins[3]]
+                    b = regs[ins[4]]
+                    if type(a) is int and type(b) is int:
+                        regs[ins[1]] = _INT_OPS[ins[2]](a, b)
+                    else:
+                        regs[ins[1]] = rt._apply_prim(ins[2], [a, b], None, renv)
+                    pc += 1
+                elif op == 39:  # CMPJF
+                    a = regs[ins[3]]
+                    b = regs[ins[4]]
+                    if type(a) is int and type(b) is int:
+                        cond = _INT_OPS[ins[2]](a, b)
+                    else:
+                        cond = rt._apply_prim(ins[2], [a, b], None, renv)
+                    regs[ins[1]] = cond
+                    pc = pc + 1 if cond else ins[5]
+                elif op == 40:  # DCALL_KNOWN
+                    fn = regs[ins[2]]
+                    arg = regs[ins[3]]
+                    temps.append(arg)
+                    try:
+                        call_renv = dict(fn.renv)
+                        dropped = fn.dropped
+                        idx = 0
+                        for formal in fn.rparams:
+                            if idx in dropped:
+                                st.dropped_region_passes += 1
+                            else:
+                                call_renv[formal] = rt.resolve(ins[4][idx], renv)
+                            idx += 1
+                    finally:
+                        temps.pop()
+                    call_env = dict(fn.venv)
+                    call_env[fn.fname] = fn
+                    call_env[fn.param] = arg
+                    rt.depth += 1
+                    if rt.depth > rt.flags.max_depth:
+                        rt.depth -= 1
+                        raise InterpreterLimit(
+                            f"call depth exceeded ({rt.flags.max_depth})",
+                            stats=st,
+                        )
+                    rt.env_stack.append(call_env)
+                    try:
+                        body = ins[6]
+                        if fn.code is body:
+                            kernel = body.kernel
+                            if kernel is not None:
+                                regs[ins[1]] = kernel(rt, call_env, call_renv)
+                            else:
+                                entry = body.fast_entry
+                                if entry is None:
+                                    entry = body.entry
+                                regs[ins[1]] = _execute(
+                                    program, entry, body.nregs, rt,
+                                    call_env, call_renv,
+                                )
+                        else:
+                            fcode = fn.code
+                            if fcode is None:
+                                regs[ins[1]] = rt.ev(fn.body, call_env, call_renv)
+                            else:
+                                regs[ins[1]] = _call_body(fcode, rt, call_env, call_renv)
+                    finally:
+                        rt.env_stack.pop()
+                        rt.depth -= 1
+                    pc += 1
+                else:  # pragma: no cover - compiler/ISA drift guard
+                    raise AssertionError(
+                        f"bytecode: unknown opcode {op} at pc {pc}"
+                    )
+        except MLRaise as exc:
+            stamp = exc.value.stamp
+            handled = False
+            while blocks:
+                blk = blocks.pop()
+                kind = blk[0]
+                if kind == 0:  # bind
+                    if blk[2] is _MISSING:
+                        del env[blk[1]]
+                    else:
+                        env[blk[1]] = blk[2]
+                elif kind == 1:  # letregion: pop without injecting a GC
+                    for rho, region, saved in reversed(blk[1]):
+                        heap.dealloc_region(region)
+                        if saved is _MISSING:
+                            del renv[rho]
+                        else:
+                            renv[rho] = saved
+                else:  # handler
+                    if env[blk[2]] == stamp:
+                        del temps[blk[4]:]
+                        regs[blk[3]] = exc.value.payload
+                        pc = blk[1]
+                        handled = True
+                        break
+            if not handled:
+                del temps[tbase:]
+                raise
+        except BaseException:
+            # A fault or resource limit: unwind this frame's regions
+            # (their deallocations are observable through the stats the
+            # error carries) and re-raise.  Never inject a collection.
+            while blocks:
+                blk = blocks.pop()
+                kind = blk[0]
+                if kind == 0:
+                    if blk[2] is _MISSING:
+                        del env[blk[1]]
+                    else:
+                        env[blk[1]] = blk[2]
+                elif kind == 1:
+                    for rho, region, saved in reversed(blk[1]):
+                        heap.dealloc_region(region)
+                        if saved is _MISSING:
+                            del renv[rho]
+                        else:
+                            renv[rho] = saved
+            del temps[tbase:]
+            raise
+
+
+def _int_div(a, b):
+    if b == 0:
+        raise RuntimeFault("Div: division by zero")
+    return a // b
+
+
+def _int_mod(a, b):
+    if b == 0:
+        raise RuntimeFault("Mod: modulo by zero")
+    return a - (a // b) * b
+
+
+#: Integer fast paths of the specialized compare/arith ops; every entry
+#: matches the corresponding ``Interp._apply_prim`` branch on ints.
+_INT_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _int_div,
+    "mod": _int_mod,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+#: Ops :data:`_INT_OPS` may fuse (INT_VI/INT_VV/CMPJF operands).
+INT_FUSABLE = frozenset(_INT_OPS)

@@ -446,7 +446,8 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--programs", default=None,
                         help="comma-separated subset (default: all 23)")
     parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument("--backend", default="closure", choices=("closure", "tree"))
+    parser.add_argument("--backend", default="closure",
+                        choices=("closure", "bytecode", "tree"))
     parser.add_argument("--kills", type=int, default=5,
                         help="worker kills to inject (default 5)")
     parser.add_argument("--rejects", type=int, default=3,

@@ -247,7 +247,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ask the server to bypass its compile caches")
     parser.add_argument("--backend", default="closure",
-                        choices=["closure", "tree"])
+                        choices=["closure", "bytecode", "tree"])
     parser.add_argument("--tenant", default=None,
                         help="tenant name for servers running per-tenant "
                              "quotas")

@@ -28,7 +28,10 @@ format bump already says its layout is stale).
 
 The pickled payload carries only the compilation; runtime flags,
 per-request limits, and the closure backend (process-local by
-construction, see ``_BackendSlot.__reduce__``) are never baked in.
+construction, see ``_BackendSlot.__reduce__``) are never baked in.  The
+bytecode backend's compiled form *is* data — an entry stored after a
+bytecode run round-trips the instruction array and its specialization
+table (``_BytecodeSlot``), so disk hits start hot.
 
 Trust model: entries are pickles, and unpickling attacker-controlled
 bytes executes arbitrary code, so the cache only ever reads from a
@@ -69,7 +72,9 @@ __all__ = [
 #: Bump when the entry layout changes; old entries then read as
 #: ``format_mismatch`` misses instead of unpickling garbage.  Version 2
 #: introduced the digest header (version 1 was a bare pickled tuple).
-FORMAT_VERSION = 2
+#: Version 3 added the bytecode backend slot to ``CompiledProgram`` —
+#: version-2 entries unpickle to programs without it.
+FORMAT_VERSION = 3
 
 #: Entry header magic.  A full header line is
 #: ``repro-diskcache/<version> <sha256-of-payload>\n`` followed by the

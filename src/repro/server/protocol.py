@@ -8,7 +8,7 @@ default)::
       "schema": "repro-server/v1",
       "source": "val it = 1 + 2",
       "flags": {"strategy": "rg", "verify": true, ...},   # CompilerFlags.to_wire
-      "backend": "closure" | "tree",
+      "backend": "closure" | "bytecode" | "tree",
       "cache": true,                    # consult the compile caches
       "runtime": {
         "gc_every_alloc": false,
@@ -16,7 +16,8 @@ default)::
         "max_heap_words": null,         # per-request resource limits
         "deadline_seconds": null,
         "fault_plan": null,             # FaultPlan.to_dict
-        "sanitize": false               # heap pointer sanitizer
+        "sanitize": false,              # heap pointer sanitizer
+        "specialize": null              # bytecode specialization threshold
       },
       "trace": false,                   # return the JSONL event trace
       "verify": false                   # run the independent GC-safety
@@ -89,7 +90,7 @@ EXIT_FOR_STATUS = {
 
 _RUNTIME_KEYS = frozenset(
     {"gc_every_alloc", "generational", "max_heap_words", "deadline_seconds",
-     "fault_plan", "sanitize"}
+     "fault_plan", "sanitize", "specialize"}
 )
 
 
@@ -104,6 +105,7 @@ def make_request(
     deadline_seconds: Optional[float] = None,
     fault_plan=None,
     sanitize: bool = False,
+    specialize: Optional[int] = None,
     trace: bool = False,
     verify: bool = False,
     tenant: Optional[str] = None,
@@ -125,6 +127,7 @@ def make_request(
             "deadline_seconds": deadline_seconds,
             "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
             "sanitize": sanitize,
+            "specialize": specialize,
         },
         "trace": trace,
         "verify": verify,
@@ -153,7 +156,7 @@ def validate_request(request: object) -> Optional[str]:
     extra = set(request) - known
     if extra:
         return f"unknown request fields {sorted(extra)}"
-    if request.get("backend", "closure") not in ("closure", "tree"):
+    if request.get("backend", "closure") not in ("closure", "bytecode", "tree"):
         return f"unknown backend {request.get('backend')!r}"
     tenant = request.get("tenant")
     if tenant is not None and (
@@ -186,6 +189,12 @@ def validate_request(request: object) -> Optional[str]:
     plan = runtime.get("fault_plan")
     if plan is not None and not isinstance(plan, dict):
         return "fault_plan must be an object (FaultPlan.to_dict)"
+    specialize = runtime.get("specialize")
+    if specialize is not None and (
+        isinstance(specialize, bool) or not isinstance(specialize, int)
+        or specialize < 0
+    ):
+        return "specialize must be a non-negative integer"
     try:
         request_flags(request)
         request_runtime_overrides(request)
@@ -220,6 +229,8 @@ def request_runtime_overrides(request: dict) -> dict:
         from ..testing.faultplan import FaultPlan
 
         overrides["fault_plan"] = FaultPlan.from_dict(runtime["fault_plan"])
+    if runtime.get("specialize") is not None:
+        overrides["specialize"] = int(runtime["specialize"])
     return overrides
 
 

@@ -18,6 +18,13 @@ cell is also re-judged by :func:`repro.analysis.verify_term` (which
 shares no code with the Figure 4 checker).  The two static judges must
 agree — both accept or both reject the annotation; a split verdict is a
 bug in one of them and is reported as ``CLASS_VERIFIER_DISAGREE``.
+
+The matrix also has a **backend column**: ``backends`` selects which
+evaluators each cell runs under (``closure``, ``bytecode``, ``tree`` —
+see docs/bytecode.md).  The backends are contractually bit-identical, so
+every backend's outcome is compared against the single ``rg``/closure
+reference; a backend-dependent result is always a genuine bug, never an
+expected divergence.
 """
 
 from __future__ import annotations
@@ -86,6 +93,10 @@ class Divergence:
     mode: str
     plan: Optional[FaultPlan]
     detail: str
+    #: Which evaluator produced the divergent outcome (static
+    #: classifications — compile errors, verifier splits — are
+    #: backend-independent and report the default).
+    backend: str = "closure"
 
     @property
     def genuine(self) -> bool:
@@ -153,9 +164,11 @@ def _limits(
     )
 
 
-def _run_cell(prog, plan: Optional[FaultPlan], limits: dict) -> Outcome:
+def _run_cell(
+    prog, plan: Optional[FaultPlan], limits: dict, backend: str = "closure"
+) -> Outcome:
     try:
-        result = prog.run(fault_plan=plan, **limits)
+        result = prog.run(backend=backend, fault_plan=plan, **limits)
     except DanglingPointerError as exc:
         return Outcome("dangling", detail=str(exc))
     except UseAfterFreeError as exc:
@@ -176,10 +189,12 @@ def run_differential(
     max_heap_words: int = 2_000_000,
     deadline_seconds: float = 10.0,
     seed: int = 0,
+    backends: tuple = ("closure",),
 ) -> DifferentialReport:
     """Compile ``source`` under all five strategies x both spurious modes,
-    run every combination under every plan in the matrix, and classify
-    all divergences from the ``rg``/secondary reference."""
+    run every combination under every plan in the matrix **and every
+    backend in** ``backends``, and classify all divergences from the
+    ``rg``/secondary/closure reference."""
     report = DifferentialReport(source=source)
     if plans is None:
         plans = default_plan_matrix(seed)
@@ -257,49 +272,54 @@ def run_differential(
             # under the policy cell only.
             cell_plans = plans if strategy.uses_gc else [None]
             for plan in cell_plans:
-                outcome = _run_cell(prog, plan, limits)
-                report.runs += 1
-                if outcome.status == "limit":
-                    report.limited += 1
-                    continue
-                if outcome.status == "dangling":
-                    classification = (
-                        CLASS_EXPECTED_DANGLING
-                        if strategy is Strategy.RG_MINUS
-                        else CLASS_SOUNDNESS_BUG
-                    )
-                    report.divergences.append(
-                        Divergence(
-                            classification,
-                            strategy.value,
-                            mode.value,
-                            plan,
-                            outcome.detail,
+                for backend in backends:
+                    outcome = _run_cell(prog, plan, limits, backend)
+                    report.runs += 1
+                    if outcome.status == "limit":
+                        report.limited += 1
+                        continue
+                    if outcome.status == "dangling":
+                        classification = (
+                            CLASS_EXPECTED_DANGLING
+                            if strategy is Strategy.RG_MINUS
+                            else CLASS_SOUNDNESS_BUG
                         )
-                    )
-                    continue
-                if outcome.status == "use-after-free":
-                    report.divergences.append(
-                        Divergence(
-                            CLASS_USE_AFTER_FREE,
-                            strategy.value,
-                            mode.value,
-                            plan,
-                            outcome.detail,
+                        report.divergences.append(
+                            Divergence(
+                                classification,
+                                strategy.value,
+                                mode.value,
+                                plan,
+                                outcome.detail,
+                                backend,
+                            )
                         )
-                    )
-                    continue
-                if not outcome.agrees_with(reference):
-                    report.divergences.append(
-                        Divergence(
-                            CLASS_VALUE_MISMATCH,
-                            strategy.value,
-                            mode.value,
-                            plan,
-                            f"got {outcome.status}:{outcome.value!r} "
-                            f"out={outcome.output!r} {outcome.detail} — expected "
-                            f"{reference.status}:{reference.value!r} "
-                            f"out={reference.output!r}",
+                        continue
+                    if outcome.status == "use-after-free":
+                        report.divergences.append(
+                            Divergence(
+                                CLASS_USE_AFTER_FREE,
+                                strategy.value,
+                                mode.value,
+                                plan,
+                                outcome.detail,
+                                backend,
+                            )
                         )
-                    )
+                        continue
+                    if not outcome.agrees_with(reference):
+                        report.divergences.append(
+                            Divergence(
+                                CLASS_VALUE_MISMATCH,
+                                strategy.value,
+                                mode.value,
+                                plan,
+                                f"got {outcome.status}:{outcome.value!r} "
+                                f"out={outcome.output!r} {outcome.detail} — "
+                                f"expected "
+                                f"{reference.status}:{reference.value!r} "
+                                f"out={reference.output!r}",
+                                backend,
+                            )
+                        )
     return report

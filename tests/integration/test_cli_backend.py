@@ -24,8 +24,9 @@ def _stdout(capsys):
 def test_backends_print_identical_results(mml, capsys):
     assert main([str(mml)]) == 0
     closure_out = _stdout(capsys)
-    assert main([str(mml), "--backend", "tree"]) == 0
-    assert _stdout(capsys) == closure_out
+    for backend in ("tree", "bytecode"):
+        assert main([str(mml), "--backend", backend]) == 0
+        assert _stdout(capsys) == closure_out
     assert "val it = 5050" in closure_out
 
 
@@ -43,4 +44,4 @@ def test_no_cache_matches_cached(mml, capsys):
 
 def test_unknown_backend_rejected(mml, capsys):
     with pytest.raises(SystemExit):
-        main([str(mml), "--backend", "bytecode"])
+        main([str(mml), "--backend", "jit"])

@@ -1,0 +1,357 @@
+"""Golden equivalence of the bytecode VM backend against the tree
+walker, plus the specialization contracts unique to it.
+
+The bytecode backend (:mod:`repro.runtime.bytecode`) is the third
+evaluator and — like the closure backend — purely a speed knob: same
+values, same stdout, same ``RunStats``, same trace events, same faults,
+under every strategy and injected-GC schedule.  These tests extend the
+23x5 golden matrix with the third backend column.
+
+On top of the equivalence matrix, the specializer has contracts of its
+own, pinned here:
+
+* **determinism** — two independent compile+run cycles of the same
+  program with the same threshold produce byte-identical disassembly
+  and identical specialization tables (no ``id()``/hash-order leaks);
+* **tier transparency** — a fully-specialized (hot) run is
+  bit-identical to a never-specialized (cold) one;
+* **persistence** — a pickled program (the disk compile cache, a
+  worker-pool result) round-trips its instruction array and
+  specialization table, and revived kernels behave identically;
+* **stable disassembly** — the ``--disasm`` format is pinned by a
+  golden file (``tests/runtime/data/disasm_figure1.txt``), which CI
+  also diffs against the examples embedded in ``docs/bytecode.md``.
+"""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.bench.registry import BENCHMARKS, benchmark_source
+from repro.config import CompilerFlags, RuntimeFlags, Strategy
+from repro.core.errors import ReproError
+from repro.pipeline import compile_program
+from repro.runtime.trace import EventBus, RecordingSink
+from repro.runtime.values import show_value
+from repro.testing.faultplan import FaultPlan
+
+
+def _outcome(prog, backend, **overrides):
+    """A comparable record of a run: success (value, stdout, full stats)
+    or fault (type and message)."""
+    try:
+        result = prog.run(backend=backend, **overrides)
+    except ReproError as exc:
+        return ("exc", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        show_value(result.value),
+        result.output,
+        tuple(sorted(result.stats.to_dict().items())),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_golden_matrix(name):
+    """All 23 benchmarks x 5 strategies: the bytecode VM reproduces the
+    tree walker's outcome exactly — with the default specialization
+    threshold active, so hot benchmarks cross into fused segments and
+    generated kernels *during* the comparison run."""
+    bench = BENCHMARKS[name]
+    source = benchmark_source(name)
+    for strategy in Strategy:
+        prog = compile_program(source, strategy=strategy)
+        tree = _outcome(prog, "tree")
+        bytecode = _outcome(prog, "bytecode")
+        assert bytecode == tree, f"{name}/{strategy.value} diverged"
+        if tree[0] == "ok":
+            assert tree[1] == bench.expected, f"{name}/{strategy.value}"
+
+
+@pytest.mark.parametrize("name", ["fib", "msort", "zebra"])
+def test_eager_specialization_matrix(name):
+    """``specialize=1`` drives every body through fusing + kernel
+    generation on its first entry — the maximally-specialized run must
+    still be bit-identical to the walker."""
+    for strategy in (Strategy.RG, Strategy.RG_MINUS, Strategy.ML):
+        prog = compile_program(benchmark_source(name), strategy=strategy)
+        assert _outcome(prog, "bytecode", specialize=1) == _outcome(
+            prog, "tree"
+        ), f"{name}/{strategy.value}"
+
+
+def _events(prog, backend, **overrides):
+    sink = RecordingSink()
+    try:
+        prog.run(backend=backend, tracer=EventBus(sink), **overrides)
+    except ReproError:
+        pass  # the trace up to the fault is still compared
+    return sink.events
+
+
+@pytest.mark.parametrize("name", ["fib", "life", "msort"])
+@pytest.mark.parametrize("strategy", [Strategy.RG, Strategy.RG_MINUS])
+def test_trace_equivalence(name, strategy):
+    """Event traces are identical between the VM and the walker.  Traced
+    runs stay on the canonical (Tier-0) instruction stream by contract,
+    so this also pins that tracing disables specialization."""
+    prog = compile_program(benchmark_source(name), strategy=strategy)
+    assert _events(prog, "bytecode") == _events(prog, "tree")
+
+
+PLANS = [
+    FaultPlan.every_nth(3, kind="major"),
+    FaultPlan.every_dealloc(1, kind="major"),
+    FaultPlan.random_plan(7, rate=0.1, dealloc_rate=0.25, kind="random"),
+]
+
+
+@pytest.mark.parametrize("name", ["life", "zebra"])
+@pytest.mark.parametrize("plan", PLANS, ids=["every3", "dealloc", "random"])
+def test_fault_plan_equivalence(name, plan):
+    """Injected-GC schedules key off allocation/dealloc ordinals, so a
+    single reordered allocation in the VM (or in a generated kernel —
+    fault plans *do* run specialized code) diverges here."""
+    for strategy in (Strategy.RG, Strategy.RG_MINUS):
+        prog = compile_program(benchmark_source(name), strategy=strategy)
+        kwargs = dict(fault_plan=plan, max_steps=2_000_000)
+        assert _outcome(prog, "bytecode", **kwargs) == _outcome(
+            prog, "tree", **kwargs
+        ), f"{name}/{strategy.value}"
+
+
+def test_gc_every_alloc_dangling_equivalence():
+    """The Figure 1 fault: under rg- with a collection at every
+    allocation the VM observes the same dangling pointer as the walker
+    (same fault type, same message)."""
+    prog = compile_program(benchmark_source("simple"), strategy=Strategy.RG_MINUS)
+    kwargs = dict(max_steps=300_000, gc_every_alloc=True)
+    tree = _outcome(prog, "tree", **kwargs)
+    bytecode = _outcome(prog, "bytecode", **kwargs)
+    assert bytecode == tree
+    assert tree[0] == "exc" and tree[1] == "DanglingPointerError"
+
+
+def test_deep_recursion_every_tier():
+    """Deep MiniML recursion must trip the interpreter's ``max_depth``
+    counter on every tier — canonical (``specialize=0``), limit-checked
+    (a deadline forces the canonical stream), and specializing — exactly
+    like the walker.  Regression: VM-internal calls used to invoke
+    ``BodyCode`` *instances* (CPython ``slot_tp_call``, which consumes C
+    stack per hop), so with the recursion limit raised by ``run_term``
+    the canonical tier overflowed the C stack and crashed the process
+    before the depth counter fired; calls now devirtualize through the
+    plain function ``vm._call_body``."""
+    source = "fun loop n = loop (n + 1)\nval it = loop 0\n"
+    expected = _outcome(compile_program(source, cache=False), "tree")
+    assert expected[0] == "exc" and expected[1] == "InterpreterLimit"
+    assert "call depth exceeded" in expected[2]
+    for overrides in (
+        {"specialize": 0},
+        {"deadline_seconds": 600.0},
+        {"specialize": 8},
+    ):
+        prog = compile_program(source, cache=False)
+        assert _outcome(prog, "bytecode", **overrides) == expected, overrides
+
+
+def test_sanitizer_equivalence():
+    """Sanitized runs are limit-checked, so the VM must stay on the
+    canonical stream and match the walker exactly."""
+    for name in ("fib", "simple"):
+        for strategy in (Strategy.RG, Strategy.RG_MINUS):
+            prog = compile_program(benchmark_source(name), strategy=strategy)
+            kwargs = dict(sanitize=True, max_steps=2_000_000)
+            assert _outcome(prog, "bytecode", **kwargs) == _outcome(
+                prog, "tree", **kwargs
+            ), f"{name}/{strategy.value}"
+
+
+# ---------------------------------------------------------------------------
+# Specialization contracts
+# ---------------------------------------------------------------------------
+
+
+def test_hot_equals_cold():
+    """Tier transparency: a run that specializes everything
+    (``specialize=1``) is bit-identical — value, output, full stats —
+    to one that never leaves the canonical stream (``specialize=0``)."""
+    for name in ("fib", "msort"):
+        cold = compile_program(benchmark_source(name), cache=False)
+        hot = compile_program(benchmark_source(name), cache=False)
+        assert _outcome(hot, "bytecode", specialize=1) == _outcome(
+            cold, "bytecode", specialize=0
+        ), name
+
+
+def _hot_program(name="fib", strategy=Strategy.RG):
+    """Compile uncached and run once with an eager threshold, so the
+    program carries fused segments, kernels, and observed call sites."""
+    prog = compile_program(benchmark_source(name), strategy=strategy, cache=False)
+    prog.run(backend="bytecode", specialize=1)
+    return prog
+
+
+def test_specialization_determinism():
+    """Two independent compile+run cycles of the same source with the
+    same threshold produce byte-identical disassembly and identical
+    specialization tables — specialization depends only on the program
+    and the profile, never on ``id()`` ordering or hash seeds."""
+    a, b = _hot_program(), _hot_program()
+    pa, pb = a._bytecode.program, b._bytecode.program
+    assert a.disasm() == b.disasm()
+    assert pa.spec_table() == pb.spec_table()
+    # ...and both specialized programs still run to the right answer.
+    assert _outcome(a, "bytecode") == _outcome(b, "bytecode")
+
+
+def test_pickle_roundtrip_preserves_specialization():
+    """The persistence contract of ``_BytecodeSlot``: a pickled program
+    (disk cache entry, worker-pool result) arrives with its instruction
+    array and specialization table intact, revives kernels from source,
+    and runs bit-identically."""
+    hot = _hot_program("msort")
+    table = hot._bytecode.program.spec_table()
+    text = hot.disasm()
+    assert any(row["specialized"] for row in table["bodies"])
+
+    clone = pickle.loads(pickle.dumps(hot))
+    cloned_program = clone._bytecode.program
+    assert cloned_program is not None, "instruction array must travel"
+    assert cloned_program.spec_table() == table
+    assert clone.disasm() == text
+    assert _outcome(clone, "bytecode") == _outcome(hot, "bytecode")
+
+
+def test_cold_pickle_roundtrip():
+    """A program pickled *before* any bytecode run lowers lazily on the
+    other side and still matches the walker."""
+    prog = compile_program(benchmark_source("fib"), cache=False)
+    clone = pickle.loads(pickle.dumps(prog))
+    assert _outcome(clone, "bytecode") == _outcome(prog, "tree")
+
+
+def test_unpickle_predating_backend_slots():
+    """A pickle written before the backend slots existed (a stale disk
+    cache, a user-persisted program) must still run on every backend:
+    ``__setstate__`` re-creates missing slots.  (The serving disk cache
+    additionally version-gates such entries out — ``FORMAT_VERSION``
+    bumped with the payload schema — but other pickle channels have no
+    header to check.)"""
+    from repro.pipeline import CompiledProgram
+
+    prog = compile_program(benchmark_source("ratio"), cache=False)
+    state = prog.__getstate__()
+    del state["_backend"]
+    del state["_bytecode"]
+    clone = CompiledProgram.__new__(CompiledProgram)
+    clone.__setstate__(pickle.loads(pickle.dumps(state)))
+    expected = _outcome(prog, "tree")
+    for backend in ("tree", "closure", "bytecode"):
+        assert _outcome(clone, backend) == expected, backend
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    """End-to-end through the serving layer's disk cache: store a hot
+    program, evict the in-memory copy, and check the disk hit carries
+    the specialization table."""
+    from repro.cache import cache_key
+    from repro.server.diskcache import DiskCompileCache
+
+    hot = _hot_program("fib")
+    key = cache_key(hot.source, hot.flags)
+    cache = DiskCompileCache(tmp_path / "cache")
+    cache.put(key, hot)
+
+    loaded = cache.get(key)
+    assert loaded is not None
+    assert loaded._bytecode.program.spec_table() == hot._bytecode.program.spec_table()
+    assert _outcome(loaded, "bytecode") == _outcome(hot, "bytecode")
+
+
+def test_specialize_zero_never_specializes():
+    """``specialize=0`` disables the counter entirely."""
+    prog = compile_program(benchmark_source("fib"), cache=False)
+    prog.run(backend="bytecode", specialize=0)
+    table = prog._bytecode.program.spec_table()
+    assert not any(row["specialized"] for row in table["bodies"])
+    assert table["code_len"] == table["canonical_len"]
+
+
+def test_checked_runs_stay_canonical():
+    """Limit-checked runs never advance the specialization counter and
+    never execute specialized segments, even on a hot program."""
+    hot = _hot_program("fib")
+    # A traced run on a hot program must still match the walker's trace.
+    assert _events(hot, "bytecode") == _events(hot, "tree")
+
+
+# ---------------------------------------------------------------------------
+# The stable disassembly format (docs/bytecode.md)
+# ---------------------------------------------------------------------------
+
+DATA = Path(__file__).parent / "data"
+
+
+def _figure1_program(strategy):
+    source = (DATA / "figure1.mml").read_text(encoding="utf-8")
+    flags = CompilerFlags(strategy=strategy, with_prelude=False)
+    return compile_program(source, flags=flags, cache=False)
+
+
+def test_disasm_golden():
+    """The disassembly of the worked Figure 1 example is a documented
+    interface: docs/bytecode.md embeds it and CI regenerates it
+    (scripts/docs_consistency.py).  Any intentional format change must
+    update the golden file *and* the docs."""
+    prog = _figure1_program(Strategy.RG_MINUS)
+    expected = (DATA / "disasm_figure1.txt").read_text(encoding="utf-8")
+    assert prog.disasm() == expected
+
+
+def test_figure1_example_dangles_under_rg_minus():
+    """The docs' worked example really exhibits the paper's bug: under
+    ``rg-`` a collection at the region deallocation point traces the
+    composed closure's environment into the just-freed string region —
+    identically on both backends.  Under ``rg`` the same schedule is
+    clean."""
+    plan = FaultPlan.every_dealloc(1, kind="major")
+    minus = _figure1_program(Strategy.RG_MINUS)
+    tree = _outcome(minus, "tree", fault_plan=plan)
+    bytecode = _outcome(minus, "bytecode", fault_plan=plan)
+    assert bytecode == tree
+    assert tree[0] == "exc" and tree[1] == "DanglingPointerError"
+
+    sound = _figure1_program(Strategy.RG)
+    assert _outcome(sound, "bytecode", fault_plan=plan)[0] == "ok"
+
+
+def test_cli_disasm_matches_api(capsys):
+    """``repro-run --disasm`` prints exactly ``CompiledProgram.disasm()``."""
+    from repro.cli import main
+
+    path = str(DATA / "figure1.mml")
+    assert main([path, "--strategy", "rg-", "--no-prelude", "--disasm",
+                 "--no-cache"]) == 0
+    printed = capsys.readouterr().out
+    expected = (DATA / "disasm_figure1.txt").read_text(encoding="utf-8")
+    assert printed == expected
+
+
+def test_flags_reject_bad_backend():
+    prog = compile_program("val it = 1 + 2", cache=False)
+    with pytest.raises(ValueError, match="unknown backend"):
+        prog.run(backend="jit")
+
+
+def test_runtime_flags_specialize_field():
+    """The flag exists, defaults on, and threads through CompilerFlags."""
+    assert RuntimeFlags().specialize == 64
+    flags = CompilerFlags(runtime=RuntimeFlags(specialize=0))
+    prog = compile_program(benchmark_source("fib"), flags=flags, cache=False)
+    prog.run(backend="bytecode")
+    assert not any(
+        row["specialized"]
+        for row in prog._bytecode.program.spec_table()["bodies"]
+    )

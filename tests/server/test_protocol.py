@@ -87,6 +87,18 @@ class TestRequests:
         req = protocol.make_request("val it = 1")
         assert protocol.request_runtime_overrides(req) == {}
 
+    def test_bytecode_backend_and_specialize_travel(self):
+        req = _roundtrip(
+            protocol.make_request("val it = 1", backend="bytecode", specialize=8)
+        )
+        assert protocol.validate_request(req) is None
+        assert req["backend"] == "bytecode"
+        assert protocol.request_runtime_overrides(req) == {"specialize": 8}
+        # specialize=0 (disable) is a real override, not "unset".
+        req = _roundtrip(protocol.make_request("val it = 1", specialize=0))
+        assert protocol.validate_request(req) is None
+        assert protocol.request_runtime_overrides(req) == {"specialize": 0}
+
 
 class TestValidation:
     def test_rejects_non_object(self):
@@ -121,6 +133,13 @@ class TestValidation:
         req["runtime"]["deadline_seconds"] = 0
         assert "deadline_seconds" in protocol.validate_request(req)
 
+    def test_rejects_bad_specialize(self):
+        for bad in (-1, 1.5, True, "hot"):
+            req = protocol.make_request("val it = 1")
+            req["runtime"]["specialize"] = bad
+            problem = protocol.validate_request(req)
+            assert problem is not None and "specialize" in problem, bad
+
     def test_rejects_boolean_limits(self):
         # bool subclasses int: true must not sneak through as a 1-word
         # heap limit or a 1-second deadline.
@@ -135,6 +154,9 @@ class TestValidation:
         req = protocol.make_request("val it = 1")
         req["backend"] = "jit"
         assert "backend" in protocol.validate_request(req)
+        for backend in ("closure", "bytecode", "tree"):
+            req = protocol.make_request("val it = 1", backend=backend)
+            assert protocol.validate_request(req) is None, backend
         req = protocol.make_request("val it = 1")
         req["flags"]["strategy"] = "warp"
         assert protocol.validate_request(req) is not None

@@ -38,6 +38,15 @@ class TestBenignPrograms:
         report = run_differential("val it = (1 + 2) * 3", seed=0)
         assert report.divergences == []
 
+    def test_backend_column_triples_the_runs(self):
+        """The backend column: every cell runs under all three
+        evaluators, and a benign program still diverges nowhere."""
+        backends = ("closure", "bytecode", "tree")
+        report = run_differential(BENIGN, seed=0, backends=backends)
+        assert report.divergences == []
+        # (4 GC strategies x 2 modes x 6 plans + r x 2 modes) x 3 + ref
+        assert report.runs == (4 * 2 * 6 + 2) * 3 + 1
+
 
 class TestEscapingComposition:
     def test_rg_minus_dangles_beyond_every_alloc(self):
@@ -60,6 +69,21 @@ class TestEscapingComposition:
         for d in report.expected_danglings:
             assert d.plan is not None
             assert d.plan.dealloc_every or d.plan.dealloc_rate > 0.0
+
+    def test_bytecode_backend_observes_the_same_dangles(self):
+        """The expected rg- dangle is backend-independent: with the
+        backend column enabled every dangling (strategy, mode, plan)
+        cell dangles under all three evaluators."""
+        backends = ("closure", "bytecode", "tree")
+        report = run_differential(ESCAPING, seed=0, backends=backends)
+        assert report.genuine == []
+        dangles = report.expected_danglings
+        assert dangles
+        cells = {(d.strategy, d.mode, d.plan) for d in dangles}
+        for cell in cells:
+            seen = {d.backend for d in dangles
+                    if (d.strategy, d.mode, d.plan) == cell}
+            assert seen == set(backends), cell
 
 
 class TestMatrix:
