@@ -23,6 +23,11 @@ something regenerates it and diffs.  This script is that something:
    must be mentioned in ``docs/bytecode.md``: a new opcode cannot land
    without its documentation.
 
+4. **Policy table** — ``docs/performance.md`` embeds the collection-
+   policy matrix; it must equal ``repro.runtime.gc.policy_table()``
+   verbatim, so registering a policy (or changing a schedule constant
+   like ``MINORS_PER_MAJOR``) without updating the docs fails CI.
+
 Exit codes: 0 consistent, 1 drift found.
 """
 
@@ -98,12 +103,26 @@ def main() -> int:
             "every ISA member must be documented"
         )
 
+    from repro.runtime.gc import policy_table
+
+    perf_doc = (ROOT / "docs" / "performance.md").read_text()
+    if policy_table() not in perf_doc:
+        problems.append(
+            "docs/performance.md no longer embeds the collection-policy "
+            "table verbatim — regenerate it with "
+            "`python -c \"import sys; sys.path.insert(0, 'src'); "
+            "from repro.runtime.gc import policy_table; "
+            "print(policy_table())\"` and paste it under the "
+            "policy-table marker"
+        )
+
     for problem in problems:
         print(f"docs-consistency: FAIL: {problem}", file=sys.stderr)
     if not problems:
         print(
             "docs-consistency: ok — figure1 golden, hot-loop walkthrough, "
-            f"and all {len(isa.NAMES)} opcodes match docs/bytecode.md"
+            f"and all {len(isa.NAMES)} opcodes match docs/bytecode.md; "
+            "policy table matches docs/performance.md"
         )
     return 1 if problems else 0
 

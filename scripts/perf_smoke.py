@@ -26,6 +26,16 @@ Two checks, both cheap enough for every PR:
    ``BENCH_figure9.json`` carries the full-suite ratios; this gate just
    keeps the headline claim honest per PR.
 
+4. **Policy matrix** — run every registered collection policy
+   (``repro.runtime.gc.POLICIES``) on a small program subset and check
+   each against the baseline's rg cell: identical value and identical
+   deterministic step count for every policy, and identical
+   ``peak_words`` for the majors-only policies (which share the
+   baseline's exact schedule; generational's minors reclaim less per
+   trigger, so only its word high-water may move — never the value or
+   the steps).  A policy whose steps drift is a collector bug, not
+   noise.
+
 Exit codes: 0 ok, 1 check failed, 2 usage/baseline problems.
 """
 
@@ -158,6 +168,69 @@ def check_bytecode(names: list[str], baseline_path: str,
     return problems
 
 
+def check_policies(names: list[str], baseline_path: str) -> list[str]:
+    """Every collection policy, one backend, against the baseline's rg
+    cells: same value, same steps, and a sane peak_pages (>= 1 whenever
+    any infinite region allocated)."""
+    from repro.runtime.gc import POLICIES
+
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load baseline {baseline_path}: {exc}"]
+    problems: list[str] = []
+    for name in names:
+        cell = (
+            baseline.get("programs", {})
+            .get(name, {})
+            .get("strategies", {})
+            .get("rg")
+        )
+        if not cell:
+            problems.append(f"baseline has no rg cell for {name!r}")
+            continue
+        expected_value = cell["value"]
+        pages = {}
+        for policy in sorted(POLICIES):
+            m = measure(benchmark_source(name), Strategy.RG, policy=policy)
+            pages[policy] = m.peak_pages
+            if m.value != expected_value:
+                problems.append(
+                    f"{name}: policy {policy!r} value {m.value!r} != "
+                    f"{expected_value!r} (policies must be bit-identical "
+                    "on values)"
+                )
+            if m.steps != cell["steps"]:
+                problems.append(
+                    f"{name}: policy {policy!r} step count drifted "
+                    f"{m.steps} != {cell['steps']} (deterministic — "
+                    "a collector bug, not noise)"
+                )
+            if not POLICIES[policy].generational and m.peak_words != cell["peak_words"]:
+                # Majors-only policies share the baseline's exact GC
+                # schedule, so their word high-water must match it.
+                # Generational runs minors at the same trigger points and
+                # reclaims less per trigger: its peak_words legitimately
+                # differs (the schedule, not the accounting).
+                problems.append(
+                    f"{name}: policy {policy!r} peak_words "
+                    f"{m.peak_words} != {cell['peak_words']} (majors-only "
+                    "policies follow the baseline schedule exactly)"
+                )
+            if m.peak_pages < 1:
+                problems.append(
+                    f"{name}: policy {policy!r} reports peak_pages="
+                    f"{m.peak_pages} — the global region always holds "
+                    "at least one page"
+                )
+        print(
+            f"perf-smoke: {name} policies ok — peak_pages "
+            + " ".join(f"{p}={pages[p]}" for p in sorted(pages))
+        )
+    return problems
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--programs", default="fib,life",
@@ -166,10 +239,14 @@ def main(argv: list | None = None) -> int:
                         help="committed export to compare against")
     parser.add_argument("--max-regress", type=float, default=0.5,
                         help="allowed fractional wall regression (default 0.5)")
+    parser.add_argument("--policy-programs", default="fib,life,msort,tak,mpuz",
+                        help="benchmark subset for the policy-matrix check "
+                             "(default fib,life,msort,tak,mpuz)")
     args = parser.parse_args(argv)
 
     names = [n for n in args.programs.split(",") if n]
-    unknown = [n for n in names if n not in BENCHMARKS]
+    policy_names = [n for n in args.policy_programs.split(",") if n]
+    unknown = [n for n in names + policy_names if n not in BENCHMARKS]
     if unknown:
         print(f"perf-smoke: unknown benchmarks {unknown}", file=sys.stderr)
         return 2
@@ -178,6 +255,7 @@ def main(argv: list | None = None) -> int:
         check_cache(names)
         + check_wall(names, args.baseline, args.max_regress)
         + check_bytecode(names, args.baseline, args.max_regress)
+        + check_policies(policy_names, args.baseline)
     )
     for problem in problems:
         print(f"perf-smoke: FAIL: {problem}", file=sys.stderr)

@@ -20,7 +20,8 @@ and the CI smoke job)::
           "strategies": {
             "rg": {"value": "2584", "ok": true, "seconds": 0.06,
                    "compile_seconds": 0.05, "steps": 831187,
-                   "peak_words": 43, "gc_count": 0, "gc_minor_count": 0,
+                   "peak_words": 43, "peak_pages": 1,
+                   "gc_count": 0, "gc_minor_count": 0,
                    "allocations": 6, "allocated_words": 18,
                    "letregions": 3},
             ...
@@ -48,6 +49,21 @@ backend table and the perf-smoke CI gate::
                                           "geomean": 1.57}}
     }
 
+``--policies`` attaches a **policy column**: per-program deterministic
+heap behaviour under ``rg`` for each requested collection policy
+(``repro.runtime.gc.POLICIES``).  Policies are bit-identical on values
+and mutator-level word counts by construction, so the section records
+exactly the page-level and schedule quantities where they legitimately
+differ::
+
+    "policies": {
+      "strategy": "rg",
+      "names": ["copying", "generational", "mark-compact"],
+      "programs": {"life": {"copying": {"peak_words": ..., "peak_pages": ...,
+                                        "gc_count": ..., "gc_minor_count": ...,
+                                        "seconds": ...}, ...}, ...}
+    }
+
 Usage::
 
     repro-bench                               # all 23 programs x 5 strategies
@@ -56,6 +72,8 @@ Usage::
     repro-bench --validate BENCH_figure9.json # schema-check an existing file
     repro-bench --no-cache --backend tree     # time the tree walker, uncached
     repro-bench --backends closure,bytecode   # attach the backend column
+    repro-bench --policies copying,generational,mark-compact
+                                              # attach the policy column
 
 Exit codes: 0 success; 1 when any cell's value differs from the
 registry's expected output (the file is still written) or when
@@ -78,6 +96,7 @@ __all__ = [
     "ALL_STRATEGIES",
     "ALL_BACKENDS",
     "backend_column",
+    "policy_column",
     "bench_program",
     "build_document",
     "validate_document",
@@ -101,6 +120,7 @@ CELL_FIELDS = frozenset(
         "compile_seconds",
         "steps",
         "peak_words",
+        "peak_pages",
         "gc_count",
         "gc_minor_count",
         "allocations",
@@ -190,6 +210,48 @@ def backend_column(
             "bytecode_vs_closure": {k: round(v, 3) for k, v in ratios.items()}
         }
     return column
+
+
+def policy_column(
+    names: Iterable[str],
+    policies: Optional[Iterable[str]] = None,
+    cache: bool = True,
+    log=None,
+) -> dict:
+    """Measure each program under ``rg`` once per collection policy and
+    return the ``policies`` document section.
+
+    One run per cell suffices: every reported quantity is deterministic
+    (``seconds`` is attached for orientation but is noise).  A policy
+    whose value diverges from the registry's expected output is a policy
+    bug — the cell records ``ok`` so the CI gate can catch it."""
+    from ..runtime.gc import POLICIES
+
+    policies = tuple(policies) if policies is not None else tuple(sorted(POLICIES))
+    programs: dict[str, dict] = {}
+    for name in sorted(set(names)):
+        bench = BENCHMARKS[name]
+        source = benchmark_source(name)
+        row: dict[str, dict] = {}
+        for policy in policies:
+            m = measure(source, Strategy.RG, cache=cache, policy=policy)
+            row[policy] = {
+                "ok": m.value == bench.expected,
+                "peak_words": m.peak_words,
+                "peak_pages": m.peak_pages,
+                "gc_count": m.gc_count,
+                "gc_minor_count": m.gc_minor_count,
+                "seconds": m.seconds,
+            }
+        programs[name] = row
+        if log:
+            log(f"policies {name}: "
+                + " ".join(f"{p}={row[p]['peak_pages']}pg" for p in policies))
+    return {
+        "strategy": "rg",
+        "names": list(policies),
+        "programs": programs,
+    }
 
 
 def document_from_rows(rows: Iterable, strategies: Iterable[str], repeat: int = 1) -> dict:
@@ -404,6 +466,15 @@ def main(argv: Optional[list] = None) -> int:
         "each listed evaluator, e.g. closure,bytecode",
     )
     parser.add_argument(
+        "--policies",
+        type=_names_arg,
+        default=None,
+        metavar="p,p,..",
+        help="attach a policy-comparison column (rg only) measuring "
+        "each listed collection policy, e.g. "
+        "copying,generational,mark-compact",
+    )
+    parser.add_argument(
         "--backends-repeat",
         type=int,
         default=3,
@@ -446,6 +517,13 @@ def main(argv: Optional[list] = None) -> int:
             if backend not in ALL_BACKENDS:
                 print(f"repro-bench: unknown backend {backend!r}", file=sys.stderr)
                 return 2
+    if args.policies is not None:
+        from ..runtime.gc import POLICIES
+
+        for policy in args.policies:
+            if policy not in POLICIES:
+                print(f"repro-bench: unknown policy {policy!r}", file=sys.stderr)
+                return 2
 
     def log(msg: str) -> None:
         print(f"repro-bench: {msg}", file=sys.stderr)
@@ -464,6 +542,13 @@ def main(argv: Optional[list] = None) -> int:
             names,
             args.backends,
             repeat=args.backends_repeat,
+            cache=not args.no_cache,
+            log=log,
+        )
+    if args.policies is not None:
+        doc["policies"] = policy_column(
+            names,
+            args.policies,
             cache=not args.no_cache,
             log=log,
         )

@@ -46,6 +46,7 @@ class Measurement:
     gc_minor_count: int = 0
     allocated_words: int = 0
     compile_seconds: float = 0.0
+    peak_pages: int = 0
 
     def to_dict(self) -> dict:
         """The machine-readable cell (see :mod:`repro.bench.export`)."""
@@ -55,6 +56,7 @@ class Measurement:
             "compile_seconds": self.compile_seconds,
             "steps": self.steps,
             "peak_words": self.peak_words,
+            "peak_pages": self.peak_pages,
             "gc_count": self.gc_count,
             "gc_minor_count": self.gc_minor_count,
             "allocations": self.allocations,
@@ -127,6 +129,7 @@ def measure(
     flags: Optional[CompilerFlags] = None,
     cache: bool = True,
     backend: str = "closure",
+    policy: Optional[str] = None,
 ) -> Measurement:
     """Compile once, run ``repeat`` times, report the best wall time.
 
@@ -134,13 +137,19 @@ def measure(
     :func:`~repro.pipeline.compile_program` and
     :meth:`~repro.pipeline.CompiledProgram.run`: a suite that measures
     every strategy of the same program re-parses it zero times with the
-    cache on, and ``backend="tree"`` times the original walker."""
+    cache on, and ``backend="tree"`` times the original walker.
+    ``policy`` selects the collection policy (``RuntimeFlags.gc_policy``);
+    every policy is value- and word-identical, so the interesting deltas
+    are ``peak_pages`` and the GC counts."""
     flags = (flags or CompilerFlags()).with_strategy(strategy)
     prog = compile_program(source, flags=flags, cache=cache)
+    overrides: dict = {}
+    if policy is not None:
+        overrides["gc_policy"] = policy
     best = None
     for _ in range(repeat):
         start = time.perf_counter()
-        result = prog.run(backend=backend)
+        result = prog.run(backend=backend, **overrides)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best[0]:
             best = (elapsed, result)
@@ -157,6 +166,7 @@ def measure(
         gc_minor_count=result.stats.gc_minor_count,
         allocated_words=result.stats.allocated_words,
         compile_seconds=prog.compile_seconds,
+        peak_pages=result.stats.peak_pages,
     )
 
 

@@ -10,7 +10,7 @@ Usage::
                           [--gc-every-alloc] [--gc-every N] [--gc-at I,J,..]
                           [--gc-dealloc-every N] [--gc-rate P]
                           [--gc-dealloc-rate P] [--gc-seed S] [--gc-kind K]
-                          [--generational]
+                          [--generational] [--gc-policy POLICY]
                           [--max-heap-words N] [--deadline SECONDS]
                           [--trace FILE] [--profile]
 
@@ -81,7 +81,18 @@ def add_gc_arguments(parser: argparse.ArgumentParser) -> None:
                     choices=["auto", "minor", "major", "random"],
                     help="collection kind at injected points")
     gc.add_argument("--generational", action="store_true",
-                    help="use the two-generation collector")
+                    help="use the two-generation collector (alias for "
+                         "--gc-policy generational)")
+    from .runtime.gc import POLICIES
+    gc.add_argument("--gc-policy", metavar="POLICY",
+                    choices=sorted(POLICIES),
+                    help="collection policy: %(choices)s "
+                         "(default: copying, or generational when "
+                         "--generational is given); every policy is "
+                         "bit-identical on values, output and traced "
+                         "word counts — only page residency and the "
+                         "minor/major schedule differ "
+                         "(docs/performance.md)")
 
 
 def add_limit_arguments(parser: argparse.ArgumentParser) -> None:
@@ -234,6 +245,8 @@ def _run(args) -> int:
         overrides["fault_plan"] = plan
     if args.generational:
         overrides["generational"] = True
+    if args.gc_policy is not None:
+        overrides["gc_policy"] = args.gc_policy
     if args.max_heap_words is not None:
         overrides["max_heap_words"] = args.max_heap_words
     if args.deadline is not None:
@@ -276,7 +289,8 @@ def _run(args) -> int:
         print(
             f"[stats] wall={result.wall_seconds:.3f}s steps={s.steps} "
             f"allocs={s.allocations} alloc_words={s.allocated_words} "
-            f"peak_words={s.peak_words} gc={s.gc_count} "
+            f"peak_words={s.peak_words} peak_pages={s.peak_pages} "
+            f"gc={s.gc_count} "
             f"(minor {s.gc_minor_count}, injected {s.gc_injected}) "
             f"letregions={s.letregions} "
             f"region_stack_max={s.max_region_stack}",

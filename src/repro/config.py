@@ -94,7 +94,17 @@ class RuntimeFlags:
     #: Initial collection threshold in words.
     initial_threshold: int = 4096
     #: Use a two-generation collector (minor collections of young pages).
+    #: Legacy boolean, equivalent to ``gc_policy="generational"``.
     generational: bool = False
+    #: Collection policy by name (:data:`repro.runtime.gc.POLICIES`):
+    #: ``"copying"`` (per-region Cheney, majors only, to-space page
+    #: reserve), ``"generational"`` (minor/major schedule + write
+    #: barrier), or ``"mark-compact"`` (majors only, slides in place —
+    #: no mid-GC page spike).  ``None`` (default) derives the policy
+    #: from ``generational``.  All policies are bit-identical on
+    #: values, stdout, and mutator-level stats; they differ only in
+    #: page residency and the GC schedule.
+    gc_policy: Optional[str] = None
     #: Crash-test mode: run a collection at *every* allocation.  Slow;
     #: used by the property tests to hunt dangling pointers aggressively.
     #: Kept as an alias for ``fault_plan=FaultPlan.every_nth(1)``: one

@@ -97,7 +97,7 @@ def _ensure_namespace(program) -> dict:
     ns = program._namespace
     if ns is None:
         from ...core.errors import InterpreterLimit, RuntimeFault
-        from ..compile import _alloc, _prim_kernel
+        from ..compile import _alloc, _dealloc_fast, _prim_kernel
         from ..heap import Region
         from ..interp import MLRaise, _MISSING
         from .vm import _call_body
@@ -118,7 +118,8 @@ def _ensure_namespace(program) -> dict:
         )
 
         ns = {
-            "_alloc": _alloc, "_prim_kernel": _prim_kernel,
+            "_alloc": _alloc, "_dealloc_fast": _dealloc_fast,
+            "_prim_kernel": _prim_kernel,
             "MLRaise": MLRaise, "_MISSING": _MISSING,
             "_call_body": _call_body,
             "InterpreterLimit": InterpreterLimit, "RuntimeFault": RuntimeFault,
@@ -1005,17 +1006,10 @@ class _KernelGen:
 
     def _dealloc_region(self, sk: str, rg: str) -> None:
         """Heap.dealloc_region without the trace branch (see
-        :meth:`_gen_letregion`)."""
-        self.emit(f"assert {rg}.alive, 'double deallocation of a region'")
-        self.emit(f"{rg}.alive = False")
-        self.emit(f"{rg}.stamp += 1")
-        self.emit(f"_st.current_words -= {rg}.words")
-        self.emit("_st.region_deallocs += 1")
-        self.emit(f"{rg}.words = 0")
-        self.emit(f"if {sk} and {sk}[-1] is {rg}:")
-        self.emit(f"    {sk}.pop()")
-        self.emit("else:")
-        self.emit(f"    {sk}.remove({rg})")
+        :meth:`_gen_letregion`): delegates to the shared
+        ``_dealloc_fast`` helper so the page-list release and
+        young-word reset can never drift from the closure backend."""
+        self.emit(f"_dealloc_fast(rt.heap, _st, {rg})")
 
     def _restore_renv(self, rho_ref: str, sv: str) -> None:
         self.emit(f"if {sv} is _MISSING:")

@@ -363,8 +363,8 @@ def _execute(program, pc, nregs, rt, env, renv):
                     pair = regs[ins[2]]
                     if not isinstance(pair, RPair):
                         raise RuntimeFault("#i of a non-pair value")
-                    if sanitize and pair.san != pair.region.stamp:
-                        rt.san_fault(pair)
+                    if sanitize:
+                        rt.san_check(pair)
                     regs[ins[1]] = pair.fst if ins[3] == 1 else pair.snd
                     pc += 1
                 elif op == 5:  # RETURN

@@ -133,6 +133,29 @@ def _invoke(rt, fn, arg):
         rt.depth -= 1
 
 
+def _dealloc_fast(heap, st, region):
+    """``Heap.dealloc_region`` minus the (disabled) trace emit: the
+    compiled letregion's untraced pop path, shared with the generated
+    bytecode kernels.  Must mirror the heap method exactly — including
+    the young-word reset and the O(pages) return of the region's pages
+    to the free list — so backends cannot drift on dealloc accounting."""
+    assert region.alive, "double deallocation of a region"
+    region.alive = False
+    region.stamp += 1
+    st.current_words -= region.words
+    st.region_deallocs += 1
+    region.words = 0
+    region.young_words = 0
+    region.waste_words = 0
+    heap._release(region, len(region.page_list))
+    region.cur_free = 0
+    stack = heap.region_stack
+    if stack and stack[-1] is region:
+        stack.pop()
+    else:  # pragma: no cover - LIFO by construction
+        stack.remove(region)
+
+
 def _alloc(rt, rho, renv, words):
     """``Interp.alloc`` (resolve + account + GC decision) in a single
     Python frame.
@@ -164,13 +187,16 @@ def _alloc(rt, rho, renv, words):
     else:
         region.words += words
         region.young_words += words
+        free = region.cur_free
+        if words <= free:
+            region.cur_free = free - words
+        else:
+            heap._grow(region, words)
         stats = heap.stats
         stats.allocations += 1
         stats.allocated_words += words
-        current = stats.current_words + words
-        stats.current_words = current
-        if current > stats.peak_words:
-            stats.peak_words = current
+        stats.current_words += words
+        stats.note_current()
         heap.words_since_gc += words
     if rt.use_gc:
         stats = heap.stats
@@ -499,8 +525,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                             pair = sel_imm(env)
                             if type(pair) is not RPair:
                                 raise RuntimeFault("#i of a non-pair value")
-                            if rt.sanitize and pair.san != pair.region.stamp:
-                                rt.san_fault(pair)
+                            if rt.sanitize:
+                                rt.san_check(pair)
                             value = pair.fst if sel_fst else pair.snd
                             saved = env.get(name, _MISSING)
                             env[name] = value
@@ -707,8 +733,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     pair = pair_code(rt, env, renv)
                     if type(pair) is not RPair:
                         raise RuntimeFault("#i of a non-pair value")
-                    if rt.sanitize and pair.san != pair.region.stamp:
-                        rt.san_fault(pair)
+                    if rt.sanitize:
+                        rt.san_check(pair)
                     return pair.fst if want_fst else pair.snd
 
                 return c_select
@@ -724,8 +750,8 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     pair = pair_imm(env)
                 if type(pair) is not RPair:
                     raise RuntimeFault("#i of a non-pair value")
-                if rt.sanitize and pair.san != pair.region.stamp:
-                    rt.san_fault(pair)
+                if rt.sanitize:
+                    rt.san_check(pair)
                 return pair.fst if want_fst else pair.snd
 
             return c_select_imm
@@ -1710,17 +1736,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     if tracing:
                         heap.dealloc_region(region)
                     else:
-                        assert region.alive, "double deallocation of a region"
-                        region.alive = False
-                        region.stamp += 1
-                        st.current_words -= region.words
-                        st.region_deallocs += 1
-                        region.words = 0
-                        stack = heap.region_stack
-                        if stack and stack[-1] is region:
-                            stack.pop()
-                        else:  # pragma: no cover - LIFO by construction
-                            stack.remove(region)
+                        _dealloc_fast(heap, st, region)
                     if saved is _MISSING:
                         del renv[rho1]
                     else:
@@ -1735,17 +1751,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     if tracing:
                         heap.dealloc_region(region)
                     else:
-                        assert region.alive, "double deallocation of a region"
-                        region.alive = False
-                        region.stamp += 1
-                        st.current_words -= region.words
-                        st.region_deallocs += 1
-                        region.words = 0
-                        stack = heap.region_stack
-                        if stack and stack[-1] is region:
-                            stack.pop()
-                        else:  # pragma: no cover - LIFO by construction
-                            stack.remove(region)
+                        _dealloc_fast(heap, st, region)
                     if saved is _MISSING:
                         del renv[rho1]
                     else:
@@ -1823,16 +1829,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     if tracing:
                         heap.dealloc_region(region)
                     else:
-                        assert region.alive, "double deallocation of a region"
-                        region.alive = False
-                        region.stamp += 1
-                        st.current_words -= region.words
-                        st.region_deallocs += 1
-                        region.words = 0
-                        if stack and stack[-1] is region:
-                            stack.pop()
-                        else:  # pragma: no cover - LIFO by construction
-                            stack.remove(region)
+                        _dealloc_fast(heap, st, region)
                     if saved is _MISSING:
                         del renv[rho]
                     else:
@@ -1848,16 +1845,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     if tracing:
                         heap.dealloc_region(region)
                     else:
-                        assert region.alive, "double deallocation of a region"
-                        region.alive = False
-                        region.stamp += 1
-                        st.current_words -= region.words
-                        st.region_deallocs += 1
-                        region.words = 0
-                        if stack and stack[-1] is region:
-                            stack.pop()
-                        else:  # pragma: no cover - LIFO by construction
-                            stack.remove(region)
+                        _dealloc_fast(heap, st, region)
                     if saved is _MISSING:
                         del renv[rho]
                     else:
@@ -1871,16 +1859,7 @@ def compile_term(term: T.Term, prep: Prepared, multiplicity=None,
                     if tracing:
                         heap.dealloc_region(region)
                     else:
-                        assert region.alive, "double deallocation of a region"
-                        region.alive = False
-                        region.stamp += 1
-                        st.current_words -= region.words
-                        st.region_deallocs += 1
-                        region.words = 0
-                        if stack and stack[-1] is region:
-                            stack.pop()
-                        else:  # pragma: no cover - LIFO by construction
-                            stack.remove(region)
+                        _dealloc_fast(heap, st, region)
                     if saved is _MISSING:
                         del renv[rho]
                     else:

@@ -1,11 +1,13 @@
-"""The reference-tracing copying collector (papers [24], [16], and this
-paper's Sections 1 and 5), simulated word-exactly over the region heap.
+"""The reference-tracing collector (papers [24], [16], and this paper's
+Sections 1 and 5), simulated word-exactly over the paged region heap,
+factored into pluggable *collection policies*.
 
-A collection traces the root set (the interpreter's shadow stack), visits
-every reachable boxed value, and *evacuates* the live data of each
-infinite region: the region's word count is reset to its live words,
-modelling per-region Cheney copying.  Finite (stack) regions are scanned
-but never compacted — exactly the MLKit's split.
+A collection traces the root set (the interpreter's shadow stack — the
+single root source for every policy and every backend), visits every
+reachable boxed value, and *evacuates* the live data of each infinite
+region: the region's word count is reset to its live words and its page
+list re-packed.  Finite (stack) regions are scanned but never compacted
+— exactly the MLKit's split.
 
 The property this module exists to test: tracing a pointer into a
 **deallocated** region raises :class:`DanglingPointerError`.  Under the
@@ -13,30 +15,162 @@ paper's sound ``rg`` strategy this can never happen (Theorem 2 —
 containment); under ``rg-`` the programs of Figures 1 and 8 make it
 happen.
 
-A simple two-generation mode (after Elsman-Hallenberg [16, 17]) is
-included: minor collections trace only objects allocated since the last
-collection, using a remembered set fed by the write barrier on ``:=``.
+Three policies are registered (:data:`POLICIES`), selectable via
+``RuntimeFlags.gc_policy`` / ``--gc-policy``:
+
+* ``copying`` — per-region Cheney copying, majors only.  To-space pages
+  are reserved *before* from-space is released, so ``peak_pages``
+  records the classic 2x copy-reserve spike.
+* ``generational`` — two generations after Elsman-Hallenberg [16, 17]:
+  minor collections trace only objects allocated since the last
+  collection, using a remembered set fed by the write barrier on ``:=``,
+  on the :data:`MINORS_PER_MAJOR` schedule.
+* ``mark-compact`` — majors only, but live data slides *in place*: no
+  to-space reserve, so large/infinite regions never spike their page
+  residency mid-GC.  Word accounting is identical to ``copying``.
+
+All three are bit-identical on values, stdout, and every
+mutator-observable stat (steps, allocations, allocated words); the
+majors-only pair shares the exact schedule and so matches on the full
+word-level stats and (but for the ``policy`` fields) trace events,
+while ``generational``'s minors legitimately move the GC-derived
+quantities — the policy split is a page-residency and schedule knob,
+never a semantics knob.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from ..core.errors import DanglingPointerError, StalePointerError
-from .heap import FINITE, Heap, INFINITE, Region
+from .heap import FINITE, Heap, INFINITE, NO_PAGE, Region
 from .values import RBox, RClos, RCons, RData, RExn, RFunClos, RPair, RRef, RStr, is_boxed
 
-__all__ = ["Collector"]
+__all__ = [
+    "Collector",
+    "CollectionPolicy",
+    "CopyingPolicy",
+    "GenerationalPolicy",
+    "MarkCompactPolicy",
+    "POLICIES",
+    "MINORS_PER_MAJOR",
+    "resolve_policy",
+    "policy_table",
+]
+
+#: The generational schedule: every :data:`MINORS_PER_MAJOR`-th *auto*
+#: collection is a major; the ``MINORS_PER_MAJOR - 1`` between are
+#: minors.  (Plan-pinned ``"minor"``/``"major"`` collections bypass the
+#: schedule and leave the countdown untouched.)  Surfaced on every
+#: generational ``gc_begin`` trace event as ``minors_until_major`` and
+#: pinned by the golden trace test.
+MINORS_PER_MAJOR = 4
+
+
+class CollectionPolicy:
+    """One pluggable collection policy: the auto minor/major schedule
+    plus the page mechanics of evacuation.  Stateless except for the
+    generational countdown; everything word-level lives in the
+    :class:`Collector` so policies cannot drift on accounting."""
+
+    #: Registry name (the ``--gc-policy`` value).
+    name = "abstract"
+    #: Minor collections + write barrier active.
+    generational = False
+    #: Cheney to-space: reserve pages for evacuated data before
+    #: releasing from-space (the transient ``peak_pages`` spike).
+    #: ``False`` models sliding mark-compact.
+    reserves_to_space = True
+    #: One-line schedule description for the embedded policy table.
+    schedule = "major on every trigger"
+
+    def auto_kind(self) -> str:
+        """Which collection an ``"auto"`` trigger runs now."""
+        return "major"
+
+
+class CopyingPolicy(CollectionPolicy):
+    name = "copying"
+    schedule = "major on every trigger"
+
+
+class GenerationalPolicy(CollectionPolicy):
+    name = "generational"
+    generational = True
+    schedule = f"{MINORS_PER_MAJOR - 1} minors, then a major"
+
+    def __init__(self) -> None:
+        self.until_major = MINORS_PER_MAJOR
+
+    def auto_kind(self) -> str:
+        self.until_major -= 1
+        if self.until_major <= 0:
+            self.until_major = MINORS_PER_MAJOR
+            return "major"
+        return "minor"
+
+
+class MarkCompactPolicy(CollectionPolicy):
+    name = "mark-compact"
+    reserves_to_space = False
+    schedule = "major on every trigger"
+
+
+POLICIES: dict[str, type] = {
+    CopyingPolicy.name: CopyingPolicy,
+    GenerationalPolicy.name: GenerationalPolicy,
+    MarkCompactPolicy.name: MarkCompactPolicy,
+}
+
+
+def resolve_policy(gc_policy: Optional[str], generational: bool) -> str:
+    """Map the two runtime knobs onto a registry name: an explicit
+    ``gc_policy`` wins; otherwise the legacy ``generational`` boolean
+    picks between ``generational`` and ``copying``."""
+    if gc_policy is not None:
+        if gc_policy not in POLICIES:
+            raise ValueError(
+                f"unknown gc policy {gc_policy!r} "
+                f"(expected one of {', '.join(sorted(POLICIES))})"
+            )
+        return gc_policy
+    return GenerationalPolicy.name if generational else CopyingPolicy.name
+
+
+def policy_table() -> str:
+    """The policy matrix as a Markdown table — embedded verbatim in
+    ``docs/performance.md`` and kept in sync by
+    ``scripts/docs_consistency.py``."""
+    lines = [
+        "| policy | auto schedule | write barrier | to-space reserve |",
+        "|---|---|---|---|",
+    ]
+    for name in sorted(POLICIES):
+        cls = POLICIES[name]
+        lines.append(
+            f"| `{name}` | {cls.schedule} "
+            f"| {'on' if cls.generational else 'off'} "
+            f"| {'yes (page spike mid-GC)' if cls.reserves_to_space else 'no (slides in place)'} |"
+        )
+    return "\n".join(lines)
 
 
 class Collector:
+    """The policy-independent collection machinery: root tracing, the
+    dangle/sanitizer checks, word accounting, and the trace events.  The
+    installed :class:`CollectionPolicy` only decides the auto schedule
+    and the page mechanics of :meth:`_sweep`."""
+
     def __init__(self, heap: Heap, generational: bool = False) -> None:
         self.heap = heap
-        self.generational = generational
+        policy_name = resolve_policy(
+            heap.flags.gc_policy, generational or heap.flags.generational
+        )
+        self.policy: CollectionPolicy = POLICIES[policy_name]()
+        self.generational = self.policy.generational
         self.sanitize = heap.flags.sanitize
         #: Write barrier log: old objects that may point to young ones.
         self.remembered: list = []
-        self._collections_until_major = 4
 
     # -- write barrier ---------------------------------------------------------
 
@@ -56,7 +190,8 @@ class Collector:
 
     def collect_kind(self, kind: str, roots: Iterable) -> int:
         """Run a collection of the given kind: ``"major"``, ``"minor"``, or
-        ``"auto"`` (the generational several-minors-per-major policy).
+        ``"auto"`` (the policy's schedule — for ``generational`` the
+        :data:`MINORS_PER_MAJOR` countdown, a major for everything else).
         Fault plans use this to pin the minor/major choice at an injected
         point and so stress the write barrier deterministically."""
         if kind == "minor":
@@ -67,6 +202,19 @@ class Collector:
 
     # -- collection entry points --------------------------------------------------
 
+    def _emit_gc_begin(self, kind: str, ordinal: int, from_words: int) -> None:
+        tr = self.heap.trace
+        fields = dict(
+            step=self.heap.stats.steps,
+            kind=kind,
+            gc=ordinal,
+            from_words=from_words,
+            policy=self.policy.name,
+        )
+        if self.generational:
+            fields["minors_until_major"] = self.policy.until_major
+        tr.emit("gc_begin", **fields)
+
     def collect(self, roots: Iterable) -> int:
         """A full (major) collection.  Returns the live words retained."""
         stats = self.heap.stats
@@ -75,13 +223,7 @@ class Collector:
         ordinal = stats.gc_count + stats.gc_minor_count
         from_words = stats.current_words
         if tr.enabled:
-            tr.emit(
-                "gc_begin",
-                step=stats.steps,
-                kind="major",
-                gc=ordinal,
-                from_words=from_words,
-            )
+            self._emit_gc_begin("major", ordinal, from_words)
         live_words: dict[Region, int] = {}
         seen: set = set()
         copied, _promoted = self._trace(roots, seen, live_words, minor=False)
@@ -96,6 +238,7 @@ class Collector:
                 gc=ordinal,
                 from_words=from_words,
                 to_words=stats.current_words,
+                to_pages=stats.current_pages,
                 copied=copied,
                 promoted=0,
             )
@@ -110,13 +253,7 @@ class Collector:
         ordinal = stats.gc_count + stats.gc_minor_count
         from_words = stats.current_words
         if tr.enabled:
-            tr.emit(
-                "gc_begin",
-                step=stats.steps,
-                kind="minor",
-                gc=ordinal,
-                from_words=from_words,
-            )
+            self._emit_gc_begin("minor", ordinal, from_words)
         live_words: dict[Region, int] = {}
         seen: set = set()
         # A remembered ref whose region has since been deallocated is dead
@@ -134,20 +271,17 @@ class Collector:
                 gc=ordinal,
                 from_words=from_words,
                 to_words=stats.current_words,
+                to_pages=stats.current_pages,
                 copied=copied,
                 promoted=promoted,
             )
         return retained
 
     def collect_auto(self, roots: Iterable) -> int:
-        """Generational policy: several minors per major."""
-        if not self.generational:
-            return self.collect(roots)
-        self._collections_until_major -= 1
-        if self._collections_until_major <= 0:
-            self._collections_until_major = 4
-            return self.collect(roots)
-        return self.collect_minor(roots)
+        """An auto-triggered collection: the policy picks the kind."""
+        if self.policy.auto_kind() == "minor":
+            return self.collect_minor(roots)
+        return self.collect(roots)
 
     # -- tracing ---------------------------------------------------------------------
 
@@ -159,6 +293,7 @@ class Collector:
         stats = self.heap.stats
         copied = 0
         promoted = 0
+        sanitize = self.sanitize
         stack: list = [v for v in roots if is_boxed(v)]
         while stack:
             obj: RBox = stack.pop()
@@ -183,23 +318,16 @@ class Collector:
                     "dangling-pointer fault of Figure 1",
                     region_id=region.ident,
                 )
-            if self.sanitize and obj.san != region.stamp:
-                tr = self.heap.trace
-                if tr.enabled:
-                    tr.emit(
-                        "dangle",
-                        step=stats.steps,
-                        region=region.ident,
-                        name=region.name,
-                        obj=type(obj).__name__,
-                        sanitizer=True,
-                    )
-                raise StalePointerError(
-                    f"sanitizer: scavenge met a stale pointer into region "
-                    f"{region.name} (object {type(obj).__name__}, stamp "
-                    f"{obj.san} != {region.stamp})",
-                    region_id=region.ident,
-                )
+            if sanitize:
+                if obj.san != region.stamp:
+                    self._san_fault(obj, region, stats)
+                if obj.page_san != obj.page.stamp:
+                    self._san_fault(obj, region, stats, page=True)
+                # Evacuation retires the birth-page witness: the value now
+                # (notionally) lives on a to-space page, so its old page
+                # can recycle without indicting it.
+                obj.page = NO_PAGE
+                obj.page_san = 0
             if not (minor and obj.gen > 0):
                 live_words[region] = live_words.get(region, 0) + obj.words()
                 stats.gc_traced_words += obj.words()
@@ -231,12 +359,41 @@ class Collector:
             # RStr / RReal have no children.
         return copied, promoted
 
+    def _san_fault(self, obj: RBox, region: Region, stats, page: bool = False):
+        tr = self.heap.trace
+        if tr.enabled:
+            tr.emit(
+                "dangle",
+                step=stats.steps,
+                region=region.ident,
+                name=region.name,
+                obj=type(obj).__name__,
+                sanitizer=True,
+            )
+        if page:
+            raise StalePointerError(
+                f"sanitizer: scavenge met a value whose birth page was "
+                f"recycled (region {region.name}, object "
+                f"{type(obj).__name__}, page stamp {obj.page_san} != "
+                f"{obj.page.stamp})",
+                region_id=region.ident,
+            )
+        raise StalePointerError(
+            f"sanitizer: scavenge met a stale pointer into region "
+            f"{region.name} (object {type(obj).__name__}, stamp "
+            f"{obj.san} != {region.stamp})",
+            region_id=region.ident,
+        )
+
     def _sweep(self, live_words: dict, seen: set, minor: bool) -> int:
         """Evacuate infinite regions: reset each live region's word count
-        to its live data (minor collections only shrink the young part)."""
+        to its live data (minor collections only shrink the young part)
+        and re-pack its pages per the installed policy."""
         stats = self.heap.stats
+        heap = self.heap
+        reserve = self.policy.reserves_to_space
         retained = 0
-        for region in self.heap.region_stack:
+        for region in heap.region_stack:
             if not region.alive:  # pragma: no cover - defensive
                 continue
             if region.kind == FINITE:
@@ -255,5 +412,6 @@ class Collector:
                 stats.current_words -= reclaimed
             region.words = new_words
             region.young_words = 0
+            heap.repack_region(region, new_words, live, reserve)
             retained += region.words
         return retained

@@ -1,5 +1,5 @@
-"""The region heap: region descriptors, pages, the region stack, and
-word-exact accounting (paper Sections 1 and 4.2).
+"""The region heap: region descriptors, fixed-size pages, the region
+stack, and word-exact accounting (paper Sections 1 and 4.2).
 
 Regions come in two representations, as in the MLKit:
 
@@ -8,6 +8,24 @@ Regions come in two representations, as in the MLKit:
   as roots but never reclaimed before the region is popped);
 * **infinite** regions are lists of fixed-size pages in the heap and are
   the ones a reference-tracing collection evacuates.
+
+Pages are real objects here, not a derived count: every infinite region
+owns a ``page_list`` of :class:`Page` descriptors drawn from the
+heap-wide free-page list (``Heap.free_pages``), so
+
+* region deallocation returns the whole list in O(pages),
+* ``RunStats`` can report ``peak_pages`` (page residency, the real
+  footprint a pager sees) next to ``peak_words`` (live data), and
+* internal fragmentation is measurable: a value never spans a page
+  boundary, so growing a region closes the current partial page and the
+  unused tail is *waste* (``RunStats.page_waste_words``).
+
+Each page carries a generation ``stamp`` bumped when the page returns to
+the free list; the pointer sanitizer records the birth page of every
+boxed value so a recycled page serving a *new* region cannot validate an
+old value even if its region descriptor were forged (see
+:mod:`repro.runtime.values` and the page-witness checks in
+:mod:`repro.runtime.gc`).
 
 ``letregion`` pushes regions on the region stack and pops (deallocates)
 them on exit.  A deallocated region's descriptor stays around with
@@ -25,17 +43,40 @@ from ..core.errors import HeapLimitError, UseAfterFreeError
 from .stats import RunStats
 from .trace import NULL_TRACER
 
-__all__ = ["Region", "Heap", "INFINITE", "FINITE"]
+__all__ = ["Page", "NO_PAGE", "Region", "Heap", "INFINITE", "FINITE"]
 
 INFINITE = "infinite"
 FINITE = "finite"
+
+
+class Page:
+    """One fixed-size region page.
+
+    The only state a page carries is its generation ``stamp``, bumped
+    every time the page is returned to the heap-wide free list: a boxed
+    value's recorded ``page_san`` trailing its page's stamp proves the
+    page was recycled after the value was placed on it.
+    """
+
+    __slots__ = ("stamp",)
+
+    def __init__(self) -> None:
+        self.stamp = 0
+
+
+#: Shared sentinel page for regions that own no pages (finite regions,
+#: fresh infinite regions).  Its stamp is never bumped — it is never on
+#: any page list or the free list — so a value born "on" it always
+#: passes the page-witness check and liveness rests on the region stamp
+#: alone, exactly the pre-page behaviour for stack data.
+NO_PAGE = Page()
 
 
 class Region:
     """A region descriptor."""
 
     __slots__ = ("ident", "name", "kind", "alive", "words", "capacity", "young_words",
-                 "stamp")
+                 "stamp", "page_list", "cur_page", "cur_free", "waste_words")
 
     def __init__(self, ident: int, name: str, kind: str, capacity: Optional[int] = None) -> None:
         self.ident = ident
@@ -50,19 +91,33 @@ class Region:
         #: descriptor's is provably stale even if the descriptor were
         #: ever reused.
         self.stamp = 0
+        #: The pages this (infinite) region owns, allocation order.
+        self.page_list: list[Page] = []
+        #: The page new values land on: ``page_list[-1]`` or the shared
+        #: :data:`NO_PAGE` sentinel while the region owns no pages.
+        self.cur_page: Page = NO_PAGE
+        #: Unused words remaining on ``cur_page``.
+        self.cur_free = 0
+        #: Words lost to closed partial pages (internal fragmentation):
+        #: a value never spans a page boundary, so the tail of a page
+        #: too small for the next value is waste until the region is
+        #: collected or deallocated.
+        self.waste_words = 0
 
-    def pages(self, page_words: int) -> int:
-        if self.kind == FINITE:
-            return 0
-        return -(-self.words // page_words) if self.words else 0
+    def pages(self, page_words: Optional[int] = None) -> int:
+        """Number of pages this region currently owns.  ``page_words`` is
+        accepted for backward compatibility and ignored — the count is
+        the real ``page_list`` length, not a derived estimate."""
+        return len(self.page_list)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "" if self.alive else " (dead)"
-        return f"<region {self.name} {self.kind} {self.words}w{state}>"
+        return (f"<region {self.name} {self.kind} {self.words}w "
+                f"{len(self.page_list)}p{state}>")
 
 
 class Heap:
-    """The global region heap with word-exact accounting."""
+    """The global region heap with word- and page-exact accounting."""
 
     def __init__(self, flags: RuntimeFlags, stats: RunStats) -> None:
         self.flags = flags
@@ -71,6 +126,10 @@ class Heap:
         self._ids = itertools.count(1)
         self.global_region = Region(0, "rtop", INFINITE)
         self.region_stack: list[Region] = [self.global_region]
+        #: Heap-wide free-page list (LIFO): pages released by region
+        #: deallocation or collection are recycled before new ones are
+        #: created, so steady-state page traffic allocates nothing.
+        self.free_pages: list[Page] = []
         #: words of live data retained by the previous collection — the
         #: basis of the heap-to-live growth policy.
         self.live_after_gc = 0
@@ -103,8 +162,9 @@ class Heap:
         return region
 
     def dealloc_region(self, region: Region) -> None:
-        """Pop a region: its words are reclaimed immediately (the region
-        stack discipline), but the descriptor survives for dangling
+        """Pop a region: its words are reclaimed immediately and its
+        pages returned to the free list in O(pages) (the region stack
+        discipline), but the descriptor survives for dangling
         detection."""
         assert region.alive, "double deallocation of a region"
         region.alive = False
@@ -119,12 +179,99 @@ class Heap:
                 region=region.ident,
                 name=region.name,
                 words=region.words,
+                pages=len(region.page_list),
+                waste=region.waste_words + region.cur_free,
             )
         region.words = 0
+        # A dead descriptor must never contribute stale young-word
+        # counts to a later minor-collection decision (it is consulted
+        # again only for dangle detection, but the invariant is cheap
+        # and the audit trail matters): reset the generation accounting
+        # with the rest of the region state.
+        region.young_words = 0
+        region.waste_words = 0
+        self._release(region, len(region.page_list))
+        region.cur_free = 0
         if self.region_stack and self.region_stack[-1] is region:
             self.region_stack.pop()
         else:  # pragma: no cover - regions are popped LIFO by construction
             self.region_stack.remove(region)
+
+    # -- pages -------------------------------------------------------------------
+
+    def _acquire(self, region: Region, n: int) -> None:
+        """Append ``n`` pages to ``region``, recycling from the free
+        list before creating new ones.  Updates the page residency
+        gauge and its high-water mark — a collection's to-space reserve
+        goes through here too, so ``peak_pages`` can crest mid-GC."""
+        pages = region.page_list
+        free_pages = self.free_pages
+        stats = self.stats
+        for _ in range(n):
+            if free_pages:
+                page = free_pages.pop()
+                stats.pages_recycled += 1
+            else:
+                page = Page()
+                stats.pages_created += 1
+            pages.append(page)
+        region.cur_page = pages[-1]
+        stats.current_pages += n
+        if stats.current_pages > stats.peak_pages:
+            stats.peak_pages = stats.current_pages
+
+    def _release(self, region: Region, n: int) -> None:
+        """Return the last ``n`` pages of ``region`` to the free list,
+        bumping each page's recycle stamp."""
+        if n <= 0:
+            return
+        pages = region.page_list
+        free_pages = self.free_pages
+        for _ in range(n):
+            page = pages.pop()
+            page.stamp += 1
+            free_pages.append(page)
+        self.stats.current_pages -= n
+        region.cur_page = pages[-1] if pages else NO_PAGE
+
+    def _grow(self, region: Region, words: int) -> None:
+        """Slow path of allocation: ``words`` does not fit on the
+        current page.  Closes the partial page (its tail becomes
+        internal fragmentation) and acquires enough fresh pages for the
+        value — a value larger than one page takes a run of dedicated
+        pages."""
+        free = region.cur_free
+        if free:
+            region.waste_words += free
+            self.stats.page_waste_words += free
+        pw = self.flags.page_words
+        n = -(-words // pw)
+        self._acquire(region, n)
+        region.cur_free = n * pw - words
+
+    def repack_region(self, region: Region, new_words: int, copied_words: int,
+                      reserve: bool) -> None:
+        """Re-pack a collected region's pages to its ``new_words`` of
+        compactly evacuated data.
+
+        ``reserve`` models the policy split: a *copying* collection
+        (Cheney) acquires to-space pages for the ``copied_words`` it
+        evacuates **before** releasing from-space — the transient page
+        spike ``peak_pages`` exists to expose — while *mark-compact*
+        slides data in place and only ever releases the tail.  Word
+        accounting is identical either way; only page residency
+        differs."""
+        stats = self.stats
+        pw = self.flags.page_words
+        pages = region.page_list
+        keep = -(-new_words // pw) if new_words else 0
+        if reserve and copied_words:
+            self._acquire(region, -(-copied_words // pw))
+        self._release(region, len(pages) - keep)
+        region.cur_free = keep * pw - new_words if keep else 0
+        if region.waste_words:
+            region.waste_words = 0
+        region.cur_page = pages[-1] if pages else NO_PAGE
 
     # -- allocation ---------------------------------------------------------------
 
@@ -150,13 +297,22 @@ class Heap:
                         region=region.ident,
                         name=region.name,
                     )
+                # Materialize pages for the words the finite region
+                # already holds: they move from the stack to the heap.
+                if region.words:
+                    self._grow(region, region.words)
         region.words += words
         region.young_words += words
+        if region.kind == INFINITE:
+            free = region.cur_free
+            if words <= free:
+                region.cur_free = free - words
+            else:
+                self._grow(region, words)
         self.stats.allocations += 1
         self.stats.allocated_words += words
         self.stats.current_words += words
-        if self.stats.current_words > self.stats.peak_words:
-            self.stats.peak_words = self.stats.current_words
+        self.stats.note_current()
         self.words_since_gc += words
         if tr.enabled:
             tr.emit(
@@ -165,6 +321,7 @@ class Heap:
                 region=region.ident,
                 words=words,
                 region_words=region.words,
+                region_pages=len(region.page_list),
                 kind=region.kind,
             )
         if (

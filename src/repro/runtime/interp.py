@@ -310,11 +310,17 @@ class Interp:
         return region
 
     def san_check(self, value) -> None:
-        """Sanitizer liveness check at a read/write access point."""
-        if isinstance(value, RBox) and value.san != value.region.stamp:
-            self.san_fault(value)
+        """Sanitizer liveness check at a read/write access point: the
+        region-stamp witness first, then the birth-page witness (a page
+        recycled through the free list invalidates every value born on
+        it, even if the value's region field were forged)."""
+        if isinstance(value, RBox):
+            if value.san != value.region.stamp:
+                self.san_fault(value)
+            if value.page_san != value.page.stamp:
+                self.san_fault(value, page=True)
 
-    def san_fault(self, value) -> None:
+    def san_fault(self, value, page: bool = False) -> None:
         region = value.region
         tr = self.heap.trace
         if tr.enabled:
@@ -325,6 +331,14 @@ class Interp:
                 name=region.name,
                 obj=type(value).__name__,
                 sanitizer=True,
+            )
+        if page:
+            raise StalePointerError(
+                f"sanitizer: access through a value whose birth page was "
+                f"recycled (region {region.name}, object "
+                f"{type(value).__name__}, page stamp {value.page_san} != "
+                f"{value.page.stamp})",
+                region_id=region.ident,
             )
         raise StalePointerError(
             f"sanitizer: access through a stale pointer into region "
@@ -381,7 +395,8 @@ class Interp:
                 "run_begin",
                 step=0,
                 strategy=self.strategy.value,
-                generational=self.flags.generational,
+                generational=self.collector.generational,
+                policy=self.collector.policy.name,
                 schema=SCHEMA_VERSION,
             )
         self.env_stack.append(base_env)
@@ -404,6 +419,7 @@ class Interp:
                 steps=s.steps,
                 allocations=s.allocations,
                 peak_words=s.peak_words,
+                peak_pages=s.peak_pages,
                 gc_count=s.gc_count,
                 gc_minor_count=s.gc_minor_count,
             )
@@ -486,8 +502,8 @@ class Interp:
             pair = self.ev(t.pair, env, renv)
             if not isinstance(pair, RPair):
                 raise RuntimeFault("#i of a non-pair value")
-            if self.sanitize and pair.san != pair.region.stamp:
-                self.san_fault(pair)
+            if self.sanitize:
+                self.san_check(pair)
             return pair.fst if t.index == 1 else pair.snd
         if cls is T.Cons:
             head = self.ev(t.head, env, renv)
@@ -793,8 +809,7 @@ class Interp:
     def _apply_prim(self, op: str, args: list, rho: Optional[RegionVar], renv: dict):
         if self.sanitize:
             for a in args:
-                if isinstance(a, RBox) and a.san != a.region.stamp:
-                    self.san_fault(a)
+                self.san_check(a)
         if op == "add":
             return args[0] + args[1]
         if op == "sub":

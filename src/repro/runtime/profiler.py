@@ -45,6 +45,8 @@ class _LiveRegion:
     capacity: Optional[int]
     push_step: int
     high_water: int = 0
+    high_pages: int = 0
+    waste: int = 0
     allocs: int = 0
     alloc_words: int = 0
     morphed: bool = False
@@ -62,6 +64,8 @@ class SiteProfile:
     allocs: int = 0
     alloc_words: int = 0
     high_water: int = 0          # max over instances
+    high_pages: int = 0          # max page residency of any instance
+    waste_words: int = 0         # internal fragmentation, summed over pops
     total_lifetime: int = 0      # steps, summed over popped instances
     max_lifetime: int = 0
     popped: int = 0
@@ -88,6 +92,8 @@ class SiteProfile:
             "allocs": self.allocs,
             "alloc_words": self.alloc_words,
             "high_water": self.high_water,
+            "high_pages": self.high_pages,
+            "waste_words": self.waste_words,
             "avg_lifetime": self.avg_lifetime,
             "max_lifetime": self.max_lifetime,
             "dangles": self.dangles,
@@ -133,6 +139,8 @@ class RegionProfiler:
             rec.alloc_words += event["words"]
             if event["region_words"] > rec.high_water:
                 rec.high_water = event["region_words"]
+            if event["region_pages"] > rec.high_pages:
+                rec.high_pages = event["region_pages"]
         elif ev == "region_push":
             self._live[event["region"]] = _LiveRegion(
                 name=event["name"],
@@ -146,6 +154,9 @@ class RegionProfiler:
                 return
             site = self._site(rec)
             site.popped += 1
+            rec.waste = event["waste"]
+            if event["pages"] > rec.high_pages:
+                rec.high_pages = event["pages"]
             lifetime = step - rec.push_step
             site.total_lifetime += lifetime
             if lifetime > site.max_lifetime:
@@ -197,6 +208,9 @@ class RegionProfiler:
         site.alloc_words += rec.alloc_words
         if rec.high_water > site.high_water:
             site.high_water = rec.high_water
+        if rec.high_pages > site.high_pages:
+            site.high_pages = rec.high_pages
+        site.waste_words += rec.waste
         if rec.morphed:
             site.morphed += 1
         # The multiplicity analysis classifies the *site*; instances agree
@@ -243,7 +257,8 @@ class RegionProfiler:
         lines.append("")
         lines.append(
             f"  {'site':10s} {'class':>11s} {'cap':>5s} {'insts':>6s} "
-            f"{'allocs':>7s} {'words':>8s} {'hiwater':>8s} {'life(avg/max)':>15s}  "
+            f"{'allocs':>7s} {'words':>8s} {'hiwater':>8s} {'pages':>6s} "
+            f"{'waste':>7s} {'life(avg/max)':>15s}  "
             f"{'':{width}s}"
         )
         shown = sites[:top]
@@ -259,7 +274,8 @@ class RegionProfiler:
             lines.append(
                 f"  {s.name:10s} {s.classification:>11s} {cap:>5s} "
                 f"{s.instances:>6d} {s.allocs:>7d} {s.alloc_words:>8d} "
-                f"{s.high_water:>8d} {life:>15s}  {bar}{dangle}"
+                f"{s.high_water:>8d} {s.high_pages:>6d} {s.waste_words:>7d} "
+                f"{life:>15s}  {bar}{dangle}"
             )
         if len(sites) > top:
             rest = sites[top:]

@@ -17,7 +17,7 @@ __all__ = ["RunStats"]
 
 #: Fields that are *high-water marks* rather than monotonic counters:
 #: aggregating two runs takes their maximum, not their sum.
-_PEAK_FIELDS = frozenset({"peak_words", "max_region_stack"})
+_PEAK_FIELDS = frozenset({"peak_words", "peak_pages", "max_region_stack"})
 
 
 @dataclass
@@ -27,6 +27,18 @@ class RunStats:
     allocated_words: int = 0
     peak_words: int = 0
     current_words: int = 0
+    #: Page residency: fixed-size region pages currently owned by live
+    #: regions, and the high-water mark ``peak_pages`` — the
+    #: fragmentation-aware sibling of ``peak_words`` (a copying
+    #: collection's to-space reserve crests here mid-GC).
+    peak_pages: int = 0
+    current_pages: int = 0
+    #: Fresh pages ever created vs. pages served from the free list.
+    pages_created: int = 0
+    pages_recycled: int = 0
+    #: Words lost to closed partial pages (a value never spans a page
+    #: boundary) — cumulative internal fragmentation.
+    page_waste_words: int = 0
     gc_count: int = 0
     gc_minor_count: int = 0
     gc_traced_words: int = 0
@@ -45,6 +57,17 @@ class RunStats:
     finite_regions_created: int = 0
     max_region_stack: int = 0
     dropped_region_passes: int = 0
+
+    def note_current(self) -> None:
+        """Fold the current footprint gauges into their high-water
+        marks.  The **single** place peak accounting happens: every
+        allocation path (tree walker, closure backend's inlined fast
+        path, bytecode kernels) and the collector's to-space page
+        reserve call this, so backends cannot drift on peak guards."""
+        if self.current_words > self.peak_words:
+            self.peak_words = self.current_words
+        if self.current_pages > self.peak_pages:
+            self.peak_pages = self.current_pages
 
     def to_dict(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
@@ -81,6 +104,7 @@ class RunStats:
         return (
             f"steps={self.steps} allocs={self.allocations} "
             f"alloc_words={self.allocated_words} peak_words={self.peak_words} "
+            f"peak_pages={self.peak_pages} "
             f"gc={self.gc_count} (minor {self.gc_minor_count}) "
             f"letregions={self.letregions}"
         )

@@ -53,34 +53,56 @@ __all__ = [
 ]
 
 #: Bump when the event vocabulary or a field meaning changes.
-SCHEMA_VERSION = 1
+#: Version 2 added the page dimension (``region_pages``, ``pages``,
+#: ``waste``, ``to_pages``, ``peak_pages``) and the collection-policy
+#: fields (``policy``, ``minors_until_major``).
+SCHEMA_VERSION = 2
 
 #: kind -> (required fields, optional fields).  ``i``/``ev``/``step`` are
 #: implicit on every event.
 EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
-    # Run lifecycle.
-    "run_begin": (frozenset({"strategy", "generational", "schema"}), frozenset()),
-    "run_end": (
-        frozenset({"steps", "allocations", "peak_words", "gc_count", "gc_minor_count"}),
+    # Run lifecycle.  ``policy`` is the resolved collection policy name
+    # (:data:`repro.runtime.gc.POLICIES`).
+    "run_begin": (
+        frozenset({"strategy", "generational", "policy", "schema"}),
         frozenset(),
     ),
-    # Region lifecycle (letregion push/pop).
+    "run_end": (
+        frozenset({"steps", "allocations", "peak_words", "peak_pages",
+                   "gc_count", "gc_minor_count"}),
+        frozenset(),
+    ),
+    # Region lifecycle (letregion push/pop).  ``pages`` is the page count
+    # returned to the free list by the pop; ``waste`` the words the
+    # region lost to internal fragmentation (closed partial pages plus
+    # the unused tail of its last page).
     "region_push": (frozenset({"region", "name", "kind"}), frozenset({"capacity"})),
-    "region_pop": (frozenset({"region", "name", "words"}), frozenset()),
+    "region_pop": (frozenset({"region", "name", "words", "pages", "waste"}), frozenset()),
     # A finite (stack) region whose static size estimate overflowed and
     # fell back to the infinite representation.
     "region_morph": (frozenset({"region", "name"}), frozenset()),
-    # Allocation of ``words`` into ``region``; ``region_words`` is the
-    # region's footprint *after* the allocation (its running high-water).
-    "alloc": (frozenset({"region", "words", "region_words", "kind"}), frozenset()),
+    # Allocation of ``words`` into ``region``; ``region_words`` /
+    # ``region_pages`` are the region's footprint *after* the allocation
+    # (its running high-water).
+    "alloc": (
+        frozenset({"region", "words", "region_words", "region_pages", "kind"}),
+        frozenset(),
+    ),
     # Collection begin/end.  ``gc`` is the 1-based collection ordinal
     # (majors + minors); ``from_words``/``to_words`` bracket the heap
-    # footprint; ``copied`` counts evacuated (live, traced) objects;
-    # ``promoted`` counts minor-collection survivors promoted to the old
-    # generation.
-    "gc_begin": (frozenset({"kind", "gc", "from_words"}), frozenset()),
+    # footprint and ``to_pages`` the page residency after re-packing;
+    # ``copied`` counts evacuated (live, traced) objects; ``promoted``
+    # counts minor-collection survivors promoted to the old generation.
+    # ``policy`` names the installed collection policy;
+    # ``minors_until_major`` (generational policy only) is the
+    # MINORS_PER_MAJOR countdown at this collection.
+    "gc_begin": (
+        frozenset({"kind", "gc", "from_words", "policy"}),
+        frozenset({"minors_until_major"}),
+    ),
     "gc_end": (
-        frozenset({"kind", "gc", "from_words", "to_words", "copied", "promoted"}),
+        frozenset({"kind", "gc", "from_words", "to_words", "to_pages",
+                   "copied", "promoted"}),
         frozenset(),
     ),
     # The collector traced a pointer into a deallocated region — the

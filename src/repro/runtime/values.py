@@ -56,7 +56,7 @@ NIL = Nil()
 class RBox:
     """Base class of boxed (region-allocated, traced) values."""
 
-    __slots__ = ("region", "gen", "san")
+    __slots__ = ("region", "gen", "san", "page", "page_san")
 
     def __init__(self, region) -> None:
         self.region = region
@@ -65,6 +65,17 @@ class RBox:
         #: sanitizer's liveness witness (``san != region.stamp`` means the
         #: region was deallocated after this value was placed in it).
         self.san = region.stamp
+        #: The page this value was born on, with the page's recycle
+        #: stamp at that moment: the sanitizer's *second* witness.  A
+        #: page returned to the free list bumps its stamp, so a recycled
+        #: page serving a new region can never validate an old value —
+        #: even if the value's region field were forged to point at the
+        #: page's new owner.  The collector retires the witness (to the
+        #: never-stamped ``NO_PAGE`` sentinel) when it evacuates the
+        #: value, mirroring the pointer update of a real copy.
+        page = region.cur_page
+        self.page = page
+        self.page_san = page.stamp
 
 
 class RStr(RBox):

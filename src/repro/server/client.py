@@ -296,6 +296,7 @@ def main(argv: Optional[list] = None) -> int:
         cache=not args.no_cache,
         gc_every_alloc=args.gc_every_alloc,
         generational=args.generational,
+        gc_policy=args.gc_policy,
         max_heap_words=args.max_heap_words,
         deadline_seconds=args.deadline,
         fault_plan=fault_plan_from_args(args),

@@ -13,6 +13,7 @@ default)::
       "runtime": {
         "gc_every_alloc": false,
         "generational": false,
+        "gc_policy": null,              # "copying"|"generational"|"mark-compact"
         "max_heap_words": null,         # per-request resource limits
         "deadline_seconds": null,
         "fault_plan": null,             # FaultPlan.to_dict
@@ -89,8 +90,8 @@ EXIT_FOR_STATUS = {
 }
 
 _RUNTIME_KEYS = frozenset(
-    {"gc_every_alloc", "generational", "max_heap_words", "deadline_seconds",
-     "fault_plan", "sanitize", "specialize"}
+    {"gc_every_alloc", "generational", "gc_policy", "max_heap_words",
+     "deadline_seconds", "fault_plan", "sanitize", "specialize"}
 )
 
 
@@ -101,6 +102,7 @@ def make_request(
     cache: bool = True,
     gc_every_alloc: bool = False,
     generational: bool = False,
+    gc_policy: Optional[str] = None,
     max_heap_words: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
     fault_plan=None,
@@ -123,6 +125,7 @@ def make_request(
         "runtime": {
             "gc_every_alloc": gc_every_alloc,
             "generational": generational,
+            "gc_policy": gc_policy,
             "max_heap_words": max_heap_words,
             "deadline_seconds": deadline_seconds,
             "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
@@ -172,6 +175,13 @@ def validate_request(request: object) -> Optional[str]:
     extra = set(runtime) - _RUNTIME_KEYS
     if extra:
         return f"unknown runtime fields {sorted(extra)}"
+    policy = runtime.get("gc_policy")
+    if policy is not None:
+        from ..runtime.gc import POLICIES
+
+        if not isinstance(policy, str) or policy not in POLICIES:
+            return (f"gc_policy must be one of {sorted(POLICIES)}, "
+                    f"got {policy!r}")
     # bool is a subclass of int: without the explicit exclusion,
     # max_heap_words=true would validate and become a 1-word heap limit.
     limit = runtime.get("max_heap_words")
@@ -219,6 +229,8 @@ def request_runtime_overrides(request: dict) -> dict:
         overrides["gc_every_alloc"] = True
     if runtime.get("generational"):
         overrides["generational"] = True
+    if runtime.get("gc_policy") is not None:
+        overrides["gc_policy"] = str(runtime["gc_policy"])
     if runtime.get("sanitize"):
         overrides["sanitize"] = True
     if runtime.get("max_heap_words") is not None:

@@ -1,0 +1,155 @@
+"""Mutation-kill test for the *page-aware* pointer sanitizer.
+
+The reuse-after-free this suite pins down cannot be expressed at the
+MiniML level — it needs a forged region descriptor, the kind of
+corruption a compiler or runtime bug (not a program) would produce.  So
+the mutant works directly on the runtime heap, in the style of
+``test_mutations.py``'s term surgery:
+
+1. allocate a value ``v`` in region ``A`` (``v`` records its birth page
+   and that page's recycle stamp);
+2. deallocate ``A`` — its pages go back to the heap-wide free list,
+   each bumping its recycle stamp;
+3. open region ``B``, whose first allocation *recycles* ``v``'s birth
+   page (LIFO free list);
+4. **forge** ``v.region = B`` and ``v.san = B.stamp`` — the classic
+   single-witness sanitizer check ``v.san == region.stamp`` now
+   *passes*: the value masquerades as live data of ``B``.
+
+The region stamp alone is provably blind to this (asserted below — that
+blindness is the mutant the page witness exists to kill).  The second
+witness is not: ``v.page_san`` still carries the stamp its page had
+before recycling, so the page-aware sanitizer raises
+``StalePointerError("... birth page was recycled ...")`` the moment a
+collection traces ``v``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RuntimeFlags
+from repro.core.errors import StalePointerError
+from repro.runtime.gc import Collector
+from repro.runtime.heap import NO_PAGE, Heap
+from repro.runtime.stats import RunStats
+from repro.runtime.values import RPair
+
+
+def _sanitizing_heap(**kw) -> Heap:
+    kw.setdefault("sanitize", True)
+    kw.setdefault("page_words", 16)
+    return Heap(RuntimeFlags(**kw), RunStats())
+
+
+def _alloc_pair(heap: Heap, region, fst=1, snd=2) -> RPair:
+    """Allocate the way the interpreter does: account the words first,
+    then construct the value (so it records the page it landed on)."""
+    heap.alloc(region, 2)
+    return RPair(fst, snd, region)
+
+
+def _forged_reuse_after_free(heap: Heap) -> RPair:
+    """Steps 1-4 of the module docstring; returns the forged value."""
+    a = heap.new_region("rA")
+    v = _alloc_pair(heap, a)
+    birth_page = v.page
+    birth_stamp = v.page_san
+    heap.dealloc_region(a)
+    assert birth_page.stamp == birth_stamp + 1  # recycle stamp bumped
+
+    b = heap.new_region("rB")
+    fresh = _alloc_pair(heap, b)
+    assert fresh.page is birth_page  # LIFO free list recycled it
+
+    v.region = b
+    v.san = b.stamp
+    return v
+
+
+class TestPageWitnessKillsReuseAfterFree:
+    def test_region_stamp_alone_is_blind(self):
+        """The mutant's premise: after the forgery the single-witness
+        check has nothing to object to."""
+        heap = _sanitizing_heap()
+        v = _forged_reuse_after_free(heap)
+        assert v.region.alive
+        assert v.san == v.region.stamp  # the old check passes...
+        assert v.page_san != v.page.stamp  # ...only the page witness objects
+
+    def test_page_aware_sanitizer_kills_the_mutant(self):
+        heap = _sanitizing_heap()
+        v = _forged_reuse_after_free(heap)
+        collector = Collector(heap)
+        with pytest.raises(StalePointerError, match="birth page was recycled"):
+            collector.collect([v])
+
+    def test_kill_is_attributed_in_the_trace(self):
+        from repro.runtime.trace import EventBus, RecordingSink
+
+        sink = RecordingSink()
+        heap = Heap(
+            RuntimeFlags(sanitize=True, page_words=16, tracer=EventBus(sink)),
+            RunStats(),
+        )
+        v = _forged_reuse_after_free(heap)
+        with pytest.raises(StalePointerError):
+            Collector(heap).collect([v])
+        dangles = [e for e in sink.events if e["ev"] == "dangle"]
+        assert len(dangles) == 1
+        assert dangles[0]["sanitizer"] is True
+        assert dangles[0]["obj"] == "RPair"
+
+    def test_page_blind_mutant_misses_the_fault(self):
+        """Retiring the witness (``page = NO_PAGE, page_san = 0``) *is*
+        the region-stamp-only sanitizer: the same forged value then
+        traces silently — the collection completes and even counts the
+        corpse as live data of the forged region.  This is the miss the
+        page witness closes; if someone weakens the check, the kill
+        above disappears and this test documents exactly what escapes."""
+        heap = _sanitizing_heap()
+        v = _forged_reuse_after_free(heap)
+        v.page = NO_PAGE
+        v.page_san = 0
+        retained = Collector(heap).collect([v])
+        assert retained >= v.words()  # silently accepted as live
+
+
+class TestPageWitnessStaysQuiet:
+    """The other half of a kill matrix: no false positives."""
+
+    def test_value_on_a_live_page_is_clean(self):
+        heap = _sanitizing_heap()
+        region = heap.new_region("r")
+        v = _alloc_pair(heap, region)
+        Collector(heap).collect([v])  # must not raise
+
+    def test_evacuation_retires_the_witness(self):
+        """A traced value's witness moves to the never-stamped
+        ``NO_PAGE`` sentinel (its data notionally moved to to-space):
+        the evacuating collection itself releases the birth page, and a
+        survivor must not be indicted by its own evacuation."""
+        heap = _sanitizing_heap()
+        region = heap.new_region("r")
+        heap.alloc(region, 16)  # a full page of garbage ahead of v
+        v = _alloc_pair(heap, region)
+        birth_page = v.page
+        born_stamp = v.page_san
+        collector = Collector(heap)
+        # Evacuates v (2 live words repack onto one page); the birth
+        # page goes back to the free list with its stamp bumped.
+        collector.collect([v])
+        assert v.page is NO_PAGE
+        assert v.page_san == 0
+        assert birth_page in heap.free_pages
+        assert birth_page.stamp == born_stamp + 1
+        # The survivor still traces clean, birth page long recycled.
+        collector.collect([v])
+
+    def test_unsanitized_run_ignores_forgery(self):
+        """Without ``sanitize`` the witnesses are inert (the production
+        configuration): the forged value traces without checks, pinning
+        that the sanitizer is pure checking, never semantics."""
+        heap = _sanitizing_heap(sanitize=False)
+        v = _forged_reuse_after_free(heap)
+        Collector(heap).collect([v])  # must not raise

@@ -1,0 +1,403 @@
+"""The paged region heap: free-list recycling, O(pages) release, waste
+accounting, ``peak_pages``, and the pluggable-policy split.
+
+Three bugfix regressions ride along:
+
+* ``Region.young_words`` is reset on region deallocation (a dead
+  descriptor must never feed a later minor-collection decision);
+* peak accounting happens in exactly one place
+  (:meth:`RunStats.note_current`), so a peak that crests *mid-GC* — the
+  copying policy's to-space page reserve — is identical across the
+  tree, closure, and bytecode backends;
+* ``resolve_policy`` rejects unknown names before a run starts.
+"""
+
+import pytest
+
+from repro import Strategy, compile_program
+from repro.config import RuntimeFlags
+from repro.runtime.gc import (
+    MINORS_PER_MAJOR,
+    POLICIES,
+    Collector,
+    CopyingPolicy,
+    GenerationalPolicy,
+    MarkCompactPolicy,
+    policy_table,
+    resolve_policy,
+)
+from repro.runtime.heap import FINITE, INFINITE, NO_PAGE, Heap, Page, Region
+from repro.runtime.stats import RunStats
+from repro.testing.faultplan import FaultPlan
+
+BACKENDS = ("tree", "closure", "bytecode")
+
+#: Builds ~800 live words (400 cons cells), then keeps them live across
+#: the injected collections: the peak footprint of this program occurs
+#: *during* a major GC when the copying policy reserves to-space pages.
+LIVE_LIST_SOURCE = """
+fun build n = if n = 0 then nil else n :: build (n - 1)
+fun total xs = if null xs then 0 else hd xs + total (tl xs)
+val xs = build 400
+val it = total xs + total xs
+"""
+
+#: One letregion per iteration, deallocated hot: the schedule that
+#: collects immediately after every region pop exercises the
+#: ``young_words`` reset (satellite bugfix 1).
+CHURN_SOURCE = """
+fun step n =
+  if n = 0 then 0
+  else let val tmp = (n, n :: nil)
+       in (#1 tmp) + step (n - 1)
+       end
+val it = step 40
+"""
+
+
+def _heap(**kw) -> Heap:
+    return Heap(RuntimeFlags(**kw), RunStats())
+
+
+def _run(source, *, backend="tree", **overrides):
+    prog = compile_program(source, strategy=Strategy.RG)
+    return prog.run(backend=backend, **overrides)
+
+
+# -- page mechanics (unit level) --------------------------------------------------
+
+
+class TestPageMechanics:
+    def test_fresh_region_is_pageless(self):
+        heap = _heap()
+        region = heap.new_region("r")
+        assert region.page_list == []
+        assert region.cur_page is NO_PAGE
+        assert region.cur_free == 0
+        assert region.pages() == 0
+
+    def test_alloc_acquires_and_fills_pages(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r")
+        heap.alloc(region, 1)
+        assert region.pages() == 1
+        assert region.cur_free == 15
+        heap.alloc(region, 15)  # exactly fills the page
+        assert region.pages() == 1
+        assert region.cur_free == 0
+        heap.alloc(region, 1)  # spills onto a second page, no waste
+        assert region.pages() == 2
+        assert region.waste_words == 0
+        assert heap.stats.pages_created == 2
+
+    def test_value_never_spans_a_page_boundary(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r")
+        heap.alloc(region, 10)  # 6 words left on the page
+        heap.alloc(region, 8)   # does not fit: page closes, 6-word tail wasted
+        assert region.pages() == 2
+        assert region.waste_words == 6
+        assert heap.stats.page_waste_words == 6
+        assert region.cur_free == 16 - 8
+        assert region.words == 18  # waste is accounting, not data
+
+    def test_large_value_takes_a_dedicated_page_run(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r")
+        heap.alloc(region, 40)  # ceil(40/16) = 3 pages in one acquisition
+        assert region.pages() == 3
+        assert region.cur_free == 3 * 16 - 40
+        assert region.cur_page is region.page_list[-1]
+
+    def test_dealloc_returns_every_page_in_one_release(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r")
+        heap.alloc(region, 100)
+        owned = list(region.page_list)
+        assert len(owned) == 7
+        assert heap.stats.current_pages == 7
+        heap.dealloc_region(region)
+        assert region.page_list == []
+        assert region.cur_page is NO_PAGE
+        assert region.cur_free == 0
+        assert heap.stats.current_pages == 0
+        assert set(map(id, heap.free_pages)) == set(map(id, owned))
+
+    def test_dealloc_resets_young_words(self):
+        """Bugfix regression: a dead descriptor must not carry stale
+        generation accounting into a later minor-collection decision."""
+        heap = _heap()
+        region = heap.new_region("r")
+        heap.alloc(region, 10)
+        assert region.young_words == 10
+        heap.dealloc_region(region)
+        assert region.young_words == 0
+        assert region.words == 0
+        assert region.waste_words == 0
+
+    def test_free_list_is_lifo_and_recycles_before_creating(self):
+        heap = _heap(page_words=16)
+        a = heap.new_region("a")
+        heap.alloc(a, 32)  # two pages
+        first, second = a.page_list
+        heap.dealloc_region(a)
+        # Pages pop from the region's tail, so `first` lands on top.
+        assert heap.free_pages[-1] is first
+        b = heap.new_region("b")
+        heap.alloc(b, 1)
+        assert b.cur_page is first
+        assert heap.stats.pages_recycled == 1
+        assert heap.stats.pages_created == 2  # no new page was made
+        heap.alloc(b, 16)  # spill: recycles `second` too
+        assert b.page_list == [first, second]
+        assert heap.stats.pages_recycled == 2
+        assert heap.stats.pages_created == 2
+
+    def test_release_bumps_the_recycle_stamp(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r")
+        heap.alloc(region, 1)
+        page = region.cur_page
+        born = page.stamp
+        heap.dealloc_region(region)
+        assert page.stamp == born + 1
+        # A second lifecycle bumps it again.
+        r2 = heap.new_region("r2")
+        heap.alloc(r2, 1)
+        assert r2.cur_page is page
+        heap.dealloc_region(r2)
+        assert page.stamp == born + 2
+
+    def test_no_page_sentinel_is_never_stamped(self):
+        heap = _heap(page_words=16)
+        for _ in range(3):
+            region = heap.new_region("r")
+            heap.alloc(region, 20)
+            heap.dealloc_region(region)
+        assert NO_PAGE.stamp == 0
+        assert NO_PAGE not in heap.free_pages
+
+    def test_page_conservation(self):
+        """Every page ever created is either owned by a live region or
+        on the free list — pages are recycled, never leaked."""
+        heap = _heap(page_words=16)
+        keep = heap.new_region("keep")
+        heap.alloc(keep, 24)
+        for _ in range(4):
+            region = heap.new_region("tmp")
+            heap.alloc(region, 50)
+            heap.dealloc_region(region)
+        owned = sum(len(r.page_list) for r in heap.region_stack)
+        assert owned == heap.stats.current_pages
+        assert owned + len(heap.free_pages) == heap.stats.pages_created
+
+    def test_peak_pages_is_a_high_water_mark(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r")
+        heap.alloc(region, 16 * 5)
+        assert heap.stats.peak_pages == 5
+        heap.dealloc_region(region)
+        assert heap.stats.current_pages == 0
+        assert heap.stats.peak_pages == 5  # the mark survives the release
+
+    def test_finite_regions_stay_pageless_until_morph(self):
+        heap = _heap(page_words=16)
+        region = heap.new_region("r", kind=FINITE, capacity=4)
+        heap.alloc(region, 4)
+        assert region.kind == FINITE
+        assert region.pages() == 0
+        heap.alloc(region, 4)  # overflow: morphs to infinite
+        assert region.kind == INFINITE
+        # The 4 stack words moved onto pages along with the new value.
+        assert region.pages() == 1
+        assert region.words == 8
+
+
+# -- peak consolidation (satellite bugfix 2, unit level) --------------------------
+
+
+class TestNoteCurrent:
+    def test_folds_both_gauges(self):
+        stats = RunStats()
+        stats.current_words, stats.current_pages = 100, 7
+        stats.note_current()
+        assert (stats.peak_words, stats.peak_pages) == (100, 7)
+
+    def test_never_lowers_a_peak(self):
+        stats = RunStats(peak_words=500, peak_pages=9)
+        stats.current_words, stats.current_pages = 100, 7
+        stats.note_current()
+        assert (stats.peak_words, stats.peak_pages) == (500, 9)
+
+    def test_merge_treats_peaks_as_maxima(self):
+        a = RunStats(peak_words=10, peak_pages=4, allocations=5)
+        b = RunStats(peak_words=7, peak_pages=6, allocations=3)
+        merged = a.merge(b)
+        assert merged.peak_words == 10
+        assert merged.peak_pages == 6
+        assert merged.allocations == 8
+
+
+# -- policy selection -------------------------------------------------------------
+
+
+class TestPolicySelection:
+    def test_registry_names(self):
+        assert set(POLICIES) == {"copying", "generational", "mark-compact"}
+        assert POLICIES["copying"] is CopyingPolicy
+        assert POLICIES["generational"] is GenerationalPolicy
+        assert POLICIES["mark-compact"] is MarkCompactPolicy
+
+    def test_explicit_policy_wins_over_legacy_boolean(self):
+        assert resolve_policy(None, False) == "copying"
+        assert resolve_policy(None, True) == "generational"
+        assert resolve_policy("mark-compact", True) == "mark-compact"
+        assert resolve_policy("copying", True) == "copying"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown gc policy"):
+            resolve_policy("cheney", False)
+
+    def test_unknown_policy_rejected_at_run_time(self):
+        prog = compile_program("val it = 1 + 1", strategy=Strategy.RG)
+        with pytest.raises(ValueError, match="unknown gc policy"):
+            prog.run(gc_policy="bogus")
+
+    def test_collector_resolves_flags(self):
+        heap = Heap(RuntimeFlags(gc_policy="mark-compact"), RunStats())
+        collector = Collector(heap)
+        assert isinstance(collector.policy, MarkCompactPolicy)
+        assert collector.generational is False
+        legacy = Collector(Heap(RuntimeFlags(generational=True), RunStats()))
+        assert isinstance(legacy.policy, GenerationalPolicy)
+        assert legacy.policy.until_major == MINORS_PER_MAJOR
+
+    def test_policy_table_lists_every_policy(self):
+        table = policy_table()
+        assert table.splitlines()[0].startswith("| policy |")
+        for name in POLICIES:
+            assert f"`{name}`" in table
+
+
+# -- policy bit-identity and the page-residency split (program level) -------------
+
+
+class TestPolicyBitIdentity:
+    """The tentpole contract: policies are a page-residency and schedule
+    knob, never a semantics knob."""
+
+    #: Word-level fields that must be identical across *all* policies.
+    #: (The generational schedule legitimately changes gc/minor counts
+    #: and traced/reclaimed words; page fields legitimately differ.)
+    CORE_FIELDS = (
+        "steps", "allocations", "allocated_words", "peak_words",
+        "letregions", "region_deallocs", "finite_allocations",
+        "infinite_regions_created", "finite_regions_created",
+        "max_region_stack",
+    )
+
+    @pytest.fixture(scope="class")
+    def by_policy(self):
+        prog = compile_program(LIVE_LIST_SOURCE, strategy=Strategy.RG)
+        plan = FaultPlan(every=100, kind="auto")
+        return {
+            policy: prog.run(gc_policy=policy, fault_plan=plan)
+            for policy in sorted(POLICIES)
+        }
+
+    def test_values_identical(self, by_policy):
+        values = {policy: r.value for policy, r in by_policy.items()}
+        assert len(set(values.values())) == 1, values
+        assert values["copying"] == 2 * sum(range(1, 401))
+
+    def test_core_stats_identical(self, by_policy):
+        rows = {
+            policy: tuple(getattr(r.stats, f) for f in self.CORE_FIELDS)
+            for policy, r in by_policy.items()
+        }
+        assert rows["copying"] == rows["generational"] == rows["mark-compact"]
+
+    def test_majors_only_policies_fully_identical_but_for_pages(self, by_policy):
+        """copying and mark-compact run the *same* schedule: every
+        word-level stat matches; only page residency may differ."""
+        page_fields = {"peak_pages", "current_pages", "pages_created",
+                       "pages_recycled"}
+        a = by_policy["copying"].stats.to_dict()
+        b = by_policy["mark-compact"].stats.to_dict()
+        diff = {k for k in a if a[k] != b[k]}
+        assert diff <= page_fields, {k: (a[k], b[k]) for k in diff}
+
+    def test_generational_actually_ran_minors(self, by_policy):
+        gen = by_policy["generational"].stats
+        assert gen.gc_minor_count > 0
+        for policy in ("copying", "mark-compact"):
+            assert by_policy[policy].stats.gc_minor_count == 0
+
+    def test_copying_reserve_spikes_peak_pages(self):
+        """The to-space reserve is the whole reason ``peak_pages``
+        exists: with ~800 live words collected by a forced major, the
+        copying policy's page peak crests mid-GC above mark-compact's,
+        while ``peak_words`` stays bit-identical."""
+        prog = compile_program(LIVE_LIST_SOURCE, strategy=Strategy.RG)
+        plan = FaultPlan(at=(410,), kind="major")  # the list is (nearly) all live
+        copying = prog.run(gc_policy="copying", fault_plan=plan).stats
+        sliding = prog.run(gc_policy="mark-compact", fault_plan=plan).stats
+        assert copying.peak_words == sliding.peak_words
+        assert copying.peak_pages > sliding.peak_pages
+        assert copying.gc_count == sliding.gc_count == 1
+
+
+# -- cross-backend identity (satellite bugfixes 1 + 2, program level) -------------
+
+
+class TestCrossBackendIdentity:
+    def _all_backends(self, source, **overrides):
+        prog = compile_program(source, strategy=Strategy.RG)
+        return {b: prog.run(backend=b, **overrides) for b in BACKENDS}
+
+    def test_mid_gc_peak_identical_across_backends(self):
+        """Satellite bugfix 2: the peak of this run happens *inside* a
+        collection (the copying to-space reserve).  With peak folding
+        consolidated in ``RunStats.note_current`` the full stats dict —
+        ``peak_words`` and ``peak_pages`` included — is bit-identical
+        across the tree walker, the closure backend, and the VM."""
+        results = self._all_backends(
+            LIVE_LIST_SOURCE,
+            gc_policy="copying",
+            fault_plan=FaultPlan(at=(410,), kind="major"),
+        )
+        dicts = {b: r.stats.to_dict() for b, r in results.items()}
+        assert dicts["tree"] == dicts["closure"] == dicts["bytecode"]
+        assert len({r.value for r in results.values()}) == 1
+        # And the peak really did crest mid-GC: page residency beyond
+        # what the live data alone accounts for.
+        stats = results["tree"].stats
+        assert stats.peak_pages > -(-stats.peak_words // RuntimeFlags().page_words)
+
+    def test_collect_at_every_dealloc_is_clean_and_identical(self):
+        """Satellite bugfix 1: a minor collection fired immediately
+        after every ``letregion`` exit must not be confused by the
+        just-deallocated region's stale ``young_words``.  Runs clean and
+        bit-identical under the generational policy on all backends."""
+        plan = FaultPlan(dealloc_every=1, kind="minor")
+        results = self._all_backends(
+            CHURN_SOURCE, gc_policy="generational", fault_plan=plan
+        )
+        dicts = {b: r.stats.to_dict() for b, r in results.items()}
+        assert dicts["tree"] == dicts["closure"] == dicts["bytecode"]
+        stats = results["tree"].stats
+        assert stats.gc_minor_count > 0
+        assert stats.region_deallocs > 0
+        assert results["tree"].value == sum(range(1, 41))
+
+    def test_dealloc_schedule_identical_across_policies(self):
+        """The dealloc-point schedule composes with every policy."""
+        prog = compile_program(CHURN_SOURCE, strategy=Strategy.RG)
+        plan = FaultPlan(dealloc_every=1, kind="major")
+        outcomes = {
+            policy: (r.value, r.stats.peak_words, r.stats.gc_count)
+            for policy, r in (
+                (p, prog.run(gc_policy=p, fault_plan=plan)) for p in sorted(POLICIES)
+            )
+        }
+        assert len(set(outcomes.values())) == 1, outcomes

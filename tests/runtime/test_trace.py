@@ -179,6 +179,71 @@ class TestDangleEvent:
         assert sink_rg.events[-1]["ev"] == "run_end"
 
 
+class TestGenerationalSchedule:
+    """Satellite of the policy split: ``collect_kind("auto")`` follows
+    the documented :data:`~repro.runtime.gc.MINORS_PER_MAJOR` schedule,
+    and the countdown is surfaced on every generational ``gc_begin``.
+    The expected literal sequence below is the golden form of the
+    docstring — if someone changes the constant or the dispatch without
+    updating the other, this fails."""
+
+    def test_auto_schedule_pinned(self):
+        from repro.runtime.gc import MINORS_PER_MAJOR
+
+        assert MINORS_PER_MAJOR == 4  # the documented constant
+        prog = compile_program(GOLDEN_SOURCE, flags=CompilerFlags(with_prelude=False))
+        sink = RecordingSink()
+        prog.run(
+            tracer=EventBus(sink),
+            gc_policy="generational",
+            fault_plan=FaultPlan(every=1, kind="auto"),
+        )
+        begins = [
+            (e["kind"], e["minors_until_major"])
+            for e in sink.events
+            if e["ev"] == "gc_begin"
+        ]
+        assert len(begins) >= 5  # at least one full cycle plus wraparound
+        expected_cycle = [("minor", 3), ("minor", 2), ("minor", 1), ("major", 4)]
+        for i, got in enumerate(begins):
+            assert got == expected_cycle[i % 4], f"auto collection {i}"
+
+    def test_policy_on_every_gc_begin(self):
+        prog = compile_program(GOLDEN_SOURCE, flags=CompilerFlags(with_prelude=False))
+        for policy in ("copying", "mark-compact"):
+            sink = RecordingSink()
+            prog.run(
+                tracer=EventBus(sink),
+                gc_policy=policy,
+                fault_plan=FaultPlan(**GOLDEN_PLAN),
+            )
+            begins = [e for e in sink.events if e["ev"] == "gc_begin"]
+            assert begins
+            assert all(e["policy"] == policy for e in begins)
+            # Non-generational policies never schedule minors and never
+            # carry the countdown field.
+            assert all(e["kind"] == "major" for e in begins)
+            assert all("minors_until_major" not in e for e in begins)
+            assert sink.events[0]["policy"] == policy
+
+    def test_pinned_kinds_bypass_countdown(self):
+        """A plan-pinned "major" must not consume the auto countdown."""
+        prog = compile_program(GOLDEN_SOURCE, flags=CompilerFlags(with_prelude=False))
+        sink = RecordingSink()
+        prog.run(
+            tracer=EventBus(sink),
+            gc_policy="generational",
+            fault_plan=FaultPlan(every=1, kind="major"),
+        )
+        begins = [e for e in sink.events if e["ev"] == "gc_begin"]
+        assert begins
+        assert all(e["kind"] == "major" for e in begins)
+        # until_major never ticked: every event reports the full window.
+        from repro.runtime.gc import MINORS_PER_MAJOR
+
+        assert all(e["minors_until_major"] == MINORS_PER_MAJOR for e in begins)
+
+
 class TestJsonlGolden:
     def test_jsonl_round_trip(self):
         buffer = io.StringIO()
