@@ -28,6 +28,12 @@ something regenerates it and diffs.  This script is that something:
    verbatim, so registering a policy (or changing a schedule constant
    like ``MINORS_PER_MAJOR``) without updating the docs fails CI.
 
+5. **Serving bench** — the committed ``BENCH_serving.json`` must be a
+   schema-valid ``repro-serving-bench/v1`` document whose SLO gate
+   passed, and its :func:`repro.server.loadgen.serving_table` rendering
+   must appear verbatim in ``docs/serving.md`` — re-running the bench
+   without re-embedding its table fails CI.
+
 Exit codes: 0 consistent, 1 drift found.
 """
 
@@ -116,13 +122,42 @@ def main() -> int:
             "policy-table marker"
         )
 
+    import json
+
+    from repro.server.loadgen import serving_table, validate_document
+
+    bench_path = ROOT / "BENCH_serving.json"
+    if not bench_path.exists():
+        problems.append(
+            "BENCH_serving.json is missing — regenerate it with "
+            "`python scripts/serving_smoke.py --out BENCH_serving.json`"
+        )
+    else:
+        bench = json.loads(bench_path.read_text())
+        for problem in validate_document(bench):
+            problems.append(f"BENCH_serving.json invalid: {problem}")
+        if not bench.get("slo_check", {}).get("passed"):
+            problems.append(
+                "the committed BENCH_serving.json records a failed SLO "
+                "gate — do not commit a red bench run"
+            )
+        serving_doc = (ROOT / "docs" / "serving.md").read_text()
+        if serving_table(bench).rstrip("\n") not in serving_doc:
+            problems.append(
+                "docs/serving.md no longer embeds the committed "
+                "BENCH_serving.json results table verbatim — regenerate "
+                "it with `repro-loadgen --table BENCH_serving.json` and "
+                "paste it under the serving-bench marker"
+            )
+
     for problem in problems:
         print(f"docs-consistency: FAIL: {problem}", file=sys.stderr)
     if not problems:
         print(
             "docs-consistency: ok — figure1 golden, hot-loop walkthrough, "
             f"and all {len(isa.NAMES)} opcodes match docs/bytecode.md; "
-            "policy table matches docs/performance.md"
+            "policy table matches docs/performance.md; serving bench "
+            "table matches docs/serving.md"
         )
     return 1 if problems else 0
 

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""CI serving smoke: the fleet loses nothing and answers bit-identically.
+
+Boots a 2-node :class:`repro.server.fleet.LocalFleet` (real HTTP between
+gateway and nodes, real worker processes, one shared artifact store),
+then:
+
+1. **Ground truth** — runs every Figure 9 program in-process (the same
+   code path as ``repro-run``) to get reference value/stdout/RunStats.
+2. **Chaos wave** — replays a seeded open-loop schedule covering the
+   full 23-program corpus through the gateway, **killing one node
+   mid-schedule**.  Asserts: no lost job, no rejected-after-retries
+   job, and every answer bit-identical to ground truth (value, stdout,
+   RunStats) — failover may change *where* a job runs, never *what* it
+   answers.
+3. **Cold join** — boots a third node against the same artifact store,
+   joins it to the ring, and submits a hot program directly to it:
+   the response must be a ``fleet_hit`` (served from the artifact
+   store, no recompile).
+4. **Warm wave** — replays the schedule again and asserts every
+   response came from some cache layer.
+5. **Bench document** — folds the chaos wave into a
+   ``repro-serving-bench/v1`` document, schema-validates it, and (with
+   ``--out``) writes it — the committed ``BENCH_serving.json`` comes
+   from this script.
+
+Exit codes: 0 ok, 1 any invariant violated, 2 boot failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.registry import BENCHMARKS, benchmark_source  # noqa: E402
+from repro.pipeline import compile_program  # noqa: E402
+from repro.runtime.values import show_value  # noqa: E402
+from repro.server.client import ServerClient  # noqa: E402
+from repro.server.fleet import LocalFleet  # noqa: E402
+from repro.server.loadgen import (  # noqa: E402
+    build_document,
+    poisson_schedule,
+    run_schedule,
+    validate_document,
+)
+
+
+def sequential_reference(names: list[str]) -> dict[str, dict]:
+    reference = {}
+    for name in names:
+        result = compile_program(benchmark_source(name)).run()
+        reference[name] = {
+            "value": show_value(result.value),
+            "stdout": result.output,
+            "stats": result.stats.to_dict(),
+        }
+    return reference
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--workers-per-node", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--rate", type=float, default=6.0,
+                        help="mean arrivals/second of the replayed schedule")
+    parser.add_argument("--kill-after", type=float, default=2.0,
+                        help="seconds into the chaos wave to kill node 0")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the chaos wave's BENCH_serving.json here")
+    args = parser.parse_args(argv)
+
+    names = sorted(BENCHMARKS)
+    sources = {name: benchmark_source(name) for name in names}
+    failures: list[str] = []
+
+    print(f"computing in-process ground truth for {len(names)} programs ...")
+    reference = sequential_reference(names)
+
+    # Every program at least once, arrival order and gaps seeded: the
+    # full corpus in one deterministic open-loop wave.
+    schedule = poisson_schedule(names, rate=args.rate, requests=len(names),
+                                seed=args.seed)
+    covered = {a.program for a in schedule}
+    schedule = (schedule
+                + [type(schedule[0])(at=schedule[-1].at + 0.05 * i,
+                                     program=name)
+                   for i, name in enumerate(sorted(set(names) - covered), 1)])
+
+    # The long health interval is deliberate: the kill must be
+    # discovered *passively*, by forwards failing and failing over —
+    # that is the path under proof.  (An active poll would quietly
+    # route around the corpse and the failover counters would stay 0.)
+    fleet = LocalFleet(nodes=args.nodes,
+                       workers_per_node=args.workers_per_node,
+                       health_interval=30.0)
+    try:
+        try:
+            gateway_url = fleet.start()
+        except Exception as exc:  # noqa: BLE001 - boot is the one 2-exit
+            print(f"fleet failed to boot: {exc}", file=sys.stderr)
+            return 2
+        client = ServerClient(gateway_url, timeout=600)
+        client.wait_ready(timeout=60)
+        stats_before = client.stats()
+
+        print(f"chaos wave: {len(schedule)} arrivals over {len(names)} "
+              f"programs, killing node 0 at t+{args.kill_after}s ...")
+        killer = threading.Timer(args.kill_after, fleet.kill_node, args=(0,))
+        killer.start()
+        samples = run_schedule(gateway_url, schedule, sources, retries=4,
+                               timeout=600)
+        killer.cancel()
+        stats_after = client.stats()
+
+        for sample in samples:
+            name = sample.arrival.program
+            if sample.status != "ok":
+                failures.append(
+                    f"{name}: status={sample.status} error={sample.error} "
+                    f"(jobs must survive a node kill)")
+                continue
+            if sample.value != reference[name]["value"]:
+                failures.append(
+                    f"{name}: value {sample.value!r} != ground truth "
+                    f"{reference[name]['value']!r}")
+        served_by = {s.node for s in samples if s.node}
+        failovers = (stats_after["gateway"]["failovers"]
+                     - stats_before["gateway"]["failovers"])
+        print(f"  {sum(1 for s in samples if s.status == 'ok')}"
+              f"/{len(samples)} ok across nodes {sorted(served_by)}; "
+              f"gateway failovers={failovers}, "
+              f"client retries={sum(s.retries for s in samples)}")
+        if failovers < 1:
+            failures.append(
+                "the node kill produced zero gateway failovers — the "
+                "chaos wave never exercised the failover path (did the "
+                "kill fire after the schedule drained?)")
+        dead = stats_after["nodes"].get(
+            fleet.gateway._node_name(fleet.node_urls[0]), {})
+        if dead.get("healthy", True):
+            failures.append("killed node still marked healthy after the "
+                            "wave — passive failure detection broke")
+
+        # Full-response bit-identity for one representative program per
+        # node actually exercised (stats included — failover must not
+        # perturb RunStats).
+        print("checking RunStats bit-identity through the gateway ...")
+        for name in names[:5]:
+            response = client.run(sources[name])
+            if response["status"] != "ok":
+                failures.append(f"{name}: post-chaos submit failed: "
+                                f"{response.get('error')}")
+                continue
+            for field in ("value", "stdout", "stats"):
+                if response[field] != reference[name][field]:
+                    failures.append(
+                        f"{name}: {field} differs from in-process run\n"
+                        f"  fleet: {response[field]!r}\n"
+                        f"  local: {reference[name][field]!r}")
+
+        print("cold join: new node must serve hot programs from the "
+              "artifact store ...")
+        new_url = fleet.add_node()
+        direct = ServerClient(new_url, timeout=600)
+        direct.wait_ready(timeout=60)
+        hot = direct.run(sources[names[0]])
+        if hot.get("status") != "ok":
+            failures.append(f"cold node failed: {hot.get('error')}")
+        elif not (hot.get("cache") or {}).get("fleet_hit"):
+            failures.append(
+                f"cold node's first hot-program request was not a fleet "
+                f"hit: cache={hot.get('cache')} (it recompiled instead of "
+                f"pulling the shared artifact)")
+
+        print("warm wave: every answer must come from a cache layer ...")
+        warm = run_schedule(gateway_url, schedule, sources, retries=4,
+                            timeout=600, time_scale=0.0)
+        cold = [s.arrival.program for s in warm
+                if s.status != "ok"
+                or not (s.cache or {}).get("memory_hit")
+                and not (s.cache or {}).get("disk_hit")
+                and not (s.cache or {}).get("fleet_hit")]
+        if cold:
+            failures.append(f"warm wave missed every cache layer for: "
+                            f"{sorted(set(cold))}")
+
+        document = build_document(
+            samples,
+            {"kind": "poisson", "rate": args.rate, "seed": args.seed,
+             "requests": len(schedule), "programs": names},
+            {"nodes": args.nodes, "workers_per_node": args.workers_per_node,
+             "gateway": "local"},
+            stats_before=stats_before, stats_after=stats_after,
+            expected={n: reference[n]["value"] for n in names},
+        )
+        problems = validate_document(document)
+        for problem in problems:
+            failures.append(f"bench document invalid: {problem}")
+        if not document["slo_check"]["passed"]:
+            failures.append(f"SLO gate failed: "
+                            f"{document['slo_check']['violations']}")
+        if args.out and not failures:
+            import json
+
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(document, indent=2) + "\n")
+            print(f"wrote {args.out}")
+    finally:
+        fleet.close()
+
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"serving smoke OK: {len(schedule)} jobs survived a node kill "
+          f"bit-identically, cold node fleet-hit, warm wave cache-served, "
+          f"bench document valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

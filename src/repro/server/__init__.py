@@ -34,6 +34,25 @@ This package is the resident serving layer on top of the same pipeline:
   and disk-cache corruption, asserting no job is lost and every answer
   stays bit-identical.
 
+One node is the unit; a **fleet** is N of them behind a front door:
+
+* :mod:`repro.server.fleet` — the consistent-hash ring (virtual
+  nodes, deterministic failover preference order), per-node health
+  state, and :class:`~repro.server.fleet.LocalFleet` (a whole fleet in
+  one process for tests and benches).
+* :mod:`repro.server.gateway` — the asyncio HTTP gateway + the
+  ``repro-gateway`` CLI: route by compile-cache key so hot programs
+  pin to warm nodes, exclude draining/dead nodes, bounded failover on
+  node death, fleet-wide stats roll-up.
+* :mod:`repro.server.artifacts` — the content-addressed fleet compile
+  store (sha256-framed, digest-verified-before-unpickle, quarantining)
+  shared by every node, so one compilation anywhere serves everywhere.
+* :mod:`repro.server.loadgen` — the open-loop load-replay harness +
+  the ``repro-loadgen`` CLI: seeded Poisson / trace-replay schedules
+  over the Figure 9 corpus, SLO-gated against the fleet's own
+  ``/v1/stats`` histograms, exported as ``repro-serving-bench/v1``
+  (``BENCH_serving.json``).
+
 See ``docs/serving.md`` for the architecture, wire schema, and ops
 runbook.
 """
@@ -41,5 +60,16 @@ runbook.
 from .app import ReproServer, ServerConfig
 from .chaos import ChaosPlan
 from .client import ServerClient
+from .fleet import HashRing, LocalFleet
+from .gateway import Gateway, GatewayConfig
 
-__all__ = ["ReproServer", "ServerConfig", "ServerClient", "ChaosPlan"]
+__all__ = [
+    "ReproServer",
+    "ServerConfig",
+    "ServerClient",
+    "ChaosPlan",
+    "HashRing",
+    "LocalFleet",
+    "Gateway",
+    "GatewayConfig",
+]

@@ -70,6 +70,12 @@ class ServerConfig:
     queue_capacity: int = 32
     #: On-disk compile cache directory (``None`` = memory-only workers).
     cache_dir: Optional[str] = None
+    #: Fleet-wide content-addressed artifact store directory shared by
+    #: every node (``None`` = this node is not part of a fleet).
+    artifact_dir: Optional[str] = None
+    #: Operator-facing node name (defaults to ``host:port`` after bind);
+    #: the gateway reports it in ``X-Repro-Node`` attribution.
+    node_name: Optional[str] = None
     #: Default per-job watchdog when the request sets no deadline.
     job_timeout_seconds: float = 120.0
     #: Worker start method (``spawn`` is the safe default under threads).
@@ -91,7 +97,7 @@ class ReproServer:
             execute_job,
             size=config.workers,
             initializer=init_worker,
-            initargs=(config.cache_dir,),
+            initargs=(config.cache_dir, config.artifact_dir),
             job_timeout=config.job_timeout_seconds,
             mp_context=config.mp_context,
         )
@@ -198,19 +204,31 @@ class ReproServer:
             "live": True,
             "ready": not draining,
             "draining": draining,
+            "node": self.node_name,
             "workers": {"size": self.pool.size, "busy": self.pool.busy},
             "uptime_seconds": round(time.monotonic() - self._started, 3),
         }
         return (200 if body["ready"] else 503), body
 
+    @property
+    def node_name(self) -> str:
+        if self.config.node_name:
+            return self.config.node_name
+        if self._httpd is not None:
+            host, port = self._httpd.server_address[:2]
+            return f"{host}:{port}"
+        return f"{self.config.host}:{self.config.port}"
+
     def stats_snapshot(self) -> dict:
         return {
             "schema": PROTOCOL,
+            "node": self.node_name,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "config": {
                 "workers": self.config.workers,
                 "queue_capacity": self.config.queue_capacity,
                 "cache_dir": self.config.cache_dir,
+                "artifact_dir": self.config.artifact_dir,
                 "job_timeout_seconds": self.config.job_timeout_seconds,
             },
             "scheduler": self.scheduler.snapshot(),
@@ -366,6 +384,14 @@ def main(argv: Optional[list] = None) -> int:
                              "--no-disk-cache disables)")
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="run workers memory-only (no warm restarts)")
+    parser.add_argument("--artifact-dir", default=None, metavar="DIR",
+                        help="fleet-wide content-addressed artifact store "
+                             "shared by every node (default: none — this "
+                             "node caches only for itself)")
+    parser.add_argument("--name", default=None, metavar="NODE",
+                        help="node name reported in health/stats and used "
+                             "by gateways for X-Repro-Node attribution "
+                             "(default host:port)")
     parser.add_argument("--job-timeout", type=float, default=120.0,
                         metavar="SECONDS",
                         help="watchdog for jobs with no deadline (default 120)")
@@ -391,6 +417,8 @@ def main(argv: Optional[list] = None) -> int:
         workers=args.workers,
         queue_capacity=args.queue,
         cache_dir=cache_dir,
+        artifact_dir=args.artifact_dir,
+        node_name=args.name,
         job_timeout_seconds=args.job_timeout,
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
@@ -398,7 +426,9 @@ def main(argv: Optional[list] = None) -> int:
     host, port = server.start()
     print(f"repro-serve: listening on http://{host}:{port} "
           f"({args.workers} workers, queue {args.queue}, "
-          f"cache {cache_dir or 'memory-only'})",
+          f"cache {cache_dir or 'memory-only'}"
+          + (f", artifacts {args.artifact_dir}" if args.artifact_dir else "")
+          + ")",
           file=sys.stderr, flush=True)
     try:
         while True:

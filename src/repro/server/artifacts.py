@@ -1,0 +1,159 @@
+"""The fleet-wide content-addressed compile-artifact store.
+
+One compilation should serve the whole fleet.  The per-node
+:class:`~repro.server.diskcache.DiskCompileCache` already shares work
+between sibling workers of *one* node; :class:`ArtifactStore` is the
+layer underneath shared by **every** node: a directory (typically on
+shared storage) of digest-verified compile artifacts keyed by the same
+content address the in-memory LRU and the node disk cache use
+(:func:`repro.cache.cache_key` — sha256 of the source plus every
+compilation-relevant flag).  The lookup ladder a worker climbs is
+
+    worker LRU  ->  node disk cache  ->  fleet artifact store  ->  compile
+
+and every layer is write-through on a miss below it, so
+
+* a program compiled anywhere is a *fleet hit* everywhere else, and
+* a cold node joining the ring serves its first hot-program request
+  without recompiling — it pulls the artifact, promotes it into its own
+  disk cache and LRU, and is warm from the second request on.
+
+The storage discipline is deliberately the one DiskCompileCache v2
+already proved under chaos: sha256-framed entries verified **before**
+a single byte is unpickled, corrupt entries quarantined (bounded, with
+eviction counting) and self-healed by the next compile, foreign formats
+unlinked, atomic writes, and the same private-directory trust model —
+an artifact store on a world-writable mount is refused, not trusted.
+The subclass adds the fleet-facing surface: stable content addresses
+(:meth:`ArtifactStore.address_of`) for logging and cross-node
+attribution, presence probes that do not count as lookups, and a
+snapshot labelled as the fleet layer for the stats endpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from typing import TYPE_CHECKING, Optional
+
+from .diskcache import DiskCompileCache, _filename
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline import CompiledProgram
+
+__all__ = ["ArtifactStore", "open_store"]
+
+
+class ArtifactStore(DiskCompileCache):
+    """A :class:`DiskCompileCache` in fleet position: same framing,
+    digest verification, quarantine and self-healing discipline, but
+    shared by every node of a fleet rather than private to one.
+
+    The separation is semantic, not mechanical: per-layer hit accounting
+    (``fleet_hit`` vs ``disk_hit`` in wire responses, ``fleet_hits`` in
+    the metrics registry) only works if the two layers are distinct
+    objects with distinct directories, and operational blast radii
+    differ — wiping a node's disk cache costs that node some recompiles,
+    wiping the artifact store costs the *fleet* exactly one compile per
+    key, done by whichever node sees the key first.
+    """
+
+    @staticmethod
+    def address_of(key: tuple) -> str:
+        """The content address (hex sha256) an entry for ``key`` is
+        stored under — the file name stem, stable across processes and
+        hosts, usable in logs to watch one artifact travel the fleet."""
+        return _filename(key)[: -len(".pkl")]
+
+    def contains(self, key: tuple) -> bool:
+        """Presence probe (no read, no counter): does the store hold an
+        entry for ``key``?  A torn or corrupt entry still answers True —
+        only a real :meth:`get_ex` verifies the digest."""
+        return (self.root / _filename(key)).is_file()
+
+    def digest_of(self, key: tuple) -> Optional[str]:
+        """The sha256 of the stored payload as recorded in the entry's
+        frame header (``None`` when absent or unframed) — lets a node
+        compare artifact identity with a sibling without shipping the
+        payload."""
+        path = self.root / _filename(key)
+        try:
+            with open(path, "rb") as handle:
+                header = handle.readline(256)
+        except OSError:
+            return None
+        parts = header.strip().split(b" ", 1)
+        if len(parts) != 2:
+            return None
+        try:
+            return parts[1].decode("ascii")
+        except UnicodeDecodeError:
+            return None
+
+    def verify_all(self) -> dict:
+        """Walk every entry and verify its digest without unpickling
+        anything (an operator scrub): returns counts of verified and
+        quarantined entries.  Detected corruption is handled exactly as
+        a lookup would — quarantine + eviction pruning — so a scrub
+        leaves the store clean."""
+        verified = 0
+        quarantined = 0
+        for path in sorted(self.root.glob("*.pkl")):
+            try:
+                blob = path.read_bytes()
+            except OSError:  # pragma: no cover - raced with a sibling
+                continue
+            payload_and_status = _verify_frame(blob)
+            if payload_and_status:
+                verified += 1
+            else:
+                from .diskcache import CORRUPT
+
+                self._discard(path, CORRUPT)
+                quarantined += 1
+        return {"verified": verified, "quarantined": quarantined}
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        snap["kind"] = "artifact-store"
+        snap["root"] = str(self.root)
+        return snap
+
+
+def _verify_frame(blob: bytes) -> bool:
+    """Frame + digest check without unpickling (scrub helper)."""
+    from .diskcache import _MAGIC, FORMAT_VERSION
+
+    if not blob.startswith(_MAGIC):
+        return False
+    newline = blob.find(b"\n", 0, 256)
+    if newline < 0:
+        return False
+    try:
+        version_bytes, digest = blob[len(_MAGIC):newline].split(b" ", 1)
+        if int(version_bytes) != FORMAT_VERSION:
+            return False
+    except ValueError:
+        return False
+    payload = blob[newline + 1:]
+    return hashlib.sha256(payload).hexdigest().encode("ascii") == digest
+
+
+def open_store(path: Optional[str]) -> Optional[ArtifactStore]:
+    """Open the fleet artifact store at ``path``, degrading to ``None``
+    (with a stderr warning) when the directory cannot be trusted or
+    created — a hostile or broken shared mount must cost the fleet its
+    shared cache, never the service (the same degradation discipline as
+    the node disk cache in :func:`repro.server.worker.init_worker`)."""
+    if not path:
+        return None
+    try:
+        return ArtifactStore(path)
+    except OSError as exc:
+        print(
+            f"repro-serve worker: fleet artifact store disabled ({exc}); "
+            f"falling back to node-local caching only",
+            file=sys.stderr,
+            flush=True,
+        )
+        return None

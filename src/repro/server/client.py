@@ -57,12 +57,16 @@ class ServerUnavailable(Exception):
 @dataclass
 class RetryTrace:
     """How one logical submission went: the number of attempts made, the
-    backoff waits slept between them, and the reason for each retry
-    (a wire status, or ``"unavailable"`` for transport errors)."""
+    backoff waits slept between them, the reason for each retry
+    (a wire status, or ``"unavailable"`` for transport errors), and —
+    for gateway-routed submissions — which node answered (the
+    ``X-Repro-Node`` header / ``node`` response field; ``None`` when
+    talking to a single node directly)."""
 
     attempts: int = 1
     waits: list = field(default_factory=list)
     reasons: list = field(default_factory=list)
+    node: Optional[str] = None
 
     @property
     def retries(self) -> int:
@@ -105,6 +109,13 @@ class ServerClient:
 
     def _request(self, method: str, path: str, body: Optional[dict] = None,
                  headers: Optional[dict] = None) -> dict:
+        return self._request_ex(method, path, body, headers)[0]
+
+    def _request_ex(self, method: str, path: str, body: Optional[dict] = None,
+                    headers: Optional[dict] = None) -> tuple[dict, dict]:
+        """One HTTP exchange; returns ``(wire response, response headers)``
+        with header names lower-cased — the gateway's ``X-Repro-Node``
+        routing attribution rides on the headers."""
         url = self.base_url + path
         data = None if body is None else json.dumps(body).encode("utf-8")
         all_headers = {"Content-Type": "application/json"}
@@ -115,13 +126,15 @@ class ServerClient:
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 payload = resp.read()
+                resp_headers = {k.lower(): v for k, v in resp.headers.items()}
         except urllib.error.HTTPError as exc:
             # 4xx/5xx with a wire-protocol body (rejection, invalid
             # request, draining health) is a *response*, not a transport
             # failure.
             payload = exc.read()
+            resp_headers = {k.lower(): v for k, v in (exc.headers or {}).items()}
             try:
-                return json.loads(payload)
+                return json.loads(payload), resp_headers
             except ValueError:
                 raise ServerUnavailable(
                     f"{method} {url}: HTTP {exc.code} with non-JSON body"
@@ -129,7 +142,7 @@ class ServerClient:
         except (urllib.error.URLError, OSError, TimeoutError) as exc:
             raise ServerUnavailable(f"{method} {url}: {exc}") from exc
         try:
-            return json.loads(payload)
+            return json.loads(payload), resp_headers
         except ValueError as exc:
             raise ServerUnavailable(f"{method} {url}: non-JSON response") from exc
 
@@ -158,7 +171,8 @@ class ServerClient:
             headers = {"X-Repro-Attempt": str(attempt)}
             retry_after = None
             try:
-                response = self._request("POST", "/v1/run", request, headers)
+                response, resp_headers = self._request_ex(
+                    "POST", "/v1/run", request, headers)
             except ServerUnavailable:
                 if attempt > self.retries:
                     raise
@@ -167,6 +181,8 @@ class ServerClient:
                 status = response.get("status")
                 if status not in RETRYABLE_STATUSES or attempt > self.retries:
                     trace.attempts = attempt
+                    trace.node = (resp_headers.get("x-repro-node")
+                                  or response.get("node"))
                     return response, trace
                 reason = status
                 retry_after = response.get("retry_after")
@@ -238,6 +254,14 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("file", help="MiniML source file (or - for stdin)")
     parser.add_argument("--url", default="http://127.0.0.1:8752",
                         help="server base URL (default http://127.0.0.1:8752)")
+    parser.add_argument("--gateway", default=None, metavar="URL",
+                        help="submit via a repro-gateway fleet front door "
+                             "instead of a single node (overrides --url); "
+                             "the gateway routes by compile-cache key and "
+                             "reports the serving node in X-Repro-Node")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print routing attribution (which node served "
+                             "the request) and retry details to stderr")
     parser.add_argument("--strategy", default="rg",
                         choices=[s.value for s in Strategy])
     parser.add_argument("--spurious-mode", default="secondary",
@@ -304,7 +328,7 @@ def main(argv: Optional[list] = None) -> int:
         tenant=args.tenant,
     )
 
-    client = ServerClient(args.url, timeout=args.timeout,
+    client = ServerClient(args.gateway or args.url, timeout=args.timeout,
                           retries=args.retries,
                           retry_max_wait=args.retry_max_wait)
     try:
@@ -316,6 +340,8 @@ def main(argv: Optional[list] = None) -> int:
         print(f"[retry] {retry_trace.retries} retransmission(s) "
               f"({', '.join(retry_trace.reasons)}), "
               f"max wait {retry_trace.max_wait:.2f}s", file=sys.stderr)
+    if args.verbose and retry_trace.node:
+        print(f"[route] served by node {retry_trace.node}", file=sys.stderr)
 
     if args.json:
         print(json.dumps(response, indent=2))

@@ -22,7 +22,9 @@ truncated write from a crashed process, a chaos-injected corruption) is
 moved into a ``quarantine/`` subdirectory — preserved for forensics,
 never read again — and counted in ``corrupt_quarantined``; the next
 compile of that key simply re-stores a good entry over the vacated
-name.  An entry in an older or unrecognized format is counted in
+name.  The quarantine itself is bounded: only the newest
+``max_quarantine`` entries (default :data:`MAX_QUARANTINE`) are kept,
+older ones are evicted and counted in ``quarantine_evictions``.  An entry in an older or unrecognized format is counted in
 ``format_mismatch`` and unlinked (there is nothing to preserve — the
 format bump already says its layout is stale).
 
@@ -63,6 +65,7 @@ __all__ = [
     "CacheDirectoryError",
     "DiskCompileCache",
     "FORMAT_VERSION",
+    "MAX_QUARANTINE",
     "HIT",
     "MISS",
     "CORRUPT",
@@ -83,6 +86,13 @@ _MAGIC = b"repro-diskcache/"
 
 #: Subdirectory corrupt entries are moved into (never read back).
 QUARANTINE_DIR = "quarantine"
+
+#: Default cap on preserved quarantined entries.  Quarantine exists for
+#: forensics, not archival: without a cap, sustained bit rot (or a chaos
+#: plan in a loop) grows the directory without bound.  The newest
+#: ``max_quarantine`` entries are kept; older ones are evicted and
+#: counted.
+MAX_QUARANTINE = 32
 
 #: Load statuses reported by :meth:`DiskCompileCache.get_ex`.
 HIT = "hit"
@@ -157,17 +167,20 @@ class DiskCompileCache:
     directory, one file per :func:`repro.cache.cache_key`, each framed
     with a version + sha256 header."""
 
-    def __init__(self, root: os.PathLike | str) -> None:
+    def __init__(self, root: os.PathLike | str,
+                 max_quarantine: int = MAX_QUARANTINE) -> None:
         self.root = Path(root)
         self.root.mkdir(mode=0o700, parents=True, exist_ok=True)
         _check_private(self.root)
         self._lock = threading.Lock()
+        self.max_quarantine = max(0, int(max_quarantine))
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.errors = 0
         self.corrupt_quarantined = 0
         self.format_mismatches = 0
+        self.quarantine_evictions = 0
 
     # -- load ----------------------------------------------------------------
 
@@ -217,6 +230,7 @@ class DiskCompileCache:
                 os.replace(path, qdir / path.name)
             except OSError:  # pragma: no cover - raced or read-only dir
                 pass
+            self._prune_quarantine(qdir)
         else:
             try:
                 os.unlink(path)
@@ -230,6 +244,30 @@ class DiskCompileCache:
             else:
                 self.format_mismatches += 1
         return status
+
+    def _prune_quarantine(self, qdir: Path) -> None:
+        """Keep only the newest ``max_quarantine`` quarantined entries
+        (by mtime, name as a deterministic tie-break) so the forensic
+        buffer cannot grow without bound; each deletion is counted as a
+        ``quarantine_eviction``.  Racing siblings may each try to unlink
+        the same stale file — only the winner counts it."""
+        try:
+            entries = []
+            for entry in qdir.glob("*.pkl"):
+                try:
+                    entries.append((entry.stat().st_mtime, entry.name, entry))
+                except OSError:  # pragma: no cover - raced
+                    continue
+            entries.sort(reverse=True)
+        except OSError:  # pragma: no cover - dir vanished
+            return
+        for _, _, stale in entries[self.max_quarantine:]:
+            try:
+                os.unlink(stale)
+            except OSError:  # pragma: no cover - raced sibling won
+                continue
+            with self._lock:
+                self.quarantine_evictions += 1
 
     # -- store ---------------------------------------------------------------
 
@@ -276,4 +314,5 @@ class DiskCompileCache:
                 "corrupt_quarantined": self.corrupt_quarantined,
                 "format_mismatch": self.format_mismatches,
                 "quarantine_dir_entries": self.quarantined_entries(),
+                "quarantine_evictions": self.quarantine_evictions,
             }

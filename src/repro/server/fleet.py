@@ -1,0 +1,322 @@
+"""Fleet topology: the consistent-hash ring and the node directory.
+
+``repro.server`` up to PR 6 is one node: one scheduler, one worker
+pool, one disk cache.  A fleet is N of those behind a gateway, and the
+piece that makes a fleet better than N independent nodes is *placement*:
+requests are routed by consistent hash of the **compile-cache key**
+(sha256 of the source plus every compilation-relevant flag — the same
+content address every cache layer uses), so repeat submissions of a
+program land on the node whose worker LRUs and disk cache are already
+hot.  Adding or removing a node remaps only ~1/N of the key space
+(the consistent-hashing contract), so scaling the fleet never causes a
+fleet-wide cold start — and whatever does move cold-starts against the
+shared :mod:`~repro.server.artifacts` store, not against the compiler.
+
+:class:`HashRing` is the classic construction: each node is hashed onto
+the ring at ``vnodes`` pseudo-random points (sha256 of ``node#i``), a
+key belongs to the first node point clockwise from the key's own hash.
+Determinism matters more than usual here — the chaos/failover proofs
+replay schedules against the ring — so the ring has **no** randomness
+beyond sha256 and no dependence on insertion order.
+
+:class:`NodeState` is the gateway's per-node health book-keeping
+(routing counts, consecutive failures, draining flag), kept separate
+from the ring so membership (who *could* serve) and health (who *can
+right now*) compose: routing excludes sick nodes without changing the
+ring, so a node's keys come straight back to it on recovery.
+
+:class:`LocalFleet` boots an entire fleet in one process — N
+:class:`~repro.server.app.ReproServer` nodes with private disk caches,
+one shared artifact store, one gateway — and is what the tests, the
+serving smoke, and ``repro-loadgen --fleet`` all drive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["HashRing", "NodeState", "route_key", "LocalFleet", "DEFAULT_VNODES"]
+
+#: Virtual nodes per physical node.  More vnodes = smoother key
+#: distribution (relative spread ~ 1/sqrt(vnodes)) at O(vnodes * N)
+#: ring size; 128 keeps the chi-square uniformity test comfortably
+#: bounded for small fleets.
+DEFAULT_VNODES = 128
+
+
+def _point(label: str) -> int:
+    """A ring position: the top 64 bits of sha256.  Stable across
+    processes, hosts, and Python versions (no ``hash()``)."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over node names with virtual nodes.
+
+    ``node_for(key)`` is total for a non-empty ring; ``preference(key)``
+    is the deterministic failover order — the distinct nodes in ring
+    order starting at the key's position, which is exactly the order a
+    gateway should try nodes in when the primary is down (each fallback
+    is itself consistent: every gateway replica computes the same one).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("HashRing needs vnodes >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: str) -> bool:
+        """Add a node (``vnodes`` ring points).  Returns ``False`` when
+        already present."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{node}#{i}"), node))
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove a node and its ring points.  Returns ``False`` when it
+        was not a member."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        self._points = [pt for pt in self._points if pt[1] != node]
+        return True
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def node_for(self, key: str, exclude: Iterable[str] = ()) -> Optional[str]:
+        """The owner of ``key``: the first node point at or clockwise
+        from the key's hash, skipping ``exclude``\\ d nodes.  ``None``
+        only when every member is excluded (or the ring is empty)."""
+        excluded = set(exclude)
+        start = bisect.bisect_left(self._points, (_point(key), ""))
+        n = len(self._points)
+        for step in range(n):
+            _, node = self._points[(start + step) % n]
+            if node not in excluded:
+                return node
+        return None
+
+    def preference(self, key: str) -> list[str]:
+        """Every member exactly once, in failover order for ``key``:
+        the owner first, then each next *distinct* node clockwise."""
+        seen: list[str] = []
+        start = bisect.bisect_left(self._points, (_point(key), ""))
+        n = len(self._points)
+        for step in range(n):
+            _, node = self._points[(start + step) % n]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+
+@dataclass
+class NodeState:
+    """One backend node as the gateway sees it.  ``name`` is the ring
+    identity (and the ``X-Repro-Node`` attribution value); ``url`` is
+    where to reach it."""
+
+    name: str
+    url: str
+    healthy: bool = True
+    draining: bool = False
+    consecutive_failures: int = 0
+    routed: int = 0
+    failed: int = 0
+    failovers_absorbed: int = 0
+    last_error: Optional[str] = None
+    last_checked: float = field(default=0.0)
+
+    @property
+    def routable(self) -> bool:
+        """Should new requests be sent here?  Draining nodes are
+        excluded (they would 503 anyway), dead nodes until a health
+        check revives them."""
+        return self.healthy and not self.draining
+
+    def mark_ok(self, draining: bool = False) -> None:
+        self.healthy = True
+        self.draining = draining
+        self.consecutive_failures = 0
+        self.last_error = None
+        self.last_checked = time.monotonic()
+
+    def mark_failed(self, error: str) -> None:
+        self.healthy = False
+        self.consecutive_failures += 1
+        self.last_error = error
+        self.last_checked = time.monotonic()
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "url": self.url,
+            "healthy": self.healthy,
+            "draining": self.draining,
+            "consecutive_failures": self.consecutive_failures,
+            "routed": self.routed,
+            "failed": self.failed,
+            "failovers_absorbed": self.failovers_absorbed,
+            "last_error": self.last_error,
+        }
+
+
+def route_key(request: object) -> str:
+    """The routing key of a wire request: the compile-cache key
+    (sha256 of source + compilation flags), so requests for the same
+    compilation always hash to the same node and pin its warm caches.
+    Malformed requests fall back to hashing whatever source text is
+    there — they still route *consistently* (and the node will 400 them
+    with the real validation message)."""
+    if isinstance(request, dict):
+        source = request.get("source")
+        if isinstance(source, str):
+            try:
+                from ..cache import cache_key
+                from .protocol import request_flags
+
+                return repr(cache_key(source, request_flags(request)))
+            except Exception:  # noqa: BLE001 - bad flags: route by source
+                return "source:" + hashlib.sha256(
+                    source.encode("utf-8")).hexdigest()
+    return "invalid-request"
+
+
+class LocalFleet:
+    """A whole fleet in one process: N nodes (each its own worker pool
+    and private disk cache), one shared artifact store, one gateway.
+
+    This is the test/bench harness shape — production runs one
+    ``repro-serve`` per host plus ``repro-gateway`` — but it is the
+    *same* code: real HTTP between gateway and nodes, real worker
+    processes, a real on-disk artifact store.
+    """
+
+    def __init__(self, nodes: int = 2, workers_per_node: int = 2,
+                 queue_capacity: int = 64, base_dir: Optional[str] = None,
+                 job_timeout_seconds: float = 120.0,
+                 tenant_rate: Optional[float] = None,
+                 tenant_burst: float = 8.0,
+                 failover_retries: int = 2,
+                 health_interval: float = 0.5) -> None:
+        if nodes < 1:
+            raise ValueError("LocalFleet needs at least one node")
+        self.n_nodes = nodes
+        self.workers_per_node = workers_per_node
+        self.queue_capacity = queue_capacity
+        self.job_timeout_seconds = job_timeout_seconds
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.failover_retries = failover_retries
+        self.health_interval = health_interval
+        self._own_dir = base_dir is None
+        self.base_dir = Path(base_dir or tempfile.mkdtemp(prefix="repro-fleet-"))
+        self.artifact_dir = str(self.base_dir / "artifacts")
+        self.servers: list = []
+        self.node_urls: list[str] = []
+        self.gateway = None
+        self.gateway_url: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> str:
+        """Boot every node, then the gateway over them; returns the
+        gateway base URL."""
+        from .app import ReproServer, ServerConfig
+
+        for i in range(self.n_nodes):
+            self._boot_node(ReproServer, ServerConfig, i)
+        from .gateway import Gateway, GatewayConfig
+
+        self.gateway = Gateway(GatewayConfig(
+            port=0,
+            nodes=tuple(self.node_urls),
+            failover_retries=self.failover_retries,
+            health_interval=self.health_interval,
+        ))
+        host, port = self.gateway.start()
+        self.gateway_url = f"http://{host}:{port}"
+        return self.gateway_url
+
+    def _boot_node(self, server_cls, config_cls, index: int) -> str:
+        cache_dir = self.base_dir / f"node{index}-cache"
+        server = server_cls(config_cls(
+            port=0,
+            workers=self.workers_per_node,
+            queue_capacity=self.queue_capacity,
+            cache_dir=str(cache_dir),
+            artifact_dir=self.artifact_dir,
+            node_name=f"node{index}",
+            job_timeout_seconds=self.job_timeout_seconds,
+            tenant_rate=self.tenant_rate,
+            tenant_burst=self.tenant_burst,
+        ))
+        host, port = server.start()
+        url = f"http://{host}:{port}"
+        self.servers.append(server)
+        self.node_urls.append(url)
+        return url
+
+    def add_node(self) -> str:
+        """Boot one more node against the same artifact store and join
+        it to the gateway's ring (the cold-node-join story: its first
+        hot-program request is a fleet-store hit, not a recompile)."""
+        from .app import ReproServer, ServerConfig
+
+        url = self._boot_node(ReproServer, ServerConfig, len(self.servers))
+        if self.gateway is not None:
+            self.gateway.join(url)
+        return url
+
+    def kill_node(self, index: int) -> str:
+        """Hard-stop one node (chaos-style: in-flight requests die with
+        the connection).  The gateway discovers the death passively on
+        the next forward (or actively on the next health poll) and fails
+        the node's keys over to ring successors."""
+        server = self.servers[index]
+        url = self.node_urls[index]
+        server.close()
+        return url
+
+    def close(self) -> None:
+        if self.gateway is not None:
+            self.gateway.close()
+            self.gateway = None
+        for server in self.servers:
+            try:
+                server.close()
+            except Exception:  # noqa: BLE001 - already killed is fine
+                pass
+        self.servers.clear()
+
+    def __enter__(self) -> "LocalFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,628 @@
+"""The asyncio HTTP gateway: one front door for a fleet of nodes.
+
+``repro-serve`` handles concurrency with one thread per in-flight
+request, bounded by admission control — right for one node, wrong for a
+fleet front door that must multiplex *thousands* of in-flight requests
+over N nodes: a thread each would be the bottleneck the fleet exists to
+remove.  The gateway is therefore a single-threaded asyncio proxy: each
+connection is a coroutine awaiting its backend, so in-flight count is
+bounded by memory and the nodes' own admission control, not by threads.
+
+Routing is consistent-hash by compile-cache key
+(:func:`repro.server.fleet.route_key`): repeat submissions of one
+program always land on the same node, whose worker LRUs and disk cache
+are hot for exactly that program.  Per-node health is tracked two ways
+— an active poll of ``GET /v1/health`` every ``health_interval`` (also
+how draining nodes are noticed and excluded), and passively: a forward
+that fails at the transport level marks the node dead *immediately* and
+the request fails over to the next node in the key's deterministic ring
+preference order.  Failover is safe for the same reason client retries
+are (PR 6): a compile-and-run job is a pure function of the request, so
+re-sending one whose node died mid-execution cannot change any answer —
+and it is bounded (``failover_retries``) so a sick fleet degrades to
+fast 503s, never to a retry storm.  When every candidate is exhausted
+the gateway answers with the wire rejection ``reason="unreachable"``
+(HTTP 503 + ``Retry-After``), which :class:`~repro.server.client.ServerClient`
+already knows to back off and retry.
+
+Endpoints:
+
+* ``POST /v1/run``    — route by key, forward, failover; the response
+  gains a ``node`` field and an ``X-Repro-Node`` header saying which
+  node answered.
+* ``GET /v1/stats``   — gateway routing/failover counters, per-node
+  state, and a **fleet roll-up**: every node's ``/v1/stats`` fetched
+  live and merged (job counters summed, per-layer cache hits summed,
+  latency/heap histograms bucket-merged with p50/p95/p99 re-derived).
+* ``GET /v1/health``  — 200 while at least one node is routable.
+* ``GET /v1/healthz`` — bare gateway liveness.
+* ``POST /v1/admin/join``/``leave`` — ring membership
+  (``{"node": "http://host:port"}``), for rolling a new node in.
+
+The gateway never parses MiniML and never unpickles anything — it
+hashes, routes, and copies bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .fleet import DEFAULT_VNODES, HashRing, NodeState, route_key
+from .metrics import merge_histogram_snapshots
+from .protocol import PROTOCOL, invalid_response, rejection_response
+
+__all__ = ["GatewayConfig", "Gateway", "main"]
+
+#: Cap on request bodies the gateway will buffer (16 MiB — far above
+#: any real program, small enough that a hostile client cannot balloon
+#: the proxy).
+MAX_BODY_BYTES = 16 << 20
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything ``repro-gateway`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8750
+    #: Backend node base URLs (``http://host:port``).
+    nodes: tuple = ()
+    #: Virtual nodes per physical node on the ring.
+    vnodes: int = DEFAULT_VNODES
+    #: Additional nodes tried after the key's owner fails (transport
+    #: error or draining): bounded failover, ``0`` disables.
+    failover_retries: int = 2
+    #: Seconds between active health polls of each node.
+    health_interval: float = 1.0
+    #: Transport timeout for one forwarded request (covers the node's
+    #: own queueing + execution; the node watchdog fires first).
+    forward_timeout: float = 300.0
+    #: Transport timeout for health/stats polls.
+    probe_timeout: float = 5.0
+
+
+class Gateway:
+    """The assembled gateway: ring + node table + asyncio HTTP."""
+
+    def __init__(self, config: GatewayConfig = GatewayConfig()) -> None:
+        self.config = config
+        self.ring = HashRing(vnodes=config.vnodes)
+        self.nodes: dict[str, NodeState] = {}
+        for url in config.nodes:
+            self._add_node(url)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._addr: Optional[Tuple[str, int]] = None
+        self._started = time.monotonic()
+        # Counters (single event-loop thread: no lock needed).
+        self.requests = 0
+        self.routed = 0
+        self.failovers = 0
+        self.unreachable = 0
+        self.invalid = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def _node_name(self, url: str) -> str:
+        parts = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        return parts.netloc or url
+
+    def _add_node(self, url: str) -> NodeState:
+        if not url.startswith("http"):
+            url = f"http://{url}"
+        name = self._node_name(url)
+        if name in self.nodes:
+            return self.nodes[name]
+        state = NodeState(name=name, url=url.rstrip("/"))
+        self.nodes[name] = state
+        self.ring.add(name)
+        return state
+
+    def _remove_node(self, url_or_name: str) -> bool:
+        name = self._node_name(url_or_name)
+        if name not in self.nodes:
+            return False
+        del self.nodes[name]
+        self.ring.remove(name)
+        return True
+
+    def join(self, url: str) -> None:
+        """Thread-safe membership add (used by tests/ops tooling in the
+        same process; remote operators use ``POST /v1/admin/join``)."""
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self._join_async(url), self._loop).result(timeout=10)
+        else:
+            self._add_node(url)
+
+    async def _join_async(self, url: str) -> None:
+        self._add_node(url)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a background event-loop thread; returns the
+        bound address (useful with ``port=0``)."""
+        started = threading.Event()
+        failure: list[BaseException] = []
+        self._thread = threading.Thread(
+            target=self._run, args=(started, failure), daemon=True,
+            name="repro-gateway",
+        )
+        self._thread.start()
+        if not started.wait(timeout=30) or failure:
+            raise RuntimeError(
+                f"gateway failed to start: {failure[0] if failure else 'timeout'}")
+        assert self._addr is not None
+        return self._addr
+
+    def _run(self, started: threading.Event, failure: list) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve(started))
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            failure.append(exc)
+            started.set()
+        finally:
+            self._loop.close()
+
+    async def _serve(self, started: threading.Event) -> None:
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        sock = server.sockets[0].getsockname()
+        self._addr = (sock[0], sock[1])
+        health = asyncio.create_task(self._health_loop())
+        started.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            health.cancel()
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- backend transport ---------------------------------------------------
+
+    async def _backend_request(
+        self, url: str, method: str, path: str,
+        body: Optional[bytes] = None, headers: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, dict, bytes]:
+        """One HTTP exchange with a node over a fresh connection.
+        Raises ``OSError``/``asyncio.TimeoutError`` on transport
+        failure — the failover triggers."""
+        parts = urllib.parse.urlsplit(url)
+        host, port = parts.hostname, parts.port or 80
+        timeout = timeout or self.config.forward_timeout
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=self.config.probe_timeout)
+        try:
+            lines = [f"{method} {path} HTTP/1.1",
+                     f"Host: {parts.netloc}",
+                     "Connection: close"]
+            for key, value in (headers or {}).items():
+                lines.append(f"{key}: {value}")
+            if body is not None:
+                lines.append("Content-Type: application/json")
+                lines.append(f"Content-Length: {len(body)}")
+            request = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+            writer.write(request + (body or b""))
+            await writer.drain()
+
+            status_line = await asyncio.wait_for(
+                reader.readline(), timeout=timeout)
+            try:
+                status = int(status_line.split()[1])
+            except (IndexError, ValueError):
+                raise OSError(f"malformed status line from {url}: "
+                              f"{status_line[:80]!r}")
+            resp_headers: dict = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                resp_headers[name.strip().lower()] = value.strip()
+            length = resp_headers.get("content-length")
+            if length is not None:
+                payload = await asyncio.wait_for(
+                    reader.readexactly(int(length)), timeout=timeout)
+            else:  # Connection: close framing
+                payload = await asyncio.wait_for(reader.read(), timeout=timeout)
+            return status, resp_headers, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    # -- health --------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.gather(
+                *(self._probe(state) for state in list(self.nodes.values())),
+                return_exceptions=True)
+            await asyncio.sleep(self.config.health_interval)
+
+    async def _probe(self, state: NodeState) -> None:
+        try:
+            status, _, payload = await self._backend_request(
+                state.url, "GET", "/v1/health",
+                timeout=self.config.probe_timeout)
+            draining = False
+            if status == 503:
+                try:
+                    draining = bool(json.loads(payload).get("draining"))
+                except ValueError:
+                    draining = False
+                if not draining:
+                    state.mark_failed(f"health answered HTTP {status}")
+                    return
+            state.mark_ok(draining=draining)
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+            state.mark_failed(str(exc) or type(exc).__name__)
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, path, _ = request_line.decode("ascii").split(None, 2)
+            except ValueError:
+                await self._send_json(writer, 400,
+                                      {"error": "malformed request line"})
+                return
+            headers: dict = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = headers.get("content-length")
+            if length is not None:
+                n = int(length)
+                if n > MAX_BODY_BYTES:
+                    await self._send_json(
+                        writer, 413, {"error": "request body too large"})
+                    return
+                body = await reader.readexactly(n)
+            await self._dispatch(writer, method, path, headers, body)
+        except (OSError, asyncio.IncompleteReadError, ValueError):
+            pass  # client went away or spoke garbage; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, writer, method: str, path: str,
+                        headers: dict, body: bytes) -> None:
+        if method == "POST" and path == "/v1/run":
+            await self._handle_run(writer, headers, body)
+        elif method == "GET" and path == "/v1/stats":
+            await self._send_json(writer, 200, await self.stats_snapshot())
+        elif method == "GET" and path == "/v1/health":
+            status, payload = self.health_snapshot()
+            await self._send_json(writer, status, payload)
+        elif method == "GET" and path == "/v1/healthz":
+            await self._send_json(writer, 200, {"ok": True, "schema": PROTOCOL,
+                                                "gateway": True})
+        elif method == "POST" and path in ("/v1/admin/join", "/v1/admin/leave"):
+            await self._handle_membership(writer, path.rsplit("/", 1)[1], body)
+        else:
+            await self._send_json(writer, 404,
+                                  {"error": f"no such endpoint {path!r}"})
+
+    async def _handle_run(self, writer, headers: dict, body: bytes) -> None:
+        self.requests += 1
+        try:
+            request = json.loads(body or b"null")
+        except ValueError as exc:
+            self.invalid += 1
+            await self._send_json(writer, 400,
+                                  invalid_response(f"bad request body: {exc}"))
+            return
+        key = route_key(request)
+        forward_headers = {}
+        if "x-repro-attempt" in headers:
+            forward_headers["X-Repro-Attempt"] = headers["x-repro-attempt"]
+
+        candidates = self._candidates(key)
+        last_rejection: Optional[Tuple[int, dict]] = None
+        for index, name in enumerate(candidates):
+            state = self.nodes.get(name)
+            if state is None:  # pragma: no cover - raced a leave
+                continue
+            try:
+                status, _, payload = await self._backend_request(
+                    state.url, "POST", "/v1/run", body, forward_headers)
+            except (OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                # Transport death: node is gone (or died mid-job — safe
+                # to re-run elsewhere: the job is a pure function of the
+                # request).  Mark it sick now; the health loop revives it.
+                state.mark_failed(str(exc) or type(exc).__name__)
+                state.failed += 1
+                self.failovers += 1
+                continue
+            try:
+                response = json.loads(payload)
+            except ValueError:
+                state.mark_failed("non-JSON response")
+                state.failed += 1
+                self.failovers += 1
+                continue
+            if status == 503 and isinstance(response, dict):
+                reason = (response.get("error") or {}).get("type")
+                if reason == "Draining":
+                    # The poll just hasn't caught it yet: exclude and
+                    # fail over — a drain must not bounce fleet traffic.
+                    state.mark_ok(draining=True)
+                    self.failovers += 1
+                    last_rejection = (status, response)
+                    continue
+                # Capacity/quota backpressure is an *answer*: the
+                # client must slow down, not the gateway hammer the
+                # next node with load the fleet already refused.
+                last_rejection = (status, response)
+                break
+            if isinstance(response, dict):
+                response["node"] = state.name
+            state.routed += 1
+            if index > 0:
+                state.failovers_absorbed += 1
+            self.routed += 1
+            await self._send_json(writer, status, response,
+                                  {"X-Repro-Node": state.name})
+            return
+
+        if last_rejection is not None:
+            status, response = last_rejection
+            retry_after = response.get("retry_after", 1) if isinstance(
+                response, dict) else 1
+            await self._send_json(writer, status, response,
+                                  {"Retry-After": str(retry_after)})
+            return
+        self.unreachable += 1
+        response = rejection_response(1.0, 0, max(len(self.nodes), 1),
+                                      reason="unreachable")
+        await self._send_json(writer, 503, response, {"Retry-After": "1"})
+
+    def _candidates(self, key: str) -> list[str]:
+        """The bounded failover slate for one request: the key's ring
+        preference order, routable nodes first, capped at
+        ``1 + failover_retries`` attempts.  When *no* node is routable
+        the full preference order is used anyway — passive discovery
+        must get a chance to notice a recovery before we 503."""
+        preference = self.ring.preference(key)
+        routable = [n for n in preference
+                    if n in self.nodes and self.nodes[n].routable]
+        slate = routable or [n for n in preference if n in self.nodes]
+        return slate[: 1 + max(0, self.config.failover_retries)]
+
+    async def _handle_membership(self, writer, op: str, body: bytes) -> None:
+        try:
+            payload = json.loads(body or b"null")
+        except ValueError:
+            payload = None
+        node = payload.get("node") if isinstance(payload, dict) else None
+        if not isinstance(node, str) or not node:
+            await self._send_json(
+                writer, 400, {"ok": False, "op": op,
+                              "error": "body must be {\"node\": \"http://host:port\"}"})
+            return
+        if op == "join":
+            state = self._add_node(node)
+            await self._probe(state)
+            result = {"ok": True, "op": "join", "node": state.name,
+                      "healthy": state.healthy}
+        else:
+            removed = self._remove_node(node)
+            result = {"ok": removed, "op": "leave",
+                      "node": self._node_name(node)}
+        await self._send_json(writer, 200, result)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def health_snapshot(self) -> Tuple[int, dict]:
+        routable = [s.name for s in self.nodes.values() if s.routable]
+        body = {
+            "schema": PROTOCOL,
+            "ok": bool(routable),
+            "live": True,
+            "ready": bool(routable),
+            "gateway": True,
+            "nodes": {name: state.snapshot()
+                      for name, state in sorted(self.nodes.items())},
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+        }
+        return (200 if routable else 503), body
+
+    async def stats_snapshot(self) -> dict:
+        """Gateway counters + per-node state + the live fleet roll-up of
+        every reachable node's ``/v1/stats``."""
+        node_stats = await asyncio.gather(
+            *(self._fetch_stats(state) for state in list(self.nodes.values())),
+            return_exceptions=True)
+        reachable = [s for s in node_stats if isinstance(s, dict)]
+        return {
+            "schema": PROTOCOL,
+            "gateway": {
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "requests": self.requests,
+                "routed": self.routed,
+                "failovers": self.failovers,
+                "unreachable": self.unreachable,
+                "invalid": self.invalid,
+                "ring": {"nodes": list(self.ring.nodes()),
+                         "vnodes": self.ring.vnodes},
+            },
+            "nodes": {name: state.snapshot()
+                      for name, state in sorted(self.nodes.items())},
+            "fleet": self._merge_node_stats(reachable),
+        }
+
+    async def _fetch_stats(self, state: NodeState) -> Optional[dict]:
+        try:
+            status, _, payload = await self._backend_request(
+                state.url, "GET", "/v1/stats",
+                timeout=self.config.probe_timeout)
+            if status != 200:
+                return None
+            doc = json.loads(payload)
+            return doc if isinstance(doc, dict) else None
+        except (OSError, asyncio.TimeoutError, ValueError,
+                asyncio.IncompleteReadError):
+            return None
+
+    @staticmethod
+    def _merge_node_stats(node_stats: list) -> dict:
+        """Fold N node ``/v1/stats`` documents into fleet aggregates:
+        counters sum, histograms bucket-merge (identical boundaries by
+        construction), percentiles re-derive from the merged buckets."""
+        jobs: dict[str, int] = {}
+        cache = {"lookups": 0, "memory_hits": 0, "disk_hits": 0,
+                 "fleet_hits": 0}
+        resilience: dict[str, int] = {}
+        latency = []
+        heap = []
+        for doc in node_stats:
+            metrics = doc.get("metrics", {})
+            for status, count in metrics.get("jobs", {}).items():
+                jobs[status] = jobs.get(status, 0) + count
+            for field in cache:
+                cache[field] += metrics.get("cache", {}).get(field, 0)
+            for field, count in metrics.get("resilience", {}).items():
+                if isinstance(count, (int, float)):
+                    resilience[field] = resilience.get(field, 0) + count
+            if "latency_seconds" in metrics:
+                latency.append(metrics["latency_seconds"])
+            if "peak_words" in metrics:
+                heap.append(metrics["peak_words"])
+        hits = (cache["memory_hits"] + cache["disk_hits"]
+                + cache["fleet_hits"])
+        cache["hit_rate"] = (round(hits / cache["lookups"], 4)
+                             if cache["lookups"] else 0.0)
+        return {
+            "nodes_reporting": len(node_stats),
+            "jobs": dict(sorted(jobs.items())),
+            "cache": cache,
+            "resilience": dict(sorted(resilience.items())),
+            "latency_seconds": merge_histogram_snapshots(latency),
+            "peak_words": merge_histogram_snapshots(heap),
+        }
+
+    # -- plumbing ------------------------------------------------------------
+
+    @staticmethod
+    async def _send_json(writer, status: int, payload: dict,
+                         extra_headers: Optional[dict] = None) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  413: "Payload Too Large",
+                  503: "Service Unavailable"}.get(status, "OK")
+        body = json.dumps(payload).encode("utf-8")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        for key, value in (extra_headers or {}).items():
+            lines.append(f"{key}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+        await writer.drain()
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-gateway",
+        description="Fleet front door: route repro-server/v1 requests over "
+        "N repro-serve nodes by consistent hash of the compile-cache key, "
+        "with health tracking and bounded failover (see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="TCP port (0 = pick a free one; default 8750)")
+    parser.add_argument("--node", action="append", default=[], metavar="URL",
+                        help="backend node base URL (repeat per node, or "
+                             "comma-separate)")
+    parser.add_argument("--failover-retries", type=int, default=2, metavar="N",
+                        help="extra nodes tried after the key's owner fails "
+                             "(default 2; 0 disables failover)")
+    parser.add_argument("--health-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="active health-poll period (default 1.0)")
+    parser.add_argument("--forward-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="transport timeout per forwarded request "
+                             "(default 300)")
+    parser.add_argument("--vnodes", type=int, default=DEFAULT_VNODES,
+                        help=f"virtual nodes per node on the ring "
+                             f"(default {DEFAULT_VNODES})")
+    args = parser.parse_args(argv)
+
+    nodes = tuple(
+        url.strip()
+        for chunk in args.node for url in chunk.split(",") if url.strip())
+    if not nodes:
+        print("error: at least one --node URL is required", file=sys.stderr)
+        return 2
+
+    gateway = Gateway(GatewayConfig(
+        host=args.host,
+        port=args.port,
+        nodes=nodes,
+        vnodes=args.vnodes,
+        failover_retries=args.failover_retries,
+        health_interval=args.health_interval,
+        forward_timeout=args.forward_timeout,
+    ))
+    host, port = gateway.start()
+    print(f"repro-gateway: listening on http://{host}:{port} "
+          f"({len(nodes)} nodes, {args.vnodes} vnodes, "
+          f"failover {args.failover_retries})",
+          file=sys.stderr, flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("repro-gateway: shutting down", file=sys.stderr)
+    finally:
+        gateway.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,690 @@
+"""The load-replay harness + the ``repro-loadgen`` CLI.
+
+Serving benchmarks lie easily.  The classic mistake is the *closed
+loop*: a fixed pool of clients that each wait for a response before
+sending the next request, so whenever the fleet slows down the offered
+load politely slows down with it and tail latency looks great exactly
+when it should look terrible (coordinated omission).  This harness is
+**open loop**: an arrival schedule is fixed *before* the run — either a
+seeded Poisson process or a replayed trace file — and requests are fired
+at their scheduled instants whether or not earlier ones have returned.
+A fleet that cannot keep up accumulates in-flight requests and the tail
+shows it.
+
+A schedule is deterministic data (:class:`Arrival` rows), so the same
+seed replays the same byte-identical request sequence against any
+fleet — that is what makes chaos results (``kill a node mid-schedule,
+lose nothing``) comparable across runs, and what lets the serving smoke
+diff fleet answers against in-process ground truth.
+
+Latency is measured twice, on purpose:
+
+* **client-side** — wall time from scheduled send to response, computed
+  from the raw samples here (includes queueing, retries, failover);
+* **server-side** — the fleet's own cumulative latency histograms from
+  ``GET /v1/stats``, snapshotted before and after the wave and
+  differenced (:func:`~repro.server.metrics.histogram_delta`), so the
+  percentiles the SLO gate checks are the *same numbers an operator's
+  dashboard shows*, not a second client-side derivation that could
+  drift from it.
+
+Results export as a ``repro-serving-bench/v1`` document
+(:data:`SCHEMA`), schema-checked by :func:`validate_document` (CI runs
+``repro-loadgen --validate`` on the committed ``BENCH_serving.json``)
+and rendered to the docs table by :func:`serving_table`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .client import ServerClient, ServerUnavailable
+from .metrics import histogram_delta, percentiles_from_snapshot
+from .protocol import make_request
+
+__all__ = [
+    "SCHEMA",
+    "Arrival",
+    "poisson_schedule",
+    "trace_schedule",
+    "write_trace",
+    "run_schedule",
+    "build_document",
+    "validate_document",
+    "check_slos",
+    "serving_table",
+    "DEFAULT_SLOS",
+    "main",
+]
+
+SCHEMA = "repro-serving-bench/v1"
+
+#: Default service-level objectives the gate checks when the operator
+#: declares none.  Latency bounds are generous on purpose: the committed
+#: bench runs on whatever CI hardware shows up, and the *regression*
+#: signal is the error/loss SLOs (which must be exactly zero) plus the
+#: schema-checked presence of the latency numbers, not a microbenchmark
+#: race against the runner.
+DEFAULT_SLOS = {
+    "p50_seconds": 30.0,
+    "p95_seconds": 60.0,
+    "p99_seconds": 120.0,
+    "error_rate": 0.0,
+    "lost_rate": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: fire at ``at`` seconds after wave start,
+    submitting ``program`` on behalf of ``tenant``."""
+
+    at: float
+    program: str
+    tenant: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        row: dict = {"at": round(self.at, 6), "program": self.program}
+        if self.tenant is not None:
+            row["tenant"] = self.tenant
+        return row
+
+    @staticmethod
+    def from_dict(row: dict) -> "Arrival":
+        return Arrival(at=float(row["at"]), program=str(row["program"]),
+                       tenant=row.get("tenant"))
+
+
+def poisson_schedule(
+    programs: Sequence[str],
+    rate: float,
+    requests: int,
+    seed: int = 0,
+    tenants: Optional[Sequence[str]] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> list[Arrival]:
+    """A seeded open-loop Poisson arrival schedule: ``requests``
+    arrivals at mean ``rate`` per second (exponential inter-arrival
+    gaps), each picking a program (optionally ``weights``\\ ed — a
+    per-tenant mix) and a tenant uniformly.  Same seed, same schedule,
+    on every host and Python version."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if not programs:
+        raise ValueError("programs must be non-empty")
+    rng = random.Random(seed)
+    now = 0.0
+    schedule = []
+    for _ in range(requests):
+        now += rng.expovariate(rate)
+        program = (rng.choices(list(programs), weights=list(weights))[0]
+                   if weights else rng.choice(list(programs)))
+        tenant = rng.choice(list(tenants)) if tenants else None
+        schedule.append(Arrival(at=now, program=program, tenant=tenant))
+    return schedule
+
+
+def trace_schedule(path: str) -> list[Arrival]:
+    """Load a JSONL trace file (one :meth:`Arrival.to_dict` per line),
+    sorted by arrival time so a hand-edited trace still replays as an
+    arrival process."""
+    schedule = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                schedule.append(Arrival.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad trace row: {exc}")
+    schedule.sort(key=lambda a: a.at)
+    return schedule
+
+
+def write_trace(schedule: Iterable[Arrival], path: str) -> None:
+    """Write a schedule as a JSONL trace file (the replay input)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for arrival in schedule:
+            handle.write(json.dumps(arrival.to_dict()) + "\n")
+
+
+@dataclass
+class _Sample:
+    """One completed (or lost) request, as measured client-side."""
+
+    arrival: Arrival
+    status: str = "lost"
+    latency: float = 0.0
+    late_by: float = 0.0
+    node: Optional[str] = None
+    value: Optional[str] = None
+    cache: Optional[dict] = None
+    retries: int = 0
+    error: Optional[str] = None
+
+
+def run_schedule(
+    gateway_url: str,
+    schedule: Sequence[Arrival],
+    sources: dict,
+    retries: int = 3,
+    timeout: float = 300.0,
+    time_scale: float = 1.0,
+    jitter_seed: int = 0,
+    log=None,
+) -> list[_Sample]:
+    """Fire one wave open-loop: every arrival is dispatched on its own
+    thread at its scheduled instant (scaled by ``time_scale``: 0 =
+    as-fast-as-possible), whether or not earlier requests have
+    returned.  Returns one :class:`_Sample` per arrival, in schedule
+    order — a sample whose thread died unexpectedly keeps status
+    ``"lost"``, which is exactly what the no-lost-job invariant
+    asserts against."""
+    client = ServerClient(gateway_url, timeout=timeout, retries=retries,
+                          retry_jitter_seed=jitter_seed)
+    samples = [_Sample(arrival=a) for a in schedule]
+    start = time.monotonic()
+
+    def fire(index: int) -> None:
+        sample = samples[index]
+        arrival = sample.arrival
+        due = start + arrival.at * time_scale
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        sent = time.monotonic()
+        sample.late_by = round(max(0.0, sent - due), 6)
+        request = make_request(sources[arrival.program],
+                               tenant=arrival.tenant)
+        try:
+            response, trace = client.submit_ex(request)
+        except ServerUnavailable as exc:
+            sample.status = "unreachable"
+            sample.error = str(exc)
+            sample.latency = round(time.monotonic() - sent, 6)
+            return
+        sample.latency = round(time.monotonic() - sent, 6)
+        sample.status = response.get("status", "invalid")
+        sample.node = trace.node
+        sample.retries = trace.retries
+        sample.value = response.get("value")
+        sample.cache = response.get("cache")
+        if sample.status not in ("ok", "rejected"):
+            err = response.get("error") or {}
+            sample.error = f"{err.get('type')}: {err.get('message')}"
+
+    threads = [threading.Thread(target=fire, args=(i,), daemon=True)
+               for i in range(len(schedule))]
+    for thread in threads:
+        thread.start()
+    done = 0
+    for thread in threads:
+        thread.join()
+        done += 1
+        if log and done % 25 == 0:
+            log(f"  {done}/{len(threads)} requests complete")
+    return samples
+
+
+def _client_percentiles(latencies: Sequence[float]) -> dict:
+    """Interpolated percentiles straight from the raw client-side
+    samples (no histogram quantization)."""
+    if not latencies:
+        return {"p50": None, "p95": None, "p99": None}
+    ordered = sorted(latencies)
+    out = {}
+    for q in (0.5, 0.95, 0.99):
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        out[f"p{round(q * 100)}"] = round(
+            ordered[lower] + (ordered[upper] - ordered[lower]) * fraction, 6)
+    return out
+
+
+def build_document(
+    samples: Sequence[_Sample],
+    schedule_info: dict,
+    fleet_info: dict,
+    stats_before: Optional[dict] = None,
+    stats_after: Optional[dict] = None,
+    expected: Optional[dict] = None,
+    slos: Optional[dict] = None,
+) -> dict:
+    """Fold one wave's samples (plus the fleet's before/after
+    ``/v1/stats``) into a ``repro-serving-bench/v1`` document.
+
+    ``expected`` maps program name -> expected rendered value; when
+    given, every ok sample is checked against it and mismatches are
+    counted as ``wrong_answers`` (the fleet must never trade
+    correctness for throughput).
+    """
+    total = len(samples)
+    by_status: dict[str, int] = {}
+    wrong = 0
+    ok_latencies = []
+    retries = 0
+    for sample in samples:
+        by_status[sample.status] = by_status.get(sample.status, 0) + 1
+        retries += sample.retries
+        if sample.status == "ok":
+            ok_latencies.append(sample.latency)
+            if expected is not None:
+                want = expected.get(sample.arrival.program)
+                if want is not None and sample.value != want:
+                    wrong += 1
+    ok = by_status.get("ok", 0)
+    rejected = by_status.get("rejected", 0)
+    lost = total - sum(by_status.get(s, 0) for s in
+                       ("ok", "rejected", "error", "limit", "timeout",
+                        "crashed", "invalid"))
+    errors = total - ok - rejected - lost
+    span = max((s.arrival.at for s in samples), default=0.0)
+    wall = max((s.arrival.at + s.latency for s in samples if s.status != "lost"),
+               default=span)
+
+    server_latency = None
+    fleet_cache = None
+    failovers = None
+    if stats_before is not None and stats_after is not None:
+        before_hist = (stats_before.get("fleet", {})
+                       .get("latency_seconds", {}))
+        after_hist = (stats_after.get("fleet", {})
+                      .get("latency_seconds", {}))
+        delta = histogram_delta(after_hist, before_hist)
+        server_latency = {
+            "count": delta["count"],
+            "percentiles": delta["percentiles"],
+        }
+        cache_after = stats_after.get("fleet", {}).get("cache", {})
+        cache_before = stats_before.get("fleet", {}).get("cache", {})
+        fleet_cache = {
+            field: cache_after.get(field, 0) - cache_before.get(field, 0)
+            for field in ("lookups", "memory_hits", "disk_hits", "fleet_hits")
+        }
+        hits = (fleet_cache["memory_hits"] + fleet_cache["disk_hits"]
+                + fleet_cache["fleet_hits"])
+        fleet_cache["hit_rate"] = (round(hits / fleet_cache["lookups"], 4)
+                                   if fleet_cache["lookups"] else 0.0)
+        failovers = (stats_after.get("gateway", {}).get("failovers", 0)
+                     - stats_before.get("gateway", {}).get("failovers", 0))
+
+    document = {
+        "schema": SCHEMA,
+        "generated_by": "repro-loadgen",
+        "fleet": fleet_info,
+        "schedule": schedule_info,
+        "results": {
+            "requests": total,
+            "ok": ok,
+            "rejected": rejected,
+            "errors": errors,
+            "lost": lost,
+            "wrong_answers": wrong if expected is not None else None,
+            "retries": retries,
+            "by_status": dict(sorted(by_status.items())),
+            "throughput_rps": round(ok / wall, 4) if wall > 0 else 0.0,
+            "shed_rate": round(rejected / total, 4) if total else 0.0,
+            "error_rate": round(errors / total, 4) if total else 0.0,
+            "lost_rate": round(lost / total, 4) if total else 0.0,
+            "latency_seconds": {
+                "client": _client_percentiles(ok_latencies),
+                "server": server_latency,
+            },
+            "cache": fleet_cache,
+            "failovers": failovers,
+        },
+        "slos": dict(slos or DEFAULT_SLOS),
+    }
+    document["slo_check"] = check_slos(document)
+    return document
+
+
+def check_slos(document: dict) -> dict:
+    """Score a document against its own declared ``slos``.  Latency
+    SLOs read the **server-side** percentiles (the fleet's own
+    histograms — see module docstring) and fall back to client-side
+    only when no server stats were captured; rate SLOs read the
+    client-observed rates (the server cannot see a lost request)."""
+    slos = document.get("slos", {})
+    results = document.get("results", {})
+    latency = results.get("latency_seconds", {})
+    source = "server"
+    percentiles = (latency.get("server") or {}).get("percentiles")
+    if not percentiles:
+        source = "client"
+        percentiles = latency.get("client", {})
+    violations = []
+    for name, bound in sorted(slos.items()):
+        if name.endswith("_seconds"):
+            quantile = name[: -len("_seconds")]
+            observed = (percentiles or {}).get(quantile)
+            if observed is not None and observed > bound:
+                violations.append(
+                    f"{quantile} {observed:.3f}s exceeds SLO {bound:.3f}s "
+                    f"({source}-side)")
+        elif name.endswith("_rate"):
+            observed = results.get(name, 0.0) or 0.0
+            if observed > bound:
+                violations.append(
+                    f"{name} {observed:.4f} exceeds SLO {bound:.4f}")
+    wrong = results.get("wrong_answers")
+    if wrong:
+        violations.append(f"{wrong} wrong answer(s) — correctness is an "
+                          f"implicit SLO of 0")
+    return {"passed": not violations, "latency_source": source,
+            "violations": violations}
+
+
+def validate_document(doc: object) -> list[str]:
+    """Schema-check a serving-bench document; returns problems (empty =
+    valid).  Same contract as :func:`repro.bench.export.validate_document`
+    — CI fails on any non-empty return."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    fleet = doc.get("fleet")
+    if not isinstance(fleet, dict):
+        errors.append("fleet must be an object")
+    else:
+        nodes = fleet.get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            errors.append("fleet.nodes must be a positive integer")
+    schedule = doc.get("schedule")
+    if not isinstance(schedule, dict):
+        errors.append("schedule must be an object")
+    else:
+        if schedule.get("kind") not in ("poisson", "trace"):
+            errors.append(f"schedule.kind is {schedule.get('kind')!r}, "
+                          f"expected 'poisson' or 'trace'")
+        if schedule.get("kind") == "poisson" and not isinstance(
+                schedule.get("seed"), int):
+            errors.append("poisson schedule must record its seed")
+        programs = schedule.get("programs")
+        if not isinstance(programs, list) or not programs:
+            errors.append("schedule.programs must be a non-empty list")
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        errors.append("results must be an object")
+        results = {}
+    for field in ("requests", "ok", "rejected", "errors", "lost", "retries"):
+        value = results.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"results.{field} must be a non-negative integer")
+    for field in ("throughput_rps", "shed_rate", "error_rate", "lost_rate"):
+        value = results.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"results.{field} must be a number")
+    latency = results.get("latency_seconds")
+    if not isinstance(latency, dict) or not isinstance(
+            latency.get("client"), dict):
+        errors.append("results.latency_seconds.client must be an object")
+    else:
+        for quantile in ("p50", "p95", "p99"):
+            if quantile not in latency["client"]:
+                errors.append(f"results.latency_seconds.client missing "
+                              f"{quantile!r}")
+    slos = doc.get("slos")
+    if not isinstance(slos, dict) or not slos:
+        errors.append("slos must be a non-empty object")
+    slo_check = doc.get("slo_check")
+    if not isinstance(slo_check, dict) or "passed" not in slo_check:
+        errors.append("slo_check must be an object with 'passed'")
+    elif not isinstance(slo_check.get("violations"), list):
+        errors.append("slo_check.violations must be a list")
+    return errors
+
+
+def serving_table(doc: dict) -> str:
+    """The docs/README claims-table rendering of one document (embedded
+    by ``scripts/docs_consistency.py`` between the serving-bench
+    markers)."""
+    results = doc.get("results", {})
+    latency = results.get("latency_seconds", {})
+    client = latency.get("client", {})
+    server = (latency.get("server") or {}).get("percentiles") or {}
+    cache = results.get("cache") or {}
+    slo_check = doc.get("slo_check", {})
+
+    def seconds(value) -> str:
+        return "-" if value is None else f"{value * 1000:.0f} ms"
+
+    lines = [
+        "| Metric | Value |",
+        "|---|---|",
+        f"| Fleet | {doc.get('fleet', {}).get('nodes', '?')} nodes × "
+        f"{doc.get('fleet', {}).get('workers_per_node', '?')} workers |",
+        f"| Requests (ok / rejected / lost) | {results.get('requests', 0)} "
+        f"({results.get('ok', 0)} / {results.get('rejected', 0)} / "
+        f"{results.get('lost', 0)}) |",
+        f"| Throughput | {results.get('throughput_rps', 0.0):.2f} jobs/s |",
+        f"| Client latency p50 / p95 / p99 | {seconds(client.get('p50'))} / "
+        f"{seconds(client.get('p95'))} / {seconds(client.get('p99'))} |",
+        f"| Server latency p50 / p95 / p99 | {seconds(server.get('p50'))} / "
+        f"{seconds(server.get('p95'))} / {seconds(server.get('p99'))} |",
+        f"| Cache hit rate (mem/disk/fleet) | "
+        f"{cache.get('hit_rate', 0.0):.0%} "
+        f"({cache.get('memory_hits', 0)}/{cache.get('disk_hits', 0)}/"
+        f"{cache.get('fleet_hits', 0)}) |",
+        f"| SLO gate | {'PASS' if slo_check.get('passed') else 'FAIL'} |",
+    ]
+    return "\n".join(lines)
+
+
+def _parse_slos(pairs: Sequence[str]) -> dict:
+    slos = dict(DEFAULT_SLOS)
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise ValueError(f"--slo wants NAME=VALUE, got {pair!r}")
+        if not (name.endswith("_seconds") or name.endswith("_rate")):
+            raise ValueError(f"unknown SLO {name!r} (want *_seconds or *_rate)")
+        slos[name] = float(value)
+    return slos
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Open-loop load replay against a repro fleet: seeded "
+        "Poisson or trace-file arrival schedules over the Figure 9 corpus, "
+        "scored against declared SLOs using the fleet's own /v1/stats "
+        "histograms, exported as a repro-serving-bench/v1 document.",
+    )
+    parser.add_argument("--gateway", metavar="URL",
+                        help="existing repro-gateway to drive")
+    parser.add_argument("--fleet", type=int, metavar="N",
+                        help="boot an ephemeral N-node LocalFleet instead "
+                             "of targeting --gateway")
+    parser.add_argument("--workers-per-node", type=int, default=2)
+    parser.add_argument("--rate", type=float, default=4.0,
+                        help="mean arrival rate, requests/second "
+                             "(default 4.0)")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="schedule length (default 50)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="Poisson schedule seed (default 0)")
+    parser.add_argument("--programs", default=None, metavar="A,B,...",
+                        help="corpus subset (default: all 23 Figure 9 "
+                             "programs)")
+    parser.add_argument("--tenants", default=None, metavar="A,B,...",
+                        help="tenant names to spread arrivals across")
+    parser.add_argument("--trace-file", metavar="FILE",
+                        help="replay this JSONL trace instead of generating "
+                             "a Poisson schedule")
+    parser.add_argument("--record-trace", metavar="FILE",
+                        help="write the generated schedule as a JSONL trace "
+                             "(for later --trace-file replay)")
+    parser.add_argument("--time-scale", type=float, default=1.0,
+                        help="multiply every arrival time (0 = fire "
+                             "as fast as possible; default 1.0)")
+    parser.add_argument("--retries", type=int, default=3)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="override an SLO, e.g. p95_seconds=2.5 or "
+                             "error_rate=0 (repeatable)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the bench document here (default "
+                             "stdout)")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="schema-check an existing document and exit "
+                             "(no load is generated)")
+    parser.add_argument("--table", metavar="FILE",
+                        help="print the docs table for an existing document "
+                             "and exit")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    def log(msg: str) -> None:
+        if not args.quiet:
+            print(msg, file=sys.stderr, flush=True)
+
+    if args.validate:
+        with open(args.validate, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        problems = validate_document(doc)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.validate}: valid {SCHEMA} "
+                  f"({doc['results']['requests']} requests, SLO "
+                  f"{'PASS' if doc['slo_check']['passed'] else 'FAIL'})")
+        return 1 if problems else 0
+
+    if args.table:
+        with open(args.table, "r", encoding="utf-8") as handle:
+            print(serving_table(json.load(handle)))
+        return 0
+
+    if bool(args.gateway) == bool(args.fleet):
+        print("error: exactly one of --gateway or --fleet is required",
+              file=sys.stderr)
+        return 2
+
+    from ..bench.registry import BENCHMARKS, benchmark_source
+
+    if args.programs:
+        names = [n for n in args.programs.split(",") if n]
+        unknown = sorted(set(names) - set(BENCHMARKS))
+        if unknown:
+            print(f"error: unknown programs {unknown}", file=sys.stderr)
+            return 2
+    else:
+        names = sorted(BENCHMARKS)
+    sources = {name: benchmark_source(name) for name in names}
+    expected = {name: BENCHMARKS[name].expected for name in names
+                if not BENCHMARKS[name].expected.startswith("~")}
+    tenants = ([t for t in args.tenants.split(",") if t]
+               if args.tenants else None)
+
+    if args.trace_file:
+        schedule = trace_schedule(args.trace_file)
+        missing = sorted({a.program for a in schedule} - set(sources))
+        if missing:
+            print(f"error: trace references unknown programs {missing}",
+                  file=sys.stderr)
+            return 2
+        schedule_info = {"kind": "trace", "file": args.trace_file,
+                         "requests": len(schedule),
+                         "programs": sorted({a.program for a in schedule})}
+    else:
+        schedule = poisson_schedule(names, rate=args.rate,
+                                    requests=args.requests, seed=args.seed,
+                                    tenants=tenants)
+        schedule_info = {"kind": "poisson", "rate": args.rate,
+                         "seed": args.seed, "requests": len(schedule),
+                         "programs": names}
+        if tenants:
+            schedule_info["tenants"] = tenants
+    if args.record_trace:
+        write_trace(schedule, args.record_trace)
+        log(f"recorded {len(schedule)}-arrival trace to {args.record_trace}")
+
+    try:
+        slos = _parse_slos(args.slo)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    fleet = None
+    try:
+        if args.fleet:
+            from .fleet import LocalFleet
+
+            log(f"booting {args.fleet}-node local fleet "
+                f"({args.workers_per_node} workers/node)...")
+            fleet = LocalFleet(nodes=args.fleet,
+                               workers_per_node=args.workers_per_node)
+            gateway_url = fleet.start()
+            fleet_info = {"nodes": args.fleet,
+                          "workers_per_node": args.workers_per_node,
+                          "gateway": "local"}
+        else:
+            gateway_url = args.gateway
+            fleet_info = {"nodes": 1, "workers_per_node": 0,
+                          "gateway": gateway_url}
+            try:
+                stats = ServerClient(gateway_url).stats()
+                ring = stats.get("gateway", {}).get("ring", {})
+                if ring.get("nodes"):
+                    fleet_info["nodes"] = len(ring["nodes"])
+                    fleet_info["workers_per_node"] = None
+            except ServerUnavailable:
+                pass
+
+        client = ServerClient(gateway_url, timeout=args.timeout)
+        client.wait_ready(timeout=60)
+        stats_before = client.stats()
+        log(f"replaying {len(schedule)} arrivals over "
+            f"{len(schedule_info['programs'])} programs at {gateway_url}...")
+        started = time.monotonic()
+        samples = run_schedule(gateway_url, schedule, sources,
+                               retries=args.retries, timeout=args.timeout,
+                               time_scale=args.time_scale,
+                               jitter_seed=args.seed, log=log)
+        wall = time.monotonic() - started
+        stats_after = client.stats()
+        document = build_document(samples, schedule_info, fleet_info,
+                                  stats_before=stats_before,
+                                  stats_after=stats_after,
+                                  expected=expected, slos=slos)
+        document["wall_seconds"] = round(wall, 3)
+    finally:
+        if fleet is not None:
+            fleet.close()
+
+    rendered = json.dumps(document, indent=2, sort_keys=False) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        log(f"wrote {args.out}")
+    else:
+        print(rendered, end="")
+
+    check = document["slo_check"]
+    results = document["results"]
+    log(f"{results['ok']}/{results['requests']} ok, "
+        f"{results['rejected']} rejected, {results['lost']} lost, "
+        f"throughput {results['throughput_rps']:.2f}/s, "
+        f"SLO {'PASS' if check['passed'] else 'FAIL'}")
+    for violation in check["violations"]:
+        log(f"  SLO violation: {violation}")
+    return 0 if check["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

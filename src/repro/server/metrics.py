@@ -9,9 +9,15 @@ response into counters, histograms, and one merged
 high-water marks — :meth:`RunStats.merge`), all behind one lock, and
 snapshots to a JSON-ready dict.
 
-Histograms are fixed-boundary cumulative buckets (the Prometheus
-convention: each bucket counts observations ``<= le``), so dashboards
-can derive quantile estimates without the registry keeping samples.
+Histograms are fixed-boundary buckets (each observation lands in the
+first bucket whose bound it does not exceed), so dashboards and the
+load-replay harness can derive quantile estimates without the registry
+keeping samples.  :func:`percentiles_from_snapshot` is that derivation
+— p50/p95/p99 by linear interpolation inside the winning bucket — and
+it operates on the *snapshot dict*, so the gateway can merge histograms
+from many nodes (:func:`merge_histogram_snapshots`) or subtract a
+before-wave baseline (:func:`histogram_delta`) and still read
+percentiles off the result.
 """
 
 from __future__ import annotations
@@ -21,7 +27,19 @@ from typing import Optional, Sequence
 
 from ..runtime.stats import RunStats
 
-__all__ = ["Histogram", "MetricsRegistry", "LATENCY_BUCKETS", "HEAP_BUCKETS"]
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "HEAP_BUCKETS",
+    "PERCENTILES",
+    "percentiles_from_snapshot",
+    "merge_histogram_snapshots",
+    "histogram_delta",
+]
+
+#: The quantiles every latency/heap snapshot carries.
+PERCENTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
 
 #: Wall-clock seconds per job.
 LATENCY_BUCKETS: tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
@@ -56,12 +74,108 @@ class Histogram:
 
     def to_dict(self) -> dict:
         labels = [str(b) for b in self.boundaries] + ["+inf"]
-        return {
+        snap = {
             "count": self.count,
             "sum": round(self.total, 6),
             "max": round(self.max, 6),
             "buckets": dict(zip(labels, self.buckets)),
         }
+        snap["percentiles"] = percentiles_from_snapshot(snap)
+        return snap
+
+
+def _parse_buckets(snapshot: dict) -> tuple[list[float], list[int]]:
+    """The snapshot's bucket dict as parallel (upper-bound, count) lists,
+    in ascending bound order with the ``+inf`` tail last.  Insertion
+    order is bound order by construction (:meth:`Histogram.to_dict`),
+    but sort defensively — merged documents may have been round-tripped
+    through JSON tooling that reordered keys."""
+    finite = []
+    inf_count = 0
+    for label, count in snapshot.get("buckets", {}).items():
+        if label == "+inf":
+            inf_count = count
+        else:
+            finite.append((float(label), count))
+    finite.sort(key=lambda pair: pair[0])
+    bounds = [bound for bound, _ in finite] + [float("inf")]
+    counts = [count for _, count in finite] + [inf_count]
+    return bounds, counts
+
+
+def percentiles_from_snapshot(snapshot: dict,
+                              quantiles: Sequence[float] = PERCENTILES) -> dict:
+    """Quantile estimates from a histogram *snapshot dict* (the
+    :meth:`Histogram.to_dict` shape): for each quantile, walk the
+    buckets to the one holding the target rank and interpolate linearly
+    between its bounds.  The open ``+inf`` tail is closed with the
+    observed ``max``; every estimate is clamped to ``max`` so a
+    single-bucket histogram cannot report a latency no request had.
+    An empty histogram (count 0) reports ``None`` for every quantile.
+    """
+    count = snapshot.get("count", 0)
+    observed_max = float(snapshot.get("max", 0.0))
+    out: dict = {}
+    if count <= 0:
+        return {f"p{round(q * 100)}": None for q in quantiles}
+    bounds, counts = _parse_buckets(snapshot)
+    for q in quantiles:
+        target = q * count
+        cumulative = 0
+        estimate = observed_max
+        lower = 0.0
+        for bound, bucket_count in zip(bounds, counts):
+            upper = observed_max if bound == float("inf") else bound
+            if cumulative + bucket_count >= target and bucket_count > 0:
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (max(upper, lower) - lower) * fraction
+                break
+            cumulative += bucket_count
+            lower = bound if bound != float("inf") else lower
+        out[f"p{round(q * 100)}"] = round(min(estimate, observed_max), 6)
+    return out
+
+
+def merge_histogram_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Fold many same-boundary histogram snapshots (one per node) into
+    one fleet histogram: counts and sums add, maxima take the max,
+    buckets add label-wise, and the percentiles are re-derived from the
+    merged buckets.  Nodes missing a label (older builds) contribute 0
+    to it."""
+    merged: dict = {"count": 0, "sum": 0.0, "max": 0.0, "buckets": {}}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        merged["count"] += snap.get("count", 0)
+        merged["sum"] = round(merged["sum"] + snap.get("sum", 0.0), 6)
+        merged["max"] = max(merged["max"], snap.get("max", 0.0))
+        for label, count in snap.get("buckets", {}).items():
+            merged["buckets"][label] = merged["buckets"].get(label, 0) + count
+    merged["percentiles"] = percentiles_from_snapshot(merged)
+    return merged
+
+
+def histogram_delta(after: dict, before: dict) -> dict:
+    """The histogram of the observations made *between* two snapshots of
+    the same histogram (bucket-wise difference).  ``max`` is taken from
+    ``after`` — the registry does not keep a per-window max, so it is an
+    upper bound for the window — and percentiles are re-derived from the
+    differenced buckets (this is how the load harness scores one wave
+    against server-side data without resetting fleet counters)."""
+    delta: dict = {
+        "count": max(0, after.get("count", 0) - before.get("count", 0)),
+        "sum": round(after.get("sum", 0.0) - before.get("sum", 0.0), 6),
+        "max": after.get("max", 0.0),
+        "buckets": {},
+    }
+    labels = dict(after.get("buckets", {}))
+    for label in before.get("buckets", {}):
+        labels.setdefault(label, 0)
+    for label, count in labels.items():
+        delta["buckets"][label] = max(
+            0, count - before.get("buckets", {}).get(label, 0))
+    delta["percentiles"] = percentiles_from_snapshot(delta)
+    return delta
 
 
 class MetricsRegistry:
@@ -74,6 +188,7 @@ class MetricsRegistry:
         self.runs_aggregated = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self.fleet_hits = 0
         self.cache_lookups = 0
         self.latency = Histogram(LATENCY_BUCKETS)
         self.heap = Histogram(HEAP_BUCKETS)
@@ -83,6 +198,7 @@ class MetricsRegistry:
         self.drains = 0
         self.rolling_restarts = 0
         self.quarantined_entries = 0
+        self.quarantine_evictions = 0
 
     def record_response(self, response: dict, wall_seconds: Optional[float] = None) -> None:
         """Fold one terminal wire response (any status) into the fleet
@@ -103,10 +219,17 @@ class MetricsRegistry:
                     self.memory_hits += 1
                 elif cache.get("disk_hit"):
                     self.disk_hits += 1
+                elif cache.get("fleet_hit"):
+                    # Served by the fleet-wide artifact store: some other
+                    # node (or a previous life of this one) compiled it.
+                    self.fleet_hits += 1
                 if cache.get("quarantined"):
                     # A worker's disk lookup hit a corrupt entry, which
                     # was quarantined and recompiled over (self-healed).
                     self.quarantined_entries += 1
+                evicted = cache.get("quarantine_evicted", 0)
+                if isinstance(evicted, int) and evicted > 0:
+                    self.quarantine_evictions += evicted
             stats = response.get("stats")
             if stats:
                 run = RunStats.from_dict(stats)
@@ -138,13 +261,14 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         with self._lock:
             lookups = self.cache_lookups
-            hits = self.memory_hits + self.disk_hits
+            hits = self.memory_hits + self.disk_hits + self.fleet_hits
             return {
                 "jobs": dict(sorted(self.jobs_by_status.items())),
                 "cache": {
                     "lookups": lookups,
                     "memory_hits": self.memory_hits,
                     "disk_hits": self.disk_hits,
+                    "fleet_hits": self.fleet_hits,
                     "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
                 },
                 "run_stats": self.run_stats.to_dict(),
@@ -158,5 +282,6 @@ class MetricsRegistry:
                     "drains": self.drains,
                     "rolling_restarts": self.rolling_restarts,
                     "quarantined_entries": self.quarantined_entries,
+                    "quarantine_evictions": self.quarantine_evictions,
                 },
             }

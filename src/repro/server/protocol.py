@@ -42,8 +42,10 @@ Response shape (the same ``schema``)::
       "timing": {"compile_seconds": ..., "run_seconds": ...},
       "trace": [...],                   # requested traces only
       "verify": {...},                  # VerifierReport.to_dict, requested
-      "retry_after": 1.5                # rejected only (seconds)
-    }
+      "retry_after": 1.5,               # rejected only (seconds)
+      "node": "127.0.0.1:8752"          # gateway-routed responses only:
+    }                                   # which node answered (also sent
+                                        # as the X-Repro-Node header)
 
 ``exit_status`` deliberately mirrors ``repro-run``: **0** success,
 **1** compile/runtime error (including a worker killed by the program),
@@ -258,6 +260,7 @@ def make_response(
     trace: Optional[list] = None,
     verify: Optional[dict] = None,
     retry_after: Optional[float] = None,
+    node: Optional[str] = None,
 ) -> dict:
     if status not in STATUSES:
         raise ValueError(f"unknown status {status!r}")
@@ -285,6 +288,8 @@ def make_response(
         response["verify"] = verify
     if retry_after is not None:
         response["retry_after"] = retry_after
+    if node is not None:
+        response["node"] = node
     return response
 
 
@@ -296,6 +301,7 @@ _REJECTION_TYPES = {
     "quota": "QuotaExceeded",
     "draining": "Draining",
     "chaos": "QueueFull",
+    "unreachable": "NoHealthyNode",
 }
 
 _REJECTION_MESSAGES = {
@@ -303,6 +309,7 @@ _REJECTION_MESSAGES = {
     "quota": "tenant quota exhausted",
     "draining": "server is draining for restart",
     "chaos": "admission shed by fault injection",
+    "unreachable": "no healthy node could serve the request",
 }
 
 

@@ -9,13 +9,19 @@ its own job but never wedge the queue.  (A program that kills the whole
 worker process is the pool's problem — the manager reaps, respawns,
 and synthesizes a ``crashed`` response upstream.)
 
-Compilation goes through two cache layers shared with every other job:
+Compilation goes through three cache layers shared with every other job:
 
 * the process-wide in-memory LRU (:func:`repro.cache.default_cache`) —
   hot across jobs on the *same* worker;
 * the on-disk :class:`~repro.server.diskcache.DiskCompileCache`
   configured by :func:`init_worker` — shared across workers *and*
-  across server restarts.
+  across server restarts;
+* the fleet-wide :class:`~repro.server.artifacts.ArtifactStore` (when
+  the node is part of a fleet) — shared across *nodes*, so one
+  compilation anywhere serves everywhere and a cold node warms
+  instantly.  Hits are reported per layer (``memory_hit`` /
+  ``disk_hit`` / ``fleet_hit``) so the fleet metrics can tell them
+  apart.
 
 Per-request limits and fault plans are applied as run-time overrides on
 the cached program (never baked into the cached compilation), exactly
@@ -33,6 +39,7 @@ from ..config import CompilerFlags
 from ..core.errors import InterpreterLimit, ReproError
 from ..pipeline import CompiledProgram, compile_program
 from ..runtime.values import show_value
+from .artifacts import ArtifactStore, open_store
 from .diskcache import DiskCompileCache
 from .protocol import (
     make_response,
@@ -45,18 +52,21 @@ __all__ = ["init_worker", "execute_job", "compile_with_caches", "worker_cache_sn
 
 #: Worker-process state installed by :func:`init_worker`.
 _DISK_CACHE: Optional[DiskCompileCache] = None
+_ARTIFACTS: Optional[ArtifactStore] = None
 
 
-def init_worker(disk_cache_dir: Optional[str] = None) -> None:
-    """Pool initializer: attach the shared on-disk cache (or run
-    memory-only when the server disabled it).
+def init_worker(disk_cache_dir: Optional[str] = None,
+                artifact_dir: Optional[str] = None) -> None:
+    """Pool initializer: attach the node's on-disk cache and the fleet
+    artifact store (either may be absent).
 
     An unusable directory — most importantly one :class:`DiskCompileCache`
     refuses to trust (foreign owner, group/other-writable) — degrades the
-    worker to memory-only instead of wedging it at init: a hostile
-    pre-planted directory must cost us the cache, not the service.
+    worker to the layers above it instead of wedging it at init: a
+    hostile pre-planted directory must cost us a cache layer, not the
+    service.
     """
-    global _DISK_CACHE
+    global _DISK_CACHE, _ARTIFACTS
     _DISK_CACHE = None
     if disk_cache_dir:
         try:
@@ -68,42 +78,75 @@ def init_worker(disk_cache_dir: Optional[str] = None) -> None:
                 file=sys.stderr,
                 flush=True,
             )
+    _ARTIFACTS = open_store(artifact_dir)
+
+
+def _quarantine_evictions() -> int:
+    total = 0
+    for layer in (_DISK_CACHE, _ARTIFACTS):
+        if layer is not None:
+            total += layer.quarantine_evictions
+    return total
 
 
 def compile_with_caches(
     source: str, flags: CompilerFlags, use_cache: bool = True
 ) -> Tuple[CompiledProgram, Optional[dict]]:
-    """Compile through memory -> disk -> pipeline, reporting which layer
-    hit.  A disk hit is promoted into the memory LRU; a fresh compile is
-    written through to both layers.  With ``use_cache=False`` no lookup
-    happens at all and the info dict is ``None`` — the response then
-    carries no ``cache`` field, so the metrics registry does not count a
-    lookup that never occurred (which would deflate the fleet hit rate)."""
+    """Compile through memory -> node disk -> fleet store -> pipeline,
+    reporting which layer hit.  A hit at any lower layer is promoted
+    into every layer above it; a fresh compile is written through to all
+    of them, so the next node to ask anywhere in the fleet hits.  With
+    ``use_cache=False`` no lookup happens at all and the info dict is
+    ``None`` — the response then carries no ``cache`` field, so the
+    metrics registry does not count a lookup that never occurred (which
+    would deflate the fleet hit rate)."""
     if not use_cache:
         return compile_program(source, flags=flags, cache=False), None
-    info = {"memory_hit": False, "disk_hit": False}
+    info = {"memory_hit": False, "disk_hit": False, "fleet_hit": False}
+    evictions_before = _quarantine_evictions()
     memory = default_cache()
     key = cache_key(source, flags)
     if key in memory:
         info["memory_hit"] = True
-    elif _DISK_CACHE is not None:
+    else:
         from .diskcache import CORRUPT
 
-        loaded, status = _DISK_CACHE.get_ex(key)
+        loaded = None
+        if _DISK_CACHE is not None:
+            loaded, status = _DISK_CACHE.get_ex(key)
+            if loaded is not None:
+                info["disk_hit"] = True
+            elif status == CORRUPT:
+                # The entry failed its digest and was quarantined; the
+                # compile-or-fetch below re-stores a good one
+                # (self-healing).  Flag it so the fleet metrics count
+                # the detection.
+                info["quarantined"] = True
+        if loaded is None and _ARTIFACTS is not None:
+            loaded, status = _ARTIFACTS.get_ex(key)
+            if loaded is not None:
+                # Fleet hit: some other node compiled this program.
+                # Promote into the node's own disk cache so the next
+                # cold worker on *this* node stays off the shared store.
+                info["fleet_hit"] = True
+                if _DISK_CACHE is not None:
+                    _DISK_CACHE.put(key, loaded)
+            elif status == CORRUPT:
+                info["quarantined"] = True
         if loaded is not None:
-            info["disk_hit"] = True
             memory.put(key, loaded)
-        elif status == CORRUPT:
-            # The entry failed its digest and was quarantined; the fresh
-            # compile below re-stores a good one (self-healing).  Flag it
-            # so the fleet metrics count the detection.
-            info["quarantined"] = True
     # compile_program does the actual lookup (or compile-and-store) so
     # hit wrappers carry the caller's flags and the LRU counters see
     # exactly one lookup per job.
     program = compile_program(source, flags=flags, cache=memory)
-    if _DISK_CACHE is not None and not (info["memory_hit"] or info["disk_hit"]):
-        _DISK_CACHE.put(key, program)
+    if not (info["memory_hit"] or info["disk_hit"] or info["fleet_hit"]):
+        if _DISK_CACHE is not None:
+            _DISK_CACHE.put(key, program)
+        if _ARTIFACTS is not None:
+            _ARTIFACTS.put(key, program)
+    evicted = _quarantine_evictions() - evictions_before
+    if evicted > 0:
+        info["quarantine_evicted"] = evicted
     return program, info
 
 
@@ -114,6 +157,8 @@ def worker_cache_snapshot() -> dict:
     snap = {"memory": default_cache().snapshot()}
     if _DISK_CACHE is not None:
         snap["disk"] = _DISK_CACHE.snapshot()
+    if _ARTIFACTS is not None:
+        snap["artifacts"] = _ARTIFACTS.snapshot()
     return snap
 
 

@@ -1,0 +1,150 @@
+"""Fleet artifact store: content addressing, the three-layer lookup
+ladder (worker LRU -> node disk -> fleet store) with promotion and
+write-through, the scrub, and degradation on untrustworthy mounts."""
+
+import os
+
+from repro.cache import cache_key, default_cache
+from repro.config import CompilerFlags
+from repro.pipeline import compile_program
+from repro.server import worker
+from repro.server.artifacts import ArtifactStore, open_store
+from repro.server.diskcache import _filename
+
+SOURCE = "fun double x = x + x\nval it = double 21"
+
+
+def _compiled(source=SOURCE):
+    return compile_program(source, cache=False)
+
+
+class TestContentAddressing:
+    def test_address_is_the_filename_stem(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        assert _filename(key) == ArtifactStore.address_of(key) + ".pkl"
+        assert not store.contains(key)
+        store.put(key, _compiled())
+        assert store.contains(key)
+
+    def test_digest_of_matches_reencoded_payload(self, tmp_path):
+        import hashlib
+
+        store = ArtifactStore(tmp_path)
+        key = cache_key(SOURCE, CompilerFlags())
+        store.put(key, _compiled())
+        digest = store.digest_of(key)
+        blob = (tmp_path / _filename(key)).read_bytes()
+        payload = blob[blob.find(b"\n") + 1:]
+        assert digest == hashlib.sha256(payload).hexdigest()
+        assert store.digest_of(cache_key("val it = 0", CompilerFlags())) is None
+
+    def test_cross_instance_hit(self, tmp_path):
+        # Two "nodes" (instances) over one directory: node A's store is
+        # node B's fleet hit.
+        key = cache_key(SOURCE, CompilerFlags())
+        ArtifactStore(tmp_path).put(key, _compiled())
+        loaded = ArtifactStore(tmp_path).get(key)
+        assert loaded is not None and loaded.run().value == 42
+
+    def test_snapshot_is_labelled(self, tmp_path):
+        snap = ArtifactStore(tmp_path).snapshot()
+        assert snap["kind"] == "artifact-store"
+        assert snap["root"] == str(tmp_path)
+
+
+class TestScrub:
+    def test_verify_all_quarantines_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        good = cache_key(SOURCE, CompilerFlags())
+        bad = cache_key("val it = 3", CompilerFlags())
+        store.put(good, _compiled())
+        store.put(bad, _compiled("val it = 3"))
+        path = tmp_path / _filename(bad)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        report = store.verify_all()
+        assert report == {"verified": 1, "quarantined": 1}
+        assert store.get(good) is not None
+        assert not path.exists()
+        # Scrub twice: idempotent, nothing left to quarantine.
+        assert store.verify_all() == {"verified": 1, "quarantined": 0}
+
+
+class TestOpenStore:
+    def test_none_path_is_none(self):
+        assert open_store(None) is None
+        assert open_store("") is None
+
+    def test_untrusted_mount_degrades_with_warning(self, tmp_path, capsys):
+        hostile = tmp_path / "shared"
+        hostile.mkdir()
+        os.chmod(hostile, 0o777)
+        assert open_store(str(hostile)) is None
+        assert "artifact store disabled" in capsys.readouterr().err
+
+    def test_good_path_opens(self, tmp_path):
+        store = open_store(str(tmp_path / "artifacts"))
+        assert isinstance(store, ArtifactStore)
+
+
+class TestWorkerLadder:
+    """compile_with_caches with all three layers attached."""
+
+    def _init(self, tmp_path):
+        worker.init_worker(str(tmp_path / "disk"), str(tmp_path / "fleet"))
+        default_cache().clear()
+
+    def teardown_method(self):
+        worker.init_worker(None, None)
+        default_cache().clear()
+
+    def test_fresh_compile_writes_through_all_layers(self, tmp_path):
+        self._init(tmp_path)
+        program, info = worker.compile_with_caches(SOURCE, CompilerFlags())
+        assert program.run().value == 42
+        assert info == {"memory_hit": False, "disk_hit": False,
+                        "fleet_hit": False}
+        key = cache_key(SOURCE, CompilerFlags())
+        assert worker._DISK_CACHE.get(key) is not None
+        assert worker._ARTIFACTS.contains(key)
+
+    def test_fleet_hit_promotes_into_node_layers(self, tmp_path):
+        # Another node compiled it: only the fleet store has it.
+        key = cache_key(SOURCE, CompilerFlags())
+        ArtifactStore(tmp_path / "fleet").put(key, _compiled())
+        self._init(tmp_path)
+        program, info = worker.compile_with_caches(SOURCE, CompilerFlags())
+        assert info["fleet_hit"] is True
+        assert info["disk_hit"] is False and info["memory_hit"] is False
+        assert program.run().value == 42
+        # Promotion: the node disk cache now holds its own copy...
+        assert worker._DISK_CACHE.get(key) is not None
+        # ...so a sibling worker (fresh memory) hits disk, not fleet.
+        default_cache().clear()
+        _, info2 = worker.compile_with_caches(SOURCE, CompilerFlags())
+        assert info2["disk_hit"] is True and info2["fleet_hit"] is False
+
+    def test_disk_hit_wins_over_fleet(self, tmp_path):
+        self._init(tmp_path)
+        worker.compile_with_caches(SOURCE, CompilerFlags())  # seed all layers
+        default_cache().clear()
+        _, info = worker.compile_with_caches(SOURCE, CompilerFlags())
+        assert info["disk_hit"] is True and info["fleet_hit"] is False
+
+    def test_corrupt_fleet_entry_heals_and_flags(self, tmp_path):
+        key = cache_key(SOURCE, CompilerFlags())
+        fleet_dir = tmp_path / "fleet"
+        ArtifactStore(fleet_dir).put(key, _compiled())
+        path = fleet_dir / _filename(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xAA
+        path.write_bytes(bytes(blob))
+        self._init(tmp_path)
+        program, info = worker.compile_with_caches(SOURCE, CompilerFlags())
+        assert program.run().value == 42
+        assert info.get("quarantined") is True
+        assert info["fleet_hit"] is False
+        # Self-healed: the recompile was written back to the store.
+        assert worker._ARTIFACTS.get(key) is not None

@@ -185,6 +185,50 @@ class TestSelfHealing:
         # The forensic copy survives the heal.
         assert cache.quarantined_entries() == 1
 
+    def test_quarantine_is_capped_at_max_quarantine(self, tmp_path):
+        # Regression: quarantine/ grew without bound under sustained
+        # corruption (every chaos loop iteration added a file).  Only
+        # the newest max_quarantine forensic copies may survive.
+        import os as _os
+
+        from repro.server.diskcache import CORRUPT, _frame
+
+        cache = DiskCompileCache(tmp_path, max_quarantine=3)
+        for i in range(7):
+            key = cache_key(f"val it = {i}", CompilerFlags())
+            path = tmp_path / _filename(key)
+            path.write_bytes(_frame(b"garbage")[:-1] + b"!")  # digest broken
+            # Distinct mtimes so "newest" is well defined on coarse
+            # filesystems.
+            _os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            loaded, status = cache.get_ex(key)
+            assert loaded is None and status == CORRUPT
+        assert cache.quarantined_entries() == 3
+        assert cache.quarantine_evictions == 4
+        assert cache.snapshot()["quarantine_evictions"] == 4
+        assert cache.snapshot()["corrupt_quarantined"] == 7
+
+    def test_quarantine_cap_keeps_the_newest_entries(self, tmp_path):
+        import os as _os
+
+        from repro.server.diskcache import QUARANTINE_DIR, _frame
+
+        cache = DiskCompileCache(tmp_path, max_quarantine=2)
+        names = []
+        for i in range(4):
+            key = cache_key(f"val it = {i} + 0", CompilerFlags())
+            path = tmp_path / _filename(key)
+            names.append(path.name)
+            path.write_bytes(_frame(b"garbage")[:-1] + b"!")
+            _os.utime(path, (2_000_000 + i, 2_000_000 + i))
+            cache.get(key)
+            # Quarantined copies keep their mtimes distinct too.
+            qpath = tmp_path / QUARANTINE_DIR / path.name
+            if qpath.exists():
+                _os.utime(qpath, (2_000_000 + i, 2_000_000 + i))
+        survivors = {p.name for p in (tmp_path / QUARANTINE_DIR).glob("*.pkl")}
+        assert survivors == set(names[-2:])
+
     def test_statuses_shared_with_worker_reporting(self, tmp_path):
         # compile_with_caches flags CORRUPT (and only CORRUPT) to the
         # metrics registry; the constants must stay importable.

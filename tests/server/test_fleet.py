@@ -1,0 +1,151 @@
+"""Fleet topology: consistent-hash ring distribution and minimal
+movement, failover preference order, node health state, routing keys.
+
+The uniformity and movement properties are what make the gateway's
+placement story true: keys spread evenly (no node melts), and scaling
+the fleet only re-homes ~1/N of the key space (no fleet-wide cold
+start).  Both tests are fully deterministic — sha256 ring points, fixed
+key sets — so a failure is a code change, never flake.
+"""
+
+from repro.config import CompilerFlags
+from repro.server.fleet import DEFAULT_VNODES, HashRing, NodeState, route_key
+from repro.server.protocol import make_request
+
+KEYS = [f"key-{i}" for i in range(2000)]
+
+
+def _assignments(ring: HashRing) -> dict:
+    return {key: ring.node_for(key) for key in KEYS}
+
+
+class TestRingDistribution:
+    def test_chi_square_uniformity(self):
+        # 2000 keys over 4 nodes: expected 500 each.  The chi-square
+        # statistic sum((observed-expected)^2/expected) for 3 degrees of
+        # freedom has p=0.001 critical value ~16.3; with 128 vnodes the
+        # sha256 ring sits far below it.  Deterministic inputs: this is
+        # a regression bound on the construction, not a statistical test.
+        ring = HashRing(["node0", "node1", "node2", "node3"])
+        counts: dict = {}
+        for node in _assignments(ring).values():
+            counts[node] = counts.get(node, 0) + 1
+        assert sum(counts.values()) == len(KEYS)
+        expected = len(KEYS) / len(counts)
+        chi_square = sum((count - expected) ** 2 / expected
+                         for count in counts.values())
+        assert chi_square < 16.3, f"skewed ring: {counts}"
+        # And no node is grossly over/under its fair share.
+        for node, count in counts.items():
+            assert 0.5 * expected < count < 1.6 * expected, counts
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        ring = HashRing(["node0", "node1", "node2", "node3"])
+        before = _assignments(ring)
+        ring.remove("node2")
+        after = _assignments(ring)
+        for key in KEYS:
+            if before[key] != "node2":
+                # Minimal movement: a surviving node's keys never move.
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "node2"
+
+    def test_join_moves_keys_only_to_the_joiner(self):
+        ring = HashRing(["node0", "node1", "node2"])
+        before = _assignments(ring)
+        ring.add("node3")
+        after = _assignments(ring)
+        moved = [key for key in KEYS if after[key] != before[key]]
+        assert all(after[key] == "node3" for key in moved)
+        # ~1/N of the key space re-homes (the consistent-hashing
+        # contract); allow 2x slack over the ideal 1/4.
+        assert 0 < len(moved) < len(KEYS) / 2
+
+    def test_rejoin_restores_the_original_assignment(self):
+        ring = HashRing(["node0", "node1", "node2"])
+        before = _assignments(ring)
+        ring.remove("node1")
+        ring.add("node1")
+        assert _assignments(ring) == before
+
+    def test_insertion_order_is_irrelevant(self):
+        a = HashRing(["x", "y", "z"])
+        b = HashRing(["z", "x", "y"])
+        assert _assignments(a) == _assignments(b)
+
+
+class TestPreferenceOrder:
+    def test_preference_lists_every_node_once_owner_first(self):
+        ring = HashRing(["node0", "node1", "node2"])
+        for key in KEYS[:50]:
+            pref = ring.preference(key)
+            assert sorted(pref) == ["node0", "node1", "node2"]
+            assert pref[0] == ring.node_for(key)
+
+    def test_preference_tail_is_the_failover_owner(self):
+        # When the owner is excluded, the next preference entry is
+        # exactly who node_for picks — the gateway's failover slate is
+        # the ring's own answer.
+        ring = HashRing(["node0", "node1", "node2", "node3"])
+        for key in KEYS[:50]:
+            pref = ring.preference(key)
+            assert ring.node_for(key, exclude=[pref[0]]) == pref[1]
+
+    def test_empty_and_fully_excluded_ring(self):
+        ring = HashRing()
+        assert ring.node_for("k") is None
+        ring.add("only")
+        assert ring.node_for("k", exclude=["only"]) is None
+        assert len(ring) == 1 and "only" in ring
+
+    def test_vnode_count_is_configurable(self):
+        ring = HashRing(["a"], vnodes=4)
+        assert ring.vnodes == 4
+        assert ring.node_for("anything") == "a"
+
+
+class TestNodeState:
+    def test_routable_excludes_dead_and_draining(self):
+        state = NodeState(name="n", url="http://h:1")
+        assert state.routable
+        state.mark_failed("boom")
+        assert not state.routable and state.consecutive_failures == 1
+        state.mark_ok()
+        assert state.routable and state.last_error is None
+        state.mark_ok(draining=True)
+        assert state.healthy and not state.routable
+
+    def test_snapshot_shape(self):
+        snap = NodeState(name="n", url="http://h:1").snapshot()
+        assert snap["name"] == "n" and snap["healthy"] is True
+        assert {"draining", "routed", "failed", "failovers_absorbed",
+                "consecutive_failures", "last_error"} <= set(snap)
+
+
+class TestRouteKey:
+    def test_same_source_same_flags_same_key(self):
+        a = route_key(make_request("val it = 1"))
+        b = route_key(make_request("val it = 1"))
+        assert a == b
+
+    def test_flags_change_the_key(self):
+        plain = route_key(make_request("val it = 1"))
+        other = route_key(make_request(
+            "val it = 1", flags=CompilerFlags(verify=False)))
+        assert plain != other
+
+    def test_malformed_requests_still_route_deterministically(self):
+        bad = {"schema": "nope", "source": "val it = 1", "flags": "junk"}
+        assert route_key(bad) == route_key(dict(bad))
+        assert route_key("not a dict") == "invalid-request"
+        assert route_key({"source": 42}) == "invalid-request"
+
+    def test_key_is_the_compile_cache_key(self):
+        # Routing and caching must share the content address, or hot
+        # programs would pin to a node whose caches are keyed elsewhere.
+        from repro.cache import cache_key
+
+        request = make_request("val it = 2 + 2")
+        assert route_key(request) == repr(
+            cache_key("val it = 2 + 2", CompilerFlags()))

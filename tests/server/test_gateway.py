@@ -1,0 +1,244 @@
+"""The asyncio gateway: key-affine routing, node attribution, failover
+on node death and drain, membership, the fleet stats roll-up, and the
+unreachable-fleet rejection.
+
+Two harnesses: a real :class:`LocalFleet` (worker processes and all)
+for the end-to-end paths, and canned stub nodes for the failure
+choreography that would be slow or racy to stage with real ones."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.server.fleet import LocalFleet
+from repro.server.gateway import Gateway, GatewayConfig
+from repro.server.protocol import make_request
+
+
+def _post(url, payload, timeout=60):
+    data = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url + "/v1/run", data=data, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), json.loads(exc.read())
+
+
+def _get(url, path, timeout=30):
+    try:
+        with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with LocalFleet(nodes=2, workers_per_node=1, health_interval=0.25) as f:
+        yield f
+
+
+class TestRouting:
+    def test_same_program_pins_to_one_node(self, fleet):
+        request = make_request("val it = 10 * 10")
+        status, headers, first = _post(fleet.gateway_url, request)
+        assert status == 200 and first["status"] == "ok"
+        assert first["value"] == "100"
+        assert headers.get("X-Repro-Node") == first["node"]
+        for _ in range(3):
+            _, _, again = _post(fleet.gateway_url, request)
+            assert again["node"] == first["node"]
+
+    def test_invalid_body_is_a_400(self, fleet):
+        data = b"{not json"
+        request = urllib.request.Request(
+            fleet.gateway_url + "/v1/run", data=data,
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc_info.value.code == 400
+        body = json.loads(exc_info.value.read())
+        assert body["status"] == "invalid"
+
+    def test_malformed_but_parseable_requests_reach_a_node(self, fleet):
+        # The node, not the gateway, owns request validation: a JSON
+        # body with a bad schema routes (consistently) and comes back
+        # as the node's own invalid response.
+        status, _, body = _post(fleet.gateway_url,
+                                {"schema": "nope", "source": "val it = 1"})
+        assert status in (200, 400)
+        assert body["status"] == "invalid"
+
+    def test_health_lists_nodes(self, fleet):
+        status, body = _get(fleet.gateway_url, "/v1/health")
+        assert status == 200 and body["ok"] is True
+        assert len(body["nodes"]) == 2
+
+    def test_stats_roll_up_merges_nodes(self, fleet):
+        _post(fleet.gateway_url, make_request("val it = 5 + 5"))
+        status, stats = _get(fleet.gateway_url, "/v1/stats")
+        assert status == 200
+        assert stats["gateway"]["requests"] >= 1
+        assert stats["fleet"]["nodes_reporting"] == 2
+        assert stats["fleet"]["jobs"].get("ok", 0) >= 1
+        latency = stats["fleet"]["latency_seconds"]
+        assert latency["count"] >= 1
+        assert set(latency["percentiles"]) == {"p50", "p95", "p99"}
+        assert "fleet_hits" in stats["fleet"]["cache"]
+
+
+class TestFailover:
+    def test_node_death_fails_over_and_loses_nothing(self):
+        # health_interval is huge on purpose: the kill must be
+        # discovered *passively* by the failed forward itself, which is
+        # the path that increments the failover counters (an active
+        # poll racing in first would route around the corpse silently).
+        with LocalFleet(nodes=2, workers_per_node=1,
+                        health_interval=30.0) as fleet:
+            request = make_request("val it = 6 * 7")
+            _, _, first = _post(fleet.gateway_url, request)
+            assert first["status"] == "ok"
+            owner = first["node"]
+            index = fleet.node_urls.index(f"http://{owner}")
+            fleet.kill_node(index)
+            _, _, second = _post(fleet.gateway_url, request)
+            assert second["status"] == "ok" and second["value"] == "42"
+            assert second["node"] != owner
+            _, stats = _get(fleet.gateway_url, "/v1/stats")
+            assert stats["gateway"]["failovers"] >= 1
+            assert stats["nodes"][second["node"]]["failovers_absorbed"] >= 1
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    """A canned backend: behavior dialled per-server via attributes."""
+
+    def _send(self, status, payload):
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self):
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        if self.server.mode == "draining":
+            self._send(503, {"schema": "repro-server/v1", "status": "rejected",
+                             "exit_status": 75, "retry_after": 0.01,
+                             "error": {"type": "Draining", "message": "drain"}})
+        elif self.server.mode == "capacity":
+            self._send(503, {"schema": "repro-server/v1", "status": "rejected",
+                             "exit_status": 75, "retry_after": 0.5,
+                             "error": {"type": "QueueFull", "message": "full"}})
+        else:
+            self._send(200, {"schema": "repro-server/v1", "status": "ok",
+                             "exit_status": 0, "value": "1", "stdout": "",
+                             "id": "stub"})
+        self.server.hits += 1
+
+    def do_GET(self):
+        if self.server.mode == "draining":
+            self._send(503, {"ok": False, "draining": True})
+        else:
+            self._send(200, {"ok": True, "ready": True})
+
+    def log_message(self, *args):  # silence
+        pass
+
+
+def _stub(mode="ok"):
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+    server.mode = mode
+    server.hits = 0
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+class TestFailureChoreography:
+    def test_draining_node_is_skipped_without_client_impact(self):
+        draining, draining_url = _stub("draining")
+        healthy, healthy_url = _stub("ok")
+        gateway = Gateway(GatewayConfig(
+            port=0, nodes=(draining_url, healthy_url),
+            health_interval=30.0))  # no poll: passive discovery only
+        try:
+            host, port = gateway.start()
+            url = f"http://{host}:{port}"
+            for _ in range(4):  # some keys will own to the draining stub
+                status, _, body = _post(url, make_request("val it = 1"))
+                assert status == 200 and body["status"] == "ok"
+            assert healthy.hits >= 4
+        finally:
+            gateway.close()
+            draining.shutdown()
+            healthy.shutdown()
+
+    def test_capacity_rejection_passes_through(self):
+        # Backpressure is an answer, not a node failure: the gateway
+        # must relay it (with Retry-After), not hammer other nodes.
+        full, full_url = _stub("capacity")
+        other, other_url = _stub("capacity")
+        gateway = Gateway(GatewayConfig(
+            port=0, nodes=(full_url, other_url), health_interval=30.0))
+        try:
+            host, port = gateway.start()
+            status, headers, body = _post(
+                f"http://{host}:{port}", make_request("val it = 1"))
+            assert status == 503
+            assert body["status"] == "rejected"
+            assert body["error"]["type"] == "QueueFull"
+            assert "Retry-After" in headers
+            assert full.hits + other.hits == 1  # exactly one node asked
+        finally:
+            gateway.close()
+            full.shutdown()
+            other.shutdown()
+
+    def test_all_nodes_dead_is_unreachable_rejection(self):
+        stub, url = _stub("ok")
+        stub.shutdown()
+        stub.server_close()  # port released: connection refused, fast
+        gateway = Gateway(GatewayConfig(
+            port=0, nodes=(url,), health_interval=30.0, failover_retries=1))
+        try:
+            host, port = gateway.start()
+            status, headers, body = _post(
+                f"http://{host}:{port}", make_request("val it = 1"))
+            assert status == 503
+            assert body["status"] == "rejected"
+            assert body["error"]["type"] == "NoHealthyNode"
+            assert "Retry-After" in headers
+        finally:
+            gateway.close()
+
+    def test_membership_join_and_leave(self):
+        stub, url = _stub("ok")
+        gateway = Gateway(GatewayConfig(port=0, nodes=(url,),
+                                        health_interval=30.0))
+        try:
+            host, port = gateway.start()
+            base = f"http://{host}:{port}"
+            late, late_url = _stub("ok")
+            data = json.dumps({"node": late_url}).encode()
+            with urllib.request.urlopen(urllib.request.Request(
+                    base + "/v1/admin/join", data=data), timeout=30) as resp:
+                joined = json.loads(resp.read())
+            assert joined["ok"] is True
+            _, stats = _get(base, "/v1/stats")
+            assert len(stats["gateway"]["ring"]["nodes"]) == 2
+            with urllib.request.urlopen(urllib.request.Request(
+                    base + "/v1/admin/leave", data=data), timeout=30) as resp:
+                left = json.loads(resp.read())
+            assert left["ok"] is True
+            _, stats = _get(base, "/v1/stats")
+            assert len(stats["gateway"]["ring"]["nodes"]) == 1
+            late.shutdown()
+        finally:
+            gateway.close()
+            stub.shutdown()

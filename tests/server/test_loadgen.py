@@ -1,0 +1,206 @@
+"""Load-replay harness: schedule determinism, trace round-trips, the
+document builder, SLO gating against server-side percentiles, and the
+repro-serving-bench/v1 schema validator."""
+
+import pytest
+
+from repro.server.loadgen import (
+    Arrival,
+    DEFAULT_SLOS,
+    _Sample,
+    build_document,
+    check_slos,
+    poisson_schedule,
+    serving_table,
+    trace_schedule,
+    validate_document,
+    write_trace,
+)
+from repro.server.metrics import Histogram
+
+
+class TestSchedules:
+    def test_same_seed_same_schedule(self):
+        a = poisson_schedule(["fib", "tak"], rate=10, requests=50, seed=42)
+        b = poisson_schedule(["fib", "tak"], rate=10, requests=50, seed=42)
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = poisson_schedule(["fib", "tak"], rate=10, requests=50, seed=1)
+        b = poisson_schedule(["fib", "tak"], rate=10, requests=50, seed=2)
+        assert a != b
+
+    def test_arrival_times_are_monotone_open_loop(self):
+        schedule = poisson_schedule(["fib"], rate=100, requests=200, seed=0)
+        times = [a.at for a in schedule]
+        assert times == sorted(times)
+        assert len(schedule) == 200
+        # Mean inter-arrival gap ~ 1/rate; loose sanity bound only.
+        assert 0.2 < times[-1] / (200 / 100) < 5.0
+
+    def test_tenants_spread(self):
+        schedule = poisson_schedule(["fib"], rate=10, requests=100, seed=0,
+                                    tenants=["a", "b"])
+        tenants = {a.tenant for a in schedule}
+        assert tenants == {"a", "b"}
+
+    def test_weights_bias_the_mix(self):
+        schedule = poisson_schedule(["hot", "cold"], rate=10, requests=300,
+                                    seed=0, weights=[9, 1])
+        hot = sum(1 for a in schedule if a.program == "hot")
+        assert hot > 200
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            poisson_schedule(["fib"], rate=0, requests=1)
+        with pytest.raises(ValueError):
+            poisson_schedule([], rate=1, requests=1)
+        with pytest.raises(ValueError):
+            poisson_schedule(["fib"], rate=1, requests=0)
+
+    def test_trace_round_trip(self, tmp_path):
+        schedule = poisson_schedule(["fib", "msort"], rate=20, requests=30,
+                                    seed=3, tenants=["t1"])
+        path = tmp_path / "trace.jsonl"
+        write_trace(schedule, str(path))
+        replayed = trace_schedule(str(path))
+        assert [a.program for a in replayed] == [a.program for a in schedule]
+        assert [a.tenant for a in replayed] == [a.tenant for a in schedule]
+        assert all(abs(x.at - y.at) < 1e-6
+                   for x, y in zip(replayed, schedule))
+
+    def test_trace_rows_are_sorted_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('# header\n{"at": 2.0, "program": "b"}\n'
+                        '{"at": 1.0, "program": "a"}\n\n')
+        replayed = trace_schedule(str(path))
+        assert [a.program for a in replayed] == ["a", "b"]
+
+    def test_bad_trace_row_is_an_error_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"at": 1.0, "program": "a"}\n{"nope": true}\n')
+        with pytest.raises(ValueError, match=":2:"):
+            trace_schedule(str(path))
+
+
+def _stats(histogram: Histogram, cache=None, failovers=0) -> dict:
+    return {
+        "gateway": {"failovers": failovers},
+        "fleet": {
+            "latency_seconds": histogram.to_dict(),
+            "cache": cache or {"lookups": 0, "memory_hits": 0,
+                               "disk_hits": 0, "fleet_hits": 0},
+        },
+    }
+
+
+def _samples(latencies, program="fib", value="2584"):
+    return [
+        _Sample(arrival=Arrival(at=i * 0.1, program=program), status="ok",
+                latency=lat, value=value)
+        for i, lat in enumerate(latencies)
+    ]
+
+
+class TestDocument:
+    def _document(self, samples, **kwargs):
+        return build_document(
+            samples,
+            {"kind": "poisson", "rate": 10.0, "seed": 0,
+             "requests": len(samples), "programs": ["fib"]},
+            {"nodes": 2, "workers_per_node": 2, "gateway": "local"},
+            **kwargs,
+        )
+
+    def test_document_validates_and_passes_default_slos(self):
+        doc = self._document(_samples([0.1, 0.2, 0.3]))
+        assert validate_document(doc) == []
+        assert doc["slo_check"]["passed"] is True
+        assert doc["results"]["ok"] == 3
+        assert doc["results"]["lost"] == 0
+
+    def test_lost_request_counts_and_fails_the_gate(self):
+        samples = _samples([0.1, 0.2])
+        samples.append(_Sample(arrival=Arrival(at=0.5, program="fib")))
+        doc = self._document(samples)
+        assert doc["results"]["lost"] == 1
+        assert doc["slo_check"]["passed"] is False
+        assert any("lost_rate" in v for v in doc["slo_check"]["violations"])
+
+    def test_wrong_answer_fails_the_gate(self):
+        doc = self._document(_samples([0.1], value="wrong"),
+                             expected={"fib": "2584"})
+        assert doc["results"]["wrong_answers"] == 1
+        assert doc["slo_check"]["passed"] is False
+
+    def test_server_side_percentiles_gate_the_latency_slos(self):
+        # Client-side latencies are fine, server-side blow the SLO: the
+        # gate must read the server's histograms (satellite: no
+        # client-side re-derivation when /v1/stats data exists).
+        before = Histogram((1.0, 5.0))
+        after = Histogram((1.0, 5.0))
+        for _ in range(10):
+            after.observe(4.0)  # all requests ~4s server-side
+        doc = self._document(
+            _samples([0.1] * 10),
+            stats_before=_stats(before), stats_after=_stats(after),
+            slos=dict(DEFAULT_SLOS, p95_seconds=2.0),
+        )
+        assert doc["slo_check"]["latency_source"] == "server"
+        assert doc["slo_check"]["passed"] is False
+        assert any("server-side" in v for v in doc["slo_check"]["violations"])
+
+    def test_client_fallback_when_no_stats_captured(self):
+        doc = self._document(_samples([0.1, 3.0]),
+                             slos=dict(DEFAULT_SLOS, p95_seconds=1.0))
+        assert doc["slo_check"]["latency_source"] == "client"
+        assert doc["slo_check"]["passed"] is False
+
+    def test_cache_and_failover_deltas(self):
+        cache_before = {"lookups": 10, "memory_hits": 5, "disk_hits": 1,
+                        "fleet_hits": 0}
+        cache_after = {"lookups": 30, "memory_hits": 15, "disk_hits": 3,
+                       "fleet_hits": 2}
+        doc = self._document(
+            _samples([0.1] * 20),
+            stats_before=_stats(Histogram((1.0,)), cache=cache_before),
+            stats_after=_stats(Histogram((1.0,)), cache=cache_after,
+                               failovers=3),
+        )
+        assert doc["results"]["cache"] == {
+            "lookups": 20, "memory_hits": 10, "disk_hits": 2,
+            "fleet_hits": 2, "hit_rate": 0.7}
+        assert doc["results"]["failovers"] == 3
+
+    def test_serving_table_renders(self):
+        doc = self._document(_samples([0.1, 0.2]))
+        table = serving_table(doc)
+        assert "| Metric | Value |" in table
+        assert "2 nodes" in table
+        assert "PASS" in table
+
+
+class TestValidator:
+    def test_rejects_non_document(self):
+        assert validate_document("nope") != []
+        assert validate_document({"schema": "wrong"}) != []
+
+    def test_catches_missing_fields(self):
+        doc = build_document(
+            _samples([0.1]),
+            {"kind": "poisson", "rate": 1.0, "seed": 0, "requests": 1,
+             "programs": ["fib"]},
+            {"nodes": 1, "workers_per_node": 1, "gateway": "local"},
+        )
+        del doc["results"]["lost"]
+        problems = validate_document(doc)
+        assert any("lost" in p for p in problems)
+
+    def test_poisson_without_seed_is_invalid(self):
+        doc = build_document(
+            _samples([0.1]),
+            {"kind": "poisson", "rate": 1.0, "requests": 1,
+             "programs": ["fib"]},
+            {"nodes": 1, "workers_per_node": 1, "gateway": "local"},
+        )
+        assert any("seed" in p for p in validate_document(doc))

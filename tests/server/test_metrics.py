@@ -1,8 +1,16 @@
 """Fleet metrics registry: outcome counters, cache hit rate, RunStats
-aggregation semantics (sums vs high-water maxima), histograms."""
+aggregation semantics (sums vs high-water maxima), histograms, and the
+histogram-snapshot percentile/merge/delta algebra the gateway and
+loadgen build on."""
 
 from repro.runtime.stats import RunStats
-from repro.server.metrics import Histogram, MetricsRegistry
+from repro.server.metrics import (
+    Histogram,
+    MetricsRegistry,
+    histogram_delta,
+    merge_histogram_snapshots,
+    percentiles_from_snapshot,
+)
 from repro.server.protocol import make_response
 
 
@@ -85,6 +93,86 @@ class TestRegistry:
         assert reg.snapshot()["latency_seconds"]["count"] == 1
 
 
+class TestPercentiles:
+    def test_uniform_observations_hit_known_quantiles(self):
+        h = Histogram(tuple(x / 10 for x in range(1, 11)))
+        for i in range(1, 101):           # 0.01 .. 1.00 uniformly
+            h.observe(i / 100)
+        p = h.to_dict()["percentiles"]
+        # Linear interpolation within 0.1-wide buckets keeps every
+        # estimate within one bucket width of the true quantile.
+        assert abs(p["p50"] - 0.50) <= 0.1
+        assert abs(p["p95"] - 0.95) <= 0.1
+        assert abs(p["p99"] - 0.99) <= 0.1
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_empty_histogram_reports_none(self):
+        assert percentiles_from_snapshot(Histogram((1.0,)).to_dict()) == {
+            "p50": None, "p95": None, "p99": None}
+
+    def test_single_bucket_histogram_clamps_to_observed_max(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        p = h.to_dict()["percentiles"]
+        # One observation in one bucket: every quantile must be the
+        # observation itself, never the bucket's upper bound.
+        assert p == {"p50": 0.5, "p95": 0.5, "p99": 0.5}
+
+    def test_inf_tail_is_closed_by_observed_max(self):
+        h = Histogram((1.0,))
+        for v in (0.1, 0.2, 0.3, 7.0):    # one +inf straggler
+            h.observe(v)
+        p = h.to_dict()["percentiles"]
+        assert p["p99"] <= 7.0
+        assert p["p50"] <= 1.0
+
+    def test_merge_is_count_weighted(self):
+        a, b = Histogram((1.0, 2.0)), Histogram((1.0, 2.0))
+        for _ in range(99):
+            a.observe(0.5)
+        b.observe(1.5)
+        merged = merge_histogram_snapshots([a.to_dict(), b.to_dict()])
+        assert merged["count"] == 100
+        assert merged["buckets"] == {"1.0": 99, "2.0": 1, "+inf": 0}
+        assert merged["percentiles"]["p50"] <= 1.0
+        assert merged["max"] == 1.5
+
+    def test_delta_isolates_one_window(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(0.5)
+        before = h.to_dict()
+        h.observe(1.5)
+        h.observe(1.6)
+        delta = histogram_delta(h.to_dict(), before)
+        assert delta["count"] == 2
+        assert delta["buckets"]["2.0"] == 2
+        assert delta["buckets"]["1.0"] == 0
+        assert 1.0 <= delta["percentiles"]["p50"] <= 2.0
+
+
+class TestFleetCacheCounters:
+    def test_fleet_hits_count_into_hit_rate(self):
+        reg = MetricsRegistry()
+        reg.record_response(make_response(
+            "ok", value="1", stdout="",
+            cache={"memory_hit": False, "disk_hit": False, "fleet_hit": True},
+        ))
+        reg.record_response(_ok_response())  # cold
+        cache = reg.snapshot()["cache"]
+        assert cache["fleet_hits"] == 1
+        assert cache["lookups"] == 2
+        assert cache["hit_rate"] == 0.5
+
+    def test_quarantine_evictions_ride_the_cache_dict(self):
+        reg = MetricsRegistry()
+        reg.record_response(make_response(
+            "ok", value="1", stdout="",
+            cache={"memory_hit": False, "disk_hit": False,
+                   "quarantine_evicted": 3},
+        ))
+        assert reg.snapshot()["resilience"]["quarantine_evictions"] == 3
+
+
 class TestResilienceCounters:
     def test_retries_drains_restarts_count(self):
         reg = MetricsRegistry()
@@ -94,7 +182,7 @@ class TestResilienceCounters:
         reg.record_rolling_restart()
         snap = reg.snapshot()["resilience"]
         assert snap == {"retries": 2, "drains": 1, "rolling_restarts": 1,
-                        "quarantined_entries": 0}
+                        "quarantined_entries": 0, "quarantine_evictions": 0}
 
     def test_quarantine_flag_on_responses_is_counted(self):
         reg = MetricsRegistry()

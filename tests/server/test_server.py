@@ -164,7 +164,8 @@ class TestWarmRestart:
             client.wait_ready()
             cold = client.run(FIB)
             assert cold["status"] == "ok"
-            assert cold["cache"] == {"memory_hit": False, "disk_hit": False}
+            assert cold["cache"] == {"memory_hit": False, "disk_hit": False,
+                                     "fleet_hit": False}
         with ReproServer(config) as reborn:
             host, port = reborn.start()
             client = ServerClient(f"http://{host}:{port}")

@@ -54,7 +54,8 @@ class TestHappyPath:
         assert resp["stdout"] == ""
         assert resp["stats"]["steps"] > 0
         assert resp["timing"]["compile_seconds"] > 0
-        assert resp["cache"] == {"memory_hit": False, "disk_hit": False}
+        assert resp["cache"] == {"memory_hit": False, "disk_hit": False,
+                                 "fleet_hit": False}
 
     def test_stdout_travels(self):
         resp = worker.execute_job(make_request('val _ = print "hello"\nval it = 1'))
@@ -74,14 +75,15 @@ class TestHappyPath:
 class TestCacheLayers:
     def test_memory_then_disk_layering(self):
         assert worker.execute_job(make_request(FIB))["cache"] == {
-            "memory_hit": False, "disk_hit": False,
+            "memory_hit": False, "disk_hit": False, "fleet_hit": False,
         }
         # Same process: the LRU hits first.
         assert worker.execute_job(make_request(FIB))["cache"]["memory_hit"] is True
         # A "new worker process": fresh LRU, same disk dir.
         default_cache().clear()
         resp = worker.execute_job(make_request(FIB))
-        assert resp["cache"] == {"memory_hit": False, "disk_hit": True}
+        assert resp["cache"] == {"memory_hit": False, "disk_hit": True,
+                                 "fleet_hit": False}
         assert resp["value"] == "610"
 
     def test_cache_false_bypasses_both_layers(self):
