@@ -35,7 +35,7 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--programs", default=None,
-                        help="comma-separated subset (default: all 23; CI "
+                        help="comma-separated subset (default: all 28; CI "
                              "may pass a subset of at least 8 for speed)")
     parser.add_argument("--kills", type=int, default=5)
     parser.add_argument("--rejects", type=int, default=3)

@@ -45,7 +45,7 @@ def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--programs", default=None,
-                        help="comma-separated subset (default: all 23)")
+                        help="comma-separated subset (default: all 28)")
     args = parser.parse_args(argv)
     names = args.programs.split(",") if args.programs else sorted(BENCHMARKS)
 

@@ -4,7 +4,7 @@
 Boots a ``repro-serve`` subprocess with a worker fleet and a disk compile
 cache, then:
 
-1. **Golden equivalence** — submits all 23 Figure 9 programs concurrently
+1. **Golden equivalence** — submits all 28 registry programs concurrently
    through :class:`repro.server.client.ServerClient` and asserts each
    response's value, stdout, and ``RunStats`` are bit-identical to a
    sequential in-process run (the same code path as ``repro-run``).
@@ -64,7 +64,7 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="closure",
                         choices=("closure", "tree"))
     parser.add_argument("--programs", default=None,
-                        help="comma-separated subset (default: all 23)")
+                        help="comma-separated subset (default: all 28)")
     args = parser.parse_args(argv)
 
     names = sorted(BENCHMARKS)

@@ -99,7 +99,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--programs",
         default="all",
-        help="comma-separated benchmark names (default: all 23)",
+        help="comma-separated benchmark names (default: all 28)",
     )
     args = parser.parse_args(argv)
     if args.programs == "all":

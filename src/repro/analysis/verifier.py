@@ -56,6 +56,7 @@ from ..core.rtypes import (
     TAU_EXN,
     TAU_REAL,
     TAU_STRING,
+    TauArray,
     TauArrow,
     TauData,
     TauList,
@@ -159,6 +160,8 @@ class Verifier:
                     stack.append(t.elem)
                 elif isinstance(t, TauRef):
                     stack.append(t.content)
+                elif isinstance(t, TauArray):
+                    stack.append(t.elem)
                 elif isinstance(t, TauData):
                     stack.extend(t.targs)
                 # string / real / exn contribute only their place
@@ -860,6 +863,8 @@ class Verifier:
                     stack.append(t.elem)
                 elif isinstance(t, TauRef):
                     stack.append(t.content)
+                elif isinstance(t, TauArray):
+                    stack.append(t.elem)
                 elif isinstance(t, TauData):
                     stack.extend(t.targs)
         return False
@@ -978,7 +983,17 @@ class Verifier:
 
     def _v_LetExn(self, omega, gamma, exnenv, e: T.LetExn, path):
         if e.payload is not None and self.strict_exceptions:
-            need, _bad = self.required_effect(omega, e.payload, _NO_TYVARS)
+            need, bad = self.required_effect(omega, e.payload, _NO_TYVARS)
+            if bad:
+                self.fail(
+                    "exn-tyvar",
+                    path,
+                    f"exception {e.exname}: the payload type mentions "
+                    f"untracked type variable(s) "
+                    f"{sorted(a.display() for a in bad)} — Section 4.4 "
+                    "tracks exception type variables like spurious ones, "
+                    "pinned to the global effect",
+                )
             non_global = frozenset(
                 r for r in need if isinstance(r, RegionVar) and not r.top
             )

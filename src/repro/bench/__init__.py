@@ -1,4 +1,4 @@
-"""The Figure 9 benchmark harness: the 23 benchmark programs, the
+"""The Figure 9 benchmark harness: the 28 benchmark programs (23 Figure 9 ports plus 5 array/exception extension rows), the
 per-strategy measurement machinery, and the table drivers."""
 
 from .registry import BENCHMARKS, Benchmark, benchmark_source

@@ -66,7 +66,7 @@ differ::
 
 Usage::
 
-    repro-bench                               # all 23 programs x 5 strategies
+    repro-bench                               # all 28 programs x 5 strategies
     repro-bench --programs fib,life --repeat 1
     repro-bench --jobs 4                      # parallel across programs
     repro-bench --validate BENCH_figure9.json # schema-check an existing file
@@ -416,7 +416,7 @@ def main(argv: Optional[list] = None) -> int:
         type=_names_arg,
         default=None,
         metavar="a,b,..",
-        help="comma-separated benchmark names (default: all 23)",
+        help="comma-separated benchmark names (default: all 28)",
     )
     parser.add_argument(
         "--strategies",

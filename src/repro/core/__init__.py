@@ -43,6 +43,7 @@ from .rtypes import (
     TAU_EXN,
     TAU_REAL,
     TAU_STRING,
+    TauArray,
     TauArrow,
     TauList,
     TauPair,

@@ -50,6 +50,7 @@ from .rtypes import (
     PiScheme,
     Scheme,
     Tau,
+    TauArray,
     TauArrow,
     TauData,
     TauExn,
@@ -121,6 +122,8 @@ def contained_tau_at(
         return contained_mu(omega, tau.elem, phi, lenient)
     if isinstance(tau, TauRef):
         return contained_mu(omega, tau.content, phi, lenient)
+    if isinstance(tau, TauArray):
+        return contained_mu(omega, tau.elem, phi, lenient)
     if isinstance(tau, TauData):
         return all(contained_mu(omega, a, phi, lenient) for a in tau.targs)
     raise TypeError(f"contained_tau_at: {tau!r}")
@@ -208,6 +211,8 @@ def _collect_tau(omega: TyCtx, tau: Tau, out: set, lenient: frozenset) -> None:
         _collect_mu(omega, tau.elem, out, lenient)
     elif isinstance(tau, TauRef):
         _collect_mu(omega, tau.content, out, lenient)
+    elif isinstance(tau, TauArray):
+        _collect_mu(omega, tau.elem, out, lenient)
     elif isinstance(tau, TauData):
         for a in tau.targs:
             _collect_mu(omega, a, out, lenient)

@@ -53,6 +53,7 @@ __all__ = [
     "TauReal",
     "TauList",
     "TauRef",
+    "TauArray",
     "TauExn",
     "TauData",
     "TAU_STRING",
@@ -184,6 +185,16 @@ class TauRef:
 
 
 @dataclass(frozen=True, slots=True)
+class TauArray:
+    """Mutable array.  Like :class:`TauRef` the slots are updatable in
+    place; the whole backing store lives in the place of the enclosing
+    :class:`MuBoxed` while slot *values* keep their own regions through
+    ``elem``."""
+
+    elem: Mu
+
+
+@dataclass(frozen=True, slots=True)
 class TauExn:
     """The exception type.  Exception values are boxed and always live in
     the global region (Section 4.4)."""
@@ -204,7 +215,9 @@ TAU_STRING = TauString()
 TAU_REAL = TauReal()
 TAU_EXN = TauExn()
 
-Tau = Union[TauPair, TauArrow, TauString, TauReal, TauList, TauRef, TauExn, TauData]
+Tau = Union[
+    TauPair, TauArrow, TauString, TauReal, TauList, TauRef, TauArray, TauExn, TauData
+]
 
 
 def arrow_mu(dom: Mu, arrow: ArrowEffect, cod: Mu, rho: RegionVar) -> MuBoxed:
@@ -365,6 +378,8 @@ def _walk(obj: object, rvs: set, evs: set, tvs: set) -> None:
         _walk(obj.elem, rvs, evs, tvs)
     elif isinstance(obj, TauRef):
         _walk(obj.content, rvs, evs, tvs)
+    elif isinstance(obj, TauArray):
+        _walk(obj.elem, rvs, evs, tvs)
     elif isinstance(obj, TauData):
         for targ in obj.targs:
             _walk(targ, rvs, evs, tvs)
@@ -465,6 +480,8 @@ def show_tau(tau: Tau) -> str:
         return f"{show_mu(tau.elem)} list"
     if isinstance(tau, TauRef):
         return f"{show_mu(tau.content)} ref"
+    if isinstance(tau, TauArray):
+        return f"{show_mu(tau.elem)} array"
     if isinstance(tau, TauExn):
         return "exn"
     if isinstance(tau, TauData):

@@ -46,6 +46,7 @@ from .rtypes import (
     Pi,
     Scheme,
     Tau,
+    TauArray,
     TauArrow,
     TauData,
     TauExn,
@@ -125,6 +126,8 @@ class Subst:
             return TauList(self.mu(t.elem))
         if isinstance(t, TauRef):
             return TauRef(self.mu(t.content))
+        if isinstance(t, TauArray):
+            return TauArray(self.mu(t.elem))
         if isinstance(t, TauData):
             return TauData(t.name, tuple(self.mu(a) for a in t.targs))
         raise TypeError(f"Subst.tau: {t!r}")

@@ -48,6 +48,7 @@ from .rtypes import (
     TAU_EXN,
     TAU_REAL,
     TAU_STRING,
+    TauArray,
     TauArrow,
     TauData,
     TauList,
@@ -533,7 +534,16 @@ class RegionTypeChecker:
                     f"exception {e.exname}: payload type is not well-formed"
                 )
             if self.strict_exceptions:
-                bad = [r for r in required_effect_mu(omega, e.payload)
+                try:
+                    need = required_effect_mu(omega, e.payload)
+                except RegionTypeError as exc:
+                    raise RegionTypeError(
+                        f"exception {e.exname}: payload type mentions an "
+                        f"untracked exception type variable ({exc}) — "
+                        "Section 4.4 tracks exception type variables like "
+                        "spurious ones, pinned to the global effect"
+                    ) from exc
+                bad = [r for r in need
                        if isinstance(r, RegionVar) and not r.top]
                 if bad:
                     raise RegionTypeError(
@@ -667,6 +677,8 @@ def _template_has_arrow(mu: Mu) -> bool:
             return _template_has_arrow(tau.elem)
         if isinstance(tau, TauRef):
             return _template_has_arrow(tau.content)
+        if isinstance(tau, TauArray):
+            return _template_has_arrow(tau.elem)
         if isinstance(tau, TauData):
             return any(_template_has_arrow(a) for a in tau.targs)
     return False
@@ -708,7 +720,7 @@ def _admits_eq_mu(mu: Mu) -> bool:
         return _admits_eq_mu(tau.fst) and _admits_eq_mu(tau.snd)
     if isinstance(tau, TauList):
         return _admits_eq_mu(tau.elem)
-    if isinstance(tau, TauRef):
+    if isinstance(tau, (TauRef, TauArray)):
         return True
     if isinstance(tau, TauData):
         return all(_admits_eq_mu(a) for a in tau.targs)
@@ -843,6 +855,51 @@ def _prim_type(op: str, mus: list[Mu], rho: Optional[RegionVar]) -> tuple[Mu, Ef
         want(1)
         mu = boxed(0, TauList)
         return mu, frozenset(get)
+    if op == "array":
+        # array (n, init) at rho : (elem array, rho)
+        want(1)
+        mu = boxed(0, TauPair)
+        if mu.tau.fst != MU_INT:
+            raise RegionTypeError(
+                f"array: length must be int, got {show_mu(mu.tau.fst)}"
+            )
+        return MuBoxed(TauArray(mu.tau.snd), put()), frozenset(get)
+    if op == "asub":
+        # sub (a, i): reads a slot — a get effect on the array's region.
+        want(1)
+        mu = boxed(0, TauPair)
+        arr = mu.tau.fst
+        if not (isinstance(arr, MuBoxed) and isinstance(arr.tau, TauArray)):
+            raise RegionTypeError(f"sub of a non-array {show_mu(arr)}")
+        if mu.tau.snd != MU_INT:
+            raise RegionTypeError("sub: index must be int")
+        get.add(arr.rho)
+        return arr.tau.elem, frozenset(get)
+    if op == "aupdate":
+        # update (a, (i, v)): writes a slot — a get effect on the array's
+        # region (and the inner index/value pair's own box).
+        want(1)
+        mu = boxed(0, TauPair)
+        arr = mu.tau.fst
+        if not (isinstance(arr, MuBoxed) and isinstance(arr.tau, TauArray)):
+            raise RegionTypeError(f"update of a non-array {show_mu(arr)}")
+        iv = mu.tau.snd
+        if not (isinstance(iv, MuBoxed) and isinstance(iv.tau, TauPair)):
+            raise RegionTypeError("update: expected an (index, value) pair")
+        if iv.tau.fst != MU_INT:
+            raise RegionTypeError("update: index must be int")
+        if iv.tau.snd != arr.tau.elem:
+            raise RegionTypeError(
+                f"update stores {show_mu(iv.tau.snd)} into a "
+                f"{show_mu(arr)} slot"
+            )
+        get.add(arr.rho)
+        get.add(iv.rho)
+        return MU_UNIT, frozenset(get)
+    if op == "alength":
+        want(1)
+        mu = boxed(0, TauArray)
+        return MU_INT, frozenset(get)
     raise RegionTypeError(f"unknown primitive {op}")
 
 

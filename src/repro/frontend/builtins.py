@@ -36,6 +36,7 @@ from .mltypes import (
     T_STRING,
     T_UNIT,
     TVar,
+    array_of,
     arrow,
     list_of,
     pair,
@@ -93,6 +94,14 @@ def _builtins() -> dict[str, Builtin]:
         Builtin("ln", _mono(arrow(T_REAL, T_REAL)), "rln", allocates=True),
         Builtin("rabs", _mono(arrow(T_REAL, T_REAL)), "rabs", allocates=True),
         Builtin("ref", _poly1(lambda a: arrow(a, ref_of(a))), "__ref", allocates=True),
+        # Array.array/sub/update/length — mutable arrays (ISSUE 10).
+        Builtin("array", _poly1(lambda a: arrow(pair(T_INT, a), array_of(a))),
+                "array", allocates=True),
+        Builtin("sub", _poly1(lambda a: arrow(pair(array_of(a), T_INT), a)), "asub"),
+        Builtin("update",
+                _poly1(lambda a: arrow(pair(array_of(a), pair(T_INT, a)), T_UNIT)),
+                "aupdate"),
+        Builtin("alength", _poly1(lambda a: arrow(array_of(a), T_INT)), "alength"),
     ]
     return {b.name: b for b in table}
 

@@ -47,6 +47,7 @@ from .mltypes import (
     arrow,
     free_tvars,
     fresh_tvar,
+    array_of,
     list_of,
     pair,
     prune,
@@ -175,7 +176,7 @@ class _Inferencer:
             env[name] = _VarEntry(builtin.scheme, Binder(name, None, builtin))
         tyvar_scope: dict[str, TVar] = {}
         for dec in program.decs:
-            env = self.dec(dec, env)
+            env = self.dec(dec, env, tyvar_scope)
         for name, entry in env.items():
             if isinstance(entry, _VarEntry) and entry.binder.builtin is None:
                 self.result.top_env[name] = entry.scheme
@@ -183,13 +184,22 @@ class _Inferencer:
 
     # -- declarations ------------------------------------------------------------
 
-    def dec(self, dec: A.Dec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+    def dec(
+        self,
+        dec: A.Dec,
+        env: dict[str, _Entry],
+        scope: Optional[dict[str, TVar]] = None,
+    ) -> dict[str, _Entry]:
         if isinstance(dec, A.ValDec):
             return self._val_dec(dec, env)
         if isinstance(dec, A.FunDec):
             return self._fun_dec(dec, env)
         if isinstance(dec, A.ExnDec):
-            return self._exn_dec(dec, env)
+            # Exception payloads share the *enclosing* type-variable scope:
+            # `let exception E of 'a` inside `fun f (x : 'a)` carries the
+            # function's 'a (the paper's exception type variables, §4.4),
+            # not a fresh one.
+            return self._exn_dec(dec, env, scope if scope is not None else {})
         if isinstance(dec, A.DatatypeDec):
             return self._datatype_dec(dec, env)
         raise TypeError(f"unknown declaration {dec!r}")
@@ -277,10 +287,12 @@ class _Inferencer:
         new_env[dec.name] = _VarEntry(scheme, binder)
         return new_env
 
-    def _exn_dec(self, dec: A.ExnDec, env: dict[str, _Entry]) -> dict[str, _Entry]:
+    def _exn_dec(
+        self, dec: A.ExnDec, env: dict[str, _Entry], scope: dict[str, TVar]
+    ) -> dict[str, _Entry]:
         payload = None
         if dec.payload is not None:
-            payload = self.surface_type(dec.payload, {})
+            payload = self.surface_type(dec.payload, scope)
         self.result.exn_payload[id(dec)] = payload
         new_env = dict(env)
         new_env[dec.name] = _ExnEntry(payload, dec)
@@ -347,6 +359,8 @@ class _Inferencer:
                 return list_of(self.surface_type(ty.args[0], scope))
             if ty.name == "ref":
                 return ref_of(self.surface_type(ty.args[0], scope))
+            if ty.name == "array":
+                return array_of(self.surface_type(ty.args[0], scope))
             info = self.result.datatypes.get(ty.name)
             if info is not None:
                 if len(ty.args) != len(info.params):
@@ -424,7 +438,7 @@ class _Inferencer:
         if isinstance(e, A.ELet):
             inner = env
             for d in e.decs:
-                inner = self.dec(d, inner)
+                inner = self.dec(d, inner, scope)
             return self.exp(e.body, inner, scope)
         if isinstance(e, A.EIf):
             ct = self.exp(e.cond, env, scope)

@@ -41,6 +41,7 @@ __all__ = [
     "tuple_type",
     "list_of",
     "ref_of",
+    "array_of",
     "MLScheme",
     "prune",
     "zonk",
@@ -104,8 +105,8 @@ def admits_eq(t: MLType, assume: frozenset = frozenset()) -> bool:
     assert isinstance(t, TCon)
     if t.name in _EQ_BASES:
         return True
-    if t.name == "ref":
-        return True  # 'a ref admits equality for any 'a (pointer equality)
+    if t.name in ("ref", "array"):
+        return True  # pointer equality for any 'a, as for refs in SML
     if t.name in ("*", "list"):
         return all(admits_eq(a, assume) for a in t.args)
     if t.name in assume or EQTYPE_DATATYPES.get(t.name, False):
@@ -123,7 +124,7 @@ def require_eq(t: MLType, where: str = "") -> None:
         t.overload = _merge_overloads(t.overload, "eq")
         return
     assert isinstance(t, TCon)
-    if t.name in _EQ_BASES or t.name == "ref":
+    if t.name in _EQ_BASES or t.name in ("ref", "array"):
         return
     if t.name in ("*", "list") or EQTYPE_DATATYPES.get(t.name, False):
         for a in t.args:
@@ -215,6 +216,10 @@ def list_of(elem: MLType) -> TCon:
 
 def ref_of(content: MLType) -> TCon:
     return TCon("ref", (content,))
+
+
+def array_of(elem: MLType) -> TCon:
+    return TCon("array", (elem,))
 
 
 def fresh_tvar(level: int, overload: Optional[str] = None) -> TVar:
@@ -415,7 +420,7 @@ def show_type(t: MLType, prec: int = 0) -> str:
     if t.name == "*":
         inner = f"{show_type(t.args[0], 3)} * {show_type(t.args[1], 2)}"
         return f"({inner})" if prec >= 3 else inner
-    if t.name in ("list", "ref"):
+    if t.name in ("list", "ref", "array"):
         return f"{show_type(t.args[0], 3)} {t.name}"
     if t.args:  # a user datatype
         if len(t.args) == 1:

@@ -38,6 +38,7 @@ from ..core.rtypes import (
     TAU_EXN,
     TAU_REAL,
     TAU_STRING,
+    TauArray,
     TauArrow,
     TauList,
     TauPair,
@@ -49,6 +50,7 @@ from ..core.substitution import Subst
 from ..frontend.mltypes import prune
 from .nodes import EpsNode, RhoNode, closure_of
 from .ntypes import (
+    NArray,
     NArrow,
     NBase,
     NBoxed,
@@ -154,6 +156,8 @@ class Freezer:
             out = TauList(self.mu(tau.elem))
         elif isinstance(tau, NRef):
             out = TauRef(self.mu(tau.content))
+        elif isinstance(tau, NArray):
+            out = TauArray(self.mu(tau.elem))
         elif isinstance(tau, NExn):
             out = TAU_EXN
         elif isinstance(tau, NData):
@@ -371,6 +375,8 @@ class Freezer:
                 return MuBoxed(TauList(conv(t.args[0])), self_rho)
             if t.name == "ref":
                 return MuBoxed(TauRef(conv(t.args[0])), self_rho)
+            if t.name == "array":
+                return MuBoxed(TauArray(conv(t.args[0])), self_rho)
             if t.name == info.name:
                 return MuBoxed(
                     TauData(info.name, tuple(param_mu[mlprune(p).ident]

@@ -44,6 +44,7 @@ from ..frontend.infer import InferenceResult, VarInstance
 from ..frontend.mltypes import MLType, TCon, TVar, prune, zonk
 from .nodes import EpsNode, NodeSupply, RhoNode, closure_of, unify_eps, unify_rho
 from .ntypes import (
+    NArray,
     NArrow,
     NBase,
     NBoxed,
@@ -630,6 +631,8 @@ class _RegionInferencer:
                 return NBoxed(NList(conv(t.args[0])), spine)
             if t.name == "ref":
                 return NBoxed(NRef(conv(t.args[0])), spine)
+            if t.name == "array":
+                return NBoxed(NArray(conv(t.args[0])), spine)
             if t.name in ("->", "exn"):
                 raise RegionInferenceError(
                     f"constructor {conname} of {info.name}: {t.name} types in "
@@ -864,6 +867,15 @@ class _RegionInferencer:
                     a for a in frev_nodes(fi.arrow)
                     if not a.find().generalized
                 } | {fi.rho.find()}
+                # A delta-bound type variable is discharged at
+                # instantiation, but its arrow-effect handle survives the
+                # scheme when it is not generalized — exception type
+                # variables are pinned to the global effect (Section 4.4)
+                # — and scheme containment then demands it be visible in
+                # the capturing function's type.
+                for d_eps in fi.delta.values():
+                    if not d_eps.find().generalized:
+                        atoms.add(d_eps.find())
                 tyvars = {
                     tv for tv in tyvars_of_nmu(fi.arrow)
                     if tv not in set(fi.tvars) | set(fi.delta)
@@ -1415,6 +1427,30 @@ class _RegionInferencer:
             return t
         rho = None
         eff = set(arg.eff)
+        if builtin.prim == "array":
+            # array (n, init): the result's element type is the init type.
+            if not (isinstance(arg.nmu, NBoxed) and isinstance(arg.nmu.tau, NPair)):
+                raise RegionInferenceError("array of a non-pair")
+            if isinstance(result_nmu, NBoxed) and isinstance(result_nmu.tau, NArray):
+                unify_nmu(result_nmu.tau.elem, arg.nmu.tau.snd)
+        elif builtin.prim in ("asub", "aupdate"):
+            # sub (a, i) / update (a, (i, v)): reading or writing a slot
+            # touches the array's own region, which sits one pair level
+            # below the argument — add it to the effect explicitly so
+            # letregion cannot deallocate a live array.
+            if not (isinstance(arg.nmu, NBoxed) and isinstance(arg.nmu.tau, NPair)):
+                raise RegionInferenceError(f"{builtin.prim} of a non-pair")
+            arr_nmu = arg.nmu.tau.fst
+            if not (isinstance(arr_nmu, NBoxed) and isinstance(arr_nmu.tau, NArray)):
+                raise RegionInferenceError(f"{builtin.prim} of a non-array")
+            eff.add(arr_nmu.rho.find())
+            if builtin.prim == "asub":
+                unify_nmu(result_nmu, arr_nmu.tau.elem)
+            else:
+                v_nmu = arg.nmu.tau.snd
+                if not (isinstance(v_nmu, NBoxed) and isinstance(v_nmu.tau, NPair)):
+                    raise RegionInferenceError("update of a non-triple")
+                unify_nmu(v_nmu.tau.snd, arr_nmu.tau.elem)
         if builtin.allocates:
             if isinstance(result_nmu, NBoxed):
                 rho = result_nmu.rho

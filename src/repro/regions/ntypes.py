@@ -30,6 +30,7 @@ __all__ = [
     "NReal",
     "NList",
     "NRef",
+    "NArray",
     "NExn",
     "NData",
     "spread",
@@ -102,6 +103,11 @@ class NRef(NTau):
 
 
 @dataclass(eq=False)
+class NArray(NTau):
+    elem: NMu
+
+
+@dataclass(eq=False)
 class NExn(NTau):
     pass
 
@@ -155,6 +161,8 @@ def spread(t: MLType, supply: NodeSupply, level: int) -> NMu:
         return NBoxed(NList(spread(t.args[0], supply, level)), supply.fresh_rho(level))
     if t.name == "ref":
         return NBoxed(NRef(spread(t.args[0], supply, level)), supply.fresh_rho(level))
+    if t.name == "array":
+        return NBoxed(NArray(spread(t.args[0], supply, level)), supply.fresh_rho(level))
     # a user datatype
     return NBoxed(
         NData(t.name, tuple(spread(a, supply, level) for a in t.args)),
@@ -194,6 +202,9 @@ def unify_nmu(a: NMu, b: NMu) -> None:
         if isinstance(ta, NRef) and isinstance(tb, NRef):
             unify_nmu(ta.content, tb.content)
             return
+        if isinstance(ta, NArray) and isinstance(tb, NArray):
+            unify_nmu(ta.elem, tb.elem)
+            return
         if isinstance(ta, NData) and isinstance(tb, NData) and ta.name == tb.name:
             for x, y in zip(ta.targs, tb.targs):
                 unify_nmu(x, y)
@@ -225,6 +236,8 @@ def frev_nodes(mu: NMu, out: Optional[set] = None) -> set:
         frev_nodes(tau.elem, out)
     elif isinstance(tau, NRef):
         frev_nodes(tau.content, out)
+    elif isinstance(tau, NArray):
+        frev_nodes(tau.elem, out)
     elif isinstance(tau, NData):
         for a in tau.targs:
             frev_nodes(a, out)
@@ -254,8 +267,10 @@ def tyvars_of_nmu(mu: NMu, out: Optional[set] = None) -> set:
     elif isinstance(tau, NArrow):
         tyvars_of_nmu(tau.dom, out)
         tyvars_of_nmu(tau.cod, out)
-    elif isinstance(tau, (NList, NRef)):
-        tyvars_of_nmu(tau.elem if isinstance(tau, NList) else tau.content, out)
+    elif isinstance(tau, (NList, NArray)):
+        tyvars_of_nmu(tau.elem, out)
+    elif isinstance(tau, NRef):
+        tyvars_of_nmu(tau.content, out)
     elif isinstance(tau, NData):
         for a in tau.targs:
             tyvars_of_nmu(a, out)
@@ -318,6 +333,8 @@ def copy_nmu(
             new_tau = NList(go(tau.elem))
         elif isinstance(tau, NRef):
             new_tau = NRef(go(tau.content))
+        elif isinstance(tau, NArray):
+            new_tau = NArray(go(tau.elem))
         elif isinstance(tau, NData):
             new_tau = NData(tau.name, tuple(go(a) for a in tau.targs))
         else:
@@ -346,6 +363,8 @@ def show_nmu(mu: NMu) -> str:  # pragma: no cover - debugging aid
         return f"({show_nmu(tau.elem)} list,{mu.rho!r})"
     if isinstance(tau, NRef):
         return f"({show_nmu(tau.content)} ref,{mu.rho!r})"
+    if isinstance(tau, NArray):
+        return f"({show_nmu(tau.elem)} array,{mu.rho!r})"
     if isinstance(tau, NExn):
         return f"(exn,{mu.rho!r})"
     if isinstance(tau, NData):

@@ -103,8 +103,14 @@ def pretty_term(e: T.Term, depth: int = 0, schemes: bool = True) -> str:
             brs.append(f"{inner}{head} => {pretty_term(br.body, depth + 2, schemes)}")
         return f"case {p(e.scrutinee)} of\n" + ("\n" + inner + "| ").join(brs)
     if isinstance(e, T.LetExn):
+        # Balanced like Let — the surface form is `let exception ... in
+        # ... end`, and an unbalanced rendering made shrinker reproducers
+        # that embed pretty output fail to round-trip.
         payload = f" of {show_mu(e.payload)}" if e.payload is not None else ""
-        return f"exception {e.exname}{payload}\n{pad}in {p1(e.body)}"
+        return (
+            f"let exception {e.exname}{payload}\n"
+            f"{pad}in {p1(e.body)}\n{pad}end"
+        )
     if isinstance(e, T.Con):
         arg = f" ({p(e.arg)})" if e.arg is not None else ""
         return f"{e.exname}{arg} at {e.rho.display()}"

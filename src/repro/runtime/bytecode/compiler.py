@@ -40,7 +40,7 @@ __all__ = ["ALLOC_PRIMS", "can_gc", "compile_bytecode"]
 ALLOC_PRIMS = frozenset({
     "radd", "rsub", "rmul", "rdiv", "rneg", "sqrt", "rsin", "rcos",
     "ratan", "rexp", "rln", "rabs", "real", "concat", "int_to_string",
-    "real_to_string",
+    "real_to_string", "array",
 })
 
 

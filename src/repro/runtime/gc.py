@@ -44,7 +44,19 @@ from typing import Iterable, Optional
 
 from ..core.errors import DanglingPointerError, StalePointerError
 from .heap import FINITE, Heap, INFINITE, NO_PAGE, Region
-from .values import RBox, RClos, RCons, RData, RExn, RFunClos, RPair, RRef, RStr, is_boxed
+from .values import (
+    RArray,
+    RBox,
+    RClos,
+    RCons,
+    RData,
+    RExn,
+    RFunClos,
+    RPair,
+    RRef,
+    RStr,
+    is_boxed,
+)
 
 __all__ = [
     "Collector",
@@ -174,7 +186,9 @@ class Collector:
 
     # -- write barrier ---------------------------------------------------------
 
-    def note_write(self, ref: RRef) -> None:
+    def note_write(self, ref: RBox) -> None:
+        """Write barrier: records an old-generation mutable cell (a ``ref``
+        or an array) that may now point at young data."""
         if self.generational and ref.gen > 0:
             self.remembered.append(ref)
             self.heap.stats.remembered_writes += 1
@@ -353,6 +367,10 @@ class Collector:
             elif isinstance(obj, RRef):
                 if is_boxed(obj.contents):
                     stack.append(obj.contents)
+            elif isinstance(obj, RArray):
+                for v in obj.slots:
+                    if is_boxed(v):
+                        stack.append(v)
             elif isinstance(obj, (RExn, RData)):
                 if is_boxed(obj.payload):
                     stack.append(obj.payload)

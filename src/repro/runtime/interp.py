@@ -49,6 +49,7 @@ from .stats import RunStats
 from .values import (
     NIL,
     Nil,
+    RArray,
     RBox,
     RClos,
     RCons,
@@ -921,6 +922,43 @@ class Interp:
             if self.sanitize:
                 self.san_check(args[0])
             return args[0].tail
+        if op == "array":
+            # array (n, init): n+1 words (header + slots) in the result
+            # region.  The argument pair is rooted via temps, so the
+            # allocation may collect without losing init.
+            n, init = args[0].fst, args[0].snd
+            if n < 0:
+                raise RuntimeFault("Size: negative array length")
+            region = self.alloc(rho, renv, 1 + n)
+            return RArray([init] * n, region)
+        if op == "asub":
+            arr, i = args[0].fst, args[0].snd
+            if self.sanitize:
+                self.san_check(arr)
+            if not 0 <= i < len(arr.slots):
+                raise RuntimeFault(
+                    f"Subscript: index {i} out of bounds for array of "
+                    f"length {len(arr.slots)}"
+                )
+            return arr.slots[i]
+        if op == "aupdate":
+            arr, iv = args[0].fst, args[0].snd
+            i, v = iv.fst, iv.snd
+            if self.sanitize:
+                self.san_check(arr)
+                self.san_check(v)
+            if not 0 <= i < len(arr.slots):
+                raise RuntimeFault(
+                    f"Subscript: index {i} out of bounds for array of "
+                    f"length {len(arr.slots)}"
+                )
+            arr.slots[i] = v
+            self.collector.note_write(arr)
+            return UNIT
+        if op == "alength":
+            if self.sanitize:
+                self.san_check(args[0])
+            return len(args[0].slots)
         raise RuntimeFault(f"unknown primitive {op}")
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "RClos",
     "RFunClos",
     "RRef",
+    "RArray",
     "RData",
     "RExn",
     "is_boxed",
@@ -185,6 +186,21 @@ class RRef(RBox):
         return 1
 
 
+class RArray(RBox):
+    """A mutable array: a header word plus one word per slot.  Slots are
+    updated in place (``Array.update``), so arrays go through the same
+    generational write barrier as ``ref`` cells."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: list, region) -> None:
+        super().__init__(region)
+        self.slots = slots
+
+    def words(self) -> int:
+        return 1 + len(self.slots)
+
+
 class RData(RBox):
     """A datatype value: constructor name plus optional payload."""
 
@@ -279,7 +295,8 @@ def structural_eq(a, b) -> bool:
                 return False
             if x.payload is not None:
                 stack.append((x.payload, y.payload))
-        elif cx is RRef:
+        elif cx is RRef or cx is RArray:
+            # SML compares refs and arrays by pointer, never contents.
             if x is not y:
                 return False
         elif cx in (Unit, Nil):
@@ -334,6 +351,10 @@ def show_value(v, depth: int = 0) -> str:
         return "fn"
     if isinstance(v, RRef):
         return f"ref {show_value(v.contents, depth + 1)}"
+    if isinstance(v, RArray):
+        items = [show_value(s, depth + 1) for s in v.slots[:24]]
+        suffix = "" if len(v.slots) <= 24 else ", ..."
+        return "[|" + ", ".join(items) + suffix + "|]"
     if isinstance(v, RExn):
         return f"exn {v.name}"
     if isinstance(v, RData):

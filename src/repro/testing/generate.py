@@ -11,7 +11,14 @@ extended with the shapes that make GC schedules interesting:
   whose dangle window contains **no allocation**, invisible to
   ``gc_every_alloc``), and the same with an allocating filler (the
   literal Figure 1 program);
-* reference cells updated through ``:=`` (the write-barrier path).
+* reference cells updated through ``:=`` (the write-barrier path);
+* ``raise``/``handle`` with parameterized exceptions, both monomorphic
+  (``exception Bang of int``) and polymorphic (``exception Alt of 'a``
+  inside an ``'a``-annotated function — the paper's exception type
+  variables, Section 4.4);
+* mutable arrays: ``array``/``sub``/``update``/``alength`` over int and
+  string element types (string slots put boxed values behind the array
+  write barrier).
 
 Programs are represented as typed expression trees so the shrinker can do
 structural delta debugging: replace any subtree with the minimal leaf of
@@ -125,7 +132,7 @@ def gen_int(rng: random.Random, depth: int) -> Node:
             " in h () end)",
             (gen_int(rng, d), gen_str(rng, d)),
         )
-    if pick < 0.94:
+    if pick < 0.91:
         # The literal Figure 1 shape: an allocating filler inside the
         # dangle window, reachable by allocation-point schedules too.
         return Node(
@@ -134,11 +141,54 @@ def gen_int(rng: random.Random, depth: int) -> Node:
             " in let val _ = {2} in h () end end)",
             (gen_int(rng, d), gen_str(rng, d), gen_ilist(rng, d)),
         )
-    # Reference cell updated through := (exercises the write barrier).
+    if pick < 0.93:
+        # Reference cell updated through := (exercises the write barrier).
+        return Node(
+            "int",
+            "(let val c = ref ({0}) in c := {1}; !c end)",
+            (gen_int(rng, d), gen_int(rng, d)),
+        )
+    if pick < 0.95:
+        # A parameterized exception raised and handled locally.
+        return Node(
+            "int",
+            "(let exception Bang of int"
+            " in (if {0} then raise Bang ({1}) else {2}) handle Bang n => n + 1"
+            " end)",
+            (gen_bool(rng, d), gen_int(rng, d), gen_int(rng, d)),
+        )
+    if pick < 0.97:
+        # A *polymorphic* exception: Alt's payload type mentions the
+        # enclosing function's 'a (an exception type variable,
+        # Section 4.4).  The payload is 'a list (the kb_exn shape) and
+        # the instantiation is at int: a boxed instantiation would put
+        # the instance's local region into the payload type, which the
+        # Section 4.4 globalization check rightly rejects.
+        return Node(
+            "int",
+            "(let fun pick2 (x : 'a) (y : 'a) : 'a ="
+            " let exception Alt of 'a list"
+            " in (if {0} then raise Alt (y :: nil) else x)"
+            " handle Alt v => hd v end"
+            " in pick2 ({1}) ({2}) end)",
+            (gen_bool(rng, d), gen_int(rng, d), gen_int(rng, d)),
+        )
+    if pick < 0.99:
+        # Int array: alloc, in-bounds update, read back plus length.
+        return Node(
+            "int",
+            "(let val arr = array (4, {0})"
+            " in update (arr, ((abs ({1})) mod 4, {2}));"
+            " sub (arr, (abs ({3})) mod 4) + alength arr end)",
+            (gen_int(rng, d), gen_int(rng, d), gen_int(rng, d), gen_int(rng, d)),
+        )
+    # String array: boxed slots go through the array write barrier.
     return Node(
         "int",
-        "(let val c = ref {0} in c := {1}; !c end)",
-        (gen_int(rng, d), gen_int(rng, d)),
+        "(let val sa = array (3, {0})"
+        " in update (sa, (1 + (abs ({1})) mod 2, {2}));"
+        " size (sub (sa, 0)) + size (sub (sa, 2)) end)",
+        (gen_str(rng, d), gen_int(rng, d), gen_str(rng, d)),
     )
 
 

@@ -147,7 +147,17 @@ val _ = r := 2
 val it = !r
 """
 
-BASES = {"fig8": FIG8, "exn": EXN, "ref": REF}
+# A *polymorphic* exception: Alt's payload mentions the enclosing
+# function's 'a, so the scheme's Delta tracks an exception type variable
+# pinned to the global effect (Section 4.4).
+POLYEXN = """
+fun pick (x : 'a) (y : 'a) : 'a =
+  let exception Alt of 'a list
+  in (if true then raise Alt (y :: nil) else x) handle Alt v => hd v end
+val it = pick 1 2
+"""
+
+BASES = {"fig8": FIG8, "exn": EXN, "ref": REF, "polyexn": POLYEXN}
 
 
 @pytest.fixture(scope="module")
@@ -378,6 +388,68 @@ def _mut_assign_retype(term):
     )
 
 
+def _mut_exn_tyvar_strip(term):
+    """Drop the exception type variable from the spurious set (Section
+    4.4): the payload of ``Alt`` now mentions a plain quantified variable
+    with no pinned arrow effect, so a value smuggled through a raise is
+    invisible to the GC-safety analysis."""
+
+    def make(n):
+        sigma = n.pi.scheme
+        stripped = dataclasses.replace(
+            sigma, tvars=sigma.tvars + tuple(sigma.delta), delta=EMPTY_CTX
+        )
+        return dataclasses.replace(n, pi=PiScheme(stripped, n.pi.rho))
+
+    return replace_first(
+        term,
+        lambda n: isinstance(n, T.FunDef)
+        and n.fname == "pick"
+        and len(n.pi.scheme.delta) > 0,
+        make,
+    )
+
+
+def _contains_handle(t: T.Term) -> bool:
+    if isinstance(t, T.Handle):
+        return True
+    return any(_contains_handle(c) for c in T.iter_children(t))
+
+
+def _mut_handler_latent_widen(term):
+    """Widen the handler-enclosing lambda's latent effect onto a forged
+    region: the annotation claims the handler may touch a region no
+    binder introduces, diverging from the scheme the enclosing fun
+    publishes."""
+
+    def make(n):
+        arrow = n.mu.tau.arrow
+        tau = dataclasses.replace(
+            n.mu.tau, arrow=ArrowEffect(arrow.handle, arrow.latent | {_rbad(7)})
+        )
+        return dataclasses.replace(n, mu=dataclasses.replace(n.mu, tau=tau))
+
+    return replace_first(
+        term,
+        lambda n: isinstance(n, T.Lam) and _contains_handle(n.body),
+        make,
+    )
+
+
+def _mut_exn_payload_localize(term):
+    """Move the declared payload type of a parameterized exception into a
+    non-global region — the raised value could then outlive its region
+    (the exact escape Section 4.4's globalization rules out)."""
+
+    return replace_first(
+        term,
+        lambda n: isinstance(n, T.LetExn) and n.payload is not None,
+        lambda n: dataclasses.replace(
+            n, payload=dataclasses.replace(n.payload, rho=_rbad(8))
+        ),
+    )
+
+
 #: mutant name -> (base program, surgery).
 MUTANTS = {
     "lam-latent-drop": ("fig8", _mut_lam_latent_drop),
@@ -400,6 +472,9 @@ MUTANTS = {
     "if-cond-retype": ("fig8", _mut_if_cond_retype),
     "exn-local-region": ("exn", _mut_exn_local_region),
     "assign-retype": ("ref", _mut_assign_retype),
+    "exn-tyvar-strip": ("polyexn", _mut_exn_tyvar_strip),
+    "handler-latent-widen": ("polyexn", _mut_handler_latent_widen),
+    "exn-payload-localize": ("polyexn", _mut_exn_payload_localize),
 }
 
 #: The pinned kill matrix: the exact (deduplicated, first-occurrence
@@ -428,6 +503,9 @@ KILL_MATRIX = {
     "if-cond-retype": ("TeIf-cond",),
     "exn-local-region": ("exn-global",),
     "assign-retype": ("TeRef-assign",),
+    "exn-tyvar-strip": ("exn-tyvar",),
+    "handler-latent-widen": ("TeFun-cod",),
+    "exn-payload-localize": ("exn-global", "TeExn-payload", "TeLam-latent"),
 }
 
 
@@ -486,19 +564,57 @@ def test_matrix_spans_the_judgment_families():
         "TeReg-global",
         "TeCons-place",
         "exn-global",
+        "exn-tyvar",
         "TeRef-assign",
     ):
         assert family in killed, f"no mutant kills {family}"
 
 
+#: Checker-side kill matrix: the Figure 4 checker raises on the first
+#: violation, so its matrix pins one distinguishing message fragment per
+#: mutant (the checker has no multi-violation report to compare whole).
+CHECKER_KILL_MATRIX = {
+    "lam-place": "lambda allocated at rbad1 but typed at",
+    "fun-place": "fun allocated at a region different from its scheme place",
+    "cons-place": ":: allocates at rbad5 but the spine lives in",
+    "letregion-widen": "escapes into the context or the result type",
+    "exn-tyvar-strip": "untracked exception type variable",
+    "handler-latent-widen": "scheme says",
+    "exn-payload-localize": "payload type mentions non-global regions {rbad8}",
+}
+
+
 def test_mutants_also_fail_the_dependent_checker(terms):
     """Cross-check: the annotation mutants that corrupt region safety
     (not mere shape errors) are rejected by the Figure 4 checker too —
-    the two oracles agree on the mutants, not only on sound programs."""
+    the two oracles agree on the mutants, not only on sound programs.
+    The match is exact: each mutant must trip the *mutated* judgment,
+    not merely raise somewhere."""
     from repro.core.errors import RegionTypeError
     from repro.core.typecheck import typecheck
 
-    for name in ("lam-place", "fun-place", "cons-place", "letregion-widen"):
+    for name, fragment in CHECKER_KILL_MATRIX.items():
         base_key, surgery = MUTANTS[name]
-        with pytest.raises(RegionTypeError):
+        with pytest.raises(RegionTypeError, match=".*") as exc:
             typecheck(surgery(terms[base_key]))
+        assert fragment in str(exc.value), (
+            f"{name}: checker said {exc.value}, expected a message "
+            f"containing {fragment!r}"
+        )
+
+
+def test_exception_mutants_kill_agreement(terms):
+    """Zero kill-matrix disagreement on the exception side: every
+    exception mutant is killed by BOTH oracles (the acceptance criterion
+    of the exception-type-variable work)."""
+    from repro.core.errors import RegionTypeError
+    from repro.core.typecheck import typecheck
+
+    for name in ("exn-tyvar-strip", "handler-latent-widen",
+                 "exn-payload-localize", "exn-local-region"):
+        base_key, surgery = MUTANTS[name]
+        mutant = surgery(terms[base_key])
+        assert not verify_term(mutant).ok, f"{name} survived the verifier"
+        if name in CHECKER_KILL_MATRIX:
+            with pytest.raises(RegionTypeError):
+                typecheck(mutant)

@@ -33,7 +33,7 @@ from repro.core.errors import StalePointerError
 from repro.runtime.gc import Collector
 from repro.runtime.heap import NO_PAGE, Heap
 from repro.runtime.stats import RunStats
-from repro.runtime.values import RPair
+from repro.runtime.values import RArray, RPair
 
 
 def _sanitizing_heap(**kw) -> Heap:
@@ -113,6 +113,66 @@ class TestPageWitnessKillsReuseAfterFree:
         v.page_san = 0
         retained = Collector(heap).collect([v])
         assert retained >= v.words()  # silently accepted as live
+
+
+class TestStaleArrayElementReuseAfterFree:
+    """The same forgery reached *through a mutable array slot*: an
+    ``Array.update`` stored a pointer whose region was later freed and
+    whose birth page was recycled, then the region descriptor was forged
+    back to life.  Arrays are the canonical carrier for this corpse — an
+    update can happen long before the collection that traces the slot —
+    so the suite pins that slot tracing goes through the same two-witness
+    check as direct roots."""
+
+    def _array_with_stale_slot(self, heap: Heap) -> RArray:
+        v = _forged_reuse_after_free(heap)
+        holder = heap.new_region("rC")
+        heap.alloc(holder, 1 + 2)
+        return RArray([v, 0], holder)
+
+    def test_page_witness_kills_through_the_slot(self):
+        heap = _sanitizing_heap()
+        arr = self._array_with_stale_slot(heap)
+        with pytest.raises(StalePointerError, match="birth page was recycled"):
+            Collector(heap).collect([arr])
+
+    def test_region_stamp_witness_alone_misses_it(self):
+        """Blinding the page witness on the element reduces the check to
+        the region stamp, which the forgery satisfies: the stale element
+        traces silently and is even retained as live data — exactly the
+        miss the page witness closes for array slots."""
+        heap = _sanitizing_heap()
+        arr = self._array_with_stale_slot(heap)
+        stale = arr.slots[0]
+        stale.page = NO_PAGE
+        stale.page_san = 0
+        assert stale.san == stale.region.stamp  # region witness is content
+        retained = Collector(heap).collect([arr])
+        assert retained >= arr.words() + stale.words()
+
+    def test_kill_is_attributed_to_the_element(self):
+        from repro.runtime.trace import EventBus, RecordingSink
+
+        sink = RecordingSink()
+        heap = Heap(
+            RuntimeFlags(sanitize=True, page_words=16, tracer=EventBus(sink)),
+            RunStats(),
+        )
+        arr = self._array_with_stale_slot(heap)
+        with pytest.raises(StalePointerError):
+            Collector(heap).collect([arr])
+        dangles = [e for e in sink.events if e["ev"] == "dangle"]
+        assert len(dangles) == 1
+        assert dangles[0]["obj"] == "RPair"  # the element, not the array
+
+    def test_healthy_array_slots_trace_clean(self):
+        heap = _sanitizing_heap()
+        region = heap.new_region("r")
+        heap.alloc(region, 2)
+        elem = RPair(1, 2, region)
+        heap.alloc(region, 1 + 2)
+        arr = RArray([elem, 7], region)
+        Collector(heap).collect([arr])  # must not raise
 
 
 class TestPageWitnessStaysQuiet:

@@ -1,0 +1,105 @@
+"""Round-trip properties for fuzz-shrinker reproducers.
+
+A reproducer written by the fuzzer is a ``(* ... *)`` header comment
+followed by the rendered program.  Three things must hold for the corpus
+to stay replayable: the header must be invisible to ``loc_of``, the body
+must survive the write/read cycle byte-for-byte and re-parse to a
+program with the same behaviour, and the region pretty-printer must
+render ``exception`` declarations in balanced ``let ... in ... end``
+form (the unbalanced form is what used to break round-tripping)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import CompilerFlags, Strategy, compile_program
+from repro.bench.harness import loc_of
+from repro.runtime.values import show_value
+from repro.testing.fuzz import _write_reproducer
+from repro.testing.generate import generate_program
+
+# Seeds whose generated programs contain the new constructs (exception
+# declarations and arrays) — the interesting cases for round-tripping.
+_EXN_SEEDS = [
+    s for s in range(60) if "exception" in generate_program(s).render()
+][:4]
+_ARRAY_SEEDS = [
+    s for s in range(60) if "array (" in generate_program(s).render()
+][:4]
+
+_META = {
+    "classification": "expected-rg-minus-dangling",
+    "master_seed": 0,
+    "iteration": 0,
+    "sub_seed": 0,
+    "strategy": "rg-",
+    "mode": "secondary",
+    "plan": None,
+    "plan_desc": "none",
+    "detail": "round-trip property test",
+}
+
+
+def _run_value(source: str) -> str:
+    prog = compile_program(source, strategy=Strategy.RG, cache=False)
+    return show_value(prog.run(max_steps=200_000).value)
+
+
+@pytest.mark.parametrize("seed", _EXN_SEEDS + _ARRAY_SEEDS)
+def test_reproducer_round_trips_through_parser_unchanged(seed, tmp_path):
+    program = generate_program(seed)
+    source = program.render()
+    path = Path(
+        _write_reproducer(tmp_path, f"rt-{seed}", program, dict(_META))
+    )
+    text = path.read_text()
+    # The body after the header is byte-for-byte the rendered program.
+    assert text.startswith("(* repro-fuzz reproducer:")
+    header_end = text.index("*)") + len("*)\n")
+    assert text[header_end:] == source + "\n"
+    # Re-parsing the whole file (header included) preserves behaviour.
+    assert _run_value(text) == _run_value(source)
+
+
+@pytest.mark.parametrize("seed", _EXN_SEEDS)
+def test_header_is_invisible_to_loc_of(seed, tmp_path):
+    program = generate_program(seed)
+    source = program.render()
+    path = Path(
+        _write_reproducer(tmp_path, f"loc-{seed}", program, dict(_META))
+    )
+    assert loc_of(path.read_text()) == loc_of(source)
+
+
+def test_exception_declaration_line_counts_as_code():
+    assert loc_of("(* hdr *)\nexception Bang of int\n") == 1
+    assert loc_of("(* multi\n   line\n   header *)\n") == 0
+
+
+class TestPrettyBalance:
+    """Without the prelude (whose datatype declarations legitimately
+    print ``in`` with no ``end``), every ``in`` the pretty-printer emits
+    — including the one for ``exception`` declarations — must be
+    matched by an ``end``."""
+
+    def _pretty(self, src):
+        return compile_program(
+            src, flags=CompilerFlags(with_prelude=False)
+        ).pretty(schemes=False)
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "exception E of int\nval it = (raise E 3) handle E n => n",
+            "fun f (x : 'a) : 'a = let exception A of 'a list in "
+            "(raise A (x :: nil)) handle A v => x end\nval it = f 2",
+        ],
+        ids=["mono", "poly"],
+    )
+    def test_exception_let_is_balanced(self, src):
+        text = self._pretty(src)
+        assert "let exception" in text
+        ins = len(re.findall(r"\bin\b", text))
+        ends = len(re.findall(r"\bend\b", text))
+        assert ins == ends, text
